@@ -1,0 +1,11 @@
+// Reproduces paper Figure 10: latency–throughput for SA / DR / PR with 16
+// virtual channels (patterns PAT721/PAT451/PAT271/PAT280, as in the paper;
+// results for 64 VCs were indistinguishable from 16 and are omitted there
+// too).
+#include "bench_util.hpp"
+
+int main() {
+  mddsim::bench::run_figure("Figure 10", 16,
+                            {"PAT721", "PAT451", "PAT271", "PAT280"});
+  return 0;
+}

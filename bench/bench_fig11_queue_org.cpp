@@ -1,0 +1,32 @@
+// Reproduces paper Figure 11: the effect of endpoint message-queue
+// organization — shared queues vs one queue pair per message type ("QA") —
+// for DR and PR against SA, with 4 message types (PAT271) and 16 VCs.
+#include "bench_util.hpp"
+
+using namespace mddsim;
+using namespace mddsim::bench;
+
+int main() {
+  const std::string pat = "PAT271";
+  std::printf("# Figure 11 — queue organizations, PAT271, 16 VCs%s\n",
+              full_mode() ? " (paper-scale runs)" : "");
+  // Queue-organization effects dominate at and beyond saturation: sweep
+  // deeper than the Burton figures do.
+  std::vector<double> loads;
+  for (double f : {0.6, 0.8, 0.95, 1.05, 1.2, 1.4})
+    loads.push_back(f * saturation_rate(pat));
+  std::vector<SweepSeries> series;
+  // SA partitions queues per message type by construction.
+  series.push_back(run_series(Scheme::SA, pat, 16, QueueOrg::Shared, &loads));
+  series.back().label = "SA";
+  series.push_back(run_series(Scheme::DR, pat, 16, QueueOrg::Shared, &loads));
+  series.back().label = "DR-shared";
+  series.push_back(run_series(Scheme::DR, pat, 16, QueueOrg::PerType, &loads));
+  series.back().label = "DR-QA";
+  series.push_back(run_series(Scheme::PR, pat, 16, QueueOrg::Shared, &loads));
+  series.back().label = "PR-shared";
+  series.push_back(run_series(Scheme::PR, pat, 16, QueueOrg::PerType, &loads));
+  series.back().label = "PR-QA";
+  print_panel(pat, series, loads);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Figure 8: latency–throughput for SA / DR / PR across the
+// five Table 3 transaction patterns on an 8×8 torus with 4 virtual
+// channels.  SA is infeasible for chain lengths > 2 at 4 VCs and DR is not
+// applicable to PAT100 — the harness reports both omissions, matching the
+// paper.
+#include "bench_util.hpp"
+
+int main() {
+  mddsim::bench::run_figure(
+      "Figure 8", 4, {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"});
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces paper Figure 9: latency–throughput for SA / DR / PR across the
+// five Table 3 transaction patterns with 8 virtual channels per link.
+#include "bench_util.hpp"
+
+int main() {
+  mddsim::bench::run_figure(
+      "Figure 9", 8, {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"});
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Microbenchmarks (google-benchmark): simulator cycle cost per scheme, CWG
+// detector scan cost, and topology/routing primitives — the cost model for
+// the reproduction itself.
+#include <benchmark/benchmark.h>
+
+#include "mddsim/core/cwg.hpp"
+#include "mddsim/sim/simulator.hpp"
+
+namespace {
+
+using namespace mddsim;
+
+void BM_SimCycle(benchmark::State& state, Scheme scheme, const char* pattern,
+                 double load) {
+  SimConfig cfg;
+  cfg.scheme = scheme;
+  cfg.pattern = pattern;
+  cfg.vcs_per_link = scheme == Scheme::SA ? 8 : 4;
+  cfg.injection_rate = load;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 0;
+  Simulator sim(cfg);
+  auto& net = sim.network();
+  auto& proto = sim.protocol();
+  Rng rng(1);
+  for (auto _ : state) {
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      if (rng.next_bool(load) && !net.ni(n).source_full()) {
+        net.ni(n).offer_new_transaction(proto.start_transaction(n, net.now()),
+                                        net.now());
+      }
+    }
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CwgScan(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.injection_rate = 0.012;
+  cfg.warmup_cycles = 2000;
+  cfg.measure_cycles = 1;
+  Simulator sim(cfg);
+  sim.run(false);
+  CwgDetector cwg(sim.network());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cwg.find_knots());
+  }
+}
+
+void BM_RoutingCandidates(benchmark::State& state) {
+  Topology topo(8, 2);
+  auto layout = VcLayout::make(Scheme::PR, 1, 4, 2);
+  RoutingAlgorithm tfar(RoutingAlgorithm::Kind::TFAR, topo, layout);
+  Packet p;
+  p.src = 0;
+  p.dst = 27;
+  std::vector<RouteCandidate> cands;
+  for (auto _ : state) {
+    tfar.candidates(0, p, cands);
+    benchmark::DoNotOptimize(cands);
+  }
+}
+
+void BM_TopologyMinHops(benchmark::State& state) {
+  Topology topo(8, 2);
+  std::vector<DimHop> hops;
+  int i = 0;
+  for (auto _ : state) {
+    topo.min_hops(i % 64, (i * 13 + 7) % 64, hops);
+    benchmark::DoNotOptimize(hops);
+    ++i;
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SimCycle, sa_idle, mddsim::Scheme::SA, "PAT271", 0.001);
+BENCHMARK_CAPTURE(BM_SimCycle, pr_idle, mddsim::Scheme::PR, "PAT271", 0.001);
+BENCHMARK_CAPTURE(BM_SimCycle, pr_saturated, mddsim::Scheme::PR, "PAT271",
+                  0.013);
+BENCHMARK_CAPTURE(BM_SimCycle, dr_saturated, mddsim::Scheme::DR, "PAT271",
+                  0.013);
+BENCHMARK(BM_CwgScan);
+BENCHMARK(BM_RoutingCandidates);
+BENCHMARK(BM_TopologyMinHops);
+BENCHMARK_MAIN();

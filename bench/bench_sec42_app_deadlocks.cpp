@@ -1,0 +1,37 @@
+// Reproduces the paper §4.2.2 deadlock characterization: no application
+// trace experiences message-dependent deadlock, even when bristling packs
+// 2 or 4 processors per router (2×4 and 2×2 tori) to raise network load.
+#include <cstdio>
+
+#include "mddsim/coherence/app_sim.hpp"
+
+using namespace mddsim;
+
+int main() {
+  const bool full = std::getenv("MDDSIM_FULL") && *std::getenv("MDDSIM_FULL") != '0';
+  const Cycle dur = full ? 300000 : 100000;
+
+  std::printf("# Section 4.2.2 — application-driven deadlock characterization\n\n");
+  std::printf("| App | Network | Bristling | mean load | peak load | detections | rescues |\n");
+  std::printf("|---|---|---|---|---|---|---|\n");
+  struct Net { const char* name; std::vector<int> dims; int b; };
+  const Net nets[] = {{"4x4", {4, 4}, 1}, {"2x4", {2, 4}, 2}, {"2x2", {2, 2}, 4}};
+  for (const char* app : {"FFT", "LU", "Radix", "Water"}) {
+    for (const Net& net : nets) {
+      SimConfig cfg = SimConfig::application_defaults();
+      cfg.scheme = Scheme::PR;
+      cfg.dims = net.dims;
+      cfg.bristling = net.b;
+      AppSimulation sim(cfg, AppModel::by_name(app));
+      auto r = sim.run(dur);
+      std::printf("| %s | %s | %d | %.1f%% | %.1f%% | %llu | %llu |\n", app,
+                  net.name, net.b, 100 * r.mean_load, 100 * r.max_load,
+                  static_cast<unsigned long long>(r.deadlock_detections),
+                  static_cast<unsigned long long>(r.rescues));
+    }
+  }
+  std::printf("\nPaper: no message-dependent deadlocks observed for any "
+              "application, bristled or not; Radix reaches ~27%%/33%% mean "
+              "load at bristling 2/4.\n");
+  return 0;
+}

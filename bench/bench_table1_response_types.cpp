@@ -1,0 +1,36 @@
+// Reproduces paper Table 1: types and frequencies of home-node responses to
+// request messages for the four Splash-2 application models (FFT, LU,
+// Radix, Water) running through the MSI full-map directory protocol on the
+// §4.2.1 system (4×4 torus, 16 processors).
+#include <cstdio>
+
+#include "mddsim/coherence/app_sim.hpp"
+
+using namespace mddsim;
+
+int main() {
+  const bool full = std::getenv("MDDSIM_FULL") && *std::getenv("MDDSIM_FULL") != '0';
+  const Cycle warm = full ? 100000 : 40000;
+  const Cycle dur = full ? 400000 : 140000;
+
+  struct Row { const char* app; double d, i, f; };
+  const Row paper[] = {{"FFT", 98.7, 0.9, 0.4},
+                       {"LU", 96.5, 3.0, 0.5},
+                       {"Radix", 95.5, 3.6, 0.8},
+                       {"Water", 15.2, 50.1, 34.7}};
+
+  std::printf("# Table 1 — responses to request messages (measured vs paper)\n\n");
+  std::printf("| Application | Direct Reply | Invalidation | Forwarding | (paper D/I/F) |\n");
+  std::printf("|---|---|---|---|---|\n");
+  for (const Row& row : paper) {
+    SimConfig cfg = SimConfig::application_defaults();
+    cfg.scheme = Scheme::PR;
+    AppSimulation sim(cfg, AppModel::by_name(row.app));
+    auto r = sim.run(dur, warm);
+    std::printf("| %s | %.1f%% | %.1f%% | %.1f%% | %.1f / %.1f / %.1f |\n",
+                row.app, 100 * r.responses.direct_frac(),
+                100 * r.responses.invalidation_frac(),
+                100 * r.responses.forwarding_frac(), row.d, row.i, row.f);
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+#pragma once
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper.  Default
+// run lengths are scaled down so the whole bench suite finishes in minutes
+// on a laptop; set MDDSIM_FULL=1 in the environment to use the paper's
+// 30 000-cycle measurement windows (§4.3.1).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim::bench {
+
+inline bool full_mode() {
+  const char* env = std::getenv("MDDSIM_FULL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+inline Cycle warmup_cycles() { return full_mode() ? 5000 : 2000; }
+inline Cycle measure_cycles() { return full_mode() ? 30000 : 6000; }
+
+/// Per-pattern base injection rate ≈ the endpoint-service saturation point
+/// 1/(mean services per transaction × 40 cycles); sweeps run "up to a point
+/// just beyond saturation" as in §4.3.1.
+inline double saturation_rate(const std::string& pattern) {
+  if (pattern == "PAT100") return 0.025;
+  if (pattern == "PAT721") return 0.0179;
+  if (pattern == "PAT451") return 0.0156;
+  if (pattern == "PAT271") return 0.0132;
+  if (pattern == "PAT280") return 0.0139;
+  return 0.015;
+}
+
+/// Offered-load grid as fractions of the saturation estimate.
+inline std::vector<double> load_grid(const std::string& pattern) {
+  std::vector<double> fracs = full_mode()
+                                  ? std::vector<double>{0.15, 0.3, 0.45, 0.6,
+                                                        0.75, 0.9, 1.0, 1.1}
+                                  : std::vector<double>{0.2, 0.4, 0.6, 0.8,
+                                                        0.95, 1.1};
+  std::vector<double> loads;
+  for (double f : fracs) loads.push_back(f * saturation_rate(pattern));
+  return loads;
+}
+
+/// One Burton-normal-form sweep for a (scheme, pattern, VC) configuration.
+struct SweepSeries {
+  std::string label;
+  std::vector<RunResult> points;
+  bool feasible = true;
+  std::string note;
+};
+
+inline SweepSeries run_series(Scheme scheme, const std::string& pattern,
+                              int vcs, QueueOrg org = QueueOrg::Shared,
+                              const std::vector<double>* loads_override =
+                                  nullptr) {
+  SweepSeries s;
+  s.label = std::string(scheme_name(scheme));
+  SimConfig base;
+  base.scheme = scheme;
+  base.pattern = pattern;
+  base.vcs_per_link = vcs;
+  base.queue_org = org;
+  base.warmup_cycles = warmup_cycles();
+  base.measure_cycles = measure_cycles();
+  try {
+    base.validate();
+  } catch (const ConfigError& e) {
+    s.feasible = false;
+    s.note = e.what();
+    return s;
+  }
+  const std::vector<double> loads =
+      loads_override ? *loads_override : load_grid(pattern);
+  for (double load : loads) {
+    SimConfig cfg = base;
+    cfg.injection_rate = load;
+    Simulator sim(cfg);
+    s.points.push_back(sim.run(false));
+  }
+  return s;
+}
+
+/// Prints a figure panel: one markdown table in Burton Normal Form order
+/// (throughput on x, latency on y — here as columns per scheme).
+inline void print_panel(const std::string& title,
+                        const std::vector<SweepSeries>& series,
+                        const std::vector<double>& loads) {
+  std::printf("\n### %s\n\n", title.c_str());
+  for (const auto& s : series) {
+    if (!s.feasible) {
+      std::printf("_%s: not applicable — %s_\n", s.label.c_str(),
+                  s.note.c_str());
+    }
+  }
+  std::printf("\n| offered (m1/node/cy) |");
+  for (const auto& s : series) {
+    if (s.feasible)
+      std::printf(" %s thr (flits/node/cy) | %s latency (cy) |",
+                  s.label.c_str(), s.label.c_str());
+  }
+  std::printf("\n|---|");
+  for (const auto& s : series) {
+    if (s.feasible) std::printf("---|---|");
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    std::printf("| %.5f |", loads[i]);
+    for (const auto& s : series) {
+      if (!s.feasible) continue;
+      const auto& r = s.points[i];
+      std::printf(" %.4f | %.1f |", r.throughput, r.avg_packet_latency);
+    }
+    std::printf("\n");
+  }
+  // Deadlock-handling activity summary (events during measurement).
+  std::printf("\n");
+  for (const auto& s : series) {
+    if (!s.feasible) continue;
+    std::uint64_t resc = 0, defl = 0;
+    for (const auto& r : s.points) {
+      resc += r.counters.rescues;
+      defl += r.counters.deflections;
+    }
+    std::printf("%s: rescues=%llu deflections=%llu across the sweep\n",
+                s.label.c_str(), static_cast<unsigned long long>(resc),
+                static_cast<unsigned long long>(defl));
+  }
+}
+
+/// Runs one whole figure (a set of patterns at a fixed VC count).
+inline void run_figure(const char* figure, int vcs,
+                       const std::vector<std::string>& patterns) {
+  std::printf("# %s — 8x8 bidirectional torus, %d virtual channels%s\n",
+              figure, vcs,
+              full_mode() ? " (paper-scale runs)" : " (reduced runs; "
+              "MDDSIM_FULL=1 for paper scale)");
+  for (const auto& pat : patterns) {
+    std::vector<SweepSeries> series;
+    for (Scheme s : {Scheme::SA, Scheme::DR, Scheme::PR}) {
+      series.push_back(run_series(s, pat, vcs));
+    }
+    print_panel(pat, series, load_grid(pat));
+  }
+}
+
+}  // namespace mddsim::bench

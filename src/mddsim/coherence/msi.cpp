@@ -1,0 +1,516 @@
+#include "mddsim/coherence/msi.hpp"
+
+#include <algorithm>
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim {
+
+double ResponseStats::direct_frac() const {
+  const auto t = table1_total();
+  return t ? static_cast<double>(direct) / static_cast<double>(t) : 0.0;
+}
+double ResponseStats::invalidation_frac() const {
+  const auto t = table1_total();
+  return t ? static_cast<double>(invalidation) / static_cast<double>(t) : 0.0;
+}
+double ResponseStats::forwarding_frac() const {
+  const auto t = table1_total();
+  return t ? static_cast<double>(forwarding) / static_cast<double>(t) : 0.0;
+}
+
+// --------------------------------------------------------------------------
+// L1 cache
+// --------------------------------------------------------------------------
+L1Cache::L1Cache(int size_bytes, int line_bytes, int ways)
+    : sets_(size_bytes / line_bytes / ways), ways_(ways) {
+  MDD_CHECK(sets_ > 0 && ways_ > 0);
+  lines_.resize(static_cast<std::size_t>(sets_) * static_cast<std::size_t>(ways_));
+}
+
+std::size_t L1Cache::set_of(BlockAddr block) const {
+  return static_cast<std::size_t>(block % static_cast<BlockAddr>(sets_)) *
+         static_cast<std::size_t>(ways_);
+}
+
+L1Cache::State L1Cache::lookup(BlockAddr block) const {
+  const std::size_t base = set_of(block);
+  for (int w = 0; w < ways_; ++w) {
+    const Line& l = lines_[base + static_cast<std::size_t>(w)];
+    if (l.state != State::I && l.block == block) return l.state;
+  }
+  return State::I;
+}
+
+L1Cache::Fill L1Cache::fill(BlockAddr block, State st) {
+  const std::size_t base = set_of(block);
+  ++tick_;
+  // Hit: update in place.
+  for (int w = 0; w < ways_; ++w) {
+    Line& l = lines_[base + static_cast<std::size_t>(w)];
+    if (l.state != State::I && l.block == block) {
+      l.state = st;
+      l.lru = tick_;
+      return {};
+    }
+  }
+  // Choose an invalid way or the LRU victim.
+  Line* victim = &lines_[base];
+  for (int w = 0; w < ways_; ++w) {
+    Line& l = lines_[base + static_cast<std::size_t>(w)];
+    if (l.state == State::I) {
+      victim = &l;
+      break;
+    }
+    if (l.lru < victim->lru) victim = &l;
+  }
+  Fill f;
+  if (victim->state == State::M) {
+    f.evicted_dirty = true;
+    f.victim = victim->block;
+  }
+  victim->block = block;
+  victim->state = st;
+  victim->lru = tick_;
+  return f;
+}
+
+void L1Cache::set_state(BlockAddr block, State st) {
+  const std::size_t base = set_of(block);
+  for (int w = 0; w < ways_; ++w) {
+    Line& l = lines_[base + static_cast<std::size_t>(w)];
+    if (l.state != State::I && l.block == block) {
+      l.state = st;
+      return;
+    }
+  }
+}
+
+void L1Cache::invalidate(BlockAddr block) { set_state(block, State::I); }
+
+// --------------------------------------------------------------------------
+// MsiProtocol
+// --------------------------------------------------------------------------
+MsiProtocol::MsiProtocol(int num_nodes, MessageLengths lengths)
+    : num_nodes_(num_nodes), lengths_(lengths) {
+  MDD_CHECK(num_nodes >= 2 && num_nodes <= 64);
+  caches_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) caches_.emplace_back();
+}
+
+MsiProtocol::DirEntry& MsiProtocol::dir(BlockAddr block) {
+  return dir_[block];
+}
+
+const MsiProtocol::DirEntry* MsiProtocol::dir_peek(BlockAddr block) const {
+  auto it = dir_.find(block);
+  return it == dir_.end() ? nullptr : &it->second;
+}
+
+OutMsg MsiProtocol::make(MsgType type, NodeId src, NodeId dst,
+                         TxnId id) const {
+  return OutMsg{type, src, dst, lengths_.of(type), id, type_index(type)};
+}
+
+MsiProtocol::Plan MsiProtocol::plan_request(const DirEntry& e, const Txn& t,
+                                            NodeId home) const {
+  // The home never sends itself a forwarded request: when the home is an
+  // involved sharer/owner it acts on its own cache locally at commit time.
+  Plan p;
+  if (t.is_writeback) {
+    p.kind = ResponseKind::Writeback;
+    p.reply_now = true;
+    return p;
+  }
+  switch (e.state) {
+    case DirState::I:
+      p.kind = ResponseKind::DirectReply;
+      p.reply_now = true;
+      break;
+    case DirState::S: {
+      if (!t.is_write) {
+        p.kind = ResponseKind::DirectReply;
+        p.reply_now = true;
+        break;
+      }
+      // Write to shared data: invalidate every other remote sharer.
+      bool home_shares = false;
+      for (NodeId n = 0; n < num_nodes_; ++n) {
+        if (n == t.requester || !(e.sharers & (1ULL << n))) continue;
+        if (n == home) {
+          home_shares = true;
+          continue;
+        }
+        p.targets.push_back(n);
+      }
+      if (p.targets.empty()) {
+        // Upgrade with no remote sharers (possibly invalidating the home's
+        // own copy): completes immediately, classified as in Table 1 only
+        // when a real invalidation was needed.
+        p.kind = home_shares ? ResponseKind::Invalidation
+                             : ResponseKind::DirectReply;
+        p.reply_now = true;
+      } else {
+        p.kind = ResponseKind::Invalidation;
+        p.reply_now = false;
+      }
+      break;
+    }
+    case DirState::M:
+      if (e.owner == t.requester) {
+        p.kind = ResponseKind::DirectReply;
+        p.reply_now = true;
+      } else if (e.owner == home) {
+        // The home itself owns the modified copy: downgrade locally and
+        // reply directly; no network forward is required.
+        p.kind = ResponseKind::Forwarding;
+        p.reply_now = true;
+      } else {
+        p.kind = ResponseKind::Forwarding;
+        p.targets.push_back(e.owner);
+        p.reply_now = false;
+      }
+      break;
+  }
+  return p;
+}
+
+void MsiProtocol::apply_home_cache_action(NodeId home, const DirEntry& e,
+                                          const Txn& t) {
+  // Local cache side effects for the home when it is an involved
+  // sharer/owner of the block.
+  L1Cache& cache = caches_[static_cast<std::size_t>(home)];
+  if (home == t.requester) return;
+  if (e.state == DirState::M && e.owner == home) {
+    if (t.is_write) {
+      cache.invalidate(t.block);
+    } else {
+      cache.set_state(t.block, L1Cache::State::S);
+    }
+  } else if (t.is_write && (e.sharers & (1ULL << home))) {
+    cache.invalidate(t.block);
+  }
+}
+
+void MsiProtocol::apply_immediate_transition(DirEntry& e, const Txn& t,
+                                             NodeId home) {
+  if (t.is_writeback) {
+    if (e.state == DirState::M && e.owner == t.requester) {
+      e.state = DirState::I;
+      e.sharers = 0;
+      e.owner = kInvalidNode;
+    }
+    return;
+  }
+  if (t.is_write) {
+    e.state = DirState::M;
+    e.owner = t.requester;
+    e.sharers = 1ULL << t.requester;
+    return;
+  }
+  if (e.state == DirState::M) {
+    // Home-owned modified block downgraded locally: both keep copies.
+    e.state = DirState::S;
+    e.sharers = (1ULL << t.requester);
+    if (e.owner != kInvalidNode) e.sharers |= (1ULL << e.owner);
+    e.owner = kInvalidNode;
+    (void)home;
+    return;
+  }
+  e.state = DirState::S;
+  e.sharers |= 1ULL << t.requester;
+}
+
+std::vector<OutMsg> MsiProtocol::access_result(NodeId node, BlockAddr block,
+                                               bool is_write, Cycle now) {
+  // Local path: the requester is the block's home.
+  std::vector<OutMsg> out;
+  DirEntry& e = dir(block);
+  Txn t;
+  t.requester = node;
+  t.block = block;
+  t.is_write = is_write;
+  t.start_cycle = now;
+
+  const TxnId id = next_txn_++;
+  if (e.busy) {
+    auto [it, ok] = txns_.emplace(id, t);
+    MDD_CHECK(ok);
+    e.deferred.push_back(id);
+    return out;
+  }
+  Plan p = plan_request(e, t, node);
+  if (p.targets.empty()) {
+    // Completes locally without any network traffic (though a remote-action
+    // classification is still possible when the home itself was the only
+    // involved sharer/owner — those were filtered by plan_request).
+    ++stats_.local;
+    apply_immediate_transition(e, t, node);
+    fill_cache(node, block, is_write, now, out);
+    return out;
+  }
+  // Remote action needed: home (== requester) issues the forwards itself.
+  t.kind = p.kind;
+  t.pending_acks = static_cast<int>(p.targets.size());
+  count_response(p.kind);
+  auto [it, ok] = txns_.emplace(id, t);
+  MDD_CHECK(ok);
+  e.busy = true;
+  for (NodeId target : p.targets) {
+    out.push_back(make(MsgType::M2, node, target, id));
+    ++it->second.messages;
+  }
+  return out;
+}
+
+void MsiProtocol::count_response(ResponseKind kind) {
+  switch (kind) {
+    case ResponseKind::DirectReply: ++stats_.direct; break;
+    case ResponseKind::Invalidation: ++stats_.invalidation; break;
+    case ResponseKind::Forwarding: ++stats_.forwarding; break;
+    case ResponseKind::Writeback: ++stats_.writeback; break;
+    case ResponseKind::LocalHit: ++stats_.local; break;
+  }
+}
+
+void MsiProtocol::fill_cache(NodeId node, BlockAddr block, bool is_write,
+                             Cycle now, std::vector<OutMsg>& wb_out) {
+  auto fill = caches_[static_cast<std::size_t>(node)].fill(
+      block, is_write ? L1Cache::State::M : L1Cache::State::S);
+  if (!fill.evicted_dirty) return;
+  // Dirty eviction: issue a data writeback to the victim's home.
+  const NodeId home = home_of(fill.victim);
+  if (home == node) {
+    DirEntry& ve = dir(fill.victim);
+    if (ve.state == DirState::M && ve.owner == node) {
+      ve.state = DirState::I;
+      ve.sharers = 0;
+      ve.owner = kInvalidNode;
+    }
+    return;
+  }
+  Txn t;
+  t.requester = node;
+  t.block = fill.victim;
+  t.is_write = true;
+  t.is_writeback = true;
+  t.start_cycle = now;
+  const TxnId id = next_txn_++;
+  txns_.emplace(id, t);
+  OutMsg m = make(MsgType::M1, node, home, id);
+  m.len_flits = lengths_.of(MsgType::M4);  // writebacks carry the data block
+  wb_out.push_back(m);
+}
+
+std::optional<OutMsg> MsiProtocol::access(const Access& a, Cycle now) {
+  now_hint_ = now;
+  const L1Cache::State st =
+      caches_[static_cast<std::size_t>(a.node)].lookup(a.block);
+  if (st == L1Cache::State::M) return std::nullopt;           // hit
+  if (st == L1Cache::State::S && !a.is_write) return std::nullopt;  // hit
+
+  const NodeId home = home_of(a.block);
+  if (home == a.node) {
+    auto msgs = access_result(a.node, a.block, a.is_write, now);
+    // First message (if any) is returned; the rest queue as writebacks/
+    // forwards for the driver to hand to the NI.
+    for (auto& m : msgs) writebacks_.push_back(m);
+    return std::nullopt;
+  }
+
+  Txn t;
+  t.requester = a.node;
+  t.block = a.block;
+  t.is_write = a.is_write;
+  t.start_cycle = now;
+  const TxnId id = next_txn_++;
+  txns_.emplace(id, t);
+  return make(MsgType::M1, a.node, home, id);
+}
+
+std::vector<OutMsg> MsiProtocol::take_writebacks() {
+  std::vector<OutMsg> out;
+  out.swap(writebacks_);
+  return out;
+}
+
+std::vector<OutMsg> MsiProtocol::subordinates(NodeId node,
+                                              const Packet& msg) const {
+  auto it = txns_.find(msg.txn);
+  MDD_CHECK_MSG(it != txns_.end(), "message references unknown transaction");
+  const Txn& t = it->second;
+
+  switch (msg.type) {
+    case MsgType::M1: {  // request at home
+      const DirEntry* e = dir_peek(t.block);
+      static const DirEntry kEmpty{};
+      const DirEntry& entry = e ? *e : kEmpty;
+      if (entry.busy) return {};  // deferred: consumed without output
+      Plan p = plan_request(entry, t, node);
+      std::vector<OutMsg> out;
+      for (NodeId target : p.targets)
+        out.push_back(make(MsgType::M2, node, target, msg.txn));
+      if (p.reply_now) out.push_back(make(MsgType::M4, node, t.requester, msg.txn));
+      return out;
+    }
+    case MsgType::M2:  // forwarded request / invalidation at owner or sharer
+      return {make(MsgType::M3, node, home_of(t.block), msg.txn)};
+    case MsgType::M3: {  // ack at home
+      if (t.pending_acks > 1) return {};
+      if (t.requester == node) return {};  // local requester: no RP message
+      return {make(MsgType::M4, node, t.requester, msg.txn)};
+    }
+    default:
+      return {};
+  }
+}
+
+std::vector<OutMsg> MsiProtocol::commit_service(NodeId node,
+                                                const Packet& msg) {
+  auto it = txns_.find(msg.txn);
+  MDD_CHECK(it != txns_.end());
+  Txn& t = it->second;
+  std::vector<OutMsg> out;
+
+  switch (msg.type) {
+    case MsgType::M1: {
+      DirEntry& e = dir(t.block);
+      if (e.busy) {
+        e.deferred.push_back(msg.txn);
+        return out;
+      }
+      Plan p = plan_request(e, t, node);
+      t.kind = p.kind;
+      count_response(p.kind);
+      apply_home_cache_action(node, e, t);
+      if (p.reply_now) {
+        // Direct reply (or writeback ack): apply the directory transition.
+        apply_immediate_transition(e, t, node);
+        out.push_back(make(MsgType::M4, node, t.requester, msg.txn));
+        t.messages += 1;
+        return out;
+      }
+      // Forward / invalidate, then wait for acks.
+      e.busy = true;
+      t.pending_acks = static_cast<int>(p.targets.size());
+      for (NodeId target : p.targets) {
+        out.push_back(make(MsgType::M2, node, target, msg.txn));
+        t.messages += 1;
+      }
+      return out;
+    }
+    case MsgType::M2: {
+      // Owner/sharer action: downgrade or invalidate the local line.
+      L1Cache& cache = caches_[static_cast<std::size_t>(node)];
+      if (t.is_write) {
+        cache.invalidate(t.block);
+      } else {
+        cache.set_state(t.block, L1Cache::State::S);
+      }
+      out.push_back(make(MsgType::M3, node, home_of(t.block), msg.txn));
+      t.messages += 1;
+      return out;
+    }
+    case MsgType::M3: {
+      MDD_CHECK(t.pending_acks > 0);
+      --t.pending_acks;
+      if (t.pending_acks > 0) return out;
+      // All acks in: apply the final directory transition at the home.
+      DirEntry& e = dir(t.block);
+      if (t.is_write) {
+        e.state = DirState::M;
+        e.owner = t.requester;
+        e.sharers = 1ULL << t.requester;
+      } else {
+        e.state = DirState::S;
+        e.sharers |= (1ULL << t.requester);
+        if (e.owner != kInvalidNode) e.sharers |= (1ULL << e.owner);
+        e.owner = kInvalidNode;
+      }
+      e.busy = false;
+      for (auto m : start_deferred(node, e)) deferred_out_.push_back(m);
+      if (t.requester == node) {
+        // Local requester: the chain ends here.
+        complete(t, msg.txn, msg.consume_cycle);
+        return out;
+      }
+      out.push_back(make(MsgType::M4, node, t.requester, msg.txn));
+      t.messages += 1;
+      return out;
+    }
+    default:
+      throw InvariantError("terminating message reached commit_service");
+  }
+}
+
+std::vector<OutMsg> MsiProtocol::start_deferred(NodeId home, DirEntry& e) {
+  std::vector<OutMsg> out;
+  while (!e.deferred.empty() && !e.busy) {
+    const TxnId id = e.deferred.front();
+    e.deferred.pop_front();
+    auto it = txns_.find(id);
+    MDD_CHECK(it != txns_.end());
+    Txn& t = it->second;
+    Plan p = plan_request(e, t, home);
+    t.kind = p.kind;
+    count_response(p.kind);
+    apply_home_cache_action(home, e, t);
+    if (p.reply_now) {
+      apply_immediate_transition(e, t, home);
+      if (t.requester == home) {
+        complete(t, id, now_hint_);
+      } else {
+        out.push_back(make(MsgType::M4, home, t.requester, id));
+        t.messages += 1;
+      }
+      continue;
+    }
+    e.busy = true;
+    t.pending_acks = static_cast<int>(p.targets.size());
+    for (NodeId target : p.targets) {
+      out.push_back(make(MsgType::M2, home, target, id));
+      t.messages += 1;
+    }
+  }
+  return out;
+}
+
+std::vector<OutMsg> MsiProtocol::take_deferred_outputs() {
+  std::vector<OutMsg> out;
+  out.swap(deferred_out_);
+  return out;
+}
+
+SinkResult MsiProtocol::sink(NodeId node, const Packet& msg) {
+  MDD_CHECK(msg.type == MsgType::M4);
+  auto it = txns_.find(msg.txn);
+  MDD_CHECK(it != txns_.end());
+  Txn& t = it->second;
+  MDD_CHECK(node == t.requester);
+  SinkResult r;
+  r.txn_completed = true;
+  if (!t.is_writeback) {
+    fill_cache(node, t.block, t.is_write, msg.consume_cycle, writebacks_);
+  }
+  complete(t, msg.txn, msg.consume_cycle);
+  return r;
+}
+
+void MsiProtocol::complete(Txn& t, TxnId id, Cycle now) {
+  if (on_complete_) {
+    on_complete_(TxnCompletion{id, t.requester, t.start_cycle, t.messages,
+                               false, false});
+  }
+  (void)now;
+  txns_.erase(id);
+}
+
+std::optional<OutMsg> MsiProtocol::deflect(NodeId node, const Packet& msg) {
+  // Deflective recovery is evaluated with the synthetic generic protocol;
+  // the coherence engine (used for §4.2 characterization) does not back off.
+  (void)node;
+  (void)msg;
+  return std::nullopt;
+}
+
+}  // namespace mddsim

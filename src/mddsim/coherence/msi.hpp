@@ -1,0 +1,196 @@
+#pragma once
+// Three-state MSI cache-coherence protocol with a full-mapped directory
+// (paper §4.2.1, Figure 5) implemented as an EndpointProtocol, so the same
+// network/NI machinery carries coherence traffic for the application-driven
+// experiments.
+//
+// Message mapping (Figure 5, Censier–Feautrier style, home-centric):
+//   m1 = RQ   read/write/upgrade/writeback request, requester → home
+//   m2 = FRQ  forwarded request / invalidation,     home → owner/sharer
+//   m3 = FRP  forward reply / invalidation ack,     owner/sharer → home
+//   m4 = RP   data/completion reply,                home → requester
+//
+// Response classification for Table 1 is done where the paper does it: at
+// the home directory when the original request is serviced — Direct Reply,
+// Invalidation (write to shared data) or Forwarding (access to modified
+// data held remotely).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+#include "mddsim/protocol/endpoint.hpp"
+#include "mddsim/protocol/generic_protocol.hpp"  // TxnCompletion
+
+namespace mddsim {
+
+/// Block address (cache-line granular).
+using BlockAddr = std::uint64_t;
+
+/// Memory access as issued by a processor model.
+struct Access {
+  NodeId node;
+  BlockAddr block;
+  bool is_write;
+};
+
+/// How the home responded to a request (Table 1 columns) plus writebacks.
+enum class ResponseKind : std::uint8_t {
+  DirectReply = 0,
+  Invalidation = 1,
+  Forwarding = 2,
+  Writeback = 3,   ///< eviction traffic; not part of Table 1's three columns
+  LocalHit = 4,    ///< requester is home and no remote action was needed
+};
+
+/// Running counts of home responses.
+struct ResponseStats {
+  std::uint64_t direct = 0;
+  std::uint64_t invalidation = 0;
+  std::uint64_t forwarding = 0;
+  std::uint64_t writeback = 0;
+  std::uint64_t local = 0;
+
+  std::uint64_t table1_total() const {
+    return direct + invalidation + forwarding;
+  }
+  double direct_frac() const;
+  double invalidation_frac() const;
+  double forwarding_frac() const;
+};
+
+/// A small set-associative L1 model (64 KB, 64 B lines, 4-way by default).
+class L1Cache {
+ public:
+  enum class State : std::uint8_t { I, S, M };
+
+  L1Cache(int size_bytes = 64 * 1024, int line_bytes = 64, int ways = 4);
+
+  State lookup(BlockAddr block) const;
+  /// Installs `block` in `st`, returning an evicted modified block (for
+  /// writeback) if any; touches LRU.
+  struct Fill {
+    bool evicted_dirty = false;
+    BlockAddr victim = 0;
+  };
+  Fill fill(BlockAddr block, State st);
+  void set_state(BlockAddr block, State st);
+  void invalidate(BlockAddr block);
+  int ways() const { return ways_; }
+
+ private:
+  struct Line {
+    BlockAddr block = 0;
+    State state = State::I;
+    std::uint64_t lru = 0;
+  };
+  std::size_t set_of(BlockAddr block) const;
+
+  int sets_;
+  int ways_;
+  std::uint64_t tick_ = 0;
+  std::vector<Line> lines_;  // sets_ * ways_
+};
+
+class MsiProtocol : public EndpointProtocol {
+ public:
+  using CompletionCallback = std::function<void(const TxnCompletion&)>;
+
+  MsiProtocol(int num_nodes, MessageLengths lengths);
+
+  void set_completion_callback(CompletionCallback cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  /// Home node of a block (address-interleaved).
+  NodeId home_of(BlockAddr block) const {
+    return static_cast<NodeId>(block % static_cast<BlockAddr>(num_nodes_));
+  }
+
+  /// Processes a processor access.  Returns the request message to inject
+  /// (nullopt on a cache hit or a purely local access).  Any writeback
+  /// caused by the fill is queued internally and returned by
+  /// `take_writebacks`.
+  std::optional<OutMsg> access(const Access& a, Cycle now);
+
+  /// Side messages produced outside the normal service path since the last
+  /// call: dirty-eviction writebacks (type m1 — route via
+  /// offer_new_transaction) and forwards issued by a local home (type m2 —
+  /// route via NetworkInterface::add_pending).
+  std::vector<OutMsg> take_writebacks();
+
+  /// Messages produced when deferred requests restarted after a block
+  /// became free; drain every cycle into the home's pending list.
+  std::vector<OutMsg> take_deferred_outputs();
+
+  const ResponseStats& stats() const { return stats_; }
+  /// Clears the Table 1 counters (used to discard cold-start warmup).
+  void reset_stats() { stats_ = ResponseStats{}; }
+  std::size_t live_transactions() const { return txns_.size(); }
+
+  // --- EndpointProtocol ----------------------------------------------------
+  std::vector<OutMsg> subordinates(NodeId node,
+                                   const Packet& msg) const override;
+  std::vector<OutMsg> commit_service(NodeId node, const Packet& msg) override;
+  SinkResult sink(NodeId node, const Packet& msg) override;
+  std::optional<OutMsg> deflect(NodeId node, const Packet& msg) override;
+
+ private:
+  enum class DirState : std::uint8_t { I, S, M };
+  struct DirEntry {
+    DirState state = DirState::I;
+    std::uint64_t sharers = 0;  ///< bitmask (≤ 64 nodes)
+    NodeId owner = kInvalidNode;
+    bool busy = false;          ///< a transaction is in flight for this block
+    std::deque<TxnId> deferred; ///< requests waiting for the block to free
+  };
+  struct Txn {
+    NodeId requester;
+    BlockAddr block;
+    bool is_write;
+    bool is_writeback = false;
+    Cycle start_cycle;
+    int pending_acks = 0;
+    int messages = 1;
+    ResponseKind kind = ResponseKind::DirectReply;
+  };
+
+  DirEntry& dir(BlockAddr block);
+  const DirEntry* dir_peek(BlockAddr block) const;
+  std::vector<OutMsg> access_result(NodeId node, BlockAddr block,
+                                    bool is_write, Cycle now);
+  void count_response(ResponseKind kind);
+  void fill_cache(NodeId node, BlockAddr block, bool is_write, Cycle now,
+                  std::vector<OutMsg>& wb_out);
+  /// Plans the home's response to request `t` given directory state `e`
+  /// (pure; used by both peek and commit).
+  struct Plan {
+    ResponseKind kind;
+    std::vector<NodeId> targets;  ///< FRQ destinations
+    bool reply_now;               ///< RP accompanies/replaces forwards
+  };
+  Plan plan_request(const DirEntry& e, const Txn& t, NodeId home) const;
+  void apply_immediate_transition(DirEntry& e, const Txn& t, NodeId home);
+  void apply_home_cache_action(NodeId home, const DirEntry& e, const Txn& t);
+  OutMsg make(MsgType type, NodeId src, NodeId dst, TxnId id) const;
+  void complete(Txn& t, TxnId id, Cycle now);
+  std::vector<OutMsg> start_deferred(NodeId home, DirEntry& e);
+
+  std::vector<OutMsg> deferred_out_;
+
+  int num_nodes_;
+  MessageLengths lengths_;
+  std::unordered_map<BlockAddr, DirEntry> dir_;
+  std::vector<L1Cache> caches_;
+  std::unordered_map<TxnId, Txn> txns_;
+  TxnId next_txn_ = 1;
+  std::vector<OutMsg> writebacks_;
+  ResponseStats stats_;
+  CompletionCallback on_complete_;
+  Cycle now_hint_ = 0;
+};
+
+}  // namespace mddsim

@@ -1,0 +1,41 @@
+#pragma once
+// Always-on invariant checking.  Simulator correctness depends on internal
+// invariants (credit conservation, token uniqueness, ...) that we want
+// verified in Release builds too; violations throw so tests can observe them.
+
+#include <stdexcept>
+#include <string>
+
+namespace mddsim {
+
+/// Thrown when an internal simulator invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a user-supplied configuration is inconsistent.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+[[noreturn]] inline void invariant_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  throw InvariantError(std::string("invariant failed: ") + expr + " at " +
+                       file + ":" + std::to_string(line) +
+                       (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace mddsim
+
+#define MDD_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::mddsim::invariant_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MDD_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::mddsim::invariant_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,236 @@
+#include "mddsim/common/config_parse.hpp"
+
+#include <charconv>
+#include <istream>
+#include <sstream>
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim {
+namespace {
+
+[[noreturn]] void bad_value(std::string_view key, std::string_view value) {
+  throw ConfigError("bad value '" + std::string(value) + "' for key '" +
+                    std::string(key) + "'");
+}
+
+int parse_int(std::string_view key, std::string_view v) {
+  int out = 0;
+  const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || p != v.data() + v.size()) bad_value(key, v);
+  return out;
+}
+
+double parse_double(std::string_view key, std::string_view v) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(std::string(v), &pos);
+    if (pos != v.size()) bad_value(key, v);
+    return out;
+  } catch (const std::exception&) {
+    bad_value(key, v);
+  }
+}
+
+bool parse_bool(std::string_view key, std::string_view v) {
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  bad_value(key, v);
+}
+
+std::vector<int> parse_dims(std::string_view key, std::string_view v) {
+  // "2x4" or "8x8x4".
+  std::vector<int> dims;
+  std::size_t start = 0;
+  while (start <= v.size()) {
+    const std::size_t x = v.find('x', start);
+    const std::string_view part =
+        v.substr(start, x == std::string_view::npos ? v.size() - start
+                                                    : x - start);
+    if (part.empty()) bad_value(key, v);
+    dims.push_back(parse_int(key, part));
+    if (x == std::string_view::npos) break;
+    start = x + 1;
+  }
+  return dims;
+}
+
+}  // namespace
+
+Scheme parse_scheme(std::string_view name) {
+  if (name == "SA" || name == "sa") return Scheme::SA;
+  if (name == "DR" || name == "dr") return Scheme::DR;
+  if (name == "PR" || name == "pr") return Scheme::PR;
+  if (name == "RG" || name == "rg") return Scheme::RG;
+  throw ConfigError("unknown scheme: " + std::string(name) +
+                    " (expected SA, DR, PR or RG)");
+}
+
+QueueOrg parse_queue_org(std::string_view name) {
+  if (name == "shared") return QueueOrg::Shared;
+  if (name == "per_type" || name == "qa" || name == "QA")
+    return QueueOrg::PerType;
+  throw ConfigError("unknown queue organization: " + std::string(name) +
+                    " (expected shared or per_type)");
+}
+
+const std::vector<ConfigKey>& known_keys() {
+  static const std::vector<ConfigKey> keys = {
+      {"k", "radix per dimension (default 8)"},
+      {"n", "dimensions (default 2)"},
+      {"dims", "mixed-radix override, e.g. 2x4 (overrides k/n)"},
+      {"torus", "torus (1) or mesh (0)"},
+      {"bristling", "processors per router"},
+      {"vcs", "virtual channels per physical link"},
+      {"buffers", "flit buffers per virtual channel"},
+      {"shared_adaptive",
+       "SA/DR: share channels beyond E_m across types ([21])"},
+      {"queue_size", "endpoint message-queue capacity (messages)"},
+      {"service_time", "memory-controller service latency (cycles)"},
+      {"mshr", "outstanding-transaction limit per node"},
+      {"queue_org", "endpoint queues: shared or per_type"},
+      {"scheme", "deadlock handling: SA, DR, PR or RG"},
+      {"pattern", "transaction pattern PAT100..PAT280"},
+      {"rate", "request injection rate (m1/node/cycle)"},
+      {"source_queue", "per-node source FIFO size"},
+      {"detect_threshold", "endpoint detection time-out T (cycles)"},
+      {"detect_mode", "deadlock detection: local or oracle (CWG)"},
+      {"router_timeout", "router deadlock-suspicion time-out (cycles)"},
+      {"cwg", "run the CWG ground-truth detector (0/1)"},
+      {"cwg_period", "CWG scan interval (cycles)"},
+      {"retry_backoff", "RG re-injection backoff (cycles)"},
+      {"tokens", "PR: concurrent recovery tokens (default 1)"},
+      {"seed", "random seed"},
+      {"warmup", "warmup cycles"},
+      {"measure", "measurement cycles"},
+      {"len_m1", "flits per m1 message"},
+      {"len_m2", "flits per m2 message"},
+      {"len_m3", "flits per m3 message"},
+      {"len_m4", "flits per m4 (reply) message"},
+  };
+  return keys;
+}
+
+void apply_config_option(SimConfig& cfg, std::string_view assignment) {
+  const std::size_t eq = assignment.find('=');
+  if (eq == std::string_view::npos) {
+    throw ConfigError("expected key=value, got '" + std::string(assignment) +
+                      "'");
+  }
+  const std::string_view key = assignment.substr(0, eq);
+  const std::string_view val = assignment.substr(eq + 1);
+
+  if (key == "k") cfg.k = parse_int(key, val);
+  else if (key == "n") cfg.n = parse_int(key, val);
+  else if (key == "dims") cfg.dims = parse_dims(key, val);
+  else if (key == "torus") cfg.torus = parse_bool(key, val);
+  else if (key == "bristling") cfg.bristling = parse_int(key, val);
+  else if (key == "vcs") cfg.vcs_per_link = parse_int(key, val);
+  else if (key == "buffers") cfg.flit_buffer_depth = parse_int(key, val);
+  else if (key == "shared_adaptive") cfg.shared_adaptive = parse_bool(key, val);
+  else if (key == "queue_size") cfg.msg_queue_size = parse_int(key, val);
+  else if (key == "service_time") cfg.msg_service_time = parse_int(key, val);
+  else if (key == "mshr") cfg.mshr_limit = parse_int(key, val);
+  else if (key == "queue_org") cfg.queue_org = parse_queue_org(val);
+  else if (key == "scheme") cfg.scheme = parse_scheme(val);
+  else if (key == "pattern") cfg.pattern = std::string(val);
+  else if (key == "rate") cfg.injection_rate = parse_double(key, val);
+  else if (key == "source_queue") cfg.source_queue_size = parse_int(key, val);
+  else if (key == "detect_threshold")
+    cfg.detection_threshold = parse_int(key, val);
+  else if (key == "detect_mode") {
+    if (val == "local") cfg.detection_mode = SimConfig::DetectionMode::Local;
+    else if (val == "oracle")
+      cfg.detection_mode = SimConfig::DetectionMode::Oracle;
+    else bad_value(key, val);
+  }
+  else if (key == "router_timeout") cfg.router_timeout = parse_int(key, val);
+  else if (key == "cwg") cfg.cwg_enabled = parse_bool(key, val);
+  else if (key == "cwg_period") cfg.cwg_period = parse_int(key, val);
+  else if (key == "retry_backoff") cfg.retry_backoff = parse_int(key, val);
+  else if (key == "tokens") cfg.num_tokens = parse_int(key, val);
+  else if (key == "seed")
+    cfg.seed = static_cast<std::uint64_t>(parse_double(key, val));
+  else if (key == "warmup")
+    cfg.warmup_cycles = static_cast<Cycle>(parse_int(key, val));
+  else if (key == "measure")
+    cfg.measure_cycles = static_cast<Cycle>(parse_int(key, val));
+  else if (key == "len_m1") cfg.lengths.flits[0] = parse_int(key, val);
+  else if (key == "len_m2") cfg.lengths.flits[1] = parse_int(key, val);
+  else if (key == "len_m3") cfg.lengths.flits[2] = parse_int(key, val);
+  else if (key == "len_m4") cfg.lengths.flits[3] = parse_int(key, val);
+  else
+    throw ConfigError("unknown configuration key: " + std::string(key));
+}
+
+void apply_config_options(SimConfig& cfg,
+                          const std::vector<std::string>& assignments) {
+  for (const auto& a : assignments) apply_config_option(cfg, a);
+}
+
+void apply_config_file(SimConfig& cfg, std::istream& is) {
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Trim whitespace.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    const std::string trimmed = line.substr(first, last - first + 1);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    try {
+      apply_config_option(cfg, trimmed);
+    } catch (const ConfigError& e) {
+      throw ConfigError("line " + std::to_string(lineno) + ": " + e.what());
+    }
+  }
+}
+
+std::string config_to_string(const SimConfig& cfg) {
+  std::ostringstream os;
+  if (cfg.dims.empty()) {
+    os << "k=" << cfg.k << "\nn=" << cfg.n << "\n";
+  } else {
+    os << "dims=";
+    for (std::size_t i = 0; i < cfg.dims.size(); ++i) {
+      if (i) os << 'x';
+      os << cfg.dims[i];
+    }
+    os << "\n";
+  }
+  os << "torus=" << (cfg.torus ? 1 : 0) << "\n"
+     << "bristling=" << cfg.bristling << "\n"
+     << "vcs=" << cfg.vcs_per_link << "\n"
+     << "buffers=" << cfg.flit_buffer_depth << "\n"
+     << "shared_adaptive=" << (cfg.shared_adaptive ? 1 : 0) << "\n"
+     << "queue_size=" << cfg.msg_queue_size << "\n"
+     << "service_time=" << cfg.msg_service_time << "\n"
+     << "mshr=" << cfg.mshr_limit << "\n"
+     << "queue_org="
+     << (cfg.queue_org == QueueOrg::PerType ? "per_type" : "shared") << "\n"
+     << "scheme=" << scheme_name(cfg.scheme) << "\n"
+     << "pattern=" << cfg.pattern << "\n"
+     << "rate=" << cfg.injection_rate << "\n"
+     << "source_queue=" << cfg.source_queue_size << "\n"
+     << "detect_threshold=" << cfg.detection_threshold << "\n"
+     << "detect_mode="
+     << (cfg.detection_mode == SimConfig::DetectionMode::Oracle ? "oracle"
+                                                                : "local")
+     << "\n"
+     << "router_timeout=" << cfg.router_timeout << "\n"
+     << "cwg=" << (cfg.cwg_enabled ? 1 : 0) << "\n"
+     << "cwg_period=" << cfg.cwg_period << "\n"
+     << "retry_backoff=" << cfg.retry_backoff << "\n"
+     << "tokens=" << cfg.num_tokens << "\n"
+     << "seed=" << cfg.seed << "\n"
+     << "warmup=" << cfg.warmup_cycles << "\n"
+     << "measure=" << cfg.measure_cycles << "\n"
+     << "len_m1=" << cfg.lengths.flits[0] << "\n"
+     << "len_m2=" << cfg.lengths.flits[1] << "\n"
+     << "len_m3=" << cfg.lengths.flits[2] << "\n"
+     << "len_m4=" << cfg.lengths.flits[3] << "\n";
+  return os.str();
+}
+
+}  // namespace mddsim

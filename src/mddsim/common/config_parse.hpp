@@ -1,0 +1,44 @@
+#pragma once
+// Key=value configuration parsing for SimConfig: lets the CLI tool, batch
+// scripts and config files name every simulation parameter without
+// recompiling.  Keys mirror the SimConfig field names; see `known_keys()`.
+//
+//   k=8 n=2 scheme=PR pattern=PAT271 vcs=4 rate=0.01
+//   dims=2x4 bristling=2 queue_org=per_type
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mddsim/sim/config.hpp"
+
+namespace mddsim {
+
+/// Applies one "key=value" assignment to `cfg`.  Throws ConfigError on an
+/// unknown key or an unparsable value.
+void apply_config_option(SimConfig& cfg, std::string_view assignment);
+
+/// Applies a list of assignments (e.g. argv tokens) in order.
+void apply_config_options(SimConfig& cfg,
+                          const std::vector<std::string>& assignments);
+
+/// Parses a config file: one assignment per line; blank lines and lines
+/// starting with '#' are ignored.
+void apply_config_file(SimConfig& cfg, std::istream& is);
+
+/// All recognized keys with a one-line description (for --help output).
+struct ConfigKey {
+  std::string_view key;
+  std::string_view description;
+};
+const std::vector<ConfigKey>& known_keys();
+
+/// Renders the effective configuration, one assignment per line, in a form
+/// `apply_config_file` can read back.
+std::string config_to_string(const SimConfig& cfg);
+
+/// Parses scheme / queue-org names ("SA", "per_type", ...).
+Scheme parse_scheme(std::string_view name);
+QueueOrg parse_queue_org(std::string_view name);
+
+}  // namespace mddsim

@@ -1,0 +1,54 @@
+#pragma once
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We implement xoshiro256** (Blackman & Vigna) rather than relying on
+// std::mt19937 so that simulation results are bit-reproducible across
+// standard-library implementations, and because the generator is small and
+// fast enough to embed one per traffic source.
+
+#include <cstdint>
+#include <limits>
+
+namespace mddsim {
+
+/// xoshiro256** pseudo-random generator.  Satisfies the essentials of
+/// UniformRandomBitGenerator so it can also feed <random> adaptors.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator state from a 64-bit seed via splitmix64, which
+  /// guarantees a non-zero, well-mixed state for any seed value.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t operator()();
+
+  /// Uniform integer in [0, bound).  `bound` must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Derives an independent child generator; used to give each node its own
+  /// stream so per-node behaviour is invariant to node iteration order.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mddsim

@@ -1,0 +1,178 @@
+#include "mddsim/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::reset() { *this = RunningStat{}; }
+
+double RunningStat::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double nt = na + nb;
+  m2_ = m2_ + o.m2_ + delta * delta * na * nb / nt;
+  mean_ = (na * mean_ + nb * o.mean_) / nt;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+QuantileSampler::QuantileSampler(std::size_t cap, std::uint64_t seed)
+    : cap_(cap), state_(seed) {
+  MDD_CHECK(cap > 0);
+}
+
+void QuantileSampler::add(double x) {
+  ++n_;
+  if (samples_.size() < cap_) {
+    samples_.push_back(x);
+    sorted_ = false;
+    return;
+  }
+  // Reservoir sampling: replace a uniform position with probability cap/n.
+  state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const std::uint64_t pos = z % n_;
+  if (pos < cap_) {
+    samples_[static_cast<std::size_t>(pos)] = x;
+    sorted_ = false;
+  }
+}
+
+double QuantileSampler::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      clamped * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[idx];
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins), counts_(bins, 0) {
+  MDD_CHECK(bins > 0);
+  MDD_CHECK(hi > lo);
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  int i = static_cast<int>((x - lo_) / width_);
+  i = std::clamp(i, 0, bins() - 1);
+  counts_[static_cast<std::size_t>(i)] += weight;
+  total_ += weight;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+double Histogram::bin_lo(int i) const { return lo_ + width_ * i; }
+double Histogram::bin_hi(int i) const { return lo_ + width_ * (i + 1); }
+
+double Histogram::fraction(int i) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(bin_count(i)) /
+                           static_cast<double>(total_);
+}
+
+double Histogram::fraction_below(double x) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (int i = 0; i < bins(); ++i) {
+    if (bin_hi(i) <= x) {
+      acc += bin_count(i);
+    } else {
+      break;
+    }
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  for (int i = 0; i < bins(); ++i) {
+    if (bin_count(i) == 0) continue;
+    os << bin_lo(i) << "-" << bin_hi(i) << ": " << fraction(i) << "\n";
+  }
+  return os.str();
+}
+
+LoadHistogram::LoadHistogram(Cycle epoch_cycles, double capacity, int nodes,
+                             int bins)
+    : epoch_cycles_(epoch_cycles),
+      capacity_(capacity),
+      nodes_(nodes),
+      hist_(0.0, 1.0, bins) {
+  MDD_CHECK(epoch_cycles > 0);
+  MDD_CHECK(capacity > 0.0);
+  MDD_CHECK(nodes > 0);
+}
+
+void LoadHistogram::close_epochs_until(Cycle now) {
+  while (now >= epoch_start_ + epoch_cycles_) {
+    const double load =
+        static_cast<double>(epoch_flits_) /
+        (static_cast<double>(epoch_cycles_) * nodes_ * capacity_);
+    hist_.add(load);
+    load_stat_.add(load);
+    ++epochs_;
+    epoch_start_ += epoch_cycles_;
+    epoch_flits_ = 0;
+  }
+}
+
+void LoadHistogram::record_injection(Cycle now, std::uint64_t flits) {
+  close_epochs_until(now);
+  epoch_flits_ += flits;
+}
+
+void LoadHistogram::finish(Cycle now) {
+  close_epochs_until(now);
+  if (now > epoch_start_ && epoch_flits_ > 0) {
+    const double load =
+        static_cast<double>(epoch_flits_) /
+        (static_cast<double>(now - epoch_start_) * nodes_ * capacity_);
+    hist_.add(load);
+    load_stat_.add(load);
+    ++epochs_;
+    epoch_flits_ = 0;
+    epoch_start_ = now;
+  }
+}
+
+}  // namespace mddsim

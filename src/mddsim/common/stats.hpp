@@ -1,0 +1,130 @@
+#pragma once
+// Measurement primitives: running moments, bounded histograms, and the
+// time-bucketed load histogram used to reproduce the paper's Figure 6.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+
+namespace mddsim {
+
+/// Accumulates count / mean / min / max / variance of a stream of samples
+/// in one pass (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance; 0 when count < 2.
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStat& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Reservoir of samples supporting exact quantiles for moderately sized
+/// streams: keeps every sample up to a cap, then switches to uniform
+/// reservoir sampling (deterministic, seeded) so long runs stay bounded.
+class QuantileSampler {
+ public:
+  explicit QuantileSampler(std::size_t cap = 1 << 16,
+                           std::uint64_t seed = 0x51ab5eedULL);
+
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  bool empty() const { return samples_.empty(); }
+
+  /// q in [0,1]; returns the q-quantile of the retained samples (exact when
+  /// fewer than `cap` samples were added).  0 on an empty sampler.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  std::size_t cap_;
+  std::uint64_t n_ = 0;
+  std::uint64_t state_;  // splitmix for reservoir decisions
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped into the
+/// first/last bin so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x, std::uint64_t weight = 1);
+  void reset();
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  std::uint64_t bin_count(int i) const { return counts_.at(i); }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(int i) const;
+  double bin_hi(int i) const;
+  /// Fraction of all samples falling in bin i (0 if empty histogram).
+  double fraction(int i) const;
+  /// Fraction of samples with value < x.
+  double fraction_below(double x) const;
+
+  /// Renders "lo-hi: fraction" lines, one per non-empty bin.
+  std::string to_string() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Tracks network load (fraction of capacity) over time in coarse epochs,
+/// producing the "% of execution time spent at each load level"
+/// distribution of the paper's Figure 6.
+class LoadHistogram {
+ public:
+  /// @param epoch_cycles  length of one sampling epoch
+  /// @param capacity_flits_per_node_cycle  normalization constant (1.0 for
+  ///        a k-ary 2-cube torus under uniform traffic)
+  LoadHistogram(Cycle epoch_cycles, double capacity_flits_per_node_cycle,
+                int nodes, int bins = 20);
+
+  /// Records `flits` flits injected at cycle `now`; closes epochs as time
+  /// advances.
+  void record_injection(Cycle now, std::uint64_t flits);
+
+  /// Flushes the current (possibly partial) epoch.
+  void finish(Cycle now);
+
+  const Histogram& histogram() const { return hist_; }
+  std::uint64_t epochs() const { return epochs_; }
+  double mean_load() const { return load_stat_.mean(); }
+  double max_load() const { return load_stat_.max(); }
+
+ private:
+  void close_epochs_until(Cycle now);
+
+  Cycle epoch_cycles_;
+  double capacity_;
+  int nodes_;
+  Cycle epoch_start_ = 0;
+  std::uint64_t epoch_flits_ = 0;
+  std::uint64_t epochs_ = 0;
+  Histogram hist_;
+  RunningStat load_stat_;
+};
+
+}  // namespace mddsim

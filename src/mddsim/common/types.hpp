@@ -1,0 +1,29 @@
+#pragma once
+// Fundamental identifier and counter types used throughout mddsim.
+
+#include <cstdint>
+
+namespace mddsim {
+
+/// Simulation time, measured in network clock cycles.
+using Cycle = std::uint64_t;
+
+/// Identifies a network endpoint (a network interface / processing node).
+/// With bristling factor B, node ids are `router_id * B + slot`.
+using NodeId = std::int32_t;
+
+/// Identifies a router in the interconnect fabric.
+using RouterId = std::int32_t;
+
+/// Globally unique packet (message) identifier.
+using PacketId = std::uint64_t;
+
+/// Globally unique data-transaction identifier.  A transaction groups the
+/// whole message dependency chain triggered by one original request.
+using TxnId = std::uint64_t;
+
+/// Sentinel for "no node / no router".
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr RouterId kInvalidRouter = -1;
+
+}  // namespace mddsim

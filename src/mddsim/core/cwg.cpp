@@ -1,0 +1,268 @@
+#include "mddsim/core/cwg.hpp"
+
+#include <algorithm>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/sim/network.hpp"
+
+namespace mddsim {
+
+CwgDetector::CwgDetector(const Network& net) : net_(net) {
+  const Topology& topo = net.topology();
+  ports_per_router_ = topo.num_net_ports() + topo.bristling();
+  vcs_ = net.layout().total_vcs;
+  slots_ = net.ni(0).num_queue_slots();
+
+  router_vc_base_ = 0;
+  const int router_vcs = topo.num_routers() * ports_per_router_ * vcs_;
+  eject_base_ = router_vc_base_ + router_vcs;
+  const int eject_vcs = topo.num_nodes() * vcs_;
+  input_q_base_ = eject_base_ + eject_vcs;
+  output_q_base_ = input_q_base_ + topo.num_nodes() * slots_;
+  num_vertices_ = output_q_base_ + topo.num_nodes() * slots_;
+}
+
+int CwgDetector::vertex_router_vc(RouterId r, int port, int vc) const {
+  return router_vc_base_ + (r * ports_per_router_ + port) * vcs_ + vc;
+}
+int CwgDetector::vertex_eject(NodeId node, int vc) const {
+  return eject_base_ + node * vcs_ + vc;
+}
+int CwgDetector::vertex_input_q(NodeId node, int slot) const {
+  return input_q_base_ + node * slots_ + slot;
+}
+int CwgDetector::vertex_output_q(NodeId node, int slot) const {
+  return output_q_base_ + node * slots_ + slot;
+}
+
+void CwgDetector::build(std::vector<std::vector<int>>& adj) const {
+  adj.assign(static_cast<std::size_t>(num_vertices_), {});
+  const Topology& topo = net_.topology();
+  const int net_ports = topo.num_net_ports();
+
+  // Downstream vertex of a router output (port, vc).
+  auto downstream = [&](RouterId r, int port, int vc) {
+    if (port < net_ports) {
+      const int dim = port / 2, dir = port % 2;
+      const RouterId nr = topo.neighbor(r, dim, dir);
+      MDD_CHECK(nr != kInvalidRouter);
+      return vertex_router_vc(nr, dim * 2 + (1 - dir), vc);
+    }
+    return vertex_eject(topo.node_of(r, port - net_ports), vc);
+  };
+
+  std::vector<RouteCandidate> cands;
+  for (RouterId r = 0; r < topo.num_routers(); ++r) {
+    const Router& router = net_.router(r);
+    for (int p = 0; p < router.num_inputs(); ++p) {
+      for (int v = 0; v < vcs_; ++v) {
+        const InputVc& ivc = router.input(p, v);
+        if (ivc.buffer.empty()) continue;
+        const int self = vertex_router_vc(r, p, v);
+        if (ivc.route_valid) {
+          const OutputVc& ovc = router.output(ivc.out_port, ivc.out_vc);
+          if (ovc.credits > 0) continue;  // will advance: not blocked
+          adj[static_cast<std::size_t>(self)].push_back(
+              downstream(r, ivc.out_port, ivc.out_vc));
+          continue;
+        }
+        const Flit& f = ivc.buffer.front();
+        if (!f.is_head()) continue;  // body awaiting its head's VC: no edge
+        net_.routing().candidates(r, *f.pkt, cands);
+        bool any_available = false;
+        for (const auto& c : cands) {
+          const OutputVc& ovc = router.output(c.port, c.vc);
+          if (!ovc.busy && ovc.credits > 0) {
+            any_available = true;
+            break;
+          }
+        }
+        if (any_available) continue;
+        for (const auto& c : cands) {
+          adj[static_cast<std::size_t>(self)].push_back(downstream(r, c.port, c.vc));
+        }
+      }
+    }
+  }
+
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const NetworkInterface& ni = net_.ni(n);
+    // Ejection channels waiting for input-queue admission.
+    for (int v = 0; v < vcs_; ++v) {
+      const int slot = ni.ejection_wait_slot(v);
+      if (slot < 0) continue;
+      adj[static_cast<std::size_t>(vertex_eject(n, v))].push_back(
+          vertex_input_q(n, slot));
+    }
+    // Input-queue heads waiting for output-queue space.
+    std::vector<int> out_slots;
+    for (int s = 0; s < slots_; ++s) {
+      if (!ni.input_head_blocked(s, out_slots)) continue;
+      for (int os : out_slots) {
+        adj[static_cast<std::size_t>(vertex_input_q(n, s))].push_back(
+            vertex_output_q(n, os));
+      }
+    }
+    // Output-queue heads waiting for injection channels.
+    std::vector<int> inj_vcs;
+    const RouterId r = topo.router_of_node(n);
+    const int inj_port = net_ports + topo.slot_of_node(n);
+    for (int s = 0; s < slots_; ++s) {
+      if (!ni.output_blocked(s, inj_vcs)) continue;
+      for (int v : inj_vcs) {
+        adj[static_cast<std::size_t>(vertex_output_q(n, s))].push_back(
+            vertex_router_vc(r, inj_port, v));
+      }
+    }
+  }
+}
+
+namespace {
+
+// Iterative Tarjan strongly-connected components.
+struct Tarjan {
+  const std::vector<std::vector<int>>& adj;
+  std::vector<int> index, low, comp;
+  std::vector<bool> on_stack;
+  std::vector<int> stack;
+  int next_index = 0, next_comp = 0;
+
+  explicit Tarjan(const std::vector<std::vector<int>>& a)
+      : adj(a),
+        index(a.size(), -1),
+        low(a.size(), 0),
+        comp(a.size(), -1),
+        on_stack(a.size(), false) {}
+
+  void run(int root) {
+    struct Entry {
+      int v;
+      std::size_t child;
+    };
+    std::vector<Entry> work;
+    work.push_back({root, 0});
+    while (!work.empty()) {
+      Entry& e = work.back();
+      const int v = e.v;
+      if (e.child == 0) {
+        index[static_cast<std::size_t>(v)] = low[static_cast<std::size_t>(v)] = next_index++;
+        stack.push_back(v);
+        on_stack[static_cast<std::size_t>(v)] = true;
+      }
+      bool descended = false;
+      while (e.child < adj[static_cast<std::size_t>(v)].size()) {
+        const int w = adj[static_cast<std::size_t>(v)][e.child++];
+        if (index[static_cast<std::size_t>(w)] < 0) {
+          work.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<std::size_t>(w)]) {
+          low[static_cast<std::size_t>(v)] =
+              std::min(low[static_cast<std::size_t>(v)], index[static_cast<std::size_t>(w)]);
+        }
+      }
+      if (descended) continue;
+      if (low[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+        for (;;) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          comp[static_cast<std::size_t>(w)] = next_comp;
+          if (w == v) break;
+        }
+        ++next_comp;
+      }
+      work.pop_back();
+      if (!work.empty()) {
+        const int parent = work.back().v;
+        low[static_cast<std::size_t>(parent)] = std::min(
+            low[static_cast<std::size_t>(parent)], low[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Knot> CwgDetector::find_knots() const {
+  std::vector<std::vector<int>> adj;
+  build(adj);
+
+  Tarjan t(adj);
+  for (int v = 0; v < num_vertices_; ++v) {
+    if (t.index[static_cast<std::size_t>(v)] < 0 &&
+        !adj[static_cast<std::size_t>(v)].empty())
+      t.run(v);
+  }
+
+  // Group vertices by component; only components reached by Tarjan matter.
+  std::vector<std::vector<int>> members(static_cast<std::size_t>(t.next_comp));
+  for (int v = 0; v < num_vertices_; ++v) {
+    if (t.comp[static_cast<std::size_t>(v)] >= 0)
+      members[static_cast<std::size_t>(t.comp[static_cast<std::size_t>(v)])].push_back(v);
+  }
+
+  std::vector<bool> escapes(static_cast<std::size_t>(t.next_comp), false);
+  std::vector<bool> has_edge(static_cast<std::size_t>(t.next_comp), false);
+  for (int v = 0; v < num_vertices_; ++v) {
+    const int cv = t.comp[static_cast<std::size_t>(v)];
+    if (cv < 0) continue;
+    for (int w : adj[static_cast<std::size_t>(v)]) {
+      const int cw = t.comp[static_cast<std::size_t>(w)];
+      if (cw == cv) {
+        has_edge[static_cast<std::size_t>(cv)] = true;
+      } else {
+        escapes[static_cast<std::size_t>(cv)] = true;
+      }
+    }
+  }
+
+  std::vector<Knot> knots;
+  for (int c = 0; c < t.next_comp; ++c) {
+    if (escapes[static_cast<std::size_t>(c)] || !has_edge[static_cast<std::size_t>(c)])
+      continue;
+    if (members[static_cast<std::size_t>(c)].size() < 2) continue;
+    Knot k;
+    k.vertices = members[static_cast<std::size_t>(c)];
+    std::sort(k.vertices.begin(), k.vertices.end());
+    knots.push_back(std::move(k));
+  }
+  return knots;
+}
+
+std::vector<std::pair<NodeId, int>> CwgDetector::input_queue_members(
+    const Knot& knot) const {
+  std::vector<std::pair<NodeId, int>> out;
+  for (int v : knot.vertices) {
+    if (v < input_q_base_ || v >= output_q_base_) continue;
+    const int rel = v - input_q_base_;
+    out.emplace_back(static_cast<NodeId>(rel / slots_), rel % slots_);
+  }
+  return out;
+}
+
+std::uint64_t CwgDetector::scan() {
+  std::vector<Knot> knots = find_knots();
+  std::set<std::vector<int>> current;
+  std::uint64_t new_deadlocks = 0;
+  for (auto& k : knots) {
+    current.insert(k.vertices);
+    if (prev_knots_.count(k.vertices) && !counted_.count(k.vertices)) {
+      ++new_deadlocks;
+      counted_.insert(k.vertices);
+    }
+  }
+  // Forget counted knots that have dissolved.
+  for (auto it = counted_.begin(); it != counted_.end();) {
+    if (!current.count(*it)) {
+      it = counted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  prev_knots_ = std::move(current);
+  return new_deadlocks;
+}
+
+}  // namespace mddsim

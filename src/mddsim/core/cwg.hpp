@@ -1,0 +1,74 @@
+#pragma once
+// Channel-wait-for-graph (CWG) deadlock detection (paper §4.1), augmented
+// with message-level activity at the network interfaces: vertices are
+// network resources (router input VCs, ejection channels, endpoint message
+// queues) and a directed edge u → v means "the occupant of u is blocked and
+// needs v, which is currently unavailable".  A deadlock is a knot: a
+// strongly connected component containing at least one edge from which no
+// edge escapes — every alternative of every blocked occupant lies inside.
+//
+// Edges are only added when *all* of an occupant's alternatives are
+// unavailable, so an isolated snapshot knot is a genuine deadlock up to
+// single-cycle transients (credits in flight); callers should require a
+// knot to persist across consecutive scans, as `CwgDetector::scan` does.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+
+namespace mddsim {
+
+class Network;
+
+/// One detected knot: the participating resource vertices.
+struct Knot {
+  std::vector<int> vertices;  ///< sorted vertex ids (stable signature)
+};
+
+class CwgDetector {
+ public:
+  explicit CwgDetector(const Network& net);
+
+  /// Builds the wait-for graph for the current network state and returns
+  /// all knots (no persistence filtering).
+  std::vector<Knot> find_knots() const;
+
+  /// Periodic scan with persistence: returns the number of *new* deadlocks,
+  /// i.e. knots whose signature was also present in the previous scan and
+  /// has not been counted yet.
+  std::uint64_t scan();
+
+  /// Number of vertices in the graph (for tests).
+  int num_vertices() const { return num_vertices_; }
+
+  /// Input-queue vertices of a knot, decoded to (node, queue slot) — the
+  /// interfaces oracle detection flags for token capture.
+  std::vector<std::pair<NodeId, int>> input_queue_members(
+      const Knot& knot) const;
+
+  // --- Vertex numbering (exposed for tests). -------------------------------
+  int vertex_router_vc(RouterId r, int port, int vc) const;
+  int vertex_eject(NodeId node, int vc) const;
+  int vertex_input_q(NodeId node, int slot) const;
+  int vertex_output_q(NodeId node, int slot) const;
+
+ private:
+  void build(std::vector<std::vector<int>>& adj) const;
+
+  const Network& net_;
+  int num_vertices_ = 0;
+  int router_vc_base_ = 0;
+  int eject_base_ = 0;
+  int input_q_base_ = 0;
+  int output_q_base_ = 0;
+  int ports_per_router_ = 0;
+  int vcs_ = 0;
+  int slots_ = 0;
+
+  std::set<std::vector<int>> prev_knots_;
+  std::set<std::vector<int>> counted_;
+};
+
+}  // namespace mddsim

@@ -1,0 +1,253 @@
+#include "mddsim/core/recovery.hpp"
+
+#include <algorithm>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/sim/network.hpp"
+
+namespace mddsim {
+
+RecoveryEngine::RecoveryEngine(Network& net, int start_stop) : net_(net) {
+  token_stop_ = start_stop % num_stops();
+  capture_stop_ = token_stop_;
+}
+
+int RecoveryEngine::num_stops() const {
+  return net_.topology().num_routers() * (1 + net_.topology().bristling());
+}
+
+int RecoveryEngine::stop_of_router(RouterId r) const {
+  return net_.topology().ring_pos(r) * (1 + net_.topology().bristling());
+}
+
+int RecoveryEngine::stop_of_node(NodeId n) const {
+  const auto& topo = net_.topology();
+  return stop_of_router(topo.router_of_node(n)) + 1 + topo.slot_of_node(n);
+}
+
+bool RecoveryEngine::stop_is_router(int stop) const {
+  return stop % (1 + net_.topology().bristling()) == 0;
+}
+
+RouterId RecoveryEngine::router_at_stop(int stop) const {
+  return net_.topology().ring_at(stop / (1 + net_.topology().bristling()));
+}
+
+NodeId RecoveryEngine::node_at_stop(int stop) const {
+  const auto& topo = net_.topology();
+  const RouterId r = router_at_stop(stop);
+  const int slot = stop % (1 + topo.bristling()) - 1;
+  return topo.node_of(r, slot);
+}
+
+RouterId RecoveryEngine::frame_router(const Frame& f) const {
+  return f.node == kInvalidNode ? f.router
+                                : net_.topology().router_of_node(f.node);
+}
+
+void RecoveryEngine::step(Cycle now) {
+  switch (state_) {
+    case State::Circulate:
+      advance_token(now);
+      break;
+    case State::CaptureWaitMc:
+    case State::ReceiverWaitMc: {
+      NetworkInterface& ni = net_.ni(wait_ni_);
+      if (!ni.mc_idle(now)) break;
+      ni.occupy_mc(now + static_cast<Cycle>(net_.config().msg_service_time));
+      timer_ = now + static_cast<Cycle>(net_.config().msg_service_time);
+      state_ = state_ == State::CaptureWaitMc ? State::CaptureServicing
+                                              : State::ReceiverServicing;
+      break;
+    }
+    case State::CaptureServicing: {
+      if (now < timer_) break;
+      NetworkInterface& ni = net_.ni(wait_ni_);
+      std::vector<OutMsg> outs = ni.service_now(work_pkt_, now);
+      work_pkt_.reset();
+      Frame f;
+      f.node = wait_ni_;
+      f.pending.assign(outs.begin(), outs.end());
+      f.force_lane = true;
+      stack_.push_back(std::move(f));
+      send_next(now);
+      break;
+    }
+    case State::ReceiverServicing: {
+      if (now < timer_) break;
+      NetworkInterface& ni = net_.ni(wait_ni_);
+      std::vector<OutMsg> outs = ni.service_now(work_pkt_, now);
+      work_pkt_.reset();
+      Frame f;
+      f.node = wait_ni_;
+      f.pending.assign(outs.begin(), outs.end());
+      f.force_lane = false;
+      stack_.push_back(std::move(f));
+      send_next(now);
+      break;
+    }
+    case State::LaneTransfer:
+      if (now < timer_) break;
+      deliver(now);
+      break;
+    case State::TokenReturn:
+      if (now < timer_) break;
+      send_next(now);
+      break;
+  }
+}
+
+void RecoveryEngine::advance_token(Cycle now) {
+  token_stop_ = (token_stop_ + 1) % num_stops();
+  try_capture(now);
+}
+
+void RecoveryEngine::release_and_recheck(Cycle now) {
+  release_token();
+  // The paper releases the token for re-circulation at the capturing node;
+  // if that node still satisfies the detection conditions it recaptures
+  // immediately rather than waiting a full ring revolution.
+  try_capture(now);
+}
+
+void RecoveryEngine::try_capture(Cycle now) {
+  if (stop_is_router(token_stop_)) {
+    const RouterId r = router_at_stop(token_stop_);
+    PacketPtr victim = net_.router(r).blocked_victim(now);
+    if (victim) begin_router_capture(now, r, victim);
+    return;
+  }
+  const NodeId n = node_at_stop(token_stop_);
+  const int slot = net_.ni(n).detect(now);
+  if (slot >= 0) begin_ni_capture(now, n, slot);
+}
+
+void RecoveryEngine::begin_ni_capture(Cycle now, NodeId node, int slot) {
+  ++captures_;
+  ++net_.counters().rescues;
+  ++net_.counters().detections;
+  if (net_.observer()) net_.observer()->on_detection(node, now);
+  capture_stop_ = token_stop_;
+  work_pkt_ = net_.ni(node).rescue_pop_head(slot, now);
+  work_pkt_->rescued = true;
+  wait_ni_ = node;
+  state_ = State::CaptureWaitMc;
+}
+
+void RecoveryEngine::begin_router_capture(Cycle now, RouterId r,
+                                          const PacketPtr& victim) {
+  ++captures_;
+  ++net_.counters().rescues;
+  capture_stop_ = token_stop_;
+  victim->rescued = true;
+
+  // Extract every flit of the victim from the fabric, freeing the virtual
+  // channels it held (the Disha "switch to the DB lane").
+  int removed = 0;
+  for (RouterId rr = 0; rr < net_.topology().num_routers(); ++rr) {
+    removed += net_.router(rr).remove_packet(victim, net_, now);
+  }
+  net_.ni(victim->src).abort_injection(victim);
+  MDD_CHECK_MSG(removed > 0, "router capture without buffered flits");
+
+  // Stream through the DB lane to the destination.
+  stack_.clear();
+  Frame base;
+  base.node = kInvalidNode;
+  base.router = r;
+  stack_.push_back(base);
+  work_pkt_ = victim;
+  receiver_ = victim->dst;
+  ++net_.counters().rescued_msgs;
+  const int dist = net_.topology().ring_distance(
+      r, net_.topology().router_of_node(victim->dst));
+  timer_ = now + static_cast<Cycle>(std::max(1, dist)) +
+           static_cast<Cycle>(victim->len_flits);
+  state_ = State::LaneTransfer;
+}
+
+void RecoveryEngine::send_next(Cycle now) {
+  for (;;) {
+    if (stack_.empty()) {
+      release_and_recheck(now);
+      return;
+    }
+    Frame& f = stack_.back();
+    // Receiver-side frames may place subordinates straight into the output
+    // queue (Appendix case 1); capture-side frames always use the lane.
+    if (!f.force_lane && f.node != kInvalidNode) {
+      while (!f.pending.empty() &&
+             net_.ni(f.node).try_enqueue_output(f.pending.front(), now)) {
+        f.pending.pop_front();
+      }
+    }
+    if (f.pending.empty()) {
+      const RouterId from = frame_router(f);
+      stack_.pop_back();
+      if (stack_.empty()) {
+        // Token is back at the original capturer: release it.
+        release_and_recheck(now);
+        return;
+      }
+      const RouterId to = frame_router(stack_.back());
+      const int dist = net_.topology().ring_distance(from, to);
+      timer_ = now + static_cast<Cycle>(std::max(1, dist));
+      state_ = State::TokenReturn;
+      return;
+    }
+    // Rescue the next pending subordinate over the DB/DMB lane.
+    OutMsg m = f.pending.front();
+    f.pending.pop_front();
+    PacketPtr pkt = net_.make_packet(m, now);
+    pkt->rescued = true;
+    ++net_.counters().rescued_msgs;
+    work_pkt_ = std::move(pkt);
+    receiver_ = m.dst;
+    const RouterId from = frame_router(f);
+    const RouterId to = net_.topology().router_of_node(m.dst);
+    const int dist = net_.topology().ring_distance(from, to);
+    timer_ = now + static_cast<Cycle>(std::max(1, dist)) +
+             static_cast<Cycle>(work_pkt_->len_flits);
+    state_ = State::LaneTransfer;
+    return;
+  }
+}
+
+void RecoveryEngine::deliver(Cycle now) {
+  NetworkInterface& ni = net_.ni(receiver_);
+  PacketPtr pkt = std::move(work_pkt_);
+  work_pkt_.reset();
+
+  if (is_terminating(pkt->type)) {
+    // Guaranteed to sink (preallocated MSHR), possibly via preemption —
+    // modelled as immediate consumption (Appendix case 2).
+    ni.sink_now(pkt, now);
+  } else if (ni.try_enqueue_input(pkt, now)) {
+    // Delivered to the input queue: leaves recovery resources.
+  } else {
+    // Preempt the controller after its current operation (case 3/4).
+    work_pkt_ = std::move(pkt);
+    wait_ni_ = receiver_;
+    state_ = State::ReceiverWaitMc;
+    return;
+  }
+
+  // Token returns to the sender (top of stack).
+  MDD_CHECK(!stack_.empty());
+  const RouterId from = net_.topology().router_of_node(receiver_);
+  const RouterId to = frame_router(stack_.back());
+  const int dist = net_.topology().ring_distance(from, to);
+  timer_ = now + static_cast<Cycle>(std::max(1, dist));
+  state_ = State::TokenReturn;
+}
+
+void RecoveryEngine::release_token() {
+  stack_.clear();
+  work_pkt_.reset();
+  receiver_ = kInvalidNode;
+  wait_ni_ = kInvalidNode;
+  token_stop_ = capture_stop_;
+  state_ = State::Circulate;
+}
+
+}  // namespace mddsim

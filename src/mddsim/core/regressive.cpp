@@ -1,0 +1,36 @@
+#include "mddsim/core/regressive.hpp"
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/sim/network.hpp"
+
+namespace mddsim {
+
+RegressiveEngine::RegressiveEngine(Network& net) : net_(net) {}
+
+void RegressiveEngine::step(Cycle now) {
+  const int routers = net_.topology().num_routers();
+  for (int i = 0; i < routers; ++i) {
+    const RouterId r = (scan_rr_ + i) % routers;
+    PacketPtr victim = net_.router(r).blocked_victim(now);
+    if (!victim) continue;
+    scan_rr_ = (r + 1) % routers;
+
+    // Abort: remove every flit from the fabric and cancel any in-progress
+    // injection; the message restarts from its source after the backoff.
+    victim->rescued = true;  // guards against double-selection this cycle
+    int removed = 0;
+    for (RouterId rr = 0; rr < routers; ++rr) {
+      removed += net_.router(rr).remove_packet(victim, net_, now);
+    }
+    net_.ni(victim->src).abort_injection(victim);
+    MDD_CHECK_MSG(removed > 0, "kill of a packet with no buffered flits");
+
+    ++kills_;
+    ++net_.counters().retries;
+    net_.ni(victim->src).schedule_retry(
+        victim, now + static_cast<Cycle>(net_.config().retry_backoff));
+    return;  // one kill per cycle
+  }
+}
+
+}  // namespace mddsim

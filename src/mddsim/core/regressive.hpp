@@ -1,0 +1,30 @@
+#pragma once
+// Regressive "abort-and-retry" recovery (paper §2.2, evaluated here as an
+// extension/ablation): a packet whose header has been blocked at a router
+// beyond the timeout is killed — all of its flits are removed from the
+// fabric — and re-injected at its source after a backoff delay.  Unlike
+// progressive recovery this increases the number of messages (network
+// traversals) needed per data transaction.
+
+#include "mddsim/common/types.hpp"
+
+namespace mddsim {
+
+class Network;
+
+class RegressiveEngine {
+ public:
+  explicit RegressiveEngine(Network& net);
+
+  /// Kills at most one timed-out packet per cycle.
+  void step(Cycle now);
+
+  std::uint64_t kills() const { return kills_; }
+
+ private:
+  Network& net_;
+  RouterId scan_rr_ = 0;
+  std::uint64_t kills_ = 0;
+};
+
+}  // namespace mddsim

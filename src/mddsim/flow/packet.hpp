@@ -1,0 +1,63 @@
+#pragma once
+// Packets and flits.  Messages and packets are interchangeable for deadlock
+// purposes (paper footnote 1); we simulate one packet per message, divided
+// into flits for wormhole switching.
+
+#include <memory>
+
+#include "mddsim/common/types.hpp"
+#include "mddsim/protocol/message.hpp"
+
+namespace mddsim {
+
+/// A routable message.  Owned via shared_ptr: flits referencing the packet
+/// are spread across buffers, and the packet outlives them until consumed.
+struct Packet {
+  PacketId id = 0;
+  TxnId txn = 0;
+  int chain_pos = 0;  ///< index of this message within its chain script
+  MsgType type = MsgType::M1;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int len_flits = 1;
+
+  // Resource class (logical network) this packet travels on; fixed at
+  // creation from the scheme's ClassMap.
+  int vc_class = 0;
+
+  // Dateline state for escape-channel (DOR) routing: which dimension the
+  // packet is currently traversing and whether it has crossed that
+  // dimension's wraparound link.
+  int dor_dim = -1;
+  bool crossed_dateline = false;
+
+  // Lifecycle timestamps.
+  Cycle gen_cycle = 0;      ///< message created (entered endpoint queues)
+  Cycle inject_cycle = 0;   ///< head flit entered the network
+  Cycle eject_cycle = 0;    ///< tail flit reached the destination interface
+  Cycle consume_cycle = 0;  ///< processed/sunk by the memory controller
+
+  // Bookkeeping flags.
+  bool measured = false;   ///< generated during the measurement window
+  bool rescued = false;    ///< was routed over the deadlock-recovery lane
+  bool deflected = false;  ///< (DR) removed from a queue and backed off
+  bool retried = false;    ///< (RG) killed and re-injected at least once
+
+  /// True for messages that are guaranteed to sink at their destination via
+  /// preallocated endpoint resources (terminating replies returning to the
+  /// transaction's requester, incl. backoff replies — paper §2.2/§3).
+  bool sinks_unconditionally() const { return is_terminating(type); }
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/// One flow-control unit of a packet.
+struct Flit {
+  PacketPtr pkt;
+  int seq = 0;
+
+  bool is_head() const { return seq == 0; }
+  bool is_tail() const { return seq == pkt->len_flits - 1; }
+};
+
+}  // namespace mddsim

@@ -1,0 +1,574 @@
+#include "mddsim/netif/netif.hpp"
+
+#include <algorithm>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/sim/network.hpp"
+
+namespace mddsim {
+
+NetworkInterface::NetworkInterface(NodeId id, const SimConfig& cfg,
+                                   const ClassMap& cmap, const ClassMap& qmap,
+                                   const VcLayout& layout,
+                                   EndpointProtocol& protocol, Network& net)
+    : id_(id),
+      cfg_(cfg),
+      cmap_(cmap),
+      qmap_(qmap),
+      layout_(layout),
+      protocol_(protocol),
+      net_(net) {
+  const int slots = qmap_.num_classes;
+  input_q_.resize(static_cast<std::size_t>(slots));
+  input_reserved_.assign(static_cast<std::size_t>(slots), 0);
+  output_q_.resize(static_cast<std::size_t>(slots));
+  output_reserved_.assign(static_cast<std::size_t>(slots), 0);
+  streams_.resize(static_cast<std::size_t>(slots));
+  inj_credits_.assign(static_cast<std::size_t>(layout.total_vcs),
+                      cfg.flit_buffer_depth);
+  inj_busy_.assign(static_cast<std::size_t>(layout.total_vcs), false);
+  eject_buf_.resize(static_cast<std::size_t>(layout.total_vcs));
+  reasm_.resize(static_cast<std::size_t>(layout.total_vcs));
+  cond_since_.assign(static_cast<std::size_t>(slots), 0);
+  full_since_.assign(static_cast<std::size_t>(slots), 0);
+  forced_until_.assign(static_cast<std::size_t>(slots), 0);
+}
+
+PacketPtr NetworkInterface::make_packet(const OutMsg& m, Cycle now) {
+  return net_.make_packet(m, now);
+}
+
+bool NetworkInterface::input_has_free_slot(int slot) const {
+  return input_size(slot) + input_reserved_[static_cast<std::size_t>(slot)] <
+         cfg_.msg_queue_size;
+}
+
+bool NetworkInterface::input_full(int slot) const {
+  return input_size(slot) >= cfg_.msg_queue_size;
+}
+
+bool NetworkInterface::output_full(int slot) const {
+  return output_size(slot) >= cfg_.msg_queue_size;
+}
+
+PacketPtr NetworkInterface::input_head(int slot) const {
+  const auto& q = input_q_[static_cast<std::size_t>(slot)];
+  return q.empty() ? nullptr : q.front();
+}
+
+PacketPtr NetworkInterface::output_head(int slot) const {
+  const auto& q = output_q_[static_cast<std::size_t>(slot)];
+  return q.empty() ? nullptr : q.front();
+}
+
+int NetworkInterface::total_ejection_flits() const {
+  int total = 0;
+  for (const auto& b : eject_buf_) total += static_cast<int>(b.size());
+  return total;
+}
+
+bool NetworkInterface::output_has_space_for(
+    const std::vector<OutMsg>& msgs) const {
+  std::vector<int> needed(output_q_.size(), 0);
+  for (const auto& m : msgs) ++needed[static_cast<std::size_t>(qmap_.of(m.type))];
+  for (std::size_t s = 0; s < output_q_.size(); ++s) {
+    if (needed[s] == 0) continue;
+    if (static_cast<int>(output_q_[s].size()) + output_reserved_[s] +
+            needed[s] >
+        cfg_.msg_queue_size)
+      return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Ejection: one flit per cycle drained from the ejection channels into the
+// input message queues.  A head flit is admitted only when a queue slot can
+// be reserved; otherwise the flit stays put and backpressure propagates
+// into the network (the message-dependent coupling path).
+// --------------------------------------------------------------------------
+void NetworkInterface::step_eject(Cycle now) {
+  const int vcs = static_cast<int>(eject_buf_.size());
+  for (int i = 0; i < vcs; ++i) {
+    const int vc = (eject_rr_ + i) % vcs;
+    auto& buf = eject_buf_[static_cast<std::size_t>(vc)];
+    if (buf.empty()) continue;
+    auto& reasm = reasm_[static_cast<std::size_t>(vc)];
+    Flit& f = buf.front();
+    if (!reasm) {
+      MDD_CHECK_MSG(f.is_head(), "ejection reassembly must start at a head");
+      if (is_terminating(f.pkt->type)) {
+        // Terminating replies sink into preallocated MSHR/reply space at
+        // arrival (paper §2.2/§3): they never occupy an input queue slot
+        // and never refuse admission.  slot = -1 marks the bypass.
+        reasm = Reassembly{f.pkt, 0, -1};
+      } else {
+        const int slot = qmap_.of(f.pkt->type);
+        if (!input_has_free_slot(slot)) continue;  // blocked: no queue space
+        ++input_reserved_[static_cast<std::size_t>(slot)];
+        reasm = Reassembly{f.pkt, 0, slot};
+      }
+    }
+    MDD_CHECK(f.pkt->id == reasm->pkt->id);
+    MDD_CHECK(f.seq == reasm->next_seq);
+    ++reasm->next_seq;
+    const bool tail = f.is_tail();
+    buf.pop_front();
+    net_.stage_ejection_credit(id_, vc);
+    if (tail) {
+      reasm->pkt->eject_cycle = now;
+      if (reasm->slot < 0) {
+        sink_packet(reasm->pkt, now);
+      } else {
+        --input_reserved_[static_cast<std::size_t>(reasm->slot)];
+        input_q_[static_cast<std::size_t>(reasm->slot)].push_back(reasm->pkt);
+      }
+      reasm.reset();
+    }
+    last_progress_ = now;
+    eject_rr_ = (vc + 1) % vcs;
+    break;  // ejection channel bandwidth: one flit per cycle
+  }
+}
+
+// --------------------------------------------------------------------------
+// Memory controller.
+// --------------------------------------------------------------------------
+void NetworkInterface::sink_packet(const PacketPtr& pkt, Cycle now) {
+  pkt->consume_cycle = now;
+  SinkResult r = protocol_.sink(id_, *pkt);
+  if (r.txn_completed) {
+    MDD_CHECK_MSG(outstanding_ > 0, "completion without outstanding MSHR");
+    --outstanding_;
+  }
+  for (const auto& m : r.resume) pending_.push_back(m);
+  if (net_.observer()) net_.observer()->on_packet_consumed(*pkt, now);
+}
+
+void NetworkInterface::consume_terminating_heads(Cycle now) {
+  for (auto& q : input_q_) {
+    if (q.empty() || !is_terminating(q.front()->type)) continue;
+    PacketPtr pkt = q.front();
+    q.pop_front();
+    sink_packet(pkt, now);
+    last_progress_ = now;
+  }
+}
+
+void NetworkInterface::step_mc(Cycle now) {
+  // Terminating replies sink into preallocated MSHRs as soon as they reach
+  // the head of their queue, independent of controller occupancy.
+  consume_terminating_heads(now);
+
+  // Complete an in-flight service.
+  if (mc_pkt_ && now >= mc_done_) {
+    mc_pkt_->consume_cycle = now;
+    std::vector<OutMsg> outs = protocol_.commit_service(id_, *mc_pkt_);
+    // Release exactly what was reserved at service start.  The committed
+    // set can differ from the peeked one when local protocol state changed
+    // mid-service (e.g. a reply sink wrote back the same block); anything
+    // that no longer fits waits in the pending list instead of overflowing.
+    reserve_output(mc_reserved_, -1);
+    mc_reserved_.clear();
+    for (const auto& m : outs) {
+      if (output_slot_has_space(qmap_.of(m.type))) {
+        push_output(make_packet(m, now), now);
+      } else {
+        pending_.push_back(m);
+      }
+    }
+    if (net_.observer()) net_.observer()->on_packet_consumed(*mc_pkt_, now);
+    mc_pkt_.reset();
+  }
+
+  // Start the next service: a non-terminating head whose subordinates all
+  // fit in their output queues (paper §3's admission rule).
+  if (mc_pkt_ || now < mc_reserved_until_) return;
+  const int slots = num_queue_slots();
+  for (int i = 0; i < slots; ++i) {
+    const int s = (mc_rr_ + i) % slots;
+    auto& q = input_q_[static_cast<std::size_t>(s)];
+    if (q.empty()) continue;
+    const PacketPtr& head = q.front();
+    if (is_terminating(head->type)) continue;  // sinks via the consumer path
+    std::vector<OutMsg> subs = protocol_.subordinates(id_, *head);
+    if (!output_has_space_for(subs)) continue;
+    reserve_output(subs, +1);
+    mc_reserved_ = std::move(subs);
+    mc_pkt_ = head;
+    q.pop_front();
+    mc_done_ = now + static_cast<Cycle>(cfg_.msg_service_time);
+    last_progress_ = now;
+    mc_rr_ = (s + 1) % slots;
+    break;
+  }
+}
+
+bool NetworkInterface::output_slot_has_space(int slot) const {
+  return static_cast<int>(output_q_[static_cast<std::size_t>(slot)].size()) +
+             output_reserved_[static_cast<std::size_t>(slot)] <
+         cfg_.msg_queue_size;
+}
+
+void NetworkInterface::push_output(const PacketPtr& pkt, Cycle now) {
+  const int slot = qmap_.of(pkt->type);
+  MDD_CHECK_MSG(static_cast<int>(output_q_[static_cast<std::size_t>(slot)].size()) +
+                        output_reserved_[static_cast<std::size_t>(slot)] <
+                    cfg_.msg_queue_size,
+                "output queue overflow");
+  output_q_[static_cast<std::size_t>(slot)].push_back(pkt);
+  (void)now;
+}
+
+void NetworkInterface::reserve_output(const std::vector<OutMsg>& msgs,
+                                      int sign) {
+  for (const auto& m : msgs)
+    output_reserved_[static_cast<std::size_t>(qmap_.of(m.type))] += sign;
+}
+
+// --------------------------------------------------------------------------
+// Deflective recovery (DR): when the §2.2 conditions hold, convert the
+// blocked request at the head of the input queue into a backoff reply
+// toward the requester (Origin2000 style).
+// --------------------------------------------------------------------------
+void NetworkInterface::step_deflect(Cycle now) {
+  // Rate-limit repeated firings of the same stuck condition to one
+  // detection event per threshold period.
+  if (now < last_detection_ + static_cast<Cycle>(cfg_.detection_threshold))
+    return;
+  const int slot = detect(now);
+  if (slot < 0) return;
+  last_detection_ = now;
+  if (net_.observer()) net_.observer()->on_detection(id_, now);
+  ++net_.counters().detections;
+  PacketPtr head = input_head(slot);
+  MDD_CHECK(head != nullptr);
+  // Check reply-queue space *before* committing the deflection: the
+  // protocol-side deflect() mutates transaction state irrevocably.
+  const int reply_slot = qmap_.of(MsgType::Backoff);
+  if (!output_slot_has_space(reply_slot))
+    return;  // reply output queue full; it is guaranteed to drain, retry
+  auto backoff = protocol_.deflect(id_, *head);
+  if (!backoff) return;  // head's subordinate terminates: not deflectable
+  MDD_CHECK(qmap_.of(backoff->type) == reply_slot);
+  input_q_[static_cast<std::size_t>(slot)].pop_front();
+  head->deflected = true;
+  head->consume_cycle = now;
+  if (net_.observer()) {
+    net_.observer()->on_packet_consumed(*head, now);
+    net_.observer()->on_deflection(id_, now);
+  }
+  push_output(make_packet(*backoff, now), now);
+  ++net_.counters().deflections;
+  last_progress_ = now;
+}
+
+// --------------------------------------------------------------------------
+// Pending sources: new transactions (MSHR-gated), resumption messages and
+// RG retries move into the output queues as space appears.
+// --------------------------------------------------------------------------
+void NetworkInterface::step_pending(Cycle now) {
+  // RG retries whose backoff elapsed.
+  for (auto it = retries_.begin(); it != retries_.end();) {
+    if (now < it->ready) {
+      ++it;
+      continue;
+    }
+    const int slot = qmap_.of(it->pkt->type);
+    if (output_slot_has_space(slot)) {
+      push_output(it->pkt, now);
+      it = retries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Recovery / deflection resumption messages.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const int slot = qmap_.of(it->type);
+    if (output_slot_has_space(slot)) {
+      push_output(make_packet(*it, now), now);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NetworkInterface::offer_new_transaction(const OutMsg& m, Cycle now) {
+  MDD_CHECK(m.src == id_);
+  source_.push_back(make_packet(m, now));
+}
+
+// --------------------------------------------------------------------------
+// Injection: one flit per cycle from the output queues into the local
+// router's injection virtual channels (wormhole streaming per packet).
+// --------------------------------------------------------------------------
+bool NetworkInterface::try_stream_flit(InjectStream& stream, Cycle now) {
+  if (inj_credits_[static_cast<std::size_t>(stream.vc)] <= 0) return false;
+  Flit f{stream.pkt, stream.next_seq};
+  if (f.is_head()) stream.pkt->inject_cycle = now;
+  --inj_credits_[static_cast<std::size_t>(stream.vc)];
+  net_.stage_injection_flit(id_, stream.vc, std::move(f));
+  if (net_.observer()) net_.observer()->on_flit_injected(id_, now);
+  ++stream.next_seq;
+  last_progress_ = now;
+  return true;
+}
+
+int NetworkInterface::pick_injection_vc(const PacketPtr& pkt) const {
+  const ClassRange& cr = layout_.of_class(pkt->vc_class);
+  for (int v = cr.base; v < cr.base + cr.count; ++v) {
+    if (!inj_busy_[static_cast<std::size_t>(v)] &&
+        inj_credits_[static_cast<std::size_t>(v)] > 0)
+      return v;
+  }
+  for (int v = cr.shared_base; v < cr.shared_base + cr.shared_count; ++v) {
+    if (!inj_busy_[static_cast<std::size_t>(v)] &&
+        inj_credits_[static_cast<std::size_t>(v)] > 0)
+      return v;
+  }
+  return -1;
+}
+
+void NetworkInterface::step_inject(Cycle now) {
+  // Protocol output queues have priority over new processor requests: the
+  // memory controller's subordinate messages must not starve behind an
+  // open-loop request flood.
+  const int slots = num_queue_slots();
+  for (int i = 0; i < slots; ++i) {
+    const int s = (inj_rr_ + i) % slots;
+    auto& stream = streams_[static_cast<std::size_t>(s)];
+    if (!stream.pkt) {
+      auto& q = output_q_[static_cast<std::size_t>(s)];
+      if (q.empty()) continue;
+      const int vc = pick_injection_vc(q.front());
+      if (vc < 0) continue;
+      stream = InjectStream{q.front(), 0, vc};
+      inj_busy_[static_cast<std::size_t>(vc)] = true;
+    }
+    if (!try_stream_flit(stream, now)) continue;
+    if (stream.next_seq == stream.pkt->len_flits) {
+      auto& q = output_q_[static_cast<std::size_t>(s)];
+      MDD_CHECK(!q.empty() && q.front()->id == stream.pkt->id);
+      q.pop_front();
+      inj_busy_[static_cast<std::size_t>(stream.vc)] = false;
+      stream = InjectStream{};
+    }
+    inj_rr_ = (s + 1) % slots;
+    return;  // injection channel bandwidth: one flit per cycle
+  }
+
+  // Source requests: inject directly, gated by MSHR availability (reply
+  // space is preallocated per outstanding request).
+  if (!src_stream_.pkt) {
+    if (source_.empty() || outstanding_ >= cfg_.mshr_limit) return;
+    const int vc = pick_injection_vc(source_.front());
+    if (vc < 0) return;
+    src_stream_ = InjectStream{source_.front(), 0, vc};
+    inj_busy_[static_cast<std::size_t>(vc)] = true;
+    ++outstanding_;
+  }
+  if (!try_stream_flit(src_stream_, now)) return;
+  if (src_stream_.next_seq == src_stream_.pkt->len_flits) {
+    MDD_CHECK(!source_.empty() && source_.front()->id == src_stream_.pkt->id);
+    source_.pop_front();
+    inj_busy_[static_cast<std::size_t>(src_stream_.vc)] = false;
+    src_stream_ = InjectStream{};
+  }
+}
+
+void NetworkInterface::deliver_ejected_flit(Flit f, int vc, Cycle now) {
+  (void)now;
+  auto& buf = eject_buf_[static_cast<std::size_t>(vc)];
+  MDD_CHECK_MSG(static_cast<int>(buf.size()) < cfg_.flit_buffer_depth,
+                "ejection buffer overflow: credit protocol violated");
+  buf.push_back(std::move(f));
+}
+
+void NetworkInterface::deliver_injection_credit(int vc) {
+  ++inj_credits_[static_cast<std::size_t>(vc)];
+  MDD_CHECK_MSG(inj_credits_[static_cast<std::size_t>(vc)] <= cfg_.flit_buffer_depth,
+                "injection credit overflow");
+}
+
+// --------------------------------------------------------------------------
+// Wait-for introspection for the CWG detector.
+// --------------------------------------------------------------------------
+int NetworkInterface::ejection_wait_slot(int vc) const {
+  const auto& buf = eject_buf_[static_cast<std::size_t>(vc)];
+  if (buf.empty()) return -1;
+  if (reasm_[static_cast<std::size_t>(vc)]) return -1;  // admitted: drains freely
+  if (is_terminating(buf.front().pkt->type)) return -1;  // sinks at arrival
+  const int slot = qmap_.of(buf.front().pkt->type);
+  return input_has_free_slot(slot) ? -1 : slot;
+}
+
+bool NetworkInterface::input_head_blocked(int slot,
+                                          std::vector<int>& out_slots) const {
+  out_slots.clear();
+  const PacketPtr head = input_head(slot);
+  if (!head || is_terminating(head->type)) return false;
+  std::vector<OutMsg> subs = protocol_.subordinates(id_, *head);
+  if (subs.empty() || output_has_space_for(subs)) return false;
+  for (const auto& m : subs) out_slots.push_back(qmap_.of(m.type));
+  return true;
+}
+
+bool NetworkInterface::output_blocked(int slot,
+                                      std::vector<int>& inj_vcs) const {
+  inj_vcs.clear();
+  const auto& stream = streams_[static_cast<std::size_t>(slot)];
+  if (stream.pkt) {
+    if (inj_credits_[static_cast<std::size_t>(stream.vc)] > 0) return false;
+    inj_vcs.push_back(stream.vc);
+    return true;
+  }
+  const PacketPtr head = output_head(slot);
+  if (!head) return false;
+  if (pick_injection_vc(head) >= 0) return false;
+  const ClassRange& cr = layout_.of_class(head->vc_class);
+  for (int v = cr.base; v < cr.base + cr.count; ++v) inj_vcs.push_back(v);
+  for (int v = cr.shared_base; v < cr.shared_base + cr.shared_count; ++v)
+    inj_vcs.push_back(v);
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Local deadlock detection (paper §2.2): input and output queues full, a
+// non-terminating head, persisting beyond the threshold without progress.
+// --------------------------------------------------------------------------
+void NetworkInterface::update_detection(Cycle now) {
+  for (int s = 0; s < num_queue_slots(); ++s) {
+    auto& since = cond_since_[static_cast<std::size_t>(s)];
+    auto& full_since = full_since_[static_cast<std::size_t>(s)];
+    // The head is "blocked" when it is non-terminating and the output
+    // queue(s) its subordinates need cannot absorb them (paper §2.2's
+    // coupling condition).  The paper additionally requires the input
+    // queue to be full; that is tracked separately so a starved head whose
+    // input queue never fills — e.g. a multi-subordinate message needing
+    // more output slots than the queue has in total — is still eventually
+    // rescued via the long backstop in detect().
+    bool blocked = false;
+    const PacketPtr head = input_head(s);
+    if (head && !is_terminating(head->type)) {
+      std::vector<OutMsg> subs = protocol_.subordinates(id_, *head);
+      if (!subs.empty() && !output_has_space_for(subs)) blocked = true;
+    }
+    if (!blocked) {
+      since = 0;
+      full_since = 0;
+      continue;
+    }
+    if (since == 0) since = now;
+    if (input_full(s)) {
+      if (full_since == 0) full_since = now;
+    } else {
+      full_since = 0;
+    }
+  }
+}
+
+void NetworkInterface::force_detection(int slot, Cycle now) {
+  // Valid until the next oracle scan; detect() still requires the local
+  // blocked condition to hold at capture time.
+  forced_until_[static_cast<std::size_t>(slot)] =
+      now + static_cast<Cycle>(cfg_.cwg_period);
+}
+
+int NetworkInterface::detect(Cycle now) const {
+  const Cycle t = static_cast<Cycle>(cfg_.detection_threshold);
+  for (int s = 0; s < num_queue_slots(); ++s) {
+    const Cycle since = cond_since_[static_cast<std::size_t>(s)];
+    if (since == 0) continue;  // head not currently blocked
+    // Paper §2.2: input and output queues full beyond the threshold.
+    const Cycle fsince = full_since_[static_cast<std::size_t>(s)];
+    if (fsince != 0 && now >= fsince + t) return s;
+    // Starvation backstop: a head blocked for a long multiple of T is
+    // rescued even if the input queue never filled.
+    if (now >= since + 40 * t) return s;
+    if (now <= forced_until_[static_cast<std::size_t>(s)]) return s;  // oracle
+  }
+  return -1;
+}
+
+// --------------------------------------------------------------------------
+// Recovery-engine hooks.
+// --------------------------------------------------------------------------
+PacketPtr NetworkInterface::rescue_pop_head(int slot, Cycle now) {
+  auto& q = input_q_[static_cast<std::size_t>(slot)];
+  MDD_CHECK(!q.empty());
+  PacketPtr pkt = q.front();
+  q.pop_front();
+  last_progress_ = now;
+  return pkt;
+}
+
+bool NetworkInterface::try_enqueue_input(const PacketPtr& pkt, Cycle now) {
+  const int slot = qmap_.of(pkt->type);
+  if (!input_has_free_slot(slot)) return false;
+  pkt->eject_cycle = now;
+  input_q_[static_cast<std::size_t>(slot)].push_back(pkt);
+  return true;
+}
+
+bool NetworkInterface::try_enqueue_output(const OutMsg& m, Cycle now) {
+  const int slot = qmap_.of(m.type);
+  if (!output_slot_has_space(slot)) return false;
+  push_output(make_packet(m, now), now);
+  return true;
+}
+
+void NetworkInterface::sink_now(const PacketPtr& pkt, Cycle now) {
+  pkt->eject_cycle = now;
+  sink_packet(pkt, now);
+  last_progress_ = now;
+}
+
+std::vector<OutMsg> NetworkInterface::service_now(const PacketPtr& pkt,
+                                                  Cycle now) {
+  pkt->consume_cycle = now;
+  std::vector<OutMsg> outs = protocol_.commit_service(id_, *pkt);
+  if (net_.observer()) net_.observer()->on_packet_consumed(*pkt, now);
+  last_progress_ = now;
+  return outs;
+}
+
+void NetworkInterface::add_pending(const OutMsg& m) { pending_.push_back(m); }
+
+int NetworkInterface::abort_injection(const PacketPtr& pkt) {
+  int sent = 0;
+  for (auto& stream : streams_) {
+    if (stream.pkt && stream.pkt->id == pkt->id) {
+      sent = stream.next_seq;
+      inj_busy_[static_cast<std::size_t>(stream.vc)] = false;
+      stream = InjectStream{};
+    }
+  }
+  if (src_stream_.pkt && src_stream_.pkt->id == pkt->id) {
+    sent = src_stream_.next_seq;
+    inj_busy_[static_cast<std::size_t>(src_stream_.vc)] = false;
+    src_stream_ = InjectStream{};
+    MDD_CHECK(!source_.empty() && source_.front()->id == pkt->id);
+    source_.pop_front();
+    // The retry re-enters through the output path with its MSHR retained.
+  }
+  for (auto& q : output_q_) {
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if ((*it)->id == pkt->id) {
+        q.erase(it);
+        return sent;
+      }
+    }
+  }
+  return sent;
+}
+
+void NetworkInterface::schedule_retry(const PacketPtr& pkt, Cycle ready) {
+  pkt->rescued = false;
+  pkt->retried = true;
+  pkt->dor_dim = -1;
+  pkt->crossed_dateline = false;
+  retries_.push_back(Retry{pkt, ready});
+}
+
+}  // namespace mddsim

@@ -1,0 +1,221 @@
+#pragma once
+// Network interface (endpoint) model: input/output message queues (shared
+// or partitioned), a memory controller with the paper's 40-cycle service
+// time, MSHR-style outstanding-transaction accounting with reply
+// preallocation, flit-level injection/ejection channels, and the local
+// deadlock-detection conditions of §2.2.
+//
+// Message-dependent coupling arises here: a non-terminating message at the
+// head of an input queue can only be serviced when the output queue(s) of
+// its subordinate type(s) have space, and terminating replies are consumed
+// (sunk into preallocated MSHRs) only when they reach the head of their
+// queue.  With shared queues, replies therefore couple to blocked requests.
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+#include "mddsim/flow/packet.hpp"
+#include "mddsim/protocol/endpoint.hpp"
+#include "mddsim/protocol/message.hpp"
+#include "mddsim/routing/vc_layout.hpp"
+#include "mddsim/sim/config.hpp"
+
+namespace mddsim {
+
+class Network;
+
+/// Statistics sink for endpoint events (implemented by sim::Metrics).
+class EndpointObserver {
+ public:
+  virtual ~EndpointObserver() = default;
+  virtual void on_flit_injected(NodeId node, Cycle now) = 0;
+  virtual void on_packet_consumed(const Packet& pkt, Cycle now) = 0;
+  virtual void on_deflection(NodeId node, Cycle now) = 0;
+  virtual void on_detection(NodeId node, Cycle now) = 0;
+};
+
+class NetworkInterface {
+ public:
+  NetworkInterface(NodeId id, const SimConfig& cfg, const ClassMap& cmap,
+                   const ClassMap& qmap, const VcLayout& layout,
+                   EndpointProtocol& protocol, Network& net);
+
+  NodeId id() const { return id_; }
+  int num_queue_slots() const { return static_cast<int>(input_q_.size()); }
+
+  // --- Per-cycle phases (driven by Network in this order). -----------------
+  void step_eject(Cycle now);    ///< drain ejection buffers into queues
+  void step_mc(Cycle now);       ///< consume replies, run the controller
+  void step_deflect(Cycle now);  ///< DR: deflective recovery actions
+  void step_pending(Cycle now);  ///< pending/resume/retry msgs → output queues
+  void step_inject(Cycle now);   ///< output queues → router injection VCs
+
+  // --- Link-side deliveries (committed by Network at cycle end). ----------
+  void deliver_ejected_flit(Flit f, int vc, Cycle now);
+  void deliver_injection_credit(int vc);
+
+  // --- Traffic sources. -----------------------------------------------------
+  /// Queues a freshly started transaction's first message.  The request
+  /// waits in the (unbounded) source list until an MSHR is free and the
+  /// injection channel accepts it; processor requests inject directly and
+  /// do not pass through the protocol output queues (Figure 3).
+  void offer_new_transaction(const OutMsg& m, Cycle now);
+  /// True when the source FIFO is full: the traffic generator must stall
+  /// instead of starting a new transaction.
+  bool source_full() const {
+    return static_cast<int>(source_.size()) >= cfg_.source_queue_size;
+  }
+  int outstanding() const { return outstanding_; }
+  std::size_t pending_backlog() const {
+    return pending_.size() + source_.size();
+  }
+
+  // --- Local deadlock detection (paper §2.2 conditions). -------------------
+  /// Re-evaluates the per-queue blocked conditions; must run every cycle.
+  void update_detection(Cycle now);
+  /// Queue slot whose detection conditions have persisted beyond the
+  /// threshold time-out, or -1.
+  int detect(Cycle now) const;
+  /// Oracle (CWG) detection: marks `slot` as deadlocked right now, so the
+  /// next token visit captures without waiting out the local threshold.
+  void force_detection(int slot, Cycle now);
+  bool wants_token(Cycle now) const { return detect(now) >= 0; }
+
+  // --- Recovery-engine interface (Extended Disha, §3). ----------------------
+  bool mc_idle(Cycle now) const { return !mc_pkt_ && now >= mc_reserved_until_; }
+  /// Reserves the controller for a rescue operation until `until`.
+  void occupy_mc(Cycle until) { mc_reserved_until_ = until; }
+  /// Removes and returns the head of input queue `slot` (token capture).
+  PacketPtr rescue_pop_head(int slot, Cycle now);
+  /// Attempts normal delivery of a rescued message into the input queue.
+  bool try_enqueue_input(const PacketPtr& pkt, Cycle now);
+  /// Attempts to place a message into its output queue (receiver case 1).
+  bool try_enqueue_output(const OutMsg& m, Cycle now);
+  /// Consumes a terminating rescued message directly (preempted sink).
+  void sink_now(const PacketPtr& pkt, Cycle now);
+  /// Services a non-terminating rescued message (after MC preemption);
+  /// returns its subordinates.  Caller has already waited `service_time`.
+  std::vector<OutMsg> service_now(const PacketPtr& pkt, Cycle now);
+  /// Queues follow-on messages produced during recovery.
+  void add_pending(const OutMsg& m);
+
+  // --- Regressive recovery (RG) support. -----------------------------------
+  /// Cancels an in-progress injection of `pkt` and removes it from its
+  /// output queue, returning how many flits had already entered the router.
+  int abort_injection(const PacketPtr& pkt);
+  /// Schedules a killed packet for re-injection after the backoff delay.
+  void schedule_retry(const PacketPtr& pkt, Cycle ready);
+
+  // --- Introspection for detectors / CWG / tests. --------------------------
+  int input_size(int slot) const { return static_cast<int>(input_q_[static_cast<std::size_t>(slot)].size()); }
+  int output_size(int slot) const { return static_cast<int>(output_q_[static_cast<std::size_t>(slot)].size()); }
+  bool input_full(int slot) const;
+  bool output_full(int slot) const;
+  PacketPtr input_head(int slot) const;
+  PacketPtr output_head(int slot) const;
+  int queue_slot_of(MsgType t) const { return qmap_.of(t); }
+  const std::deque<Flit>& ejection_buffer(int vc) const {
+    return eject_buf_[static_cast<std::size_t>(vc)];
+  }
+  /// Flits buffered in ejection channels (for conservation tests).
+  int total_ejection_flits() const;
+
+  // --- Wait-for introspection for the CWG detector. ------------------------
+  /// Input-queue slot the ejection channel `vc` is blocked waiting on, or
+  /// -1 when it is empty, mid-reassembly, or admissible.
+  int ejection_wait_slot(int vc) const;
+  /// True when input queue `slot`'s head is a non-terminating message whose
+  /// subordinates do not fit; fills the output slots it waits on.
+  bool input_head_blocked(int slot, std::vector<int>& out_slots) const;
+  /// True when output queue `slot` cannot currently move a flit into the
+  /// router; fills the injection VCs it waits on.
+  bool output_blocked(int slot, std::vector<int>& inj_vcs) const;
+  Cycle last_progress() const { return last_progress_; }
+  const Packet* mc_current() const { return mc_pkt_.get(); }
+  int injection_credits(int vc) const {
+    return inj_credits_[static_cast<std::size_t>(vc)];
+  }
+
+  void set_observer(EndpointObserver* obs) { observer_ = obs; }
+
+  /// True when every output queue targeted by `msgs` can absorb them
+  /// (counting in-flight service reservations).
+  bool output_has_space_for(const std::vector<OutMsg>& msgs) const;
+  bool output_slot_has_space(int slot) const;
+
+ private:
+  struct InjectStream {
+    PacketPtr pkt;
+    int next_seq = 0;
+    int vc = -1;
+  };
+  struct Reassembly {
+    PacketPtr pkt;
+    int next_seq = 0;
+    int slot = 0;
+  };
+  struct Retry {
+    PacketPtr pkt;
+    Cycle ready;
+  };
+
+  PacketPtr make_packet(const OutMsg& m, Cycle now);
+  bool try_stream_flit(InjectStream& stream, Cycle now);
+  int pick_injection_vc(const PacketPtr& pkt) const;
+  /// Adjusts output reservations for an in-flight service (+1 at start,
+  /// -1 at completion) so concurrent producers cannot steal the space.
+  void reserve_output(const std::vector<OutMsg>& msgs, int sign);
+  void consume_terminating_heads(Cycle now);
+  void sink_packet(const PacketPtr& pkt, Cycle now);
+  void push_output(const PacketPtr& pkt, Cycle now);
+  bool input_has_free_slot(int slot) const;
+
+  NodeId id_;
+  const SimConfig& cfg_;
+  const ClassMap& cmap_;  ///< message type → VC class (logical network)
+  ClassMap qmap_;         ///< message type → endpoint queue slot
+  const VcLayout& layout_;
+  EndpointProtocol& protocol_;
+  Network& net_;
+  EndpointObserver* observer_ = nullptr;
+
+  std::vector<std::deque<PacketPtr>> input_q_;
+  std::vector<int> input_reserved_;   ///< slots reserved by reassembly
+  std::vector<std::deque<PacketPtr>> output_q_;
+  std::vector<int> output_reserved_;  ///< slots reserved by in-flight service
+
+  // Memory controller.
+  PacketPtr mc_pkt_;
+  std::vector<OutMsg> mc_reserved_;  ///< output space reserved at service start
+  Cycle mc_done_ = 0;
+  Cycle mc_reserved_until_ = 0;
+  int mc_rr_ = 0;
+
+  // Injection side.
+  std::vector<int> inj_credits_;
+  std::vector<bool> inj_busy_;
+  std::vector<InjectStream> streams_;  ///< one per output queue slot
+  int inj_rr_ = 0;
+
+  // Ejection side.
+  std::vector<std::deque<Flit>> eject_buf_;
+  std::vector<std::optional<Reassembly>> reasm_;
+  int eject_rr_ = 0;
+
+  // Sources and recovery lists.
+  std::deque<PacketPtr> source_; ///< new requests awaiting MSHR + injection
+  InjectStream src_stream_;      ///< in-flight source-request injection
+  std::deque<OutMsg> pending_;   ///< resume/recovery messages awaiting space
+  std::deque<Retry> retries_;    ///< RG: killed packets awaiting re-injection
+  int outstanding_ = 0;
+
+  Cycle last_progress_ = 0;
+  Cycle last_detection_ = 0;
+  std::vector<Cycle> cond_since_;  ///< per-slot: cycle the head became blocked
+  std::vector<Cycle> full_since_;  ///< per-slot: cycle input also became full
+  std::vector<Cycle> forced_until_;  ///< oracle detection valid through here
+};
+
+}  // namespace mddsim

@@ -1,0 +1,61 @@
+#pragma once
+// The endpoint-protocol abstraction: what a node's memory controller does
+// with an arriving message.  Two implementations exist: the synthetic
+// generic protocol of Figure 7 / Table 3 (`GenericProtocol`) and the MSI
+// directory coherence engine used for the application-driven experiments
+// (`coherence::MsiProtocol`).
+
+#include <optional>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+#include "mddsim/flow/packet.hpp"
+
+namespace mddsim {
+
+/// A message the protocol asks the network interface to send.
+struct OutMsg {
+  MsgType type = MsgType::M1;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int len_flits = 1;
+  TxnId txn = 0;
+  int chain_pos = 0;
+};
+
+/// Outcome of consuming a terminating message.
+struct SinkResult {
+  bool txn_completed = false;   ///< the whole dependency chain finished
+  std::vector<OutMsg> resume;   ///< follow-on messages (backoff resumption)
+};
+
+class EndpointProtocol {
+ public:
+  virtual ~EndpointProtocol() = default;
+
+  /// Pure peek: the subordinate messages servicing `msg` at `node` will
+  /// produce.  Used by the memory controller for the output-queue space
+  /// check (paper §3) and by deadlock detectors for the "head generates a
+  /// non-terminating type" condition (§2.2).  Must match a subsequent
+  /// commit_service for the same message as long as no other message is
+  /// serviced at this node in between.
+  virtual std::vector<OutMsg> subordinates(NodeId node,
+                                           const Packet& msg) const = 0;
+
+  /// Commits the servicing of `msg` at `node` and returns the subordinate
+  /// messages to inject.
+  virtual std::vector<OutMsg> commit_service(NodeId node,
+                                             const Packet& msg) = 0;
+
+  /// Consumes a terminating message at `node`.
+  virtual SinkResult sink(NodeId node, const Packet& msg) = 0;
+
+  /// Deflective recovery (DR): converts the blocked message `msg` held at
+  /// `node` into a backoff reply toward the transaction's requester, which
+  /// will later re-issue the subordinate itself.  Returns the backoff
+  /// message, or nullopt if `msg` is not deflectable (its subordinate is
+  /// already a terminating type).
+  virtual std::optional<OutMsg> deflect(NodeId node, const Packet& msg) = 0;
+};
+
+}  // namespace mddsim

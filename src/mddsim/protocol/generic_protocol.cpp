@@ -1,0 +1,154 @@
+#include "mddsim/protocol/generic_protocol.hpp"
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim {
+
+GenericProtocol::GenericProtocol(TransactionPattern pattern,
+                                 MessageLengths lengths, int num_nodes,
+                                 Rng rng)
+    : pattern_(std::move(pattern)),
+      lengths_(lengths),
+      num_nodes_(num_nodes),
+      rng_(rng) {
+  MDD_CHECK(num_nodes >= 2);
+}
+
+const GenericProtocol::Txn& GenericProtocol::txn_of(const Packet& msg) const {
+  auto it = txns_.find(msg.txn);
+  MDD_CHECK_MSG(it != txns_.end(), "message references unknown transaction");
+  return it->second;
+}
+
+OutMsg GenericProtocol::make_out(const Txn& t, TxnId id, int pos) const {
+  const BoundStep& s = t.steps[static_cast<std::size_t>(pos)];
+  return OutMsg{s.type, s.src, s.dst, lengths_.of(s.type), id, pos};
+}
+
+OutMsg GenericProtocol::start_transaction(NodeId requester, Cycle now) {
+  const ChainScript* script = &pattern_.pick(rng_.next_double());
+  // Chains involving a third party need at least three nodes; on a
+  // two-node system they degrade to the request/reply exchange.
+  static const ChainScript kTwoHop = chain2();
+  if (num_nodes_ < 3) {
+    for (const ChainStep& step : *script) {
+      if (step.src == Role::Third || step.dst == Role::Third) {
+        script = &kTwoHop;
+        break;
+      }
+    }
+  }
+  Txn t;
+  t.requester = requester;
+  t.start_cycle = now;
+
+  // Bind roles to concrete nodes: home uniformly random among other nodes,
+  // third party uniformly random among the remaining ones.
+  NodeId home = requester;
+  while (home == requester)
+    home = static_cast<NodeId>(rng_.next_below(static_cast<std::uint64_t>(num_nodes_)));
+  NodeId third = requester;
+  if (num_nodes_ > 2) {
+    while (third == requester || third == home)
+      third = static_cast<NodeId>(rng_.next_below(static_cast<std::uint64_t>(num_nodes_)));
+  } else {
+    third = home;
+  }
+  auto bind = [&](Role r) {
+    switch (r) {
+      case Role::Requester: return requester;
+      case Role::Home: return home;
+      case Role::Third: return third;
+    }
+    return requester;
+  };
+  for (const ChainStep& s : *script) {
+    t.steps.push_back({s.type, bind(s.src), bind(s.dst)});
+  }
+
+  const TxnId id = next_txn_++;
+  auto [it, inserted] = txns_.emplace(id, std::move(t));
+  MDD_CHECK(inserted);
+  it->second.messages_sent = 1;
+  return make_out(it->second, id, 0);
+}
+
+std::vector<OutMsg> GenericProtocol::subordinates(NodeId node,
+                                                  const Packet& msg) const {
+  (void)node;
+  const Txn& t = txn_of(msg);
+  if (msg.type == MsgType::Backoff) {
+    // The requester re-issues the deflected subordinate itself.
+    MDD_CHECK(t.resume_pos >= 0);
+    OutMsg m = make_out(t, msg.txn, t.resume_pos);
+    m.src = t.requester;
+    return {m};
+  }
+  const int next = msg.chain_pos + 1;
+  if (next >= static_cast<int>(t.steps.size())) return {};
+  return {make_out(t, msg.txn, next)};
+}
+
+std::vector<OutMsg> GenericProtocol::commit_service(NodeId node,
+                                                    const Packet& msg) {
+  MDD_CHECK_MSG(!is_terminating(msg.type),
+                "terminating messages sink; they are never serviced");
+  auto out = subordinates(node, msg);
+  auto& t = txns_.at(msg.txn);
+  t.messages_sent += static_cast<int>(out.size());
+  if (msg.rescued) t.rescued = true;
+  return out;
+}
+
+SinkResult GenericProtocol::sink(NodeId node, const Packet& msg) {
+  MDD_CHECK(is_terminating(msg.type));
+  auto it = txns_.find(msg.txn);
+  MDD_CHECK(it != txns_.end());
+  Txn& t = it->second;
+  MDD_CHECK_MSG(node == t.requester,
+                "terminating replies return to the requester");
+
+  SinkResult r;
+  if (msg.type == MsgType::Backoff) {
+    // Backoff consumed: the requester now issues the subordinate message
+    // the home/third node could not (Origin2000 ORQ≺BRP≺FRQ≺TRP).
+    MDD_CHECK(t.resume_pos >= 0);
+    OutMsg m = make_out(t, msg.txn, t.resume_pos);
+    m.src = t.requester;
+    t.resume_pos = -1;
+    t.messages_sent += 1;
+    r.resume.push_back(m);
+    return r;
+  }
+
+  if (msg.rescued) t.rescued = true;
+  r.txn_completed = true;
+  if (on_complete_) {
+    on_complete_(TxnCompletion{msg.txn, t.requester, t.start_cycle,
+                               t.messages_sent, t.deflected, t.rescued});
+  }
+  txns_.erase(it);
+  return r;
+}
+
+std::optional<OutMsg> GenericProtocol::deflect(NodeId node,
+                                               const Packet& msg) {
+  (void)node;
+  if (is_terminating(msg.type)) return std::nullopt;
+  auto& t = txns_.at(msg.txn);
+  const int next = msg.chain_pos + 1;
+  MDD_CHECK(next < static_cast<int>(t.steps.size()));
+  // Deflectable only when the subordinate is itself non-terminating: a
+  // message whose subordinate is a guaranteed-to-sink reply will always
+  // make progress once the reply network drains (paper §2.2 / DASH note).
+  if (is_terminating(t.steps[static_cast<std::size_t>(next)].type))
+    return std::nullopt;
+  if (t.resume_pos >= 0) return std::nullopt;  // one backoff in flight
+  t.resume_pos = next;
+  t.deflected = true;
+  t.messages_sent += 1;
+  return OutMsg{MsgType::Backoff, msg.dst, t.requester,
+                lengths_.of(MsgType::Backoff), msg.txn, msg.chain_pos};
+}
+
+}  // namespace mddsim

@@ -1,0 +1,83 @@
+#pragma once
+// The synthetic generic cache-coherence protocol of paper §4.3.1:
+// transactions follow the dependency chains of Figure 7, drawn from a
+// Table 3 transaction pattern, with uniformly random home / third-party
+// nodes.
+
+#include <functional>
+#include <unordered_map>
+
+#include "mddsim/common/rng.hpp"
+#include "mddsim/protocol/endpoint.hpp"
+#include "mddsim/protocol/pattern.hpp"
+
+namespace mddsim {
+
+/// Completion notification: transaction id, requester, cycle the chain
+/// started, number of messages it took (grows under deflection).
+struct TxnCompletion {
+  TxnId txn;
+  NodeId requester;
+  Cycle start_cycle;
+  int messages;
+  bool deflected;
+  bool rescued;
+};
+
+class GenericProtocol : public EndpointProtocol {
+ public:
+  using CompletionCallback = std::function<void(const TxnCompletion&)>;
+
+  GenericProtocol(TransactionPattern pattern, MessageLengths lengths,
+                  int num_nodes, Rng rng);
+
+  void set_completion_callback(CompletionCallback cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  /// Creates a new transaction rooted at `requester` and returns its first
+  /// message (always type m1 toward a random home node).
+  OutMsg start_transaction(NodeId requester, Cycle now);
+
+  /// Live (incomplete) transactions — must be zero after a full drain.
+  std::size_t live_transactions() const { return txns_.size(); }
+
+  const TransactionPattern& pattern() const { return pattern_; }
+  const MessageLengths& lengths() const { return lengths_; }
+
+  // --- EndpointProtocol ----------------------------------------------------
+  std::vector<OutMsg> subordinates(NodeId node,
+                                   const Packet& msg) const override;
+  std::vector<OutMsg> commit_service(NodeId node, const Packet& msg) override;
+  SinkResult sink(NodeId node, const Packet& msg) override;
+  std::optional<OutMsg> deflect(NodeId node, const Packet& msg) override;
+
+ private:
+  struct BoundStep {
+    MsgType type;
+    NodeId src;
+    NodeId dst;
+  };
+  struct Txn {
+    NodeId requester;
+    Cycle start_cycle;
+    std::vector<BoundStep> steps;
+    int messages_sent = 0;
+    bool deflected = false;
+    bool rescued = false;
+    int resume_pos = -1;  ///< step the requester re-issues after a backoff
+  };
+
+  const Txn& txn_of(const Packet& msg) const;
+  OutMsg make_out(const Txn& t, TxnId id, int pos) const;
+
+  TransactionPattern pattern_;
+  MessageLengths lengths_;
+  int num_nodes_;
+  Rng rng_;
+  TxnId next_txn_ = 1;
+  std::unordered_map<TxnId, Txn> txns_;
+  CompletionCallback on_complete_;
+};
+
+}  // namespace mddsim

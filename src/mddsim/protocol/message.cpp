@@ -1,0 +1,37 @@
+#include "mddsim/protocol/message.hpp"
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim {
+
+ClassMap ClassMap::make(Scheme s, const std::array<bool, kNumMsgTypes>& used) {
+  ClassMap m;
+  switch (s) {
+    case Scheme::SA: {
+      int next = 0;
+      for (int i = 0; i < kNumMsgTypes; ++i) {
+        if (used[static_cast<std::size_t>(i)]) m.cls[static_cast<std::size_t>(i)] = next++;
+      }
+      MDD_CHECK_MSG(next >= 2, "SA needs at least two used message types");
+      // Backoff never occurs under SA; map it with the replies defensively.
+      m.cls[static_cast<int>(MsgType::Backoff)] = next - 1;
+      m.num_classes = next;
+      break;
+    }
+    case Scheme::DR: {
+      for (int i = 0; i < kNumWireTypes; ++i) {
+        m.cls[static_cast<std::size_t>(i)] =
+            is_terminating(static_cast<MsgType>(i)) ? 1 : 0;
+      }
+      m.num_classes = 2;
+      break;
+    }
+    case Scheme::PR:
+    case Scheme::RG:
+      m.num_classes = 1;
+      break;
+  }
+  return m;
+}
+
+}  // namespace mddsim

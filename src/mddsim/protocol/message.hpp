@@ -1,0 +1,104 @@
+#pragma once
+// Message types and dependency-chain vocabulary (paper §1, Figure 7).
+//
+// The paper's generic cache-coherence protocol defines four message types
+// with the total order m1 ≺ m2 ≺ m3 ≺ m4, plus the Origin2000-style
+// backoff reply used only by deflective recovery.  Concrete protocols map
+// onto this: Origin2000 {ORQ,BRP,FRQ,TRP} = {m1,m2,m3,m4}; S-1/MSI
+// {RQ,FRQ,FRP,RP} = {m1,m2,m3,m4}.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace mddsim {
+
+/// Generic message types of Figure 7 plus the deflection-only backoff reply.
+enum class MsgType : std::uint8_t {
+  M1 = 0,       ///< original request (ORQ / RQ)
+  M2 = 1,       ///< first subordinate (BRP slot in Origin / FRQ in MSI)
+  M3 = 2,       ///< second subordinate (FRQ in Origin / FRP in MSI)
+  M4 = 3,       ///< terminating reply (TRP / RP)
+  Backoff = 4,  ///< backoff reply generated only during deflective recovery
+};
+
+inline constexpr int kNumMsgTypes = 4;   ///< m1..m4 (Backoff is an alias class)
+inline constexpr int kNumWireTypes = 5;  ///< including Backoff
+
+/// True for message types that terminate a dependency chain, i.e. that are
+/// always consumable at their destination and generate no subordinates that
+/// must re-enter the network (m4 and backoff replies).
+constexpr bool is_terminating(MsgType t) {
+  return t == MsgType::M4 || t == MsgType::Backoff;
+}
+
+/// Index of a type within the dependency chain (backoff shares m2's slot,
+/// mirroring the Origin2000 mapping where BRP = m2).
+constexpr int type_index(MsgType t) {
+  return t == MsgType::Backoff ? 1 : static_cast<int>(t);
+}
+
+constexpr std::string_view msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::M1: return "m1";
+    case MsgType::M2: return "m2";
+    case MsgType::M3: return "m3";
+    case MsgType::M4: return "m4";
+    case MsgType::Backoff: return "brp";
+  }
+  return "?";
+}
+
+/// Deadlock-handling scheme under evaluation (paper §4.3.1).
+enum class Scheme : std::uint8_t {
+  SA = 0,  ///< strict avoidance: one logical network per message type
+  DR = 1,  ///< deflective recovery: request + reply networks, backoff replies
+  PR = 2,  ///< progressive recovery: Extended Disha Sequential (proposed)
+  RG = 3,  ///< regressive recovery: abort-and-retry (extension / ablation)
+};
+
+constexpr std::string_view scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::SA: return "SA";
+    case Scheme::DR: return "DR";
+    case Scheme::PR: return "PR";
+    case Scheme::RG: return "RG";
+  }
+  return "?";
+}
+
+/// Endpoint message-queue organization (paper Figure 11): one shared
+/// input/output queue pair, or one pair per message type ("QA").
+enum class QueueOrg : std::uint8_t {
+  Shared = 0,
+  PerType = 1,
+};
+
+/// Maps each message type to the logical network (resource class) it
+/// travels on under a given scheme.
+///
+///   SA    — one class per protocol-*used* type, in chain order (a protocol
+///           using {m1,m3,m4} gets classes {0,1,2}).  Backoff never occurs.
+///   DR    — class 0 = request network (non-terminating types),
+///           class 1 = reply network (m4 and backoff).
+///   PR/RG — everything shares class 0.
+struct ClassMap {
+  std::array<int, kNumWireTypes> cls{0, 0, 0, 0, 0};
+  int num_classes = 1;
+
+  int of(MsgType t) const { return cls[static_cast<int>(t)]; }
+
+  /// @param used  which of m1..m4 the protocol's chains actually carry
+  ///              (Backoff availability is implied by the scheme).
+  static ClassMap make(Scheme s, const std::array<bool, kNumMsgTypes>& used);
+};
+
+/// Default wire lengths in flits (paper Table 2: 4-flit requests, 20-flit
+/// terminating replies).
+struct MessageLengths {
+  std::array<int, kNumWireTypes> flits{4, 4, 4, 20, 4};
+
+  int of(MsgType t) const { return flits[static_cast<int>(t)]; }
+};
+
+}  // namespace mddsim

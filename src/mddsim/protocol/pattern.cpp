@@ -1,0 +1,136 @@
+#include "mddsim/protocol/pattern.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mddsim {
+
+ChainScript chain2() {
+  return {{MsgType::M1, Role::Requester, Role::Home},
+          {MsgType::M4, Role::Home, Role::Requester}};
+}
+
+ChainScript chain3() {
+  return {{MsgType::M1, Role::Requester, Role::Home},
+          {MsgType::M2, Role::Home, Role::Third},
+          {MsgType::M4, Role::Third, Role::Requester}};
+}
+
+ChainScript chain3_origin() {
+  return {{MsgType::M1, Role::Requester, Role::Home},
+          {MsgType::M3, Role::Home, Role::Third},
+          {MsgType::M4, Role::Third, Role::Requester}};
+}
+
+ChainScript chain4() {
+  return {{MsgType::M1, Role::Requester, Role::Home},
+          {MsgType::M2, Role::Home, Role::Third},
+          {MsgType::M3, Role::Third, Role::Home},
+          {MsgType::M4, Role::Home, Role::Requester}};
+}
+
+TransactionPattern::TransactionPattern(std::string name,
+                                       std::vector<Entry> entries)
+    : name_(std::move(name)), entries_(std::move(entries)) {
+  MDD_CHECK(!entries_.empty());
+  double total = 0.0;
+  for (const auto& e : entries_) {
+    MDD_CHECK(e.probability >= 0.0);
+    MDD_CHECK(!e.script.empty());
+    // Every script must start with m1 from the requester and end with a
+    // terminating message back to the requester (paper §4.3.1: the
+    // simulator generates only first-type messages; all others follow).
+    MDD_CHECK(e.script.front().type == MsgType::M1);
+    MDD_CHECK(e.script.front().src == Role::Requester);
+    MDD_CHECK(is_terminating(e.script.back().type));
+    MDD_CHECK(e.script.back().dst == Role::Requester);
+    total += e.probability;
+  }
+  MDD_CHECK_MSG(std::abs(total - 1.0) < 1e-9,
+                "pattern probabilities must sum to 1");
+}
+
+const ChainScript& TransactionPattern::pick(double u) const {
+  double acc = 0.0;
+  for (const auto& e : entries_) {
+    acc += e.probability;
+    if (u < acc) return e.script;
+  }
+  return entries_.back().script;
+}
+
+std::array<bool, kNumMsgTypes> TransactionPattern::used_types() const {
+  std::array<bool, kNumMsgTypes> used{};
+  for (const auto& e : entries_) {
+    for (const auto& s : e.script) {
+      if (s.type != MsgType::Backoff)
+        used[static_cast<std::size_t>(type_index(s.type))] = true;
+    }
+  }
+  return used;
+}
+
+int TransactionPattern::chain_len() const {
+  const auto used = used_types();
+  return static_cast<int>(std::count(used.begin(), used.end(), true));
+}
+
+int TransactionPattern::max_chain_len() const {
+  std::size_t longest = 0;
+  for (const auto& e : entries_) longest = std::max(longest, e.script.size());
+  return static_cast<int>(longest);
+}
+
+double TransactionPattern::mean_messages() const {
+  double mean = 0.0;
+  for (const auto& e : entries_)
+    mean += e.probability * static_cast<double>(e.script.size());
+  return mean;
+}
+
+std::array<double, kNumMsgTypes>
+TransactionPattern::message_type_distribution() const {
+  std::array<double, kNumMsgTypes> counts{};
+  for (const auto& e : entries_) {
+    for (const auto& s : e.script)
+      counts[static_cast<std::size_t>(type_index(s.type))] += e.probability;
+  }
+  const double total = mean_messages();
+  for (auto& c : counts) c /= total;
+  return counts;
+}
+
+TransactionPattern TransactionPattern::PAT100() {
+  return TransactionPattern("PAT100", {{1.0, chain2()}});
+}
+
+TransactionPattern TransactionPattern::PAT721() {
+  return TransactionPattern(
+      "PAT721", {{0.7, chain2()}, {0.2, chain3()}, {0.1, chain4()}});
+}
+
+TransactionPattern TransactionPattern::PAT451() {
+  return TransactionPattern(
+      "PAT451", {{0.4, chain2()}, {0.5, chain3()}, {0.1, chain4()}});
+}
+
+TransactionPattern TransactionPattern::PAT271() {
+  return TransactionPattern(
+      "PAT271", {{0.2, chain2()}, {0.7, chain3()}, {0.1, chain4()}});
+}
+
+TransactionPattern TransactionPattern::PAT280() {
+  return TransactionPattern("PAT280",
+                            {{0.2, chain2()}, {0.8, chain3_origin()}});
+}
+
+TransactionPattern TransactionPattern::by_name(std::string_view name) {
+  if (name == "PAT100") return PAT100();
+  if (name == "PAT721") return PAT721();
+  if (name == "PAT451") return PAT451();
+  if (name == "PAT271") return PAT271();
+  if (name == "PAT280") return PAT280();
+  throw ConfigError("unknown transaction pattern: " + std::string(name));
+}
+
+}  // namespace mddsim

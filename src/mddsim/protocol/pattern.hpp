@@ -1,0 +1,93 @@
+#pragma once
+// Transaction patterns of paper Table 3 and the chain scripts they draw
+// from.  A *chain script* is the ordered list of messages a data
+// transaction sends: who sends which type to whom.  Endpoints are named by
+// role (requester / home / third party) and bound to concrete nodes when a
+// transaction is created.
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/protocol/message.hpp"
+
+namespace mddsim {
+
+/// Participant role within a transaction.
+enum class Role : std::uint8_t {
+  Requester = 0,  ///< node that issued the original request
+  Home = 1,       ///< home/directory node of the accessed block
+  Third = 2,      ///< owner or sharer involved in 3/4-hop transactions
+};
+
+/// One message of a chain script.
+struct ChainStep {
+  MsgType type;
+  Role src;
+  Role dst;
+};
+
+/// A full dependency chain, e.g. (m1 R→H, m2 H→T, m4 T→R).
+using ChainScript = std::vector<ChainStep>;
+
+/// Canonical chain structures used by the paper's patterns:
+///   chain-2       : m1 R→H,            m4 H→R
+///   chain-3       : m1 R→H, m2 H→T,    m4 T→R       (PAT721/451/271)
+///   chain-3 Origin: m1 R→H, m3 H→T,    m4 T→R       (PAT280: m2 = BRP)
+///   chain-4       : m1 R→H, m2 H→T, m3 T→H, m4 H→R
+ChainScript chain2();
+ChainScript chain3();
+ChainScript chain3_origin();
+ChainScript chain4();
+
+/// A weighted mixture of chain scripts (one row of Table 3).
+class TransactionPattern {
+ public:
+  struct Entry {
+    double probability;
+    ChainScript script;
+  };
+
+  TransactionPattern(std::string name, std::vector<Entry> entries);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Picks a chain script according to the mixture, using u ∈ [0,1).
+  const ChainScript& pick(double u) const;
+
+  /// Which of m1..m4 appear in any script of the mixture.
+  std::array<bool, kNumMsgTypes> used_types() const;
+
+  /// Number of distinct message types used (the protocol's chain length L
+  /// for resource partitioning purposes, paper §2.1).
+  int chain_len() const;
+
+  /// Longest script in the mixture, in messages.
+  int max_chain_len() const;
+
+  /// Expected messages per transaction.
+  double mean_messages() const;
+
+  /// Fraction of all *messages* (not transactions) of each type — the
+  /// "Message Type Distribution" columns of Table 3.
+  std::array<double, kNumMsgTypes> message_type_distribution() const;
+
+  // --- The five patterns of Table 3. -------------------------------------
+  static TransactionPattern PAT100();
+  static TransactionPattern PAT721();
+  static TransactionPattern PAT451();
+  static TransactionPattern PAT271();
+  static TransactionPattern PAT280();
+
+  /// Lookup by name ("PAT100", ...); throws ConfigError on unknown name.
+  static TransactionPattern by_name(std::string_view name);
+
+ private:
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mddsim

@@ -1,0 +1,211 @@
+#include "mddsim/router/router.hpp"
+
+#include <algorithm>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/sim/network.hpp"
+
+namespace mddsim {
+
+Router::Router(RouterId id, const Topology& topo,
+               const RoutingAlgorithm& routing, int vcs, int buf_depth,
+               int timeout)
+    : id_(id),
+      topo_(topo),
+      routing_(routing),
+      vcs_(vcs),
+      buf_depth_(buf_depth),
+      timeout_(timeout) {
+  const int inputs = topo.num_net_ports() + topo.bristling();
+  const int outputs = topo.num_net_ports() + topo.bristling();
+  in_.resize(static_cast<std::size_t>(inputs));
+  out_.resize(static_cast<std::size_t>(outputs));
+  for (auto& port : in_) port.resize(static_cast<std::size_t>(vcs));
+  for (auto& port : out_) {
+    port.resize(static_cast<std::size_t>(vcs));
+    for (auto& ovc : port) ovc.credits = buf_depth;
+  }
+  sa_in_rr_.assign(static_cast<std::size_t>(inputs), 0);
+  sa_out_rr_.assign(static_cast<std::size_t>(outputs), 0);
+}
+
+bool Router::try_allocate_vc(Cycle now, int port, int vc, Network& net) {
+  (void)now;
+  (void)net;
+  auto& ivc = in_[static_cast<std::size_t>(port)][static_cast<std::size_t>(vc)];
+  const Flit& head = ivc.buffer.front();
+  MDD_CHECK_MSG(head.is_head(), "unrouted VC must have a head flit at front");
+  routing_.candidates(id_, *head.pkt, cand_buf_);
+  const int ncand = static_cast<int>(cand_buf_.size());
+  // A candidate is grabbed only when the output VC is free AND at least one
+  // credit exists, so an allocated packet always advances at least one hop.
+  // Adaptive candidates precede the escape candidate; rotate among the
+  // adaptive ones for load balance but always fall through to escape.
+  const unsigned rot = va_rr_++;
+  for (int i = 0; i < ncand; ++i) {
+    const auto& c = cand_buf_[static_cast<std::size_t>(
+        (i + static_cast<int>(rot % static_cast<unsigned>(ncand))) % ncand)];
+    auto& ovc = out_[static_cast<std::size_t>(c.port)][static_cast<std::size_t>(c.vc)];
+    if (ovc.busy || ovc.credits <= 0) continue;
+    ovc.busy = true;
+    ovc.owner = head.pkt->id;
+    ivc.route_valid = true;
+    ivc.out_port = c.port;
+    ivc.out_vc = c.vc;
+    return true;
+  }
+  return false;
+}
+
+void Router::step(Cycle now, Network& net) {
+  const int inputs = num_inputs();
+  const int outputs = num_outputs();
+
+  // --- Route computation + VC allocation for blocked head flits. ---------
+  for (int p = 0; p < inputs; ++p) {
+    for (int v = 0; v < vcs_; ++v) {
+      auto& ivc = in_[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
+      if (ivc.buffer.empty() || ivc.route_valid) continue;
+      try_allocate_vc(now, p, v, net);
+    }
+  }
+
+  // --- Switch allocation: input-first separable round-robin. --------------
+  struct Nominee {
+    int in_port;
+    int in_vc;
+    int out_port;
+  };
+  // Per input port, nominate one ready VC.
+  static thread_local std::vector<Nominee> nominees;
+  nominees.clear();
+  for (int p = 0; p < inputs; ++p) {
+    const int start = sa_in_rr_[static_cast<std::size_t>(p)];
+    for (int i = 0; i < vcs_; ++i) {
+      const int v = (start + i) % vcs_;
+      auto& ivc = in_[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
+      if (ivc.buffer.empty() || !ivc.route_valid) continue;
+      const auto& ovc =
+          out_[static_cast<std::size_t>(ivc.out_port)][static_cast<std::size_t>(ivc.out_vc)];
+      if (ovc.credits <= 0) continue;
+      nominees.push_back({p, v, ivc.out_port});
+      sa_in_rr_[static_cast<std::size_t>(p)] = (v + 1) % vcs_;
+      break;
+    }
+  }
+
+  // Per output port, grant one nominee.
+  for (int o = 0; o < outputs; ++o) {
+    int chosen = -1;
+    int best_rank = inputs;  // lower is better
+    const int start = sa_out_rr_[static_cast<std::size_t>(o)];
+    for (std::size_t idx = 0; idx < nominees.size(); ++idx) {
+      if (nominees[idx].out_port != o) continue;
+      const int rank = (nominees[idx].in_port - start + inputs) % inputs;
+      if (rank < best_rank) {
+        best_rank = rank;
+        chosen = static_cast<int>(idx);
+      }
+    }
+    if (chosen < 0) continue;
+    const Nominee& w = nominees[static_cast<std::size_t>(chosen)];
+    sa_out_rr_[static_cast<std::size_t>(o)] = (w.in_port + 1) % inputs;
+
+    // --- Switch traversal. ------------------------------------------------
+    auto& ivc = in_[static_cast<std::size_t>(w.in_port)][static_cast<std::size_t>(w.in_vc)];
+    auto& ovc = out_[static_cast<std::size_t>(ivc.out_port)][static_cast<std::size_t>(ivc.out_vc)];
+    Flit f = ivc.buffer.front();
+    ivc.buffer.pop_front();
+    if (f.is_head()) routing_.on_head_departure(id_, *f.pkt, ivc.out_port);
+    MDD_CHECK(ovc.credits > 0);
+    --ovc.credits;
+    ++ovc.flits_forwarded;
+    const bool tail = f.is_tail();
+    net.stage_flit(id_, ivc.out_port, ivc.out_vc, std::move(f));
+    net.stage_credit_upstream(id_, w.in_port, w.in_vc);
+    if (tail) {
+      ovc.busy = false;
+      ovc.owner = 0;
+      ivc.route_valid = false;
+      ivc.out_port = ivc.out_vc = -1;
+    }
+    ivc.last_progress = now;
+  }
+}
+
+void Router::deliver_flit(int in_port, int in_vc, Flit f, Cycle now) {
+  auto& ivc = in_[static_cast<std::size_t>(in_port)][static_cast<std::size_t>(in_vc)];
+  MDD_CHECK_MSG(static_cast<int>(ivc.buffer.size()) < buf_depth_,
+                "flit buffer overflow: credit protocol violated");
+  if (ivc.buffer.empty()) ivc.last_progress = now;
+  ivc.buffer.push_back(std::move(f));
+}
+
+void Router::deliver_credit(int out_port, int vc) {
+  auto& ovc = out_[static_cast<std::size_t>(out_port)][static_cast<std::size_t>(vc)];
+  ++ovc.credits;
+  MDD_CHECK_MSG(ovc.credits <= buf_depth_, "credit overflow");
+}
+
+bool Router::suspects_deadlock(Cycle now) const {
+  return blocked_victim(now) != nullptr;
+}
+
+PacketPtr Router::blocked_victim(Cycle now) const {
+  PacketPtr victim;
+  Cycle victim_since = now;
+  for (const auto& port : in_) {
+    for (const auto& ivc : port) {
+      if (ivc.buffer.empty()) continue;
+      const Flit& f = ivc.buffer.front();
+      if (!f.is_head() || f.pkt->rescued) continue;
+      if (now < ivc.last_progress + static_cast<Cycle>(timeout_)) continue;
+      if (!victim || ivc.last_progress < victim_since) {
+        victim = f.pkt;
+        victim_since = ivc.last_progress;
+      }
+    }
+  }
+  return victim;
+}
+
+int Router::remove_packet(const PacketPtr& pkt, Network& net, Cycle now) {
+  int removed = 0;
+  for (int p = 0; p < num_inputs(); ++p) {
+    for (int v = 0; v < vcs_; ++v) {
+      auto& ivc = in_[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
+      if (ivc.route_valid) {
+        auto& ovc =
+            out_[static_cast<std::size_t>(ivc.out_port)][static_cast<std::size_t>(ivc.out_vc)];
+        if (ovc.owner == pkt->id) {
+          ovc.busy = false;
+          ovc.owner = 0;
+          ivc.route_valid = false;
+          ivc.out_port = ivc.out_vc = -1;
+        }
+      }
+      auto it = ivc.buffer.begin();
+      while (it != ivc.buffer.end()) {
+        if (it->pkt->id == pkt->id) {
+          it = ivc.buffer.erase(it);
+          ++removed;
+          net.stage_credit_upstream(id_, p, v);
+          ivc.last_progress = now;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+int Router::total_buffered_flits() const {
+  int total = 0;
+  for (const auto& port : in_) {
+    for (const auto& ivc : port) total += static_cast<int>(ivc.buffer.size());
+  }
+  return total;
+}
+
+}  // namespace mddsim

@@ -1,0 +1,104 @@
+#pragma once
+// Input-queued virtual-channel wormhole router.
+//
+// Pipeline per cycle (single-cycle hop): route computation + virtual-channel
+// allocation for blocked head flits, separable input-first switch
+// allocation (one flit per input port and per output port per cycle),
+// then switch traversal which stages flits onto the outgoing link and
+// returns a credit upstream.  Links have one cycle of latency; staged flits
+// and credits are committed by the Network at the end of the cycle.
+//
+// Port numbering: inputs  [0, 2n)            network (dim*2+dir)
+//                 inputs  [2n, 2n+B)         injection from local NIs
+//                 outputs [0, 2n)            network
+//                 outputs [2n, 2n+B)         ejection to local NIs
+
+#include <deque>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+#include "mddsim/flow/packet.hpp"
+#include "mddsim/routing/routing.hpp"
+
+namespace mddsim {
+
+class Network;
+
+/// State of one input virtual channel.
+struct InputVc {
+  std::deque<Flit> buffer;
+  bool route_valid = false;  ///< an output VC is currently allocated
+  int out_port = -1;
+  int out_vc = -1;
+  Cycle last_progress = 0;   ///< last cycle a flit arrived or departed
+};
+
+/// State of one output virtual channel (tracks the downstream buffer).
+struct OutputVc {
+  int credits = 0;     ///< free flit slots in the downstream buffer
+  bool busy = false;   ///< allocated to an in-flight packet
+  PacketId owner = 0;  ///< packet holding the VC when busy
+  std::uint64_t flits_forwarded = 0;  ///< lifetime utilization counter
+};
+
+class Router {
+ public:
+  Router(RouterId id, const Topology& topo, const RoutingAlgorithm& routing,
+         int vcs, int buf_depth, int timeout);
+
+  RouterId id() const { return id_; }
+  int num_inputs() const { return static_cast<int>(in_.size()); }
+  int num_outputs() const { return static_cast<int>(out_.size()); }
+  int vcs() const { return vcs_; }
+  int buf_depth() const { return buf_depth_; }
+
+  /// Runs one router cycle; sends flits/credits through `net` staging.
+  void step(Cycle now, Network& net);
+
+  /// Link delivery (called by Network at commit time).
+  void deliver_flit(int in_port, int in_vc, Flit f, Cycle now);
+  void deliver_credit(int out_port, int vc);
+
+  const InputVc& input(int port, int vc) const {
+    return in_[static_cast<std::size_t>(port)][static_cast<std::size_t>(vc)];
+  }
+  const OutputVc& output(int port, int vc) const {
+    return out_[static_cast<std::size_t>(port)][static_cast<std::size_t>(vc)];
+  }
+
+  /// True when some packet header has been blocked at an input VC for more
+  /// than the timeout — the router suspects routing-dependent deadlock and
+  /// will capture the circulating token (PR) / kill the victim (RG).
+  bool suspects_deadlock(Cycle now) const;
+
+  /// The longest-blocked packet whose header sits in one of this router's
+  /// input VCs, or nullptr.
+  PacketPtr blocked_victim(Cycle now) const;
+
+  // --- Recovery support ----------------------------------------------------
+  /// Removes every flit of `pkt` buffered in this router, releasing the
+  /// input/output VC allocations it held and staging credits upstream for
+  /// the freed slots.  Returns the number of flits removed.
+  int remove_packet(const PacketPtr& pkt, Network& net, Cycle now);
+
+  /// Total buffered flits (for conservation checks in tests).
+  int total_buffered_flits() const;
+
+ private:
+  bool try_allocate_vc(Cycle now, int port, int vc, Network& net);
+
+  RouterId id_;
+  const Topology& topo_;
+  const RoutingAlgorithm& routing_;
+  int vcs_;
+  int buf_depth_;
+  int timeout_;
+  std::vector<std::vector<InputVc>> in_;    // [port][vc]
+  std::vector<std::vector<OutputVc>> out_;  // [port][vc]
+  std::vector<int> sa_in_rr_;   // per-input-port VC round-robin pointer
+  std::vector<int> sa_out_rr_;  // per-output-port input round-robin pointer
+  unsigned va_rr_ = 0;          // VC-allocation rotation counter
+  std::vector<RouteCandidate> cand_buf_;
+};
+
+}  // namespace mddsim

@@ -1,0 +1,98 @@
+#include "mddsim/routing/routing.hpp"
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim {
+
+RoutingAlgorithm::RoutingAlgorithm(Kind kind, const Topology& topo,
+                                   const VcLayout& layout)
+    : kind_(kind), topo_(topo), layout_(layout) {
+  if (kind == Kind::DOR || kind == Kind::Duato) {
+    for (const auto& c : layout_.classes) {
+      MDD_CHECK_MSG(c.escape >= (topo.wrap() ? 2 : 1),
+                    "escape channels insufficient for deadlock-free DOR");
+    }
+  }
+}
+
+void RoutingAlgorithm::eject_candidates(const Packet& pkt,
+                                        std::vector<RouteCandidate>& out) const {
+  const ClassRange& cr = layout_.of_class(pkt.vc_class);
+  const int port = eject_port(pkt.dst);
+  if (kind_ == Kind::DOR) {
+    out.push_back({port, cr.base});
+    return;
+  }
+  for (int v = 0; v < cr.count; ++v) out.push_back({port, cr.base + v});
+  for (int v = cr.shared_base; v < cr.shared_base + cr.shared_count; ++v)
+    out.push_back({port, v});
+}
+
+RouteCandidate RoutingAlgorithm::escape_candidate(RouterId r,
+                                                  const Packet& pkt) const {
+  const ClassRange& cr = layout_.of_class(pkt.vc_class);
+  const RouterId dst_router = topo_.router_of_node(pkt.dst);
+  if (r == dst_router) {
+    return {eject_port(pkt.dst), cr.base};
+  }
+  std::vector<DimHop> hops;
+  topo_.min_hops(r, dst_router, hops);
+  MDD_CHECK(!hops.empty());
+  // Deterministic DOR choice: lowest dimension; on an equidistant tie take
+  // the "+" direction (min_hops lists + before − for ties).
+  const DimHop& h = hops.front();
+  const int port = h.dim * 2 + h.dir;
+  int vc = cr.base;
+  if (topo_.wrap()) {
+    // Dateline rule: a flit arriving over the wraparound link, or one that
+    // already crossed the dateline of its current dimension, travels on the
+    // high escape VC.  Entering a new dimension resets the state.
+    const bool same_dim = (pkt.dor_dim == h.dim);
+    const bool crossed = same_dim && pkt.crossed_dateline;
+    if (crossed || topo_.is_wraparound(r, h.dim, h.dir)) vc = cr.base + 1;
+  }
+  return {port, vc};
+}
+
+void RoutingAlgorithm::candidates(RouterId r, const Packet& pkt,
+                                  std::vector<RouteCandidate>& out) const {
+  out.clear();
+  const RouterId dst_router = topo_.router_of_node(pkt.dst);
+  if (r == dst_router) {
+    eject_candidates(pkt, out);
+    return;
+  }
+  const ClassRange& cr = layout_.of_class(pkt.vc_class);
+  if (kind_ != Kind::DOR) {
+    std::vector<DimHop> hops;
+    topo_.min_hops(r, dst_router, hops);
+    const int first_adaptive =
+        kind_ == Kind::TFAR ? cr.base : cr.base + cr.escape;
+    const int end = cr.base + cr.count;
+    for (const auto& h : hops) {
+      const int port = h.dim * 2 + h.dir;
+      for (int v = first_adaptive; v < end; ++v) out.push_back({port, v});
+      // Shared adaptive pool (the [21] improvement), usable by every class.
+      for (int v = cr.shared_base; v < cr.shared_base + cr.shared_count; ++v)
+        out.push_back({port, v});
+    }
+  }
+  if (kind_ != Kind::TFAR) {
+    out.push_back(escape_candidate(r, pkt));
+  }
+  MDD_CHECK(!out.empty());
+}
+
+void RoutingAlgorithm::on_head_departure(RouterId r, Packet& pkt,
+                                         int port) const {
+  if (port >= topo_.num_net_ports()) return;  // ejection: no dateline state
+  const int dim = port / 2;
+  const int dir = port % 2;
+  if (pkt.dor_dim != dim) {
+    pkt.dor_dim = dim;
+    pkt.crossed_dateline = false;
+  }
+  if (topo_.is_wraparound(r, dim, dir)) pkt.crossed_dateline = true;
+}
+
+}  // namespace mddsim

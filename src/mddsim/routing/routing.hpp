@@ -1,0 +1,66 @@
+#pragma once
+// Routing algorithms: dimension-order (DOR) with dateline escape channels,
+// Duato's protocol (minimal adaptive + escape), and True Fully Adaptive
+// Routing (TFAR).  Candidates name the *downstream* VC the packet would
+// arrive on; allocation of that VC happens in the router.
+
+#include <vector>
+
+#include "mddsim/flow/packet.hpp"
+#include "mddsim/routing/vc_layout.hpp"
+#include "mddsim/topology/topology.hpp"
+
+namespace mddsim {
+
+/// One admissible next hop for a packet: output port of the current router
+/// and the VC at the downstream input the packet would occupy.
+struct RouteCandidate {
+  int port;  ///< network port (dim*2+dir) or ejection port index
+  int vc;
+};
+
+class RoutingAlgorithm {
+ public:
+  enum class Kind {
+    DOR,    ///< deterministic dimension-order on escape VCs only
+    Duato,  ///< minimal fully adaptive on adaptive VCs + DOR escape
+    TFAR,   ///< minimal fully adaptive on every VC of the class
+  };
+
+  RoutingAlgorithm(Kind kind, const Topology& topo, const VcLayout& layout);
+
+  Kind kind() const { return kind_; }
+  const VcLayout& layout() const { return layout_; }
+
+  /// Ejection ports follow the network ports in the router's port space:
+  /// port 2n + slot ejects to the NI in bristling slot `slot`.
+  int eject_port(NodeId dst_node) const {
+    return topo_.num_net_ports() + topo_.slot_of_node(dst_node);
+  }
+
+  /// Fills `out` with all admissible (port, downstream-vc) pairs for
+  /// `pkt` standing at router `r`.  Adaptive candidates precede the escape
+  /// candidate so allocation prefers adaptive channels (Duato).  When the
+  /// packet has reached its destination router the candidates target the
+  /// ejection port.  Never returns an empty set.
+  void candidates(RouterId r, const Packet& pkt,
+                  std::vector<RouteCandidate>& out) const;
+
+  /// Must be called when the packet's head flit actually departs router `r`
+  /// through network port `port`; updates the packet's dateline state.
+  void on_head_departure(RouterId r, Packet& pkt, int port) const;
+
+  /// The escape (DOR) candidate alone — used to build the static channel
+  /// dependency graph in tests.
+  RouteCandidate escape_candidate(RouterId r, const Packet& pkt) const;
+
+ private:
+  void eject_candidates(const Packet& pkt,
+                        std::vector<RouteCandidate>& out) const;
+
+  Kind kind_;
+  const Topology& topo_;
+  VcLayout layout_;
+};
+
+}  // namespace mddsim

@@ -1,0 +1,71 @@
+#include "mddsim/routing/vc_layout.hpp"
+
+#include <string>
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim {
+
+int VcLayout::class_of_vc(int vc) const {
+  if (vc < 0 || vc >= total_vcs)
+    throw InvariantError("VC index out of layout: " + std::to_string(vc));
+  for (int c = 0; c < num_classes(); ++c) {
+    const auto& cr = classes[static_cast<std::size_t>(c)];
+    if (vc >= cr.base && vc < cr.base + cr.count) return c;
+  }
+  return -1;  // in the shared adaptive pool: owned by no single class
+}
+
+VcLayout VcLayout::make(Scheme scheme, int num_classes, int total_vcs,
+                        int escape_per_class, bool shared_adaptive) {
+  MDD_CHECK(total_vcs >= 1);
+  MDD_CHECK(num_classes >= 1);
+  VcLayout layout;
+  layout.total_vcs = total_vcs;
+
+  if (scheme == Scheme::PR || scheme == Scheme::RG) {
+    // True Fully Adaptive Routing: one class, every VC adaptive.
+    layout.classes.push_back({0, total_vcs, 0});
+    return layout;
+  }
+
+  if (shared_adaptive) {
+    // [21]: per-class escape channels packed first, everything else one
+    // shared adaptive pool usable by every message type.
+    const int e_m = num_classes * escape_per_class;
+    if (total_vcs < e_m) {
+      throw ConfigError(
+          "shared-adaptive " + std::string(scheme_name(scheme)) +
+          " infeasible: C = " + std::to_string(total_vcs) + " < E_m = " +
+          std::to_string(e_m) + " (paper §2.1)");
+    }
+    const int pool = total_vcs - e_m;
+    for (int c = 0; c < num_classes; ++c) {
+      ClassRange cr{c * escape_per_class, escape_per_class, escape_per_class,
+                    e_m, pool};
+      layout.classes.push_back(cr);
+    }
+    return layout;
+  }
+
+  // Split as evenly as possible; any remainder goes to the later (reply
+  // side) classes, which carry the long data messages.
+  const int per_class = total_vcs / num_classes;
+  const int remainder = total_vcs % num_classes;
+  if (per_class < escape_per_class) {
+    throw ConfigError(
+        "scheme " + std::string(scheme_name(scheme)) + " infeasible: " +
+        std::to_string(per_class) + " VCs per logical network < E_r = " +
+        std::to_string(escape_per_class) + " (paper §2.1)");
+  }
+  int base = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    const int count = per_class + (c >= num_classes - remainder ? 1 : 0);
+    layout.classes.push_back({base, count, escape_per_class});
+    base += count;
+  }
+  MDD_CHECK(base == total_vcs);
+  return layout;
+}
+
+}  // namespace mddsim

@@ -1,0 +1,59 @@
+#pragma once
+// Partitioning of a physical link's virtual channels into logical networks
+// (message classes) and, within each class, escape vs adaptive channels
+// (paper §2.1).
+
+#include <vector>
+
+#include "mddsim/protocol/message.hpp"
+
+namespace mddsim {
+
+/// VC resources available to one message class: a contiguous private range
+/// (whose first `escape` channels are the class's escape network) plus an
+/// optional globally shared adaptive pool (the Martinez et al. improvement
+/// the paper cites as [21]: all channels beyond E_m shared by every type,
+/// raising per-message availability to 1 + (C − E_m)).
+struct ClassRange {
+  int base = 0;    ///< first VC index of the private range
+  int count = 0;   ///< number of private VCs
+  int escape = 0;  ///< of which the first `escape` are escape channels (DOR)
+  int shared_base = 0;   ///< first VC of the shared adaptive pool
+  int shared_count = 0;  ///< size of the shared adaptive pool
+
+  int adaptive() const { return count - escape + shared_count; }
+  bool contains(int vc) const {
+    return (vc >= base && vc < base + count) ||
+           (vc >= shared_base && vc < shared_base + shared_count);
+  }
+};
+
+/// Full VC plan for a configuration.
+struct VcLayout {
+  int total_vcs = 0;
+  std::vector<ClassRange> classes;
+
+  const ClassRange& of_class(int cls) const { return classes.at(static_cast<std::size_t>(cls)); }
+  int num_classes() const { return static_cast<int>(classes.size()); }
+
+  /// Message class that owns VC index `vc`.
+  int class_of_vc(int vc) const;
+
+  /// Builds the layout for a scheme.
+  ///
+  /// @param escape_per_class  E_r: escape VCs needed per logical network
+  ///        (2 for a torus with dateline DOR, 1 for a mesh).
+  /// @param shared_adaptive   SA/DR only: give each class exactly its E_r
+  ///        escape channels and share every remaining channel among all
+  ///        classes ([21]); per-message availability becomes 1 + (C − E_m)
+  ///        instead of 1 + (C/L − E_r) (paper §2.1).
+  ///
+  /// SA/DR (partitioned): VCs split as evenly as possible across classes;
+  /// each class gets E_r escape channels and the remainder adaptive
+  /// (Duato).  PR/RG: a single class owning every VC with no escape
+  /// channels (True Fully Adaptive Routing; deadlock handled by recovery).
+  static VcLayout make(Scheme scheme, int num_classes, int total_vcs,
+                       int escape_per_class, bool shared_adaptive = false);
+};
+
+}  // namespace mddsim

@@ -1,0 +1,49 @@
+#include "mddsim/sim/config.hpp"
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/protocol/pattern.hpp"
+#include "mddsim/routing/vc_layout.hpp"
+
+namespace mddsim {
+
+SimConfig SimConfig::application_defaults() {
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.n = 2;
+  cfg.vcs_per_link = 4;
+  cfg.flit_buffer_depth = 2;
+  cfg.msg_queue_size = 16;
+  return cfg;
+}
+
+void SimConfig::validate() const {
+  if (dims.empty()) {
+    if (k < 2) throw ConfigError("radix k must be >= 2");
+    if (n < 1) throw ConfigError("dimension n must be >= 1");
+  } else {
+    for (int kd : dims)
+      if (kd < 2) throw ConfigError("every radix must be >= 2");
+  }
+  if (bristling < 1) throw ConfigError("bristling factor must be >= 1");
+  if (vcs_per_link < 1) throw ConfigError("need at least one virtual channel");
+  if (flit_buffer_depth < 1) throw ConfigError("flit buffers must be >= 1");
+  if (msg_queue_size < 1) throw ConfigError("message queues must hold >= 1");
+  if (msg_service_time < 1) throw ConfigError("service time must be >= 1");
+  if (mshr_limit < 1) throw ConfigError("mshr_limit must be >= 1");
+  if (injection_rate < 0.0) throw ConfigError("injection rate must be >= 0");
+  if (detection_threshold < 1) throw ConfigError("detection threshold >= 1");
+  if (num_tokens < 1) throw ConfigError("num_tokens must be >= 1");
+
+  const TransactionPattern pat = TransactionPattern::by_name(pattern);
+  if (scheme == Scheme::DR && pat.chain_len() <= 2) {
+    throw ConfigError(
+        "DR is not applicable to a two-type protocol (paper §4.3.2: for "
+        "PAT100, DR is not valid)");
+  }
+  const ClassMap cmap = ClassMap::make(scheme, pat.used_types());
+  // Throws when the partitioning is infeasible (e.g. SA, chain 4, 4 VCs).
+  (void)VcLayout::make(scheme, cmap.num_classes, vcs_per_link,
+                       escape_per_class(), shared_adaptive);
+}
+
+}  // namespace mddsim

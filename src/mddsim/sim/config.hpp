@@ -1,0 +1,99 @@
+#pragma once
+// Simulation configuration.  Defaults follow paper Table 2 (synthetic-load
+// experiments, §4.3.1); the trace-driven defaults of §4.2.1 are provided by
+// `SimConfig::application_defaults()`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+#include "mddsim/protocol/message.hpp"
+#include "mddsim/topology/topology.hpp"
+
+namespace mddsim {
+
+struct SimConfig {
+  // --- Topology -----------------------------------------------------------
+  int k = 8;               ///< radix (8x8 torus default)
+  int n = 2;               ///< dimensions
+  std::vector<int> dims;   ///< mixed-radix override (e.g. {2,4}); empty → k,n
+  bool torus = true;       ///< torus (wraparound) vs mesh
+  int bristling = 1;       ///< processors per router (paper §4.2.2 varies this)
+
+  // --- Link / router resources -------------------------------------------
+  int vcs_per_link = 4;        ///< virtual channels per physical link
+  int flit_buffer_depth = 2;   ///< flit buffers per virtual channel
+  bool shared_adaptive = false;  ///< SA/DR: share all channels beyond E_m
+                                 ///< among message types ([21], paper §2.1)
+
+  // --- Endpoint resources ---------------------------------------------------
+  int msg_queue_size = 16;     ///< input/output message queue capacity (messages)
+  int msg_service_time = 40;   ///< memory-controller service latency (cycles)
+  int mshr_limit = 16;         ///< max outstanding transactions per node
+  QueueOrg queue_org = QueueOrg::Shared;  ///< Figure 11's queue organizations
+
+  // --- Protocol / traffic --------------------------------------------------
+  Scheme scheme = Scheme::PR;
+  std::string pattern = "PAT100";   ///< Table 3 transaction pattern
+  bool use_all_types = false;       ///< resource classes for all of m1..m4
+                                    ///< regardless of `pattern` (coherence runs)
+  MessageLengths lengths;           ///< 4-flit requests / 20-flit replies
+  double injection_rate = 0.01;     ///< m1 packets per node per cycle
+  int source_queue_size = 32;       ///< per-node source FIFO; generation
+                                    ///< stalls when full (self-throttling at
+                                    ///< saturation, as in flit-level sims)
+
+  // --- Deadlock handling ----------------------------------------------------
+  /// How potential message-dependent deadlocks are detected for recovery:
+  /// the §2.2 local heuristic at each interface, or the CWG ground-truth
+  /// detector run every `cwg_period` cycles (FlexSim's primary mechanism,
+  /// §4.1) flagging exactly the interfaces whose queues sit in a knot.
+  enum class DetectionMode : std::uint8_t { Local, Oracle };
+  DetectionMode detection_mode = DetectionMode::Local;
+  int detection_threshold = 25;   ///< T: endpoint no-progress cycles (§4.1)
+  int router_timeout = 1024;      ///< blocked-header cycles before a router
+                                  ///< suspects routing-dependent deadlock
+                                  ///< (PR/RG).  Deliberately much larger than
+                                  ///< the endpoint threshold: endpoint-coupled
+                                  ///< deadlocks are caught quickly at the NI,
+                                  ///< while pure network knots are rare and a
+                                  ///< short timeout floods the single token
+                                  ///< with tree-saturation false positives.
+  int cwg_period = 50;            ///< CWG deadlock-detection interval
+  bool cwg_enabled = false;       ///< run the (expensive) CWG ground-truth
+                                  ///< detector during simulation
+  int retry_backoff = 16;         ///< (RG) cycles before re-injecting a
+                                  ///< killed message
+  int num_tokens = 1;             ///< PR: concurrent recovery tokens, each
+                                  ///< with its own DB/DMB lane (1 = the
+                                  ///< paper's Extended Disha Sequential;
+                                  ///< >1 quantifies the serialization
+                                  ///< shortcoming §3 acknowledges)
+
+  // --- Run control -----------------------------------------------------------
+  std::uint64_t seed = 1;
+  Cycle warmup_cycles = 5000;
+  Cycle measure_cycles = 30000;   ///< paper: 30 000 beyond steady state
+  Cycle drain_limit = 200000;     ///< max extra cycles when draining
+
+  /// Escape channels per logical network needed for deadlock-free DOR
+  /// (2 with datelines on a torus, 1 on a mesh).
+  int escape_per_class() const { return torus ? 2 : 1; }
+
+  /// Builds the configured topology (honors the mixed-radix override).
+  Topology make_topology() const {
+    return dims.empty() ? Topology(k, n, torus, bristling)
+                        : Topology(dims, torus, bristling);
+  }
+
+  /// §4.2.1 trace-driven defaults: 4x4 torus, 4 VCs, MSI-style traffic.
+  static SimConfig application_defaults();
+
+  /// Throws ConfigError when the combination is inconsistent (e.g. SA with
+  /// too few VCs for the pattern's chain length — paper §4.3.2 notes SA is
+  /// infeasible below E_m).
+  void validate() const;
+};
+
+}  // namespace mddsim

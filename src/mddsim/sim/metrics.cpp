@@ -1,0 +1,51 @@
+#include "mddsim/sim/metrics.hpp"
+
+namespace mddsim {
+
+Metrics::Metrics(int nodes, double capacity, Cycle load_epoch)
+    : nodes_(nodes), load_hist_(load_epoch, capacity, nodes) {}
+
+void Metrics::on_flit_injected(NodeId node, Cycle now) {
+  (void)node;
+  load_hist_.record_injection(now, 1);
+  if (in_window(now)) ++flits_injected_;
+}
+
+void Metrics::on_packet_consumed(const Packet& pkt, Cycle now) {
+  if (in_window(now)) {
+    ++packets_delivered_;
+    flits_delivered_ += static_cast<std::uint64_t>(pkt.len_flits);
+  }
+  if (pkt.measured && now >= pkt.gen_cycle) {
+    const double lat = static_cast<double>(now - pkt.gen_cycle);
+    pkt_latency_.add(lat);
+    lat_quant_.add(lat);
+    type_latency_[static_cast<std::size_t>(type_index(pkt.type))].add(lat);
+  }
+}
+
+void Metrics::on_deflection(NodeId node, Cycle now) {
+  (void)node;
+  (void)now;
+}
+
+void Metrics::on_detection(NodeId node, Cycle now) {
+  (void)node;
+  (void)now;
+}
+
+void Metrics::on_txn_complete(const TxnCompletion& c, Cycle now) {
+  if (!in_window(c.start_cycle)) return;
+  ++txns_completed_;
+  txn_latency_.add(static_cast<double>(now - c.start_cycle));
+  txn_messages_.add(static_cast<double>(c.messages));
+}
+
+double Metrics::throughput() const {
+  const Cycle w = window_cycles();
+  if (w == 0) return 0.0;
+  return static_cast<double>(flits_delivered_) /
+         (static_cast<double>(w) * nodes_);
+}
+
+}  // namespace mddsim

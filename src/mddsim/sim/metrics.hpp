@@ -1,0 +1,78 @@
+#pragma once
+// Measurement collection: packet/transaction latency, delivered throughput,
+// injected-load histogram (Figure 6), and deadlock-handling event counts.
+
+#include <array>
+#include <cstdint>
+
+#include "mddsim/common/stats.hpp"
+#include "mddsim/common/types.hpp"
+#include "mddsim/netif/netif.hpp"
+#include "mddsim/protocol/generic_protocol.hpp"
+
+namespace mddsim {
+
+class Metrics : public EndpointObserver {
+ public:
+  /// @param nodes        endpoint count (for per-node normalization)
+  /// @param capacity     network capacity in flits/node/cycle (1.0 for the
+  ///                     8-ary 2-cube torus under uniform traffic)
+  /// @param load_epoch   epoch length for the load-rate histogram
+  Metrics(int nodes, double capacity = 1.0, Cycle load_epoch = 200);
+
+  void set_window(Cycle begin, Cycle end) {
+    win_begin_ = begin;
+    win_end_ = end;
+  }
+  bool in_window(Cycle c) const { return c >= win_begin_ && c < win_end_; }
+  Cycle window_cycles() const { return win_end_ - win_begin_; }
+
+  // --- EndpointObserver -----------------------------------------------------
+  void on_flit_injected(NodeId node, Cycle now) override;
+  void on_packet_consumed(const Packet& pkt, Cycle now) override;
+  void on_deflection(NodeId node, Cycle now) override;
+  void on_detection(NodeId node, Cycle now) override;
+
+  /// Wire to GenericProtocol::set_completion_callback.
+  void on_txn_complete(const TxnCompletion& c, Cycle now);
+
+  // --- Results ----------------------------------------------------------------
+  /// Delivered traffic within the window, flits/node/cycle.
+  double throughput() const;
+  /// Message latency (queue waiting + network time), measured packets only.
+  const RunningStat& packet_latency() const { return pkt_latency_; }
+  const RunningStat& packet_latency_of(MsgType t) const {
+    return type_latency_[static_cast<std::size_t>(type_index(t))];
+  }
+  /// Whole-dependency-chain latency.
+  const RunningStat& txn_latency() const { return txn_latency_; }
+  /// Exact/sampled message-latency quantiles (median, p95, p99, ...).
+  const QuantileSampler& latency_quantiles() const { return lat_quant_; }
+  const RunningStat& txn_messages() const { return txn_messages_; }
+
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+  std::uint64_t flits_delivered() const { return flits_delivered_; }
+  std::uint64_t txns_completed() const { return txns_completed_; }
+  std::uint64_t flits_injected() const { return flits_injected_; }
+
+  LoadHistogram& load_histogram() { return load_hist_; }
+  const LoadHistogram& load_histogram() const { return load_hist_; }
+
+ private:
+  int nodes_;
+  Cycle win_begin_ = 0;
+  Cycle win_end_ = 0;
+
+  RunningStat pkt_latency_;
+  QuantileSampler lat_quant_;
+  std::array<RunningStat, kNumMsgTypes> type_latency_;
+  RunningStat txn_latency_;
+  RunningStat txn_messages_;
+  std::uint64_t packets_delivered_ = 0;
+  std::uint64_t flits_delivered_ = 0;
+  std::uint64_t txns_completed_ = 0;
+  std::uint64_t flits_injected_ = 0;
+  LoadHistogram load_hist_;
+};
+
+}  // namespace mddsim

@@ -1,0 +1,282 @@
+#include "mddsim/sim/network.hpp"
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/core/cwg.hpp"
+#include "mddsim/core/recovery.hpp"
+#include "mddsim/core/regressive.hpp"
+#include "mddsim/protocol/pattern.hpp"
+
+namespace mddsim {
+
+namespace {
+
+std::array<bool, kNumMsgTypes> used_types_for(const SimConfig& cfg) {
+  if (cfg.use_all_types) return {true, true, true, true};
+  return TransactionPattern::by_name(cfg.pattern).used_types();
+}
+
+RoutingAlgorithm::Kind routing_kind_for(const SimConfig& cfg,
+                                        const VcLayout& layout) {
+  switch (cfg.scheme) {
+    case Scheme::PR:
+    case Scheme::RG:
+      return RoutingAlgorithm::Kind::TFAR;
+    case Scheme::SA:
+    case Scheme::DR:
+      // Paper §4.3.1: DOR unless enough VCs allow adaptivity via Duato's
+      // protocol (C > E_m for SA, C > 2·E_r for DR) — i.e. adaptive VCs
+      // exist within each logical network.
+      return layout.classes.front().adaptive() > 0
+                 ? RoutingAlgorithm::Kind::Duato
+                 : RoutingAlgorithm::Kind::DOR;
+  }
+  return RoutingAlgorithm::Kind::DOR;
+}
+
+}  // namespace
+
+Network::Network(const SimConfig& cfg, EndpointProtocol& protocol)
+    : cfg_(cfg),
+      topo_(cfg.make_topology()),
+      cmap_(ClassMap::make(cfg.scheme, used_types_for(cfg))),
+      layout_(VcLayout::make(cfg.scheme, cmap_.num_classes, cfg.vcs_per_link,
+                             cfg.escape_per_class(), cfg.shared_adaptive)) {
+  routing_ = std::make_unique<RoutingAlgorithm>(routing_kind_for(cfg, layout_),
+                                                topo_, layout_);
+
+  // Endpoint queue organization: per logical network by default (SA: one
+  // queue set per message type; DR: request + reply; PR: shared), or fully
+  // per-type when Figure 11's "QA" organization is selected.
+  const auto used = used_types_for(cfg);
+  qmap_ = cfg.queue_org == QueueOrg::PerType
+              ? ClassMap::make(Scheme::SA, used)
+              : cmap_;
+
+  routers_.reserve(static_cast<std::size_t>(topo_.num_routers()));
+  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+    routers_.push_back(std::make_unique<Router>(
+        r, topo_, *routing_, layout_.total_vcs, cfg.flit_buffer_depth,
+        cfg.router_timeout));
+  }
+  nis_.reserve(static_cast<std::size_t>(topo_.num_nodes()));
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    nis_.push_back(std::make_unique<NetworkInterface>(
+        n, cfg_, cmap_, qmap_, layout_, protocol, *this));
+  }
+
+  if (cfg.scheme == Scheme::PR) {
+    // One engine per token; start positions staggered around the ring.
+    const int stops = topo_.num_routers() * (1 + topo_.bristling());
+    for (int t = 0; t < cfg.num_tokens; ++t) {
+      recovery_.push_back(
+          std::make_unique<RecoveryEngine>(*this, t * stops / cfg.num_tokens));
+    }
+  }
+  if (cfg.scheme == Scheme::RG) regress_ = std::make_unique<RegressiveEngine>(*this);
+  if (cfg.detection_mode == SimConfig::DetectionMode::Oracle) {
+    oracle_ = std::make_unique<CwgDetector>(*this);
+  }
+}
+
+Network::~Network() = default;
+
+void Network::set_observer(EndpointObserver* obs) { observer_ = obs; }
+
+PacketPtr Network::make_packet(const OutMsg& m, Cycle now) {
+  MDD_CHECK_MSG(m.src != m.dst, "self-addressed messages never enter the network");
+  auto pkt = std::make_shared<Packet>();
+  pkt->id = next_packet_id_++;
+  pkt->txn = m.txn;
+  pkt->chain_pos = m.chain_pos;
+  pkt->type = m.type;
+  pkt->src = m.src;
+  pkt->dst = m.dst;
+  pkt->len_flits = m.len_flits;
+  pkt->vc_class = cmap_.of(m.type);
+  pkt->gen_cycle = now;
+  pkt->measured = in_measurement(now);
+  return pkt;
+}
+
+void Network::step() {
+  const Cycle now = cycle_;
+
+  for (auto& ni : nis_) ni->step_eject(now);
+  for (auto& ni : nis_) ni->step_mc(now);
+  for (auto& ni : nis_) ni->update_detection(now);
+  if (oracle_ && now % static_cast<Cycle>(cfg_.cwg_period) == 0) {
+    // Oracle detection (§4.1 CWG mechanism): flag every interface whose
+    // input queue participates in a knot so the token captures there.
+    for (const auto& knot : oracle_->find_knots()) {
+      for (const auto& [node, slot] : oracle_->input_queue_members(knot)) {
+        nis_[static_cast<std::size_t>(node)]->force_detection(slot, now);
+      }
+    }
+  }
+  if (cfg_.scheme == Scheme::DR) {
+    for (auto& ni : nis_) ni->step_deflect(now);
+  }
+  for (auto& engine : recovery_) engine->step(now);
+  if (regress_) regress_->step(now);
+  for (auto& ni : nis_) {
+    ni->step_pending(now);
+    ni->step_inject(now);
+  }
+  for (auto& r : routers_) r->step(now, *this);
+  commit();
+
+  ++cycle_;
+}
+
+void Network::stage_flit(RouterId from, int out_port, int out_vc, Flit f) {
+  const int net_ports = topo_.num_net_ports();
+  if (out_port < net_ports) {
+    const int dim = out_port / 2, dir = out_port % 2;
+    const RouterId nr = topo_.neighbor(from, dim, dir);
+    MDD_CHECK(nr != kInvalidRouter);
+    staged_router_flits_.push_back(
+        {nr, dim * 2 + (1 - dir), out_vc, std::move(f)});
+  } else {
+    const NodeId node = topo_.node_of(from, out_port - net_ports);
+    staged_ni_flits_.push_back({node, out_vc, std::move(f)});
+  }
+}
+
+void Network::stage_credit_upstream(RouterId at, int in_port, int in_vc) {
+  const int net_ports = topo_.num_net_ports();
+  if (in_port < net_ports) {
+    const int dim = in_port / 2, dir = in_port % 2;
+    const RouterId up = topo_.neighbor(at, dim, dir);
+    MDD_CHECK(up != kInvalidRouter);
+    staged_router_credits_.push_back({up, dim * 2 + (1 - dir), in_vc});
+  } else {
+    const NodeId node = topo_.node_of(at, in_port - net_ports);
+    staged_ni_credits_.push_back({node, in_vc});
+  }
+}
+
+void Network::stage_injection_flit(NodeId node, int vc, Flit f) {
+  const RouterId r = topo_.router_of_node(node);
+  const int port = topo_.num_net_ports() + topo_.slot_of_node(node);
+  staged_router_flits_.push_back({r, port, vc, std::move(f)});
+}
+
+void Network::stage_ejection_credit(NodeId node, int vc) {
+  const RouterId r = topo_.router_of_node(node);
+  const int port = topo_.num_net_ports() + topo_.slot_of_node(node);
+  staged_router_credits_.push_back({r, port, vc});
+}
+
+void Network::commit() {
+  const Cycle now = cycle_;
+  for (auto& e : staged_router_flits_) {
+    routers_[static_cast<std::size_t>(e.r)]->deliver_flit(e.port, e.vc,
+                                                          std::move(e.f), now);
+  }
+  staged_router_flits_.clear();
+  for (auto& e : staged_ni_flits_) {
+    nis_[static_cast<std::size_t>(e.node)]->deliver_ejected_flit(std::move(e.f),
+                                                                 e.vc, now);
+  }
+  staged_ni_flits_.clear();
+  for (const auto& e : staged_router_credits_) {
+    routers_[static_cast<std::size_t>(e.r)]->deliver_credit(e.port, e.vc);
+  }
+  staged_router_credits_.clear();
+  for (const auto& e : staged_ni_credits_) {
+    nis_[static_cast<std::size_t>(e.node)]->deliver_injection_credit(e.vc);
+  }
+  staged_ni_credits_.clear();
+}
+
+std::vector<double> Network::vc_utilization() const {
+  std::vector<double> util(static_cast<std::size_t>(layout_.total_vcs), 0.0);
+  if (cycle_ == 0) return util;
+  const int net_ports = topo_.num_net_ports();
+  std::uint64_t links = 0;
+  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+    for (int p = 0; p < net_ports; ++p) {
+      if (topo_.neighbor(r, p / 2, p % 2) == kInvalidRouter) continue;
+      ++links;
+      for (int v = 0; v < layout_.total_vcs; ++v) {
+        util[static_cast<std::size_t>(v)] += static_cast<double>(
+            routers_[static_cast<std::size_t>(r)]->output(p, v).flits_forwarded);
+      }
+    }
+  }
+  for (auto& u : util) u /= static_cast<double>(links) * static_cast<double>(cycle_);
+  return util;
+}
+
+int Network::flits_in_network() const {
+  int total = 0;
+  for (const auto& r : routers_) total += r->total_buffered_flits();
+  for (const auto& ni : nis_) total += ni->total_ejection_flits();
+  total += static_cast<int>(staged_router_flits_.size());
+  total += static_cast<int>(staged_ni_flits_.size());
+  return total;
+}
+
+void Network::check_flow_invariants() const {
+  MDD_CHECK_MSG(staged_router_flits_.empty() && staged_ni_flits_.empty() &&
+                    staged_router_credits_.empty() && staged_ni_credits_.empty(),
+                "invariant check must run between cycles");
+  const int net_ports = topo_.num_net_ports();
+  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+    const Router& router = *routers_[static_cast<std::size_t>(r)];
+    for (int p = 0; p < router.num_outputs(); ++p) {
+      for (int v = 0; v < layout_.total_vcs; ++v) {
+        const int credits = router.output(p, v).credits;
+        int downstream;
+        if (p < net_ports) {
+          const int dim = p / 2, dir = p % 2;
+          const RouterId nr = topo_.neighbor(r, dim, dir);
+          if (nr == kInvalidRouter) {
+            // Mesh edge: the port has no link; its credits must be untouched.
+            MDD_CHECK_MSG(credits == cfg_.flit_buffer_depth,
+                          "credits consumed on a nonexistent mesh-edge link");
+            continue;
+          }
+          downstream = static_cast<int>(
+              routers_[static_cast<std::size_t>(nr)]->input(dim * 2 + (1 - dir), v).buffer.size());
+        } else {
+          const NodeId node = topo_.node_of(r, p - net_ports);
+          downstream = static_cast<int>(
+              nis_[static_cast<std::size_t>(node)]->ejection_buffer(v).size());
+        }
+        MDD_CHECK_MSG(credits + downstream == cfg_.flit_buffer_depth,
+                      "link credit conservation violated");
+      }
+    }
+  }
+  // Injection channels: NI-held credits + router injection buffers.
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    const RouterId r = topo_.router_of_node(n);
+    const int port = net_ports + topo_.slot_of_node(n);
+    for (int v = 0; v < layout_.total_vcs; ++v) {
+      const int buffered = static_cast<int>(
+          routers_[static_cast<std::size_t>(r)]->input(port, v).buffer.size());
+      const int credits = nis_[static_cast<std::size_t>(n)]->injection_credits(v);
+      MDD_CHECK_MSG(credits + buffered == cfg_.flit_buffer_depth,
+                    "injection credit conservation violated");
+    }
+  }
+}
+
+bool Network::idle() const {
+  if (flits_in_network() != 0) return false;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    const NetworkInterface& ni = *nis_[static_cast<std::size_t>(n)];
+    if (ni.pending_backlog() != 0 || ni.outstanding() != 0) return false;
+    for (int s = 0; s < ni.num_queue_slots(); ++s) {
+      if (ni.input_size(s) != 0 || ni.output_size(s) != 0) return false;
+    }
+    if (ni.mc_current() != nullptr) return false;
+  }
+  for (const auto& engine : recovery_) {
+    if (engine->busy()) return false;
+  }
+  return true;
+}
+
+}  // namespace mddsim

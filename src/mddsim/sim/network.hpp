@@ -1,0 +1,155 @@
+#pragma once
+// Top-level network: wires routers, links and network interfaces together,
+// owns the per-cycle schedule, and mediates all flit/credit movement with
+// one cycle of link latency (events staged during a cycle are committed at
+// its end).
+
+#include <memory>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+#include "mddsim/flow/packet.hpp"
+#include "mddsim/netif/netif.hpp"
+#include "mddsim/protocol/endpoint.hpp"
+#include "mddsim/router/router.hpp"
+#include "mddsim/routing/routing.hpp"
+#include "mddsim/sim/config.hpp"
+#include "mddsim/topology/topology.hpp"
+
+namespace mddsim {
+
+class RecoveryEngine;
+class RegressiveEngine;
+class CwgDetector;
+
+/// Counters for deadlock-handling events (window = measurement phase).
+struct DeadlockCounters {
+  std::uint64_t detections = 0;   ///< endpoint detector firings
+  std::uint64_t deflections = 0;  ///< DR backoff replies issued
+  std::uint64_t rescues = 0;      ///< PR token captures (recovery episodes)
+  std::uint64_t rescued_msgs = 0; ///< messages routed over the DB/DMB lane
+  std::uint64_t retries = 0;      ///< RG kills + re-injections
+  std::uint64_t cwg_deadlocks = 0;///< knots found by the CWG detector
+};
+
+class Network {
+ public:
+  Network(const SimConfig& cfg, EndpointProtocol& protocol);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Runs one cycle of the whole system.
+  void step();
+
+  Cycle now() const { return cycle_; }
+  const SimConfig& config() const { return cfg_; }
+  const Topology& topology() const { return topo_; }
+  const RoutingAlgorithm& routing() const { return *routing_; }
+  const VcLayout& layout() const { return layout_; }
+  const ClassMap& class_map() const { return cmap_; }
+  const ClassMap& queue_map() const { return qmap_; }
+
+  int num_nodes() const { return topo_.num_nodes(); }
+  Router& router(RouterId r) { return *routers_[static_cast<std::size_t>(r)]; }
+  const Router& router(RouterId r) const { return *routers_[static_cast<std::size_t>(r)]; }
+  NetworkInterface& ni(NodeId n) { return *nis_[static_cast<std::size_t>(n)]; }
+  const NetworkInterface& ni(NodeId n) const { return *nis_[static_cast<std::size_t>(n)]; }
+
+  // --- Staging API (used by routers and NIs during a cycle). ---------------
+  void stage_flit(RouterId from, int out_port, int out_vc, Flit f);
+  void stage_credit_upstream(RouterId at, int in_port, int in_vc);
+  void stage_injection_flit(NodeId node, int vc, Flit f);
+  void stage_ejection_credit(NodeId node, int vc);
+
+  // --- Packet factory / measurement window. --------------------------------
+  PacketPtr make_packet(const OutMsg& m, Cycle now);
+  void set_measurement_window(Cycle begin, Cycle end) {
+    meas_begin_ = begin;
+    meas_end_ = end;
+  }
+  bool in_measurement(Cycle c) const { return c >= meas_begin_ && c < meas_end_; }
+
+  void set_observer(EndpointObserver* obs);
+  EndpointObserver* observer() const { return observer_; }
+
+  DeadlockCounters& counters() { return counters_; }
+  const DeadlockCounters& counters() const { return counters_; }
+
+  RecoveryEngine* recovery() {
+    return recovery_.empty() ? nullptr : recovery_.front().get();
+  }
+  const std::vector<std::unique_ptr<RecoveryEngine>>& recovery_engines() const {
+    return recovery_;
+  }
+
+  /// Flits currently buffered anywhere in the fabric (routers + ejection
+  /// channels + staged) — used by drain loops and conservation tests.
+  int flits_in_network() const;
+
+  /// Per-VC utilization over the run so far: for each VC index, the mean
+  /// flits forwarded per network link per cycle.  Quantifies the paper's
+  /// §2.1 claim that partitioning leaves channels under- and unevenly
+  /// utilized.
+  std::vector<double> vc_utilization() const;
+
+  /// True when every queue, buffer and engine is empty (fully drained).
+  bool idle() const;
+
+  /// Verifies flow-control conservation: for every link, credits held at
+  /// the sender plus flits buffered at the receiver equal the buffer depth.
+  /// Must be called between cycles (staging lists empty).  Throws
+  /// InvariantError on violation.
+  void check_flow_invariants() const;
+
+ private:
+  struct FlitToRouter {
+    RouterId r;
+    int port;
+    int vc;
+    Flit f;
+  };
+  struct FlitToNi {
+    NodeId node;
+    int vc;
+    Flit f;
+  };
+  struct CreditToRouter {
+    RouterId r;
+    int port;
+    int vc;
+  };
+  struct CreditToNi {
+    NodeId node;
+    int vc;
+  };
+
+  void commit();
+
+  SimConfig cfg_;
+  Topology topo_;
+  ClassMap cmap_;   ///< message type → VC class (logical network)
+  ClassMap qmap_;   ///< message type → endpoint queue slot
+  VcLayout layout_;
+  std::unique_ptr<RoutingAlgorithm> routing_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  std::vector<std::unique_ptr<RecoveryEngine>> recovery_;
+  std::unique_ptr<RegressiveEngine> regress_;
+  std::unique_ptr<CwgDetector> oracle_;
+
+  std::vector<FlitToRouter> staged_router_flits_;
+  std::vector<FlitToNi> staged_ni_flits_;
+  std::vector<CreditToRouter> staged_router_credits_;
+  std::vector<CreditToNi> staged_ni_credits_;
+
+  Cycle cycle_ = 0;
+  PacketId next_packet_id_ = 1;
+  Cycle meas_begin_ = 0;
+  Cycle meas_end_ = 0;
+  EndpointObserver* observer_ = nullptr;
+  DeadlockCounters counters_;
+};
+
+}  // namespace mddsim

@@ -1,0 +1,53 @@
+#include "mddsim/sim/report.hpp"
+
+#include <ostream>
+
+namespace mddsim {
+
+void write_csv_header(std::ostream& os) {
+  os << "label,offered_load,throughput,avg_packet_latency,avg_txn_latency,"
+        "avg_txn_messages,packets_delivered,txns_completed,detections,"
+        "deflections,rescues,rescued_msgs,retries,cwg_deadlocks,"
+        "normalized_deadlocks,drained,cycles\n";
+}
+
+void write_csv_row(std::ostream& os, const std::string& label,
+                   const RunResult& r) {
+  os << label << ',' << r.offered_load << ',' << r.throughput << ','
+     << r.avg_packet_latency << ',' << r.avg_txn_latency << ','
+     << r.avg_txn_messages << ',' << r.packets_delivered << ','
+     << r.txns_completed << ',' << r.counters.detections << ','
+     << r.counters.deflections << ',' << r.counters.rescues << ','
+     << r.counters.rescued_msgs << ',' << r.counters.retries << ','
+     << r.counters.cwg_deadlocks << ',' << r.normalized_deadlocks << ','
+     << (r.drained ? 1 : 0) << ',' << r.cycles_run << '\n';
+}
+
+void write_csv(std::ostream& os, const std::vector<ReportSeries>& series) {
+  write_csv_header(os);
+  for (const auto& s : series) {
+    for (const auto& r : s.points) write_csv_row(os, s.label, r);
+  }
+}
+
+void write_json(std::ostream& os, const std::string& label,
+                const RunResult& r) {
+  os << "{\"label\":\"" << label << "\",\"offered_load\":" << r.offered_load
+     << ",\"throughput\":" << r.throughput
+     << ",\"avg_packet_latency\":" << r.avg_packet_latency
+     << ",\"avg_txn_latency\":" << r.avg_txn_latency
+     << ",\"avg_txn_messages\":" << r.avg_txn_messages
+     << ",\"packets_delivered\":" << r.packets_delivered
+     << ",\"txns_completed\":" << r.txns_completed
+     << ",\"detections\":" << r.counters.detections
+     << ",\"deflections\":" << r.counters.deflections
+     << ",\"rescues\":" << r.counters.rescues
+     << ",\"rescued_msgs\":" << r.counters.rescued_msgs
+     << ",\"retries\":" << r.counters.retries
+     << ",\"cwg_deadlocks\":" << r.counters.cwg_deadlocks
+     << ",\"normalized_deadlocks\":" << r.normalized_deadlocks
+     << ",\"drained\":" << (r.drained ? "true" : "false")
+     << ",\"cycles\":" << r.cycles_run << "}\n";
+}
+
+}  // namespace mddsim

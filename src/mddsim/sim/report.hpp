@@ -1,0 +1,34 @@
+#pragma once
+// Structured experiment output: CSV series (one row per run) and a compact
+// JSON object per run, so figure data can be piped straight into plotting
+// tools.  Used by the bench harnesses and the CLI driver.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+
+/// One labelled collection of sweep results (e.g. a scheme's curve).
+struct ReportSeries {
+  std::string label;
+  std::vector<RunResult> points;
+};
+
+/// Writes the CSV header used by `write_csv_row`.
+void write_csv_header(std::ostream& os);
+
+/// One CSV row: label + the run's headline metrics and deadlock counters.
+void write_csv_row(std::ostream& os, const std::string& label,
+                   const RunResult& r);
+
+/// Whole-sweep convenience.
+void write_csv(std::ostream& os, const std::vector<ReportSeries>& series);
+
+/// Single run as a one-line JSON object.
+void write_json(std::ostream& os, const std::string& label,
+                const RunResult& r);
+
+}  // namespace mddsim

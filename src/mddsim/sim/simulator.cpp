@@ -1,0 +1,96 @@
+#include "mddsim/sim/simulator.hpp"
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim {
+
+Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  cfg_.validate();
+  protocol_ = std::make_unique<GenericProtocol>(
+      TransactionPattern::by_name(cfg_.pattern), cfg_.lengths,
+      cfg_.make_topology().num_nodes(),
+      rng_.split());
+  net_ = std::make_unique<Network>(cfg_, *protocol_);
+  metrics_ = std::make_unique<Metrics>(net_->num_nodes());
+  net_->set_observer(metrics_.get());
+  protocol_->set_completion_callback([this](const TxnCompletion& c) {
+    metrics_->on_txn_complete(c, net_->now());
+  });
+  if (cfg_.cwg_enabled) cwg_ = std::make_unique<CwgDetector>(*net_);
+  node_rng_.reserve(static_cast<std::size_t>(net_->num_nodes()));
+  for (int i = 0; i < net_->num_nodes(); ++i) node_rng_.push_back(rng_.split());
+}
+
+void Simulator::generate_traffic(Cycle now) {
+  for (NodeId n = 0; n < net_->num_nodes(); ++n) {
+    if (!node_rng_[static_cast<std::size_t>(n)].next_bool(cfg_.injection_rate))
+      continue;
+    if (net_->ni(n).source_full()) continue;  // generator stalls at saturation
+    OutMsg m = protocol_->start_transaction(n, now);
+    net_->ni(n).offer_new_transaction(m, now);
+  }
+}
+
+RunResult Simulator::run(bool drain) {
+  const Cycle warm = cfg_.warmup_cycles;
+  const Cycle end = warm + cfg_.measure_cycles;
+  net_->set_measurement_window(warm, end);
+  metrics_->set_window(warm, end);
+
+  while (net_->now() < end) {
+    generate_traffic(net_->now());
+    net_->step();
+    if (cwg_ && net_->now() % static_cast<Cycle>(cfg_.cwg_period) == 0) {
+      net_->counters().cwg_deadlocks += cwg_->scan();
+    }
+  }
+
+  RunResult r;
+  r.drained = true;
+  if (drain) {
+    const Cycle limit = end + cfg_.drain_limit;
+    while (net_->now() < limit &&
+           !(net_->idle() && protocol_->live_transactions() == 0)) {
+      net_->step();
+      if (cwg_ && net_->now() % static_cast<Cycle>(cfg_.cwg_period) == 0) {
+        net_->counters().cwg_deadlocks += cwg_->scan();
+      }
+    }
+    r.drained = net_->idle() && protocol_->live_transactions() == 0;
+  }
+
+  r.offered_load = cfg_.injection_rate;
+  r.throughput = metrics_->throughput();
+  r.avg_packet_latency = metrics_->packet_latency().mean();
+  r.p50_packet_latency = metrics_->latency_quantiles().median();
+  r.p95_packet_latency = metrics_->latency_quantiles().p95();
+  r.p99_packet_latency = metrics_->latency_quantiles().p99();
+  r.avg_txn_latency = metrics_->txn_latency().mean();
+  r.avg_txn_messages = metrics_->txn_messages().mean();
+  r.packets_delivered = metrics_->packets_delivered();
+  r.txns_completed = metrics_->txns_completed();
+  r.counters = net_->counters();
+  const std::uint64_t events = r.counters.rescues + r.counters.deflections +
+                               r.counters.retries;
+  r.normalized_deadlocks =
+      r.packets_delivered == 0
+          ? 0.0
+          : static_cast<double>(events) / static_cast<double>(r.packets_delivered);
+  r.cycles_run = net_->now();
+  return r;
+}
+
+std::vector<RunResult> sweep_loads(const SimConfig& base,
+                                   const std::vector<double>& loads) {
+  std::vector<RunResult> out;
+  out.reserve(loads.size());
+  for (double load : loads) {
+    SimConfig cfg = base;
+    cfg.injection_rate = load;
+    Simulator sim(cfg);
+    out.push_back(sim.run());
+  }
+  return out;
+}
+
+}  // namespace mddsim

@@ -1,0 +1,74 @@
+#pragma once
+// High-level driver for synthetic-load experiments (paper §4.3): open-loop
+// request generation at a configured rate, warmup + measurement phases, and
+// optional drain.  This is the main public entry point of the library:
+//
+//   SimConfig cfg;
+//   cfg.scheme = Scheme::PR;
+//   cfg.pattern = "PAT271";
+//   cfg.injection_rate = 0.004;
+//   Simulator sim(cfg);
+//   RunResult r = sim.run();
+//   // r.throughput, r.avg_packet_latency, r.counters ...
+
+#include <memory>
+#include <vector>
+
+#include "mddsim/common/rng.hpp"
+#include "mddsim/core/cwg.hpp"
+#include "mddsim/protocol/generic_protocol.hpp"
+#include "mddsim/sim/config.hpp"
+#include "mddsim/sim/metrics.hpp"
+#include "mddsim/sim/network.hpp"
+
+namespace mddsim {
+
+/// Aggregate results of one simulation run.
+struct RunResult {
+  double offered_load = 0.0;        ///< m1 packets/node/cycle requested
+  double throughput = 0.0;          ///< delivered flits/node/cycle
+  double avg_packet_latency = 0.0;  ///< cycles, queue wait + network
+  double p50_packet_latency = 0.0;
+  double p95_packet_latency = 0.0;
+  double p99_packet_latency = 0.0;
+  double avg_txn_latency = 0.0;     ///< whole dependency chain
+  double avg_txn_messages = 0.0;    ///< messages per transaction
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t txns_completed = 0;
+  DeadlockCounters counters;
+  double normalized_deadlocks = 0.0;  ///< deadlock events / delivered msgs
+  bool drained = false;
+  Cycle cycles_run = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& cfg);
+
+  /// Runs warmup + measurement (and a drain when cfg asks for it via
+  /// run(true)); returns aggregated results.
+  RunResult run(bool drain = false);
+
+  Network& network() { return *net_; }
+  GenericProtocol& protocol() { return *protocol_; }
+  Metrics& metrics() { return *metrics_; }
+  const SimConfig& config() const { return cfg_; }
+
+ private:
+  void generate_traffic(Cycle now);
+
+  SimConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<GenericProtocol> protocol_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<Metrics> metrics_;
+  std::unique_ptr<CwgDetector> cwg_;
+  std::vector<Rng> node_rng_;
+};
+
+/// Runs one latency-throughput sweep point per offered load, in Burton
+/// Normal Form order (paper §4.3.1).  Convenience for benches/examples.
+std::vector<RunResult> sweep_loads(const SimConfig& base,
+                                   const std::vector<double>& loads);
+
+}  // namespace mddsim

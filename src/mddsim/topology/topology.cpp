@@ -1,0 +1,168 @@
+#include "mddsim/topology/topology.hpp"
+
+#include <numeric>
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim {
+
+Topology::Topology(int k, int n, bool wrap, int bristling)
+    : Topology(std::vector<int>(n > 0 ? static_cast<std::size_t>(n) : 0, k),
+               wrap, bristling) {}
+
+Topology::Topology(std::vector<int> dims, bool wrap, int bristling)
+    : dims_(std::move(dims)),
+      n_(static_cast<int>(dims_.size())),
+      wrap_(wrap),
+      bristling_(bristling) {
+  MDD_CHECK_MSG(n_ >= 1, "dimension must be >= 1");
+  for (int kd : dims_) MDD_CHECK_MSG(kd >= 2, "radix must be >= 2");
+  MDD_CHECK_MSG(bristling >= 1, "bristling factor must be >= 1");
+  num_routers_ = 1;
+  stride_.resize(static_cast<std::size_t>(n_));
+  for (int d = 0; d < n_; ++d) {
+    stride_[static_cast<std::size_t>(d)] = num_routers_;
+    num_routers_ *= dims_[static_cast<std::size_t>(d)];
+  }
+  build_ring();
+}
+
+int Topology::coord(RouterId r, int dim) const {
+  return (r / stride_[static_cast<std::size_t>(dim)]) % dims_[static_cast<std::size_t>(dim)];
+}
+
+RouterId Topology::router_at(const std::vector<int>& coords) const {
+  MDD_CHECK(static_cast<int>(coords.size()) == n_);
+  RouterId r = 0;
+  for (int d = 0; d < n_; ++d) {
+    MDD_CHECK(coords[static_cast<std::size_t>(d)] >= 0 &&
+              coords[static_cast<std::size_t>(d)] < dims_[static_cast<std::size_t>(d)]);
+    r += coords[static_cast<std::size_t>(d)] * stride_[static_cast<std::size_t>(d)];
+  }
+  return r;
+}
+
+RouterId Topology::neighbor(RouterId r, int dim, int dir) const {
+  const int kd = dims_[static_cast<std::size_t>(dim)];
+  const int c = coord(r, dim);
+  int nc;
+  if (dir == kDirPlus) {
+    nc = c + 1;
+    if (nc == kd) {
+      if (!wrap_) return kInvalidRouter;
+      nc = 0;
+    }
+  } else {
+    nc = c - 1;
+    if (nc < 0) {
+      if (!wrap_) return kInvalidRouter;
+      nc = kd - 1;
+    }
+  }
+  return r + (nc - c) * stride_[static_cast<std::size_t>(dim)];
+}
+
+bool Topology::is_wraparound(RouterId r, int dim, int dir) const {
+  if (!wrap_) return false;
+  const int c = coord(r, dim);
+  return (dir == kDirPlus) ? (c == dims_[static_cast<std::size_t>(dim)] - 1)
+                           : (c == 0);
+}
+
+void Topology::min_hops(RouterId from, RouterId to,
+                        std::vector<DimHop>& out) const {
+  out.clear();
+  for (int d = 0; d < n_; ++d) {
+    const int kd = dims_[static_cast<std::size_t>(d)];
+    const int cf = coord(from, d);
+    const int ct = coord(to, d);
+    if (cf == ct) continue;
+    if (!wrap_) {
+      if (ct > cf) {
+        out.push_back({d, kDirPlus, ct - cf});
+      } else {
+        out.push_back({d, kDirMinus, cf - ct});
+      }
+      continue;
+    }
+    const int plus = (ct - cf + kd) % kd;
+    const int minus = kd - plus;
+    if (plus < minus) {
+      out.push_back({d, kDirPlus, plus});
+    } else if (minus < plus) {
+      out.push_back({d, kDirMinus, minus});
+    } else {
+      // Equidistant both ways (even radix, offset k/2): both are minimal.
+      out.push_back({d, kDirPlus, plus});
+      out.push_back({d, kDirMinus, minus});
+    }
+  }
+}
+
+int Topology::distance(RouterId a, RouterId b) const {
+  int dist = 0;
+  for (int d = 0; d < n_; ++d) {
+    const int kd = dims_[static_cast<std::size_t>(d)];
+    const int ca = coord(a, d);
+    const int cb = coord(b, d);
+    const int diff = std::abs(ca - cb);
+    dist += wrap_ ? std::min(diff, kd - diff) : diff;
+  }
+  return dist;
+}
+
+double Topology::mean_distance() const {
+  // Exact mean over all ordered pairs, one dimension at a time.
+  double total = 0.0;
+  for (int d = 0; d < n_; ++d) {
+    const int kd = dims_[static_cast<std::size_t>(d)];
+    double per_dim = 0.0;
+    for (int a = 0; a < kd; ++a) {
+      for (int b = 0; b < kd; ++b) {
+        const int diff = std::abs(a - b);
+        per_dim += wrap_ ? std::min(diff, kd - diff) : diff;
+      }
+    }
+    total += per_dim / (static_cast<double>(kd) * kd);
+  }
+  return total;
+}
+
+void Topology::build_ring() {
+  // Boustrophedon ("snake") order: a Hamiltonian path over the grid, closed
+  // into a ring.  On a torus the closing hop is a real wraparound link; the
+  // token lane is logical anyway (paper §3), so mesh closure is accepted.
+  ring_order_.resize(static_cast<std::size_t>(num_routers_));
+  ring_pos_.resize(static_cast<std::size_t>(num_routers_));
+  std::vector<int> coords(static_cast<std::size_t>(n_), 0);
+  for (int pos = 0; pos < num_routers_; ++pos) {
+    // Map `pos` to snake coordinates: compute digits most-significant
+    // first, flipping lower digits whenever the running parity of the
+    // higher digits is odd, so consecutive positions differ by one hop.
+    int rem = pos;
+    int parity = 0;
+    for (int d = n_ - 1; d >= 0; --d) {
+      const int s = stride_[static_cast<std::size_t>(d)];
+      int digit = rem / s;
+      rem %= s;
+      if (parity % 2 == 1) digit = dims_[static_cast<std::size_t>(d)] - 1 - digit;
+      coords[static_cast<std::size_t>(d)] = digit;
+      parity += digit;
+    }
+    const RouterId r = router_at(coords);
+    ring_order_[static_cast<std::size_t>(pos)] = r;
+    ring_pos_[static_cast<std::size_t>(r)] = pos;
+  }
+}
+
+RouterId Topology::ring_next(RouterId r) const {
+  const int pos = ring_pos(r);
+  return ring_at((pos + 1) % num_routers_);
+}
+
+int Topology::ring_distance(RouterId from, RouterId to) const {
+  const int d = ring_pos(to) - ring_pos(from);
+  return d >= 0 ? d : d + num_routers_;
+}
+
+}  // namespace mddsim

@@ -1,0 +1,101 @@
+#pragma once
+// k-ary n-cube topology (torus or mesh) with bristling, plus the
+// Hamiltonian recovery ring used by the Disha deadlock-buffer lane and the
+// circulating token.
+//
+// Router network ports are numbered `dim * 2 + dir` with dir 0 = "+"
+// (increasing coordinate) and dir 1 = "−".  With bristling factor B, node
+// (network-interface) ids are `router * B + slot`.
+
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+
+namespace mddsim {
+
+/// Direction constants for port numbering.
+inline constexpr int kDirPlus = 0;
+inline constexpr int kDirMinus = 1;
+
+/// One productive hop toward a destination: dimension, direction, and the
+/// remaining hop count in that dimension.
+struct DimHop {
+  int dim;
+  int dir;   // kDirPlus or kDirMinus
+  int dist;  // hops remaining in this dimension going this way
+};
+
+class Topology {
+ public:
+  /// @param k          radix (nodes per dimension), k >= 2
+  /// @param n          dimensionality, n >= 1
+  /// @param wrap       true = torus (wraparound links), false = mesh
+  /// @param bristling  processors (network interfaces) per router, >= 1
+  Topology(int k, int n, bool wrap = true, int bristling = 1);
+
+  /// Mixed-radix construction (e.g. the paper's 2×4 bristled torus).
+  Topology(std::vector<int> dims, bool wrap = true, int bristling = 1);
+
+  /// Radix of dimension d (uniform-radix callers may use k()).
+  int k(int dim = 0) const { return dims_[static_cast<std::size_t>(dim)]; }
+  int n() const { return n_; }
+  bool wrap() const { return wrap_; }
+  int bristling() const { return bristling_; }
+
+  int num_routers() const { return num_routers_; }
+  int num_nodes() const { return num_routers_ * bristling_; }
+  /// Network (inter-router) ports per router: one per dimension-direction.
+  int num_net_ports() const { return 2 * n_; }
+
+  RouterId router_of_node(NodeId node) const { return node / bristling_; }
+  int slot_of_node(NodeId node) const { return node % bristling_; }
+  NodeId node_of(RouterId r, int slot) const {
+    return r * bristling_ + slot;
+  }
+
+  /// Coordinate of router r in dimension d.
+  int coord(RouterId r, int dim) const;
+  RouterId router_at(const std::vector<int>& coords) const;
+
+  /// Neighbor through port (dim, dir); kInvalidRouter at a mesh edge.
+  RouterId neighbor(RouterId r, int dim, int dir) const;
+
+  /// True when the (dim, dir) link out of r is a torus wraparound link —
+  /// the "dateline" crossing used for escape-VC selection.
+  bool is_wraparound(RouterId r, int dim, int dir) const;
+
+  /// All minimal productive hops from `from` toward `to` (both directions
+  /// are returned when a torus dimension offset is exactly k/2).
+  void min_hops(RouterId from, RouterId to, std::vector<DimHop>& out) const;
+
+  /// Minimal hop distance between two routers.
+  int distance(RouterId a, RouterId b) const;
+
+  /// Average minimal distance under uniform random traffic — used for
+  /// capacity normalization (k/4 per dimension for an even-radix torus).
+  double mean_distance() const;
+
+  // --- Recovery ring (Hamiltonian "snake" order over routers). -----------
+  /// Position of router r on the ring, in [0, num_routers).
+  int ring_pos(RouterId r) const { return ring_pos_[static_cast<std::size_t>(r)]; }
+  /// Router at ring position p.
+  RouterId ring_at(int pos) const { return ring_order_[static_cast<std::size_t>(pos)]; }
+  /// Successor of r along the ring.
+  RouterId ring_next(RouterId r) const;
+  /// Hops from `from` to `to` going forward along the ring.
+  int ring_distance(RouterId from, RouterId to) const;
+
+ private:
+  void build_ring();
+
+  std::vector<int> dims_;
+  int n_;
+  bool wrap_;
+  int bristling_;
+  int num_routers_;
+  std::vector<int> stride_;       // stride_[d] = k^d
+  std::vector<RouterId> ring_order_;
+  std::vector<int> ring_pos_;
+};
+
+}  // namespace mddsim

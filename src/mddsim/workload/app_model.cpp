@@ -1,0 +1,161 @@
+#include "mddsim/workload/app_model.hpp"
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim {
+
+// Calibration notes.  Table 1 targets (direct / invalidation / forwarding):
+//   FFT   98.7 / 0.9 / 0.4       LU    96.5 / 3.0 / 0.5
+//   Radix 95.5 / 3.6 / 0.8       Water 15.2 / 50.1 / 34.7
+// Per request, categories contribute: private (1,0,0); rw-pair (1,1,0)/2;
+// prod-cons (0,1,1)/2; migratory (0,0,1).  Solving the mixtures gives the
+// weights below (weights are per *sequence start*, hence the factor-of-two
+// built into the two-step categories).
+AppModel AppModel::FFT() {
+  AppModel m;
+  m.name = "FFT";
+  // Long compute phases, short all-to-all transpose bursts: <5% load for
+  // well over 92% of the time (Figure 6).
+  m.phases = {{9000, 0.0006}, {700, 0.02}, {9000, 0.0006}, {700, 0.02}};
+  m.mix = {0.980, 0.014, 0.006, 0.000};
+  return m;
+}
+
+AppModel AppModel::LU() {
+  AppModel m;
+  m.name = "LU";
+  m.phases = {{6000, 0.0008}, {500, 0.015}};
+  m.mix = {0.930, 0.057, 0.013, 0.000};
+  return m;
+}
+
+AppModel AppModel::Radix() {
+  AppModel m;
+  m.name = "Radix";
+  // Sustained permutation phases drive load toward 30% of capacity with a
+  // mean near 20% (Figure 6 / §4.2.2).
+  m.phases = {{2500, 0.004}, {5000, 0.024}, {1500, 0.010}};
+  m.mix = {0.922, 0.062, 0.016, 0.000};
+  return m;
+}
+
+AppModel AppModel::Water() {
+  AppModel m;
+  m.name = "Water";
+  // Low overall load but dominated by shared/migratory molecule data.
+  m.phases = {{8000, 0.0006}, {800, 0.009}};
+  m.mix = {0.000, 0.300, 0.700, 0.000};
+  return m;
+}
+
+AppModel AppModel::by_name(const std::string& name) {
+  if (name == "FFT") return FFT();
+  if (name == "LU") return LU();
+  if (name == "Radix") return Radix();
+  if (name == "Water") return Water();
+  throw ConfigError("unknown application model: " + name);
+}
+
+WorkloadEngine::WorkloadEngine(AppModel model, int num_nodes, Rng rng)
+    : model_(std::move(model)), num_nodes_(num_nodes), rng_(rng) {
+  MDD_CHECK(num_nodes >= 2);
+  MDD_CHECK(!model_.phases.empty());
+  for (const auto& p : model_.phases) period_ += p.length;
+  mix_total_ = model_.mix.privat + model_.mix.rw_pair + model_.mix.prod_cons +
+               model_.mix.migratory;
+  MDD_CHECK(mix_total_ > 0.0);
+  // Hot pools: enough blocks to avoid artificial home contention, few
+  // enough to stay resident in the caches.
+  for (int i = 0; i < 8 * num_nodes; ++i) {
+    pc_blocks_.push_back({fresh_block(kInvalidNode)});
+    mig_blocks_.push_back({fresh_block(kInvalidNode)});
+  }
+}
+
+double WorkloadEngine::rate_at(Cycle now) const {
+  Cycle t = now % period_;
+  for (const auto& p : model_.phases) {
+    if (t < p.length) return p.rate;
+    t -= p.length;
+  }
+  return model_.phases.back().rate;
+}
+
+BlockAddr WorkloadEngine::fresh_block(NodeId not_home) {
+  for (;;) {
+    const BlockAddr b = next_fresh_++;
+    if (not_home == kInvalidNode ||
+        b % static_cast<BlockAddr>(num_nodes_) !=
+            static_cast<BlockAddr>(not_home))
+      return b;
+  }
+}
+
+Access WorkloadEngine::private_access(NodeId node) {
+  // Cold read of a fresh remote block: directory I → Direct Reply.
+  return {node, fresh_block(node), false};
+}
+
+Access WorkloadEngine::rw_pair_access(NodeId node, Cycle now) {
+  // Complete a pending pair with a write by a different node, else start a
+  // new pair with a read.  The write leg is gated on a settle delay so it
+  // cannot overtake the read in the network and hit the directory first
+  // (which would turn the intended Invalidation into a Forwarding).
+  for (auto it = rw_pending_.begin(); it != rw_pending_.end(); ++it) {
+    if (it->last == node || now < it->ready) continue;
+    const BlockAddr b = it->block;
+    rw_pending_.erase(it);
+    return {node, b, true};  // write to shared data → Invalidation
+  }
+  HotBlock hb{fresh_block(node), HotState::Read, node, now + 2000};
+  rw_pending_.push_back(hb);
+  return {node, hb.block, false};  // cold read → Direct Reply
+}
+
+Access WorkloadEngine::prod_cons_access(NodeId node, Cycle now) {
+  // Retry a few picks to avoid self-transitions (cache hits) and blocks
+  // whose previous step is still settling (see rw_pair_access).
+  std::size_t i = 0;
+  bool found = false;
+  for (int tries = 0; tries < 6 && !found; ++tries) {
+    i = static_cast<std::size_t>(rng_.next_below(pc_blocks_.size()));
+    found = pc_blocks_[i].last != node && now >= pc_blocks_[i].ready;
+  }
+  if (!found) return private_access(node);
+  HotBlock& hb = pc_blocks_[i];
+  hb.ready = now + 500;
+  if (hb.state == HotState::Written) {
+    hb.state = HotState::Read;
+    hb.last = node;
+    return {node, hb.block, false};  // read of modified → Forwarding
+  }
+  hb.state = HotState::Written;
+  hb.last = node;
+  return {node, hb.block, true};  // write to shared → Invalidation
+}
+
+Access WorkloadEngine::migratory_access(NodeId node, Cycle now) {
+  std::size_t i = 0;
+  bool found = false;
+  for (int tries = 0; tries < 6 && !found; ++tries) {
+    i = static_cast<std::size_t>(rng_.next_below(mig_blocks_.size()));
+    found = mig_blocks_[i].last != node && now >= mig_blocks_[i].ready;
+  }
+  if (!found) return private_access(node);
+  HotBlock& hb = mig_blocks_[i];
+  hb.ready = now + 500;
+  hb.state = HotState::Written;
+  hb.last = node;
+  return {node, hb.block, true};  // write to modified → Forwarding
+}
+
+std::optional<Access> WorkloadEngine::tick(NodeId node, Cycle now) {
+  if (!rng_.next_bool(rate_at(now))) return std::nullopt;
+  double u = rng_.next_double() * mix_total_;
+  if ((u -= model_.mix.privat) < 0) return private_access(node);
+  if ((u -= model_.mix.rw_pair) < 0) return rw_pair_access(node, now);
+  if ((u -= model_.mix.prod_cons) < 0) return prod_cons_access(node, now);
+  return migratory_access(node, now);
+}
+
+}  // namespace mddsim

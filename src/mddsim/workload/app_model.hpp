@@ -1,0 +1,92 @@
+#pragma once
+// Synthetic Splash-2 application models (substitute for RSIM execution
+// traces, which the paper gathered but we cannot: see DESIGN.md).  Each
+// model produces a per-node memory-access stream whose
+//   (a) sharing behaviour drives the real MSI directory into the response
+//       mix of paper Table 1 (Direct Reply / Invalidation / Forwarding) and
+//   (b) temporal rate envelope approximates the load-rate distribution of
+//       paper Figure 6 (compute phases with communication bursts).
+//
+// Access categories and the Table 1 signatures they generate:
+//   private   — cold read of a fresh block            → Direct Reply
+//   rw-pair   — read by X then write by Y, retire     → Direct + Invalidation
+//   prod-cons — alternating read/write on a hot block → Forwarding + Inval.
+//   migratory — successive writers on a hot block     → Forwarding
+
+#include <string>
+#include <vector>
+
+#include "mddsim/common/rng.hpp"
+#include "mddsim/coherence/msi.hpp"
+
+namespace mddsim {
+
+/// One temporal phase of an application: `rate` is the probability a node
+/// issues a (miss-causing) access in a cycle.
+struct WorkloadPhase {
+  Cycle length;
+  double rate;
+};
+
+/// Mixture weights over access categories (normalized internally).
+struct SharingMix {
+  double privat = 1.0;     ///< cold/private reads
+  double rw_pair = 0.0;    ///< read-then-write-then-retire
+  double prod_cons = 0.0;  ///< producer/consumer alternation
+  double migratory = 0.0;  ///< write-migratory chains
+};
+
+/// A named application model.
+struct AppModel {
+  std::string name;
+  std::vector<WorkloadPhase> phases;  ///< cycled for the whole run
+  SharingMix mix;
+
+  /// The four benchmark models of paper §4.2, calibrated to Table 1 and
+  /// Figure 6 for a 16-node system.
+  static AppModel FFT();
+  static AppModel LU();
+  static AppModel Radix();
+  static AppModel Water();
+  static AppModel by_name(const std::string& name);
+};
+
+/// Generates the access stream for one run.
+class WorkloadEngine {
+ public:
+  WorkloadEngine(AppModel model, int num_nodes, Rng rng);
+
+  /// Returns the access node `node` issues at `now`, if any.
+  std::optional<Access> tick(NodeId node, Cycle now);
+
+  const AppModel& model() const { return model_; }
+
+ private:
+  enum class HotState : std::uint8_t { Fresh, Written, Read };
+  struct HotBlock {
+    BlockAddr block;
+    HotState state = HotState::Fresh;
+    NodeId last = kInvalidNode;
+    Cycle ready = 0;  ///< earliest cycle the next step may be issued
+  };
+
+  double rate_at(Cycle now) const;
+  BlockAddr fresh_block(NodeId preferred_home_not);
+  Access private_access(NodeId node);
+  Access rw_pair_access(NodeId node, Cycle now);
+  Access prod_cons_access(NodeId node, Cycle now);
+  Access migratory_access(NodeId node, Cycle now);
+
+  AppModel model_;
+  int num_nodes_;
+  Rng rng_;
+  Cycle period_ = 0;
+  double mix_total_ = 0.0;
+
+  BlockAddr next_fresh_ = 1;
+  std::vector<HotBlock> pc_blocks_;
+  std::vector<HotBlock> mig_blocks_;
+  std::vector<HotBlock> rw_pending_;  ///< rw-pair blocks awaiting their write
+};
+
+}  // namespace mddsim

@@ -1,0 +1,47 @@
+#include "mddsim/workload/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim {
+
+void TraceWriter::write(const TraceRecord& r) {
+  os_ << r.cycle << ' ' << r.access.node << ' ' << r.access.block << ' '
+      << (r.access.is_write ? 'w' : 'r') << '\n';
+}
+
+std::optional<TraceRecord> TraceReader::next() {
+  std::string line;
+  while (std::getline(is_, line)) {
+    ++line_;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    TraceRecord r;
+    char rw = 0;
+    if (!(ls >> r.cycle >> r.access.node >> r.access.block >> rw) ||
+        (rw != 'r' && rw != 'w')) {
+      throw ConfigError("malformed trace record at line " +
+                        std::to_string(line_));
+    }
+    r.access.is_write = (rw == 'w');
+    return r;
+  }
+  return std::nullopt;
+}
+
+std::vector<TraceRecord> read_trace(std::istream& is) {
+  TraceReader reader(is);
+  std::vector<TraceRecord> out;
+  while (auto r = reader.next()) out.push_back(*r);
+  return out;
+}
+
+void write_trace(std::ostream& os, const std::vector<TraceRecord>& recs) {
+  TraceWriter w(os);
+  for (const auto& r : recs) w.write(r);
+}
+
+}  // namespace mddsim

@@ -1,0 +1,51 @@
+#pragma once
+// Access-trace file format, standing in for the paper's RSIM-generated
+// Splash-2 traces (§4.2.1): one record per memory access with timing
+// information so burstiness is preserved.  Text format, one record per
+// line: "<cycle> <node> <block> <r|w>".
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mddsim/coherence/msi.hpp"
+
+namespace mddsim {
+
+/// One timed access record.
+struct TraceRecord {
+  Cycle cycle;
+  Access access;
+};
+
+/// Writes records in timestamp order.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& os) : os_(os) {}
+  void write(const TraceRecord& r);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Streams records back; they must be consumed in timestamp order.
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream& is) : is_(is) {}
+
+  /// Next record, or nullopt at end of stream.  Throws ConfigError on a
+  /// malformed line.
+  std::optional<TraceRecord> next();
+
+ private:
+  std::istream& is_;
+  std::size_t line_ = 0;
+};
+
+/// Convenience: loads a whole trace into memory.
+std::vector<TraceRecord> read_trace(std::istream& is);
+/// Convenience: writes a whole trace.
+void write_trace(std::ostream& os, const std::vector<TraceRecord>& recs);
+
+}  // namespace mddsim

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "mddsim/common/assert.hpp"
+
+#include <sstream>
+
+#include "mddsim/common/config_parse.hpp"
+
+namespace mddsim {
+namespace {
+
+TEST(ConfigParse, ScalarKeys) {
+  SimConfig cfg;
+  apply_config_option(cfg, "k=4");
+  apply_config_option(cfg, "n=3");
+  apply_config_option(cfg, "vcs=16");
+  apply_config_option(cfg, "rate=0.0125");
+  apply_config_option(cfg, "seed=99");
+  EXPECT_EQ(cfg.k, 4);
+  EXPECT_EQ(cfg.n, 3);
+  EXPECT_EQ(cfg.vcs_per_link, 16);
+  EXPECT_DOUBLE_EQ(cfg.injection_rate, 0.0125);
+  EXPECT_EQ(cfg.seed, 99u);
+}
+
+TEST(ConfigParse, EnumsAndBools) {
+  SimConfig cfg;
+  apply_config_option(cfg, "scheme=DR");
+  EXPECT_EQ(cfg.scheme, Scheme::DR);
+  apply_config_option(cfg, "scheme=pr");
+  EXPECT_EQ(cfg.scheme, Scheme::PR);
+  apply_config_option(cfg, "queue_org=per_type");
+  EXPECT_EQ(cfg.queue_org, QueueOrg::PerType);
+  apply_config_option(cfg, "queue_org=shared");
+  EXPECT_EQ(cfg.queue_org, QueueOrg::Shared);
+  apply_config_option(cfg, "torus=0");
+  EXPECT_FALSE(cfg.torus);
+  apply_config_option(cfg, "torus=yes");
+  EXPECT_TRUE(cfg.torus);
+  apply_config_option(cfg, "shared_adaptive=1");
+  EXPECT_TRUE(cfg.shared_adaptive);
+  apply_config_option(cfg, "cwg=on");
+  EXPECT_TRUE(cfg.cwg_enabled);
+}
+
+TEST(ConfigParse, MixedRadixDims) {
+  SimConfig cfg;
+  apply_config_option(cfg, "dims=2x4");
+  ASSERT_EQ(cfg.dims.size(), 2u);
+  EXPECT_EQ(cfg.dims[0], 2);
+  EXPECT_EQ(cfg.dims[1], 4);
+  apply_config_option(cfg, "dims=8x8x4");
+  ASSERT_EQ(cfg.dims.size(), 3u);
+  EXPECT_EQ(cfg.dims[2], 4);
+}
+
+TEST(ConfigParse, MessageLengths) {
+  SimConfig cfg;
+  apply_config_option(cfg, "len_m1=8");
+  apply_config_option(cfg, "len_m4=32");
+  EXPECT_EQ(cfg.lengths.of(MsgType::M1), 8);
+  EXPECT_EQ(cfg.lengths.of(MsgType::M4), 32);
+}
+
+TEST(ConfigParse, Errors) {
+  SimConfig cfg;
+  EXPECT_THROW(apply_config_option(cfg, "nonsense=1"), ConfigError);
+  EXPECT_THROW(apply_config_option(cfg, "k"), ConfigError);
+  EXPECT_THROW(apply_config_option(cfg, "k=abc"), ConfigError);
+  EXPECT_THROW(apply_config_option(cfg, "rate=0.1.2"), ConfigError);
+  EXPECT_THROW(apply_config_option(cfg, "torus=maybe"), ConfigError);
+  EXPECT_THROW(apply_config_option(cfg, "scheme=XX"), ConfigError);
+  EXPECT_THROW(apply_config_option(cfg, "queue_org=wat"), ConfigError);
+  EXPECT_THROW(apply_config_option(cfg, "dims=2xx4"), ConfigError);
+}
+
+TEST(ConfigParse, ConfigFile) {
+  std::istringstream is(
+      "# an experiment\n"
+      "\n"
+      "  scheme=PR  \n"
+      "pattern=PAT451\n"
+      "rate=0.005\n");
+  SimConfig cfg;
+  apply_config_file(cfg, is);
+  EXPECT_EQ(cfg.scheme, Scheme::PR);
+  EXPECT_EQ(cfg.pattern, "PAT451");
+  EXPECT_DOUBLE_EQ(cfg.injection_rate, 0.005);
+}
+
+TEST(ConfigParse, ConfigFileErrorReportsLine) {
+  std::istringstream is("scheme=PR\nbogus_key=1\n");
+  SimConfig cfg;
+  try {
+    apply_config_file(cfg, is);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ConfigParse, RoundTripThroughString) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::DR;
+  cfg.pattern = "PAT280";
+  cfg.dims = {2, 4};
+  cfg.bristling = 2;
+  cfg.vcs_per_link = 8;
+  cfg.shared_adaptive = true;
+  cfg.queue_org = QueueOrg::PerType;
+  cfg.injection_rate = 0.0075;
+  cfg.seed = 1234;
+
+  std::istringstream is(config_to_string(cfg));
+  SimConfig back;
+  apply_config_file(back, is);
+  EXPECT_EQ(back.scheme, cfg.scheme);
+  EXPECT_EQ(back.pattern, cfg.pattern);
+  EXPECT_EQ(back.dims, cfg.dims);
+  EXPECT_EQ(back.bristling, cfg.bristling);
+  EXPECT_EQ(back.vcs_per_link, cfg.vcs_per_link);
+  EXPECT_EQ(back.shared_adaptive, cfg.shared_adaptive);
+  EXPECT_EQ(back.queue_org, cfg.queue_org);
+  EXPECT_DOUBLE_EQ(back.injection_rate, cfg.injection_rate);
+  EXPECT_EQ(back.seed, cfg.seed);
+}
+
+TEST(ConfigParse, KnownKeysCoverEveryAcceptedKey) {
+  // Every documented key parses (with a representative value).
+  SimConfig cfg;
+  for (const auto& k : known_keys()) {
+    std::string v = "1";
+    if (k.key == "scheme") v = "SA";
+    else if (k.key == "pattern") v = "PAT100";
+    else if (k.key == "queue_org") v = "shared";
+    else if (k.key == "dims") v = "2x2";
+    else if (k.key == "rate") v = "0.01";
+    else if (k.key == "detect_mode") v = "oracle";
+    EXPECT_NO_THROW(
+        apply_config_option(cfg, std::string(k.key) + "=" + v))
+        << k.key;
+  }
+}
+
+}  // namespace
+}  // namespace mddsim

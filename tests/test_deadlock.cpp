@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "mddsim/core/cwg.hpp"
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+namespace {
+
+// Strict avoidance must never exhibit a message-dependent deadlock: the
+// CWG ground-truth detector finds no knots even in deep saturation.
+class SaKnotFreedom : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SaKnotFreedom, NoKnotEverForms) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::SA;
+  cfg.pattern = GetParam();
+  cfg.k = 4;
+  // Enough VCs for SA with this pattern's chain length.
+  cfg.vcs_per_link = 2 * TransactionPattern::by_name(cfg.pattern).chain_len();
+  cfg.injection_rate = 0.05;  // deep oversaturation
+  cfg.msg_queue_size = 4;
+  cfg.mshr_limit = 4;
+  cfg.warmup_cycles = 1;
+  cfg.measure_cycles = 1;
+  Simulator sim(cfg);
+  sim.run(false);
+  auto& net = sim.network();
+  auto& proto = sim.protocol();
+  CwgDetector cwg(net);
+  Rng rng(17);
+  for (int i = 0; i < 4000; ++i) {
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      if (rng.next_bool(0.05) && !net.ni(n).source_full()) {
+        net.ni(n).offer_new_transaction(proto.start_transaction(n, net.now()),
+                                        net.now());
+      }
+    }
+    net.step();
+    if (i % 50 == 0) {
+      EXPECT_TRUE(cwg.find_knots().empty())
+          << "strict avoidance produced a deadlock knot at cycle " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, SaKnotFreedom,
+                         ::testing::Values("PAT100", "PAT721", "PAT451",
+                                           "PAT271", "PAT280"));
+
+// DR with continuous deflection must keep draining even past saturation.
+TEST(DeflectiveRecovery, DeflectionsOccurAndSystemDrains) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::DR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.vcs_per_link = 4;
+  cfg.msg_queue_size = 4;
+  cfg.mshr_limit = 4;
+  cfg.injection_rate = 0.03;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 6000;
+  cfg.seed = 7;
+  Simulator sim(cfg);
+  RunResult r = sim.run(true);
+  EXPECT_GT(r.counters.deflections, 0u)
+      << "expected backoff replies under overload";
+  EXPECT_TRUE(r.drained);
+  EXPECT_GT(r.avg_txn_messages, 2.9)
+      << "deflections must add messages to transactions";
+}
+
+// PR under overload: the token engine captures, rescues messages over the
+// DB/DMB lane, and the system still drains afterwards.
+TEST(ProgressiveRecovery, RescuesOccurAndSystemDrains) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.vcs_per_link = 4;
+  cfg.msg_queue_size = 4;
+  cfg.mshr_limit = 4;
+  cfg.injection_rate = 0.025;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 6000;
+  cfg.seed = 11;
+  Simulator sim(cfg);
+  RunResult r = sim.run(true);
+  EXPECT_GT(r.counters.rescues, 0u) << "expected token captures under stress";
+  EXPECT_GE(r.counters.rescued_msgs, r.counters.rescues);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(sim.protocol().live_transactions(), 0u);
+}
+
+// Progressive recovery never adds messages: rescued transactions complete
+// with exactly the chain's message count (paper §2.2: "progressive recovery
+// does not" increase messages).
+TEST(ProgressiveRecovery, NoExtraMessagesPerTransaction) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.msg_queue_size = 4;
+  cfg.mshr_limit = 4;
+  cfg.injection_rate = 0.025;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 5000;
+  Simulator sim(cfg);
+  RunResult r = sim.run(true);
+  // Mean messages per txn must equal the pattern's analytic 2.9 exactly.
+  EXPECT_NEAR(r.avg_txn_messages, 2.9, 0.05);
+}
+
+TEST(RegressiveRecovery, KillsRetryAndComplete) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::RG;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.vcs_per_link = 4;
+  cfg.flit_buffer_depth = 1;    // very scarce: provoke routing blocks
+  cfg.router_timeout = 64;
+  cfg.msg_queue_size = 4;
+  cfg.mshr_limit = 4;
+  cfg.injection_rate = 0.03;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 6000;
+  cfg.seed = 3;
+  Simulator sim(cfg);
+  RunResult r = sim.run(true);
+  EXPECT_GT(r.counters.retries, 0u) << "expected kills under overload";
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(sim.protocol().live_transactions(), 0u);
+}
+
+// Oracle (CWG-driven) detection alone must keep PR live: with the local
+// threshold and router timeout effectively disabled, only the knot
+// members flagged by the wait-for-graph scan trigger token captures.
+TEST(ProgressiveRecovery, OracleDetectionRecovers) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 8;  // knots are too rare on a 4x4 at this load
+  cfg.msg_queue_size = 4;
+  cfg.mshr_limit = 4;
+  cfg.detection_mode = SimConfig::DetectionMode::Oracle;
+  cfg.detection_threshold = 1000000;  // local detection off
+  cfg.router_timeout = 1000000;       // router suspicion off
+  cfg.injection_rate = 0.0132;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 5000;
+  cfg.seed = 5;
+  Simulator sim(cfg);
+  RunResult r = sim.run(true);
+  EXPECT_GT(r.counters.rescues, 0u) << "oracle detection never fired";
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(sim.protocol().live_transactions(), 0u);
+}
+
+// Concurrent recovery tokens (extension): the system still drains, and
+// every engine's work is accounted consistently.
+TEST(ProgressiveRecovery, MultiTokenDrains) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.num_tokens = 4;
+  cfg.msg_queue_size = 4;
+  cfg.mshr_limit = 4;
+  cfg.injection_rate = 0.025;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 6000;
+  cfg.seed = 21;
+  Simulator sim(cfg);
+  RunResult r = sim.run(true);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(sim.protocol().live_transactions(), 0u);
+  EXPECT_NEAR(r.avg_txn_messages, 2.9, 0.05);  // still no added messages
+  sim.network().check_flow_invariants();
+}
+
+TEST(CwgDetector, InputQueueMemberDecoding) {
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.warmup_cycles = 1;
+  cfg.measure_cycles = 1;
+  Simulator sim(cfg);
+  sim.run(false);
+  CwgDetector cwg(sim.network());
+  Knot k;
+  k.vertices.push_back(cwg.vertex_input_q(5, 0));
+  k.vertices.push_back(cwg.vertex_router_vc(2, 1, 0));  // not an input queue
+  k.vertices.push_back(cwg.vertex_output_q(3, 0));      // nor this
+  auto members = cwg.input_queue_members(k);
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0].first, 5);
+  EXPECT_EQ(members[0].second, 0);
+}
+
+TEST(CwgDetector, EmptyNetworkHasNoKnots) {
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.injection_rate = 0.0;
+  cfg.warmup_cycles = 1;
+  cfg.measure_cycles = 10;
+  Simulator sim(cfg);
+  sim.run(false);
+  CwgDetector cwg(sim.network());
+  EXPECT_TRUE(cwg.find_knots().empty());
+  EXPECT_EQ(cwg.scan(), 0u);
+}
+
+TEST(CwgDetector, LightLoadHasNoKnots) {
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.injection_rate = 0.003;
+  cfg.cwg_enabled = true;
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 5000;
+  Simulator sim(cfg);
+  RunResult r = sim.run(false);
+  EXPECT_EQ(r.counters.cwg_deadlocks, 0u);
+}
+
+TEST(CwgDetector, VertexNumberingIsDense) {
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.warmup_cycles = 1;
+  cfg.measure_cycles = 1;
+  Simulator sim(cfg);
+  sim.run(false);
+  CwgDetector cwg(sim.network());
+  const auto& net = sim.network();
+  EXPECT_EQ(cwg.vertex_router_vc(0, 0, 0), 0);
+  EXPECT_LT(cwg.vertex_eject(net.num_nodes() - 1, cfg.vcs_per_link - 1),
+            cwg.vertex_input_q(0, 0));
+  EXPECT_LT(cwg.vertex_output_q(net.num_nodes() - 1,
+                                net.ni(0).num_queue_slots() - 1),
+            cwg.num_vertices());
+}
+
+// The detection conditions of §2.2: under a hand-built blocked endpoint,
+// the NI detector fires only after the threshold persists.
+TEST(LocalDetection, ThresholdMustPersist) {
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.injection_rate = 0.0;
+  cfg.warmup_cycles = 1;
+  cfg.measure_cycles = 10;
+  Simulator sim(cfg);
+  sim.run(false);
+  auto& ni = sim.network().ni(0);
+  // Idle endpoint: no detection.
+  EXPECT_LT(ni.detect(sim.network().now()), 0);
+  EXPECT_FALSE(ni.wants_token(sim.network().now()));
+}
+
+}  // namespace
+}  // namespace mddsim

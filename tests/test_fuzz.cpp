@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+namespace {
+
+// Randomized-configuration robustness: draw structured-random simulator
+// configurations, run a short traffic burst plus drain, and require the
+// invariants to hold and the network to empty.  Any internal inconsistency
+// throws InvariantError and fails the test.
+class ConfigFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConfigFuzz, ShortRunDrainsWithInvariantsIntact) {
+  Rng rng(GetParam());
+  SimConfig cfg;
+
+  const Scheme schemes[] = {Scheme::SA, Scheme::DR, Scheme::PR, Scheme::RG};
+  const char* patterns[] = {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"};
+  cfg.scheme = schemes[rng.next_below(4)];
+  cfg.pattern = patterns[rng.next_below(5)];
+  cfg.k = static_cast<int>(rng.next_range(2, 4));
+  cfg.n = static_cast<int>(rng.next_range(1, 2));
+  cfg.torus = rng.next_bool(0.8);
+  cfg.bristling = static_cast<int>(rng.next_range(1, 2));
+  cfg.vcs_per_link = static_cast<int>(rng.next_range(2, 8));
+  cfg.flit_buffer_depth = static_cast<int>(rng.next_range(1, 4));
+  cfg.msg_queue_size = static_cast<int>(rng.next_range(2, 16));
+  cfg.msg_service_time = static_cast<int>(rng.next_range(5, 60));
+  cfg.mshr_limit = static_cast<int>(rng.next_range(1, 8));
+  cfg.queue_org = rng.next_bool(0.5) ? QueueOrg::Shared : QueueOrg::PerType;
+  cfg.shared_adaptive = rng.next_bool(0.3);
+  cfg.num_tokens = static_cast<int>(rng.next_range(1, 3));
+  cfg.injection_rate = 0.002 + rng.next_double() * 0.02;
+  cfg.detection_threshold = static_cast<int>(rng.next_range(5, 50));
+  cfg.router_timeout = static_cast<int>(rng.next_range(100, 2000));
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 1500;
+  cfg.seed = GetParam() * 7919;
+
+  try {
+    cfg.validate();
+  } catch (const ConfigError&) {
+    GTEST_SKIP() << "infeasible random combination (expected)";
+  }
+
+  Simulator sim(cfg);
+  RunResult r = sim.run(/*drain=*/true);
+  EXPECT_TRUE(r.drained)
+      << scheme_name(cfg.scheme) << "/" << cfg.pattern << " k=" << cfg.k
+      << " vcs=" << cfg.vcs_per_link << " q=" << cfg.msg_queue_size;
+  EXPECT_EQ(sim.protocol().live_transactions(), 0u);
+  sim.network().check_flow_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, ConfigFuzz,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace mddsim

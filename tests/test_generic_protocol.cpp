@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "mddsim/common/assert.hpp"
+
+#include "mddsim/protocol/generic_protocol.hpp"
+
+namespace mddsim {
+namespace {
+
+Packet as_packet(const OutMsg& m) {
+  Packet p;
+  p.txn = m.txn;
+  p.chain_pos = m.chain_pos;
+  p.type = m.type;
+  p.src = m.src;
+  p.dst = m.dst;
+  p.len_flits = m.len_flits;
+  return p;
+}
+
+class GenericProtocolTest : public ::testing::Test {
+ protected:
+  GenericProtocol make(const char* pat) {
+    return GenericProtocol(TransactionPattern::by_name(pat),
+                           MessageLengths{}, 16, Rng(5));
+  }
+};
+
+TEST_F(GenericProtocolTest, TwoHopLifecycle) {
+  auto proto = make("PAT100");
+  int completions = 0;
+  proto.set_completion_callback([&](const TxnCompletion& c) {
+    ++completions;
+    EXPECT_EQ(c.messages, 2);
+    EXPECT_FALSE(c.deflected);
+  });
+
+  OutMsg m1 = proto.start_transaction(3, 100);
+  EXPECT_EQ(m1.type, MsgType::M1);
+  EXPECT_EQ(m1.src, 3);
+  EXPECT_NE(m1.dst, 3);
+  EXPECT_EQ(m1.len_flits, 4);
+  EXPECT_EQ(proto.live_transactions(), 1u);
+
+  Packet p1 = as_packet(m1);
+  auto subs = proto.subordinates(m1.dst, p1);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].type, MsgType::M4);
+  EXPECT_EQ(subs[0].dst, 3);
+  EXPECT_EQ(subs[0].len_flits, 20);
+
+  auto outs = proto.commit_service(m1.dst, p1);
+  ASSERT_EQ(outs.size(), 1u);
+
+  Packet p4 = as_packet(outs[0]);
+  SinkResult r = proto.sink(3, p4);
+  EXPECT_TRUE(r.txn_completed);
+  EXPECT_TRUE(r.resume.empty());
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(proto.live_transactions(), 0u);
+}
+
+TEST_F(GenericProtocolTest, FourHopChainWalk) {
+  auto proto = make("PAT271");
+  // Find a 4-message transaction.
+  for (int tries = 0; tries < 200; ++tries) {
+    OutMsg m = proto.start_transaction(0, 0);
+    Packet p = as_packet(m);
+    int hops = 1;
+    while (!is_terminating(p.type)) {
+      auto outs = proto.commit_service(p.dst, p);
+      ASSERT_EQ(outs.size(), 1u);
+      EXPECT_EQ(outs[0].chain_pos, p.chain_pos + 1);
+      p = as_packet(outs[0]);
+      ++hops;
+      ASSERT_LE(hops, 4);
+    }
+    EXPECT_EQ(p.dst, 0);
+    SinkResult r = proto.sink(0, p);
+    EXPECT_TRUE(r.txn_completed);
+    if (hops == 4) return;  // saw a chain-4 transaction: done
+  }
+  FAIL() << "no chain-4 transaction in 200 draws of PAT271";
+}
+
+TEST_F(GenericProtocolTest, RolesAreDistinctNodes) {
+  auto proto = make("PAT271");
+  for (int i = 0; i < 100; ++i) {
+    OutMsg m = proto.start_transaction(7, 0);
+    Packet p = as_packet(m);
+    NodeId prev = p.src;
+    while (!is_terminating(p.type)) {
+      EXPECT_NE(p.src, p.dst);
+      auto outs = proto.commit_service(p.dst, p);
+      prev = p.dst;
+      p = as_packet(outs[0]);
+      EXPECT_EQ(p.src, prev);
+    }
+    proto.sink(7, p);
+  }
+}
+
+TEST_F(GenericProtocolTest, DeflectionFlow) {
+  auto proto = make("PAT271");
+  // Find a transaction whose m1 generates a non-terminating subordinate.
+  for (int tries = 0; tries < 100; ++tries) {
+    OutMsg m1 = proto.start_transaction(2, 0);
+    Packet p1 = as_packet(m1);
+    auto subs = proto.subordinates(m1.dst, p1);
+    if (is_terminating(subs[0].type)) {
+      proto.commit_service(m1.dst, p1);
+      proto.sink(2, as_packet(proto.subordinates(m1.dst, p1)[0]));
+      continue;
+    }
+    // Deflect at the home: expect a backoff toward the requester.
+    auto backoff = proto.deflect(m1.dst, p1);
+    ASSERT_TRUE(backoff.has_value());
+    EXPECT_EQ(backoff->type, MsgType::Backoff);
+    EXPECT_EQ(backoff->dst, 2);
+
+    // Second deflection of the same transaction is refused while the
+    // backoff is in flight.
+    EXPECT_FALSE(proto.deflect(m1.dst, p1).has_value());
+
+    // Sinking the backoff at the requester resumes the chain from there.
+    SinkResult r = proto.sink(2, as_packet(*backoff));
+    EXPECT_FALSE(r.txn_completed);
+    ASSERT_EQ(r.resume.size(), 1u);
+    EXPECT_EQ(r.resume[0].src, 2);          // re-issued by the requester
+    EXPECT_EQ(r.resume[0].type, MsgType::M2);
+
+    // Walk the rest of the chain to completion.
+    Packet p = as_packet(r.resume[0]);
+    while (!is_terminating(p.type)) {
+      auto outs = proto.commit_service(p.dst, p);
+      ASSERT_EQ(outs.size(), 1u);
+      p = as_packet(outs[0]);
+    }
+    SinkResult done = proto.sink(2, p);
+    EXPECT_TRUE(done.txn_completed);
+    return;
+  }
+  FAIL() << "no deflectable transaction found";
+}
+
+TEST_F(GenericProtocolTest, TerminatingHeadsAreNotDeflectable) {
+  auto proto = make("PAT100");
+  OutMsg m1 = proto.start_transaction(1, 0);
+  Packet p1 = as_packet(m1);
+  // m1's subordinate is the terminating reply: not deflectable.
+  EXPECT_FALSE(proto.deflect(m1.dst, p1).has_value());
+}
+
+TEST_F(GenericProtocolTest, CompletionCountsDeflectionMessages) {
+  auto proto = make("PAT280");
+  int messages = 0;
+  proto.set_completion_callback(
+      [&](const TxnCompletion& c) { messages = c.messages; });
+  for (int tries = 0; tries < 100; ++tries) {
+    OutMsg m1 = proto.start_transaction(4, 0);
+    Packet p1 = as_packet(m1);
+    auto bo = proto.deflect(m1.dst, p1);
+    if (!bo) {  // chain-2 draw; complete normally
+      auto outs = proto.commit_service(m1.dst, p1);
+      proto.sink(4, as_packet(outs[0]));
+      continue;
+    }
+    SinkResult r = proto.sink(4, as_packet(*bo));
+    Packet p = as_packet(r.resume[0]);
+    while (!is_terminating(p.type)) {
+      p = as_packet(proto.commit_service(p.dst, p)[0]);
+    }
+    proto.sink(4, p);
+    // ORQ + BRP + FRQ + TRP = 4 messages (paper §2.2 Origin2000 example).
+    EXPECT_EQ(messages, 4);
+    return;
+  }
+  FAIL() << "no chain-3 transaction found in PAT280";
+}
+
+TEST_F(GenericProtocolTest, ChainMixtureMatchesPattern) {
+  auto proto = make("PAT451");
+  int len_counts[5] = {0, 0, 0, 0, 0};
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    OutMsg m = proto.start_transaction(0, 0);
+    Packet p = as_packet(m);
+    int len = 1;
+    while (!is_terminating(p.type)) {
+      p = as_packet(proto.commit_service(p.dst, p)[0]);
+      ++len;
+    }
+    proto.sink(0, p);
+    ++len_counts[len];
+  }
+  EXPECT_NEAR(len_counts[2] / double(n), 0.4, 0.03);
+  EXPECT_NEAR(len_counts[3] / double(n), 0.5, 0.03);
+  EXPECT_NEAR(len_counts[4] / double(n), 0.1, 0.02);
+}
+
+TEST_F(GenericProtocolTest, SinkAtWrongNodeFails) {
+  auto proto = make("PAT100");
+  OutMsg m1 = proto.start_transaction(3, 0);
+  auto outs = proto.commit_service(m1.dst, as_packet(m1));
+  Packet p4 = as_packet(outs[0]);
+  EXPECT_THROW(proto.sink((3 + 1) % 16, p4), InvariantError);
+}
+
+}  // namespace
+}  // namespace mddsim

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+namespace {
+
+struct Combo {
+  Scheme scheme;
+  const char* pattern;
+  int vcs;
+  double load;
+};
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  return std::string(scheme_name(info.param.scheme)) + "_" +
+         info.param.pattern + "_vc" + std::to_string(info.param.vcs);
+}
+
+class SchemePatternDrain : public ::testing::TestWithParam<Combo> {};
+
+// The fundamental end-to-end property: inject for a while at a moderate
+// load, stop, and every transaction completes and every buffer empties —
+// for every scheme and every Table 3 pattern the scheme supports.
+TEST_P(SchemePatternDrain, AllTransactionsCompleteAndNetworkDrains) {
+  const Combo c = GetParam();
+  SimConfig cfg;
+  cfg.scheme = c.scheme;
+  cfg.pattern = c.pattern;
+  cfg.vcs_per_link = c.vcs;
+  cfg.injection_rate = c.load;
+  cfg.k = 4;  // small torus keeps the suite fast
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 3000;
+  cfg.seed = 99;
+
+  Simulator sim(cfg);
+  RunResult r = sim.run(/*drain=*/true);
+
+  EXPECT_TRUE(r.drained) << "network failed to drain";
+  EXPECT_EQ(sim.protocol().live_transactions(), 0u);
+  EXPECT_TRUE(sim.network().idle());
+  EXPECT_GT(r.txns_completed, 0u);
+  EXPECT_GT(r.throughput, 0.0);
+  sim.network().check_flow_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SchemePatternDrain,
+    ::testing::Values(
+        Combo{Scheme::SA, "PAT100", 4, 0.01},
+        Combo{Scheme::SA, "PAT721", 8, 0.01},
+        Combo{Scheme::SA, "PAT451", 8, 0.01},
+        Combo{Scheme::SA, "PAT271", 8, 0.01},
+        Combo{Scheme::SA, "PAT280", 8, 0.01},
+        Combo{Scheme::DR, "PAT721", 4, 0.01},
+        Combo{Scheme::DR, "PAT451", 4, 0.01},
+        Combo{Scheme::DR, "PAT271", 4, 0.01},
+        Combo{Scheme::DR, "PAT280", 4, 0.01},
+        Combo{Scheme::PR, "PAT100", 4, 0.01},
+        Combo{Scheme::PR, "PAT721", 4, 0.01},
+        Combo{Scheme::PR, "PAT451", 4, 0.01},
+        Combo{Scheme::PR, "PAT271", 4, 0.01},
+        Combo{Scheme::PR, "PAT280", 4, 0.01},
+        Combo{Scheme::RG, "PAT100", 4, 0.01},
+        Combo{Scheme::RG, "PAT271", 4, 0.01},
+        Combo{Scheme::SA, "PAT271", 16, 0.01},
+        Combo{Scheme::DR, "PAT271", 16, 0.01},
+        Combo{Scheme::PR, "PAT271", 16, 0.01}),
+    combo_name);
+
+class SeedSweepDrain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweepDrain, ProgressiveRecoveryDrainsUnderStress) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.vcs_per_link = 4;
+  cfg.msg_queue_size = 4;      // scarce endpoint resources
+  cfg.mshr_limit = 4;
+  cfg.injection_rate = 0.02;   // near saturation for this configuration
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 4000;
+  cfg.seed = GetParam();
+  Simulator sim(cfg);
+  RunResult r = sim.run(true);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(sim.protocol().live_transactions(), 0u);
+  sim.network().check_flow_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepDrain,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Integration, LowLoadThroughputMatchesOfferedAnalytically) {
+  // At 0.4% injection the network is far from saturation: delivered flits
+  // must equal offered load × mean flits per transaction.
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.injection_rate = 0.004;
+  cfg.warmup_cycles = 2000;
+  cfg.measure_cycles = 8000;
+  Simulator sim(cfg);
+  RunResult r = sim.run(false);
+  // PAT271 flits/txn: 0.2·24 + 0.7·28 + 0.1·32 = 27.6.
+  EXPECT_NEAR(r.throughput, 0.004 * 27.6, 0.004 * 27.6 * 0.05);
+}
+
+TEST(Integration, DeterministicForSeed) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT721";
+  cfg.k = 4;
+  cfg.injection_rate = 0.01;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 2000;
+  cfg.seed = 1234;
+  Simulator a(cfg), b(cfg);
+  RunResult ra = a.run(true), rb = b.run(true);
+  EXPECT_EQ(ra.txns_completed, rb.txns_completed);
+  EXPECT_EQ(ra.packets_delivered, rb.packets_delivered);
+  EXPECT_DOUBLE_EQ(ra.avg_packet_latency, rb.avg_packet_latency);
+  EXPECT_EQ(ra.counters.rescues, rb.counters.rescues);
+}
+
+TEST(Integration, DifferentSeedsDiffer) {
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.injection_rate = 0.01;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 2000;
+  cfg.seed = 1;
+  Simulator a(cfg);
+  cfg.seed = 2;
+  Simulator b(cfg);
+  EXPECT_NE(a.run(true).packets_delivered, b.run(true).packets_delivered);
+}
+
+TEST(Integration, LatencyIncludesQueueWait) {
+  // With service time 40 and two endpoint visits, mean message latency at
+  // light load must exceed the raw network traversal time.
+  SimConfig cfg;
+  cfg.pattern = "PAT100";
+  cfg.injection_rate = 0.002;
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 5000;
+  Simulator sim(cfg);
+  RunResult r = sim.run(false);
+  EXPECT_GT(r.avg_packet_latency, 10.0);
+  EXPECT_LT(r.avg_packet_latency, 200.0);
+  // Transaction latency spans the whole chain: roughly twice the message
+  // latency plus a service time.
+  EXPECT_GT(r.avg_txn_latency, r.avg_packet_latency + cfg.msg_service_time);
+}
+
+TEST(Integration, BristledNetworkWorks) {
+  SimConfig cfg;
+  cfg.k = 2;
+  cfg.n = 2;
+  cfg.bristling = 4;  // 2x2 torus, 16 nodes (paper §4.2.2 bristling)
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT721";
+  cfg.injection_rate = 0.005;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 3000;
+  Simulator sim(cfg);
+  RunResult r = sim.run(true);
+  EXPECT_TRUE(r.drained);
+  EXPECT_GT(r.txns_completed, 0u);
+  sim.network().check_flow_invariants();
+}
+
+TEST(Integration, MeshTopologyWorks) {
+  SimConfig cfg;
+  cfg.torus = false;
+  cfg.k = 4;
+  cfg.scheme = Scheme::DR;
+  cfg.pattern = "PAT271";
+  cfg.injection_rate = 0.005;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 3000;
+  Simulator sim(cfg);
+  RunResult r = sim.run(true);
+  EXPECT_TRUE(r.drained);
+  sim.network().check_flow_invariants();
+}
+
+TEST(Integration, SharedAdaptiveChannelsDrainAndHelp) {
+  // [21]: SA with a shared adaptive pool must stay deadlock-free (escape
+  // networks untouched) and typically beats the partitioned layout.
+  SimConfig base;
+  base.scheme = Scheme::SA;
+  base.pattern = "PAT271";
+  base.k = 4;
+  base.vcs_per_link = 12;
+  base.injection_rate = 0.015;
+  base.warmup_cycles = 1000;
+  base.measure_cycles = 5000;
+
+  SimConfig shared = base;
+  shared.shared_adaptive = true;
+  Simulator a(base), b(shared);
+  RunResult ra = a.run(true), rb = b.run(true);
+  EXPECT_TRUE(ra.drained);
+  EXPECT_TRUE(rb.drained);
+  EXPECT_EQ(ra.counters.rescues + rb.counters.rescues, 0u);
+  // Shared mode has strictly more routing freedom; it must not be much
+  // worse, and usually is better.
+  EXPECT_GT(rb.throughput, ra.throughput * 0.9);
+}
+
+TEST(Integration, MultiTokenThroughputBeyondSaturation) {
+  // Extension: concurrent tokens parallelize recovery where the single
+  // token serializes (paper §3's acknowledged shortcoming).
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.injection_rate = 0.02;  // 1.5x saturation
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 5000;
+  Simulator one(cfg);
+  cfg.num_tokens = 8;
+  Simulator eight(cfg);
+  const double thr1 = one.run(false).throughput;
+  const double thr8 = eight.run(false).throughput;
+  EXPECT_GT(thr8, thr1 * 1.2) << "tokens=8 should relieve serialization";
+}
+
+TEST(Integration, FlowInvariantsHoldMidFlight) {
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.injection_rate = 0.02;
+  cfg.warmup_cycles = 1;
+  cfg.measure_cycles = 1;
+  Simulator sim(cfg);
+  sim.run(false);
+  auto& net = sim.network();
+  auto& proto = sim.protocol();
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      if (rng.next_bool(0.02) && !net.ni(n).source_full()) {
+        net.ni(n).offer_new_transaction(proto.start_transaction(n, net.now()),
+                                        net.now());
+      }
+    }
+    net.step();
+    if (i % 50 == 0) net.check_flow_invariants();
+  }
+}
+
+}  // namespace
+}  // namespace mddsim

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "mddsim/common/assert.hpp"
+
+#include "mddsim/protocol/pattern.hpp"
+#include "mddsim/routing/vc_layout.hpp"
+#include "mddsim/sim/config.hpp"
+
+namespace mddsim {
+namespace {
+
+std::array<bool, kNumMsgTypes> all_types() { return {true, true, true, true}; }
+
+TEST(ClassMap, StrictAvoidanceOnePerUsedType) {
+  const auto m = ClassMap::make(Scheme::SA, all_types());
+  EXPECT_EQ(m.num_classes, 4);
+  EXPECT_EQ(m.of(MsgType::M1), 0);
+  EXPECT_EQ(m.of(MsgType::M2), 1);
+  EXPECT_EQ(m.of(MsgType::M3), 2);
+  EXPECT_EQ(m.of(MsgType::M4), 3);
+}
+
+TEST(ClassMap, StrictAvoidanceSkipsUnusedTypes) {
+  // PAT280 uses m1, m3, m4: classes must be consecutive 0..2.
+  const auto m =
+      ClassMap::make(Scheme::SA, TransactionPattern::PAT280().used_types());
+  EXPECT_EQ(m.num_classes, 3);
+  EXPECT_EQ(m.of(MsgType::M1), 0);
+  EXPECT_EQ(m.of(MsgType::M3), 1);
+  EXPECT_EQ(m.of(MsgType::M4), 2);
+}
+
+TEST(ClassMap, StrictAvoidanceTwoTypeProtocol) {
+  const auto m =
+      ClassMap::make(Scheme::SA, TransactionPattern::PAT100().used_types());
+  EXPECT_EQ(m.num_classes, 2);
+  EXPECT_EQ(m.of(MsgType::M1), 0);
+  EXPECT_EQ(m.of(MsgType::M4), 1);
+}
+
+TEST(ClassMap, DeflectiveRequestReplySplit) {
+  const auto m = ClassMap::make(Scheme::DR, all_types());
+  EXPECT_EQ(m.num_classes, 2);
+  EXPECT_EQ(m.of(MsgType::M1), 0);
+  EXPECT_EQ(m.of(MsgType::M2), 0);
+  EXPECT_EQ(m.of(MsgType::M3), 0);
+  EXPECT_EQ(m.of(MsgType::M4), 1);
+  EXPECT_EQ(m.of(MsgType::Backoff), 1);  // backoff rides the reply network
+}
+
+TEST(ClassMap, ProgressiveSharesEverything) {
+  for (Scheme s : {Scheme::PR, Scheme::RG}) {
+    const auto m = ClassMap::make(s, all_types());
+    EXPECT_EQ(m.num_classes, 1);
+    for (int t = 0; t < kNumWireTypes; ++t) {
+      EXPECT_EQ(m.cls[static_cast<std::size_t>(t)], 0);
+    }
+  }
+}
+
+TEST(VcLayout, ProgressiveAllAdaptive) {
+  const auto l = VcLayout::make(Scheme::PR, 1, 4, 2);
+  EXPECT_EQ(l.num_classes(), 1);
+  EXPECT_EQ(l.of_class(0).count, 4);
+  EXPECT_EQ(l.of_class(0).escape, 0);
+  EXPECT_EQ(l.of_class(0).adaptive(), 4);
+}
+
+TEST(VcLayout, StrictAvoidancePartitions) {
+  // Paper §2.1: SA with chain 4 and 8 VCs → 2 per class, all escape,
+  // availability 1 + (C/L − E_r) = 1.
+  const auto l = VcLayout::make(Scheme::SA, 4, 8, 2);
+  EXPECT_EQ(l.num_classes(), 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(l.of_class(c).base, 2 * c);
+    EXPECT_EQ(l.of_class(c).count, 2);
+    EXPECT_EQ(l.of_class(c).escape, 2);
+    EXPECT_EQ(l.of_class(c).adaptive(), 0);
+  }
+}
+
+TEST(VcLayout, SixteenVcsGiveAdaptiveChannels) {
+  // Paper: with 16 VCs, three of four per class are available to SA
+  // (2 escape + 2 adaptive per class of 4).
+  const auto l = VcLayout::make(Scheme::SA, 4, 16, 2);
+  EXPECT_EQ(l.of_class(1).count, 4);
+  EXPECT_EQ(l.of_class(1).adaptive(), 2);
+  const auto dr = VcLayout::make(Scheme::DR, 2, 16, 2);
+  EXPECT_EQ(dr.of_class(0).count, 8);
+  EXPECT_EQ(dr.of_class(0).adaptive(), 6);
+}
+
+TEST(VcLayout, InfeasibleConfigsThrow) {
+  // SA, chain 4, 4 VCs: each class would get 1 < E_r = 2 (paper §4.3.2).
+  EXPECT_THROW(VcLayout::make(Scheme::SA, 4, 4, 2), ConfigError);
+  // DR with 2 VCs: 1 per class < 2.
+  EXPECT_THROW(VcLayout::make(Scheme::DR, 2, 2, 2), ConfigError);
+}
+
+TEST(VcLayout, UnevenSplitFavorsReplyClasses) {
+  // PAT280-style SA: 3 classes over 8 VCs → 2/3/3 with the remainder on
+  // the later classes.
+  const auto l = VcLayout::make(Scheme::SA, 3, 8, 2);
+  EXPECT_EQ(l.of_class(0).count, 2);
+  EXPECT_EQ(l.of_class(1).count, 3);
+  EXPECT_EQ(l.of_class(2).count, 3);
+  EXPECT_EQ(l.of_class(0).base, 0);
+  EXPECT_EQ(l.of_class(1).base, 2);
+  EXPECT_EQ(l.of_class(2).base, 5);
+}
+
+TEST(VcLayout, SharedAdaptivePool) {
+  // [21]: SA with chain 4 and 12 VCs, shared mode: 4x2 escape + 4 shared.
+  const auto l = VcLayout::make(Scheme::SA, 4, 12, 2, /*shared=*/true);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(l.of_class(c).base, 2 * c);
+    EXPECT_EQ(l.of_class(c).count, 2);
+    EXPECT_EQ(l.of_class(c).escape, 2);
+    EXPECT_EQ(l.of_class(c).shared_base, 8);
+    EXPECT_EQ(l.of_class(c).shared_count, 4);
+    // Availability 1 + (C − E_m) = 5 channels per message (escape counts 1).
+    EXPECT_EQ(l.of_class(c).adaptive(), 4);
+  }
+  // Shared VCs belong to no single class.
+  EXPECT_EQ(l.class_of_vc(1), 0);
+  EXPECT_EQ(l.class_of_vc(7), 3);
+  EXPECT_EQ(l.class_of_vc(9), -1);
+}
+
+TEST(VcLayout, SharedAdaptiveInfeasibleBelowEm) {
+  EXPECT_THROW(VcLayout::make(Scheme::SA, 4, 6, 2, true), ConfigError);
+  // Exactly E_m: empty pool, degenerates to pure escape partitioning.
+  const auto l = VcLayout::make(Scheme::SA, 4, 8, 2, true);
+  EXPECT_EQ(l.of_class(0).shared_count, 0);
+  EXPECT_EQ(l.of_class(0).adaptive(), 0);
+}
+
+TEST(VcLayout, ClassOfVc) {
+  const auto l = VcLayout::make(Scheme::DR, 2, 8, 2);
+  EXPECT_EQ(l.class_of_vc(0), 0);
+  EXPECT_EQ(l.class_of_vc(3), 0);
+  EXPECT_EQ(l.class_of_vc(4), 1);
+  EXPECT_EQ(l.class_of_vc(7), 1);
+  EXPECT_THROW(l.class_of_vc(8), InvariantError);
+}
+
+TEST(Config, DefaultsMatchTable2) {
+  SimConfig cfg;
+  EXPECT_EQ(cfg.k, 8);
+  EXPECT_EQ(cfg.n, 2);
+  EXPECT_TRUE(cfg.torus);
+  EXPECT_EQ(cfg.bristling, 1);
+  EXPECT_EQ(cfg.vcs_per_link, 4);
+  EXPECT_EQ(cfg.flit_buffer_depth, 2);
+  EXPECT_EQ(cfg.msg_queue_size, 16);
+  EXPECT_EQ(cfg.msg_service_time, 40);
+  EXPECT_EQ(cfg.lengths.of(MsgType::M1), 4);
+  EXPECT_EQ(cfg.lengths.of(MsgType::M4), 20);
+  EXPECT_EQ(cfg.measure_cycles, 30000u);
+}
+
+TEST(Config, ApplicationDefaults) {
+  const auto cfg = SimConfig::application_defaults();
+  EXPECT_EQ(cfg.k, 4);
+  EXPECT_EQ(cfg.n, 2);
+  EXPECT_EQ(cfg.vcs_per_link, 4);
+}
+
+TEST(Config, ValidateRejectsDrWithTwoTypeProtocol) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::DR;
+  cfg.pattern = "PAT100";
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(Config, ValidateRejectsInfeasibleSa) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::SA;
+  cfg.pattern = "PAT271";  // chain length 4
+  cfg.vcs_per_link = 4;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.vcs_per_link = 8;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, ValidateAcceptsPaperConfigs) {
+  for (const char* pat : {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"}) {
+    for (int vcs : {8, 16}) {
+      SimConfig cfg;
+      cfg.scheme = Scheme::SA;
+      cfg.pattern = pat;
+      cfg.vcs_per_link = vcs;
+      EXPECT_NO_THROW(cfg.validate()) << pat << " vcs=" << vcs;
+    }
+  }
+}
+
+TEST(Config, ValidateRejectsBadScalars) {
+  SimConfig cfg;
+  cfg.k = 1;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = SimConfig{};
+  cfg.injection_rate = -0.1;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = SimConfig{};
+  cfg.msg_queue_size = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace mddsim

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "mddsim/protocol/pattern.hpp"
+
+namespace mddsim {
+namespace {
+
+TEST(Pattern, ChainStructures) {
+  EXPECT_EQ(chain2().size(), 2u);
+  EXPECT_EQ(chain3().size(), 3u);
+  EXPECT_EQ(chain3_origin().size(), 3u);
+  EXPECT_EQ(chain4().size(), 4u);
+  EXPECT_EQ(chain3()[1].type, MsgType::M2);
+  EXPECT_EQ(chain3_origin()[1].type, MsgType::M3);  // Origin: m2 is BRP-only
+}
+
+TEST(Pattern, EveryScriptStartsM1EndsTerminatingAtRequester) {
+  for (const char* name : {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"}) {
+    const auto pat = TransactionPattern::by_name(name);
+    for (const auto& e : pat.entries()) {
+      EXPECT_EQ(e.script.front().type, MsgType::M1);
+      EXPECT_TRUE(is_terminating(e.script.back().type));
+      EXPECT_EQ(e.script.back().dst, Role::Requester);
+    }
+  }
+}
+
+TEST(Pattern, ChainLengths) {
+  EXPECT_EQ(TransactionPattern::PAT100().chain_len(), 2);
+  EXPECT_EQ(TransactionPattern::PAT721().chain_len(), 4);
+  EXPECT_EQ(TransactionPattern::PAT451().chain_len(), 4);
+  EXPECT_EQ(TransactionPattern::PAT271().chain_len(), 4);
+  EXPECT_EQ(TransactionPattern::PAT280().chain_len(), 3);
+  EXPECT_EQ(TransactionPattern::PAT100().max_chain_len(), 2);
+  EXPECT_EQ(TransactionPattern::PAT271().max_chain_len(), 4);
+  EXPECT_EQ(TransactionPattern::PAT280().max_chain_len(), 3);
+}
+
+TEST(Pattern, UsedTypes) {
+  const auto u100 = TransactionPattern::PAT100().used_types();
+  EXPECT_TRUE(u100[0]);
+  EXPECT_FALSE(u100[1]);
+  EXPECT_FALSE(u100[2]);
+  EXPECT_TRUE(u100[3]);
+  const auto u280 = TransactionPattern::PAT280().used_types();
+  EXPECT_TRUE(u280[0]);
+  EXPECT_FALSE(u280[1]);  // m2 = BRP, deflection only
+  EXPECT_TRUE(u280[2]);
+  EXPECT_TRUE(u280[3]);
+}
+
+TEST(Pattern, MeanMessages) {
+  EXPECT_NEAR(TransactionPattern::PAT100().mean_messages(), 2.0, 1e-12);
+  EXPECT_NEAR(TransactionPattern::PAT721().mean_messages(), 2.4, 1e-12);
+  EXPECT_NEAR(TransactionPattern::PAT451().mean_messages(), 2.7, 1e-12);
+  EXPECT_NEAR(TransactionPattern::PAT271().mean_messages(), 2.9, 1e-12);
+  EXPECT_NEAR(TransactionPattern::PAT280().mean_messages(), 2.8, 1e-12);
+}
+
+// Table 3's message-type distribution columns.  PAT721's printed m1/m4
+// values (47.7%) are a typo in the paper — the mixture arithmetic gives
+// 41.7% (the row then sums to 100%); every other row matches as printed.
+TEST(Pattern, Table3DistributionPAT100) {
+  const auto d = TransactionPattern::PAT100().message_type_distribution();
+  EXPECT_NEAR(d[0], 0.500, 5e-4);
+  EXPECT_NEAR(d[1], 0.0, 1e-12);
+  EXPECT_NEAR(d[2], 0.0, 1e-12);
+  EXPECT_NEAR(d[3], 0.500, 5e-4);
+}
+
+TEST(Pattern, Table3DistributionPAT721) {
+  const auto d = TransactionPattern::PAT721().message_type_distribution();
+  EXPECT_NEAR(d[0], 0.417, 5e-4);  // paper prints 47.7% (typo)
+  EXPECT_NEAR(d[1], 0.125, 1e-3);  // paper prints 12.4%
+  EXPECT_NEAR(d[2], 0.042, 5e-4);  // 4.2% as printed
+  EXPECT_NEAR(d[3], 0.417, 5e-4);
+}
+
+TEST(Pattern, Table3DistributionPAT451) {
+  const auto d = TransactionPattern::PAT451().message_type_distribution();
+  EXPECT_NEAR(d[0], 0.371, 8e-4);
+  EXPECT_NEAR(d[1], 0.221, 2e-3);
+  EXPECT_NEAR(d[2], 0.037, 5e-4);
+  EXPECT_NEAR(d[3], 0.371, 8e-4);
+}
+
+TEST(Pattern, Table3DistributionPAT271) {
+  const auto d = TransactionPattern::PAT271().message_type_distribution();
+  EXPECT_NEAR(d[0], 0.345, 8e-4);
+  EXPECT_NEAR(d[1], 0.276, 8e-4);
+  EXPECT_NEAR(d[2], 0.034, 8e-4);
+  EXPECT_NEAR(d[3], 0.345, 8e-4);
+}
+
+TEST(Pattern, Table3DistributionPAT280) {
+  const auto d = TransactionPattern::PAT280().message_type_distribution();
+  EXPECT_NEAR(d[0], 0.357, 5e-4);
+  EXPECT_NEAR(d[1], 0.0, 1e-12);
+  EXPECT_NEAR(d[2], 0.286, 5e-4);
+  EXPECT_NEAR(d[3], 0.357, 5e-4);
+}
+
+TEST(Pattern, PickRespectsMixture) {
+  const auto pat = TransactionPattern::PAT721();
+  EXPECT_EQ(pat.pick(0.0).size(), 2u);
+  EXPECT_EQ(pat.pick(0.69).size(), 2u);
+  EXPECT_EQ(pat.pick(0.71).size(), 3u);
+  EXPECT_EQ(pat.pick(0.95).size(), 4u);
+  EXPECT_EQ(pat.pick(0.999999).size(), 4u);
+}
+
+TEST(Pattern, ByNameUnknownThrows) {
+  EXPECT_THROW(TransactionPattern::by_name("PAT999"), ConfigError);
+}
+
+TEST(Pattern, InvalidMixtureRejected) {
+  EXPECT_THROW(TransactionPattern("bad", {{0.5, chain2()}}), InvariantError);
+  // Script not starting with m1 from requester:
+  ChainScript s = {{MsgType::M2, Role::Requester, Role::Home},
+                   {MsgType::M4, Role::Home, Role::Requester}};
+  EXPECT_THROW(TransactionPattern("bad2", {{1.0, s}}), InvariantError);
+}
+
+TEST(MessageTypes, TerminatingAndClassHelpers) {
+  EXPECT_FALSE(is_terminating(MsgType::M1));
+  EXPECT_FALSE(is_terminating(MsgType::M2));
+  EXPECT_FALSE(is_terminating(MsgType::M3));
+  EXPECT_TRUE(is_terminating(MsgType::M4));
+  EXPECT_TRUE(is_terminating(MsgType::Backoff));
+  EXPECT_EQ(type_index(MsgType::Backoff), 1);  // BRP occupies m2's slot
+  EXPECT_EQ(msg_type_name(MsgType::M3), "m3");
+}
+
+}  // namespace
+}  // namespace mddsim

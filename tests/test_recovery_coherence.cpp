@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mddsim/coherence/app_sim.hpp"
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+namespace {
+
+// The Extended Disha engine must handle multi-subordinate rescues (Appendix
+// case 4): MSI invalidations fan out one FRQ per sharer, so a rescued write
+// to widely shared data delivers several subordinates with the same token.
+// Force the situation with a sharing-heavy workload, tiny queues and slow
+// service on a small network.
+TEST(RecoveryWithCoherence, MultiSubordinateTrafficSurvivesStress) {
+  SimConfig cfg = SimConfig::application_defaults();
+  cfg.scheme = Scheme::PR;
+  cfg.msg_queue_size = 2;
+  cfg.mshr_limit = 2;
+  cfg.msg_service_time = 80;  // slow controllers: queues back up
+
+  AppModel model = AppModel::Water();  // invalidation/forwarding heavy
+  model.phases = {{20000, 0.02}};      // sustained heavy load
+  AppSimulation sim(cfg, std::move(model));
+  auto r = sim.run(20000);
+
+  // The run must complete (the drain inside run() succeeded) with all
+  // transactions retired regardless of how much recovery was needed.
+  EXPECT_EQ(sim.protocol().live_transactions(), 0u);
+  EXPECT_GT(r.network_txns, 100u);
+  sim.network().check_flow_invariants();
+}
+
+TEST(RecoveryWithCoherence, CoherenceCorrectAfterRecovery) {
+  // Same stress, then verify the directory still answers correctly: a
+  // fresh read of a block last written by node w is a Forwarding.
+  SimConfig cfg = SimConfig::application_defaults();
+  cfg.scheme = Scheme::PR;
+  cfg.msg_queue_size = 2;
+  cfg.mshr_limit = 2;
+
+  AppModel model = AppModel::Water();
+  model.phases = {{12000, 0.015}};
+  AppSimulation sim(cfg, std::move(model));
+  sim.run(12000);
+  ASSERT_EQ(sim.protocol().live_transactions(), 0u);
+
+  // Quiesced: drive two accesses through the raw protocol interface.
+  auto& proto = sim.protocol();
+  const BlockAddr fresh = 1000003;  // untouched block
+  auto m = proto.access({proto.home_of(fresh) == 1 ? 2 : 1, fresh, true}, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, MsgType::M1);
+}
+
+TEST(VcUtilization, ProgressiveSharingBalancesChannels) {
+  // §2.1: PR's fully shared channels are evenly used; SA's partitions are
+  // not (the hot class's escape channel dominates).
+  auto spread = [](Scheme s, int vcs) {
+    SimConfig cfg;
+    cfg.scheme = s;
+    cfg.pattern = "PAT271";
+    cfg.k = 4;
+    cfg.vcs_per_link = vcs;
+    cfg.injection_rate = 0.013;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 4000;
+    Simulator sim(cfg);
+    sim.run(false);
+    const auto util = sim.network().vc_utilization();
+    double lo = 1e9, hi = 0.0, sum = 0.0;
+    for (double u : util) {
+      lo = std::min(lo, u);
+      hi = std::max(hi, u);
+      sum += u;
+    }
+    EXPECT_GT(sum, 0.0);
+    return hi / std::max(lo, 1e-9);
+  };
+  const double sa_imbalance = spread(Scheme::SA, 8);
+  const double pr_imbalance = spread(Scheme::PR, 8);
+  EXPECT_LT(pr_imbalance, 1.5) << "PR should use channels nearly evenly";
+  EXPECT_GT(sa_imbalance, 3.0) << "SA partitions should be visibly skewed";
+}
+
+}  // namespace
+}  // namespace mddsim

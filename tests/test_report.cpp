@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mddsim/sim/report.hpp"
+
+namespace mddsim {
+namespace {
+
+RunResult sample_result() {
+  RunResult r;
+  r.offered_load = 0.01;
+  r.throughput = 0.25;
+  r.avg_packet_latency = 123.5;
+  r.avg_txn_latency = 456.25;
+  r.avg_txn_messages = 2.9;
+  r.packets_delivered = 1000;
+  r.txns_completed = 345;
+  r.counters.detections = 3;
+  r.counters.deflections = 2;
+  r.counters.rescues = 1;
+  r.counters.rescued_msgs = 4;
+  r.counters.retries = 5;
+  r.counters.cwg_deadlocks = 6;
+  r.normalized_deadlocks = 0.003;
+  r.drained = true;
+  r.cycles_run = 35000;
+  return r;
+}
+
+TEST(Report, CsvHeaderAndRowColumnCountsMatch) {
+  std::ostringstream os;
+  write_csv_header(os);
+  write_csv_row(os, "PR/PAT271", sample_result());
+  std::istringstream is(os.str());
+  std::string header, row;
+  std::getline(is, header);
+  std::getline(is, row);
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count(header), count(row));
+  EXPECT_NE(row.find("PR/PAT271,0.01,0.25,123.5"), std::string::npos);
+  EXPECT_NE(row.find(",1,"), std::string::npos);  // drained flag or rescues
+}
+
+TEST(Report, CsvWholeSweep) {
+  std::vector<ReportSeries> series(2);
+  series[0].label = "SA";
+  series[0].points = {sample_result(), sample_result()};
+  series[1].label = "PR";
+  series[1].points = {sample_result()};
+  std::ostringstream os;
+  write_csv(os, series);
+  std::istringstream is(os.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 1 + 3);  // header + three rows
+}
+
+TEST(Report, JsonIsWellFormedEnough) {
+  std::ostringstream os;
+  write_json(os, "DR/PAT721", sample_result());
+  const std::string j = os.str();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j[j.size() - 2], '}');  // trailing newline
+  EXPECT_NE(j.find("\"label\":\"DR/PAT721\""), std::string::npos);
+  EXPECT_NE(j.find("\"throughput\":0.25"), std::string::npos);
+  EXPECT_NE(j.find("\"drained\":true"), std::string::npos);
+  // Balanced braces and quotes.
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '"') % 2, 0);
+}
+
+}  // namespace
+}  // namespace mddsim

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "mddsim/common/assert.hpp"
+
+#include <set>
+#include <vector>
+
+#include "mddsim/common/rng.hpp"
+
+namespace mddsim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng r(9);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng r(15);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolFrequencyApproximatesP) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, UniformityAcrossBuckets) {
+  Rng r(19);
+  std::vector<int> bucket(16, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++bucket[r.next_below(16)];
+  for (int b : bucket) {
+    EXPECT_NEAR(static_cast<double>(b), n / 16.0, n / 16.0 * 0.08);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(23);
+  Rng c1 = parent.split();
+  Rng c2 = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (c1() == c2());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng p1(31), p2(31);
+  Rng a = p1.split();
+  Rng b = p2.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, NextBelowZeroBoundThrows) {
+  Rng r(1);
+  EXPECT_THROW(r.next_below(0), InvariantError);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, MeanOfUniformDrawsNearHalf) {
+  Rng r(GetParam());
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0u, 1u, 2u, 42u, 12345u,
+                                           0xFFFFFFFFFFFFFFFFull));
+
+}  // namespace
+}  // namespace mddsim

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+namespace {
+
+// Router-level behaviour observed through a minimal two-router network.
+class TinyNet : public ::testing::Test {
+ protected:
+  TinyNet() {
+    cfg_.k = 2;
+    cfg_.n = 1;
+    cfg_.scheme = Scheme::PR;
+    cfg_.pattern = "PAT100";
+    cfg_.vcs_per_link = 4;
+    cfg_.injection_rate = 0.0;
+    cfg_.warmup_cycles = 0;
+    cfg_.measure_cycles = 0;
+  }
+  SimConfig cfg_;
+};
+
+TEST_F(TinyNet, SingleMessageDeliveredWithExpectedTiming) {
+  Simulator sim(cfg_);
+  auto& net = sim.network();
+  auto& proto = sim.protocol();
+
+  OutMsg m = proto.start_transaction(0, 0);
+  ASSERT_EQ(m.dst, 1);
+  net.ni(0).offer_new_transaction(m, 0);
+
+  // Walk cycles until the full transaction retires.
+  int cycles = 0;
+  while (proto.live_transactions() > 0) {
+    net.step();
+    ASSERT_LT(++cycles, 500) << "transaction failed to complete";
+  }
+  // 4-flit request one hop + service 40 + 20-flit reply one hop: the whole
+  // exchange should take well under 150 cycles and at least the service
+  // time plus serialization latency.
+  EXPECT_GT(cycles, 40 + 20);
+  EXPECT_LT(cycles, 150);
+  EXPECT_TRUE(net.idle());
+  net.check_flow_invariants();
+}
+
+TEST_F(TinyNet, CreditsLimitBufferOccupancy) {
+  Simulator sim(cfg_);
+  auto& net = sim.network();
+  auto& proto = sim.protocol();
+  // Saturate node 0's injection.
+  for (int i = 0; i < 10; ++i) {
+    net.ni(0).offer_new_transaction(proto.start_transaction(0, 0), 0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    net.step();
+    net.check_flow_invariants();  // buffer occupancy ≤ depth enforced inside
+    const auto& router = net.router(0);
+    for (int p = 0; p < router.num_inputs(); ++p) {
+      for (int v = 0; v < router.vcs(); ++v) {
+        EXPECT_LE(static_cast<int>(router.input(p, v).buffer.size()),
+                  cfg_.flit_buffer_depth);
+      }
+    }
+  }
+}
+
+TEST_F(TinyNet, WormholePacketsDoNotInterleaveWithinVc) {
+  Simulator sim(cfg_);
+  auto& net = sim.network();
+  auto& proto = sim.protocol();
+  for (int i = 0; i < 6; ++i) {
+    net.ni(0).offer_new_transaction(proto.start_transaction(0, 0), 0);
+  }
+  // In every cycle, the flits buffered in any single VC must have
+  // consecutive sequence numbers of a single packet run (wormhole
+  // contiguity), except across a tail/head boundary.
+  for (int i = 0; i < 200; ++i) {
+    net.step();
+    for (RouterId r = 0; r < net.topology().num_routers(); ++r) {
+      const auto& router = net.router(r);
+      for (int p = 0; p < router.num_inputs(); ++p) {
+        for (int v = 0; v < router.vcs(); ++v) {
+          const auto& buf = router.input(p, v).buffer;
+          for (std::size_t j = 1; j < buf.size(); ++j) {
+            if (buf[j].pkt->id == buf[j - 1].pkt->id) {
+              EXPECT_EQ(buf[j].seq, buf[j - 1].seq + 1);
+            } else {
+              EXPECT_TRUE(buf[j - 1].is_tail());
+              EXPECT_TRUE(buf[j].is_head());
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(TinyNet, BlockedVictimRequiresTimeout) {
+  cfg_.router_timeout = 50;
+  Simulator sim(cfg_);
+  auto& net = sim.network();
+  EXPECT_EQ(net.router(0).blocked_victim(0), nullptr);
+  EXPECT_EQ(net.router(0).blocked_victim(10000), nullptr);  // empty router
+}
+
+TEST(RouterAccounting, TotalBufferedMatchesConservation) {
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT721";
+  cfg.injection_rate = 0.02;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 0;
+  Simulator sim(cfg);
+  auto& net = sim.network();
+  auto& proto = sim.protocol();
+  Rng rng(21);
+  for (int i = 0; i < 1500; ++i) {
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      if (rng.next_bool(0.02) && !net.ni(n).source_full()) {
+        net.ni(n).offer_new_transaction(proto.start_transaction(n, net.now()),
+                                        net.now());
+      }
+    }
+    net.step();
+  }
+  // flits_in_network is internally consistent with the credit state.
+  net.check_flow_invariants();
+  EXPECT_GE(net.flits_in_network(), 0);
+}
+
+}  // namespace
+}  // namespace mddsim

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "mddsim/common/assert.hpp"
+
+#include <map>
+#include <set>
+
+#include "mddsim/routing/routing.hpp"
+
+namespace mddsim {
+namespace {
+
+Packet make_pkt(NodeId src, NodeId dst, MsgType t = MsgType::M1,
+                int cls = 0) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.type = t;
+  p.vc_class = cls;
+  p.len_flits = 4;
+  return p;
+}
+
+TEST(RoutingDor, SingleCandidatePerHop) {
+  Topology topo(8, 2);
+  auto layout = VcLayout::make(Scheme::DR, 2, 4, 2);
+  RoutingAlgorithm dor(RoutingAlgorithm::Kind::DOR, topo, layout);
+  Packet p = make_pkt(0, 27);
+  std::vector<RouteCandidate> cands;
+  dor.candidates(0, p, cands);
+  ASSERT_EQ(cands.size(), 1u);
+}
+
+TEST(RoutingDor, WalkReachesDestinationInMinimalHops) {
+  Topology topo(8, 2);
+  auto layout = VcLayout::make(Scheme::DR, 2, 4, 2);
+  RoutingAlgorithm dor(RoutingAlgorithm::Kind::DOR, topo, layout);
+  std::vector<RouteCandidate> cands;
+  for (NodeId src : {0, 9, 37, 63}) {
+    for (NodeId dst : {0, 5, 36, 63}) {
+      if (src == dst) continue;
+      Packet p = make_pkt(src, dst);
+      RouterId cur = src;
+      int hops = 0;
+      for (;;) {
+        dor.candidates(cur, p, cands);
+        ASSERT_EQ(cands.size(), 1u);
+        if (cands[0].port >= topo.num_net_ports()) break;  // ejection
+        dor.on_head_departure(cur, p, cands[0].port);
+        cur = topo.neighbor(cur, cands[0].port / 2, cands[0].port % 2);
+        ASSERT_LT(++hops, 50);
+      }
+      EXPECT_EQ(cur, topo.router_of_node(dst));
+      EXPECT_EQ(hops, topo.distance(src, dst));
+    }
+  }
+}
+
+TEST(RoutingDor, DatelineSwitchesToHighVc) {
+  Topology topo(8, 1);
+  auto layout = VcLayout::make(Scheme::DR, 2, 4, 2);
+  RoutingAlgorithm dor(RoutingAlgorithm::Kind::DOR, topo, layout);
+  // Node 6 → node 1: minimal route crosses the wraparound 6→7→0→1.
+  Packet p = make_pkt(6, 1);
+  std::vector<RouteCandidate> cands;
+  dor.candidates(6, p, cands);
+  EXPECT_EQ(cands[0].vc, 0);  // before the dateline: low escape VC
+  dor.on_head_departure(6, p, cands[0].port);
+  dor.candidates(7, p, cands);
+  EXPECT_EQ(cands[0].vc, 1);  // crossing the wrap link: arrive on high VC
+  dor.on_head_departure(7, p, cands[0].port);
+  EXPECT_TRUE(p.crossed_dateline);
+  dor.candidates(0, p, cands);
+  EXPECT_EQ(cands[0].vc, 1);  // stays on high VC after crossing
+}
+
+TEST(RoutingDuato, CandidatesIncludeEscapeAndAdaptive) {
+  Topology topo(8, 2);
+  auto layout = VcLayout::make(Scheme::DR, 2, 8, 2);  // 2 escape + 2 adaptive
+  RoutingAlgorithm duato(RoutingAlgorithm::Kind::Duato, topo, layout);
+  Packet p = make_pkt(0, 27);  // offsets in both dimensions
+  std::vector<RouteCandidate> cands;
+  duato.candidates(0, p, cands);
+  // Two productive dimensions × 2 adaptive VCs + 1 escape candidate.
+  EXPECT_EQ(cands.size(), 5u);
+  // Escape candidate comes last (allocation prefers adaptive).
+  EXPECT_LT(cands.back().vc, 2);
+  for (std::size_t i = 0; i + 1 < cands.size(); ++i) {
+    EXPECT_GE(cands[i].vc, 2);
+    EXPECT_LT(cands[i].vc, 4);
+  }
+}
+
+TEST(RoutingDuato, SharedAdaptivePoolCandidates) {
+  Topology topo(8, 2);
+  // SA chain-4, 12 VCs shared mode: escape pairs per class + 4 shared.
+  auto layout = VcLayout::make(Scheme::SA, 4, 12, 2, /*shared=*/true);
+  RoutingAlgorithm duato(RoutingAlgorithm::Kind::Duato, topo, layout);
+  Packet p = make_pkt(0, 27, MsgType::M3, 2);
+  std::vector<RouteCandidate> cands;
+  duato.candidates(0, p, cands);
+  // 2 productive dims × 4 shared VCs + 1 escape = 9 candidates; the paper's
+  // availability formula 1 + (C − E_m) = 5 counts channels, not (port,vc).
+  EXPECT_EQ(cands.size(), 9u);
+  for (std::size_t i = 0; i + 1 < cands.size(); ++i) {
+    EXPECT_GE(cands[i].vc, 8);   // shared pool
+    EXPECT_LT(cands[i].vc, 12);
+  }
+  EXPECT_EQ(cands.back().vc, 4);  // class 2 escape base
+}
+
+TEST(RoutingTfar, AllClassVcsOnAllProductivePorts) {
+  Topology topo(8, 2);
+  auto layout = VcLayout::make(Scheme::PR, 1, 4, 2);
+  RoutingAlgorithm tfar(RoutingAlgorithm::Kind::TFAR, topo, layout);
+  Packet p = make_pkt(0, 27);
+  std::vector<RouteCandidate> cands;
+  tfar.candidates(0, p, cands);
+  EXPECT_EQ(cands.size(), 8u);  // 2 dims × 4 VCs
+  std::set<int> ports;
+  for (const auto& c : cands) ports.insert(c.port);
+  EXPECT_EQ(ports.size(), 2u);
+}
+
+TEST(Routing, EjectionAtDestinationRouter) {
+  Topology topo(4, 2, true, 2);
+  auto layout = VcLayout::make(Scheme::PR, 1, 4, 2);
+  RoutingAlgorithm tfar(RoutingAlgorithm::Kind::TFAR, topo, layout);
+  // Node 7 = router 3, slot 1 → ejection port num_net_ports()+1 = 5.
+  Packet p = make_pkt(0, 7);
+  std::vector<RouteCandidate> cands;
+  tfar.candidates(3, p, cands);
+  for (const auto& c : cands) EXPECT_EQ(c.port, 5);
+  EXPECT_EQ(cands.size(), 4u);
+}
+
+TEST(Routing, ClassRestrictsVcRange) {
+  Topology topo(8, 2);
+  auto layout = VcLayout::make(Scheme::SA, 4, 8, 2);
+  RoutingAlgorithm dor(RoutingAlgorithm::Kind::DOR, topo, layout);
+  std::vector<RouteCandidate> cands;
+  Packet p = make_pkt(0, 27, MsgType::M3, 2);  // class 2 → VCs 4..5
+  dor.candidates(0, p, cands);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_GE(cands[0].vc, 4);
+  EXPECT_LT(cands[0].vc, 6);
+}
+
+// --- Escape-network channel-dependency-graph acyclicity (the theoretical
+// --- core of strict avoidance): walk every (src,dst) pair along the escape
+// --- path and record channel-to-channel dependencies; the graph must be
+// --- acyclic for DOR with dateline VCs.
+struct CdgParam {
+  int k, n;
+  bool wrap;
+};
+
+class EscapeCdg : public ::testing::TestWithParam<CdgParam> {};
+
+TEST_P(EscapeCdg, DorEscapeIsAcyclic) {
+  const auto prm = GetParam();
+  Topology topo(prm.k, prm.n, prm.wrap);
+  const int escape = prm.wrap ? 2 : 1;
+  auto layout = VcLayout::make(Scheme::DR, 2, 2 * escape, escape);
+  RoutingAlgorithm dor(RoutingAlgorithm::Kind::DOR, topo, layout);
+
+  // Channel = (downstream router, arrival port, vc).  Edge u→v when some
+  // packet occupying u next requests v.
+  std::map<std::tuple<int, int, int>, std::set<std::tuple<int, int, int>>> cdg;
+  std::vector<RouteCandidate> cands;
+  for (RouterId src = 0; src < topo.num_routers(); ++src) {
+    for (RouterId dst = 0; dst < topo.num_routers(); ++dst) {
+      if (src == dst) continue;
+      Packet p = make_pkt(src, dst);
+      RouterId cur = src;
+      std::tuple<int, int, int> prev{-1, -1, -1};
+      for (int guard = 0; guard < 200; ++guard) {
+        dor.candidates(cur, p, cands);
+        const auto& c = cands[0];
+        if (c.port >= topo.num_net_ports()) break;  // ejection never blocks CDG
+        dor.on_head_departure(cur, p, c.port);
+        const RouterId next = topo.neighbor(cur, c.port / 2, c.port % 2);
+        std::tuple<int, int, int> ch{next, (c.port / 2) * 2 + (1 - c.port % 2),
+                                     c.vc};
+        if (std::get<0>(prev) >= 0) cdg[prev].insert(ch);
+        prev = ch;
+        cur = next;
+      }
+    }
+  }
+
+  // DFS cycle check.
+  std::map<std::tuple<int, int, int>, int> color;  // 0 white 1 grey 2 black
+  std::function<bool(const std::tuple<int, int, int>&)> has_cycle =
+      [&](const std::tuple<int, int, int>& v) {
+        color[v] = 1;
+        for (const auto& w : cdg[v]) {
+          if (color[w] == 1) return true;
+          if (color[w] == 0 && has_cycle(w)) return true;
+        }
+        color[v] = 2;
+        return false;
+      };
+  for (const auto& [v, _] : cdg) {
+    if (color[v] == 0) {
+      EXPECT_FALSE(has_cycle(v)) << "cycle in escape CDG";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, EscapeCdg,
+                         ::testing::Values(CdgParam{4, 1, true},
+                                           CdgParam{8, 1, true},
+                                           CdgParam{4, 2, true},
+                                           CdgParam{8, 2, true},
+                                           CdgParam{3, 2, true},
+                                           CdgParam{4, 2, false},
+                                           CdgParam{3, 3, true}));
+
+}  // namespace
+}  // namespace mddsim

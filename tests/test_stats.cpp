@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "mddsim/common/assert.hpp"
+
+#include <cmath>
+
+#include "mddsim/common/stats.hpp"
+
+namespace mddsim {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, BinningAndFractions) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(9.9);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, FractionBelow) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i * 0.1 + 0.05);
+  EXPECT_DOUBLE_EQ(h.fraction_below(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_below(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(0.0), 0.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 3);
+  h.add(0.75, 1);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvariantError);
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), InvariantError);
+}
+
+TEST(LoadHistogram, EpochAccounting) {
+  // 2 nodes, capacity 1 flit/node/cycle, epochs of 100 cycles.
+  LoadHistogram lh(100, 1.0, 2);
+  // 50 flits in epoch 0 → load 0.25; nothing in epoch 1.
+  for (Cycle c = 0; c < 50; ++c) lh.record_injection(c, 1);
+  lh.finish(200);
+  EXPECT_EQ(lh.epochs(), 2u);
+  EXPECT_NEAR(lh.mean_load(), 0.125, 1e-12);
+  EXPECT_NEAR(lh.max_load(), 0.25, 1e-12);
+}
+
+TEST(LoadHistogram, PartialFinalEpoch) {
+  LoadHistogram lh(100, 1.0, 1);
+  lh.record_injection(0, 10);
+  lh.finish(50);  // partial epoch of 50 cycles → load 0.2
+  EXPECT_EQ(lh.epochs(), 1u);
+  EXPECT_NEAR(lh.max_load(), 0.2, 1e-12);
+}
+
+TEST(LoadHistogram, SkippedEpochsCountAsIdle) {
+  LoadHistogram lh(10, 1.0, 1);
+  lh.record_injection(0, 5);
+  lh.record_injection(35, 1);  // epochs 1 and 2 had no events
+  lh.finish(40);
+  EXPECT_EQ(lh.epochs(), 4u);
+  EXPECT_NEAR(lh.histogram().fraction_below(0.05), 0.5, 1e-12);
+}
+
+TEST(QuantileSampler, ExactQuantilesBelowCap) {
+  QuantileSampler q(1024);
+  for (int i = 100; i >= 1; --i) q.add(i);  // 1..100, unsorted insertion
+  EXPECT_EQ(q.count(), 100u);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 100.0);
+  EXPECT_NEAR(q.median(), 50.0, 1.0);
+  EXPECT_NEAR(q.p95(), 95.0, 1.0);
+  EXPECT_NEAR(q.p99(), 99.0, 1.0);
+}
+
+TEST(QuantileSampler, EmptyReturnsZero) {
+  QuantileSampler q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.median(), 0.0);
+}
+
+TEST(QuantileSampler, ReservoirStaysBoundedAndRepresentative) {
+  QuantileSampler q(256);
+  for (int i = 0; i < 100000; ++i) q.add(static_cast<double>(i % 1000));
+  EXPECT_EQ(q.count(), 100000u);
+  // Uniform 0..999: the sampled median should land near 500.
+  EXPECT_NEAR(q.median(), 500.0, 120.0);
+  EXPECT_GE(q.quantile(1.0), 900.0);
+}
+
+TEST(QuantileSampler, DeterministicForSeed) {
+  QuantileSampler a(64, 7), b(64, 7);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(i * 0.5);
+    b.add(i * 0.5);
+  }
+  EXPECT_DOUBLE_EQ(a.median(), b.median());
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+}
+
+}  // namespace
+}  // namespace mddsim

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "mddsim/common/assert.hpp"
+
+#include <set>
+
+#include "mddsim/topology/topology.hpp"
+
+namespace mddsim {
+namespace {
+
+TEST(Topology, SizesAndBristling) {
+  Topology t(4, 2, true, 2);
+  EXPECT_EQ(t.num_routers(), 16);
+  EXPECT_EQ(t.num_nodes(), 32);
+  EXPECT_EQ(t.num_net_ports(), 4);
+  EXPECT_EQ(t.router_of_node(5), 2);
+  EXPECT_EQ(t.slot_of_node(5), 1);
+  EXPECT_EQ(t.node_of(2, 1), 5);
+}
+
+TEST(Topology, CoordsRoundTrip) {
+  Topology t(5, 3);
+  for (RouterId r = 0; r < t.num_routers(); ++r) {
+    std::vector<int> c;
+    for (int d = 0; d < t.n(); ++d) c.push_back(t.coord(r, d));
+    EXPECT_EQ(t.router_at(c), r);
+  }
+}
+
+TEST(Topology, NeighborInverse) {
+  Topology t(4, 2);
+  for (RouterId r = 0; r < t.num_routers(); ++r) {
+    for (int d = 0; d < t.n(); ++d) {
+      const RouterId plus = t.neighbor(r, d, kDirPlus);
+      EXPECT_EQ(t.neighbor(plus, d, kDirMinus), r);
+    }
+  }
+}
+
+TEST(Topology, MeshEdgesHaveNoNeighbor) {
+  Topology t(4, 2, /*wrap=*/false);
+  // Router 0 is at coordinate (0,0).
+  EXPECT_EQ(t.neighbor(0, 0, kDirMinus), kInvalidRouter);
+  EXPECT_EQ(t.neighbor(0, 1, kDirMinus), kInvalidRouter);
+  EXPECT_NE(t.neighbor(0, 0, kDirPlus), kInvalidRouter);
+}
+
+TEST(Topology, WraparoundDetection) {
+  Topology t(4, 1);
+  EXPECT_TRUE(t.is_wraparound(3, 0, kDirPlus));
+  EXPECT_TRUE(t.is_wraparound(0, 0, kDirMinus));
+  EXPECT_FALSE(t.is_wraparound(1, 0, kDirPlus));
+  Topology mesh(4, 1, false);
+  EXPECT_FALSE(mesh.is_wraparound(3, 0, kDirPlus));
+}
+
+TEST(Topology, DistanceMatchesManualTorus) {
+  Topology t(8, 2);
+  const RouterId a = t.router_at({0, 0});
+  EXPECT_EQ(t.distance(a, t.router_at({1, 0})), 1);
+  EXPECT_EQ(t.distance(a, t.router_at({7, 0})), 1);  // wrap
+  EXPECT_EQ(t.distance(a, t.router_at({4, 4})), 8);  // both maximal
+  EXPECT_EQ(t.distance(a, a), 0);
+}
+
+TEST(Topology, MeanDistanceTorus8x8) {
+  Topology t(8, 2);
+  EXPECT_NEAR(t.mean_distance(), 4.0, 1e-12);  // k/4 per dimension
+}
+
+TEST(Topology, MinHopsTieReturnsBothDirections) {
+  Topology t(8, 1);
+  std::vector<DimHop> hops;
+  t.min_hops(0, 4, hops);  // offset exactly k/2
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0].dir, kDirPlus);
+  EXPECT_EQ(hops[1].dir, kDirMinus);
+  EXPECT_EQ(hops[0].dist, 4);
+  EXPECT_EQ(hops[1].dist, 4);
+}
+
+TEST(Topology, MinHopsShorterWayChosen) {
+  Topology t(8, 1);
+  std::vector<DimHop> hops;
+  t.min_hops(0, 6, hops);
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].dir, kDirMinus);
+  EXPECT_EQ(hops[0].dist, 2);
+}
+
+TEST(Topology, MinHopsWalkReachesDestination) {
+  Topology t(5, 3);
+  std::vector<DimHop> hops;
+  for (RouterId src : {0, 7, 63, 124}) {
+    for (RouterId dst : {0, 31, 62, 124}) {
+      RouterId cur = src;
+      int steps = 0;
+      for (;;) {
+        t.min_hops(cur, dst, hops);
+        if (hops.empty()) break;
+        cur = t.neighbor(cur, hops[0].dim, hops[0].dir);
+        ASSERT_LT(++steps, 100);
+      }
+      EXPECT_EQ(cur, dst);
+      EXPECT_EQ(steps, t.distance(src, dst));
+    }
+  }
+}
+
+struct RingParam {
+  int k, n;
+  bool wrap;
+};
+
+class RingSweep : public ::testing::TestWithParam<RingParam> {};
+
+TEST_P(RingSweep, RingIsHamiltonianAndConsistent) {
+  const auto p = GetParam();
+  Topology t(p.k, p.n, p.wrap);
+  std::set<RouterId> seen;
+  RouterId cur = t.ring_at(0);
+  for (int i = 0; i < t.num_routers(); ++i) {
+    EXPECT_TRUE(seen.insert(cur).second) << "ring revisits " << cur;
+    EXPECT_EQ(t.ring_pos(cur), i);
+    EXPECT_EQ(t.ring_at(i), cur);
+    const RouterId next = t.ring_next(cur);
+    if (i + 1 < t.num_routers()) {
+      // Consecutive snake positions are physically adjacent.
+      EXPECT_EQ(t.distance(cur, next), 1)
+          << "ring hop " << cur << "->" << next << " not adjacent";
+    }
+    cur = next;
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), t.num_routers());
+  EXPECT_EQ(cur, t.ring_at(0));  // closed
+}
+
+TEST_P(RingSweep, RingDistanceForward) {
+  const auto p = GetParam();
+  Topology t(p.k, p.n, p.wrap);
+  const RouterId a = t.ring_at(0);
+  const RouterId b = t.ring_at(t.num_routers() - 1);
+  EXPECT_EQ(t.ring_distance(a, b), t.num_routers() - 1);
+  EXPECT_EQ(t.ring_distance(b, a), 1);
+  EXPECT_EQ(t.ring_distance(a, a), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RingSweep,
+    ::testing::Values(RingParam{2, 1, true}, RingParam{4, 1, true},
+                      RingParam{3, 2, true}, RingParam{4, 2, true},
+                      RingParam{8, 2, true}, RingParam{3, 3, true},
+                      RingParam{4, 3, true}, RingParam{4, 2, false},
+                      RingParam{5, 2, true}));
+
+TEST(Topology, InvalidParamsThrow) {
+  EXPECT_THROW(Topology(1, 2), InvariantError);
+  EXPECT_THROW(Topology(4, 0), InvariantError);
+  EXPECT_THROW(Topology(4, 2, true, 0), InvariantError);
+}
+
+}  // namespace
+}  // namespace mddsim

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "mddsim/common/assert.hpp"
+
+#include <sstream>
+
+#include "mddsim/coherence/app_sim.hpp"
+#include "mddsim/workload/app_model.hpp"
+#include "mddsim/workload/trace.hpp"
+
+namespace mddsim {
+namespace {
+
+TEST(AppModel, ByName) {
+  EXPECT_EQ(AppModel::by_name("FFT").name, "FFT");
+  EXPECT_EQ(AppModel::by_name("Water").name, "Water");
+  EXPECT_THROW(AppModel::by_name("Barnes"), ConfigError);
+}
+
+TEST(WorkloadEngine, DeterministicForSeed) {
+  WorkloadEngine a(AppModel::Radix(), 16, Rng(9));
+  WorkloadEngine b(AppModel::Radix(), 16, Rng(9));
+  for (Cycle t = 0; t < 2000; ++t) {
+    for (NodeId n = 0; n < 16; ++n) {
+      auto x = a.tick(n, t), y = b.tick(n, t);
+      ASSERT_EQ(x.has_value(), y.has_value());
+      if (x) {
+        EXPECT_EQ(x->block, y->block);
+        EXPECT_EQ(x->is_write, y->is_write);
+      }
+    }
+  }
+}
+
+TEST(WorkloadEngine, RateFollowsPhaseEnvelope) {
+  AppModel m;
+  m.name = "two-phase";
+  m.phases = {{1000, 0.0}, {1000, 0.5}};
+  m.mix = {1.0, 0.0, 0.0, 0.0};
+  WorkloadEngine e(std::move(m), 4, Rng(1));
+  int phase0 = 0, phase1 = 0;
+  for (Cycle t = 0; t < 2000; ++t) {
+    for (NodeId n = 0; n < 4; ++n) {
+      if (e.tick(n, t)) (t < 1000 ? phase0 : phase1)++;
+    }
+  }
+  EXPECT_EQ(phase0, 0);
+  EXPECT_NEAR(phase1, 2000, 200);  // 4 nodes × 1000 cycles × 0.5
+}
+
+TEST(WorkloadEngine, PrivateAccessesAreFreshRemoteReads) {
+  AppModel m;
+  m.name = "private-only";
+  m.phases = {{100, 1.0}};
+  m.mix = {1.0, 0.0, 0.0, 0.0};
+  WorkloadEngine e(std::move(m), 8, Rng(2));
+  std::set<BlockAddr> seen;
+  for (Cycle t = 0; t < 100; ++t) {
+    for (NodeId n = 0; n < 8; ++n) {
+      auto a = e.tick(n, t);
+      ASSERT_TRUE(a.has_value());
+      EXPECT_FALSE(a->is_write);
+      EXPECT_NE(a->block % 8, static_cast<BlockAddr>(n)) << "home must be remote";
+      EXPECT_TRUE(seen.insert(a->block).second) << "fresh blocks never repeat";
+    }
+  }
+}
+
+TEST(WorkloadEngine, ProdConsAlternatesReadWrite) {
+  AppModel m;
+  m.name = "pc-only";
+  m.phases = {{10000, 0.02}};
+  m.mix = {0.0, 0.0, 1.0, 0.0};
+  WorkloadEngine e(std::move(m), 8, Rng(3));
+  std::map<BlockAddr, bool> last_was_write;
+  int checked = 0;
+  for (Cycle t = 0; t < 10000; ++t) {
+    for (NodeId n = 0; n < 8; ++n) {
+      auto a = e.tick(n, t);
+      if (!a) continue;
+      auto it = last_was_write.find(a->block);
+      if (it != last_was_write.end()) {
+        EXPECT_NE(it->second, a->is_write)
+            << "producer/consumer accesses must alternate";
+        ++checked;
+      }
+      last_was_write[a->block] = a->is_write;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(Trace, RoundTrip) {
+  std::vector<TraceRecord> recs = {
+      {0, {1, 100, false}}, {5, {2, 200, true}}, {5, {3, 300, false}}};
+  std::ostringstream os;
+  write_trace(os, recs);
+  std::istringstream is(os.str());
+  auto back = read_trace(is);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[1].cycle, 5u);
+  EXPECT_EQ(back[1].access.node, 2);
+  EXPECT_EQ(back[1].access.block, 200u);
+  EXPECT_TRUE(back[1].access.is_write);
+  EXPECT_FALSE(back[2].access.is_write);
+}
+
+TEST(Trace, CommentsAndBlankLinesSkipped) {
+  std::istringstream is("# header\n\n10 1 42 r\n");
+  auto recs = read_trace(is);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].cycle, 10u);
+}
+
+TEST(Trace, MalformedLineThrows) {
+  std::istringstream is("10 1 42 x\n");
+  EXPECT_THROW(read_trace(is), ConfigError);
+  std::istringstream is2("not numbers\n");
+  EXPECT_THROW(read_trace(is2), ConfigError);
+}
+
+TEST(AppSimulation, CaptureAndReplayAgree) {
+  SimConfig cfg = SimConfig::application_defaults();
+  cfg.scheme = Scheme::PR;
+  AppSimulation cap(cfg, AppModel::LU());
+  auto trace = cap.capture_trace(12000);
+  EXPECT_GT(trace.size(), 10u);
+
+  AppSimulation replay(cfg, AppModel::LU());
+  auto r = replay.run_trace(trace);
+  EXPECT_EQ(r.accesses, trace.size());
+  EXPECT_GT(r.network_txns, 0u);
+  EXPECT_EQ(replay.protocol().live_transactions(), 0u);  // drained
+}
+
+struct AppTarget {
+  const char* name;
+  double direct, inval, fwd;  // Table 1 targets
+};
+
+class AppCharacterization : public ::testing::TestWithParam<AppTarget> {};
+
+// Reproduces the shape of paper Table 1: each application model, run
+// through the real MSI directory over the real network, lands near the
+// published response-type mix.
+TEST_P(AppCharacterization, ResponseMixNearTable1) {
+  const auto target = GetParam();
+  SimConfig cfg = SimConfig::application_defaults();
+  cfg.scheme = Scheme::PR;
+  AppSimulation sim(cfg, AppModel::by_name(target.name));
+  auto r = sim.run(100000, 40000);
+  EXPECT_NEAR(r.responses.direct_frac(), target.direct, 0.08);
+  EXPECT_NEAR(r.responses.invalidation_frac(), target.inval, 0.08);
+  EXPECT_NEAR(r.responses.forwarding_frac(), target.fwd, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, AppCharacterization,
+                         ::testing::Values(
+                             AppTarget{"FFT", 0.987, 0.009, 0.004},
+                             AppTarget{"LU", 0.965, 0.030, 0.005},
+                             AppTarget{"Radix", 0.955, 0.036, 0.008},
+                             AppTarget{"Water", 0.152, 0.501, 0.347}),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(AppSimulation, NoDeadlocksAtApplicationLoads) {
+  // §4.2.2: no application experienced message-dependent deadlock.
+  for (const char* app : {"FFT", "LU", "Water"}) {
+    SimConfig cfg = SimConfig::application_defaults();
+    cfg.scheme = Scheme::PR;
+    AppSimulation sim(cfg, AppModel::by_name(app));
+    auto r = sim.run(60000);
+    EXPECT_EQ(r.rescues, 0u) << app;
+  }
+}
+
+TEST(AppSimulation, BristledNetworkRaisesLoad) {
+  // §4.2.2: bristling by 2 and 4 increases Radix's network load.
+  double loads[3];
+  int i = 0;
+  for (auto [k, b] : {std::pair{4, 1}, {2, 2}, {2, 4}}) {
+    SimConfig cfg = SimConfig::application_defaults();
+    cfg.scheme = Scheme::PR;
+    cfg.k = k;
+    cfg.bristling = b;
+    AppSimulation sim(cfg, AppModel::Radix());
+    loads[i++] = sim.run(40000).mean_load;
+  }
+  EXPECT_GT(loads[1], loads[0]);
+  EXPECT_GT(loads[2], loads[1]);
+}
+
+}  // namespace
+}  // namespace mddsim
