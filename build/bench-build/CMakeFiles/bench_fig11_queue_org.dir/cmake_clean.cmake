@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_queue_org"
+  "../bench/bench_fig11_queue_org.pdb"
+  "CMakeFiles/bench_fig11_queue_org.dir/bench_fig11_queue_org.cpp.o"
+  "CMakeFiles/bench_fig11_queue_org.dir/bench_fig11_queue_org.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_queue_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

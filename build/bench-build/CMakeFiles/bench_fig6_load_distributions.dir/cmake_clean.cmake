@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_load_distributions"
+  "../bench/bench_fig6_load_distributions.pdb"
+  "CMakeFiles/bench_fig6_load_distributions.dir/bench_fig6_load_distributions.cpp.o"
+  "CMakeFiles/bench_fig6_load_distributions.dir/bench_fig6_load_distributions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_load_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_vc8"
+  "../bench/bench_fig9_vc8.pdb"
+  "CMakeFiles/bench_fig9_vc8.dir/bench_fig9_vc8.cpp.o"
+  "CMakeFiles/bench_fig9_vc8.dir/bench_fig9_vc8.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_vc8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec42_app_deadlocks"
+  "../bench/bench_sec42_app_deadlocks.pdb"
+  "CMakeFiles/bench_sec42_app_deadlocks.dir/bench_sec42_app_deadlocks.cpp.o"
+  "CMakeFiles/bench_sec42_app_deadlocks.dir/bench_sec42_app_deadlocks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_app_deadlocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

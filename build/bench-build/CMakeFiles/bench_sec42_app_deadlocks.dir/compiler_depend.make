@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec42_app_deadlocks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherent_app.dir/coherent_app.cpp.o"
+  "CMakeFiles/coherent_app.dir/coherent_app.cpp.o.d"
+  "coherent_app"
+  "coherent_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherent_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

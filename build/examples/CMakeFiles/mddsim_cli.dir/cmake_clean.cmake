@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddsim_cli.dir/mddsim_cli.cpp.o"
+  "CMakeFiles/mddsim_cli.dir/mddsim_cli.cpp.o.d"
+  "mddsim_cli"
+  "mddsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mddsim/coherence/app_sim.cpp" "src/CMakeFiles/mddsim.dir/mddsim/coherence/app_sim.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/coherence/app_sim.cpp.o.d"
+  "/root/repo/src/mddsim/coherence/msi.cpp" "src/CMakeFiles/mddsim.dir/mddsim/coherence/msi.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/coherence/msi.cpp.o.d"
+  "/root/repo/src/mddsim/common/config_parse.cpp" "src/CMakeFiles/mddsim.dir/mddsim/common/config_parse.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/common/config_parse.cpp.o.d"
+  "/root/repo/src/mddsim/common/rng.cpp" "src/CMakeFiles/mddsim.dir/mddsim/common/rng.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/common/rng.cpp.o.d"
+  "/root/repo/src/mddsim/common/stats.cpp" "src/CMakeFiles/mddsim.dir/mddsim/common/stats.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/common/stats.cpp.o.d"
+  "/root/repo/src/mddsim/core/cwg.cpp" "src/CMakeFiles/mddsim.dir/mddsim/core/cwg.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/core/cwg.cpp.o.d"
+  "/root/repo/src/mddsim/core/recovery.cpp" "src/CMakeFiles/mddsim.dir/mddsim/core/recovery.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/core/recovery.cpp.o.d"
+  "/root/repo/src/mddsim/core/regressive.cpp" "src/CMakeFiles/mddsim.dir/mddsim/core/regressive.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/core/regressive.cpp.o.d"
+  "/root/repo/src/mddsim/netif/netif.cpp" "src/CMakeFiles/mddsim.dir/mddsim/netif/netif.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/netif/netif.cpp.o.d"
+  "/root/repo/src/mddsim/protocol/generic_protocol.cpp" "src/CMakeFiles/mddsim.dir/mddsim/protocol/generic_protocol.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/protocol/generic_protocol.cpp.o.d"
+  "/root/repo/src/mddsim/protocol/message.cpp" "src/CMakeFiles/mddsim.dir/mddsim/protocol/message.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/protocol/message.cpp.o.d"
+  "/root/repo/src/mddsim/protocol/pattern.cpp" "src/CMakeFiles/mddsim.dir/mddsim/protocol/pattern.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/protocol/pattern.cpp.o.d"
+  "/root/repo/src/mddsim/router/router.cpp" "src/CMakeFiles/mddsim.dir/mddsim/router/router.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/router/router.cpp.o.d"
+  "/root/repo/src/mddsim/routing/routing.cpp" "src/CMakeFiles/mddsim.dir/mddsim/routing/routing.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/routing/routing.cpp.o.d"
+  "/root/repo/src/mddsim/routing/vc_layout.cpp" "src/CMakeFiles/mddsim.dir/mddsim/routing/vc_layout.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/routing/vc_layout.cpp.o.d"
+  "/root/repo/src/mddsim/sim/config.cpp" "src/CMakeFiles/mddsim.dir/mddsim/sim/config.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/sim/config.cpp.o.d"
+  "/root/repo/src/mddsim/sim/metrics.cpp" "src/CMakeFiles/mddsim.dir/mddsim/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/sim/metrics.cpp.o.d"
+  "/root/repo/src/mddsim/sim/network.cpp" "src/CMakeFiles/mddsim.dir/mddsim/sim/network.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/sim/network.cpp.o.d"
+  "/root/repo/src/mddsim/sim/report.cpp" "src/CMakeFiles/mddsim.dir/mddsim/sim/report.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/sim/report.cpp.o.d"
+  "/root/repo/src/mddsim/sim/simulator.cpp" "src/CMakeFiles/mddsim.dir/mddsim/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/sim/simulator.cpp.o.d"
+  "/root/repo/src/mddsim/topology/topology.cpp" "src/CMakeFiles/mddsim.dir/mddsim/topology/topology.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/topology/topology.cpp.o.d"
+  "/root/repo/src/mddsim/workload/app_model.cpp" "src/CMakeFiles/mddsim.dir/mddsim/workload/app_model.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/workload/app_model.cpp.o.d"
+  "/root/repo/src/mddsim/workload/trace.cpp" "src/CMakeFiles/mddsim.dir/mddsim/workload/trace.cpp.o" "gcc" "src/CMakeFiles/mddsim.dir/mddsim/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

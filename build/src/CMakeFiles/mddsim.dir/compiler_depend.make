@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mddsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for mddsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_config_parse.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_config_parse.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_config_parse.cpp.o.d"
+  "/root/repo/tests/test_deadlock.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_deadlock.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_deadlock.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_generic_protocol.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_generic_protocol.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_generic_protocol.cpp.o.d"
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_golden.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_layout.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_layout.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_layout.cpp.o.d"
+  "/root/repo/tests/test_msi.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_msi.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_msi.cpp.o.d"
+  "/root/repo/tests/test_netif.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_netif.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_netif.cpp.o.d"
+  "/root/repo/tests/test_pattern.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_pattern.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_pattern.cpp.o.d"
+  "/root/repo/tests/test_recovery_coherence.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_recovery_coherence.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_recovery_coherence.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_router.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_router.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_router.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/mddsim_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/mddsim_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mddsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for mddsim_tests.
+# This may be replaced when dependencies are built.
