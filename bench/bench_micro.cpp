@@ -1,5 +1,6 @@
 // Microbenchmarks (google-benchmark): simulator cycle cost per scheme, CWG
-// detector scan cost, and topology/routing primitives — the cost model for
+// detector scan cost, topology/routing primitives, and the mddsim::obs
+// tracing overhead (traced vs untraced cycle cost) — the cost model for
 // the reproduction itself.
 #include <benchmark/benchmark.h>
 
@@ -11,7 +12,7 @@ namespace {
 using namespace mddsim;
 
 void BM_SimCycle(benchmark::State& state, Scheme scheme, const char* pattern,
-                 double load) {
+                 double load, bool trace = false) {
   SimConfig cfg;
   cfg.scheme = scheme;
   cfg.pattern = pattern;
@@ -19,6 +20,7 @@ void BM_SimCycle(benchmark::State& state, Scheme scheme, const char* pattern,
   cfg.injection_rate = load;
   cfg.warmup_cycles = 0;
   cfg.measure_cycles = 0;
+  cfg.trace = trace;
   Simulator sim(cfg);
   auto& net = sim.network();
   auto& proto = sim.protocol();
@@ -81,6 +83,10 @@ BENCHMARK_CAPTURE(BM_SimCycle, sa_idle, mddsim::Scheme::SA, "PAT271", 0.001);
 BENCHMARK_CAPTURE(BM_SimCycle, pr_idle, mddsim::Scheme::PR, "PAT271", 0.001);
 BENCHMARK_CAPTURE(BM_SimCycle, pr_saturated, mddsim::Scheme::PR, "PAT271",
                   0.013);
+// Tracer cost: compare against pr_saturated for the per-cycle overhead of
+// flit-level tracing (<2% expected when MDDSIM_TRACE=ON, 0 when OFF).
+BENCHMARK_CAPTURE(BM_SimCycle, pr_saturated_traced, mddsim::Scheme::PR,
+                  "PAT271", 0.013, true);
 BENCHMARK_CAPTURE(BM_SimCycle, dr_saturated, mddsim::Scheme::DR, "PAT271",
                   0.013);
 BENCHMARK(BM_CwgScan);

@@ -8,14 +8,25 @@
 //     --csv | --json     machine-readable output
 //     --print-config     echo the effective configuration and exit
 //
+//   Observability (mddsim::obs):
+//     --trace-out FILE   record a flit-level trace, write Chrome trace-event
+//                        JSON to FILE (open in chrome://tracing / Perfetto)
+//     --heatmap-out FILE sample congestion telemetry, write heatmap CSV
+//     --forensics-dir D  dump wait-graph DOT + occupancy + manifest into D
+//                        when a deadlock knot persists or the watchdog trips
+//
 //   mddsim_cli scheme=PR pattern=PAT271 vcs=4 rate=0.012
 //   mddsim_cli --csv scheme=DR pattern=PAT721 rate=0.008 seed=7
+//   mddsim_cli --trace-out run.trace.json scheme=PR rate=0.014 measure=4000
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "mddsim/common/config_parse.hpp"
+#include "mddsim/obs/forensics.hpp"
+#include "mddsim/obs/telemetry.hpp"
+#include "mddsim/obs/trace.hpp"
 #include "mddsim/sim/report.hpp"
 #include "mddsim/sim/simulator.hpp"
 
@@ -25,7 +36,9 @@ namespace {
 
 void print_help() {
   std::printf("usage: mddsim_cli [--help] [--config FILE] [--drain] "
-              "[--csv|--json] [--print-config] [key=value ...]\n\n"
+              "[--csv|--json] [--print-config]\n"
+              "                  [--trace-out FILE] [--heatmap-out FILE] "
+              "[--forensics-dir DIR] [key=value ...]\n\n"
               "configuration keys:\n");
   for (const auto& k : known_keys()) {
     std::printf("  %-16s %s\n", std::string(k.key).c_str(),
@@ -38,6 +51,7 @@ void print_help() {
 int main(int argc, char** argv) {
   SimConfig cfg;
   bool drain = false, csv = false, json = false, print_cfg = false;
+  std::string trace_out, heatmap_out, forensics_dir;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -53,6 +67,20 @@ int main(int argc, char** argv) {
         json = true;
       } else if (arg == "--print-config") {
         print_cfg = true;
+      } else if (arg == "--trace-out") {
+        if (++i >= argc) throw ConfigError("--trace-out needs a file argument");
+        trace_out = argv[i];
+        cfg.trace = true;
+      } else if (arg == "--heatmap-out") {
+        if (++i >= argc)
+          throw ConfigError("--heatmap-out needs a file argument");
+        heatmap_out = argv[i];
+        if (cfg.telemetry_epoch <= 0) cfg.telemetry_epoch = 100;
+      } else if (arg == "--forensics-dir") {
+        if (++i >= argc)
+          throw ConfigError("--forensics-dir needs a directory argument");
+        forensics_dir = argv[i];
+        cfg.forensics = true;
       } else if (arg == "--config") {
         if (++i >= argc) throw ConfigError("--config needs a file argument");
         std::ifstream is(argv[i]);
@@ -78,6 +106,57 @@ int main(int argc, char** argv) {
   RunResult r = sim.run(drain);
   const std::string label = std::string(scheme_name(cfg.scheme)) + "/" +
                             cfg.pattern;
+
+  // --- Observability artifacts (written before the headline report). -------
+  if (!trace_out.empty()) {
+    if (!Tracer::compiled_in()) {
+      std::fprintf(stderr,
+                   "warning: built with MDDSIM_TRACE=OFF; trace is empty\n");
+    }
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+      return 3;
+    }
+    sim.tracer()->export_chrome_json(os, sim.network().topology().num_routers());
+    std::fprintf(stderr, "%s\n", sim.tracer()->overhead_line().c_str());
+    std::fprintf(stderr, "[obs] trace written to %s (load in ui.perfetto.dev)\n",
+                 trace_out.c_str());
+  }
+  if (!heatmap_out.empty() && !sim.telemetry()) {
+    std::fprintf(stderr,
+                 "warning: telemetry_epoch=0 disables sampling; %s not "
+                 "written\n", heatmap_out.c_str());
+  }
+  if (!heatmap_out.empty() && sim.telemetry()) {
+    std::ofstream os(heatmap_out);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", heatmap_out.c_str());
+      return 3;
+    }
+    sim.telemetry()->write_heatmap_csv(os);
+    std::fprintf(stderr, "[obs] %zu telemetry samples (epoch %d) -> %s\n",
+                 sim.telemetry()->samples().size(), cfg.telemetry_epoch,
+                 heatmap_out.c_str());
+  }
+  if (!forensics_dir.empty()) {
+    for (const ForensicsReport& rep : sim.forensics_reports()) {
+      if (!Forensics::write_dir(rep, forensics_dir)) {
+        std::fprintf(stderr, "error: cannot write forensics into %s\n",
+                     forensics_dir.c_str());
+        return 3;
+      }
+      std::fprintf(stderr,
+                   "[obs] forensics: %s at cycle %llu (%d knots) -> %s/%s_%llu.*\n",
+                   rep.reason.c_str(),
+                   static_cast<unsigned long long>(rep.cycle), rep.knots,
+                   forensics_dir.c_str(), rep.reason.c_str(),
+                   static_cast<unsigned long long>(rep.cycle));
+    }
+    if (sim.forensics_reports().empty()) {
+      std::fprintf(stderr, "[obs] forensics: no deadlock observed\n");
+    }
+  }
   if (csv) {
     write_csv_header(std::cout);
     write_csv_row(std::cout, label, r);

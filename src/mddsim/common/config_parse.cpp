@@ -100,6 +100,11 @@ const std::vector<ConfigKey>& known_keys() {
       {"cwg_period", "CWG scan interval (cycles)"},
       {"retry_backoff", "RG re-injection backoff (cycles)"},
       {"tokens", "PR: concurrent recovery tokens (default 1)"},
+      {"trace", "attach the flit-level event tracer (0/1)"},
+      {"trace_capacity", "tracer ring-buffer capacity (events)"},
+      {"telemetry_epoch", "congestion-sampling period (cycles, 0 = off)"},
+      {"forensics", "capture deadlock-forensics reports (0/1)"},
+      {"watchdog", "zero-progress cycles before a forensics dump (0 = off)"},
       {"seed", "random seed"},
       {"warmup", "warmup cycles"},
       {"measure", "measurement cycles"},
@@ -149,6 +154,12 @@ void apply_config_option(SimConfig& cfg, std::string_view assignment) {
   else if (key == "cwg_period") cfg.cwg_period = parse_int(key, val);
   else if (key == "retry_backoff") cfg.retry_backoff = parse_int(key, val);
   else if (key == "tokens") cfg.num_tokens = parse_int(key, val);
+  else if (key == "trace") cfg.trace = parse_bool(key, val);
+  else if (key == "trace_capacity") cfg.trace_capacity = parse_int(key, val);
+  else if (key == "telemetry_epoch")
+    cfg.telemetry_epoch = parse_int(key, val);
+  else if (key == "forensics") cfg.forensics = parse_bool(key, val);
+  else if (key == "watchdog") cfg.watchdog_cycles = parse_int(key, val);
   else if (key == "seed")
     cfg.seed = static_cast<std::uint64_t>(parse_double(key, val));
   else if (key == "warmup")
@@ -223,6 +234,11 @@ std::string config_to_string(const SimConfig& cfg) {
      << "cwg_period=" << cfg.cwg_period << "\n"
      << "retry_backoff=" << cfg.retry_backoff << "\n"
      << "tokens=" << cfg.num_tokens << "\n"
+     << "trace=" << (cfg.trace ? 1 : 0) << "\n"
+     << "trace_capacity=" << cfg.trace_capacity << "\n"
+     << "telemetry_epoch=" << cfg.telemetry_epoch << "\n"
+     << "forensics=" << (cfg.forensics ? 1 : 0) << "\n"
+     << "watchdog=" << cfg.watchdog_cycles << "\n"
      << "seed=" << cfg.seed << "\n"
      << "warmup=" << cfg.warmup_cycles << "\n"
      << "measure=" << cfg.measure_cycles << "\n"

@@ -35,6 +35,35 @@ int CwgDetector::vertex_output_q(NodeId node, int slot) const {
   return output_q_base_ + node * slots_ + slot;
 }
 
+std::vector<std::vector<int>> CwgDetector::adjacency() const {
+  std::vector<std::vector<int>> adj;
+  build(adj);
+  return adj;
+}
+
+std::string CwgDetector::vertex_label(int v) const {
+  if (v >= output_q_base_) {
+    const int rel = v - output_q_base_;
+    return "N" + std::to_string(rel / slots_) + " outQ " +
+           std::to_string(rel % slots_);
+  }
+  if (v >= input_q_base_) {
+    const int rel = v - input_q_base_;
+    return "N" + std::to_string(rel / slots_) + " inQ " +
+           std::to_string(rel % slots_);
+  }
+  if (v >= eject_base_) {
+    const int rel = v - eject_base_;
+    return "N" + std::to_string(rel / vcs_) + " eject v" +
+           std::to_string(rel % vcs_);
+  }
+  const int rel = v - router_vc_base_;
+  const int r = rel / (ports_per_router_ * vcs_);
+  const int port = (rel / vcs_) % ports_per_router_;
+  return "R" + std::to_string(r) + " in[p" + std::to_string(port) + ",v" +
+         std::to_string(rel % vcs_) + "]";
+}
+
 void CwgDetector::build(std::vector<std::vector<int>>& adj) const {
   adj.assign(static_cast<std::size_t>(num_vertices_), {});
   const Topology& topo = net_.topology();

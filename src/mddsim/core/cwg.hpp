@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "mddsim/common/types.hpp"
@@ -42,6 +43,14 @@ class CwgDetector {
 
   /// Number of vertices in the graph (for tests).
   int num_vertices() const { return num_vertices_; }
+
+  /// Snapshot of the current wait-for graph's adjacency (vertex → blocked-on
+  /// vertices).  Cold path: used by obs::Forensics for post-mortem export.
+  std::vector<std::vector<int>> adjacency() const;
+
+  /// Human-readable vertex description, e.g. "R3 in[p2,v1]", "N5 eject v0",
+  /// "N5 inQ 1", "N5 outQ 0" — used for Graphviz labels.
+  std::string vertex_label(int v) const;
 
   /// Input-queue vertices of a knot, decoded to (node, queue slot) — the
   /// interfaces oracle detection flags for token capture.

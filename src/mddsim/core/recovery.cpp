@@ -12,6 +12,19 @@ RecoveryEngine::RecoveryEngine(Network& net, int start_stop) : net_(net) {
   capture_stop_ = token_stop_;
 }
 
+const char* RecoveryEngine::state_name() const {
+  switch (state_) {
+    case State::Circulate: return "circulate";
+    case State::CaptureWaitMc: return "capture_wait_mc";
+    case State::CaptureServicing: return "capture_servicing";
+    case State::LaneTransfer: return "lane_transfer";
+    case State::ReceiverWaitMc: return "receiver_wait_mc";
+    case State::ReceiverServicing: return "receiver_servicing";
+    case State::TokenReturn: return "token_return";
+  }
+  return "unknown";
+}
+
 int RecoveryEngine::num_stops() const {
   return net_.topology().num_routers() * (1 + net_.topology().bristling());
 }
@@ -104,6 +117,7 @@ void RecoveryEngine::advance_token(Cycle now) {
 
 void RecoveryEngine::release_and_recheck(Cycle now) {
   release_token();
+  if (Tracer* t = net_.tracer()) t->token_release(now, token_stop_);
   // The paper releases the token for re-circulation at the capturing node;
   // if that node still satisfies the detection conditions it recaptures
   // immediately rather than waiting a full ring revolution.
@@ -130,6 +144,10 @@ void RecoveryEngine::begin_ni_capture(Cycle now, NodeId node, int slot) {
   capture_stop_ = token_stop_;
   work_pkt_ = net_.ni(node).rescue_pop_head(slot, now);
   work_pkt_->rescued = true;
+  if (Tracer* t = net_.tracer()) {
+    t->detection(now, node, slot);
+    t->token_acquire(now, work_pkt_->id, node, slot);
+  }
   wait_ni_ = node;
   state_ = State::CaptureWaitMc;
 }
@@ -140,6 +158,7 @@ void RecoveryEngine::begin_router_capture(Cycle now, RouterId r,
   ++net_.counters().rescues;
   capture_stop_ = token_stop_;
   victim->rescued = true;
+  if (Tracer* t = net_.tracer()) t->token_acquire(now, victim->id, r, -1);
 
   // Extract every flit of the victim from the fabric, freeing the virtual
   // channels it held (the Disha "switch to the DB lane").
@@ -217,6 +236,7 @@ void RecoveryEngine::deliver(Cycle now) {
   NetworkInterface& ni = net_.ni(receiver_);
   PacketPtr pkt = std::move(work_pkt_);
   work_pkt_.reset();
+  if (Tracer* t = net_.tracer()) t->lane_deliver(now, pkt->id, receiver_);
 
   if (is_terminating(pkt->type)) {
     // Guaranteed to sink (preallocated MSHR), possibly via preemption —

@@ -27,6 +27,7 @@ void RegressiveEngine::step(Cycle now) {
 
     ++kills_;
     ++net_.counters().retries;
+    if (Tracer* t = net_.tracer()) t->retry_kill(now, victim->id, r);
     net_.ni(victim->src).schedule_retry(
         victim, now + static_cast<Cycle>(net_.config().retry_backoff));
     return;  // one kill per cycle

@@ -113,6 +113,10 @@ void NetworkInterface::step_eject(Cycle now) {
     MDD_CHECK(f.seq == reasm->next_seq);
     ++reasm->next_seq;
     const bool tail = f.is_tail();
+    if (Tracer* t = net_.tracer()) {
+      t->flit_eject(now, f.pkt->id, id_, vc, f.seq);
+      if (tail) t->packet_deliver(now, f.pkt->id, id_);
+    }
     buf.pop_front();
     net_.stage_ejection_credit(id_, vc);
     if (tail) {
@@ -143,6 +147,7 @@ void NetworkInterface::sink_packet(const PacketPtr& pkt, Cycle now) {
   }
   for (const auto& m : r.resume) pending_.push_back(m);
   if (net_.observer()) net_.observer()->on_packet_consumed(*pkt, now);
+  if (Tracer* t = net_.tracer()) t->packet_consume(now, pkt->id, id_);
 }
 
 void NetworkInterface::consume_terminating_heads(Cycle now) {
@@ -178,6 +183,7 @@ void NetworkInterface::step_mc(Cycle now) {
       }
     }
     if (net_.observer()) net_.observer()->on_packet_consumed(*mc_pkt_, now);
+    if (Tracer* t = net_.tracer()) t->packet_consume(now, mc_pkt_->id, id_);
     mc_pkt_.reset();
   }
 
@@ -240,6 +246,7 @@ void NetworkInterface::step_deflect(Cycle now) {
   if (slot < 0) return;
   last_detection_ = now;
   if (net_.observer()) net_.observer()->on_detection(id_, now);
+  if (Tracer* t = net_.tracer()) t->detection(now, id_, slot);
   ++net_.counters().detections;
   PacketPtr head = input_head(slot);
   MDD_CHECK(head != nullptr);
@@ -257,6 +264,10 @@ void NetworkInterface::step_deflect(Cycle now) {
   if (net_.observer()) {
     net_.observer()->on_packet_consumed(*head, now);
     net_.observer()->on_deflection(id_, now);
+  }
+  if (Tracer* t = net_.tracer()) {
+    t->packet_consume(now, head->id, id_);
+    t->deflection(now, head->id, id_);
   }
   push_output(make_packet(*backoff, now), now);
   ++net_.counters().deflections;
@@ -310,6 +321,9 @@ bool NetworkInterface::try_stream_flit(InjectStream& stream, Cycle now) {
   --inj_credits_[static_cast<std::size_t>(stream.vc)];
   net_.stage_injection_flit(id_, stream.vc, std::move(f));
   if (net_.observer()) net_.observer()->on_flit_injected(id_, now);
+  if (Tracer* t = net_.tracer()) {
+    t->flit_inject(now, stream.pkt->id, id_, stream.vc, stream.next_seq);
+  }
   ++stream.next_seq;
   last_progress_ = now;
   return true;

@@ -1,0 +1,176 @@
+#include "mddsim/obs/forensics.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "mddsim/core/cwg.hpp"
+#include "mddsim/core/recovery.hpp"
+#include "mddsim/sim/metrics.hpp"
+#include "mddsim/sim/network.hpp"
+
+namespace mddsim {
+
+namespace {
+
+void describe_packet(std::ostringstream& os, const Packet& p, Cycle now) {
+  os << "pkt " << p.id << " type=" << msg_type_name(p.type) << " txn=" << p.txn
+     << " src=" << p.src << " dst=" << p.dst << " len=" << p.len_flits
+     << " class=" << p.vc_class << " age=" << (now - p.gen_cycle);
+  if (p.rescued) os << " rescued";
+  if (p.deflected) os << " deflected";
+  if (p.retried) os << " retried";
+}
+
+std::string build_dot(const CwgDetector& cwg, const std::vector<Knot>& knots) {
+  std::set<int> knot_members;
+  for (const Knot& k : knots) knot_members.insert(k.vertices.begin(),
+                                                  k.vertices.end());
+  const std::vector<std::vector<int>> adj = cwg.adjacency();
+  // Emit only vertices participating in at least one edge; the full graph
+  // has |resources| vertices and would drown the interesting part.
+  std::set<int> live;
+  for (std::size_t v = 0; v < adj.size(); ++v) {
+    if (adj[v].empty()) continue;
+    live.insert(static_cast<int>(v));
+    live.insert(adj[v].begin(), adj[v].end());
+  }
+  std::ostringstream os;
+  os << "digraph cwg {\n  rankdir=LR;\n  node [shape=box,fontsize=10];\n";
+  for (int v : live) {
+    os << "  v" << v << " [label=\"" << cwg.vertex_label(v) << "\"";
+    if (knot_members.count(v))
+      os << ",style=filled,fillcolor=\"#e06666\"";
+    os << "];\n";
+  }
+  for (std::size_t v = 0; v < adj.size(); ++v) {
+    for (int w : adj[v]) {
+      os << "  v" << v << " -> v" << w;
+      if (knot_members.count(static_cast<int>(v)) && knot_members.count(w))
+        os << " [color=\"#cc0000\",penwidth=2]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string build_occupancy_csv(const Network& net, const Metrics* metrics) {
+  std::ostringstream os;
+  os << "node,slot,input_q,output_q,input_full,output_full,outstanding,"
+        "pending,mc_busy,detections,deflections,consumed,flits_injected\n";
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    const NetworkInterface& ni = net.ni(n);
+    for (int s = 0; s < ni.num_queue_slots(); ++s) {
+      os << n << ',' << s << ',' << ni.input_size(s) << ','
+         << ni.output_size(s) << ',' << (ni.input_full(s) ? 1 : 0) << ','
+         << (ni.output_full(s) ? 1 : 0) << ',' << ni.outstanding() << ','
+         << ni.pending_backlog() << ',' << (ni.mc_current() ? 1 : 0) << ',';
+      if (metrics) {
+        os << metrics->node_detections()[static_cast<std::size_t>(n)] << ','
+           << metrics->node_deflections()[static_cast<std::size_t>(n)] << ','
+           << metrics->node_consumed()[static_cast<std::size_t>(n)] << ','
+           << metrics->node_flits_injected()[static_cast<std::size_t>(n)];
+      } else {
+        os << ",,,";
+      }
+      os << '\n';
+    }
+  }
+  // DB/DMB lane occupancy: one row per recovery engine (token).
+  os << "\ntoken,state,ring_stop,lane_packet,chain_depth,captures\n";
+  int t = 0;
+  for (const auto& engine : net.recovery_engines()) {
+    os << t++ << ',' << engine->state_name() << ',' << engine->token_stop()
+       << ',' << engine->lane_packet() << ',' << engine->rescue_chain_depth()
+       << ',' << engine->captures() << '\n';
+  }
+  return os.str();
+}
+
+std::string build_manifest(const Network& net, Cycle now) {
+  std::ostringstream os;
+  os << "# blocked-packet manifest, cycle " << now << "\n";
+  os << "\n## router input VCs (front packet per occupied VC)\n";
+  for (RouterId r = 0; r < net.topology().num_routers(); ++r) {
+    const Router& router = net.router(r);
+    for (int p = 0; p < router.num_inputs(); ++p) {
+      for (int v = 0; v < router.vcs(); ++v) {
+        const InputVc& ivc = router.input(p, v);
+        if (ivc.buffer.empty()) continue;
+        os << "R" << r << " in[p" << p << ",v" << v << "] flits="
+           << ivc.buffer.size() << " stalled="
+           << (now - ivc.last_progress) << " route="
+           << (ivc.route_valid
+                   ? "p" + std::to_string(ivc.out_port) + "/v" +
+                         std::to_string(ivc.out_vc)
+                   : std::string("none"))
+           << "  ";
+        describe_packet(os, *ivc.buffer.front().pkt, now);
+        os << "\n";
+      }
+    }
+  }
+  os << "\n## network-interface queue heads\n";
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    const NetworkInterface& ni = net.ni(n);
+    for (int s = 0; s < ni.num_queue_slots(); ++s) {
+      if (const PacketPtr head = ni.input_head(s)) {
+        os << "N" << n << " inQ" << s << " depth=" << ni.input_size(s)
+           << "  ";
+        describe_packet(os, *head, now);
+        os << "\n";
+      }
+      if (const PacketPtr head = ni.output_head(s)) {
+        os << "N" << n << " outQ" << s << " depth=" << ni.output_size(s)
+           << "  ";
+        describe_packet(os, *head, now);
+        os << "\n";
+      }
+    }
+    if (const Packet* mc = ni.mc_current()) {
+      os << "N" << n << " MC  ";
+      describe_packet(os, *mc, now);
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+ForensicsReport Forensics::capture(const Network& net, const Metrics* metrics,
+                                   Cycle now, const std::string& reason) {
+  ForensicsReport rep;
+  rep.cycle = now;
+  rep.reason = reason;
+  CwgDetector cwg(net);
+  const std::vector<Knot> knots = cwg.find_knots();
+  rep.knots = static_cast<int>(knots.size());
+  rep.wait_graph_dot = build_dot(cwg, knots);
+  rep.occupancy_csv = build_occupancy_csv(net, metrics);
+  rep.manifest = build_manifest(net, now);
+  return rep;
+}
+
+bool Forensics::write_dir(const ForensicsReport& report,
+                          const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  const std::string stem =
+      dir + "/" + (report.reason.empty() ? "dump" : report.reason) + "_" +
+      std::to_string(report.cycle);
+  const auto write = [](const std::string& path, const std::string& body) {
+    std::ofstream os(path);
+    if (!os) return false;
+    os << body;
+    return static_cast<bool>(os);
+  };
+  return write(stem + ".dot", report.wait_graph_dot) &&
+         write(stem + "_occupancy.csv", report.occupancy_csv) &&
+         write(stem + "_manifest.txt", report.manifest);
+}
+
+}  // namespace mddsim

@@ -1,0 +1,47 @@
+#pragma once
+// Deadlock forensics (mddsim::obs): when the CWG detector finds a knot, or
+// the run watchdog sees zero consumed packets for N cycles, capture enough
+// state to diagnose the hang post-mortem:
+//
+//  * the channel-wait graph as Graphviz DOT, knot vertices highlighted —
+//    `dot -Tsvg cwg_knot_<cycle>.dot` renders the dependency cycle;
+//  * per-interface queue and DB/DMB (recovery-lane) occupancy plus the
+//    per-node deadlock-event counters, as CSV;
+//  * a blocked-packet manifest: every packet buffered in the fabric or at a
+//    queue head, with its position, age and routing state.
+//
+// Capture is pure (strings in a report struct); `write_dir` persists a
+// report as three files under a directory, creating it if needed.
+
+#include <string>
+
+#include "mddsim/common/types.hpp"
+
+namespace mddsim {
+
+class Network;
+class Metrics;
+
+struct ForensicsReport {
+  Cycle cycle = 0;
+  std::string reason;         ///< "cwg_knot" or "watchdog"
+  std::string wait_graph_dot; ///< Graphviz DOT of the CWG (knots coloured)
+  std::string occupancy_csv;  ///< queues, DB/DMB lanes, per-node counters
+  std::string manifest;       ///< blocked-packet manifest (text)
+  int knots = 0;              ///< knot count at capture time
+};
+
+class Forensics {
+ public:
+  /// Snapshots the network's wait-for state.  `metrics` may be null (the
+  /// per-node counter columns are then omitted).
+  static ForensicsReport capture(const Network& net, const Metrics* metrics,
+                                 Cycle now, const std::string& reason);
+
+  /// Writes `<reason>_<cycle>.dot`, `<reason>_<cycle>_occupancy.csv` and
+  /// `<reason>_<cycle>_manifest.txt` under `dir` (created if missing).
+  /// Returns false when the directory or files cannot be written.
+  static bool write_dir(const ForensicsReport& report, const std::string& dir);
+};
+
+}  // namespace mddsim

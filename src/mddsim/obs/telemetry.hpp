@@ -1,0 +1,58 @@
+#pragma once
+// Congestion telemetry (mddsim::obs): per-router / per-VC buffer occupancy
+// and link utilization, sampled on a configurable epoch.
+//
+// Each epoch boundary snapshots, for every router and every virtual
+// channel: the flits currently buffered across the router's input ports
+// (occupancy) and the flits forwarded on its network output links since
+// the previous epoch (utilization, flits/link/cycle).  The samples export
+// as a long-format CSV — one row per (cycle, router, vc) — which pivots
+// directly into a congestion heatmap (router on one axis, epoch on the
+// other, occupancy or utilization as the colour).
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+
+namespace mddsim {
+
+class Network;
+
+struct TelemetrySample {
+  Cycle cycle = 0;
+  RouterId router = 0;
+  int vc = 0;
+  int buffered_flits = 0;   ///< flits in this router's input buffers, this VC
+  int buffer_capacity = 0;  ///< input ports × flit buffer depth
+  double link_util = 0.0;   ///< flits/link/cycle forwarded since last epoch
+};
+
+class TelemetrySampler {
+ public:
+  /// @param epoch  sampling period in cycles (>= 1).
+  TelemetrySampler(const Network& net, Cycle epoch);
+
+  /// Call once per cycle; samples on epoch boundaries (cycle % epoch == 0,
+  /// skipping cycle 0 which has no history).
+  void step(Cycle now);
+
+  /// Forces a snapshot now (used at end of run for a final partial epoch).
+  void sample(Cycle now);
+
+  Cycle epoch() const { return epoch_; }
+  const std::vector<TelemetrySample>& samples() const { return samples_; }
+
+  /// Long-format congestion heatmap CSV (header + one row per sample).
+  void write_heatmap_csv(std::ostream& os) const;
+
+ private:
+  const Network& net_;
+  Cycle epoch_;
+  Cycle last_sample_ = 0;
+  std::vector<std::uint64_t> prev_forwarded_;  ///< [router*vcs + vc]
+  std::vector<TelemetrySample> samples_;
+};
+
+}  // namespace mddsim

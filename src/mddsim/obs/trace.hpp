@@ -1,0 +1,166 @@
+#pragma once
+// Low-overhead structured event tracer (mddsim::obs).
+//
+// Records flit-level lifecycle events (injection, per-hop switch traversal,
+// ejection, consumption), virtual-channel allocation, recovery-token
+// movement, and deadlock-handling events into a fixed-capacity ring buffer.
+// When the ring fills, the oldest events are overwritten and counted as
+// dropped — tracing never allocates on the hot path and never blocks the
+// simulation.
+//
+// Compile-time kill switch: building with -DMDDSIM_TRACE_ENABLED=0 (CMake
+// option MDDSIM_TRACE=OFF) turns every record call into an empty inline
+// function and makes Network::tracer() a constant nullptr, so the hooks in
+// router/netif/core compile away entirely.  `Tracer::compiled_in()` reports
+// which flavour was built.
+//
+// Export: Chrome trace-event JSON (the format consumed by chrome://tracing
+// and https://ui.perfetto.dev).  Cycles map to microseconds of trace time;
+// routers and network interfaces map to pid/tid lanes.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+
+#ifndef MDDSIM_TRACE_ENABLED
+#define MDDSIM_TRACE_ENABLED 1
+#endif
+
+namespace mddsim {
+
+enum class TraceEventKind : std::uint8_t {
+  FlitInject,    ///< flit left an NI injection channel    (where = node)
+  FlitHop,       ///< flit crossed a router crossbar       (where = router)
+  FlitEject,     ///< flit drained from an ejection buffer (where = node)
+  PacketDeliver, ///< tail flit reassembled at destination (where = node)
+  PacketConsume, ///< packet sunk / serviced by the MC     (where = node)
+  VcAlloc,       ///< output VC granted to a head flit     (where = router)
+  TokenAcquire,  ///< PR token captured                    (where = node/router)
+  TokenRelease,  ///< PR token re-released                 (where = ring stop)
+  LaneDeliver,   ///< rescued message left the DB/DMB lane (where = node)
+  Detection,     ///< endpoint detector fired              (where = node)
+  Deflection,    ///< DR backoff reply issued              (where = node)
+  RetryKill,     ///< RG killed a packet                   (where = router)
+};
+
+/// Number of distinct TraceEventKind values (for per-kind counters).
+inline constexpr int kNumTraceEventKinds = 12;
+
+const char* trace_event_name(TraceEventKind k);
+
+/// One fixed-size trace record.  `a`/`b` carry kind-specific detail:
+/// FlitInject/FlitEject: a = vc, b = flit seq; FlitHop/VcAlloc: a = out
+/// port, b = out vc; TokenAcquire: a = queue slot (-1 for router capture);
+/// Detection: a = queue slot.
+struct TraceEvent {
+  Cycle cycle = 0;
+  PacketId pkt = 0;  ///< 0 when the event has no packet subject
+  std::int32_t where = -1;
+  TraceEventKind kind = TraceEventKind::FlitInject;
+  std::int16_t a = -1;
+  std::int16_t b = -1;
+};
+
+class Tracer {
+ public:
+  /// True when the tracing hooks were compiled in (MDDSIM_TRACE=ON).
+  static constexpr bool compiled_in() { return MDDSIM_TRACE_ENABLED != 0; }
+
+  explicit Tracer(std::size_t capacity = 1u << 20);
+
+  void record(TraceEvent e) {
+#if MDDSIM_TRACE_ENABLED
+    auto& slot = ring_[head_];
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (size_ < ring_.size()) ++size_; else ++dropped_;
+    ++recorded_;
+    ++kind_counts_[static_cast<std::size_t>(e.kind)];
+    slot = e;
+#else
+    (void)e;
+#endif
+  }
+
+  // Convenience wrappers used by the hooks (kept inline: one branch + one
+  // store each when tracing is compiled in).
+  void flit_inject(Cycle c, PacketId p, NodeId n, int vc, int seq) {
+    record({c, p, n, TraceEventKind::FlitInject, static_cast<std::int16_t>(vc),
+            static_cast<std::int16_t>(seq)});
+  }
+  void flit_hop(Cycle c, PacketId p, RouterId r, int out_port, int out_vc) {
+    record({c, p, r, TraceEventKind::FlitHop,
+            static_cast<std::int16_t>(out_port),
+            static_cast<std::int16_t>(out_vc)});
+  }
+  void flit_eject(Cycle c, PacketId p, NodeId n, int vc, int seq) {
+    record({c, p, n, TraceEventKind::FlitEject, static_cast<std::int16_t>(vc),
+            static_cast<std::int16_t>(seq)});
+  }
+  void packet_deliver(Cycle c, PacketId p, NodeId n) {
+    record({c, p, n, TraceEventKind::PacketDeliver, -1, -1});
+  }
+  void packet_consume(Cycle c, PacketId p, NodeId n) {
+    record({c, p, n, TraceEventKind::PacketConsume, -1, -1});
+  }
+  void vc_alloc(Cycle c, PacketId p, RouterId r, int out_port, int out_vc) {
+    record({c, p, r, TraceEventKind::VcAlloc,
+            static_cast<std::int16_t>(out_port),
+            static_cast<std::int16_t>(out_vc)});
+  }
+  void token_acquire(Cycle c, PacketId p, std::int32_t where, int slot) {
+    record({c, p, where, TraceEventKind::TokenAcquire,
+            static_cast<std::int16_t>(slot), -1});
+  }
+  void token_release(Cycle c, int stop) {
+    record({c, 0, stop, TraceEventKind::TokenRelease, -1, -1});
+  }
+  void lane_deliver(Cycle c, PacketId p, NodeId n) {
+    record({c, p, n, TraceEventKind::LaneDeliver, -1, -1});
+  }
+  void detection(Cycle c, NodeId n, int slot) {
+    record({c, 0, n, TraceEventKind::Detection,
+            static_cast<std::int16_t>(slot), -1});
+  }
+  void deflection(Cycle c, PacketId p, NodeId n) {
+    record({c, p, n, TraceEventKind::Deflection, -1, -1});
+  }
+  void retry_kill(Cycle c, PacketId p, RouterId r) {
+    record({c, p, r, TraceEventKind::RetryKill, -1, -1});
+  }
+
+  // --- Introspection ---------------------------------------------------------
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t count_of(TraceEventKind k) const {
+    return kind_counts_[static_cast<std::size_t>(k)];
+  }
+  /// Retained ring-buffer footprint in bytes (the tracer's whole cost).
+  std::size_t buffer_bytes() const { return ring_.size() * sizeof(TraceEvent); }
+
+  /// Events oldest-first (materialized copy; for export and tests).
+  std::vector<TraceEvent> events() const;
+
+  void clear();
+
+  /// Writes the whole ring as Chrome trace-event JSON
+  /// ({"traceEvents":[...]}), loadable in chrome://tracing and Perfetto.
+  /// `num_routers` splits the `where` id space into router vs NI lanes.
+  void export_chrome_json(std::ostream& os, int num_routers) const;
+
+  /// One-line human-readable overhead summary (events, drops, bytes).
+  std::string overhead_line() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t kind_counts_[kNumTraceEventKinds] = {};
+};
+
+}  // namespace mddsim

@@ -30,8 +30,6 @@ Router::Router(RouterId id, const Topology& topo,
 }
 
 bool Router::try_allocate_vc(Cycle now, int port, int vc, Network& net) {
-  (void)now;
-  (void)net;
   auto& ivc = in_[static_cast<std::size_t>(port)][static_cast<std::size_t>(vc)];
   const Flit& head = ivc.buffer.front();
   MDD_CHECK_MSG(head.is_head(), "unrouted VC must have a head flit at front");
@@ -52,6 +50,9 @@ bool Router::try_allocate_vc(Cycle now, int port, int vc, Network& net) {
     ivc.route_valid = true;
     ivc.out_port = c.port;
     ivc.out_vc = c.vc;
+    if (Tracer* t = net.tracer()) {
+      t->vc_alloc(now, head.pkt->id, id_, c.port, c.vc);
+    }
     return true;
   }
   return false;
@@ -121,6 +122,9 @@ void Router::step(Cycle now, Network& net) {
     --ovc.credits;
     ++ovc.flits_forwarded;
     const bool tail = f.is_tail();
+    if (Tracer* t = net.tracer()) {
+      t->flit_hop(now, f.pkt->id, id_, ivc.out_port, ivc.out_vc);
+    }
     net.stage_flit(id_, ivc.out_port, ivc.out_vc, std::move(f));
     net.stage_credit_upstream(id_, w.in_port, w.in_vc);
     if (tail) {

@@ -33,6 +33,9 @@ void SimConfig::validate() const {
   if (injection_rate < 0.0) throw ConfigError("injection rate must be >= 0");
   if (detection_threshold < 1) throw ConfigError("detection threshold >= 1");
   if (num_tokens < 1) throw ConfigError("num_tokens must be >= 1");
+  if (trace_capacity < 1) throw ConfigError("trace_capacity must be >= 1");
+  if (telemetry_epoch < 0) throw ConfigError("telemetry_epoch must be >= 0");
+  if (watchdog_cycles < 0) throw ConfigError("watchdog_cycles must be >= 0");
 
   const TransactionPattern pat = TransactionPattern::by_name(pattern);
   if (scheme == Scheme::DR && pat.chain_len() <= 2) {

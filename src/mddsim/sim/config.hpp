@@ -71,6 +71,18 @@ struct SimConfig {
                                   ///< >1 quantifies the serialization
                                   ///< shortcoming §3 acknowledges)
 
+  // --- Observability (mddsim::obs) ------------------------------------------
+  bool trace = false;            ///< attach the flit-level event tracer
+  int trace_capacity = 1 << 20;  ///< tracer ring-buffer capacity (events)
+  int telemetry_epoch = 0;       ///< congestion-sampling period in cycles
+                                 ///< (0 = telemetry off)
+  bool forensics = false;        ///< capture deadlock-forensics reports when
+                                 ///< the CWG detector fires or the watchdog
+                                 ///< trips
+  int watchdog_cycles = 10000;   ///< zero-consumption cycles (with traffic
+                                 ///< in flight) before the watchdog fires a
+                                 ///< forensics dump (0 = watchdog off)
+
   // --- Run control -----------------------------------------------------------
   std::uint64_t seed = 1;
   Cycle warmup_cycles = 5000;

@@ -3,15 +3,25 @@
 namespace mddsim {
 
 Metrics::Metrics(int nodes, double capacity, Cycle load_epoch)
-    : nodes_(nodes), load_hist_(load_epoch, capacity, nodes) {}
+    : nodes_(nodes), load_hist_(load_epoch, capacity, nodes) {
+  node_detections_.assign(static_cast<std::size_t>(nodes), 0);
+  node_deflections_.assign(static_cast<std::size_t>(nodes), 0);
+  node_consumed_.assign(static_cast<std::size_t>(nodes), 0);
+  node_flits_injected_.assign(static_cast<std::size_t>(nodes), 0);
+}
 
 void Metrics::on_flit_injected(NodeId node, Cycle now) {
-  (void)node;
   load_hist_.record_injection(now, 1);
+  if (static_cast<std::size_t>(node) < node_flits_injected_.size())
+    ++node_flits_injected_[static_cast<std::size_t>(node)];
   if (in_window(now)) ++flits_injected_;
 }
 
 void Metrics::on_packet_consumed(const Packet& pkt, Cycle now) {
+  ++total_packets_consumed_;
+  // dst can be kInvalidNode for synthetic packets in unit tests.
+  if (static_cast<std::size_t>(pkt.dst) < node_consumed_.size())
+    ++node_consumed_[static_cast<std::size_t>(pkt.dst)];
   if (in_window(now)) {
     ++packets_delivered_;
     flits_delivered_ += static_cast<std::uint64_t>(pkt.len_flits);
@@ -25,13 +35,15 @@ void Metrics::on_packet_consumed(const Packet& pkt, Cycle now) {
 }
 
 void Metrics::on_deflection(NodeId node, Cycle now) {
-  (void)node;
   (void)now;
+  if (static_cast<std::size_t>(node) < node_deflections_.size())
+    ++node_deflections_[static_cast<std::size_t>(node)];
 }
 
 void Metrics::on_detection(NodeId node, Cycle now) {
-  (void)node;
   (void)now;
+  if (static_cast<std::size_t>(node) < node_detections_.size())
+    ++node_detections_[static_cast<std::size_t>(node)];
 }
 
 void Metrics::on_txn_complete(const TxnCompletion& c, Cycle now) {

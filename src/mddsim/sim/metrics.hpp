@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "mddsim/common/stats.hpp"
 #include "mddsim/common/types.hpp"
@@ -55,6 +56,26 @@ class Metrics : public EndpointObserver {
   std::uint64_t txns_completed() const { return txns_completed_; }
   std::uint64_t flits_injected() const { return flits_injected_; }
 
+  /// Lifetime packet consumptions, counted regardless of the measurement
+  /// window — the progress signal the deadlock watchdog monitors.
+  std::uint64_t total_packets_consumed() const {
+    return total_packets_consumed_;
+  }
+
+  // --- Per-node event counters (lifetime; forensics / hot-spot analysis). --
+  const std::vector<std::uint64_t>& node_detections() const {
+    return node_detections_;
+  }
+  const std::vector<std::uint64_t>& node_deflections() const {
+    return node_deflections_;
+  }
+  const std::vector<std::uint64_t>& node_consumed() const {
+    return node_consumed_;
+  }
+  const std::vector<std::uint64_t>& node_flits_injected() const {
+    return node_flits_injected_;
+  }
+
   LoadHistogram& load_histogram() { return load_hist_; }
   const LoadHistogram& load_histogram() const { return load_hist_; }
 
@@ -72,6 +93,11 @@ class Metrics : public EndpointObserver {
   std::uint64_t flits_delivered_ = 0;
   std::uint64_t txns_completed_ = 0;
   std::uint64_t flits_injected_ = 0;
+  std::uint64_t total_packets_consumed_ = 0;
+  std::vector<std::uint64_t> node_detections_;
+  std::vector<std::uint64_t> node_deflections_;
+  std::vector<std::uint64_t> node_consumed_;
+  std::vector<std::uint64_t> node_flits_injected_;
   LoadHistogram load_hist_;
 };
 

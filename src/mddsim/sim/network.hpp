@@ -10,6 +10,7 @@
 #include "mddsim/common/types.hpp"
 #include "mddsim/flow/packet.hpp"
 #include "mddsim/netif/netif.hpp"
+#include "mddsim/obs/trace.hpp"
 #include "mddsim/protocol/endpoint.hpp"
 #include "mddsim/router/router.hpp"
 #include "mddsim/routing/routing.hpp"
@@ -73,6 +74,18 @@ class Network {
 
   void set_observer(EndpointObserver* obs);
   EndpointObserver* observer() const { return observer_; }
+
+  /// Attaches (or detaches with nullptr) the flit-level event tracer.  When
+  /// tracing is compiled out (MDDSIM_TRACE=OFF) the getter is a constant
+  /// nullptr, so every `if (Tracer* t = net.tracer())` hook folds away.
+  void set_tracer(Tracer* t) { tracer_ = t; }
+  Tracer* tracer() const {
+#if MDDSIM_TRACE_ENABLED
+    return tracer_;
+#else
+    return nullptr;
+#endif
+  }
 
   DeadlockCounters& counters() { return counters_; }
   const DeadlockCounters& counters() const { return counters_; }
@@ -149,6 +162,7 @@ class Network {
   Cycle meas_begin_ = 0;
   Cycle meas_end_ = 0;
   EndpointObserver* observer_ = nullptr;
+  Tracer* tracer_ = nullptr;
   DeadlockCounters counters_;
 };
 

@@ -1,8 +1,47 @@
 #include "mddsim/sim/report.hpp"
 
+#include <cstdio>
 #include <ostream>
 
 namespace mddsim {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string csv_field(std::string_view s) {
+  if (s.find_first_of(",\"\n\r") == std::string_view::npos)
+    return std::string(s);
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
 
 void write_csv_header(std::ostream& os) {
   os << "label,offered_load,throughput,avg_packet_latency,avg_txn_latency,"
@@ -13,7 +52,7 @@ void write_csv_header(std::ostream& os) {
 
 void write_csv_row(std::ostream& os, const std::string& label,
                    const RunResult& r) {
-  os << label << ',' << r.offered_load << ',' << r.throughput << ','
+  os << csv_field(label) << ',' << r.offered_load << ',' << r.throughput << ','
      << r.avg_packet_latency << ',' << r.avg_txn_latency << ','
      << r.avg_txn_messages << ',' << r.packets_delivered << ','
      << r.txns_completed << ',' << r.counters.detections << ','
@@ -32,7 +71,8 @@ void write_csv(std::ostream& os, const std::vector<ReportSeries>& series) {
 
 void write_json(std::ostream& os, const std::string& label,
                 const RunResult& r) {
-  os << "{\"label\":\"" << label << "\",\"offered_load\":" << r.offered_load
+  os << "{\"label\":\"" << json_escape(label)
+     << "\",\"offered_load\":" << r.offered_load
      << ",\"throughput\":" << r.throughput
      << ",\"avg_packet_latency\":" << r.avg_packet_latency
      << ",\"avg_txn_latency\":" << r.avg_txn_latency

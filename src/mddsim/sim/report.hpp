@@ -5,6 +5,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mddsim/sim/simulator.hpp"
@@ -16,6 +17,14 @@ struct ReportSeries {
   std::string label;
   std::vector<RunResult> points;
 };
+
+/// JSON string-literal escaping (backslash, quote, control characters) —
+/// applied to every string emitted by `write_json`.
+std::string json_escape(std::string_view s);
+
+/// RFC-4180 CSV field quoting: fields containing commas, quotes or newlines
+/// are wrapped in double quotes with embedded quotes doubled.
+std::string csv_field(std::string_view s);
 
 /// Writes the CSV header used by `write_csv_row`.
 void write_csv_header(std::ostream& os);

@@ -16,9 +16,42 @@ Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
   protocol_->set_completion_callback([this](const TxnCompletion& c) {
     metrics_->on_txn_complete(c, net_->now());
   });
-  if (cfg_.cwg_enabled) cwg_ = std::make_unique<CwgDetector>(*net_);
+  // Forensics wants the ground-truth detector running so knot persistence
+  // can trigger a capture even when the user did not ask for CWG counting.
+  if (cfg_.cwg_enabled || cfg_.forensics)
+    cwg_ = std::make_unique<CwgDetector>(*net_);
+  if (cfg_.trace) {
+    tracer_ = std::make_unique<Tracer>(
+        static_cast<std::size_t>(cfg_.trace_capacity));
+    net_->set_tracer(tracer_.get());
+  }
+  if (cfg_.telemetry_epoch > 0) {
+    telemetry_ = std::make_unique<TelemetrySampler>(
+        *net_, static_cast<Cycle>(cfg_.telemetry_epoch));
+  }
   node_rng_.reserve(static_cast<std::size_t>(net_->num_nodes()));
   for (int i = 0; i < net_->num_nodes(); ++i) node_rng_.push_back(rng_.split());
+}
+
+void Simulator::capture_forensics(Cycle now, const char* reason) {
+  if (forensics_.size() >= 8) return;  // post-mortem needs the first few only
+  forensics_.push_back(Forensics::capture(*net_, metrics_.get(), now, reason));
+}
+
+void Simulator::step_obs() {
+  const Cycle now = net_->now();
+  if (telemetry_) telemetry_->step(now);
+  if (!cfg_.forensics || cfg_.watchdog_cycles == 0) return;
+  const std::uint64_t consumed = metrics_->total_packets_consumed();
+  if (consumed != watch_consumed_) {
+    watch_consumed_ = consumed;
+    watch_since_ = now;
+    return;
+  }
+  if (now - watch_since_ < static_cast<Cycle>(cfg_.watchdog_cycles)) return;
+  watch_since_ = now;  // re-arm whether or not this stall is a hang
+  if (net_->idle()) return;  // quiescent, not deadlocked
+  capture_forensics(now, "watchdog");
 }
 
 void Simulator::generate_traffic(Cycle now) {
@@ -41,8 +74,12 @@ RunResult Simulator::run(bool drain) {
     generate_traffic(net_->now());
     net_->step();
     if (cwg_ && net_->now() % static_cast<Cycle>(cfg_.cwg_period) == 0) {
-      net_->counters().cwg_deadlocks += cwg_->scan();
+      const std::uint64_t found = cwg_->scan();
+      net_->counters().cwg_deadlocks += found;
+      if (found > 0 && cfg_.forensics)
+        capture_forensics(net_->now(), "cwg_knot");
     }
+    step_obs();
   }
 
   RunResult r;
@@ -53,11 +90,16 @@ RunResult Simulator::run(bool drain) {
            !(net_->idle() && protocol_->live_transactions() == 0)) {
       net_->step();
       if (cwg_ && net_->now() % static_cast<Cycle>(cfg_.cwg_period) == 0) {
-        net_->counters().cwg_deadlocks += cwg_->scan();
+        const std::uint64_t found = cwg_->scan();
+        net_->counters().cwg_deadlocks += found;
+        if (found > 0 && cfg_.forensics)
+          capture_forensics(net_->now(), "cwg_knot");
       }
+      step_obs();
     }
     r.drained = net_->idle() && protocol_->live_transactions() == 0;
   }
+  if (telemetry_) telemetry_->sample(net_->now());  // final partial epoch
 
   r.offered_load = cfg_.injection_rate;
   r.throughput = metrics_->throughput();

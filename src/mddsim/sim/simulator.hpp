@@ -16,6 +16,9 @@
 
 #include "mddsim/common/rng.hpp"
 #include "mddsim/core/cwg.hpp"
+#include "mddsim/obs/forensics.hpp"
+#include "mddsim/obs/telemetry.hpp"
+#include "mddsim/obs/trace.hpp"
 #include "mddsim/protocol/generic_protocol.hpp"
 #include "mddsim/sim/config.hpp"
 #include "mddsim/sim/metrics.hpp"
@@ -54,8 +57,23 @@ class Simulator {
   Metrics& metrics() { return *metrics_; }
   const SimConfig& config() const { return cfg_; }
 
+  // --- Observability (present only when the matching SimConfig knob is on).
+  /// Flit-level event tracer (cfg.trace), or nullptr.
+  Tracer* tracer() { return tracer_.get(); }
+  /// Congestion telemetry sampler (cfg.telemetry_epoch > 0), or nullptr.
+  TelemetrySampler* telemetry() { return telemetry_.get(); }
+  /// Forensics reports captured during the run (cfg.forensics): one per
+  /// persisted CWG knot or watchdog trip, capped at 8 per run.
+  const std::vector<ForensicsReport>& forensics_reports() const {
+    return forensics_;
+  }
+
  private:
   void generate_traffic(Cycle now);
+  /// Per-cycle observability work: telemetry epoch sampling and the
+  /// zero-progress watchdog.  Called after every Network::step.
+  void step_obs();
+  void capture_forensics(Cycle now, const char* reason);
 
   SimConfig cfg_;
   Rng rng_;
@@ -64,6 +82,12 @@ class Simulator {
   std::unique_ptr<Metrics> metrics_;
   std::unique_ptr<CwgDetector> cwg_;
   std::vector<Rng> node_rng_;
+
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<TelemetrySampler> telemetry_;
+  std::vector<ForensicsReport> forensics_;
+  std::uint64_t watch_consumed_ = 0;  ///< consumption count at last progress
+  Cycle watch_since_ = 0;             ///< cycle of last observed progress
 };
 
 /// Runs one latency-throughput sweep point per offered load, in Burton

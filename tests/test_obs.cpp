@@ -1,0 +1,297 @@
+// Observability subsystem tests (mddsim::obs): tracer ring-buffer
+// semantics, per-packet event ordering from a deterministic run, Chrome
+// trace-event JSON export, congestion telemetry sanity, and deadlock
+// forensics (wait-graph DOT with a highlighted knot).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "mddsim/obs/forensics.hpp"
+#include "mddsim/obs/telemetry.hpp"
+#include "mddsim/obs/trace.hpp"
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+namespace {
+
+// Minimal structural JSON check: braces/brackets balance outside string
+// literals, strings terminate, no raw control characters leak through.
+bool json_well_formed(const std::string& s) {
+  int depth = 0;
+  bool in_str = false, esc = false;
+  for (const char c : s) {
+    if (in_str) {
+      if (esc) esc = false;
+      else if (c == '\\') esc = true;
+      else if (c == '"') in_str = false;
+      else if (static_cast<unsigned char>(c) < 0x20) return false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_str = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']': if (--depth < 0) return false; break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_str;
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
+  if (!Tracer::compiled_in()) GTEST_SKIP() << "built with MDDSIM_TRACE=OFF";
+  Tracer t(4);
+  for (int i = 0; i < 10; ++i) {
+    t.packet_deliver(static_cast<Cycle>(i), static_cast<PacketId>(i + 1), 0);
+  }
+  EXPECT_EQ(t.capacity(), 4u);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 4u);
+  // Oldest-first: cycles 6,7,8,9 survive.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(evs[static_cast<std::size_t>(i)].cycle,
+              static_cast<Cycle>(6 + i));
+  }
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(Tracer, DisabledBuildRecordsNothing) {
+  // The MDDSIM_TRACE=OFF no-op contract: record() must compile away.  In
+  // the ON build this test verifies the inverse so the same source covers
+  // both CMake configurations.
+  Tracer t(8);
+  t.flit_inject(1, 2, 3, 0, 0);
+  t.token_acquire(2, 2, 3, -1);
+  if (Tracer::compiled_in()) {
+    EXPECT_EQ(t.recorded(), 2u);
+    EXPECT_EQ(t.count_of(TraceEventKind::TokenAcquire), 1u);
+  } else {
+    EXPECT_EQ(t.recorded(), 0u);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.count_of(TraceEventKind::TokenAcquire), 0u);
+  }
+}
+
+TEST(Tracer, EveryKindHasAName) {
+  for (int k = 0; k < kNumTraceEventKinds; ++k) {
+    EXPECT_STRNE(trace_event_name(static_cast<TraceEventKind>(k)), "unknown");
+  }
+}
+
+// A deterministic light-load run must produce causally ordered per-packet
+// lifecycles: injection before every hop, hops before delivery.
+TEST(Tracer, PacketLifecycleOrdering) {
+  if (!Tracer::compiled_in()) GTEST_SKIP() << "built with MDDSIM_TRACE=OFF";
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.injection_rate = 0.004;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 3000;
+  cfg.seed = 42;
+  cfg.trace = true;
+  cfg.trace_capacity = 1 << 18;  // large enough that nothing is dropped
+  Simulator sim(cfg);
+  sim.run(true);
+  ASSERT_NE(sim.tracer(), nullptr);
+  EXPECT_EQ(sim.tracer()->dropped(), 0u);
+
+  struct Life {
+    Cycle inject = 0, first_hop = 0, last_hop = 0, deliver = 0;
+    bool has_inject = false, has_hop = false, has_deliver = false;
+  };
+  std::map<PacketId, Life> lives;
+  for (const TraceEvent& e : sim.tracer()->events()) {
+    Life& l = lives[e.pkt];
+    switch (e.kind) {
+      case TraceEventKind::FlitInject:
+        if (!l.has_inject || e.cycle < l.inject) l.inject = e.cycle;
+        l.has_inject = true;
+        break;
+      case TraceEventKind::FlitHop:
+        if (!l.has_hop || e.cycle < l.first_hop) l.first_hop = e.cycle;
+        if (!l.has_hop || e.cycle > l.last_hop) l.last_hop = e.cycle;
+        l.has_hop = true;
+        break;
+      case TraceEventKind::PacketDeliver:
+        l.deliver = e.cycle;
+        l.has_deliver = true;
+        break;
+      default:
+        break;
+    }
+  }
+  int checked = 0;
+  for (const auto& [pkt, l] : lives) {
+    if (pkt == 0 || !l.has_deliver || !l.has_inject) continue;
+    ++checked;
+    EXPECT_LT(l.inject, l.deliver) << "pkt " << pkt;
+    if (l.has_hop) {
+      EXPECT_LE(l.inject, l.first_hop) << "pkt " << pkt;
+      EXPECT_LT(l.last_hop, l.deliver) << "pkt " << pkt;
+    }
+  }
+  EXPECT_GT(checked, 50) << "too few complete packet lifecycles traced";
+}
+
+// PR past saturation: the trace must contain recovery-token events and the
+// Chrome export must be structurally valid JSON containing them.
+TEST(Tracer, TokenEventsAndChromeExport) {
+  if (!Tracer::compiled_in()) GTEST_SKIP() << "built with MDDSIM_TRACE=OFF";
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.vcs_per_link = 4;
+  cfg.msg_queue_size = 4;
+  cfg.mshr_limit = 4;
+  cfg.injection_rate = 0.025;  // past saturation: token captures happen
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 6000;
+  cfg.seed = 11;
+  cfg.trace = true;
+  Simulator sim(cfg);
+  RunResult r = sim.run(true);
+  ASSERT_NE(sim.tracer(), nullptr);
+  EXPECT_GT(r.counters.rescues, 0u);
+  EXPECT_GT(sim.tracer()->count_of(TraceEventKind::TokenAcquire), 0u);
+  EXPECT_GT(sim.tracer()->count_of(TraceEventKind::TokenRelease), 0u);
+  EXPECT_GT(sim.tracer()->count_of(TraceEventKind::LaneDeliver), 0u);
+
+  std::ostringstream os;
+  sim.tracer()->export_chrome_json(os,
+                                   sim.network().topology().num_routers());
+  const std::string json = os.str();
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"token_acquire\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"routers\""), std::string::npos);
+  EXPECT_FALSE(sim.tracer()->overhead_line().empty());
+}
+
+TEST(Telemetry, SamplesOnEpochsWithSaneValues) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.injection_rate = 0.008;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 1000;
+  cfg.seed = 3;
+  cfg.telemetry_epoch = 100;
+  Simulator sim(cfg);
+  sim.run(false);
+  ASSERT_NE(sim.telemetry(), nullptr);
+  const auto& samples = sim.telemetry()->samples();
+  const int routers = sim.network().topology().num_routers();
+  const int vcs = sim.network().layout().total_vcs;
+  // 10 epochs x routers x vcs (final sample at cycle 1000 coincides with
+  // the last epoch boundary and must not duplicate).
+  EXPECT_EQ(samples.size(),
+            static_cast<std::size_t>(10 * routers * vcs));
+  bool any_util = false;
+  for (const TelemetrySample& s : samples) {
+    EXPECT_EQ(s.cycle % 100, 0u);
+    EXPECT_GE(s.buffered_flits, 0);
+    EXPECT_LE(s.buffered_flits, s.buffer_capacity);
+    EXPECT_GE(s.link_util, 0.0);
+    EXPECT_LE(s.link_util, 1.0);
+    if (s.link_util > 0.0) any_util = true;
+  }
+  EXPECT_TRUE(any_util) << "traffic flowed but no link utilization sampled";
+
+  std::ostringstream os;
+  sim.telemetry()->write_heatmap_csv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("cycle,router,vc,buffered_flits,buffer_capacity,"
+                      "occupancy,link_util\n", 0), 0u);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            samples.size() + 1);
+}
+
+// Forced message-dependent deadlock (PR with every detector disabled):
+// forensics must capture a wait graph whose DOT shows a knot (cycle).
+TEST(Forensics, DeadlockProducesDotWithKnot) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 8;
+  cfg.msg_queue_size = 4;
+  cfg.mshr_limit = 4;
+  cfg.detection_threshold = 1000000;  // local detection off
+  cfg.router_timeout = 1000000;       // router suspicion off
+  cfg.injection_rate = 0.0132;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 5000;
+  cfg.seed = 5;
+  cfg.forensics = true;
+  cfg.watchdog_cycles = 1000;
+  Simulator sim(cfg);
+  sim.run(false);
+  ASSERT_FALSE(sim.forensics_reports().empty())
+      << "deadlock never detected by CWG scan or watchdog";
+  const ForensicsReport* knotted = nullptr;
+  for (const ForensicsReport& rep : sim.forensics_reports()) {
+    if (rep.knots > 0) { knotted = &rep; break; }
+  }
+  ASSERT_NE(knotted, nullptr) << "no report captured an actual knot";
+  EXPECT_NE(knotted->wait_graph_dot.find("digraph cwg"), std::string::npos);
+  EXPECT_NE(knotted->wait_graph_dot.find("->"), std::string::npos);
+  // Knot members are highlighted; intra-knot (cycle) edges are red.
+  EXPECT_NE(knotted->wait_graph_dot.find("fillcolor=\"#e06666\""),
+            std::string::npos);
+  EXPECT_NE(knotted->wait_graph_dot.find("color=\"#cc0000\""),
+            std::string::npos);
+  EXPECT_EQ(knotted->occupancy_csv.rfind("node,slot,", 0), 0u);
+  EXPECT_NE(knotted->occupancy_csv.find("token,state,"), std::string::npos);
+  EXPECT_NE(knotted->manifest.find("blocked-packet manifest"),
+            std::string::npos);
+  EXPECT_NE(knotted->manifest.find("pkt "), std::string::npos);
+
+  // Reports persist as three files under a (created) directory.
+  const std::string dir =
+      ::testing::TempDir() + "/mddsim_forensics_test";
+  ASSERT_TRUE(Forensics::write_dir(*knotted, dir));
+  const std::string stem =
+      dir + "/" + knotted->reason + "_" + std::to_string(knotted->cycle);
+  for (const std::string& path :
+       {stem + ".dot", stem + "_occupancy.csv", stem + "_manifest.txt"}) {
+    std::ifstream is(path);
+    EXPECT_TRUE(is.good()) << path;
+    std::string first_line;
+    std::getline(is, first_line);
+    EXPECT_FALSE(first_line.empty()) << path;
+    std::remove(path.c_str());
+  }
+}
+
+// A healthy light-load run must not trip the watchdog or record knots.
+TEST(Forensics, QuietRunCapturesNothing) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.injection_rate = 0.003;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 4000;
+  cfg.forensics = true;
+  cfg.watchdog_cycles = 500;
+  Simulator sim(cfg);
+  sim.run(true);
+  EXPECT_TRUE(sim.forensics_reports().empty());
+}
+
+}  // namespace
+}  // namespace mddsim

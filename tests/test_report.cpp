@@ -74,5 +74,74 @@ TEST(Report, JsonIsWellFormedEnough) {
   EXPECT_EQ(std::count(j.begin(), j.end(), '"') % 2, 0);
 }
 
+// Labels containing quotes, commas or control characters must not corrupt
+// the machine-readable output (satellite: write_json round-trip/escaping).
+TEST(Report, JsonEscapesHostileLabels) {
+  const std::string label = "PR\"odd\",la\\bel\n\ttab";
+  std::ostringstream os;
+  write_json(os, label, sample_result());
+  const std::string j = os.str();
+  // The escaped form appears; no raw control characters survive.
+  EXPECT_NE(j.find("PR\\\"odd\\\",la\\\\bel\\n\\ttab"), std::string::npos);
+  for (const char c : j) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control character leaked into JSON";
+  }
+  EXPECT_EQ(std::count(j.begin(), j.end(), '\n'), 1);  // only the trailer
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(Report, JsonEscapeRoundTrip) {
+  const std::string original = "a\"b\\c\nd\re\tf\x01g";
+  const std::string escaped = json_escape(original);
+  // Hand-rolled unescape: applying JSON string decoding must return the
+  // original bytes (round trip).
+  std::string decoded;
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') { decoded += escaped[i]; continue; }
+    ASSERT_LT(++i, escaped.size());
+    switch (escaped[i]) {
+      case '"': decoded += '"'; break;
+      case '\\': decoded += '\\'; break;
+      case 'n': decoded += '\n'; break;
+      case 'r': decoded += '\r'; break;
+      case 't': decoded += '\t'; break;
+      case 'u': {
+        ASSERT_LT(i + 4, escaped.size());
+        decoded += static_cast<char>(
+            std::stoi(escaped.substr(i + 1, 4), nullptr, 16));
+        i += 4;
+        break;
+      }
+      default: FAIL() << "unexpected escape \\" << escaped[i];
+    }
+  }
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(Report, CsvQuotesHostileLabels) {
+  std::ostringstream os;
+  write_csv_header(os);
+  write_csv_row(os, "PR,with\"quote", sample_result());
+  std::istringstream is(os.str());
+  std::string header, row;
+  std::getline(is, header);
+  std::getline(is, row);
+  // RFC 4180: the field is quoted, embedded quotes doubled, and the row
+  // still has exactly as many unquoted separators as the header.
+  EXPECT_EQ(row.rfind("\"PR,with\"\"quote\",", 0), 0u);
+  int commas = 0;
+  bool quoted = false;
+  for (const char c : row) {
+    if (c == '"') quoted = !quoted;
+    else if (c == ',' && !quoted) ++commas;
+  }
+  EXPECT_EQ(commas, std::count(header.begin(), header.end(), ','));
+  EXPECT_EQ(csv_field("plain"), "plain");
+  EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_field("a\"b"), "\"a\"\"b\"");
+}
+
 }  // namespace
 }  // namespace mddsim
