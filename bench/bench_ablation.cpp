@@ -6,84 +6,125 @@
 //   (d) endpoint message-queue size.
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "mddsim/par/thread_pool.hpp"
 
 using namespace mddsim;
 using namespace mddsim::bench;
 
 namespace {
 
-RunResult run_one(SimConfig cfg) {
+SimConfig base_cfg() {
+  SimConfig cfg;
   cfg.warmup_cycles = warmup_cycles();
   cfg.measure_cycles = measure_cycles();
-  Simulator sim(cfg);
-  return sim.run(false);
+  return cfg;
+}
+
+/// Runs one ablation section's configs as a parallel batch (results in
+/// input order, bit-identical to a serial loop).
+std::vector<RunResult> run_batch(const std::vector<SimConfig>& configs) {
+  return par::SweepRunner(jobs_setting()).run(configs);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   const double load = saturation_rate("PAT271");  // just at saturation
 
   std::printf("# Ablation (a): detection threshold T, PR, PAT271, 4 VCs\n\n");
   std::printf("| T | throughput | latency | rescues |\n|---|---|---|---|\n");
-  for (int T : {5, 25, 100, 400}) {
-    SimConfig cfg;
-    cfg.scheme = Scheme::PR;
-    cfg.pattern = "PAT271";
-    cfg.detection_threshold = T;
-    cfg.injection_rate = load;
-    auto r = run_one(cfg);
-    std::printf("| %d | %.4f | %.1f | %llu |\n", T, r.throughput,
-                r.avg_packet_latency,
-                static_cast<unsigned long long>(r.counters.rescues));
+  const std::vector<int> thresholds = {5, 25, 100, 400};
+  {
+    std::vector<SimConfig> cfgs;
+    for (int T : thresholds) {
+      SimConfig cfg = base_cfg();
+      cfg.scheme = Scheme::PR;
+      cfg.pattern = "PAT271";
+      cfg.detection_threshold = T;
+      cfg.injection_rate = load;
+      cfgs.push_back(cfg);
+    }
+    const auto rs = run_batch(cfgs);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      std::printf("| %d | %.4f | %.1f | %llu |\n", thresholds[i],
+                  rs[i].throughput, rs[i].avg_packet_latency,
+                  static_cast<unsigned long long>(rs[i].counters.rescues));
+    }
   }
 
   std::printf("\n# Ablation (b): router timeout, PR, PAT271, 4 VCs\n\n");
   std::printf("| timeout | throughput | latency | rescues |\n|---|---|---|---|\n");
-  for (int to : {128, 512, 1024, 4096}) {
-    SimConfig cfg;
-    cfg.scheme = Scheme::PR;
-    cfg.pattern = "PAT271";
-    cfg.router_timeout = to;
-    cfg.injection_rate = load;
-    auto r = run_one(cfg);
-    std::printf("| %d | %.4f | %.1f | %llu |\n", to, r.throughput,
-                r.avg_packet_latency,
-                static_cast<unsigned long long>(r.counters.rescues));
+  const std::vector<int> timeouts = {128, 512, 1024, 4096};
+  {
+    std::vector<SimConfig> cfgs;
+    for (int to : timeouts) {
+      SimConfig cfg = base_cfg();
+      cfg.scheme = Scheme::PR;
+      cfg.pattern = "PAT271";
+      cfg.router_timeout = to;
+      cfg.injection_rate = load;
+      cfgs.push_back(cfg);
+    }
+    const auto rs = run_batch(cfgs);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      std::printf("| %d | %.4f | %.1f | %llu |\n", timeouts[i],
+                  rs[i].throughput, rs[i].avg_packet_latency,
+                  static_cast<unsigned long long>(rs[i].counters.rescues));
+    }
   }
 
   std::printf("\n# Ablation (c): recovery style at 4 VCs, PAT271, load %.4f\n\n",
               load);
   std::printf("| scheme | throughput | latency | msgs/txn | events |\n|---|---|---|---|---|\n");
-  for (Scheme s : {Scheme::DR, Scheme::PR, Scheme::RG}) {
-    SimConfig cfg;
-    cfg.scheme = s;
-    cfg.pattern = "PAT271";
-    cfg.injection_rate = load;
-    auto r = run_one(cfg);
-    const auto events =
-        r.counters.deflections + r.counters.rescues + r.counters.retries;
-    std::printf("| %s | %.4f | %.1f | %.2f | %llu |\n", scheme_name(s).data(),
-                r.throughput, r.avg_packet_latency, r.avg_txn_messages,
-                static_cast<unsigned long long>(events));
+  const std::vector<Scheme> styles = {Scheme::DR, Scheme::PR, Scheme::RG};
+  {
+    std::vector<SimConfig> cfgs;
+    for (Scheme s : styles) {
+      SimConfig cfg = base_cfg();
+      cfg.scheme = s;
+      cfg.pattern = "PAT271";
+      cfg.injection_rate = load;
+      cfgs.push_back(cfg);
+    }
+    const auto rs = run_batch(cfgs);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      const auto& r = rs[i];
+      const auto events =
+          r.counters.deflections + r.counters.rescues + r.counters.retries;
+      std::printf("| %s | %.4f | %.1f | %.2f | %llu |\n",
+                  scheme_name(styles[i]).data(), r.throughput,
+                  r.avg_packet_latency, r.avg_txn_messages,
+                  static_cast<unsigned long long>(events));
+    }
   }
 
   std::printf("\n# Ablation (e): [21] shared adaptive channels, PAT271\n\n");
   std::printf("| scheme | VCs | mode | throughput | latency |\n|---|---|---|---|---|\n");
-  for (int vcs : {12, 16}) {
-    for (bool shared : {false, true}) {
-      SimConfig cfg;
+  {
+    struct Case { int vcs; bool shared; };
+    std::vector<Case> cases;
+    for (int vcs : {12, 16}) {
+      for (bool shared : {false, true}) cases.push_back({vcs, shared});
+    }
+    std::vector<SimConfig> cfgs;
+    for (const Case& c : cases) {
+      SimConfig cfg = base_cfg();
       cfg.scheme = Scheme::SA;
       cfg.pattern = "PAT271";
-      cfg.vcs_per_link = vcs;
-      cfg.shared_adaptive = shared;
+      cfg.vcs_per_link = c.vcs;
+      cfg.shared_adaptive = c.shared;
       cfg.injection_rate = load;
-      auto r = run_one(cfg);
-      std::printf("| SA | %d | %s | %.4f | %.1f |\n", vcs,
-                  shared ? "shared[21]" : "partitioned", r.throughput,
-                  r.avg_packet_latency);
+      cfgs.push_back(cfg);
+    }
+    const auto rs = run_batch(cfgs);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      std::printf("| SA | %d | %s | %.4f | %.1f |\n", cases[i].vcs,
+                  cases[i].shared ? "shared[21]" : "partitioned",
+                  rs[i].throughput, rs[i].avg_packet_latency);
     }
   }
 
@@ -91,81 +132,109 @@ int main() {
   std::printf("# (PR, PAT271, 4 VCs, 4-entry queues, 1.0x saturation)\n\n");
   std::printf("| detection | throughput | latency | rescues |\n|---|---|---|---|\n");
   struct Mode { const char* name; SimConfig::DetectionMode mode; int T; int rto; };
-  const Mode modes[] = {
+  const std::vector<Mode> modes = {
       {"local (T=25) + router timeout", SimConfig::DetectionMode::Local, 25, 1024},
       {"oracle (CWG) only", SimConfig::DetectionMode::Oracle, 1000000, 1000000},
       {"local + oracle", SimConfig::DetectionMode::Oracle, 25, 1024},
   };
-  for (const Mode& m : modes) {
-    SimConfig cfg;
-    cfg.scheme = Scheme::PR;
-    cfg.pattern = "PAT271";
-    cfg.msg_queue_size = 4;
-    cfg.mshr_limit = 4;
-    cfg.detection_mode = m.mode;
-    cfg.detection_threshold = m.T;
-    cfg.router_timeout = m.rto;
-    cfg.injection_rate = load;
-    auto r = run_one(cfg);
-    std::printf("| %s | %.4f | %.1f | %llu |\n", m.name, r.throughput,
-                r.avg_packet_latency,
-                static_cast<unsigned long long>(r.counters.rescues));
+  {
+    std::vector<SimConfig> cfgs;
+    for (const Mode& m : modes) {
+      SimConfig cfg = base_cfg();
+      cfg.scheme = Scheme::PR;
+      cfg.pattern = "PAT271";
+      cfg.msg_queue_size = 4;
+      cfg.mshr_limit = 4;
+      cfg.detection_mode = m.mode;
+      cfg.detection_threshold = m.T;
+      cfg.router_timeout = m.rto;
+      cfg.injection_rate = load;
+      cfgs.push_back(cfg);
+    }
+    const auto rs = run_batch(cfgs);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      std::printf("| %s | %.4f | %.1f | %llu |\n", modes[i].name,
+                  rs[i].throughput, rs[i].avg_packet_latency,
+                  static_cast<unsigned long long>(rs[i].counters.rescues));
+    }
   }
 
   std::printf("\n# Ablation (g): concurrent recovery tokens beyond saturation\n");
   std::printf("# (PR, PAT271, 4 VCs, 1.5x saturation — the regime where the\n");
   std::printf("#  paper's single token serializes recovery, §3)\n\n");
   std::printf("| tokens | throughput | latency | rescues |\n|---|---|---|---|\n");
-  for (int tokens : {1, 2, 4, 8}) {
-    SimConfig cfg;
-    cfg.scheme = Scheme::PR;
-    cfg.pattern = "PAT271";
-    cfg.num_tokens = tokens;
-    cfg.injection_rate = 1.5 * load;
-    auto r = run_one(cfg);
-    std::printf("| %d | %.4f | %.1f | %llu |\n", tokens, r.throughput,
-                r.avg_packet_latency,
-                static_cast<unsigned long long>(r.counters.rescues));
+  const std::vector<int> token_counts = {1, 2, 4, 8};
+  {
+    std::vector<SimConfig> cfgs;
+    for (int tokens : token_counts) {
+      SimConfig cfg = base_cfg();
+      cfg.scheme = Scheme::PR;
+      cfg.pattern = "PAT271";
+      cfg.num_tokens = tokens;
+      cfg.injection_rate = 1.5 * load;
+      cfgs.push_back(cfg);
+    }
+    const auto rs = run_batch(cfgs);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      std::printf("| %d | %.4f | %.1f | %llu |\n", token_counts[i],
+                  rs[i].throughput, rs[i].avg_packet_latency,
+                  static_cast<unsigned long long>(rs[i].counters.rescues));
+    }
   }
 
   std::printf("\n# Ablation (h): per-VC link utilization at saturation\n");
   std::printf("# (PAT271, 8 VCs — the paper's §2.1 claim that partitioning\n");
   std::printf("#  leaves channels unevenly utilized)\n\n");
   std::printf("| scheme | per-VC utilization (flits/link/cycle) | min/max |\n|---|---|---|\n");
-  for (Scheme s : {Scheme::SA, Scheme::DR, Scheme::PR}) {
-    SimConfig cfg;
-    cfg.scheme = s;
-    cfg.pattern = "PAT271";
-    cfg.vcs_per_link = 8;
-    cfg.injection_rate = load;
-    cfg.warmup_cycles = warmup_cycles();
-    cfg.measure_cycles = measure_cycles();
-    Simulator sim(cfg);
-    sim.run(false);
-    const auto util = sim.network().vc_utilization();
-    double lo = 1e9, hi = 0.0;
-    std::printf("| %s | ", scheme_name(s).data());
-    for (double u : util) {
-      std::printf("%.3f ", u);
-      lo = std::min(lo, u);
-      hi = std::max(hi, u);
+  const std::vector<Scheme> util_schemes = {Scheme::SA, Scheme::DR, Scheme::PR};
+  {
+    // Needs the live Network after the run (vc_utilization), so this
+    // section drives Simulators directly on the thread pool.
+    std::vector<std::vector<double>> utils(util_schemes.size());
+    par::ThreadPool pool(std::min(par::default_jobs(jobs_setting()),
+                                  static_cast<int>(util_schemes.size())));
+    pool.parallel_for(util_schemes.size(), [&](std::size_t i) {
+      SimConfig cfg = base_cfg();
+      cfg.scheme = util_schemes[i];
+      cfg.pattern = "PAT271";
+      cfg.vcs_per_link = 8;
+      cfg.injection_rate = load;
+      Simulator sim(cfg);
+      sim.run(false);
+      utils[i] = sim.network().vc_utilization();
+    });
+    for (std::size_t i = 0; i < util_schemes.size(); ++i) {
+      double lo = 1e9, hi = 0.0;
+      std::printf("| %s | ", scheme_name(util_schemes[i]).data());
+      for (double u : utils[i]) {
+        std::printf("%.3f ", u);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+      }
+      std::printf("| %.3f / %.3f |\n", lo, hi);
     }
-    std::printf("| %.3f / %.3f |\n", lo, hi);
   }
 
   std::printf("\n# Ablation (d): endpoint queue size, PR, PAT271, 4 VCs\n\n");
   std::printf("| queue size | throughput | latency | rescues |\n|---|---|---|---|\n");
-  for (int q : {2, 4, 8, 16, 32}) {
-    SimConfig cfg;
-    cfg.scheme = Scheme::PR;
-    cfg.pattern = "PAT271";
-    cfg.msg_queue_size = q;
-    cfg.mshr_limit = std::min(q, 16);
-    cfg.injection_rate = load;
-    auto r = run_one(cfg);
-    std::printf("| %d | %.4f | %.1f | %llu |\n", q, r.throughput,
-                r.avg_packet_latency,
-                static_cast<unsigned long long>(r.counters.rescues));
+  const std::vector<int> qsizes = {2, 4, 8, 16, 32};
+  {
+    std::vector<SimConfig> cfgs;
+    for (int q : qsizes) {
+      SimConfig cfg = base_cfg();
+      cfg.scheme = Scheme::PR;
+      cfg.pattern = "PAT271";
+      cfg.msg_queue_size = q;
+      cfg.mshr_limit = std::min(q, 16);
+      cfg.injection_rate = load;
+      cfgs.push_back(cfg);
+    }
+    const auto rs = run_batch(cfgs);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      std::printf("| %d | %.4f | %.1f | %llu |\n", qsizes[i], rs[i].throughput,
+                  rs[i].avg_packet_latency,
+                  static_cast<unsigned long long>(rs[i].counters.rescues));
+    }
   }
   return 0;
 }

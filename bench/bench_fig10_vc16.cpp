@@ -4,7 +4,8 @@
 // too).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mddsim::bench::init(argc, argv);
   mddsim::bench::run_figure("Figure 10", 16,
                             {"PAT721", "PAT451", "PAT271", "PAT280"});
   return 0;

@@ -6,7 +6,8 @@
 using namespace mddsim;
 using namespace mddsim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   const std::string pat = "PAT271";
   std::printf("# Figure 11 — queue organizations, PAT271, 16 VCs%s\n",
               full_mode() ? " (paper-scale runs)" : "");
@@ -15,18 +16,21 @@ int main() {
   std::vector<double> loads;
   for (double f : {0.6, 0.8, 0.95, 1.05, 1.2, 1.4})
     loads.push_back(f * saturation_rate(pat));
-  std::vector<SweepSeries> series;
+  // All five series as one batch so the sweep runner sees every point.
   // SA partitions queues per message type by construction.
-  series.push_back(run_series(Scheme::SA, pat, 16, QueueOrg::Shared, &loads));
-  series.back().label = "SA";
-  series.push_back(run_series(Scheme::DR, pat, 16, QueueOrg::Shared, &loads));
-  series.back().label = "DR-shared";
-  series.push_back(run_series(Scheme::DR, pat, 16, QueueOrg::PerType, &loads));
-  series.back().label = "DR-QA";
-  series.push_back(run_series(Scheme::PR, pat, 16, QueueOrg::Shared, &loads));
-  series.back().label = "PR-shared";
-  series.push_back(run_series(Scheme::PR, pat, 16, QueueOrg::PerType, &loads));
-  series.back().label = "PR-QA";
+  std::vector<SeriesSpec> specs = {
+      {Scheme::SA, pat, 16, QueueOrg::Shared, loads},
+      {Scheme::DR, pat, 16, QueueOrg::Shared, loads},
+      {Scheme::DR, pat, 16, QueueOrg::PerType, loads},
+      {Scheme::PR, pat, 16, QueueOrg::Shared, loads},
+      {Scheme::PR, pat, 16, QueueOrg::PerType, loads},
+  };
+  std::vector<SweepSeries> series = run_series_batch(specs);
+  series[0].label = "SA";
+  series[1].label = "DR-shared";
+  series[2].label = "DR-QA";
+  series[3].label = "PR-shared";
+  series[4].label = "PR-QA";
   print_panel(pat, series, loads);
   return 0;
 }

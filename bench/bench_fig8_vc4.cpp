@@ -5,7 +5,8 @@
 // paper.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mddsim::bench::init(argc, argv);
   mddsim::bench::run_figure(
       "Figure 8", 4, {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"});
   return 0;

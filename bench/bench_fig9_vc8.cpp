@@ -2,7 +2,8 @@
 // five Table 3 transaction patterns with 8 virtual channels per link.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mddsim::bench::init(argc, argv);
   mddsim::bench::run_figure(
       "Figure 9", 8, {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"});
   return 0;

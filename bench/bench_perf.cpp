@@ -1,0 +1,196 @@
+// Performance harness for the simulator itself (not the paper's figures):
+//
+//   1. single-thread throughput — simulated cycles per wall-clock second on
+//      fixed configurations, including an Oracle (CWG) detection config
+//      that exercises the knot-detector hot path every cwg_period cycles;
+//   2. sweep scaling — wall-clock for the same batch of simulation points
+//      run serially (jobs=1) and in parallel (--jobs / MDDSIM_JOBS /
+//      hardware concurrency), with a field-by-field bit-identity check
+//      between the two result sets.
+//
+// Results go to stdout (markdown) and to BENCH_perf.json in the working
+// directory so CI can archive them.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mddsim/par/thread_pool.hpp"
+
+using namespace mddsim;
+using namespace mddsim::bench;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Bit-identity across every RunResult field (doubles compared by
+/// representation: determinism means *identical*, not merely close).
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool identical(const RunResult& a, const RunResult& b) {
+  return bits_equal(a.offered_load, b.offered_load) &&
+         bits_equal(a.throughput, b.throughput) &&
+         bits_equal(a.avg_packet_latency, b.avg_packet_latency) &&
+         bits_equal(a.p50_packet_latency, b.p50_packet_latency) &&
+         bits_equal(a.p95_packet_latency, b.p95_packet_latency) &&
+         bits_equal(a.p99_packet_latency, b.p99_packet_latency) &&
+         bits_equal(a.avg_txn_latency, b.avg_txn_latency) &&
+         bits_equal(a.avg_txn_messages, b.avg_txn_messages) &&
+         a.packets_delivered == b.packets_delivered &&
+         a.txns_completed == b.txns_completed &&
+         a.counters.detections == b.counters.detections &&
+         a.counters.deflections == b.counters.deflections &&
+         a.counters.rescues == b.counters.rescues &&
+         a.counters.rescued_msgs == b.counters.rescued_msgs &&
+         a.counters.retries == b.counters.retries &&
+         a.counters.cwg_deadlocks == b.counters.cwg_deadlocks &&
+         bits_equal(a.normalized_deadlocks, b.normalized_deadlocks) &&
+         a.drained == b.drained && a.cycles_run == b.cycles_run;
+}
+
+struct SingleThreadCase {
+  const char* name;
+  SimConfig cfg;
+};
+
+std::vector<SingleThreadCase> single_thread_cases() {
+  std::vector<SingleThreadCase> cases;
+  const double load = saturation_rate("PAT271");
+  {
+    SimConfig cfg;
+    cfg.scheme = Scheme::PR;
+    cfg.pattern = "PAT271";
+    cfg.injection_rate = load;
+    cases.push_back({"pr_pat271_local", cfg});
+  }
+  {
+    // Oracle detection runs the CWG knot scan every cwg_period cycles;
+    // scarce queues + oversaturation + a short period make the detector's
+    // CSR build + Tarjan path dominate this config.
+    SimConfig cfg;
+    cfg.scheme = Scheme::PR;
+    cfg.pattern = "PAT271";
+    cfg.injection_rate = 1.5 * load;
+    cfg.msg_queue_size = 4;
+    cfg.mshr_limit = 4;
+    cfg.detection_mode = SimConfig::DetectionMode::Oracle;
+    cfg.cwg_period = 10;
+    cases.push_back({"pr_pat271_oracle_cwg", cfg});
+  }
+  {
+    SimConfig cfg;
+    cfg.scheme = Scheme::DR;
+    cfg.pattern = "PAT721";
+    cfg.vcs_per_link = 8;
+    cfg.injection_rate = saturation_rate("PAT721");
+    cases.push_back({"dr_pat721_vc8", cfg});
+  }
+  for (auto& c : cases) {
+    c.cfg.warmup_cycles = warmup_cycles();
+    c.cfg.measure_cycles = measure_cycles();
+  }
+  return cases;
+}
+
+std::vector<SimConfig> sweep_points() {
+  std::vector<SimConfig> configs;
+  for (Scheme s : {Scheme::SA, Scheme::DR, Scheme::PR}) {
+    for (double frac : {0.4, 0.7, 0.95, 1.1}) {
+      SimConfig cfg;
+      cfg.scheme = s;
+      cfg.pattern = "PAT271";
+      cfg.vcs_per_link = 8;
+      cfg.injection_rate = frac * saturation_rate("PAT271");
+      cfg.warmup_cycles = warmup_cycles();
+      cfg.measure_cycles = measure_cycles();
+      configs.push_back(cfg);
+    }
+  }
+  return configs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  init(argc, argv);
+  const int jobs = par::default_jobs(jobs_setting());
+
+  std::printf("# Simulator performance (bench_perf)\n\n");
+
+  // --- 1. Single-thread simulated-cycles/sec. ------------------------------
+  struct SingleOut {
+    const char* name;
+    std::uint64_t cycles;
+    double seconds;
+  };
+  std::vector<SingleOut> singles;
+  std::printf("## Single-thread throughput\n\n");
+  std::printf("| config | cycles | wall (s) | Mcycles/s |\n|---|---|---|---|\n");
+  for (const SingleThreadCase& c : single_thread_cases()) {
+    // One untimed run warms allocator pools and caches.
+    { Simulator warm(c.cfg); warm.run(false); }
+    const auto t0 = std::chrono::steady_clock::now();
+    Simulator sim(c.cfg);
+    const RunResult r = sim.run(false);
+    const double secs = seconds_since(t0);
+    singles.push_back({c.name, static_cast<std::uint64_t>(r.cycles_run), secs});
+    std::printf("| %s | %llu | %.3f | %.3f |\n", c.name,
+                static_cast<unsigned long long>(r.cycles_run), secs,
+                static_cast<double>(r.cycles_run) / secs / 1e6);
+  }
+
+  // --- 2. Serial vs parallel sweep. ----------------------------------------
+  const std::vector<SimConfig> points = sweep_points();
+  const auto ts = std::chrono::steady_clock::now();
+  const std::vector<RunResult> serial = par::SweepRunner(1).run(points);
+  const double serial_secs = seconds_since(ts);
+  const auto tp = std::chrono::steady_clock::now();
+  const std::vector<RunResult> parallel = par::SweepRunner(jobs).run(points);
+  const double parallel_secs = seconds_since(tp);
+
+  bool bit_identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; bit_identical && i < serial.size(); ++i) {
+    bit_identical = identical(serial[i], parallel[i]);
+  }
+
+  std::printf("\n## Sweep scaling (%zu points, PAT271, 8 VCs)\n\n",
+              points.size());
+  std::printf("| mode | jobs | wall (s) |\n|---|---|---|\n");
+  std::printf("| serial | 1 | %.3f |\n", serial_secs);
+  std::printf("| parallel | %d | %.3f |\n", jobs, parallel_secs);
+  std::printf("\nspeedup: %.2fx on %d hardware threads; results bit-identical: "
+              "%s\n", serial_secs / parallel_secs, par::hardware_threads(),
+              bit_identical ? "yes" : "NO");
+
+  // --- JSON artifact for CI. ------------------------------------------------
+  std::ofstream os("BENCH_perf.json");
+  os << "{\n  \"single_thread\": [\n";
+  for (std::size_t i = 0; i < singles.size(); ++i) {
+    const SingleOut& s = singles[i];
+    os << "    {\"config\": \"" << s.name << "\", \"cycles\": " << s.cycles
+       << ", \"seconds\": " << s.seconds << ", \"cycles_per_sec\": "
+       << static_cast<double>(s.cycles) / s.seconds << "}"
+       << (i + 1 < singles.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"sweep\": {\"points\": " << points.size()
+     << ", \"serial_seconds\": " << serial_secs
+     << ", \"parallel_seconds\": " << parallel_secs
+     << ", \"jobs\": " << jobs
+     << ", \"hardware_threads\": " << par::hardware_threads()
+     << ", \"speedup\": " << serial_secs / parallel_secs
+     << ", \"bit_identical\": " << (bit_identical ? "true" : "false")
+     << "}\n}\n";
+  os.close();
+  std::fprintf(stderr, "[perf] wrote BENCH_perf.json\n");
+
+  return bit_identical ? 0 : 1;
+}

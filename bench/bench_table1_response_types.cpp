@@ -2,31 +2,44 @@
 // request messages for the four Splash-2 application models (FFT, LU,
 // Radix, Water) running through the MSI full-map directory protocol on the
 // §4.2.1 system (4×4 torus, 16 processors).
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "mddsim/coherence/app_sim.hpp"
+#include "mddsim/par/thread_pool.hpp"
 
 using namespace mddsim;
 
-int main() {
-  const bool full = std::getenv("MDDSIM_FULL") && *std::getenv("MDDSIM_FULL") != '0';
-  const Cycle warm = full ? 100000 : 40000;
-  const Cycle dur = full ? 400000 : 140000;
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const Cycle warm = bench::full_mode() ? 100000 : 40000;
+  const Cycle dur = bench::full_mode() ? 400000 : 140000;
 
   struct Row { const char* app; double d, i, f; };
-  const Row paper[] = {{"FFT", 98.7, 0.9, 0.4},
-                       {"LU", 96.5, 3.0, 0.5},
-                       {"Radix", 95.5, 3.6, 0.8},
-                       {"Water", 15.2, 50.1, 34.7}};
+  const std::vector<Row> paper = {{"FFT", 98.7, 0.9, 0.4},
+                                  {"LU", 96.5, 3.0, 0.5},
+                                  {"Radix", 95.5, 3.6, 0.8},
+                                  {"Water", 15.2, 50.1, 34.7}};
+
+  // Independent application runs: fan out, then print rows in table order.
+  std::vector<AppRunResult> results(paper.size());
+  par::ThreadPool pool(std::min(par::default_jobs(bench::jobs_setting()),
+                                static_cast<int>(paper.size())));
+  pool.parallel_for(paper.size(), [&](std::size_t i) {
+    SimConfig cfg = SimConfig::application_defaults();
+    cfg.scheme = Scheme::PR;
+    AppSimulation sim(cfg, AppModel::by_name(paper[i].app));
+    results[i] = sim.run(dur, warm);
+  });
 
   std::printf("# Table 1 — responses to request messages (measured vs paper)\n\n");
   std::printf("| Application | Direct Reply | Invalidation | Forwarding | (paper D/I/F) |\n");
   std::printf("|---|---|---|---|---|\n");
-  for (const Row& row : paper) {
-    SimConfig cfg = SimConfig::application_defaults();
-    cfg.scheme = Scheme::PR;
-    AppSimulation sim(cfg, AppModel::by_name(row.app));
-    auto r = sim.run(dur, warm);
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    const Row& row = paper[i];
+    const AppRunResult& r = results[i];
     std::printf("| %s | %.1f%% | %.1f%% | %.1f%% | %.1f / %.1f / %.1f |\n",
                 row.app, 100 * r.responses.direct_frac(),
                 100 * r.responses.invalidation_frac(),

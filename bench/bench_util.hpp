@@ -5,12 +5,19 @@
 // run lengths are scaled down so the whole bench suite finishes in minutes
 // on a laptop; set MDDSIM_FULL=1 in the environment to use the paper's
 // 30 000-cycle measurement windows (§4.3.1).
+//
+// Every sweep point is an independent simulation, so the harness fans them
+// out over mddsim::par::SweepRunner.  Pass `--jobs N` to any bench binary
+// (or set MDDSIM_JOBS) to pick the worker count; `--jobs 1` is the legacy
+// serial path and produces bit-identical tables.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "mddsim/common/assert.hpp"
+#include "mddsim/par/sweep.hpp"
 #include "mddsim/sim/simulator.hpp"
 
 namespace mddsim::bench {
@@ -22,6 +29,24 @@ inline bool full_mode() {
 
 inline Cycle warmup_cycles() { return full_mode() ? 5000 : 2000; }
 inline Cycle measure_cycles() { return full_mode() ? 30000 : 6000; }
+
+/// Worker count for this bench process: set by init() from --jobs, else 0
+/// so SweepRunner falls back to MDDSIM_JOBS / hardware concurrency.
+inline int& jobs_setting() {
+  static int jobs = 0;
+  return jobs;
+}
+
+/// Common bench argv handling: consumes `--jobs N` and rejects anything
+/// else so a typo'd flag cannot silently run the wrong experiment.
+inline void init(int& argc, char** argv) {
+  jobs_setting() = par::consume_jobs_flag(argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr, "unknown argument: %s (supported: --jobs N)\n",
+                 argv[1]);
+    std::exit(2);
+  }
+}
 
 /// Per-pattern base injection rate ≈ the endpoint-service saturation point
 /// 1/(mean services per transaction × 40 cycles); sweeps run "up to a point
@@ -48,49 +73,96 @@ inline std::vector<double> load_grid(const std::string& pattern) {
 }
 
 /// One Burton-normal-form sweep for a (scheme, pattern, VC) configuration.
+/// Carries the loads its points were run at so printers can never misalign
+/// a points column against a foreign load grid.
 struct SweepSeries {
   std::string label;
+  std::vector<double> loads;
   std::vector<RunResult> points;
   bool feasible = true;
   std::string note;
 };
 
+/// One requested sweep: configuration axis plus its load grid.
+struct SeriesSpec {
+  Scheme scheme;
+  std::string pattern;
+  int vcs = 4;
+  QueueOrg org = QueueOrg::Shared;
+  std::vector<double> loads;  ///< empty → load_grid(pattern)
+};
+
+/// Runs a batch of sweeps as one flat pool of simulation points so the
+/// SweepRunner keeps every worker busy across series boundaries (a figure
+/// is schemes × patterns × loads independent points, not nested loops).
+inline std::vector<SweepSeries> run_series_batch(
+    const std::vector<SeriesSpec>& specs) {
+  std::vector<SweepSeries> series(specs.size());
+  std::vector<SimConfig> points;
+  std::vector<std::size_t> owner;  // points index → series index
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const SeriesSpec& spec = specs[i];
+    SweepSeries& s = series[i];
+    s.label = std::string(scheme_name(spec.scheme));
+    s.loads = spec.loads.empty() ? load_grid(spec.pattern) : spec.loads;
+    SimConfig base;
+    base.scheme = spec.scheme;
+    base.pattern = spec.pattern;
+    base.vcs_per_link = spec.vcs;
+    base.queue_org = spec.org;
+    base.warmup_cycles = warmup_cycles();
+    base.measure_cycles = measure_cycles();
+    try {
+      base.validate();
+    } catch (const ConfigError& e) {
+      s.feasible = false;
+      s.note = e.what();
+      continue;
+    }
+    for (double load : s.loads) {
+      SimConfig cfg = base;
+      cfg.injection_rate = load;
+      points.push_back(cfg);
+      owner.push_back(i);
+    }
+  }
+  const std::vector<RunResult> results =
+      par::SweepRunner(jobs_setting()).run(points);
+  for (std::size_t p = 0; p < results.size(); ++p) {
+    series[owner[p]].points.push_back(results[p]);
+  }
+  return series;
+}
+
 inline SweepSeries run_series(Scheme scheme, const std::string& pattern,
                               int vcs, QueueOrg org = QueueOrg::Shared,
                               const std::vector<double>* loads_override =
                                   nullptr) {
-  SweepSeries s;
-  s.label = std::string(scheme_name(scheme));
-  SimConfig base;
-  base.scheme = scheme;
-  base.pattern = pattern;
-  base.vcs_per_link = vcs;
-  base.queue_org = org;
-  base.warmup_cycles = warmup_cycles();
-  base.measure_cycles = measure_cycles();
-  try {
-    base.validate();
-  } catch (const ConfigError& e) {
-    s.feasible = false;
-    s.note = e.what();
-    return s;
-  }
-  const std::vector<double> loads =
-      loads_override ? *loads_override : load_grid(pattern);
-  for (double load : loads) {
-    SimConfig cfg = base;
-    cfg.injection_rate = load;
-    Simulator sim(cfg);
-    s.points.push_back(sim.run(false));
-  }
-  return s;
+  SeriesSpec spec;
+  spec.scheme = scheme;
+  spec.pattern = pattern;
+  spec.vcs = vcs;
+  spec.org = org;
+  if (loads_override) spec.loads = *loads_override;
+  return run_series_batch({spec}).front();
 }
 
 /// Prints a figure panel: one markdown table in Burton Normal Form order
-/// (throughput on x, latency on y — here as columns per scheme).
+/// (throughput on x, latency on y — here as columns per scheme).  Every
+/// feasible series must have been swept on exactly `loads` — enforced, so
+/// a per-series load override can never silently misalign columns.
 inline void print_panel(const std::string& title,
                         const std::vector<SweepSeries>& series,
                         const std::vector<double>& loads) {
+  for (const auto& s : series) {
+    if (!s.feasible) continue;
+    MDD_CHECK_MSG(s.loads == loads,
+                  "series '" + s.label + "' was swept on a different load "
+                  "grid than the panel's rows");
+    MDD_CHECK_MSG(s.points.size() == loads.size(),
+                  "series '" + s.label + "' point count does not match the "
+                  "load grid");
+  }
   std::printf("\n### %s\n\n", title.c_str());
   for (const auto& s : series) {
     if (!s.feasible) {
@@ -133,19 +205,26 @@ inline void print_panel(const std::string& title,
   }
 }
 
-/// Runs one whole figure (a set of patterns at a fixed VC count).
+/// Runs one whole figure (a set of patterns at a fixed VC count) as a
+/// single batch: every (scheme, pattern, load) point of the figure runs
+/// concurrently under the SweepRunner.
 inline void run_figure(const char* figure, int vcs,
                        const std::vector<std::string>& patterns) {
   std::printf("# %s — 8x8 bidirectional torus, %d virtual channels%s\n",
               figure, vcs,
               full_mode() ? " (paper-scale runs)" : " (reduced runs; "
               "MDDSIM_FULL=1 for paper scale)");
+  std::vector<SeriesSpec> specs;
   for (const auto& pat : patterns) {
-    std::vector<SweepSeries> series;
     for (Scheme s : {Scheme::SA, Scheme::DR, Scheme::PR}) {
-      series.push_back(run_series(s, pat, vcs));
+      specs.push_back(SeriesSpec{s, pat, vcs, QueueOrg::Shared, {}});
     }
-    print_panel(pat, series, load_grid(pat));
+  }
+  const std::vector<SweepSeries> all = run_series_batch(specs);
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const std::vector<SweepSeries> panel(all.begin() + 3 * p,
+                                         all.begin() + 3 * (p + 1));
+    print_panel(patterns[p], panel, load_grid(patterns[p]));
   }
 }
 

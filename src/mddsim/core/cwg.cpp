@@ -7,6 +7,43 @@
 
 namespace mddsim {
 
+std::uint64_t knot_signature(const std::vector<int>& sorted_vertices) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;  // FNV prime
+  };
+  mix(static_cast<std::uint64_t>(sorted_vertices.size()));
+  for (int v : sorted_vertices) mix(static_cast<std::uint64_t>(v) + 1);
+  return h;
+}
+
+std::uint64_t update_knot_memory(const std::vector<Knot>& knots,
+                                 std::unordered_set<std::uint64_t>& prev,
+                                 std::unordered_set<std::uint64_t>& counted) {
+  std::unordered_set<std::uint64_t> current;
+  current.reserve(knots.size());
+  std::uint64_t new_deadlocks = 0;
+  for (const auto& k : knots) {
+    const std::uint64_t sig = knot_signature(k.vertices);
+    current.insert(sig);
+    if (prev.count(sig) && !counted.count(sig)) {
+      ++new_deadlocks;
+      counted.insert(sig);
+    }
+  }
+  // Forget counted knots that have dissolved.
+  for (auto it = counted.begin(); it != counted.end();) {
+    if (!current.count(*it)) {
+      it = counted.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  prev = std::move(current);
+  return new_deadlocks;
+}
+
 CwgDetector::CwgDetector(const Network& net) : net_(net) {
   const Topology& topo = net.topology();
   ports_per_router_ = topo.num_net_ports() + topo.bristling();
@@ -35,12 +72,6 @@ int CwgDetector::vertex_output_q(NodeId node, int slot) const {
   return output_q_base_ + node * slots_ + slot;
 }
 
-std::vector<std::vector<int>> CwgDetector::adjacency() const {
-  std::vector<std::vector<int>> adj;
-  build(adj);
-  return adj;
-}
-
 std::string CwgDetector::vertex_label(int v) const {
   if (v >= output_q_base_) {
     const int rel = v - output_q_base_;
@@ -64,12 +95,128 @@ std::string CwgDetector::vertex_label(int v) const {
          std::to_string(rel % vcs_) + "]";
 }
 
-void CwgDetector::build(std::vector<std::vector<int>>& adj) const {
-  adj.assign(static_cast<std::size_t>(num_vertices_), {});
+// --------------------------------------------------------------------------
+// Graph construction.  The CSR builder and the legacy nested-vector builder
+// must emit exactly the same edges, in the same per-vertex order; the CSR
+// path additionally relies on sources being visited in ascending vertex
+// order (routers, then ejection channels, then input queues, then output
+// queues — matching the vertex numbering bases).
+// --------------------------------------------------------------------------
+
+void CwgDetector::build_csr() const {
   const Topology& topo = net_.topology();
   const int net_ports = topo.num_net_ports();
 
+  csr_offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  csr_edges_.clear();
+  int last_src = -1;
+  // Sources arrive in non-decreasing order; open the row for `u` by fixing
+  // the start offset of every row since the previous source.
+  auto open_row = [&](int u) {
+    MDD_CHECK_MSG(u >= last_src, "CSR builder requires ascending sources");
+    for (int s = last_src + 1; s <= u; ++s)
+      csr_offsets_[static_cast<std::size_t>(s)] =
+          static_cast<int>(csr_edges_.size());
+    last_src = u;
+  };
+  auto emit = [&](int u, int w) {
+    open_row(u);
+    csr_edges_.push_back(w);
+  };
+
   // Downstream vertex of a router output (port, vc).
+  auto downstream = [&](RouterId r, int port, int vc) {
+    if (port < net_ports) {
+      const int dim = port / 2, dir = port % 2;
+      const RouterId nr = topo.neighbor(r, dim, dir);
+      MDD_CHECK(nr != kInvalidRouter);
+      return vertex_router_vc(nr, dim * 2 + (1 - dir), vc);
+    }
+    return vertex_eject(topo.node_of(r, port - net_ports), vc);
+  };
+
+  for (RouterId r = 0; r < topo.num_routers(); ++r) {
+    const Router& router = net_.router(r);
+    for (int p = 0; p < router.num_inputs(); ++p) {
+      for (int v = 0; v < vcs_; ++v) {
+        const InputVc& ivc = router.input(p, v);
+        if (ivc.buffer.empty()) continue;
+        const int self = vertex_router_vc(r, p, v);
+        if (ivc.route_valid) {
+          const OutputVc& ovc = router.output(ivc.out_port, ivc.out_vc);
+          if (ovc.credits > 0) continue;  // will advance: not blocked
+          emit(self, downstream(r, ivc.out_port, ivc.out_vc));
+          continue;
+        }
+        const Flit& f = ivc.buffer.front();
+        if (!f.is_head()) continue;  // body awaiting its head's VC: no edge
+        net_.routing().candidates(r, *f.pkt, cand_scratch_);
+        bool any_available = false;
+        for (const auto& c : cand_scratch_) {
+          const OutputVc& ovc = router.output(c.port, c.vc);
+          if (!ovc.busy && ovc.credits > 0) {
+            any_available = true;
+            break;
+          }
+        }
+        if (any_available) continue;
+        for (const auto& c : cand_scratch_) emit(self, downstream(r, c.port, c.vc));
+      }
+    }
+  }
+
+  // Ejection channels waiting for input-queue admission.
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const NetworkInterface& ni = net_.ni(n);
+    for (int v = 0; v < vcs_; ++v) {
+      const int slot = ni.ejection_wait_slot(v);
+      if (slot < 0) continue;
+      emit(vertex_eject(n, v), vertex_input_q(n, slot));
+    }
+  }
+  // Input-queue heads waiting for output-queue space.
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const NetworkInterface& ni = net_.ni(n);
+    for (int s = 0; s < slots_; ++s) {
+      if (!ni.input_head_blocked(s, slot_scratch_)) continue;
+      for (int os : slot_scratch_) emit(vertex_input_q(n, s), vertex_output_q(n, os));
+    }
+  }
+  // Output-queue heads waiting for injection channels.
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const NetworkInterface& ni = net_.ni(n);
+    const RouterId r = topo.router_of_node(n);
+    const int inj_port = net_ports + topo.slot_of_node(n);
+    for (int s = 0; s < slots_; ++s) {
+      if (!ni.output_blocked(s, slot_scratch_)) continue;
+      for (int v : slot_scratch_) {
+        emit(vertex_output_q(n, s), vertex_router_vc(r, inj_port, v));
+      }
+    }
+  }
+
+  open_row(num_vertices_ - 1);  // close trailing empty rows
+  csr_offsets_[static_cast<std::size_t>(num_vertices_)] =
+      static_cast<int>(csr_edges_.size());
+}
+
+std::vector<std::vector<int>> CwgDetector::adjacency() const {
+  build_csr();
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_vertices_));
+  for (int v = 0; v < num_vertices_; ++v) {
+    const int b = csr_offsets_[static_cast<std::size_t>(v)];
+    const int e = csr_offsets_[static_cast<std::size_t>(v) + 1];
+    adj[static_cast<std::size_t>(v)].assign(csr_edges_.begin() + b,
+                                            csr_edges_.begin() + e);
+  }
+  return adj;
+}
+
+std::vector<std::vector<int>> CwgDetector::legacy_adjacency() const {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_vertices_));
+  const Topology& topo = net_.topology();
+  const int net_ports = topo.num_net_ports();
+
   auto downstream = [&](RouterId r, int port, int vc) {
     if (port < net_ports) {
       const int dim = port / 2, dir = port % 2;
@@ -90,13 +237,13 @@ void CwgDetector::build(std::vector<std::vector<int>>& adj) const {
         const int self = vertex_router_vc(r, p, v);
         if (ivc.route_valid) {
           const OutputVc& ovc = router.output(ivc.out_port, ivc.out_vc);
-          if (ovc.credits > 0) continue;  // will advance: not blocked
+          if (ovc.credits > 0) continue;
           adj[static_cast<std::size_t>(self)].push_back(
               downstream(r, ivc.out_port, ivc.out_vc));
           continue;
         }
         const Flit& f = ivc.buffer.front();
-        if (!f.is_head()) continue;  // body awaiting its head's VC: no edge
+        if (!f.is_head()) continue;
         net_.routing().candidates(r, *f.pkt, cands);
         bool any_available = false;
         for (const auto& c : cands) {
@@ -116,14 +263,12 @@ void CwgDetector::build(std::vector<std::vector<int>>& adj) const {
 
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
     const NetworkInterface& ni = net_.ni(n);
-    // Ejection channels waiting for input-queue admission.
     for (int v = 0; v < vcs_; ++v) {
       const int slot = ni.ejection_wait_slot(v);
       if (slot < 0) continue;
       adj[static_cast<std::size_t>(vertex_eject(n, v))].push_back(
           vertex_input_q(n, slot));
     }
-    // Input-queue heads waiting for output-queue space.
     std::vector<int> out_slots;
     for (int s = 0; s < slots_; ++s) {
       if (!ni.input_head_blocked(s, out_slots)) continue;
@@ -132,7 +277,6 @@ void CwgDetector::build(std::vector<std::vector<int>>& adj) const {
             vertex_output_q(n, os));
       }
     }
-    // Output-queue heads waiting for injection channels.
     std::vector<int> inj_vcs;
     const RouterId r = topo.router_of_node(n);
     const int inj_port = net_ports + topo.slot_of_node(n);
@@ -144,118 +288,122 @@ void CwgDetector::build(std::vector<std::vector<int>>& adj) const {
       }
     }
   }
+  return adj;
 }
 
-namespace {
-
-// Iterative Tarjan strongly-connected components.
-struct Tarjan {
-  const std::vector<std::vector<int>>& adj;
-  std::vector<int> index, low, comp;
-  std::vector<bool> on_stack;
-  std::vector<int> stack;
-  int next_index = 0, next_comp = 0;
-
-  explicit Tarjan(const std::vector<std::vector<int>>& a)
-      : adj(a),
-        index(a.size(), -1),
-        low(a.size(), 0),
-        comp(a.size(), -1),
-        on_stack(a.size(), false) {}
-
-  void run(int root) {
-    struct Entry {
-      int v;
-      std::size_t child;
-    };
-    std::vector<Entry> work;
-    work.push_back({root, 0});
-    while (!work.empty()) {
-      Entry& e = work.back();
-      const int v = e.v;
-      if (e.child == 0) {
-        index[static_cast<std::size_t>(v)] = low[static_cast<std::size_t>(v)] = next_index++;
-        stack.push_back(v);
-        on_stack[static_cast<std::size_t>(v)] = true;
+// --------------------------------------------------------------------------
+// Iterative Tarjan strongly-connected components over the CSR, with all
+// state in reusable member arrays.
+// --------------------------------------------------------------------------
+void CwgDetector::tarjan_run(int root) const {
+  tj_work_.clear();
+  tj_work_.push_back({root, csr_offsets_[static_cast<std::size_t>(root)]});
+  while (!tj_work_.empty()) {
+    WorkEntry& e = tj_work_.back();
+    const int v = e.v;
+    if (e.edge == csr_offsets_[static_cast<std::size_t>(v)]) {
+      tj_index_[static_cast<std::size_t>(v)] =
+          tj_low_[static_cast<std::size_t>(v)] = tj_next_index_++;
+      tj_stack_.push_back(v);
+      tj_onstack_[static_cast<std::size_t>(v)] = 1;
+    }
+    bool descended = false;
+    while (e.edge < csr_offsets_[static_cast<std::size_t>(v) + 1]) {
+      const int w = csr_edges_[static_cast<std::size_t>(e.edge++)];
+      if (tj_index_[static_cast<std::size_t>(w)] < 0) {
+        tj_work_.push_back({w, csr_offsets_[static_cast<std::size_t>(w)]});
+        descended = true;
+        break;
       }
-      bool descended = false;
-      while (e.child < adj[static_cast<std::size_t>(v)].size()) {
-        const int w = adj[static_cast<std::size_t>(v)][e.child++];
-        if (index[static_cast<std::size_t>(w)] < 0) {
-          work.push_back({w, 0});
-          descended = true;
-          break;
-        }
-        if (on_stack[static_cast<std::size_t>(w)]) {
-          low[static_cast<std::size_t>(v)] =
-              std::min(low[static_cast<std::size_t>(v)], index[static_cast<std::size_t>(w)]);
-        }
-      }
-      if (descended) continue;
-      if (low[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
-        for (;;) {
-          const int w = stack.back();
-          stack.pop_back();
-          on_stack[static_cast<std::size_t>(w)] = false;
-          comp[static_cast<std::size_t>(w)] = next_comp;
-          if (w == v) break;
-        }
-        ++next_comp;
-      }
-      work.pop_back();
-      if (!work.empty()) {
-        const int parent = work.back().v;
-        low[static_cast<std::size_t>(parent)] = std::min(
-            low[static_cast<std::size_t>(parent)], low[static_cast<std::size_t>(v)]);
+      if (tj_onstack_[static_cast<std::size_t>(w)]) {
+        tj_low_[static_cast<std::size_t>(v)] =
+            std::min(tj_low_[static_cast<std::size_t>(v)],
+                     tj_index_[static_cast<std::size_t>(w)]);
       }
     }
+    if (descended) continue;
+    if (tj_low_[static_cast<std::size_t>(v)] ==
+        tj_index_[static_cast<std::size_t>(v)]) {
+      for (;;) {
+        const int w = tj_stack_.back();
+        tj_stack_.pop_back();
+        tj_onstack_[static_cast<std::size_t>(w)] = 0;
+        tj_comp_[static_cast<std::size_t>(w)] = tj_next_comp_;
+        if (w == v) break;
+      }
+      ++tj_next_comp_;
+    }
+    tj_work_.pop_back();
+    if (!tj_work_.empty()) {
+      const int parent = tj_work_.back().v;
+      tj_low_[static_cast<std::size_t>(parent)] =
+          std::min(tj_low_[static_cast<std::size_t>(parent)],
+                   tj_low_[static_cast<std::size_t>(v)]);
+    }
   }
-};
-
-}  // namespace
+}
 
 std::vector<Knot> CwgDetector::find_knots() const {
-  std::vector<std::vector<int>> adj;
-  build(adj);
+  build_csr();
 
-  Tarjan t(adj);
+  const std::size_t nv = static_cast<std::size_t>(num_vertices_);
+  tj_index_.assign(nv, -1);
+  tj_low_.assign(nv, 0);
+  tj_comp_.assign(nv, -1);
+  tj_onstack_.assign(nv, 0);
+  tj_stack_.clear();
+  tj_next_index_ = 0;
+  tj_next_comp_ = 0;
   for (int v = 0; v < num_vertices_; ++v) {
-    if (t.index[static_cast<std::size_t>(v)] < 0 &&
-        !adj[static_cast<std::size_t>(v)].empty())
-      t.run(v);
+    if (tj_index_[static_cast<std::size_t>(v)] < 0 &&
+        csr_offsets_[static_cast<std::size_t>(v) + 1] >
+            csr_offsets_[static_cast<std::size_t>(v)])
+      tarjan_run(v);
   }
 
-  // Group vertices by component; only components reached by Tarjan matter.
-  std::vector<std::vector<int>> members(static_cast<std::size_t>(t.next_comp));
+  // Classify components: a knot has internal edges, no escaping edge, and
+  // at least two members.
+  const std::size_t nc = static_cast<std::size_t>(tj_next_comp_);
+  comp_escapes_.assign(nc, 0);
+  comp_has_edge_.assign(nc, 0);
+  comp_size_.assign(nc, 0);
   for (int v = 0; v < num_vertices_; ++v) {
-    if (t.comp[static_cast<std::size_t>(v)] >= 0)
-      members[static_cast<std::size_t>(t.comp[static_cast<std::size_t>(v)])].push_back(v);
-  }
-
-  std::vector<bool> escapes(static_cast<std::size_t>(t.next_comp), false);
-  std::vector<bool> has_edge(static_cast<std::size_t>(t.next_comp), false);
-  for (int v = 0; v < num_vertices_; ++v) {
-    const int cv = t.comp[static_cast<std::size_t>(v)];
+    const int cv = tj_comp_[static_cast<std::size_t>(v)];
     if (cv < 0) continue;
-    for (int w : adj[static_cast<std::size_t>(v)]) {
-      const int cw = t.comp[static_cast<std::size_t>(w)];
+    ++comp_size_[static_cast<std::size_t>(cv)];
+    const int b = csr_offsets_[static_cast<std::size_t>(v)];
+    const int e = csr_offsets_[static_cast<std::size_t>(v) + 1];
+    for (int i = b; i < e; ++i) {
+      const int cw = tj_comp_[static_cast<std::size_t>(
+          csr_edges_[static_cast<std::size_t>(i)])];
       if (cw == cv) {
-        has_edge[static_cast<std::size_t>(cv)] = true;
+        comp_has_edge_[static_cast<std::size_t>(cv)] = 1;
       } else {
-        escapes[static_cast<std::size_t>(cv)] = true;
+        comp_escapes_[static_cast<std::size_t>(cv)] = 1;
       }
     }
   }
 
   std::vector<Knot> knots;
-  for (int c = 0; c < t.next_comp; ++c) {
-    if (escapes[static_cast<std::size_t>(c)] || !has_edge[static_cast<std::size_t>(c)])
+  comp_knot_.assign(nc, -1);
+  for (int c = 0; c < tj_next_comp_; ++c) {
+    if (comp_escapes_[static_cast<std::size_t>(c)] ||
+        !comp_has_edge_[static_cast<std::size_t>(c)])
       continue;
-    if (members[static_cast<std::size_t>(c)].size() < 2) continue;
-    Knot k;
-    k.vertices = members[static_cast<std::size_t>(c)];
-    std::sort(k.vertices.begin(), k.vertices.end());
-    knots.push_back(std::move(k));
+    if (comp_size_[static_cast<std::size_t>(c)] < 2) continue;
+    comp_knot_[static_cast<std::size_t>(c)] = static_cast<int>(knots.size());
+    knots.emplace_back();
+    knots.back().vertices.reserve(
+        static_cast<std::size_t>(comp_size_[static_cast<std::size_t>(c)]));
+  }
+  if (!knots.empty()) {
+    // Ascending vertex scan leaves each knot's member list sorted.
+    for (int v = 0; v < num_vertices_; ++v) {
+      const int cv = tj_comp_[static_cast<std::size_t>(v)];
+      if (cv < 0) continue;
+      const int k = comp_knot_[static_cast<std::size_t>(cv)];
+      if (k >= 0) knots[static_cast<std::size_t>(k)].vertices.push_back(v);
+    }
   }
   return knots;
 }
@@ -272,26 +420,7 @@ std::vector<std::pair<NodeId, int>> CwgDetector::input_queue_members(
 }
 
 std::uint64_t CwgDetector::scan() {
-  std::vector<Knot> knots = find_knots();
-  std::set<std::vector<int>> current;
-  std::uint64_t new_deadlocks = 0;
-  for (auto& k : knots) {
-    current.insert(k.vertices);
-    if (prev_knots_.count(k.vertices) && !counted_.count(k.vertices)) {
-      ++new_deadlocks;
-      counted_.insert(k.vertices);
-    }
-  }
-  // Forget counted knots that have dissolved.
-  for (auto it = counted_.begin(); it != counted_.end();) {
-    if (!current.count(*it)) {
-      it = counted_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  prev_knots_ = std::move(current);
-  return new_deadlocks;
+  return update_knot_memory(find_knots(), prev_knots_, counted_);
 }
 
 }  // namespace mddsim

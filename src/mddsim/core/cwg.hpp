@@ -11,13 +11,22 @@
 // unavailable, so an isolated snapshot knot is a genuine deadlock up to
 // single-cycle transients (credits in flight); callers should require a
 // knot to persist across consecutive scans, as `CwgDetector::scan` does.
+//
+// Performance: with oracle detection the graph is rebuilt every cwg_period
+// cycles, so the scan is on the simulator's hot path.  The graph is built
+// into reusable member scratch as a flat CSR (offsets + edges) — no
+// per-scan nested-vector churn — Tarjan's arrays are reused across scans,
+// and knot persistence is remembered as 64-bit signatures of the sorted
+// vertex sets instead of deep-copied vertex vectors.  The scratch makes
+// the detector non-reentrant; each Simulator owns its own instance.
 
 #include <cstdint>
-#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "mddsim/common/types.hpp"
+#include "mddsim/routing/routing.hpp"
 
 namespace mddsim {
 
@@ -27,6 +36,22 @@ class Network;
 struct Knot {
   std::vector<int> vertices;  ///< sorted vertex ids (stable signature)
 };
+
+/// 64-bit FNV-1a signature of a knot's sorted vertex set.  Two knots with
+/// the same member vertices hash equal across scans; a collision between
+/// distinct knots alive in the same window is vanishingly unlikely (the
+/// graph has a few thousand vertices and knots are rare events).
+std::uint64_t knot_signature(const std::vector<int>& sorted_vertices);
+
+/// Persistence/counting memory shared by scan(): given the knots of the
+/// current scan, counts those that were already present in the previous
+/// scan and have not been counted yet, marks them counted, forgets counted
+/// knots that have dissolved (so a knot that re-forms is counted again),
+/// and replaces `prev` with the current signatures.  Factored out so the
+/// forgetting semantics are unit-testable with synthetic knot sequences.
+std::uint64_t update_knot_memory(const std::vector<Knot>& knots,
+                                 std::unordered_set<std::uint64_t>& prev,
+                                 std::unordered_set<std::uint64_t>& counted);
 
 class CwgDetector {
  public:
@@ -48,6 +73,17 @@ class CwgDetector {
   /// vertices).  Cold path: used by obs::Forensics for post-mortem export.
   std::vector<std::vector<int>> adjacency() const;
 
+  /// Reference adjacency builder retained from before the CSR rewrite —
+  /// an independent nested-vector construction of the same graph, kept as
+  /// the oracle for the CSR equivalence regression test.
+  std::vector<std::vector<int>> legacy_adjacency() const;
+
+  /// Flat CSR snapshot of the last build (valid after find_knots(),
+  /// adjacency() or scan(); exposed for tests).  Row v's edges are
+  /// csr_edges()[csr_offsets()[v] .. csr_offsets()[v+1]).
+  const std::vector<int>& csr_offsets() const { return csr_offsets_; }
+  const std::vector<int>& csr_edges() const { return csr_edges_; }
+
   /// Human-readable vertex description, e.g. "R3 in[p2,v1]", "N5 eject v0",
   /// "N5 inQ 1", "N5 outQ 0" — used for Graphviz labels.
   std::string vertex_label(int v) const;
@@ -64,7 +100,10 @@ class CwgDetector {
   int vertex_output_q(NodeId node, int slot) const;
 
  private:
-  void build(std::vector<std::vector<int>>& adj) const;
+  /// Rebuilds csr_offsets_/csr_edges_ from the current network state.
+  void build_csr() const;
+  /// Tarjan SCC from `root` over the CSR, using the tj_* scratch.
+  void tarjan_run(int root) const;
 
   const Network& net_;
   int num_vertices_ = 0;
@@ -76,8 +115,25 @@ class CwgDetector {
   int vcs_ = 0;
   int slots_ = 0;
 
-  std::set<std::vector<int>> prev_knots_;
-  std::set<std::vector<int>> counted_;
+  // --- Reusable scan scratch (members so periodic scans do not allocate).
+  mutable std::vector<int> csr_offsets_;  ///< size num_vertices_+1
+  mutable std::vector<int> csr_edges_;
+  mutable std::vector<RouteCandidate> cand_scratch_;
+  mutable std::vector<int> slot_scratch_;
+  struct WorkEntry {
+    int v;
+    int edge;  ///< absolute cursor into csr_edges_
+  };
+  mutable std::vector<int> tj_index_, tj_low_, tj_comp_, tj_stack_;
+  mutable std::vector<char> tj_onstack_;
+  mutable std::vector<WorkEntry> tj_work_;
+  mutable int tj_next_index_ = 0;
+  mutable int tj_next_comp_ = 0;
+  mutable std::vector<char> comp_escapes_, comp_has_edge_;
+  mutable std::vector<int> comp_size_, comp_knot_;
+
+  std::unordered_set<std::uint64_t> prev_knots_;
+  std::unordered_set<std::uint64_t> counted_;
 };
 
 }  // namespace mddsim

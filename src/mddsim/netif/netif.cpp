@@ -62,9 +62,13 @@ PacketPtr NetworkInterface::output_head(int slot) const {
 }
 
 int NetworkInterface::total_ejection_flits() const {
+#ifndef NDEBUG
   int total = 0;
   for (const auto& b : eject_buf_) total += static_cast<int>(b.size());
-  return total;
+  MDD_CHECK_MSG(eject_flits_ == total,
+                "incremental ejection counter diverged from buffer scan");
+#endif
+  return eject_flits_;
 }
 
 bool NetworkInterface::output_has_space_for(
@@ -118,6 +122,7 @@ void NetworkInterface::step_eject(Cycle now) {
       if (tail) t->packet_deliver(now, f.pkt->id, id_);
     }
     buf.pop_front();
+    --eject_flits_;
     net_.stage_ejection_credit(id_, vc);
     if (tail) {
       reasm->pkt->eject_cycle = now;
@@ -397,6 +402,7 @@ void NetworkInterface::deliver_ejected_flit(Flit f, int vc, Cycle now) {
   MDD_CHECK_MSG(static_cast<int>(buf.size()) < cfg_.flit_buffer_depth,
                 "ejection buffer overflow: credit protocol violated");
   buf.push_back(std::move(f));
+  ++eject_flits_;
 }
 
 void NetworkInterface::deliver_injection_credit(int vc) {

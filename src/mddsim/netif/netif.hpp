@@ -119,7 +119,9 @@ class NetworkInterface {
   const std::deque<Flit>& ejection_buffer(int vc) const {
     return eject_buf_[static_cast<std::size_t>(vc)];
   }
-  /// Flits buffered in ejection channels (for conservation tests).
+  /// Flits buffered in ejection channels, maintained incrementally (O(1));
+  /// used every cycle by drain loops via Network::idle and by conservation
+  /// tests.
   int total_ejection_flits() const;
 
   // --- Wait-for introspection for the CWG detector. ------------------------
@@ -203,6 +205,7 @@ class NetworkInterface {
   std::vector<std::deque<Flit>> eject_buf_;
   std::vector<std::optional<Reassembly>> reasm_;
   int eject_rr_ = 0;
+  int eject_flits_ = 0;  ///< flits across all ejection buffers
 
   // Sources and recovery lists.
   std::deque<PacketPtr> source_; ///< new requests awaiting MSHR + injection

@@ -1,0 +1,59 @@
+#include "mddsim/par/sweep.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mddsim/par/thread_pool.hpp"
+
+namespace mddsim::par {
+
+int default_jobs(int explicit_jobs) {
+  if (explicit_jobs >= 1) return explicit_jobs;
+  if (const char* env = std::getenv("MDDSIM_JOBS")) {
+    const int j = std::atoi(env);
+    if (j >= 1) return j;
+  }
+  return hardware_threads();
+}
+
+int consume_jobs_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    int jobs = 0;
+    int consumed = 0;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[i + 1]);
+      consumed = 2;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+      consumed = 1;
+    }
+    if (consumed == 0) continue;
+    for (int k = i; k + consumed < argc; ++k) argv[k] = argv[k + consumed];
+    argc -= consumed;
+    return jobs;
+  }
+  return 0;
+}
+
+SweepRunner::SweepRunner(int jobs) : jobs_(jobs >= 1 ? jobs : default_jobs()) {}
+
+std::vector<RunResult> SweepRunner::run(const std::vector<SimConfig>& configs,
+                                        bool drain) const {
+  std::vector<RunResult> results(configs.size());
+  auto run_point = [&](std::size_t i) {
+    Simulator sim(configs[i]);
+    results[i] = sim.run(drain);
+  };
+  if (jobs_ <= 1 || configs.size() <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) run_point(i);
+    return results;
+  }
+  ThreadPool pool(
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(jobs_), configs.size())));
+  pool.parallel_for(configs.size(), run_point);
+  return results;
+}
+
+}  // namespace mddsim::par

@@ -1,0 +1,44 @@
+#pragma once
+// Parallel execution of independent simulation points (paper §4.3's
+// evaluation grid).  Each Simulator owns its RNGs, network and metrics, so
+// points are isolated processes in all but address space; SweepRunner farms
+// them over a ThreadPool and returns results in deterministic input order.
+// Results are bit-identical to the jobs=1 serial path by construction —
+// nothing about a run depends on which thread executes it or when.
+
+#include <vector>
+
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim::par {
+
+/// Job count resolution: explicit argument > MDDSIM_JOBS environment
+/// variable > hardware concurrency.  Values < 1 fall through to the next
+/// source; the result is always >= 1 (1 = legacy serial path).
+int default_jobs(int explicit_jobs = 0);
+
+/// Parses a `--jobs N` / `--jobs=N` pair out of argv, removing it (argc is
+/// updated in place).  Returns the parsed value, or 0 when absent so the
+/// caller falls through to default_jobs().  Shared by the bench harnesses
+/// and the CLI.
+int consume_jobs_flag(int& argc, char** argv);
+
+class SweepRunner {
+ public:
+  /// jobs <= 0 resolves via default_jobs().
+  explicit SweepRunner(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  /// Runs one Simulator per config (validate() + run(drain)) and returns
+  /// the RunResults in input order.  jobs()==1 or a single point uses the
+  /// plain serial loop.  The first exception thrown by any point (e.g.
+  /// ConfigError from validate) is rethrown after in-flight points finish.
+  std::vector<RunResult> run(const std::vector<SimConfig>& configs,
+                             bool drain = false) const;
+
+ private:
+  int jobs_;
+};
+
+}  // namespace mddsim::par

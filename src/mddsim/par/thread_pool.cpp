@@ -1,0 +1,90 @@
+#include "mddsim/par/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mddsim::par {
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  // The calling thread participates in parallel_for, so spawn one fewer
+  // worker than requested: a pool of size J runs J-way parallel.
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain_job() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (next_ < total_) {
+    const std::size_t i = next_++;
+    ++live_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !error_) error_ = err;
+    --live_;
+  }
+  if (live_ == 0) done_cv_.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (generation_ != seen && next_ < total_);
+      });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain_job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    total_ = n;
+    next_ = 0;
+    live_ = 0;
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain_job();  // the caller works too
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return next_ >= total_ && live_ == 0; });
+    total_ = 0;  // workers that wake late see an exhausted job
+    fn_ = nullptr;
+    err = error_;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace mddsim::par

@@ -1,0 +1,69 @@
+#pragma once
+// Small fixed-size thread pool with a parallel_for primitive.
+//
+// The pool is built for coarse-grained, embarrassingly-parallel work —
+// whole simulation runs, application traces — not fine-grained loop
+// tiling: tasks are dispatched through a shared index counter, so each
+// task should amortize one atomic fetch and (rarely) one mutex wake-up.
+// Exceptions thrown by a task are captured and the first one is rethrown
+// to the caller of parallel_for after every worker has drained.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mddsim::par {
+
+/// Threads the hardware can actually run; never less than 1 (the standard
+/// allows hardware_concurrency() to return 0 when unknown).
+int hardware_threads();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).  The pool is fixed-size
+  /// for its lifetime; construct it once per sweep, not per point.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Degree of parallelism parallel_for applies: the spawned workers plus
+  /// the calling thread.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, n), distributing indices across the
+  /// workers; the calling thread participates too, so a pool of size J
+  /// applies J threads of compute (not J+1).  Blocks until all n calls
+  /// have returned.  Not reentrant: one parallel_for at a time per pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  /// Claims indices from the active job until it is exhausted.  Returns
+  /// once this thread can claim no more work (other threads may still be
+  /// finishing their claimed indices).
+  void drain_job();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait here for a job
+  std::condition_variable done_cv_;  ///< parallel_for waits here for drain
+
+  // Active job state (guarded by mu_; next_ is advanced under the lock so
+  // completion accounting stays exact and simple — task bodies are long).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t total_ = 0;      ///< indices in the active job
+  std::size_t next_ = 0;       ///< next unclaimed index
+  std::size_t live_ = 0;       ///< claimed but not yet completed
+  std::uint64_t generation_ = 0;  ///< bumped per job so workers re-check
+  std::exception_ptr error_;   ///< first exception thrown by a task
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mddsim::par

@@ -117,6 +117,7 @@ void Router::step(Cycle now, Network& net) {
     auto& ovc = out_[static_cast<std::size_t>(ivc.out_port)][static_cast<std::size_t>(ivc.out_vc)];
     Flit f = ivc.buffer.front();
     ivc.buffer.pop_front();
+    --buffered_flits_;
     if (f.is_head()) routing_.on_head_departure(id_, *f.pkt, ivc.out_port);
     MDD_CHECK(ovc.credits > 0);
     --ovc.credits;
@@ -143,6 +144,7 @@ void Router::deliver_flit(int in_port, int in_vc, Flit f, Cycle now) {
                 "flit buffer overflow: credit protocol violated");
   if (ivc.buffer.empty()) ivc.last_progress = now;
   ivc.buffer.push_back(std::move(f));
+  ++buffered_flits_;
 }
 
 void Router::deliver_credit(int out_port, int vc) {
@@ -192,6 +194,7 @@ int Router::remove_packet(const PacketPtr& pkt, Network& net, Cycle now) {
       while (it != ivc.buffer.end()) {
         if (it->pkt->id == pkt->id) {
           it = ivc.buffer.erase(it);
+          --buffered_flits_;
           ++removed;
           net.stage_credit_upstream(id_, p, v);
           ivc.last_progress = now;
@@ -204,12 +207,20 @@ int Router::remove_packet(const PacketPtr& pkt, Network& net, Cycle now) {
   return removed;
 }
 
-int Router::total_buffered_flits() const {
+int Router::scan_buffered_flits() const {
   int total = 0;
   for (const auto& port : in_) {
     for (const auto& ivc : port) total += static_cast<int>(ivc.buffer.size());
   }
   return total;
+}
+
+int Router::total_buffered_flits() const {
+#ifndef NDEBUG
+  MDD_CHECK_MSG(buffered_flits_ == scan_buffered_flits(),
+                "incremental flit counter diverged from buffer scan");
+#endif
+  return buffered_flits_;
 }
 
 }  // namespace mddsim

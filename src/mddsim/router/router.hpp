@@ -81,11 +81,15 @@ class Router {
   /// the freed slots.  Returns the number of flits removed.
   int remove_packet(const PacketPtr& pkt, Network& net, Cycle now);
 
-  /// Total buffered flits (for conservation checks in tests).
+  /// Total buffered flits, maintained incrementally (O(1)); used every
+  /// cycle by drain loops via Network::idle and by conservation tests.
   int total_buffered_flits() const;
 
  private:
   bool try_allocate_vc(Cycle now, int port, int vc, Network& net);
+  /// Full-scan recount of the buffers — the pre-counter implementation,
+  /// kept as a debug-build cross-check of buffered_flits_.
+  int scan_buffered_flits() const;
 
   RouterId id_;
   const Topology& topo_;
@@ -99,6 +103,7 @@ class Router {
   std::vector<int> sa_out_rr_;  // per-output-port input round-robin pointer
   unsigned va_rr_ = 0;          // VC-allocation rotation counter
   std::vector<RouteCandidate> cand_buf_;
+  int buffered_flits_ = 0;      // flits across all input VC buffers
 };
 
 }  // namespace mddsim

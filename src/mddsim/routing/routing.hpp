@@ -61,6 +61,11 @@ class RoutingAlgorithm {
   Kind kind_;
   const Topology& topo_;
   VcLayout layout_;
+  /// Reusable min_hops scratch: candidates() runs for every blocked head
+  /// every cycle, so per-call vector allocation is measurable.  Makes the
+  /// algorithm non-reentrant; each Network owns its own instance and a
+  /// simulation is single-threaded, so this is safe.
+  mutable std::vector<DimHop> hops_scratch_;
 };
 
 }  // namespace mddsim

@@ -84,7 +84,7 @@ void Network::set_observer(EndpointObserver* obs) { observer_ = obs; }
 
 PacketPtr Network::make_packet(const OutMsg& m, Cycle now) {
   MDD_CHECK_MSG(m.src != m.dst, "self-addressed messages never enter the network");
-  auto pkt = std::make_shared<Packet>();
+  PacketPtr pkt = pool_.make();
   pkt->id = next_packet_id_++;
   pkt->txn = m.txn;
   pkt->chain_pos = m.chain_pos;

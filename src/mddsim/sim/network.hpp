@@ -9,6 +9,7 @@
 
 #include "mddsim/common/types.hpp"
 #include "mddsim/flow/packet.hpp"
+#include "mddsim/flow/packet_pool.hpp"
 #include "mddsim/netif/netif.hpp"
 #include "mddsim/obs/trace.hpp"
 #include "mddsim/protocol/endpoint.hpp"
@@ -65,7 +66,10 @@ class Network {
   void stage_ejection_credit(NodeId node, int vc);
 
   // --- Packet factory / measurement window. --------------------------------
+  /// Builds a packet for `m`, recycling storage through the free-list pool
+  /// (no steady-state heap allocation per packet).
   PacketPtr make_packet(const OutMsg& m, Cycle now);
+  const PacketPool& packet_pool() const { return pool_; }
   void set_measurement_window(Cycle begin, Cycle end) {
     meas_begin_ = begin;
     meas_end_ = end;
@@ -99,6 +103,7 @@ class Network {
 
   /// Flits currently buffered anywhere in the fabric (routers + ejection
   /// channels + staged) — used by drain loops and conservation tests.
+  /// O(routers + nodes): each component keeps an incremental count.
   int flits_in_network() const;
 
   /// Per-VC utilization over the run so far: for each VC index, the mean
@@ -108,6 +113,8 @@ class Network {
   std::vector<double> vc_utilization() const;
 
   /// True when every queue, buffer and engine is empty (fully drained).
+  /// Called every cycle by drain loops and the forensics watchdog, so it
+  /// runs off the incremental counters (O(nodes)), not a full VC scan.
   bool idle() const;
 
   /// Verifies flow-control conservation: for every link, credits held at
@@ -158,6 +165,7 @@ class Network {
   std::vector<CreditToNi> staged_ni_credits_;
 
   Cycle cycle_ = 0;
+  PacketPool pool_;
   PacketId next_packet_id_ = 1;
   Cycle meas_begin_ = 0;
   Cycle meas_end_ = 0;

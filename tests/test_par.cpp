@@ -1,0 +1,280 @@
+// mddsim::par — thread pool, parallel sweep determinism, and the CWG
+// hot-path rewrites (CSR adjacency, knot-memory forgetting) they rely on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "mddsim/core/cwg.hpp"
+#include "mddsim/par/sweep.hpp"
+#include "mddsim/par/thread_pool.hpp"
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+namespace {
+
+// --- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  par::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  par::ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(17, [&](std::size_t i) { sum += static_cast<int>(i); });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingleElementJobs) {
+  par::ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  par::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 42) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> ok{0};
+  pool.parallel_for(8, [&](std::size_t) { ok++; });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  par::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // single-threaded: no race
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// --- jobs resolution --------------------------------------------------------
+
+TEST(Jobs, ExplicitValueWins) {
+  EXPECT_EQ(par::default_jobs(3), 3);
+  EXPECT_GE(par::default_jobs(0), 1);
+  EXPECT_GE(par::hardware_threads(), 1);
+}
+
+TEST(Jobs, ConsumeJobsFlagParsesAndRemoves) {
+  const char* raw[] = {"prog", "--csv", "--jobs", "7", "rate=0.01"};
+  char* argv[5];
+  for (int i = 0; i < 5; ++i) argv[i] = const_cast<char*>(raw[i]);
+  int argc = 5;
+  EXPECT_EQ(par::consume_jobs_flag(argc, argv), 7);
+  EXPECT_EQ(argc, 3);
+  EXPECT_STREQ(argv[1], "--csv");
+  EXPECT_STREQ(argv[2], "rate=0.01");
+
+  const char* raw2[] = {"prog", "--jobs=2"};
+  char* argv2[2];
+  for (int i = 0; i < 2; ++i) argv2[i] = const_cast<char*>(raw2[i]);
+  int argc2 = 2;
+  EXPECT_EQ(par::consume_jobs_flag(argc2, argv2), 2);
+  EXPECT_EQ(argc2, 1);
+
+  int argc3 = 1;
+  EXPECT_EQ(par::consume_jobs_flag(argc3, argv2), 0);
+}
+
+// --- Parallel sweep determinism --------------------------------------------
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_TRUE(bits_equal(a.offered_load, b.offered_load));
+  EXPECT_TRUE(bits_equal(a.throughput, b.throughput));
+  EXPECT_TRUE(bits_equal(a.avg_packet_latency, b.avg_packet_latency));
+  EXPECT_TRUE(bits_equal(a.p50_packet_latency, b.p50_packet_latency));
+  EXPECT_TRUE(bits_equal(a.p95_packet_latency, b.p95_packet_latency));
+  EXPECT_TRUE(bits_equal(a.p99_packet_latency, b.p99_packet_latency));
+  EXPECT_TRUE(bits_equal(a.avg_txn_latency, b.avg_txn_latency));
+  EXPECT_TRUE(bits_equal(a.avg_txn_messages, b.avg_txn_messages));
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.txns_completed, b.txns_completed);
+  EXPECT_EQ(a.counters.detections, b.counters.detections);
+  EXPECT_EQ(a.counters.deflections, b.counters.deflections);
+  EXPECT_EQ(a.counters.rescues, b.counters.rescues);
+  EXPECT_EQ(a.counters.rescued_msgs, b.counters.rescued_msgs);
+  EXPECT_EQ(a.counters.retries, b.counters.retries);
+  EXPECT_EQ(a.counters.cwg_deadlocks, b.counters.cwg_deadlocks);
+  EXPECT_TRUE(bits_equal(a.normalized_deadlocks, b.normalized_deadlocks));
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+}
+
+class SweepDeterminism : public ::testing::TestWithParam<Scheme> {};
+
+// Serial (jobs=1) and parallel (jobs=4) sweeps must agree bit-for-bit in
+// every RunResult field: each point's Simulator is fully isolated, so the
+// thread that happens to run it cannot influence the outcome.
+TEST_P(SweepDeterminism, ParallelMatchesSerialBitForBit) {
+  std::vector<SimConfig> configs;
+  for (double rate : {0.004, 0.009, 0.013, 0.016}) {
+    SimConfig cfg;
+    cfg.scheme = GetParam();
+    cfg.pattern = "PAT271";
+    cfg.k = 4;
+    cfg.vcs_per_link = 8;
+    cfg.msg_queue_size = 8;
+    cfg.mshr_limit = 8;
+    cfg.injection_rate = rate;
+    cfg.warmup_cycles = 300;
+    cfg.measure_cycles = 1500;
+    configs.push_back(cfg);
+  }
+  const auto serial = par::SweepRunner(1).run(configs);
+  const auto parallel = par::SweepRunner(4).run(configs);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i));
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SweepDeterminism,
+                         ::testing::Values(Scheme::SA, Scheme::DR, Scheme::PR),
+                         [](const auto& info) {
+                           return std::string(scheme_name(info.param));
+                         });
+
+TEST(SweepRunner, PropagatesConfigErrors) {
+  SimConfig bad;
+  bad.scheme = Scheme::SA;
+  bad.pattern = "PAT271";  // chain length 3: SA needs >= 2*3 VCs
+  bad.vcs_per_link = 2;
+  bad.injection_rate = 0.005;
+  EXPECT_THROW(par::SweepRunner(4).run({bad, bad}), ConfigError);
+}
+
+// --- CSR wait-graph equivalence ---------------------------------------------
+
+// The CSR rebuild must encode exactly the graph the pre-rewrite
+// nested-vector builder produced — same rows, same per-row edge order — on
+// randomized near-saturation states where every vertex category (router
+// VCs, ejection channels, endpoint queues) contributes edges.
+TEST(CwgCsr, MatchesLegacyAdjacencyNearSaturation) {
+  for (Scheme scheme : {Scheme::PR, Scheme::DR}) {
+    SimConfig cfg;
+    cfg.scheme = scheme;
+    cfg.pattern = "PAT271";
+    cfg.k = 4;
+    cfg.vcs_per_link = 4;
+    cfg.msg_queue_size = 4;
+    cfg.mshr_limit = 4;
+    cfg.injection_rate = 0.03;  // beyond saturation
+    cfg.warmup_cycles = 1;
+    cfg.measure_cycles = 1;
+    cfg.seed = 23;
+    Simulator sim(cfg);
+    sim.run(false);
+    auto& net = sim.network();
+    auto& proto = sim.protocol();
+    CwgDetector cwg(net);
+    Rng rng(91);
+    int edges_seen = 0;
+    for (int i = 0; i < 1500; ++i) {
+      for (NodeId n = 0; n < net.num_nodes(); ++n) {
+        if (rng.next_bool(0.08) && !net.ni(n).source_full()) {
+          net.ni(n).offer_new_transaction(
+              proto.start_transaction(n, net.now()), net.now());
+        }
+      }
+      net.step();
+      if (i % 100 != 0) continue;
+      const auto csr = cwg.adjacency();
+      const auto legacy = cwg.legacy_adjacency();
+      ASSERT_EQ(csr.size(), legacy.size());
+      for (std::size_t v = 0; v < csr.size(); ++v) {
+        ASSERT_EQ(csr[v], legacy[v]) << "row " << v << " ("
+                                     << cwg.vertex_label(static_cast<int>(v))
+                                     << ") at cycle " << i;
+        edges_seen += static_cast<int>(csr[v].size());
+      }
+    }
+    EXPECT_GT(edges_seen, 0) << "saturated run produced no wait edges; the "
+                                "equivalence check never exercised the builder";
+  }
+}
+
+TEST(CwgCsr, OffsetsAreMonotoneAndDense) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.injection_rate = 0.02;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 400;
+  Simulator sim(cfg);
+  sim.run(false);
+  CwgDetector cwg(sim.network());
+  cwg.find_knots();
+  const auto& off = cwg.csr_offsets();
+  ASSERT_EQ(static_cast<int>(off.size()), cwg.num_vertices() + 1);
+  EXPECT_EQ(off.front(), 0);
+  for (std::size_t i = 1; i < off.size(); ++i) EXPECT_LE(off[i - 1], off[i]);
+  EXPECT_EQ(off.back(), static_cast<int>(cwg.csr_edges().size()));
+}
+
+// --- Knot-memory forgetting (scan() deep-copy regression) -------------------
+
+Knot make_knot(std::vector<int> vs) { return Knot{std::move(vs)}; }
+
+// A knot is counted once it persists across two scans; when it dissolves it
+// must be forgotten, so the same knot re-forming later is counted again.
+// Before the signature rewrite this relied on deep-copying the previous
+// scan's vertex sets — this pins down those exact semantics.
+TEST(KnotMemory, DissolvedKnotsAreForgottenAndRecounted) {
+  std::unordered_set<std::uint64_t> prev, counted;
+  const std::vector<Knot> k = {make_knot({3, 7, 9})};
+
+  EXPECT_EQ(update_knot_memory(k, prev, counted), 0u);  // first sighting
+  EXPECT_EQ(update_knot_memory(k, prev, counted), 1u);  // persisted: count
+  EXPECT_EQ(update_knot_memory(k, prev, counted), 0u);  // still there: once
+  EXPECT_EQ(update_knot_memory({}, prev, counted), 0u);  // dissolved: forget
+  EXPECT_TRUE(counted.empty());
+  EXPECT_EQ(update_knot_memory(k, prev, counted), 0u);  // re-formed
+  EXPECT_EQ(update_knot_memory(k, prev, counted), 1u);  // counted again
+}
+
+TEST(KnotMemory, IndependentKnotsCountSeparately) {
+  std::unordered_set<std::uint64_t> prev, counted;
+  const Knot a = make_knot({1, 2});
+  const Knot b = make_knot({5, 6, 8});
+  EXPECT_EQ(update_knot_memory({a}, prev, counted), 0u);
+  EXPECT_EQ(update_knot_memory({a, b}, prev, counted), 1u);  // a persisted
+  EXPECT_EQ(update_knot_memory({a, b}, prev, counted), 1u);  // now b did
+  // a dissolves, b persists: only a's counted entry is dropped.
+  EXPECT_EQ(update_knot_memory({b}, prev, counted), 0u);
+  EXPECT_EQ(update_knot_memory({a, b}, prev, counted), 0u);
+  EXPECT_EQ(update_knot_memory({a, b}, prev, counted), 1u);  // a recounted
+}
+
+TEST(KnotMemory, SignatureDependsOnMembersOnly) {
+  EXPECT_EQ(knot_signature({1, 2, 3}), knot_signature({1, 2, 3}));
+  EXPECT_NE(knot_signature({1, 2, 3}), knot_signature({1, 2, 4}));
+  EXPECT_NE(knot_signature({1, 2}), knot_signature({1, 2, 3}));
+  EXPECT_NE(knot_signature({}), knot_signature({0}));
+}
+
+}  // namespace
+}  // namespace mddsim
