@@ -26,14 +26,23 @@ SimConfig base_cfg() {
 /// Runs one ablation section's configs as a parallel batch (results in
 /// input order, bit-identical to a serial loop).
 std::vector<RunResult> run_batch(const std::vector<SimConfig>& configs) {
+  note_configs(configs);
   return par::SweepRunner(jobs_setting()).run(configs);
 }
+
+/// One row of the BENCH_ablation.json artifact.
+struct ArtifactRow {
+  std::string section;
+  std::string label;
+  RunResult r;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   init(argc, argv);
   const double load = saturation_rate("PAT271");  // just at saturation
+  std::vector<ArtifactRow> rows;
 
   std::printf("# Ablation (a): detection threshold T, PR, PAT271, 4 VCs\n\n");
   std::printf("| T | throughput | latency | rescues |\n|---|---|---|---|\n");
@@ -53,6 +62,8 @@ int main(int argc, char** argv) {
       std::printf("| %d | %.4f | %.1f | %llu |\n", thresholds[i],
                   rs[i].throughput, rs[i].avg_packet_latency,
                   static_cast<unsigned long long>(rs[i].counters.rescues));
+      rows.push_back({"detection_threshold", std::to_string(thresholds[i]),
+                      rs[i]});
     }
   }
 
@@ -74,6 +85,7 @@ int main(int argc, char** argv) {
       std::printf("| %d | %.4f | %.1f | %llu |\n", timeouts[i],
                   rs[i].throughput, rs[i].avg_packet_latency,
                   static_cast<unsigned long long>(rs[i].counters.rescues));
+      rows.push_back({"router_timeout", std::to_string(timeouts[i]), rs[i]});
     }
   }
 
@@ -99,6 +111,8 @@ int main(int argc, char** argv) {
                   scheme_name(styles[i]).data(), r.throughput,
                   r.avg_packet_latency, r.avg_txn_messages,
                   static_cast<unsigned long long>(events));
+      rows.push_back({"recovery_style",
+                      std::string(scheme_name(styles[i])), r});
     }
   }
 
@@ -125,6 +139,10 @@ int main(int argc, char** argv) {
       std::printf("| SA | %d | %s | %.4f | %.1f |\n", cases[i].vcs,
                   cases[i].shared ? "shared[21]" : "partitioned",
                   rs[i].throughput, rs[i].avg_packet_latency);
+      rows.push_back({"shared_adaptive",
+                      std::to_string(cases[i].vcs) +
+                          (cases[i].shared ? "/shared" : "/partitioned"),
+                      rs[i]});
     }
   }
 
@@ -156,6 +174,7 @@ int main(int argc, char** argv) {
       std::printf("| %s | %.4f | %.1f | %llu |\n", modes[i].name,
                   rs[i].throughput, rs[i].avg_packet_latency,
                   static_cast<unsigned long long>(rs[i].counters.rescues));
+      rows.push_back({"detection_mechanism", modes[i].name, rs[i]});
     }
   }
 
@@ -179,6 +198,7 @@ int main(int argc, char** argv) {
       std::printf("| %d | %.4f | %.1f | %llu |\n", token_counts[i],
                   rs[i].throughput, rs[i].avg_packet_latency,
                   static_cast<unsigned long long>(rs[i].counters.rescues));
+      rows.push_back({"num_tokens", std::to_string(token_counts[i]), rs[i]});
     }
   }
 
@@ -191,15 +211,19 @@ int main(int argc, char** argv) {
     // Needs the live Network after the run (vc_utilization), so this
     // section drives Simulators directly on the thread pool.
     std::vector<std::vector<double>> utils(util_schemes.size());
+    std::vector<SimConfig> cfgs(util_schemes.size());
+    for (std::size_t i = 0; i < util_schemes.size(); ++i) {
+      cfgs[i] = base_cfg();
+      cfgs[i].scheme = util_schemes[i];
+      cfgs[i].pattern = "PAT271";
+      cfgs[i].vcs_per_link = 8;
+      cfgs[i].injection_rate = load;
+    }
+    note_configs(cfgs);
     par::ThreadPool pool(std::min(par::default_jobs(jobs_setting()),
                                   static_cast<int>(util_schemes.size())));
     pool.parallel_for(util_schemes.size(), [&](std::size_t i) {
-      SimConfig cfg = base_cfg();
-      cfg.scheme = util_schemes[i];
-      cfg.pattern = "PAT271";
-      cfg.vcs_per_link = 8;
-      cfg.injection_rate = load;
-      Simulator sim(cfg);
+      Simulator sim(cfgs[i]);
       sim.run(false);
       utils[i] = sim.network().vc_utilization();
     });
@@ -234,7 +258,22 @@ int main(int argc, char** argv) {
       std::printf("| %d | %.4f | %.1f | %llu |\n", qsizes[i], rs[i].throughput,
                   rs[i].avg_packet_latency,
                   static_cast<unsigned long long>(rs[i].counters.rescues));
+      rows.push_back({"queue_size", std::to_string(qsizes[i]), rs[i]});
     }
   }
+
+  write_bench_json("ablation", [&](JsonWriter& w) {
+    w.key("rows").begin_array();
+    for (const ArtifactRow& row : rows) {
+      w.begin_object();
+      w.kv("section", row.section);
+      w.kv("label", row.label);
+      w.kv("throughput", row.r.throughput);
+      w.kv("avg_packet_latency", row.r.avg_packet_latency);
+      w.kv("rescues", row.r.counters.rescues);
+      w.end_object();
+    }
+    w.end_array();
+  });
   return 0;
 }

@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   mddsim::bench::init(argc, argv);
   mddsim::bench::run_figure("Figure 10", 16,
-                            {"PAT721", "PAT451", "PAT271", "PAT280"});
+                            {"PAT721", "PAT451", "PAT271", "PAT280"},
+                            "fig10_vc16");
   return 0;
 }

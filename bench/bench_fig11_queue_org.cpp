@@ -32,5 +32,6 @@ int main(int argc, char** argv) {
   series[3].label = "PR-shared";
   series[4].label = "PR-QA";
   print_panel(pat, series, loads);
+  write_bench_json("fig11_queue_org", series);
   return 0;
 }

@@ -25,12 +25,16 @@ int main(int argc, char** argv) {
     Histogram h{0.0, 1.0, 1};  // replaced by the run's real histogram
   };
   std::vector<AppOut> out(apps.size());
+  std::vector<SimConfig> cfgs(apps.size());
+  for (auto& cfg : cfgs) {
+    cfg = SimConfig::application_defaults();
+    cfg.scheme = Scheme::PR;
+  }
+  bench::note_configs(cfgs);
   par::ThreadPool pool(std::min(par::default_jobs(bench::jobs_setting()),
                                 static_cast<int>(apps.size())));
   pool.parallel_for(apps.size(), [&](std::size_t i) {
-    SimConfig cfg = SimConfig::application_defaults();
-    cfg.scheme = Scheme::PR;
-    AppSimulation sim(cfg, AppModel::by_name(apps[i]));
+    AppSimulation sim(cfgs[i], AppModel::by_name(apps[i]));
     out[i].r = sim.run(dur);
     out[i].h = sim.metrics().load_histogram().histogram();
   });
@@ -50,5 +54,18 @@ int main(int argc, char** argv) {
                               '#').c_str());
     }
   }
+  bench::write_bench_json("fig6_load_distributions", [&](JsonWriter& w) {
+    w.key("apps").begin_array();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      const AppRunResult& r = out[i].r;
+      w.begin_object();
+      w.kv("app", apps[i]);
+      w.kv("mean_load", r.mean_load);
+      w.kv("max_load", r.max_load);
+      w.kv("frac_under_5pct", r.frac_under_5pct);
+      w.end_object();
+    }
+    w.end_array();
+  });
   return 0;
 }

@@ -8,6 +8,7 @@
 int main(int argc, char** argv) {
   mddsim::bench::init(argc, argv);
   mddsim::bench::run_figure(
-      "Figure 8", 4, {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"});
+      "Figure 8", 4, {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"},
+      "fig8_vc4");
   return 0;
 }

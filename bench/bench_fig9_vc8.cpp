@@ -5,6 +5,7 @@
 int main(int argc, char** argv) {
   mddsim::bench::init(argc, argv);
   mddsim::bench::run_figure(
-      "Figure 9", 8, {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"});
+      "Figure 9", 8, {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"},
+      "fig9_vc8");
   return 0;
 }

@@ -8,8 +8,15 @@
 //      hardware concurrency), with a field-by-field bit-identity check
 //      between the two result sets.
 //
+//   3. observability overhead — the first single-thread config rerun with
+//      the metrics registry + phase profiler attached, A/B against the
+//      plain run (same process, back to back).  The obs run's RunResult
+//      must be bit-identical to the plain run's: observation never perturbs
+//      simulation.
+//
 // Results go to stdout (markdown) and to BENCH_perf.json in the working
-// directory so CI can archive them.
+// directory so CI can archive them; the obs run also writes its registry
+// (BENCH_perf_metrics.json) and phase profile (BENCH_perf_profile.json).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -135,7 +142,13 @@ int main(int argc, char** argv) {
   std::vector<SingleOut> singles;
   std::printf("## Single-thread throughput\n\n");
   std::printf("| config | cycles | wall (s) | Mcycles/s |\n|---|---|---|---|\n");
-  for (const SingleThreadCase& c : single_thread_cases()) {
+  const std::vector<SingleThreadCase> cases = single_thread_cases();
+  {
+    std::vector<SimConfig> cfgs;
+    for (const SingleThreadCase& c : cases) cfgs.push_back(c.cfg);
+    note_configs(cfgs);
+  }
+  for (const SingleThreadCase& c : cases) {
     // One untimed run warms allocator pools and caches.
     { Simulator warm(c.cfg); warm.run(false); }
     const auto t0 = std::chrono::steady_clock::now();
@@ -148,8 +161,50 @@ int main(int argc, char** argv) {
                 static_cast<double>(r.cycles_run) / secs / 1e6);
   }
 
-  // --- 2. Serial vs parallel sweep. ----------------------------------------
+  // --- 2. Observability overhead (registry + profiler attached). -----------
+  // Re-time the first config plain, then with metrics + profiling on, back
+  // to back so both runs see the same machine state.
+  const SimConfig base_cfg = cases.front().cfg;
+  SimConfig obs_cfg = base_cfg;
+  obs_cfg.metrics = true;
+  obs_cfg.metrics_epoch = 1000;
+  obs_cfg.profile = true;
+  note_configs({obs_cfg});
+  const auto tb = std::chrono::steady_clock::now();
+  RunResult plain_r;
+  { Simulator sim(base_cfg); plain_r = sim.run(false); }
+  const double plain_secs = seconds_since(tb);
+  const auto to = std::chrono::steady_clock::now();
+  Simulator obs_sim(obs_cfg);
+  const RunResult obs_r = obs_sim.run(false);
+  const double obs_secs = seconds_since(to);
+  const double obs_overhead = obs_secs / plain_secs - 1.0;
+  const bool obs_identical = identical(plain_r, obs_r);
+  std::printf("\n## Observability overhead (%s, metrics_epoch=1000, "
+              "profile on)\n\n", cases.front().name);
+  std::printf("| mode | wall (s) | Mcycles/s |\n|---|---|---|\n");
+  std::printf("| plain | %.3f | %.3f |\n", plain_secs,
+              static_cast<double>(plain_r.cycles_run) / plain_secs / 1e6);
+  std::printf("| metrics+profile | %.3f | %.3f |\n", obs_secs,
+              static_cast<double>(obs_r.cycles_run) / obs_secs / 1e6);
+  std::printf("\noverhead: %+.2f%% (target < 2%%); results bit-identical: %s\n",
+              100.0 * obs_overhead, obs_identical ? "yes" : "NO");
+  {
+    std::ofstream os("BENCH_perf_metrics.json");
+    const obs::RunProvenance prov = obs::make_provenance(obs_cfg, 1, obs_secs);
+    obs_sim.registry()->write_json(os, &prov);
+    os << "\n";
+  }
+  {
+    std::ofstream os("BENCH_perf_profile.json");
+    obs_sim.profiler()->write_json(os);
+  }
+  std::fprintf(stderr,
+               "[perf] wrote BENCH_perf_metrics.json, BENCH_perf_profile.json\n");
+
+  // --- 3. Serial vs parallel sweep. ----------------------------------------
   const std::vector<SimConfig> points = sweep_points();
+  note_configs(points);
   const auto ts = std::chrono::steady_clock::now();
   const std::vector<RunResult> serial = par::SweepRunner(1).run(points);
   const double serial_secs = seconds_since(ts);
@@ -172,25 +227,34 @@ int main(int argc, char** argv) {
               bit_identical ? "yes" : "NO");
 
   // --- JSON artifact for CI. ------------------------------------------------
-  std::ofstream os("BENCH_perf.json");
-  os << "{\n  \"single_thread\": [\n";
-  for (std::size_t i = 0; i < singles.size(); ++i) {
-    const SingleOut& s = singles[i];
-    os << "    {\"config\": \"" << s.name << "\", \"cycles\": " << s.cycles
-       << ", \"seconds\": " << s.seconds << ", \"cycles_per_sec\": "
-       << static_cast<double>(s.cycles) / s.seconds << "}"
-       << (i + 1 < singles.size() ? "," : "") << "\n";
-  }
-  os << "  ],\n  \"sweep\": {\"points\": " << points.size()
-     << ", \"serial_seconds\": " << serial_secs
-     << ", \"parallel_seconds\": " << parallel_secs
-     << ", \"jobs\": " << jobs
-     << ", \"hardware_threads\": " << par::hardware_threads()
-     << ", \"speedup\": " << serial_secs / parallel_secs
-     << ", \"bit_identical\": " << (bit_identical ? "true" : "false")
-     << "}\n}\n";
-  os.close();
-  std::fprintf(stderr, "[perf] wrote BENCH_perf.json\n");
+  write_bench_json("perf", [&](JsonWriter& w) {
+    w.key("single_thread").begin_array();
+    for (const SingleOut& s : singles) {
+      w.begin_object();
+      w.kv("config", s.name);
+      w.kv("cycles", s.cycles);
+      w.kv("seconds", s.seconds);
+      w.kv("cycles_per_sec", static_cast<double>(s.cycles) / s.seconds);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("obs_overhead").begin_object();
+    w.kv("config", cases.front().name);
+    w.kv("plain_seconds", plain_secs);
+    w.kv("obs_seconds", obs_secs);
+    w.kv("overhead_frac", obs_overhead);
+    w.kv("bit_identical", obs_identical);
+    w.end_object();
+    w.key("sweep").begin_object();
+    w.kv("points", static_cast<std::uint64_t>(points.size()));
+    w.kv("serial_seconds", serial_secs);
+    w.kv("parallel_seconds", parallel_secs);
+    w.kv("jobs", jobs);
+    w.kv("hardware_threads", par::hardware_threads());
+    w.kv("speedup", serial_secs / parallel_secs);
+    w.kv("bit_identical", bit_identical);
+    w.end_object();
+  });
 
-  return bit_identical ? 0 : 1;
+  return bit_identical && obs_identical ? 0 : 1;
 }

@@ -24,13 +24,17 @@ int main(int argc, char** argv) {
                                   {"Water", 15.2, 50.1, 34.7}};
 
   // Independent application runs: fan out, then print rows in table order.
+  std::vector<SimConfig> cfgs(paper.size());
+  for (auto& cfg : cfgs) {
+    cfg = SimConfig::application_defaults();
+    cfg.scheme = Scheme::PR;
+  }
+  bench::note_configs(cfgs);
   std::vector<AppRunResult> results(paper.size());
   par::ThreadPool pool(std::min(par::default_jobs(bench::jobs_setting()),
                                 static_cast<int>(paper.size())));
   pool.parallel_for(paper.size(), [&](std::size_t i) {
-    SimConfig cfg = SimConfig::application_defaults();
-    cfg.scheme = Scheme::PR;
-    AppSimulation sim(cfg, AppModel::by_name(paper[i].app));
+    AppSimulation sim(cfgs[i], AppModel::by_name(paper[i].app));
     results[i] = sim.run(dur, warm);
   });
 
@@ -45,5 +49,18 @@ int main(int argc, char** argv) {
                 100 * r.responses.invalidation_frac(),
                 100 * r.responses.forwarding_frac(), row.d, row.i, row.f);
   }
+  bench::write_bench_json("table1", [&](mddsim::JsonWriter& w) {
+    w.key("rows").begin_array();
+    for (std::size_t i = 0; i < paper.size(); ++i) {
+      const AppRunResult& r = results[i];
+      w.begin_object();
+      w.kv("app", paper[i].app);
+      w.kv("direct_frac", r.responses.direct_frac());
+      w.kv("invalidation_frac", r.responses.invalidation_frac());
+      w.kv("forwarding_frac", r.responses.forwarding_frac());
+      w.end_object();
+    }
+    w.end_array();
+  });
   return 0;
 }

@@ -11,12 +11,20 @@
 // (or set MDDSIM_JOBS) to pick the worker count; `--jobs 1` is the legacy
 // serial path and produces bit-identical tables.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "mddsim/common/assert.hpp"
+#include "mddsim/common/json.hpp"
+#include "mddsim/obs/progress.hpp"
+#include "mddsim/obs/provenance.hpp"
 #include "mddsim/par/sweep.hpp"
 #include "mddsim/sim/simulator.hpp"
 
@@ -37,12 +45,61 @@ inline int& jobs_setting() {
   return jobs;
 }
 
-/// Common bench argv handling: consumes `--jobs N` and rejects anything
-/// else so a typo'd flag cannot silently run the wrong experiment.
+/// Live sweep-progress mode for this bench process (set by init() from
+/// `--progress[=human|jsonl]`; Off by default — CI logs stay clean).
+inline obs::ProgressMode& progress_setting() {
+  static obs::ProgressMode mode = obs::ProgressMode::Off;
+  return mode;
+}
+
+/// Wall-clock start of the bench process, anchored at the first call
+/// (init() calls it, so effectively process start).
+inline std::chrono::steady_clock::time_point bench_start() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+inline double bench_elapsed_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       bench_start())
+      .count();
+}
+
+/// Every SimConfig this process ran, in submission order — the provenance
+/// batch hash in BENCH_*.json commits to all of them.
+inline std::vector<SimConfig>& provenance_configs() {
+  static std::vector<SimConfig> configs;
+  return configs;
+}
+
+inline void note_configs(const std::vector<SimConfig>& configs) {
+  provenance_configs().insert(provenance_configs().end(), configs.begin(),
+                              configs.end());
+}
+
+/// Common bench argv handling: consumes `--jobs N` and
+/// `--progress[=human|jsonl]`, rejects anything else so a typo'd flag
+/// cannot silently run the wrong experiment.
 inline void init(int& argc, char** argv) {
+  bench_start();
   jobs_setting() = par::consume_jobs_flag(argc, argv);
+  for (int i = 1; i < argc;) {
+    if (std::strcmp(argv[i], "--progress") == 0 ||
+        std::strcmp(argv[i], "--progress=human") == 0) {
+      progress_setting() = obs::ProgressMode::Human;
+    } else if (std::strcmp(argv[i], "--progress=jsonl") == 0) {
+      progress_setting() = obs::ProgressMode::Jsonl;
+    } else {
+      ++i;
+      continue;
+    }
+    for (int k = i; k + 1 < argc; ++k) argv[k] = argv[k + 1];
+    --argc;
+  }
   if (argc > 1) {
-    std::fprintf(stderr, "unknown argument: %s (supported: --jobs N)\n",
+    std::fprintf(stderr,
+                 "unknown argument: %s (supported: --jobs N, "
+                 "--progress[=human|jsonl])\n",
                  argv[1]);
     std::exit(2);
   }
@@ -126,8 +183,13 @@ inline std::vector<SweepSeries> run_series_batch(
       owner.push_back(i);
     }
   }
+  note_configs(points);
+  obs::SweepProgress progress(progress_setting(), std::cerr);
   const std::vector<RunResult> results =
-      par::SweepRunner(jobs_setting()).run(points);
+      par::SweepRunner(jobs_setting())
+          .run(points, false,
+               progress_setting() == obs::ProgressMode::Off ? nullptr
+                                                            : &progress);
   for (std::size_t p = 0; p < results.size(); ++p) {
     series[owner[p]].points.push_back(results[p]);
   }
@@ -205,11 +267,73 @@ inline void print_panel(const std::string& title,
   }
 }
 
+/// Writes `BENCH_<name>.json`: schema version, the batch provenance
+/// manifest covering every config this process ran, then whatever members
+/// `payload` emits into the open top-level object.
+template <typename PayloadFn,
+          typename = std::enable_if_t<std::is_invocable_v<PayloadFn&, JsonWriter&>>>
+inline void write_bench_json(const std::string& name, PayloadFn&& payload) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "[bench] error: cannot write %s\n", path.c_str());
+    return;
+  }
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("bench", name);
+  w.key("provenance");
+  obs::write_provenance(
+      w, obs::make_batch_provenance(provenance_configs(),
+                                    par::default_jobs(jobs_setting()),
+                                    bench_elapsed_seconds()));
+  payload(w);
+  w.end_object();
+  os << "\n";
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
+/// Series-shaped payload: the common case for the figure benches.
+inline void write_bench_json(const std::string& name,
+                             const std::vector<SweepSeries>& series) {
+  write_bench_json(name, [&](JsonWriter& w) {
+    w.key("series").begin_array();
+    for (const SweepSeries& s : series) {
+      w.begin_object();
+      w.kv("label", s.label);
+      w.kv("feasible", s.feasible);
+      if (!s.feasible) w.kv("note", s.note);
+      w.key("loads").begin_array();
+      for (double load : s.loads) w.value(load);
+      w.end_array();
+      w.key("points").begin_array();
+      for (const RunResult& r : s.points) {
+        w.begin_object();
+        w.kv("offered_load", r.offered_load);
+        w.kv("throughput", r.throughput);
+        w.kv("avg_packet_latency", r.avg_packet_latency);
+        w.kv("avg_txn_latency", r.avg_txn_latency);
+        w.kv("rescues", r.counters.rescues);
+        w.kv("deflections", r.counters.deflections);
+        w.kv("retries", r.counters.retries);
+        w.kv("cwg_deadlocks", r.counters.cwg_deadlocks);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  });
+}
+
 /// Runs one whole figure (a set of patterns at a fixed VC count) as a
 /// single batch: every (scheme, pattern, load) point of the figure runs
-/// concurrently under the SweepRunner.
+/// concurrently under the SweepRunner.  When `artifact` is non-null the
+/// figure's series are also written to BENCH_<artifact>.json.
 inline void run_figure(const char* figure, int vcs,
-                       const std::vector<std::string>& patterns) {
+                       const std::vector<std::string>& patterns,
+                       const char* artifact = nullptr) {
   std::printf("# %s — 8x8 bidirectional torus, %d virtual channels%s\n",
               figure, vcs,
               full_mode() ? " (paper-scale runs)" : " (reduced runs; "
@@ -220,12 +344,18 @@ inline void run_figure(const char* figure, int vcs,
       specs.push_back(SeriesSpec{s, pat, vcs, QueueOrg::Shared, {}});
     }
   }
-  const std::vector<SweepSeries> all = run_series_batch(specs);
+  std::vector<SweepSeries> all = run_series_batch(specs);
   for (std::size_t p = 0; p < patterns.size(); ++p) {
-    const std::vector<SweepSeries> panel(all.begin() + 3 * p,
-                                         all.begin() + 3 * (p + 1));
+    // Disambiguate the per-panel scheme labels for the JSON artifact.
+    for (std::size_t s = 3 * p; s < 3 * (p + 1); ++s) {
+      all[s].label += "/" + patterns[p];
+    }
+    std::vector<SweepSeries> panel(all.begin() + 3 * p,
+                                   all.begin() + 3 * (p + 1));
+    for (auto& s : panel) s.label = s.label.substr(0, s.label.find('/'));
     print_panel(patterns[p], panel, load_grid(patterns[p]));
   }
+  if (artifact) write_bench_json(artifact, all);
 }
 
 }  // namespace mddsim::bench

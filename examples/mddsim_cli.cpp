@@ -17,11 +17,20 @@
 //     --heatmap-out FILE sample congestion telemetry, write heatmap CSV
 //     --forensics-dir D  dump wait-graph DOT + occupancy + manifest into D
 //                        when a deadlock knot persists or the watchdog trips
+//     --metrics-out FILE attach the metrics registry and export it: files
+//                        ending in .prom/.txt get Prometheus text format,
+//                        anything else structured JSON with provenance
+//     --profile          attach the phase profiler, print the per-phase
+//                        breakdown to stderr after the run
+//     --profile-out FILE like --profile but write the JSON profile to FILE
+//     --progress[=MODE]  live sweep progress on stderr (MODE: human, jsonl)
 //
 //   mddsim_cli scheme=PR pattern=PAT271 vcs=4 rate=0.012
 //   mddsim_cli --csv scheme=DR pattern=PAT721 rate=0.008 seed=7
 //   mddsim_cli --trace-out run.trace.json scheme=PR rate=0.014 measure=4000
+//   mddsim_cli --metrics-out run.prom --profile scheme=PR rate=0.012
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +41,10 @@
 
 #include "mddsim/common/config_parse.hpp"
 #include "mddsim/obs/forensics.hpp"
+#include "mddsim/obs/profile.hpp"
+#include "mddsim/obs/progress.hpp"
+#include "mddsim/obs/provenance.hpp"
+#include "mddsim/obs/registry.hpp"
 #include "mddsim/obs/telemetry.hpp"
 #include "mddsim/obs/trace.hpp"
 #include "mddsim/par/sweep.hpp"
@@ -45,9 +58,12 @@ namespace {
 void print_help() {
   std::printf("usage: mddsim_cli [--help] [--config FILE] [--drain] "
               "[--csv|--json] [--print-config]\n"
-              "                  [--sweep R1,R2,...] [--jobs N]\n"
+              "                  [--sweep R1,R2,...] [--jobs N] "
+              "[--progress[=human|jsonl]]\n"
               "                  [--trace-out FILE] [--heatmap-out FILE] "
-              "[--forensics-dir DIR] [key=value ...]\n\n"
+              "[--forensics-dir DIR]\n"
+              "                  [--metrics-out FILE] [--profile] "
+              "[--profile-out FILE] [key=value ...]\n\n"
               "configuration keys:\n");
   for (const auto& k : known_keys()) {
     std::printf("  %-16s %s\n", std::string(k.key).c_str(),
@@ -80,7 +96,9 @@ std::vector<double> parse_rate_list(const std::string& list) {
 int main(int argc, char** argv) {
   SimConfig cfg;
   bool drain = false, csv = false, json = false, print_cfg = false;
-  std::string trace_out, heatmap_out, forensics_dir;
+  bool profile_report = false;
+  std::string trace_out, heatmap_out, forensics_dir, metrics_out, profile_out;
+  obs::ProgressMode progress_mode = obs::ProgressMode::Off;
   std::vector<double> sweep_rates;
   int jobs = par::consume_jobs_flag(argc, argv);
 
@@ -115,6 +133,23 @@ int main(int argc, char** argv) {
           throw ConfigError("--forensics-dir needs a directory argument");
         forensics_dir = argv[i];
         cfg.forensics = true;
+      } else if (arg == "--metrics-out") {
+        if (++i >= argc)
+          throw ConfigError("--metrics-out needs a file argument");
+        metrics_out = argv[i];
+        cfg.metrics = true;
+      } else if (arg == "--profile") {
+        profile_report = true;
+        cfg.profile = true;
+      } else if (arg == "--profile-out") {
+        if (++i >= argc)
+          throw ConfigError("--profile-out needs a file argument");
+        profile_out = argv[i];
+        cfg.profile = true;
+      } else if (arg == "--progress" || arg == "--progress=human") {
+        progress_mode = obs::ProgressMode::Human;
+      } else if (arg == "--progress=jsonl") {
+        progress_mode = obs::ProgressMode::Jsonl;
       } else if (arg == "--config") {
         if (++i >= argc) throw ConfigError("--config needs a file argument");
         std::ifstream is(argv[i]);
@@ -126,10 +161,17 @@ int main(int argc, char** argv) {
     }
     cfg.validate();
     if (!sweep_rates.empty() &&
-        (!trace_out.empty() || !heatmap_out.empty() || !forensics_dir.empty())) {
+        (!trace_out.empty() || !heatmap_out.empty() || !forensics_dir.empty() ||
+         !metrics_out.empty() || cfg.profile)) {
       throw ConfigError(
           "--sweep cannot be combined with --trace-out / --heatmap-out / "
-          "--forensics-dir (observability artifacts are per-run)");
+          "--forensics-dir / --metrics-out / --profile (observability "
+          "artifacts are per-run)");
+    }
+    if (progress_mode != obs::ProgressMode::Off && sweep_rates.empty()) {
+      std::fprintf(stderr,
+                   "warning: --progress is only meaningful with --sweep\n");
+      progress_mode = obs::ProgressMode::Off;
     }
   } catch (const ConfigError& e) {
     std::fprintf(stderr, "error: %s\n(use --help for the key list)\n",
@@ -153,14 +195,25 @@ int main(int argc, char** argv) {
       configs.push_back(point);
     }
     const par::SweepRunner runner(jobs);
-    const std::vector<RunResult> results = runner.run(configs, drain);
+    obs::SweepProgress progress(progress_mode, std::cerr);
+    const auto sweep_start = std::chrono::steady_clock::now();
+    const std::vector<RunResult> results = runner.run(
+        configs, drain,
+        progress_mode == obs::ProgressMode::Off ? nullptr : &progress);
+    const double sweep_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
     const std::string label = std::string(scheme_name(cfg.scheme)) + "/" +
                               cfg.pattern;
     if (csv) {
       write_csv_header(std::cout);
       for (const RunResult& r : results) write_csv_row(std::cout, label, r);
     } else if (json) {
-      for (const RunResult& r : results) write_json(std::cout, label, r);
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        write_json(std::cout, label, results[i],
+                   obs::make_provenance(configs[i], runner.jobs(), sweep_wall));
+      }
     } else {
       std::printf("%s  vcs=%d  sweep over %zu rates (%d jobs)\n",
                   label.c_str(), cfg.vcs_per_link, results.size(),
@@ -179,7 +232,13 @@ int main(int argc, char** argv) {
   }
 
   Simulator sim(cfg);
+  const auto run_start = std::chrono::steady_clock::now();
   RunResult r = sim.run(drain);
+  const double run_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start)
+          .count();
+  const obs::RunProvenance prov = obs::make_provenance(cfg, 1, run_wall);
   const std::string label = std::string(scheme_name(cfg.scheme)) + "/" +
                             cfg.pattern;
 
@@ -215,6 +274,43 @@ int main(int argc, char** argv) {
                  sim.telemetry()->samples().size(), cfg.telemetry_epoch,
                  heatmap_out.c_str());
   }
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+      return 3;
+    }
+    const bool prom_text =
+        metrics_out.size() >= 5 &&
+        (metrics_out.rfind(".prom") == metrics_out.size() - 5 ||
+         metrics_out.rfind(".txt") == metrics_out.size() - 4);
+    if (prom_text) {
+      sim.registry()->write_prometheus(os);
+    } else {
+      sim.registry()->write_json(os, &prov);
+    }
+    std::fprintf(stderr, "[obs] %zu metrics (%s) -> %s\n",
+                 sim.registry()->num_metrics(),
+                 prom_text ? "prometheus" : "json", metrics_out.c_str());
+  }
+  if (cfg.profile) {
+    if (!obs::PhaseProfiler::compiled_in()) {
+      std::fprintf(stderr,
+                   "warning: built with MDDSIM_PROF=OFF; profile is empty\n");
+    }
+    if (!profile_out.empty()) {
+      std::ofstream os(profile_out);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n", profile_out.c_str());
+        return 3;
+      }
+      sim.profiler()->write_json(os);
+      std::fprintf(stderr, "[obs] phase profile -> %s\n", profile_out.c_str());
+    }
+    if (profile_report) {
+      std::fputs(sim.profiler()->report().c_str(), stderr);
+    }
+  }
   if (!forensics_dir.empty()) {
     for (const ForensicsReport& rep : sim.forensics_reports()) {
       if (!Forensics::write_dir(rep, forensics_dir)) {
@@ -237,7 +333,7 @@ int main(int argc, char** argv) {
     write_csv_header(std::cout);
     write_csv_row(std::cout, label, r);
   } else if (json) {
-    write_json(std::cout, label, r);
+    write_json(std::cout, label, r, prov);
   } else {
     std::printf("%s  vcs=%d  load=%.5f\n", label.c_str(), cfg.vcs_per_link,
                 r.offered_load);

@@ -105,6 +105,9 @@ const std::vector<ConfigKey>& known_keys() {
       {"telemetry_epoch", "congestion-sampling period (cycles, 0 = off)"},
       {"forensics", "capture deadlock-forensics reports (0/1)"},
       {"watchdog", "zero-progress cycles before a forensics dump (0 = off)"},
+      {"metrics", "attach the metrics registry (0/1)"},
+      {"metrics_epoch", "registry time-series period (cycles, 0 = final only)"},
+      {"profile", "attach the phase profiler (0/1)"},
       {"seed", "random seed"},
       {"warmup", "warmup cycles"},
       {"measure", "measurement cycles"},
@@ -160,6 +163,9 @@ void apply_config_option(SimConfig& cfg, std::string_view assignment) {
     cfg.telemetry_epoch = parse_int(key, val);
   else if (key == "forensics") cfg.forensics = parse_bool(key, val);
   else if (key == "watchdog") cfg.watchdog_cycles = parse_int(key, val);
+  else if (key == "metrics") cfg.metrics = parse_bool(key, val);
+  else if (key == "metrics_epoch") cfg.metrics_epoch = parse_int(key, val);
+  else if (key == "profile") cfg.profile = parse_bool(key, val);
   else if (key == "seed")
     cfg.seed = static_cast<std::uint64_t>(parse_double(key, val));
   else if (key == "warmup")
@@ -239,6 +245,9 @@ std::string config_to_string(const SimConfig& cfg) {
      << "telemetry_epoch=" << cfg.telemetry_epoch << "\n"
      << "forensics=" << (cfg.forensics ? 1 : 0) << "\n"
      << "watchdog=" << cfg.watchdog_cycles << "\n"
+     << "metrics=" << (cfg.metrics ? 1 : 0) << "\n"
+     << "metrics_epoch=" << cfg.metrics_epoch << "\n"
+     << "profile=" << (cfg.profile ? 1 : 0) << "\n"
      << "seed=" << cfg.seed << "\n"
      << "warmup=" << cfg.warmup_cycles << "\n"
      << "measure=" << cfg.measure_cycles << "\n"

@@ -1,0 +1,120 @@
+#include "mddsim/common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace mddsim {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) os_ << ',';
+    first_.back() = 0;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  os_ << '{';
+  first_.push_back(1);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  os_ << '}';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  os_ << '[';
+  first_.push_back(1);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  os_ << ']';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!first_.empty()) {
+    if (!first_.back()) os_ << ',';
+    first_.back() = 0;
+  }
+  os_ << '"' << json_escape(k) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  pre_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+  } else {
+    os_ << v;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view text) {
+  pre_value();
+  os_ << text;
+  return *this;
+}
+
+}  // namespace mddsim

@@ -1,0 +1,82 @@
+#pragma once
+// Shared streaming JSON emission (mddsim::common).
+//
+// Three subsystems emit JSON by hand — run reports, Chrome trace export,
+// and the metrics-registry exporter — and each used to duplicate escaping
+// and comma bookkeeping.  JsonWriter centralizes both: it is a thin
+// state machine over an ostream (no DOM, no allocation per value) that
+// tracks, per nesting level, whether a separator is due.  Numbers are
+// written with the stream's default formatting, so output is stable
+// against the hand-rolled emitters it replaced ("0.25", not "2.5e-01").
+//
+//   JsonWriter w(os);
+//   w.begin_object();
+//   w.kv("label", "PR/PAT271");
+//   w.kv("throughput", 0.25);
+//   w.key("points").begin_array().value(1).value(2).end_array();
+//   w.end_object();
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mddsim {
+
+/// JSON string-literal escaping (backslash, quote, control characters) —
+/// applied to every string JsonWriter emits.
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member name; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) {
+    return value(std::string_view(v));
+  }
+  /// Non-finite doubles become null (JSON has no NaN/Inf literals).
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(bool v);
+  /// Emits `text` verbatim as one value — caller guarantees valid JSON.
+  JsonWriter& raw(std::string_view text);
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(static_cast<T&&>(v));
+  }
+
+  /// Nesting depth (0 at top level) — lets callers assert balance.
+  std::size_t depth() const { return first_.size(); }
+
+ private:
+  /// Separator bookkeeping before any value/container in the current
+  /// context; a value directly after key() never takes a comma.
+  void pre_value();
+
+  std::ostream& os_;
+  std::vector<char> first_;  ///< per level: no element emitted yet
+  bool after_key_ = false;
+};
+
+}  // namespace mddsim

@@ -420,7 +420,11 @@ std::vector<std::pair<NodeId, int>> CwgDetector::input_queue_members(
 }
 
 std::uint64_t CwgDetector::scan() {
-  return update_knot_memory(find_knots(), prev_knots_, counted_);
+  ++scans_;
+  const std::uint64_t found =
+      update_knot_memory(find_knots(), prev_knots_, counted_);
+  knots_found_ += found;
+  return found;
 }
 
 }  // namespace mddsim

@@ -69,6 +69,11 @@ class CwgDetector {
   /// Number of vertices in the graph (for tests).
   int num_vertices() const { return num_vertices_; }
 
+  /// scan() invocations / total new deadlocks counted over the detector's
+  /// lifetime — exported as core.cwg.scans / core.cwg.knots_found.
+  std::uint64_t scans() const { return scans_; }
+  std::uint64_t knots_found() const { return knots_found_; }
+
   /// Snapshot of the current wait-for graph's adjacency (vertex → blocked-on
   /// vertices).  Cold path: used by obs::Forensics for post-mortem export.
   std::vector<std::vector<int>> adjacency() const;
@@ -134,6 +139,8 @@ class CwgDetector {
 
   std::unordered_set<std::uint64_t> prev_knots_;
   std::unordered_set<std::uint64_t> counted_;
+  std::uint64_t scans_ = 0;
+  std::uint64_t knots_found_ = 0;
 };
 
 }  // namespace mddsim

@@ -112,6 +112,7 @@ void RecoveryEngine::step(Cycle now) {
 
 void RecoveryEngine::advance_token(Cycle now) {
   token_stop_ = (token_stop_ + 1) % num_stops();
+  ++token_moves_;
   try_capture(now);
 }
 

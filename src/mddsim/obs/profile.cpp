@@ -1,0 +1,99 @@
+#include "mddsim/obs/profile.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "mddsim/common/json.hpp"
+
+namespace mddsim::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::TrafficGen: return "traffic_gen";
+    case Phase::ProtocolStep: return "protocol_step";
+    case Phase::CwgScan: return "cwg_scan";
+    case Phase::TokenHandling: return "token_handling";
+    case Phase::NiInject: return "ni_inject";
+    case Phase::RouterStep: return "router_step";
+    case Phase::RouteCompute: return "route_compute";
+    case Phase::VcAlloc: return "vc_alloc";
+    case Phase::SwitchAlloc: return "switch_alloc";
+    case Phase::LinkTraversal: return "link_traversal";
+    case Phase::MetricsCollect: return "metrics_collect";
+  }
+  return "unknown";
+}
+
+PhaseProfiler::PhaseProfiler(Cycle sample_period)
+    : period_(std::max<Cycle>(sample_period, 1)) {}
+
+double PhaseProfiler::estimated_seconds(Phase p) const {
+  const double raw = static_cast<double>(wall_ns(p)) * 1e-9;
+  if (phase_is_exact(p)) return raw;
+  const double scale =
+      phase_is_sub(p)
+          ? static_cast<double>(period_ * kSubSampleFactor * kNumSubPhases)
+          : static_cast<double>(period_);
+  return raw * scale;
+}
+
+void PhaseProfiler::reset() {
+  for (auto& s : slots_) s = Slot{};
+  total_wall_s_ = 0.0;
+}
+
+std::string PhaseProfiler::report() const {
+  std::ostringstream os;
+  os << "[prof] phase attribution (sample period " << period_ << " cycles";
+  if (total_wall_s_ > 0.0) os << ", run wall " << total_wall_s_ << " s";
+  os << ")\n";
+  os << "| phase | calls | est. wall (s) | share | sim cycles |\n"
+        "|---|---|---|---|---|\n";
+  // Shares are against the run wall clock when known, else against the
+  // sum of top-level phases (sub-phases nest inside RouterStep).
+  double denom = total_wall_s_;
+  if (denom <= 0.0) {
+    for (int i = 0; i < kNumPhases; ++i) {
+      const Phase p = static_cast<Phase>(i);
+      if (phase_is_sub(p)) continue;
+      denom += estimated_seconds(p);
+    }
+  }
+  char buf[64];
+  for (int i = 0; i < kNumPhases; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    const double est = estimated_seconds(p);
+    const double share = denom > 0.0 ? est / denom : 0.0;
+    std::snprintf(buf, sizeof(buf), "%.4f | %.1f%%", est, 100.0 * share);
+    os << "| " << phase_name(p) << " | " << calls(p) << " | " << buf << " | "
+       << cycles(p) << " |\n";
+  }
+  return os.str();
+}
+
+void PhaseProfiler::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("compiled_in", compiled_in());
+  w.kv("sample_period", static_cast<std::uint64_t>(period_));
+  w.kv("total_wall_seconds", total_wall_s_);
+  w.key("phases").begin_array();
+  for (int i = 0; i < kNumPhases; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    w.begin_object();
+    w.kv("name", phase_name(p));
+    w.kv("exact", phase_is_exact(p));
+    w.kv("calls", calls(p));
+    w.kv("wall_ns", wall_ns(p));
+    w.kv("estimated_seconds", estimated_seconds(p));
+    w.kv("sim_cycles", cycles(p));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace mddsim::obs

@@ -1,0 +1,222 @@
+#pragma once
+// Phase profiling (mddsim::obs): attributes wall-clock time and simulated
+// cycles to named simulator phases — route computation, VC/switch
+// allocation, link traversal, CWG scanning, token handling, protocol step,
+// and the metrics collection itself.
+//
+// Sampling: reading steady_clock costs ~20-40ns, and a simulation cycle
+// can be under a microsecond, so timing every phase of every cycle would
+// dwarf the work being measured.  Instead the call sites wrap their phases
+// in ProfScopes only on *sampled* cycles (every `sample_period`-th cycle,
+// see PhaseProfiler::sampled); reported wall times are scaled back up by
+// the period.  Phases are stationary over the thousands of cycles a run
+// lasts, so the scaled estimate converges fast while the steady-state
+// overhead stays far below 1%.  Rare, coarse phases (metrics collection)
+// are timed on every occurrence instead and marked exact.
+//
+// Simulated-cycle attribution (add_cycles) is a plain counter increment
+// and is exact on every cycle.
+//
+// Compile-time kill switch: building with -DMDDSIM_PROF_ENABLED=0 (CMake
+// option MDDSIM_PROF=OFF) turns ProfScope and every add_* call into an
+// empty inline and makes Network::profiler() a constant nullptr, so the
+// hooks in router/sim compile away entirely, exactly like MDDSIM_TRACE.
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "mddsim/common/types.hpp"
+
+#ifndef MDDSIM_PROF_ENABLED
+#define MDDSIM_PROF_ENABLED 1
+#endif
+
+namespace mddsim::obs {
+
+/// Simulator phases, ordered roughly by position in the per-cycle schedule.
+enum class Phase : std::uint8_t {
+  TrafficGen,     ///< open-loop request generation (Simulator)
+  ProtocolStep,   ///< NI ejection + memory-controller servicing + detection
+  CwgScan,        ///< CWG build + Tarjan knot search (oracle or counting)
+  TokenHandling,  ///< PR recovery engines + RG regression
+  NiInject,       ///< NI pending/injection phases
+  RouterStep,     ///< whole router pipeline (covers the three below)
+  RouteCompute,   ///< routing candidate generation (inside RouterStep)
+  VcAlloc,        ///< VC allocation loop (inside RouterStep; includes
+                  ///< RouteCompute time)
+  SwitchAlloc,    ///< switch allocation + traversal (inside RouterStep)
+  LinkTraversal,  ///< Network::commit — staged flit/credit delivery
+  MetricsCollect, ///< registry collection epochs (exact, not sampled)
+};
+
+inline constexpr int kNumPhases = 11;
+
+const char* phase_name(Phase p);
+
+/// True for phases timed on every occurrence (no scale-up); the rest are
+/// timed only on sampled cycles and scaled by the sample period.
+constexpr bool phase_is_exact(Phase p) { return p == Phase::MetricsCollect; }
+
+/// True for the sub-phases nested inside RouterStep.  These run once per
+/// router per cycle, so their ProfScopes (two clock reads each, hundreds
+/// per instrumented cycle) would dominate the enclosing RouterStep
+/// measurement if taken on every sampled cycle — and RouteCompute nests
+/// inside VcAlloc, so an armed inner scope would likewise inflate the
+/// outer one.  Sub-phases are therefore sampled kSubSampleFactor× sparser
+/// AND only one of them is armed per occasion, rotating — see
+/// PhaseProfiler::sub_armed.  That keeps armed scopes from ever nesting,
+/// bounds RouterStep's self-measurement inflation to a few percent, and
+/// still converges each sub-phase estimate over a run.
+constexpr bool phase_is_sub(Phase p) {
+  return p == Phase::RouteCompute || p == Phase::VcAlloc ||
+         p == Phase::SwitchAlloc;
+}
+
+class PhaseProfiler {
+ public:
+  /// True when the profiling hooks were compiled in (MDDSIM_PROF=ON).
+  static constexpr bool compiled_in() { return MDDSIM_PROF_ENABLED != 0; }
+
+  /// @param sample_period  cycles between fully-instrumented cycles.
+  explicit PhaseProfiler(Cycle sample_period = 16);
+
+  /// True when cycle `now` is one of the instrumented ones; call sites
+  /// pass the profiler to their ProfScopes only on these cycles.
+  bool sampled(Cycle now) const {
+#if MDDSIM_PROF_ENABLED
+    return now % period_ == 0;
+#else
+    (void)now;
+    return false;
+#endif
+  }
+  Cycle sample_period() const { return period_; }
+
+  /// Sparser gate for the RouterStep sub-phases (see phase_is_sub): true
+  /// on every (sample_period × kSubSampleFactor)-th cycle.
+  static constexpr Cycle kSubSampleFactor = 16;
+  static constexpr int kNumSubPhases = 3;
+  bool sub_sampled(Cycle now) const {
+#if MDDSIM_PROF_ENABLED
+    return now % (period_ * kSubSampleFactor) == 0;
+#else
+    (void)now;
+    return false;
+#endif
+  }
+
+  /// True when sub-phase `p` is the one armed on cycle `now`.  Exactly one
+  /// sub-phase arms per sub-sampled cycle, rotating through the three, so
+  /// armed scopes never nest (RouteCompute runs inside VcAlloc).
+  bool sub_armed(Phase p, Cycle now) const {
+#if MDDSIM_PROF_ENABLED
+    const Cycle stride = period_ * kSubSampleFactor;
+    if (now % stride != 0) return false;
+    static constexpr Phase kRotation[kNumSubPhases] = {
+        Phase::RouteCompute, Phase::VcAlloc, Phase::SwitchAlloc};
+    return kRotation[(now / stride) % kNumSubPhases] == p;
+#else
+    (void)p;
+    (void)now;
+    return false;
+#endif
+  }
+
+  void add_wall(Phase p, std::uint64_t ns) {
+#if MDDSIM_PROF_ENABLED
+    auto& s = slot(p);
+    ++s.calls;
+    s.wall_ns += ns;
+#else
+    (void)p;
+    (void)ns;
+#endif
+  }
+
+  /// Attributes `n` simulated cycles to phase `p` (exact, every cycle).
+  void add_cycles(Phase p, std::uint64_t n = 1) {
+#if MDDSIM_PROF_ENABLED
+    slot(p).cycles += n;
+#else
+    (void)p;
+    (void)n;
+#endif
+  }
+
+  std::uint64_t calls(Phase p) const { return slot(p).calls; }
+  std::uint64_t wall_ns(Phase p) const { return slot(p).wall_ns; }
+  std::uint64_t cycles(Phase p) const { return slot(p).cycles; }
+
+  /// Estimated total wall seconds spent in `p` over the whole run: raw for
+  /// exact phases, scaled by the sample period otherwise.
+  double estimated_seconds(Phase p) const;
+
+  /// Total run wall time, set once by the driver so the report can show
+  /// attribution coverage.
+  void set_total_wall_seconds(double s) { total_wall_s_ = s; }
+  double total_wall_seconds() const { return total_wall_s_; }
+
+  void reset();
+
+  /// Markdown-ish text table: phase, calls, est. wall, share, sim cycles.
+  std::string report() const;
+
+  /// Structured export ({"sample_period":…,"phases":[…]}) via JsonWriter.
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Slot {
+    std::uint64_t calls = 0;
+    std::uint64_t wall_ns = 0;
+    std::uint64_t cycles = 0;
+  };
+  Slot& slot(Phase p) { return slots_[static_cast<std::size_t>(p)]; }
+  const Slot& slot(Phase p) const {
+    return slots_[static_cast<std::size_t>(p)];
+  }
+
+  Cycle period_;
+  double total_wall_s_ = 0.0;
+  Slot slots_[kNumPhases];
+};
+
+/// RAII scope attributing its lifetime's wall time to one phase.  A null
+/// profiler (or a disabled build) makes construction and destruction free.
+class ProfScope {
+ public:
+  ProfScope(PhaseProfiler* prof, Phase phase) {
+#if MDDSIM_PROF_ENABLED
+    prof_ = prof;
+    phase_ = phase;
+    if (prof_) t0_ = std::chrono::steady_clock::now();
+#else
+    (void)prof;
+    (void)phase;
+#endif
+  }
+  ~ProfScope() {
+#if MDDSIM_PROF_ENABLED
+    if (!prof_) return;
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    prof_->add_wall(
+        phase_,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count()));
+#endif
+  }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+#if MDDSIM_PROF_ENABLED
+  PhaseProfiler* prof_ = nullptr;
+  Phase phase_ = Phase::TrafficGen;
+  std::chrono::steady_clock::time_point t0_;
+#endif
+};
+
+}  // namespace mddsim::obs

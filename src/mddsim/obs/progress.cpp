@@ -1,0 +1,136 @@
+#include "mddsim/obs/progress.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "mddsim/common/json.hpp"
+
+namespace mddsim::obs {
+
+SweepProgress::SweepProgress(ProgressMode mode, std::ostream& os,
+                             double min_render_interval_s)
+    : mode_(mode),
+      os_(os),
+      min_interval_(std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(min_render_interval_s))) {}
+
+void SweepProgress::begin(std::size_t total) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    states_.assign(total, PointState::Pending);
+    started_ = completed_ = 0;
+    cycles_done_ = 0;
+  }
+  t0_ = std::chrono::steady_clock::now();
+  last_render_ = t0_ - min_interval_;  // first render() fires immediately
+  human_line_open_ = false;
+  if (mode_ == ProgressMode::Jsonl) emit(snapshot(), "begin");
+}
+
+void SweepProgress::point_started(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < states_.size() && states_[index] == PointState::Pending) {
+    states_[index] = PointState::Running;
+    ++started_;
+  }
+}
+
+void SweepProgress::point_finished(std::size_t index, Cycle cycles_run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < states_.size() && states_[index] != PointState::Done) {
+    // A point that threw never reached Running; count it started so the
+    // books balance.
+    if (states_[index] == PointState::Pending) ++started_;
+    states_[index] = PointState::Done;
+    ++completed_;
+    cycles_done_ += static_cast<std::uint64_t>(cycles_run);
+  }
+}
+
+SweepProgress::Snapshot SweepProgress::snapshot_locked() const {
+  Snapshot s;
+  s.total = states_.size();
+  s.started = started_;
+  s.completed = completed_;
+  s.running = started_ - completed_;
+  s.cycles_done = cycles_done_;
+  s.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count();
+  if (s.elapsed_seconds > 0.0) {
+    s.cycles_per_second =
+        static_cast<double>(s.cycles_done) / s.elapsed_seconds;
+  }
+  if (s.completed > 0) {
+    s.eta_seconds = s.elapsed_seconds *
+                    static_cast<double>(s.total - s.completed) /
+                    static_cast<double>(s.completed);
+  }
+  return s;
+}
+
+SweepProgress::Snapshot SweepProgress::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_locked();
+}
+
+SweepProgress::PointState SweepProgress::state(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index < states_.size() ? states_[index] : PointState::Pending;
+}
+
+void SweepProgress::emit(const Snapshot& s, const char* event) {
+  if (mode_ == ProgressMode::Jsonl) {
+    JsonWriter w(os_);
+    w.begin_object();
+    w.kv("event", event);
+    w.kv("total", static_cast<std::uint64_t>(s.total));
+    w.kv("completed", static_cast<std::uint64_t>(s.completed));
+    w.kv("running", static_cast<std::uint64_t>(s.running));
+    w.kv("cycles_done", s.cycles_done);
+    w.kv("elapsed_seconds", s.elapsed_seconds);
+    w.kv("cycles_per_second", s.cycles_per_second);
+    if (s.eta_seconds >= 0.0) w.kv("eta_seconds", s.eta_seconds);
+    w.end_object();
+    os_ << "\n";
+    os_.flush();
+    return;
+  }
+  // Human: one \r-refreshed status line.
+  char line[160];
+  if (s.eta_seconds >= 0.0) {
+    std::snprintf(line, sizeof(line),
+                  "[sweep] %zu/%zu done, %zu running, %.2f Mcycles/s, "
+                  "ETA %.1fs   ",
+                  s.completed, s.total, s.running,
+                  s.cycles_per_second / 1e6, s.eta_seconds);
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "[sweep] %zu/%zu done, %zu running   ", s.completed,
+                  s.total, s.running);
+  }
+  os_ << '\r' << line;
+  os_.flush();
+  human_line_open_ = true;
+}
+
+void SweepProgress::render() {
+  if (mode_ == ProgressMode::Off) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_render_ < min_interval_) return;
+  last_render_ = now;
+  emit(snapshot(), "progress");
+}
+
+void SweepProgress::finish() {
+  if (mode_ == ProgressMode::Off) return;
+  emit(snapshot(), "end");
+  if (human_line_open_) {
+    os_ << "\n";
+    os_.flush();
+    human_line_open_ = false;
+  }
+}
+
+}  // namespace mddsim::obs

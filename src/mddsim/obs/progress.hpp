@@ -1,0 +1,85 @@
+#pragma once
+// Live sweep progress (mddsim::obs): per-point state, completed/total,
+// aggregate simulated-cycles/sec and an ETA for SweepRunner batches.
+//
+// Threading contract: point_started/point_finished are called by worker
+// threads (any --jobs count) and only mutate state under one mutex;
+// render()/finish() are called by the sweep's *caller* thread, so exactly
+// one thread writes to the output stream and the display needs no stream
+// locking.  render() is rate-limited; finish() always emits a final line.
+//
+// Two output modes: Human — a single carriage-return status line suitable
+// for a terminal; Jsonl — one machine-readable JSON object per event
+// (begin/progress/end), each on its own line, for driving dashboards or
+// CI log scrapers (--progress=jsonl).
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+
+namespace mddsim::obs {
+
+enum class ProgressMode : std::uint8_t { Off, Human, Jsonl };
+
+class SweepProgress {
+ public:
+  enum class PointState : std::uint8_t { Pending, Running, Done };
+
+  struct Snapshot {
+    std::size_t total = 0;
+    std::size_t started = 0;
+    std::size_t completed = 0;
+    std::size_t running = 0;          ///< started - completed
+    std::uint64_t cycles_done = 0;    ///< simulated cycles of finished points
+    double elapsed_seconds = 0.0;
+    double cycles_per_second = 0.0;   ///< aggregate over finished points
+    double eta_seconds = -1.0;        ///< -1 while unknown (nothing finished)
+  };
+
+  /// @param min_render_interval_s  floor between rendered updates; the
+  ///        final finish() line ignores it.
+  SweepProgress(ProgressMode mode, std::ostream& os,
+                double min_render_interval_s = 0.25);
+
+  ProgressMode mode() const { return mode_; }
+
+  /// Arms the display for a batch of `total` points; resets all state.
+  void begin(std::size_t total);
+
+  // --- Worker-thread side (thread-safe). -----------------------------------
+  void point_started(std::size_t index);
+  void point_finished(std::size_t index, Cycle cycles_run);
+
+  // --- Caller-thread side. -------------------------------------------------
+  /// Renders one update when at least the minimum interval has passed
+  /// since the last one (no-op in Off mode).
+  void render();
+  /// Final summary; always renders (and terminates the Human status line).
+  void finish();
+
+  Snapshot snapshot() const;
+  PointState state(std::size_t index) const;
+
+ private:
+  Snapshot snapshot_locked() const;  ///< caller holds mu_
+  void emit(const Snapshot& s, const char* event);
+
+  ProgressMode mode_;
+  std::ostream& os_;
+  std::chrono::steady_clock::duration min_interval_;
+  std::chrono::steady_clock::time_point t0_;
+  std::chrono::steady_clock::time_point last_render_;
+  bool human_line_open_ = false;  ///< a \r status line needs terminating
+
+  mutable std::mutex mu_;
+  std::vector<PointState> states_;
+  std::size_t started_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t cycles_done_ = 0;
+};
+
+}  // namespace mddsim::obs

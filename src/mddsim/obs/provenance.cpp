@@ -1,0 +1,105 @@
+#include "mddsim/obs/provenance.hpp"
+
+#include <cstdio>
+
+#include "mddsim/common/config_parse.hpp"
+#include "mddsim/common/json.hpp"
+#include "mddsim/obs/profile.hpp"
+#include "mddsim/obs/trace.hpp"
+#include "mddsim/sim/config.hpp"
+
+namespace mddsim::obs {
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string build_flags() {
+  std::string out;
+  out += Tracer::compiled_in() ? "trace=on" : "trace=off";
+  out += PhaseProfiler::compiled_in() ? " prof=on" : " prof=off";
+#ifdef NDEBUG
+  out += " assert=off";
+#else
+  out += " assert=on";
+#endif
+#ifdef __SANITIZE_ADDRESS__
+  out += " asan";
+#endif
+#ifdef __SANITIZE_THREAD__
+  out += " tsan";
+#endif
+  return out;
+}
+
+RunProvenance make_provenance(const SimConfig& cfg, int jobs,
+                              double wall_seconds) {
+  RunProvenance p;
+  p.config_hash = hex64(fnv1a64(config_to_string(cfg)));
+  p.seed = cfg.seed;
+  p.scheme = scheme_name(cfg.scheme);
+  p.pattern = cfg.pattern;
+  p.build = build_flags();
+  p.compiler = __VERSION__;
+  p.jobs = jobs;
+  p.wall_seconds = wall_seconds;
+  return p;
+}
+
+RunProvenance make_batch_provenance(const std::vector<SimConfig>& points,
+                                    int jobs, double wall_seconds) {
+  RunProvenance p;
+  // Chain the per-point hashes so the batch hash commits to every point
+  // and their order.
+  std::string chained;
+  chained.reserve(points.size() * 17);
+  bool uniform_scheme = true, uniform_pattern = true;
+  for (const SimConfig& cfg : points) {
+    chained += hex64(fnv1a64(config_to_string(cfg)));
+    if (cfg.scheme != points.front().scheme) uniform_scheme = false;
+    if (cfg.pattern != points.front().pattern) uniform_pattern = false;
+  }
+  p.config_hash = hex64(fnv1a64(chained));
+  if (!points.empty()) {
+    p.seed = points.front().seed;
+    p.scheme = uniform_scheme ? scheme_name(points.front().scheme) : "*";
+    p.pattern = uniform_pattern ? points.front().pattern : "*";
+  }
+  p.build = build_flags();
+  p.compiler = __VERSION__;
+  p.jobs = jobs;
+  p.wall_seconds = wall_seconds;
+  return p;
+}
+
+void write_provenance(JsonWriter& w, const RunProvenance& p) {
+  w.begin_object();
+  w.kv("schema_version", p.schema_version);
+  w.kv("config_hash", p.config_hash);
+  w.kv("seed", p.seed);
+  w.kv("scheme", p.scheme);
+  w.kv("pattern", p.pattern);
+  w.kv("build", p.build);
+  w.kv("compiler", p.compiler);
+  w.kv("jobs", p.jobs);
+  w.kv("wall_seconds", p.wall_seconds);
+  w.end_object();
+}
+
+}  // namespace mddsim::obs

@@ -1,0 +1,57 @@
+#pragma once
+// Run provenance (mddsim::obs): a small manifest stamped into every report
+// JSON and BENCH_*.json artifact so a result file is self-describing —
+// which configuration (by content hash), which seed/scheme/pattern, which
+// build flavour (trace/profiling/sanitizers/assertions, compiler), how
+// many workers, and how long it took.  Two artifacts with equal
+// config_hash came from bit-identical configurations; a changed hash
+// explains a changed curve before anyone diffs flags by hand.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mddsim {
+struct SimConfig;
+class JsonWriter;
+}  // namespace mddsim
+
+namespace mddsim::obs {
+
+inline constexpr int kProvenanceSchemaVersion = 1;
+
+/// 64-bit FNV-1a — the same construction the CWG knot signatures use.
+std::uint64_t fnv1a64(std::string_view s);
+
+/// Compiled-in feature summary, e.g. "trace=on prof=on assert=on".
+std::string build_flags();
+
+struct RunProvenance {
+  int schema_version = kProvenanceSchemaVersion;
+  std::string config_hash;  ///< fnv1a64 of config_to_string(cfg), hex
+  std::uint64_t seed = 0;
+  std::string scheme;
+  std::string pattern;
+  std::string build;     ///< build_flags()
+  std::string compiler;  ///< __VERSION__
+  int jobs = 1;
+  double wall_seconds = 0.0;
+};
+
+/// Manifest for one simulation run.  `wall_seconds` is the caller's
+/// measurement (0 when not timed).
+RunProvenance make_provenance(const SimConfig& cfg, int jobs,
+                              double wall_seconds);
+
+/// Manifest for a batch artifact (a bench figure): hashes every point's
+/// configuration into one combined config_hash; scheme/pattern are listed
+/// only when uniform across the batch ("*" otherwise).
+RunProvenance make_batch_provenance(const std::vector<SimConfig>& points,
+                                    int jobs, double wall_seconds);
+
+/// Writes the manifest as one JSON object at the writer's current
+/// position (caller emits the surrounding key).
+void write_provenance(JsonWriter& w, const RunProvenance& p);
+
+}  // namespace mddsim::obs

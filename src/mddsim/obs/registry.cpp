@@ -1,0 +1,262 @@
+#include "mddsim/obs/registry.hpp"
+
+#include <cctype>
+#include <ostream>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/common/json.hpp"
+#include "mddsim/obs/provenance.hpp"
+
+namespace mddsim::obs {
+
+Registry::Entry& Registry::register_or_get(const std::string& name,
+                                           std::string_view help, Kind kind) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    Entry& e = order_[it->second];
+    MDD_CHECK_MSG(e.kind == kind,
+                  "metric '" + name + "' registered as two different kinds");
+    return e;
+  }
+  Entry e;
+  e.name = name;
+  e.help = std::string(help);
+  e.kind = kind;
+  switch (kind) {
+    case Kind::Counter:
+      e.index = counters_.size();
+      counters_.emplace_back();
+      break;
+    case Kind::Gauge:
+      e.index = gauges_.size();
+      gauges_.emplace_back();
+      break;
+    case Kind::Stat:
+      e.index = stats_.size();
+      stats_.emplace_back();
+      break;
+  }
+  by_name_.emplace(name, order_.size());
+  order_.push_back(std::move(e));
+  return order_.back();
+}
+
+Counter& Registry::counter(const std::string& name, std::string_view help) {
+  return counters_[register_or_get(name, help, Kind::Counter).index];
+}
+
+Gauge& Registry::gauge(const std::string& name, std::string_view help) {
+  return gauges_[register_or_get(name, help, Kind::Gauge).index];
+}
+
+StatMetric& Registry::stat(const std::string& name, std::string_view help) {
+  return stats_[register_or_get(name, help, Kind::Stat).index];
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return nullptr;
+  const Entry& e = order_[it->second];
+  return e.kind == Kind::Counter ? &counters_[e.index] : nullptr;
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return nullptr;
+  const Entry& e = order_[it->second];
+  return e.kind == Kind::Gauge ? &gauges_[e.index] : nullptr;
+}
+
+const StatMetric* Registry::find_stat(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return nullptr;
+  const Entry& e = order_[it->second];
+  return e.kind == Kind::Stat ? &stats_[e.index] : nullptr;
+}
+
+double Registry::scalar_value(const Entry& e) const {
+  switch (e.kind) {
+    case Kind::Counter:
+      return static_cast<double>(counters_[e.index].value());
+    case Kind::Gauge:
+      return gauges_[e.index].value();
+    case Kind::Stat:
+      break;
+  }
+  return 0.0;
+}
+
+void Registry::record_epoch(Cycle cycle) {
+  if (!epoch_cycles_.empty() && epoch_cycles_.back() == cycle) return;
+  std::vector<double> row;
+  row.reserve(order_.size());
+  for (const Entry& e : order_) {
+    if (e.kind == Kind::Stat) continue;
+    row.push_back(scalar_value(e));
+  }
+  epoch_cycles_.push_back(cycle);
+  epoch_rows_.push_back(std::move(row));
+}
+
+namespace {
+
+/// Prometheus name mangling: dotted hierarchical names become one metric
+/// family ("mddsim_" prefix, illegal characters → '_'); purely numeric
+/// path components are lifted into labels (first → id, second → id2).
+struct PromName {
+  std::string family;
+  std::string labels;  ///< rendered, e.g. {id="3"} — empty when none
+};
+
+bool all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+PromName prom_name(std::string_view dotted) {
+  PromName out;
+  out.family = "mddsim";
+  int num_ids = 0;
+  std::size_t start = 0;
+  while (start <= dotted.size()) {
+    const std::size_t dot = dotted.find('.', start);
+    const std::string_view part = dotted.substr(
+        start, dot == std::string_view::npos ? dotted.size() - start
+                                             : dot - start);
+    if (all_digits(part)) {
+      ++num_ids;
+      out.labels += out.labels.empty() ? "{" : ",";
+      out.labels += num_ids == 1 ? "id" : "id" + std::to_string(num_ids);
+      out.labels += "=\"";
+      out.labels += part;
+      out.labels += '"';
+    } else if (!part.empty()) {
+      out.family += '_';
+      for (const char c : part) {
+        out.family += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+      }
+    }
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  if (!out.labels.empty()) out.labels += '}';
+  return out;
+}
+
+/// Merges extra labels into a rendered label set ({a="1"} + b="2").
+std::string with_label(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::ostream& os) const {
+  // One HELP/TYPE header per family, on its first appearance; families
+  // repeat across per-instance metrics (router.0.x, router.1.x, ...).
+  std::unordered_map<std::string, Kind> seen;
+  for (const Entry& e : order_) {
+    const PromName pn = prom_name(e.name);
+    const auto it = seen.find(pn.family);
+    if (it == seen.end()) {
+      seen.emplace(pn.family, e.kind);
+      if (!e.help.empty()) os << "# HELP " << pn.family << " " << e.help
+                              << "\n";
+      os << "# TYPE " << pn.family << " "
+         << (e.kind == Kind::Counter
+                 ? "counter"
+                 : e.kind == Kind::Gauge ? "gauge" : "summary")
+         << "\n";
+    }
+    switch (e.kind) {
+      case Kind::Counter:
+        os << pn.family << pn.labels << " " << counters_[e.index].value()
+           << "\n";
+        break;
+      case Kind::Gauge:
+        os << pn.family << pn.labels << " " << gauges_[e.index].value()
+           << "\n";
+        break;
+      case Kind::Stat: {
+        const StatMetric& s = stats_[e.index];
+        const struct {
+          const char* label;
+          double q;
+        } qs[] = {{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+        for (const auto& q : qs) {
+          os << pn.family
+             << with_label(pn.labels,
+                           std::string("quantile=\"") + q.label + "\"")
+             << " " << s.quantiles().quantile(q.q) << "\n";
+        }
+        os << pn.family << "_sum" << pn.labels << " " << s.stat().sum()
+           << "\n";
+        os << pn.family << "_count" << pn.labels << " " << s.stat().count()
+           << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void Registry::write_json(std::ostream& os, const RunProvenance* prov) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  if (prov) {
+    w.key("provenance");
+    write_provenance(w, *prov);
+  }
+  w.key("counters").begin_object();
+  for (const Entry& e : order_) {
+    if (e.kind == Kind::Counter) w.kv(e.name, counters_[e.index].value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const Entry& e : order_) {
+    if (e.kind == Kind::Gauge) w.kv(e.name, gauges_[e.index].value());
+  }
+  w.end_object();
+  w.key("stats").begin_object();
+  for (const Entry& e : order_) {
+    if (e.kind != Kind::Stat) continue;
+    const StatMetric& s = stats_[e.index];
+    w.key(e.name).begin_object();
+    w.kv("count", s.stat().count());
+    w.kv("mean", s.stat().mean());
+    w.kv("min", s.stat().min());
+    w.kv("max", s.stat().max());
+    w.kv("stddev", s.stat().stddev());
+    w.kv("p50", s.quantiles().median());
+    w.kv("p95", s.quantiles().p95());
+    w.kv("p99", s.quantiles().p99());
+    w.end_object();
+  }
+  w.end_object();
+  // Columnar epoch time-series.  Metrics registered after the first epoch
+  // pad their missing early rows with 0.
+  w.key("epochs").begin_object();
+  w.key("cycles").begin_array();
+  for (const Cycle c : epoch_cycles_) w.value(static_cast<std::uint64_t>(c));
+  w.end_array();
+  w.key("series").begin_object();
+  std::size_t scalar_idx = 0;
+  for (const Entry& e : order_) {
+    if (e.kind == Kind::Stat) continue;
+    w.key(e.name).begin_array();
+    for (const auto& row : epoch_rows_) {
+      w.value(scalar_idx < row.size() ? row[scalar_idx] : 0.0);
+    }
+    w.end_array();
+    ++scalar_idx;
+  }
+  w.end_object();
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace mddsim::obs

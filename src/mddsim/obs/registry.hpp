@@ -1,0 +1,143 @@
+#pragma once
+// Typed metrics registry (mddsim::obs): one namespace for every counter,
+// gauge and distribution the simulator's subsystems expose, addressed by
+// hierarchical dotted names ("router.3.vc_stall_cycles", "core.cwg.scans",
+// "recovery.token.acquisitions").
+//
+// Collection is pull-model: subsystems keep their own cheap incremental
+// counters on the hot path (a ++ at most), and Simulator::collect_metrics
+// copies them into the registry at epoch boundaries and at end of run.
+// The registry therefore costs nothing between epochs, which is how the
+// <2%-overhead budget of the profiler/registry pair is met.
+//
+// A per-epoch time-series recorder snapshots every scalar metric
+// (counters + gauges) so post-hoc analysis can see trajectories, not just
+// totals.  Exporters: Prometheus text exposition format (dotted names are
+// mangled to legal metric names, numeric path components become labels)
+// and structured JSON via the shared JsonWriter.
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mddsim/common/stats.hpp"
+#include "mddsim/common/types.hpp"
+
+namespace mddsim::obs {
+
+struct RunProvenance;
+
+/// Monotone event count.  Sources keep their own counters, so set() is the
+/// common write path (absolute value at collection time); inc() supports
+/// registry-native counting.
+class Counter {
+ public:
+  void set(std::uint64_t v) { value_ = v; }
+  void inc(std::uint64_t d = 1) { value_ += d; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time measurement.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Bounded distribution: running moments plus reservoir-sampled quantiles,
+/// built on the library's RunningStat / QuantileSampler.
+class StatMetric {
+ public:
+  explicit StatMetric(std::size_t quantile_cap = 1 << 12)
+      : quant_(quantile_cap) {}
+
+  /// Registry-native observation (tests, ad-hoc instrumentation).
+  void observe(double x) {
+    stat_.add(x);
+    quant_.add(x);
+  }
+
+  /// Collection-time replacement with a subsystem's own accumulators.
+  void set(const RunningStat& stat, const QuantileSampler& quant) {
+    stat_ = stat;
+    quant_ = quant;
+  }
+
+  const RunningStat& stat() const { return stat_; }
+  const QuantileSampler& quantiles() const { return quant_; }
+
+ private:
+  RunningStat stat_;
+  QuantileSampler quant_;
+};
+
+class Registry {
+ public:
+  /// Metric accessors register on first use and are idempotent after that
+  /// (same name → same object), so collection code can run every epoch
+  /// without registration bookkeeping.  Help text is taken from the first
+  /// registration.  Registering one name as two different kinds throws.
+  Counter& counter(const std::string& name, std::string_view help = "");
+  Gauge& gauge(const std::string& name, std::string_view help = "");
+  StatMetric& stat(const std::string& name, std::string_view help = "");
+
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const StatMetric* find_stat(std::string_view name) const;
+
+  std::size_t num_metrics() const { return order_.size(); }
+
+  /// Snapshots every scalar metric (counters + gauges) as one time-series
+  /// row stamped with `cycle`.  A repeat call for the cycle already at the
+  /// end of the series is a no-op, so the end-of-run collection can't
+  /// double-record a run that finishes exactly on an epoch boundary.
+  void record_epoch(Cycle cycle);
+  std::size_t num_epochs() const { return epoch_cycles_.size(); }
+
+  /// Prometheus text exposition format.  Dotted names become legal metric
+  /// names ("mddsim_" prefix, dots → underscores); purely numeric path
+  /// components are extracted into an `id` label, so "router.3.x" exports
+  /// as `mddsim_router_x{id="3"}`.  Stats export as summaries.
+  void write_prometheus(std::ostream& os) const;
+
+  /// Structured JSON: current values, per-stat quantiles, and the epoch
+  /// time-series (columnar).  Includes a provenance manifest when given.
+  void write_json(std::ostream& os, const RunProvenance* prov = nullptr) const;
+
+ private:
+  enum class Kind : std::uint8_t { Counter, Gauge, Stat };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::size_t index;  ///< into the kind's storage deque
+  };
+
+  Entry& register_or_get(const std::string& name, std::string_view help,
+                         Kind kind);
+  double scalar_value(const Entry& e) const;
+
+  std::vector<Entry> order_;  ///< registration order (deterministic export)
+  std::unordered_map<std::string, std::size_t> by_name_;
+  std::deque<Counter> counters_;  ///< deque: references stay valid
+  std::deque<Gauge> gauges_;
+  std::deque<StatMetric> stats_;
+
+  // Epoch series: one row of scalar values per record_epoch call.  Metrics
+  // registered after the first epoch pad earlier rows with 0 on export.
+  std::vector<Cycle> epoch_cycles_;
+  std::vector<std::vector<double>> epoch_rows_;
+};
+
+}  // namespace mddsim::obs

@@ -21,7 +21,12 @@ void TelemetrySampler::step(Cycle now) {
 }
 
 void TelemetrySampler::sample(Cycle now) {
-  if (!samples_.empty() && now == last_sample_) return;  // epoch-boundary dup
+  // Epoch-boundary dedup: the run loop's final explicit sample() may land on
+  // the same cycle as the last periodic one.  Track "have we ever sampled"
+  // explicitly — keying off samples_.empty() mistakes a first sample at
+  // cycle 0 (== initial last_sample_) for a duplicate on empty topologies.
+  if (has_sampled_ && now == last_sample_) return;
+  has_sampled_ = true;
   const Cycle span = now > last_sample_ ? now - last_sample_ : 1;
   const Topology& topo = net_.topology();
   const int vcs = net_.layout().total_vcs;

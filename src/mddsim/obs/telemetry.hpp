@@ -51,6 +51,8 @@ class TelemetrySampler {
   const Network& net_;
   Cycle epoch_;
   Cycle last_sample_ = 0;
+  bool has_sampled_ = false;  ///< distinguishes "never sampled" from a
+                              ///< genuine duplicate at cycle last_sample_
   std::vector<std::uint64_t> prev_forwarded_;  ///< [router*vcs + vc]
   std::vector<TelemetrySample> samples_;
 };

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "mddsim/common/json.hpp"
+
 namespace mddsim {
 
 const char* trace_event_name(TraceEventKind k) {
@@ -76,28 +78,41 @@ void lane_of(const TraceEvent& e, int num_routers, int& pid, int& tid) {
 }  // namespace
 
 void Tracer::export_chrome_json(std::ostream& os, int num_routers) const {
-  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ns");
+  w.key("traceEvents").begin_array();
   // Lane metadata so Perfetto shows named process groups.
-  os << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
-        "\"args\":{\"name\":\"routers\"}},\n"
-        "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\","
-        "\"args\":{\"name\":\"network interfaces\"}},\n"
-        "{\"ph\":\"M\",\"pid\":3,\"name\":\"process_name\","
-        "\"args\":{\"name\":\"recovery token\"}}";
-  const std::vector<TraceEvent> evs = events();
-  for (const TraceEvent& e : evs) {
+  const char* lanes[] = {"routers", "network interfaces", "recovery token"};
+  for (int pid = 1; pid <= 3; ++pid) {
+    w.begin_object();
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    w.kv("name", "process_name");
+    w.key("args").begin_object().kv("name", lanes[pid - 1]).end_object();
+    w.end_object();
+  }
+  for (const TraceEvent& e : events()) {
     int pid = 0, tid = 0;
     lane_of(e, num_routers, pid, tid);
-    os << ",\n{\"name\":\"" << trace_event_name(e.kind)
-       << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.cycle
-       << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"args\":{";
-    os << "\"where\":" << e.where;
-    if (e.pkt != 0) os << ",\"pkt\":" << e.pkt;
-    if (e.a >= 0) os << ",\"a\":" << e.a;
-    if (e.b >= 0) os << ",\"b\":" << e.b;
-    os << "}}";
+    w.begin_object();
+    w.kv("name", trace_event_name(e.kind));
+    w.kv("ph", "i");
+    w.kv("s", "t");
+    w.kv("ts", static_cast<std::uint64_t>(e.cycle));
+    w.kv("pid", pid);
+    w.kv("tid", tid);
+    w.key("args").begin_object();
+    w.kv("where", e.where);
+    if (e.pkt != 0) w.kv("pkt", e.pkt);
+    if (e.a >= 0) w.kv("a", e.a);
+    if (e.b >= 0) w.kv("b", e.b);
+    w.end_object();
+    w.end_object();
   }
-  os << "\n]}\n";
+  w.end_array();
+  w.end_object();
+  os << "\n";
 }
 
 std::string Tracer::overhead_line() const {

@@ -1,8 +1,13 @@
 #include "mddsim/par/sweep.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "mddsim/par/thread_pool.hpp"
 
@@ -39,20 +44,66 @@ int consume_jobs_flag(int& argc, char** argv) {
 SweepRunner::SweepRunner(int jobs) : jobs_(jobs >= 1 ? jobs : default_jobs()) {}
 
 std::vector<RunResult> SweepRunner::run(const std::vector<SimConfig>& configs,
-                                        bool drain) const {
-  std::vector<RunResult> results(configs.size());
+                                        bool drain,
+                                        obs::SweepProgress* progress) const {
+  const std::size_t n = configs.size();
+  std::vector<RunResult> results(n);
+  if (progress) progress->begin(n);
   auto run_point = [&](std::size_t i) {
+    if (progress) progress->point_started(i);
     Simulator sim(configs[i]);
     results[i] = sim.run(drain);
+    if (progress) progress->point_finished(i, results[i].cycles_run);
   };
-  if (jobs_ <= 1 || configs.size() <= 1) {
-    for (std::size_t i = 0; i < configs.size(); ++i) run_point(i);
+
+  if (jobs_ <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      run_point(i);
+      if (progress) progress->render();
+    }
+    if (progress) progress->finish();
     return results;
   }
-  ThreadPool pool(
-      static_cast<int>(std::min<std::size_t>(
-          static_cast<std::size_t>(jobs_), configs.size())));
-  pool.parallel_for(configs.size(), run_point);
+
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), n));
+  if (!progress) {
+    ThreadPool pool(workers);
+    pool.parallel_for(n, run_point);
+    return results;
+  }
+
+  // Live-progress fan-out: ThreadPool::parallel_for would enlist this
+  // thread as a worker, so spin up dedicated workers instead and keep the
+  // caller free to render.  Same claim-by-atomic-index scheduling, same
+  // in-order results, same first-exception-wins semantics.
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        run_point(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      done.fetch_add(1, std::memory_order_release);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker);
+  while (done.load(std::memory_order_acquire) < n) {
+    progress->render();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  for (auto& t : threads) t.join();
+  progress->finish();
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

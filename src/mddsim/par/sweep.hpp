@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "mddsim/obs/progress.hpp"
 #include "mddsim/sim/simulator.hpp"
 
 namespace mddsim::par {
@@ -34,8 +35,14 @@ class SweepRunner {
   /// the RunResults in input order.  jobs()==1 or a single point uses the
   /// plain serial loop.  The first exception thrown by any point (e.g.
   /// ConfigError from validate) is rethrown after in-flight points finish.
+  ///
+  /// When `progress` is non-null it receives begin/point/finish callbacks
+  /// and is rendered live from the calling thread (ThreadPool::parallel_for
+  /// enlists the caller as a worker, so the progress path fans out over
+  /// dedicated threads instead).  Results are bit-identical either way.
   std::vector<RunResult> run(const std::vector<SimConfig>& configs,
-                             bool drain = false) const;
+                             bool drain = false,
+                             obs::SweepProgress* progress = nullptr) const;
 
  private:
   int jobs_;

@@ -41,6 +41,7 @@ OutMsg GenericProtocol::start_transaction(NodeId requester, Cycle now) {
   Txn t;
   t.requester = requester;
   t.start_cycle = now;
+  ++txns_started_;
 
   // Bind roles to concrete nodes: home uniformly random among other nodes,
   // third party uniformly random among the remaining ones.

@@ -42,6 +42,10 @@ class GenericProtocol : public EndpointProtocol {
   /// Live (incomplete) transactions — must be zero after a full drain.
   std::size_t live_transactions() const { return txns_.size(); }
 
+  /// Transactions started over the protocol's lifetime (exported as
+  /// protocol.txns_started; includes warmup and drain-phase starts).
+  std::uint64_t transactions_started() const { return txns_started_; }
+
   const TransactionPattern& pattern() const { return pattern_; }
   const MessageLengths& lengths() const { return lengths_; }
 
@@ -76,6 +80,7 @@ class GenericProtocol : public EndpointProtocol {
   int num_nodes_;
   Rng rng_;
   TxnId next_txn_ = 1;
+  std::uint64_t txns_started_ = 0;
   std::unordered_map<TxnId, Txn> txns_;
   CompletionCallback on_complete_;
 };

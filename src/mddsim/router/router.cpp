@@ -29,11 +29,15 @@ Router::Router(RouterId id, const Topology& topo,
   sa_out_rr_.assign(static_cast<std::size_t>(outputs), 0);
 }
 
-bool Router::try_allocate_vc(Cycle now, int port, int vc, Network& net) {
+bool Router::try_allocate_vc(Cycle now, int port, int vc, Network& net,
+                             obs::PhaseProfiler* prof) {
   auto& ivc = in_[static_cast<std::size_t>(port)][static_cast<std::size_t>(vc)];
   const Flit& head = ivc.buffer.front();
   MDD_CHECK_MSG(head.is_head(), "unrouted VC must have a head flit at front");
-  routing_.candidates(id_, *head.pkt, cand_buf_);
+  {
+    obs::ProfScope route_scope(prof, obs::Phase::RouteCompute);
+    routing_.candidates(id_, *head.pkt, cand_buf_);
+  }
   const int ncand = static_cast<int>(cand_buf_.size());
   // A candidate is grabbed only when the output VC is free AND at least one
   // credit exists, so an allocated packet always advances at least one hop.
@@ -58,18 +62,33 @@ bool Router::try_allocate_vc(Cycle now, int port, int vc, Network& net) {
   return false;
 }
 
-void Router::step(Cycle now, Network& net) {
+void Router::step(Cycle now, Network& net, obs::PhaseProfiler* prof) {
   const int inputs = num_inputs();
   const int outputs = num_outputs();
 
+  // Exactly one sub-phase arms per sub-sampled cycle (rotation in
+  // sub_armed), so an armed RouteCompute scope never runs inside an armed
+  // VcAlloc scope and the measurements don't inflate each other.
+  obs::PhaseProfiler* rc_prof =
+      prof && prof->sub_armed(obs::Phase::RouteCompute, now) ? prof : nullptr;
+  obs::PhaseProfiler* va_prof =
+      prof && prof->sub_armed(obs::Phase::VcAlloc, now) ? prof : nullptr;
+  obs::PhaseProfiler* sa_prof =
+      prof && prof->sub_armed(obs::Phase::SwitchAlloc, now) ? prof : nullptr;
+
   // --- Route computation + VC allocation for blocked head flits. ---------
-  for (int p = 0; p < inputs; ++p) {
-    for (int v = 0; v < vcs_; ++v) {
-      auto& ivc = in_[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
-      if (ivc.buffer.empty() || ivc.route_valid) continue;
-      try_allocate_vc(now, p, v, net);
+  {
+    obs::ProfScope va_scope(va_prof, obs::Phase::VcAlloc);
+    for (int p = 0; p < inputs; ++p) {
+      for (int v = 0; v < vcs_; ++v) {
+        auto& ivc = in_[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
+        if (ivc.buffer.empty() || ivc.route_valid) continue;
+        if (!try_allocate_vc(now, p, v, net, rc_prof)) ++vc_stalls_;
+      }
     }
   }
+
+  obs::ProfScope sa_scope(sa_prof, obs::Phase::SwitchAlloc);
 
   // --- Switch allocation: input-first separable round-robin. --------------
   struct Nominee {

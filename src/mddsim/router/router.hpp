@@ -18,6 +18,7 @@
 
 #include "mddsim/common/types.hpp"
 #include "mddsim/flow/packet.hpp"
+#include "mddsim/obs/profile.hpp"
 #include "mddsim/routing/routing.hpp"
 
 namespace mddsim {
@@ -53,7 +54,10 @@ class Router {
   int buf_depth() const { return buf_depth_; }
 
   /// Runs one router cycle; sends flits/credits through `net` staging.
-  void step(Cycle now, Network& net);
+  /// `prof` is non-null only on cycles the network has chosen to sample
+  /// (see obs::PhaseProfiler::sampled); the router then attributes its
+  /// allocation and traversal wall-time to the per-phase profile.
+  void step(Cycle now, Network& net, obs::PhaseProfiler* prof = nullptr);
 
   /// Link delivery (called by Network at commit time).
   void deliver_flit(int in_port, int in_vc, Flit f, Cycle now);
@@ -85,8 +89,14 @@ class Router {
   /// cycle by drain loops via Network::idle and by conservation tests.
   int total_buffered_flits() const;
 
+  /// Head-flit VC-allocation failures over the router's lifetime: each
+  /// cycle a buffered head flit fails to win an output VC counts one.
+  /// Exported by the metrics registry as router.<id>.vc_stall_cycles.
+  std::uint64_t vc_stall_cycles() const { return vc_stalls_; }
+
  private:
-  bool try_allocate_vc(Cycle now, int port, int vc, Network& net);
+  bool try_allocate_vc(Cycle now, int port, int vc, Network& net,
+                       obs::PhaseProfiler* prof);
   /// Full-scan recount of the buffers — the pre-counter implementation,
   /// kept as a debug-build cross-check of buffered_flits_.
   int scan_buffered_flits() const;
@@ -104,6 +114,7 @@ class Router {
   unsigned va_rr_ = 0;          // VC-allocation rotation counter
   std::vector<RouteCandidate> cand_buf_;
   int buffered_flits_ = 0;      // flits across all input VC buffers
+  std::uint64_t vc_stalls_ = 0; // head-flit VC-allocation failures
 };
 
 }  // namespace mddsim

@@ -82,6 +82,13 @@ struct SimConfig {
   int watchdog_cycles = 10000;   ///< zero-consumption cycles (with traffic
                                  ///< in flight) before the watchdog fires a
                                  ///< forensics dump (0 = watchdog off)
+  bool metrics = false;          ///< attach the obs::Registry (collected at
+                                 ///< end of run, plus each metrics_epoch)
+  int metrics_epoch = 0;         ///< registry time-series period in cycles
+                                 ///< (0 = final snapshot only; > 0 implies
+                                 ///< metrics)
+  bool profile = false;          ///< attach the obs::PhaseProfiler (no-op
+                                 ///< when built with MDDSIM_PROF=OFF)
 
   // --- Run control -----------------------------------------------------------
   std::uint64_t seed = 1;

@@ -100,11 +100,25 @@ PacketPtr Network::make_packet(const OutMsg& m, Cycle now) {
 
 void Network::step() {
   const Cycle now = cycle_;
+  // Wall-clock scopes are armed only on sampled cycles (see obs/profile.hpp);
+  // simulated-cycle attribution below is exact on every cycle.
+  obs::PhaseProfiler* prof = profiler();
+  obs::PhaseProfiler* sampled = prof && prof->sampled(now) ? prof : nullptr;
+  // The RouterStep sub-phases create hundreds of scopes per instrumented
+  // cycle, so they use the sparser sub-sampling gate to keep their own
+  // clock reads from inflating the RouterStep measurement.
+  obs::PhaseProfiler* sub =
+      prof && prof->sub_sampled(now) ? prof : nullptr;
 
-  for (auto& ni : nis_) ni->step_eject(now);
-  for (auto& ni : nis_) ni->step_mc(now);
-  for (auto& ni : nis_) ni->update_detection(now);
+  {
+    obs::ProfScope scope(sampled, obs::Phase::ProtocolStep);
+    for (auto& ni : nis_) ni->step_eject(now);
+    for (auto& ni : nis_) ni->step_mc(now);
+    for (auto& ni : nis_) ni->update_detection(now);
+  }
   if (oracle_ && now % static_cast<Cycle>(cfg_.cwg_period) == 0) {
+    obs::ProfScope scope(sampled, obs::Phase::CwgScan);
+    if (prof) prof->add_cycles(obs::Phase::CwgScan);
     // Oracle detection (§4.1 CWG mechanism): flag every interface whose
     // input queue participates in a knot so the token captures there.
     for (const auto& knot : oracle_->find_knots()) {
@@ -114,16 +128,38 @@ void Network::step() {
     }
   }
   if (cfg_.scheme == Scheme::DR) {
+    obs::ProfScope scope(sampled, obs::Phase::ProtocolStep);
     for (auto& ni : nis_) ni->step_deflect(now);
   }
-  for (auto& engine : recovery_) engine->step(now);
-  if (regress_) regress_->step(now);
-  for (auto& ni : nis_) {
-    ni->step_pending(now);
-    ni->step_inject(now);
+  {
+    obs::ProfScope scope(sampled, obs::Phase::TokenHandling);
+    for (auto& engine : recovery_) engine->step(now);
+    if (regress_) regress_->step(now);
   }
-  for (auto& r : routers_) r->step(now, *this);
-  commit();
+  {
+    obs::ProfScope scope(sampled, obs::Phase::NiInject);
+    for (auto& ni : nis_) {
+      ni->step_pending(now);
+      ni->step_inject(now);
+    }
+  }
+  {
+    obs::ProfScope scope(sampled, obs::Phase::RouterStep);
+    for (auto& r : routers_) r->step(now, *this, sub);
+  }
+  {
+    obs::ProfScope scope(sampled, obs::Phase::LinkTraversal);
+    commit();
+  }
+  if (prof) {
+    prof->add_cycles(obs::Phase::ProtocolStep);
+    if (!recovery_.empty() || regress_) {
+      prof->add_cycles(obs::Phase::TokenHandling);
+    }
+    prof->add_cycles(obs::Phase::NiInject);
+    prof->add_cycles(obs::Phase::RouterStep);
+    prof->add_cycles(obs::Phase::LinkTraversal);
+  }
 
   ++cycle_;
 }

@@ -11,6 +11,7 @@
 #include "mddsim/flow/packet.hpp"
 #include "mddsim/flow/packet_pool.hpp"
 #include "mddsim/netif/netif.hpp"
+#include "mddsim/obs/profile.hpp"
 #include "mddsim/obs/trace.hpp"
 #include "mddsim/protocol/endpoint.hpp"
 #include "mddsim/router/router.hpp"
@@ -86,6 +87,18 @@ class Network {
   Tracer* tracer() const {
 #if MDDSIM_TRACE_ENABLED
     return tracer_;
+#else
+    return nullptr;
+#endif
+  }
+
+  /// Attaches (or detaches with nullptr) the phase profiler.  Mirrors the
+  /// tracer: with MDDSIM_PROF=OFF the getter is a constant nullptr, so
+  /// every profiling hook folds away at compile time.
+  void set_profiler(obs::PhaseProfiler* p) { profiler_ = p; }
+  obs::PhaseProfiler* profiler() const {
+#if MDDSIM_PROF_ENABLED
+    return profiler_;
 #else
     return nullptr;
 #endif
@@ -171,6 +184,7 @@ class Network {
   Cycle meas_end_ = 0;
   EndpointObserver* observer_ = nullptr;
   Tracer* tracer_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;
   DeadlockCounters counters_;
 };
 

@@ -1,33 +1,8 @@
 #include "mddsim/sim/report.hpp"
 
-#include <cstdio>
 #include <ostream>
 
 namespace mddsim {
-
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 std::string csv_field(std::string_view s) {
   if (s.find_first_of(",\"\n\r") == std::string_view::npos)
@@ -69,25 +44,49 @@ void write_csv(std::ostream& os, const std::vector<ReportSeries>& series) {
   }
 }
 
+namespace {
+
+void write_run_members(JsonWriter& w, const std::string& label,
+                       const RunResult& r) {
+  w.kv("label", label);
+  w.kv("offered_load", r.offered_load);
+  w.kv("throughput", r.throughput);
+  w.kv("avg_packet_latency", r.avg_packet_latency);
+  w.kv("avg_txn_latency", r.avg_txn_latency);
+  w.kv("avg_txn_messages", r.avg_txn_messages);
+  w.kv("packets_delivered", r.packets_delivered);
+  w.kv("txns_completed", r.txns_completed);
+  w.kv("detections", r.counters.detections);
+  w.kv("deflections", r.counters.deflections);
+  w.kv("rescues", r.counters.rescues);
+  w.kv("rescued_msgs", r.counters.rescued_msgs);
+  w.kv("retries", r.counters.retries);
+  w.kv("cwg_deadlocks", r.counters.cwg_deadlocks);
+  w.kv("normalized_deadlocks", r.normalized_deadlocks);
+  w.kv("drained", r.drained);
+  w.kv("cycles", static_cast<std::uint64_t>(r.cycles_run));
+}
+
+}  // namespace
+
 void write_json(std::ostream& os, const std::string& label,
                 const RunResult& r) {
-  os << "{\"label\":\"" << json_escape(label)
-     << "\",\"offered_load\":" << r.offered_load
-     << ",\"throughput\":" << r.throughput
-     << ",\"avg_packet_latency\":" << r.avg_packet_latency
-     << ",\"avg_txn_latency\":" << r.avg_txn_latency
-     << ",\"avg_txn_messages\":" << r.avg_txn_messages
-     << ",\"packets_delivered\":" << r.packets_delivered
-     << ",\"txns_completed\":" << r.txns_completed
-     << ",\"detections\":" << r.counters.detections
-     << ",\"deflections\":" << r.counters.deflections
-     << ",\"rescues\":" << r.counters.rescues
-     << ",\"rescued_msgs\":" << r.counters.rescued_msgs
-     << ",\"retries\":" << r.counters.retries
-     << ",\"cwg_deadlocks\":" << r.counters.cwg_deadlocks
-     << ",\"normalized_deadlocks\":" << r.normalized_deadlocks
-     << ",\"drained\":" << (r.drained ? "true" : "false")
-     << ",\"cycles\":" << r.cycles_run << "}\n";
+  JsonWriter w(os);
+  w.begin_object();
+  write_run_members(w, label, r);
+  w.end_object();
+  os << "\n";
+}
+
+void write_json(std::ostream& os, const std::string& label, const RunResult& r,
+                const obs::RunProvenance& prov) {
+  JsonWriter w(os);
+  w.begin_object();
+  write_run_members(w, label, r);
+  w.key("provenance");
+  obs::write_provenance(w, prov);
+  w.end_object();
+  os << "\n";
 }
 
 }  // namespace mddsim

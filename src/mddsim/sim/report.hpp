@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "mddsim/common/json.hpp"  // json_escape + the shared JsonWriter
+#include "mddsim/obs/provenance.hpp"
 #include "mddsim/sim/simulator.hpp"
 
 namespace mddsim {
@@ -17,10 +19,6 @@ struct ReportSeries {
   std::string label;
   std::vector<RunResult> points;
 };
-
-/// JSON string-literal escaping (backslash, quote, control characters) —
-/// applied to every string emitted by `write_json`.
-std::string json_escape(std::string_view s);
 
 /// RFC-4180 CSV field quoting: fields containing commas, quotes or newlines
 /// are wrapped in double quotes with embedded quotes doubled.
@@ -39,5 +37,9 @@ void write_csv(std::ostream& os, const std::vector<ReportSeries>& series);
 /// Single run as a one-line JSON object.
 void write_json(std::ostream& os, const std::string& label,
                 const RunResult& r);
+
+/// As above, with a run-provenance manifest under "provenance".
+void write_json(std::ostream& os, const std::string& label, const RunResult& r,
+                const obs::RunProvenance& prov);
 
 }  // namespace mddsim

@@ -1,6 +1,10 @@
 #include "mddsim/sim/simulator.hpp"
 
+#include <chrono>
+#include <string>
+
 #include "mddsim/common/assert.hpp"
+#include "mddsim/core/recovery.hpp"
 
 namespace mddsim {
 
@@ -29,6 +33,13 @@ Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
     telemetry_ = std::make_unique<TelemetrySampler>(
         *net_, static_cast<Cycle>(cfg_.telemetry_epoch));
   }
+  if (cfg_.metrics || cfg_.metrics_epoch > 0) {
+    registry_ = std::make_unique<obs::Registry>();
+  }
+  if (cfg_.profile) {
+    profiler_ = std::make_unique<obs::PhaseProfiler>();
+    net_->set_profiler(profiler_.get());
+  }
   node_rng_.reserve(static_cast<std::size_t>(net_->num_nodes()));
   for (int i = 0; i < net_->num_nodes(); ++i) node_rng_.push_back(rng_.split());
 }
@@ -41,6 +52,14 @@ void Simulator::capture_forensics(Cycle now, const char* reason) {
 void Simulator::step_obs() {
   const Cycle now = net_->now();
   if (telemetry_) telemetry_->step(now);
+  if (registry_ && cfg_.metrics_epoch > 0 && now != 0 &&
+      now % static_cast<Cycle>(cfg_.metrics_epoch) == 0) {
+    // MetricsCollect is an exact phase: timed on every occurrence so the
+    // profiler can report the registry's own overhead precisely.
+    obs::ProfScope scope(net_->profiler(), obs::Phase::MetricsCollect);
+    collect_metrics(*registry_);
+    registry_->record_epoch(now);
+  }
   if (!cfg_.forensics || cfg_.watchdog_cycles == 0) return;
   const std::uint64_t consumed = metrics_->total_packets_consumed();
   if (consumed != watch_consumed_) {
@@ -69,11 +88,24 @@ RunResult Simulator::run(bool drain) {
   const Cycle end = warm + cfg_.measure_cycles;
   net_->set_measurement_window(warm, end);
   metrics_->set_window(warm, end);
+  const auto wall_start = std::chrono::steady_clock::now();
 
   while (net_->now() < end) {
-    generate_traffic(net_->now());
+    {
+      obs::PhaseProfiler* prof = net_->profiler();
+      obs::ProfScope scope(
+          prof && prof->sampled(net_->now()) ? prof : nullptr,
+          obs::Phase::TrafficGen);
+      if (prof) prof->add_cycles(obs::Phase::TrafficGen);
+      generate_traffic(net_->now());
+    }
     net_->step();
     if (cwg_ && net_->now() % static_cast<Cycle>(cfg_.cwg_period) == 0) {
+      obs::PhaseProfiler* prof = net_->profiler();
+      obs::ProfScope scope(
+          prof && prof->sampled(net_->now()) ? prof : nullptr,
+          obs::Phase::CwgScan);
+      if (prof) prof->add_cycles(obs::Phase::CwgScan);
       const std::uint64_t found = cwg_->scan();
       net_->counters().cwg_deadlocks += found;
       if (found > 0 && cfg_.forensics)
@@ -100,6 +132,17 @@ RunResult Simulator::run(bool drain) {
     r.drained = net_->idle() && protocol_->live_transactions() == 0;
   }
   if (telemetry_) telemetry_->sample(net_->now());  // final partial epoch
+  if (registry_) {
+    obs::ProfScope scope(net_->profiler(), obs::Phase::MetricsCollect);
+    collect_metrics(*registry_);
+    if (cfg_.metrics_epoch > 0) registry_->record_epoch(net_->now());
+  }
+  if (profiler_) {
+    profiler_->set_total_wall_seconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count());
+  }
 
   r.offered_load = cfg_.injection_rate;
   r.throughput = metrics_->throughput();
@@ -120,6 +163,100 @@ RunResult Simulator::run(bool drain) {
           : static_cast<double>(events) / static_cast<double>(r.packets_delivered);
   r.cycles_run = net_->now();
   return r;
+}
+
+void Simulator::collect_metrics(obs::Registry& reg) const {
+  // --- Whole-run aggregates. ------------------------------------------------
+  reg.gauge("sim.cycles", "cycles simulated so far").set(
+      static_cast<double>(net_->now()));
+  reg.counter("sim.flits_injected", "flits injected in the measurement window")
+      .set(metrics_->flits_injected());
+  reg.counter("sim.flits_delivered", "flits delivered in the measurement window")
+      .set(metrics_->flits_delivered());
+  reg.counter("sim.packets_delivered",
+              "packets delivered in the measurement window")
+      .set(metrics_->packets_delivered());
+  reg.counter("sim.txns_completed",
+              "transactions completed in the measurement window")
+      .set(metrics_->txns_completed());
+  reg.gauge("sim.throughput", "delivered flits per node per cycle")
+      .set(metrics_->throughput());
+  reg.stat("sim.packet_latency", "packet latency in cycles (queue + network)")
+      .set(metrics_->packet_latency(), metrics_->latency_quantiles());
+
+  // --- Protocol layer. ------------------------------------------------------
+  reg.counter("protocol.txns_started", "transactions started (lifetime)")
+      .set(protocol_->transactions_started());
+  reg.gauge("protocol.txns_live", "incomplete transactions right now")
+      .set(static_cast<double>(protocol_->live_transactions()));
+
+  // --- Deadlock handling core. ----------------------------------------------
+  const DeadlockCounters& c = net_->counters();
+  reg.counter("core.detections", "endpoint detector firings").set(c.detections);
+  reg.counter("core.deflections", "DR backoff replies issued")
+      .set(c.deflections);
+  reg.counter("core.retries", "RG kills and re-injections").set(c.retries);
+  reg.counter("core.cwg.deadlocks", "knots counted by the CWG detector")
+      .set(c.cwg_deadlocks);
+  if (cwg_) {
+    reg.counter("core.cwg.scans", "CWG detector scan invocations")
+        .set(cwg_->scans());
+    reg.counter("core.cwg.knots_found", "new deadlocks the scans counted")
+        .set(cwg_->knots_found());
+  }
+  reg.counter("recovery.rescues", "PR token captures (recovery episodes)")
+      .set(c.rescues);
+  reg.counter("recovery.rescued_msgs", "messages routed over the DB/DMB lane")
+      .set(c.rescued_msgs);
+  std::uint64_t acquisitions = 0;
+  std::uint64_t token_moves = 0;
+  for (const auto& engine : net_->recovery_engines()) {
+    acquisitions += engine->captures();
+    token_moves += engine->token_moves();
+  }
+  reg.counter("recovery.token.acquisitions",
+              "token captures across all recovery engines")
+      .set(acquisitions);
+  reg.counter("recovery.token.moves", "token ring hops across all engines")
+      .set(token_moves);
+
+  // --- Fabric state. --------------------------------------------------------
+  reg.gauge("network.flits_in_flight",
+            "flits buffered anywhere in the fabric")
+      .set(static_cast<double>(net_->flits_in_network()));
+  const int num_routers = net_->topology().num_routers();
+  for (int rt = 0; rt < num_routers; ++rt) {
+    const Router& router = net_->router(static_cast<RouterId>(rt));
+    const std::string prefix = "router." + std::to_string(rt) + ".";
+    reg.gauge(prefix + "buffered_flits", "flits in this router's input VCs")
+        .set(static_cast<double>(router.total_buffered_flits()));
+    std::uint64_t forwarded = 0;
+    for (int p = 0; p < router.num_outputs(); ++p) {
+      for (int v = 0; v < router.vcs(); ++v) {
+        forwarded += router.output(p, v).flits_forwarded;
+      }
+    }
+    reg.counter(prefix + "flits_forwarded", "flits this router forwarded")
+        .set(forwarded);
+    reg.counter(prefix + "vc_stall_cycles",
+                "head-flit VC-allocation failures")
+        .set(router.vc_stall_cycles());
+  }
+  const auto& consumed = metrics_->node_consumed();
+  const auto& detections = metrics_->node_detections();
+  const auto& deflections = metrics_->node_deflections();
+  const auto& injected = metrics_->node_flits_injected();
+  for (std::size_t n = 0; n < consumed.size(); ++n) {
+    const std::string prefix = "ni." + std::to_string(n) + ".";
+    reg.counter(prefix + "packets_consumed", "packets this NI consumed")
+        .set(consumed[n]);
+    reg.counter(prefix + "detections", "detector firings at this NI")
+        .set(detections[n]);
+    reg.counter(prefix + "deflections", "deflections issued at this NI")
+        .set(deflections[n]);
+    reg.counter(prefix + "flits_injected", "flits this NI injected")
+        .set(injected[n]);
+  }
 }
 
 std::vector<RunResult> sweep_loads(const SimConfig& base,

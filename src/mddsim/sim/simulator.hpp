@@ -17,6 +17,8 @@
 #include "mddsim/common/rng.hpp"
 #include "mddsim/core/cwg.hpp"
 #include "mddsim/obs/forensics.hpp"
+#include "mddsim/obs/profile.hpp"
+#include "mddsim/obs/registry.hpp"
 #include "mddsim/obs/telemetry.hpp"
 #include "mddsim/obs/trace.hpp"
 #include "mddsim/protocol/generic_protocol.hpp"
@@ -67,6 +69,17 @@ class Simulator {
   const std::vector<ForensicsReport>& forensics_reports() const {
     return forensics_;
   }
+  /// Metrics registry (cfg.metrics or cfg.metrics_epoch > 0), or nullptr.
+  /// Populated at end of run, plus at every metrics_epoch boundary.
+  obs::Registry* registry() { return registry_.get(); }
+  /// Phase profiler (cfg.profile), or nullptr.  Records nothing when the
+  /// library is built with MDDSIM_PROF=OFF.
+  obs::PhaseProfiler* profiler() { return profiler_.get(); }
+
+  /// Pull-model collection: copies the simulator's incremental counters
+  /// (metrics, deadlock counters, per-router and per-NI state) into `reg`.
+  /// Idempotent — repeated calls overwrite, they do not accumulate.
+  void collect_metrics(obs::Registry& reg) const;
 
  private:
   void generate_traffic(Cycle now);
@@ -85,6 +98,8 @@ class Simulator {
 
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<TelemetrySampler> telemetry_;
+  std::unique_ptr<obs::Registry> registry_;
+  std::unique_ptr<obs::PhaseProfiler> profiler_;
   std::vector<ForensicsReport> forensics_;
   std::uint64_t watch_consumed_ = 0;  ///< consumption count at last progress
   Cycle watch_since_ = 0;             ///< cycle of last observed progress

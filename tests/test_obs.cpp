@@ -221,6 +221,59 @@ TEST(Telemetry, SamplesOnEpochsWithSaneValues) {
             samples.size() + 1);
 }
 
+TEST(Telemetry, FinalPartialEpochSampledExactlyOnce) {
+  // Measurement ending off an epoch boundary forces one final partial
+  // sample; a second force at the same cycle must be a no-op (this guards
+  // the end-of-run double-sampling bug).
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.injection_rate = 0.008;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 1050;
+  cfg.seed = 3;
+  cfg.telemetry_epoch = 100;
+  Simulator sim(cfg);
+  sim.run(false);
+  ASSERT_NE(sim.telemetry(), nullptr);
+  TelemetrySampler& tel = *sim.telemetry();
+  const std::size_t rows_per_sample = static_cast<std::size_t>(
+      sim.network().topology().num_routers() *
+      sim.network().layout().total_vcs);
+  // Boundaries 100..1000 plus the forced partial sample at 1050.
+  EXPECT_EQ(tel.samples().size(), 11 * rows_per_sample);
+  EXPECT_EQ(tel.samples().back().cycle, 1050u);
+
+  // Re-forcing at the final cycle must not duplicate...
+  tel.sample(1050);
+  EXPECT_EQ(tel.samples().size(), 11 * rows_per_sample);
+  // ...but a genuinely later cycle still samples.
+  tel.sample(1100);
+  EXPECT_EQ(tel.samples().size(), 12 * rows_per_sample);
+}
+
+TEST(Telemetry, FreshSamplerAtCycleZeroSamplesOnce) {
+  // Cycle 0 is a legal forced-sample point even though step() skips it;
+  // the "never sampled yet" state must not be confused with "already
+  // sampled cycle 0".
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 10;
+  Simulator sim(cfg);
+  TelemetrySampler tel(sim.network(), 100);
+  const std::size_t rows_per_sample = static_cast<std::size_t>(
+      sim.network().topology().num_routers() *
+      sim.network().layout().total_vcs);
+  tel.sample(0);
+  EXPECT_EQ(tel.samples().size(), rows_per_sample);
+  tel.sample(0);  // duplicate force at the same cycle: no-op
+  EXPECT_EQ(tel.samples().size(), rows_per_sample);
+}
+
 // Forced message-dependent deadlock (PR with every detector disabled):
 // forensics must capture a wait graph whose DOT shows a knot (cycle).
 TEST(Forensics, DeadlockProducesDotWithKnot) {

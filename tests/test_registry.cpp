@@ -1,0 +1,430 @@
+// Observability v2 tests (mddsim::obs): typed metrics registry
+// (registration semantics, Prometheus/JSON export, epoch time-series),
+// phase profiler (scope attribution, sampling scale-up, compiled-out
+// builds), sweep progress accounting under a parallel SweepRunner, and the
+// run-provenance manifest stamped into report JSON.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/common/config_parse.hpp"
+#include "mddsim/obs/profile.hpp"
+#include "mddsim/obs/progress.hpp"
+#include "mddsim/obs/provenance.hpp"
+#include "mddsim/obs/registry.hpp"
+#include "mddsim/par/sweep.hpp"
+#include "mddsim/sim/report.hpp"
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+namespace {
+
+// Minimal structural JSON check (same as test_obs.cpp): braces/brackets
+// balance outside string literals, strings terminate, no raw control
+// characters leak through.
+bool json_well_formed(const std::string& s) {
+  int depth = 0;
+  bool in_str = false, esc = false;
+  for (const char c : s) {
+    if (in_str) {
+      if (esc) esc = false;
+      else if (c == '\\') esc = true;
+      else if (c == '"') in_str = false;
+      else if (static_cast<unsigned char>(c) < 0x20) return false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_str = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']': if (--depth < 0) return false; break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_str;
+}
+
+SimConfig small_cfg() {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.injection_rate = 0.008;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 600;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Registry, AccessorsRegisterOnceAndAreIdempotent) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("core.cwg.scans", "knot scans");
+  obs::Counter& b = reg.counter("core.cwg.scans");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.num_metrics(), 1u);
+
+  a.set(41);
+  b.inc();
+  EXPECT_EQ(reg.counter("core.cwg.scans").value(), 42u);
+
+  reg.gauge("sim.throughput").set(0.25);
+  reg.stat("sim.packet_latency").observe(10.0);
+  EXPECT_EQ(reg.num_metrics(), 3u);
+
+  ASSERT_NE(reg.find_counter("core.cwg.scans"), nullptr);
+  ASSERT_NE(reg.find_gauge("sim.throughput"), nullptr);
+  ASSERT_NE(reg.find_stat("sim.packet_latency"), nullptr);
+  EXPECT_EQ(reg.find_counter("no.such.metric"), nullptr);
+  EXPECT_EQ(reg.find_gauge("core.cwg.scans"), nullptr);  // wrong kind
+}
+
+TEST(Registry, KindConflictThrows) {
+  obs::Registry reg;
+  reg.counter("x.y");
+  EXPECT_THROW(reg.gauge("x.y"), InvariantError);
+  EXPECT_THROW(reg.stat("x.y"), InvariantError);
+}
+
+TEST(Registry, PrometheusExportManglesNamesAndLiftsIds) {
+  obs::Registry reg;
+  reg.counter("router.3.vc_stall_cycles", "cycles a head flit waited").set(7);
+  reg.gauge("sim.throughput").set(0.5);
+  obs::StatMetric& s = reg.stat("sim.packet_latency", "per-packet latency");
+  for (int i = 1; i <= 100; ++i) s.observe(static_cast<double>(i));
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string out = os.str();
+
+  EXPECT_NE(out.find("mddsim_router_vc_stall_cycles{id=\"3\"} 7"),
+            std::string::npos) << out;
+  EXPECT_NE(out.find("# TYPE mddsim_router_vc_stall_cycles counter"),
+            std::string::npos);
+  EXPECT_NE(out.find("# HELP mddsim_router_vc_stall_cycles "
+                     "cycles a head flit waited"), std::string::npos);
+  EXPECT_NE(out.find("mddsim_sim_throughput 0.5"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE mddsim_sim_packet_latency summary"),
+            std::string::npos);
+  EXPECT_NE(out.find("mddsim_sim_packet_latency{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("mddsim_sim_packet_latency_sum 5050"),
+            std::string::npos);
+  EXPECT_NE(out.find("mddsim_sim_packet_latency_count 100"),
+            std::string::npos);
+  // No raw dots survive in metric names.
+  EXPECT_EQ(out.find("mddsim_router.3"), std::string::npos);
+}
+
+TEST(Registry, JsonExportWellFormedWithEpochSeries) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("sim.flits_injected");
+  c.set(10);
+  reg.record_epoch(100);
+  c.set(25);
+  reg.gauge("network.flits_in_flight").set(4.0);  // registered late: pads
+  reg.record_epoch(200);
+  reg.record_epoch(200);  // duplicate end-of-run collection: no-op
+  EXPECT_EQ(reg.num_epochs(), 2u);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string out = os.str();
+  EXPECT_TRUE(json_well_formed(out)) << out;
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+  EXPECT_NE(out.find("\"epochs\""), std::string::npos);
+  EXPECT_NE(out.find("\"sim.flits_injected\""), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("200"), std::string::npos);
+}
+
+TEST(SimulatorMetrics, CollectsHierarchicalMetricsFromAllLayers) {
+  SimConfig cfg = small_cfg();
+  cfg.metrics = true;
+  cfg.metrics_epoch = 100;
+  Simulator sim(cfg);
+  const RunResult r = sim.run(false);
+  ASSERT_NE(sim.registry(), nullptr);
+  const obs::Registry& reg = *sim.registry();
+
+  const obs::Gauge* cycles = reg.find_gauge("sim.cycles");
+  ASSERT_NE(cycles, nullptr);
+  EXPECT_DOUBLE_EQ(cycles->value(), static_cast<double>(r.cycles_run));
+  const obs::Counter* delivered = reg.find_counter("sim.packets_delivered");
+  ASSERT_NE(delivered, nullptr);
+  EXPECT_EQ(delivered->value(), r.packets_delivered);
+
+  // Every layer registered under its own prefix.
+  EXPECT_NE(reg.find_counter("protocol.txns_started"), nullptr);
+  EXPECT_NE(reg.find_counter("core.detections"), nullptr);
+  EXPECT_NE(reg.find_counter("recovery.rescues"), nullptr);
+  EXPECT_NE(reg.find_counter("router.0.flits_forwarded"), nullptr);
+  EXPECT_NE(reg.find_counter("router.0.vc_stall_cycles"), nullptr);
+  EXPECT_NE(reg.find_counter("ni.0.packets_consumed"), nullptr);
+  EXPECT_NE(reg.find_stat("sim.packet_latency"), nullptr);
+
+  // 600 cycles at epoch 100 → epochs at 100..600 (the final collection
+  // coincides with the last boundary and must not duplicate).
+  EXPECT_EQ(reg.num_epochs(), 6u);
+
+  // Traffic flowed, so forwarding counters moved somewhere.
+  std::uint64_t forwarded = 0;
+  const int routers = sim.network().topology().num_routers();
+  for (int i = 0; i < routers; ++i) {
+    const auto* f =
+        reg.find_counter("router." + std::to_string(i) + ".flits_forwarded");
+    ASSERT_NE(f, nullptr);
+    forwarded += f->value();
+  }
+  EXPECT_GT(forwarded, 0u);
+}
+
+TEST(SimulatorMetrics, ObservationDoesNotPerturbResults) {
+  const SimConfig plain = small_cfg();
+  SimConfig observed = small_cfg();
+  observed.metrics = true;
+  observed.metrics_epoch = 50;
+  observed.profile = true;
+  RunResult a, b;
+  { Simulator sim(plain); a = sim.run(false); }
+  { Simulator sim(observed); b = sim.run(false); }
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.txns_completed, b.txns_completed);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  EXPECT_DOUBLE_EQ(a.avg_packet_latency, b.avg_packet_latency);
+  EXPECT_EQ(a.counters.rescues, b.counters.rescues);
+}
+
+TEST(Profiler, ScopeAttributesWallAndCyclesScaleByPeriod) {
+  if (!obs::PhaseProfiler::compiled_in()) {
+    GTEST_SKIP() << "built with MDDSIM_PROF=OFF";
+  }
+  obs::PhaseProfiler prof(8);
+  EXPECT_TRUE(prof.sampled(0));
+  EXPECT_FALSE(prof.sampled(3));
+  EXPECT_TRUE(prof.sampled(16));
+
+  {
+    obs::ProfScope scope(&prof, obs::Phase::RouterStep);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 50000; ++i) sink = sink + 1.0;
+  }
+  EXPECT_EQ(prof.calls(obs::Phase::RouterStep), 1u);
+  EXPECT_GT(prof.wall_ns(obs::Phase::RouterStep), 0u);
+
+  prof.add_cycles(obs::Phase::RouterStep, 5);
+  EXPECT_EQ(prof.cycles(obs::Phase::RouterStep), 5u);
+
+  // Sampled phases scale by the period, nested sub-phases by the sparser
+  // sub-sampling period, and exact phases not at all.
+  prof.add_wall(obs::Phase::LinkTraversal, 1000);
+  EXPECT_DOUBLE_EQ(prof.estimated_seconds(obs::Phase::LinkTraversal),
+                   8 * 1000e-9);
+  prof.add_wall(obs::Phase::VcAlloc, 1000);
+  EXPECT_DOUBLE_EQ(prof.estimated_seconds(obs::Phase::VcAlloc),
+                   8 * obs::PhaseProfiler::kSubSampleFactor *
+                       obs::PhaseProfiler::kNumSubPhases * 1000e-9);
+  prof.add_wall(obs::Phase::MetricsCollect, 1000);
+  EXPECT_DOUBLE_EQ(prof.estimated_seconds(obs::Phase::MetricsCollect),
+                   1000e-9);
+
+  // Sub-phase arming: exactly one of the three per sub-sampled cycle,
+  // rotating, and none on unsampled cycles.
+  const Cycle stride = 8 * obs::PhaseProfiler::kSubSampleFactor;
+  EXPECT_TRUE(prof.sub_sampled(0));
+  EXPECT_FALSE(prof.sub_sampled(8));
+  EXPECT_TRUE(prof.sub_sampled(stride));
+  EXPECT_TRUE(prof.sub_armed(obs::Phase::RouteCompute, 0));
+  EXPECT_FALSE(prof.sub_armed(obs::Phase::VcAlloc, 0));
+  EXPECT_TRUE(prof.sub_armed(obs::Phase::VcAlloc, stride));
+  EXPECT_TRUE(prof.sub_armed(obs::Phase::SwitchAlloc, 2 * stride));
+  EXPECT_TRUE(prof.sub_armed(obs::Phase::RouteCompute, 3 * stride));
+  EXPECT_FALSE(prof.sub_armed(obs::Phase::RouteCompute, 8));
+
+  const std::string rep = prof.report();
+  EXPECT_NE(rep.find("router_step"), std::string::npos);
+  std::ostringstream os;
+  prof.write_json(os);
+  EXPECT_TRUE(json_well_formed(os.str())) << os.str();
+
+  prof.reset();
+  EXPECT_EQ(prof.calls(obs::Phase::RouterStep), 0u);
+  EXPECT_EQ(prof.cycles(obs::Phase::RouterStep), 0u);
+}
+
+TEST(Profiler, NullProfilerScopesAreFree) {
+  // A null profiler must be safe in every build flavour — this is the
+  // not-sampled-this-cycle hot path.
+  obs::ProfScope scope(nullptr, obs::Phase::RouterStep);
+}
+
+TEST(Profiler, DisabledBuildRecordsNothing) {
+  if (obs::PhaseProfiler::compiled_in()) {
+    GTEST_SKIP() << "built with MDDSIM_PROF=ON";
+  }
+  obs::PhaseProfiler prof(1);
+  EXPECT_FALSE(prof.sampled(0));
+  { obs::ProfScope scope(&prof, obs::Phase::CwgScan); }
+  prof.add_wall(obs::Phase::CwgScan, 123);
+  prof.add_cycles(obs::Phase::CwgScan, 7);
+  EXPECT_EQ(prof.calls(obs::Phase::CwgScan), 0u);
+  EXPECT_EQ(prof.wall_ns(obs::Phase::CwgScan), 0u);
+  EXPECT_EQ(prof.cycles(obs::Phase::CwgScan), 0u);
+}
+
+TEST(Profiler, EveryPhaseHasAName) {
+  for (int i = 0; i < obs::kNumPhases; ++i) {
+    const char* name = obs::phase_name(static_cast<obs::Phase>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+TEST(Progress, SnapshotLifecycle) {
+  std::ostringstream os;
+  obs::SweepProgress progress(obs::ProgressMode::Jsonl, os, 0.0);
+  progress.begin(2);
+  progress.point_started(0);
+  obs::SweepProgress::Snapshot s = progress.snapshot();
+  EXPECT_EQ(s.total, 2u);
+  EXPECT_EQ(s.started, 1u);
+  EXPECT_EQ(s.running, 1u);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_EQ(progress.state(0), obs::SweepProgress::PointState::Running);
+  EXPECT_EQ(progress.state(1), obs::SweepProgress::PointState::Pending);
+
+  progress.point_finished(0, 500);
+  progress.point_started(1);
+  progress.point_finished(1, 700);
+  s = progress.snapshot();
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.running, 0u);
+  EXPECT_EQ(s.cycles_done, 1200u);
+  EXPECT_EQ(progress.state(1), obs::SweepProgress::PointState::Done);
+  progress.finish();
+
+  // Jsonl mode: every emitted line is one well-formed JSON object and the
+  // batch ends with an "end" event carrying the final totals.
+  const std::string out = os.str();
+  std::istringstream lines(out);
+  std::string line, last;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(json_well_formed(line)) << line;
+    last = line;
+    ++n;
+  }
+  EXPECT_GE(n, 2u);  // at least begin + end
+  EXPECT_NE(last.find("\"event\":\"end\""), std::string::npos) << last;
+  EXPECT_NE(last.find("\"completed\":2"), std::string::npos) << last;
+  EXPECT_NE(last.find("\"cycles_done\":1200"), std::string::npos) << last;
+}
+
+TEST(Progress, ParallelSweepAccountsEveryPointAndPreservesResults) {
+  std::vector<SimConfig> points;
+  for (int i = 0; i < 8; ++i) {
+    SimConfig cfg = small_cfg();
+    cfg.measure_cycles = 300;
+    cfg.seed = static_cast<std::uint64_t>(10 + i);
+    points.push_back(cfg);
+  }
+
+  const std::vector<RunResult> plain = par::SweepRunner(4).run(points);
+
+  std::ostringstream os;
+  obs::SweepProgress progress(obs::ProgressMode::Jsonl, os, 0.0);
+  const std::vector<RunResult> tracked =
+      par::SweepRunner(4).run(points, false, &progress);
+
+  const obs::SweepProgress::Snapshot s = progress.snapshot();
+  EXPECT_EQ(s.total, points.size());
+  EXPECT_EQ(s.completed, points.size());
+  EXPECT_EQ(s.running, 0u);
+  std::uint64_t cycles = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(progress.state(i), obs::SweepProgress::PointState::Done);
+    cycles += static_cast<std::uint64_t>(tracked[i].cycles_run);
+  }
+  EXPECT_EQ(s.cycles_done, cycles);
+
+  // Progress observation must not change the simulation: results match the
+  // plain parallel run point for point.
+  ASSERT_EQ(tracked.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(tracked[i].packets_delivered, plain[i].packets_delivered);
+    EXPECT_EQ(tracked[i].cycles_run, plain[i].cycles_run);
+    EXPECT_DOUBLE_EQ(tracked[i].throughput, plain[i].throughput);
+    EXPECT_DOUBLE_EQ(tracked[i].avg_packet_latency,
+                     plain[i].avg_packet_latency);
+  }
+}
+
+TEST(Provenance, HashIsStableAndConfigSensitive) {
+  const SimConfig cfg = small_cfg();
+  const obs::RunProvenance a = obs::make_provenance(cfg, 2, 1.5);
+  const obs::RunProvenance b = obs::make_provenance(cfg, 2, 9.9);
+  EXPECT_EQ(a.config_hash, b.config_hash);  // wall time is not hashed
+  EXPECT_EQ(a.config_hash.size(), 16u);
+  EXPECT_EQ(a.scheme, "PR");
+  EXPECT_EQ(a.pattern, "PAT271");
+  EXPECT_EQ(a.seed, cfg.seed);
+  EXPECT_EQ(a.jobs, 2);
+  EXPECT_FALSE(a.build.empty());
+
+  SimConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  EXPECT_NE(obs::make_provenance(other, 2, 1.5).config_hash, a.config_hash);
+}
+
+TEST(Provenance, BatchWildcardsNonUniformSchemeAndPattern) {
+  SimConfig a = small_cfg();
+  SimConfig b = small_cfg();
+  const obs::RunProvenance uniform =
+      obs::make_batch_provenance({a, b}, 4, 0.0);
+  EXPECT_EQ(uniform.scheme, "PR");
+  EXPECT_EQ(uniform.pattern, "PAT271");
+
+  b.scheme = Scheme::DR;
+  b.pattern = "PAT721";
+  const obs::RunProvenance mixed = obs::make_batch_provenance({a, b}, 4, 0.0);
+  EXPECT_EQ(mixed.scheme, "*");
+  EXPECT_EQ(mixed.pattern, "*");
+  EXPECT_NE(mixed.config_hash, uniform.config_hash);
+
+  // Empty batches are legal (a bench that noted no configs).
+  const obs::RunProvenance empty = obs::make_batch_provenance({}, 1, 0.0);
+  EXPECT_EQ(empty.config_hash.size(), 16u);
+}
+
+TEST(Provenance, ManifestAppearsInReportJson) {
+  SimConfig cfg = small_cfg();
+  RunResult r;
+  {
+    Simulator sim(cfg);
+    r = sim.run(false);
+  }
+  const obs::RunProvenance prov = obs::make_provenance(cfg, 1, 0.25);
+  std::ostringstream os;
+  write_json(os, "unit", r, prov);
+  const std::string out = os.str();
+  EXPECT_TRUE(json_well_formed(out)) << out;
+  EXPECT_NE(out.find("\"provenance\""), std::string::npos);
+  EXPECT_NE(out.find("\"config_hash\":\"" + prov.config_hash + "\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(out.find("\"build\":\"" + obs::build_flags() + "\""),
+            std::string::npos);
+
+  // The provenance-free overload keeps the legacy shape.
+  std::ostringstream plain;
+  write_json(plain, "unit", r);
+  EXPECT_EQ(plain.str().find("provenance"), std::string::npos);
+  EXPECT_TRUE(json_well_formed(plain.str()));
+}
+
+}  // namespace
+}  // namespace mddsim
