@@ -7,6 +7,11 @@
 //     --drain            drain the network after measurement
 //     --csv | --json     machine-readable output
 //     --print-config     echo the effective configuration and exit
+//     --verify[=strict]  run the static deadlock-freedom analyzer instead of
+//                        simulating; prints the verdict (JSON with --json,
+//                        counterexample DOT included) and exits 0 on PASS,
+//                        4 on FAIL.  =strict also demands the recovery-free
+//                        graph be acyclic (informational for PR/RG).
 //     --sweep R1,R2,...  run one simulation per injection rate (parallel)
 //     --jobs N           worker threads for --sweep (default: MDDSIM_JOBS
 //                        env or hardware concurrency; 1 = serial)
@@ -50,6 +55,7 @@
 #include "mddsim/par/sweep.hpp"
 #include "mddsim/sim/report.hpp"
 #include "mddsim/sim/simulator.hpp"
+#include "mddsim/verify/verify.hpp"
 
 using namespace mddsim;
 
@@ -57,7 +63,7 @@ namespace {
 
 void print_help() {
   std::printf("usage: mddsim_cli [--help] [--config FILE] [--drain] "
-              "[--csv|--json] [--print-config]\n"
+              "[--csv|--json] [--print-config] [--verify[=strict]]\n"
               "                  [--sweep R1,R2,...] [--jobs N] "
               "[--progress[=human|jsonl]]\n"
               "                  [--trace-out FILE] [--heatmap-out FILE] "
@@ -97,6 +103,7 @@ int main(int argc, char** argv) {
   SimConfig cfg;
   bool drain = false, csv = false, json = false, print_cfg = false;
   bool profile_report = false;
+  bool verify_mode = false, verify_strict = false;
   std::string trace_out, heatmap_out, forensics_dir, metrics_out, profile_out;
   obs::ProgressMode progress_mode = obs::ProgressMode::Off;
   std::vector<double> sweep_rates;
@@ -119,6 +126,10 @@ int main(int argc, char** argv) {
         json = true;
       } else if (arg == "--print-config") {
         print_cfg = true;
+      } else if (arg == "--verify") {
+        verify_mode = true;
+      } else if (arg == "--verify=strict") {
+        verify_mode = verify_strict = true;
       } else if (arg == "--trace-out") {
         if (++i >= argc) throw ConfigError("--trace-out needs a file argument");
         trace_out = argv[i];
@@ -182,6 +193,20 @@ int main(int argc, char** argv) {
   if (print_cfg) {
     std::fputs(config_to_string(cfg).c_str(), stdout);
     return 0;
+  }
+
+  if (verify_mode) {
+    // Static analysis only: build the extended CDG/MDG, run SCC analysis,
+    // report, and exit without simulating a single cycle.
+    const verify::Verdict v =
+        verify::run_verify(verify::VerifyInputs::from_config(cfg));
+    if (json) {
+      std::fputs(v.json().c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::fputs(v.text().c_str(), stdout);
+    }
+    return v.passes(verify_strict) ? 0 : 4;
   }
 
   if (!sweep_rates.empty()) {

@@ -100,6 +100,7 @@ const std::vector<ConfigKey>& known_keys() {
       {"cwg_period", "CWG scan interval (cycles)"},
       {"retry_backoff", "RG re-injection backoff (cycles)"},
       {"tokens", "PR: concurrent recovery tokens (default 1)"},
+      {"verify", "run the static deadlock-freedom preflight (0/1)"},
       {"trace", "attach the flit-level event tracer (0/1)"},
       {"trace_capacity", "tracer ring-buffer capacity (events)"},
       {"telemetry_epoch", "congestion-sampling period (cycles, 0 = off)"},
@@ -157,6 +158,7 @@ void apply_config_option(SimConfig& cfg, std::string_view assignment) {
   else if (key == "cwg_period") cfg.cwg_period = parse_int(key, val);
   else if (key == "retry_backoff") cfg.retry_backoff = parse_int(key, val);
   else if (key == "tokens") cfg.num_tokens = parse_int(key, val);
+  else if (key == "verify") cfg.verify_preflight = parse_bool(key, val);
   else if (key == "trace") cfg.trace = parse_bool(key, val);
   else if (key == "trace_capacity") cfg.trace_capacity = parse_int(key, val);
   else if (key == "telemetry_epoch")
@@ -240,6 +242,7 @@ std::string config_to_string(const SimConfig& cfg) {
      << "cwg_period=" << cfg.cwg_period << "\n"
      << "retry_backoff=" << cfg.retry_backoff << "\n"
      << "tokens=" << cfg.num_tokens << "\n"
+     << "verify=" << (cfg.verify_preflight ? 1 : 0) << "\n"
      << "trace=" << (cfg.trace ? 1 : 0) << "\n"
      << "trace_capacity=" << cfg.trace_capacity << "\n"
      << "telemetry_epoch=" << cfg.telemetry_epoch << "\n"

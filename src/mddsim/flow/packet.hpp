@@ -25,11 +25,18 @@ struct Packet {
   // creation from the scheme's ClassMap.
   int vc_class = 0;
 
-  // Dateline state for escape-channel (DOR) routing: which dimension the
-  // packet is currently traversing and whether it has crossed that
-  // dimension's wraparound link.
-  int dor_dim = -1;
-  bool crossed_dateline = false;
+  // Dateline state for escape-channel (DOR) routing: bit d is set once the
+  // packet has crossed dimension d's wraparound link and stays set for the
+  // rest of the route.  Stickiness matters under Duato routing: an adaptive
+  // excursion into another dimension must not return the packet to the low
+  // escape VC of a dimension whose dateline it already crossed, or the
+  // extended escape channel dependency graph acquires a high→low VC edge
+  // that closes a cycle around the ring (mddsim::verify checks this).
+  std::uint8_t dateline_mask = 0;
+
+  bool crossed_dateline(int dim) const {
+    return (dateline_mask >> dim) & 1u;
+  }
 
   // Lifecycle timestamps.
   Cycle gen_cycle = 0;      ///< message created (entered endpoint queues)

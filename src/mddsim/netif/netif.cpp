@@ -586,8 +586,7 @@ int NetworkInterface::abort_injection(const PacketPtr& pkt) {
 void NetworkInterface::schedule_retry(const PacketPtr& pkt, Cycle ready) {
   pkt->rescued = false;
   pkt->retried = true;
-  pkt->dor_dim = -1;
-  pkt->crossed_dateline = false;
+  pkt->dateline_mask = 0;
   retries_.push_back(Retry{pkt, ready});
 }
 

@@ -1,0 +1,41 @@
+#include "mddsim/obs/dot.hpp"
+
+namespace mddsim::obs {
+
+namespace {
+constexpr const char* kHotFill = "#e06666";
+constexpr const char* kHotEdge = "#cc0000";
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+DotDigraph::DotDigraph(const std::string& name) {
+  os_ << "digraph " << name << " {\n  rankdir=LR;\n"
+      << "  node [shape=box,fontsize=10];\n";
+}
+
+DotDigraph& DotDigraph::node(int id, const std::string& label, bool hot) {
+  os_ << "  v" << id << " [label=\"" << dot_escape(label) << "\"";
+  if (hot) os_ << ",style=filled,fillcolor=\"" << kHotFill << "\"";
+  os_ << "];\n";
+  return *this;
+}
+
+DotDigraph& DotDigraph::edge(int from, int to, bool hot) {
+  os_ << "  v" << from << " -> v" << to;
+  if (hot) os_ << " [color=\"" << kHotEdge << "\",penwidth=2]";
+  os_ << ";\n";
+  return *this;
+}
+
+std::string DotDigraph::str() const { return os_.str() + "}\n"; }
+
+}  // namespace mddsim::obs

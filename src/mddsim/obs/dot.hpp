@@ -1,0 +1,28 @@
+#pragma once
+// Shared Graphviz emission (mddsim::obs).
+//
+// Deadlock forensics and the static verifier both render dependency graphs
+// with the same house style: left-to-right ranking, boxed nodes, and "hot"
+// vertices/edges (knot members, counterexample cycles) filled red.  This
+// helper owns that styling so the two emitters stay visually identical.
+
+#include <sstream>
+#include <string>
+
+namespace mddsim::obs {
+
+class DotDigraph {
+ public:
+  explicit DotDigraph(const std::string& name);
+
+  DotDigraph& node(int id, const std::string& label, bool hot = false);
+  DotDigraph& edge(int from, int to, bool hot = false);
+
+  /// Closes the digraph and returns the full source.
+  std::string str() const;
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace mddsim::obs

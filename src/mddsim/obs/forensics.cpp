@@ -7,6 +7,7 @@
 
 #include "mddsim/core/cwg.hpp"
 #include "mddsim/core/recovery.hpp"
+#include "mddsim/obs/dot.hpp"
 #include "mddsim/sim/metrics.hpp"
 #include "mddsim/sim/network.hpp"
 
@@ -36,24 +37,18 @@ std::string build_dot(const CwgDetector& cwg, const std::vector<Knot>& knots) {
     live.insert(static_cast<int>(v));
     live.insert(adj[v].begin(), adj[v].end());
   }
-  std::ostringstream os;
-  os << "digraph cwg {\n  rankdir=LR;\n  node [shape=box,fontsize=10];\n";
+  obs::DotDigraph dot("cwg");
   for (int v : live) {
-    os << "  v" << v << " [label=\"" << cwg.vertex_label(v) << "\"";
-    if (knot_members.count(v))
-      os << ",style=filled,fillcolor=\"#e06666\"";
-    os << "];\n";
+    dot.node(v, cwg.vertex_label(v), knot_members.count(v) > 0);
   }
   for (std::size_t v = 0; v < adj.size(); ++v) {
     for (int w : adj[v]) {
-      os << "  v" << v << " -> v" << w;
-      if (knot_members.count(static_cast<int>(v)) && knot_members.count(w))
-        os << " [color=\"#cc0000\",penwidth=2]";
-      os << ";\n";
+      dot.edge(static_cast<int>(v), w,
+               knot_members.count(static_cast<int>(v)) > 0 &&
+                   knot_members.count(w) > 0);
     }
   }
-  os << "}\n";
-  return os.str();
+  return dot.str();
 }
 
 std::string build_occupancy_csv(const Network& net, const Metrics* metrics) {

@@ -4,6 +4,19 @@
 
 namespace mddsim {
 
+RoutingAlgorithm::Kind RoutingAlgorithm::kind_for(Scheme scheme,
+                                                  const VcLayout& layout) {
+  switch (scheme) {
+    case Scheme::PR:
+    case Scheme::RG:
+      return Kind::TFAR;
+    case Scheme::SA:
+    case Scheme::DR:
+      return layout.classes.front().adaptive() > 0 ? Kind::Duato : Kind::DOR;
+  }
+  return Kind::DOR;
+}
+
 RoutingAlgorithm::RoutingAlgorithm(Kind kind, const Topology& topo,
                                    const VcLayout& layout)
     : kind_(kind), topo_(topo), layout_(layout) {
@@ -45,11 +58,11 @@ RouteCandidate RoutingAlgorithm::escape_candidate(RouterId r,
   int vc = cr.base;
   if (topo_.wrap()) {
     // Dateline rule: a flit arriving over the wraparound link, or one that
-    // already crossed the dateline of its current dimension, travels on the
-    // high escape VC.  Entering a new dimension resets the state.
-    const bool same_dim = (pkt.dor_dim == h.dim);
-    const bool crossed = same_dim && pkt.crossed_dateline;
-    if (crossed || topo_.is_wraparound(r, h.dim, h.dir)) vc = cr.base + 1;
+    // already crossed this dimension's dateline, travels on the high
+    // escape VC — permanently for that dimension (see Packet).
+    if (pkt.crossed_dateline(h.dim) || topo_.is_wraparound(r, h.dim, h.dir)) {
+      vc = cr.base + 1;
+    }
   }
   return {port, vc};
 }
@@ -88,11 +101,9 @@ void RoutingAlgorithm::on_head_departure(RouterId r, Packet& pkt,
   if (port >= topo_.num_net_ports()) return;  // ejection: no dateline state
   const int dim = port / 2;
   const int dir = port % 2;
-  if (pkt.dor_dim != dim) {
-    pkt.dor_dim = dim;
-    pkt.crossed_dateline = false;
+  if (topo_.is_wraparound(r, dim, dir)) {
+    pkt.dateline_mask |= static_cast<std::uint8_t>(1u << dim);
   }
-  if (topo_.is_wraparound(r, dim, dir)) pkt.crossed_dateline = true;
 }
 
 }  // namespace mddsim

@@ -29,6 +29,12 @@ class RoutingAlgorithm {
 
   RoutingAlgorithm(Kind kind, const Topology& topo, const VcLayout& layout);
 
+  /// Routing discipline a scheme runs on a given layout (paper §4.3.1):
+  /// PR/RG use TFAR; SA/DR use Duato's protocol when the layout leaves
+  /// adaptive VCs within each logical network, plain DOR otherwise.  The
+  /// single source of truth for Network and the static verifier.
+  static Kind kind_for(Scheme scheme, const VcLayout& layout);
+
   Kind kind() const { return kind_; }
   const VcLayout& layout() const { return layout_; }
 

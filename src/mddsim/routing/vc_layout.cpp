@@ -6,6 +6,13 @@
 
 namespace mddsim {
 
+bool VcLayout::in_shared_pool(int vc) const {
+  if (classes.empty()) return false;
+  const ClassRange& cr = classes.front();  // pool is identical across classes
+  return cr.shared_count > 0 && vc >= cr.shared_base &&
+         vc < cr.shared_base + cr.shared_count;
+}
+
 int VcLayout::class_of_vc(int vc) const {
   if (vc < 0 || vc >= total_vcs)
     throw InvariantError("VC index out of layout: " + std::to_string(vc));
@@ -13,13 +20,17 @@ int VcLayout::class_of_vc(int vc) const {
     const auto& cr = classes[static_cast<std::size_t>(c)];
     if (vc >= cr.base && vc < cr.base + cr.count) return c;
   }
-  return -1;  // in the shared adaptive pool: owned by no single class
+  if (in_shared_pool(vc)) return kSharedPool;
+  // Covered by neither a private range nor the pool: the layout itself is
+  // broken, and guessing a class here would hide that.
+  throw InvariantError("VC " + std::to_string(vc) +
+                       " belongs to no class range of the layout");
 }
 
 VcLayout VcLayout::make(Scheme scheme, int num_classes, int total_vcs,
                         int escape_per_class, bool shared_adaptive) {
-  MDD_CHECK(total_vcs >= 1);
-  MDD_CHECK(num_classes >= 1);
+  if (total_vcs < 1) throw ConfigError("VC layout needs at least one VC");
+  if (num_classes < 1) throw ConfigError("VC layout needs at least one class");
   VcLayout layout;
   layout.total_vcs = total_vcs;
 
@@ -29,16 +40,28 @@ VcLayout VcLayout::make(Scheme scheme, int num_classes, int total_vcs,
     return layout;
   }
 
+  // SA/DR rest on each logical network having a deadlock-free escape path;
+  // zero escape channels would silently produce classes with no escape
+  // network at all, which the routing layer (and Duato's theorem) cannot
+  // support.
+  if (escape_per_class < 1) {
+    throw ConfigError("scheme " + std::string(scheme_name(scheme)) +
+                      " needs E_r >= 1 escape channel per logical network, "
+                      "got " + std::to_string(escape_per_class));
+  }
+  if (total_vcs < num_classes * escape_per_class) {
+    throw ConfigError(
+        "scheme " + std::string(scheme_name(scheme)) + " infeasible: C = " +
+        std::to_string(total_vcs) + " VCs < E_m = " +
+        std::to_string(num_classes * escape_per_class) + " (" +
+        std::to_string(num_classes) + " classes x E_r = " +
+        std::to_string(escape_per_class) + ", paper §2.1)");
+  }
+
   if (shared_adaptive) {
     // [21]: per-class escape channels packed first, everything else one
     // shared adaptive pool usable by every message type.
     const int e_m = num_classes * escape_per_class;
-    if (total_vcs < e_m) {
-      throw ConfigError(
-          "shared-adaptive " + std::string(scheme_name(scheme)) +
-          " infeasible: C = " + std::to_string(total_vcs) + " < E_m = " +
-          std::to_string(e_m) + " (paper §2.1)");
-    }
     const int pool = total_vcs - e_m;
     for (int c = 0; c < num_classes; ++c) {
       ClassRange cr{c * escape_per_class, escape_per_class, escape_per_class,
@@ -52,12 +75,6 @@ VcLayout VcLayout::make(Scheme scheme, int num_classes, int total_vcs,
   // side) classes, which carry the long data messages.
   const int per_class = total_vcs / num_classes;
   const int remainder = total_vcs % num_classes;
-  if (per_class < escape_per_class) {
-    throw ConfigError(
-        "scheme " + std::string(scheme_name(scheme)) + " infeasible: " +
-        std::to_string(per_class) + " VCs per logical network < E_r = " +
-        std::to_string(escape_per_class) + " (paper §2.1)");
-  }
   int base = 0;
   for (int c = 0; c < num_classes; ++c) {
     const int count = per_class + (c >= num_classes - remainder ? 1 : 0);

@@ -33,10 +33,21 @@ struct VcLayout {
   int total_vcs = 0;
   std::vector<ClassRange> classes;
 
+  /// class_of_vc result for VCs in the shared adaptive pool: owned by every
+  /// class at once, so no single class id is correct.
+  static constexpr int kSharedPool = -1;
+
   const ClassRange& of_class(int cls) const { return classes.at(static_cast<std::size_t>(cls)); }
   int num_classes() const { return static_cast<int>(classes.size()); }
 
-  /// Message class that owns VC index `vc`.
+  /// True when `vc` lies in the shared adaptive pool (and the layout has one).
+  bool in_shared_pool(int vc) const;
+
+  /// Message class that owns VC index `vc`.  Deterministic for every VC of a
+  /// well-formed layout: private VCs yield their class id, shared-pool VCs
+  /// always yield kSharedPool.  Throws InvariantError for indices outside the
+  /// layout or in no range at all (a malformed layout, never a caller bug to
+  /// paper over with a guess).
   int class_of_vc(int vc) const;
 
   /// Builds the layout for a scheme.

@@ -90,6 +90,15 @@ struct SimConfig {
   bool profile = false;          ///< attach the obs::PhaseProfiler (no-op
                                  ///< when built with MDDSIM_PROF=OFF)
 
+  // --- Static verification (mddsim::verify) ---------------------------------
+  bool verify_preflight = false;  ///< run the static deadlock-freedom
+                                  ///< analyzer before simulating; a FAIL
+                                  ///< verdict aborts construction with the
+                                  ///< counterexample cycle.  When combined
+                                  ///< with cwg=1, a strict-PASS verdict is
+                                  ///< cross-checked against the runtime CWG
+                                  ///< detector at end of run.
+
   // --- Run control -----------------------------------------------------------
   std::uint64_t seed = 1;
   Cycle warmup_cycles = 5000;

@@ -15,24 +15,6 @@ std::array<bool, kNumMsgTypes> used_types_for(const SimConfig& cfg) {
   return TransactionPattern::by_name(cfg.pattern).used_types();
 }
 
-RoutingAlgorithm::Kind routing_kind_for(const SimConfig& cfg,
-                                        const VcLayout& layout) {
-  switch (cfg.scheme) {
-    case Scheme::PR:
-    case Scheme::RG:
-      return RoutingAlgorithm::Kind::TFAR;
-    case Scheme::SA:
-    case Scheme::DR:
-      // Paper §4.3.1: DOR unless enough VCs allow adaptivity via Duato's
-      // protocol (C > E_m for SA, C > 2·E_r for DR) — i.e. adaptive VCs
-      // exist within each logical network.
-      return layout.classes.front().adaptive() > 0
-                 ? RoutingAlgorithm::Kind::Duato
-                 : RoutingAlgorithm::Kind::DOR;
-  }
-  return RoutingAlgorithm::Kind::DOR;
-}
-
 }  // namespace
 
 Network::Network(const SimConfig& cfg, EndpointProtocol& protocol)
@@ -41,8 +23,8 @@ Network::Network(const SimConfig& cfg, EndpointProtocol& protocol)
       cmap_(ClassMap::make(cfg.scheme, used_types_for(cfg))),
       layout_(VcLayout::make(cfg.scheme, cmap_.num_classes, cfg.vcs_per_link,
                              cfg.escape_per_class(), cfg.shared_adaptive)) {
-  routing_ = std::make_unique<RoutingAlgorithm>(routing_kind_for(cfg, layout_),
-                                                topo_, layout_);
+  routing_ = std::make_unique<RoutingAlgorithm>(
+      RoutingAlgorithm::kind_for(cfg.scheme, layout_), topo_, layout_);
 
   // Endpoint queue organization: per logical network by default (SA: one
   // queue set per message type; DR: request + reply; PR: shared), or fully

@@ -5,11 +5,20 @@
 
 #include "mddsim/common/assert.hpp"
 #include "mddsim/core/recovery.hpp"
+#include "mddsim/verify/verify.hpp"
 
 namespace mddsim {
 
 Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
   cfg_.validate();
+  if (cfg_.verify_preflight) {
+    const verify::Verdict v =
+        verify::run_verify(verify::VerifyInputs::from_config(cfg_));
+    if (!v.pass) {
+      throw ConfigError("static verification preflight failed:\n" + v.text());
+    }
+    verify_strict_pass_ = v.strict_pass;
+  }
   protocol_ = std::make_unique<GenericProtocol>(
       TransactionPattern::by_name(cfg_.pattern), cfg_.lengths,
       cfg_.make_topology().num_nodes(),
@@ -162,6 +171,17 @@ RunResult Simulator::run(bool drain) {
           ? 0.0
           : static_cast<double>(events) / static_cast<double>(r.packets_delivered);
   r.cycles_run = net_->now();
+
+  // Cross-check: a strict static PASS proved the composed dependency graph
+  // acyclic, so the runtime ground-truth detector finding a knot means one
+  // of the two models is wrong — fail loudly rather than report results.
+  if (cfg_.verify_preflight && verify_strict_pass_ && cwg_ &&
+      r.counters.cwg_deadlocks > 0) {
+    throw InvariantError(
+        "static verifier proved this configuration deadlock-free, but the "
+        "CWG detector observed " + std::to_string(r.counters.cwg_deadlocks) +
+        " knot(s) at runtime — verifier model and simulator disagree");
+  }
   return r;
 }
 

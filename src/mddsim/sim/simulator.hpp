@@ -103,6 +103,12 @@ class Simulator {
   std::vector<ForensicsReport> forensics_;
   std::uint64_t watch_consumed_ = 0;  ///< consumption count at last progress
   Cycle watch_since_ = 0;             ///< cycle of last observed progress
+
+  /// Static-verification preflight outcome (cfg.verify_preflight): when the
+  /// strict criterion held — the whole dependency graph is acyclic, not just
+  /// recoverable — the runtime CWG detector must never find a knot, and
+  /// run() cross-checks that.
+  bool verify_strict_pass_ = false;
 };
 
 /// Runs one latency-throughput sweep point per offered load, in Burton

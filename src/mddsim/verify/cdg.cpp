@@ -1,0 +1,371 @@
+#include "mddsim/verify/cdg.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim::verify {
+
+ChannelSpace::ChannelSpace(const Topology& topo, int total_vcs)
+    : topo_(&topo),
+      vcs_(total_vcs),
+      ports_(topo.num_net_ports() + topo.bristling()) {}
+
+std::string ChannelSpace::label(int ch) const {
+  const RouterId r = router_of(ch);
+  const int p = port_of(ch);
+  std::string s = "r" + std::to_string(r) + ".";
+  if (p >= topo_->num_net_ports()) {
+    s += "eject" + std::to_string(p - topo_->num_net_ports());
+  } else {
+    static constexpr char kAxes[] = {'x', 'y', 'z', 'w'};
+    const int dim = p / 2;
+    s += (p % 2 == kDirPlus) ? '+' : '-';
+    if (dim < 4) {
+      s += kAxes[dim];
+    } else {
+      s += "d" + std::to_string(dim);
+    }
+  }
+  return s + ".vc" + std::to_string(vc_of(ch));
+}
+
+CdgBuilder::CdgBuilder(const Topology& topo, const VcLayout& layout,
+                       RoutingAlgorithm::Kind kind)
+    : topo_(topo), layout_(layout), kind_(kind), space_(topo, layout.total_vcs) {}
+
+namespace {
+
+/// One admissible next channel at a packet state, mirroring
+/// RoutingAlgorithm::candidates / escape_candidate — but tolerant of layouts
+/// RoutingAlgorithm would refuse to construct (e.g. a torus escape network
+/// without dateline capacity), because refuting those is the point.
+struct Cand {
+  int port;
+  int vc;
+  bool escape;  ///< the DOR escape candidate (or the escape eject channel)
+};
+
+struct Bitset2d {
+  std::vector<std::uint64_t> bits;
+  std::size_t words_per_row = 0;
+
+  void init(std::size_t rows, std::size_t cols) {
+    words_per_row = (cols + 63) / 64;
+    bits.assign(rows * words_per_row, 0);
+  }
+  void set(std::size_t row, std::size_t col) {
+    bits[row * words_per_row + col / 64] |= std::uint64_t{1} << (col % 64);
+  }
+  void or_row(std::size_t dst, std::size_t src) {
+    for (std::size_t w = 0; w < words_per_row; ++w) {
+      bits[dst * words_per_row + w] |= bits[src * words_per_row + w];
+    }
+  }
+  bool row_empty(std::size_t row) const {
+    for (std::size_t w = 0; w < words_per_row; ++w) {
+      if (bits[row * words_per_row + w] != 0) return false;
+    }
+    return true;
+  }
+  /// Calls f(col) for every set column of `row`, ascending.
+  template <typename F>
+  void for_each(std::size_t row, F&& f) const {
+    for (std::size_t w = 0; w < words_per_row; ++w) {
+      std::uint64_t word = bits[row * words_per_row + w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        f(static_cast<int>(w * 64 + static_cast<std::size_t>(bit)));
+        word &= word - 1;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ClassCdg CdgBuilder::build_class(int cls) const {
+  const ClassRange& cr = layout_.of_class(cls);
+  const Topology& topo = topo_;
+  const int num_dims = topo.n();
+  const int net_ports = topo.num_net_ports();
+  const int num_routers = topo.num_routers();
+  const int bristling = topo.bristling();
+  const int vcs = space_.vcs();
+  const int ports = space_.ports_per_router();
+  // Dateline VC promotion requires a high escape VC to promote to; with
+  // escape < 2 on a torus the packet is stuck on cr.base across the wrap —
+  // the exact defect the escape-CDG check exposes as a ring cycle.
+  const bool dateline = topo.wrap() && cr.escape >= 2;
+  const int num_masks = dateline ? (1 << num_dims) : 1;
+  const int first_adaptive =
+      kind_ == RoutingAlgorithm::Kind::TFAR ? cr.base : cr.base + cr.escape;
+
+  ClassCdg out;
+  out.is_escape.assign(static_cast<std::size_t>(space_.num_channels()), 0);
+  for (RouterId r = 0; r < num_routers; ++r) {
+    for (int p = 0; p < net_ports; ++p) {
+      for (int v = cr.base; v < cr.base + cr.escape; ++v) {
+        out.is_escape[static_cast<std::size_t>(space_.channel(r, p, v))] = 1;
+      }
+    }
+  }
+  out.inject_full.resize(static_cast<std::size_t>(num_routers));
+  out.inject_escape.resize(static_cast<std::size_t>(num_routers));
+
+  // Direct dependencies, deduplicated per router: row = arrival channel into
+  // r encoded as (travel-direction port j) * vcs + vc, column = outgoing
+  // (port, vc) of r.
+  const std::size_t rows_per_router =
+      static_cast<std::size_t>(net_ports) * static_cast<std::size_t>(vcs);
+  Bitset2d full_bits;
+  full_bits.init(static_cast<std::size_t>(num_routers) * rows_per_router,
+                 static_cast<std::size_t>(ports) * static_cast<std::size_t>(vcs));
+
+  // Escape channels get a compact id so indirect-dependency reach sets stay
+  // small: (r, net port, escape tier).  Targets add one eject lane per node.
+  const int num_esc = num_routers * net_ports * cr.escape;
+  const int num_esc_targets = num_esc + num_routers * bristling;
+  const auto esc_id = [&](RouterId r, int port, int vc) {
+    return (r * net_ports + port) * cr.escape + (vc - cr.base);
+  };
+  Bitset2d esc_bits;
+  if (cr.escape > 0) {
+    esc_bits.init(static_cast<std::size_t>(num_esc),
+                  static_cast<std::size_t>(num_esc_targets));
+  }
+
+  std::vector<Cand> cands;
+  const auto candidates_at = [&](RouterId r, RouterId d, int mask,
+                                 std::vector<DimHop>& hops) {
+    cands.clear();
+    if (r == d) {
+      for (int b = 0; b < bristling; ++b) {
+        const int port = net_ports + b;
+        if (kind_ == RoutingAlgorithm::Kind::DOR) {
+          cands.push_back({port, cr.base, true});
+          continue;
+        }
+        for (int v = cr.base; v < cr.base + cr.count; ++v) {
+          cands.push_back({port, v, v == cr.base});
+        }
+        for (int v = cr.shared_base; v < cr.shared_base + cr.shared_count; ++v) {
+          cands.push_back({port, v, false});
+        }
+      }
+      return;
+    }
+    topo.min_hops(r, d, hops);
+    if (kind_ != RoutingAlgorithm::Kind::DOR) {
+      for (const DimHop& h : hops) {
+        const int port = h.dim * 2 + h.dir;
+        for (int v = first_adaptive; v < cr.base + cr.count; ++v) {
+          cands.push_back({port, v, false});
+        }
+        for (int v = cr.shared_base; v < cr.shared_base + cr.shared_count; ++v) {
+          cands.push_back({port, v, false});
+        }
+      }
+    }
+    if (kind_ != RoutingAlgorithm::Kind::TFAR) {
+      const DimHop& h = hops.front();
+      const int port = h.dim * 2 + h.dir;
+      int vc = cr.base;
+      if (dateline &&
+          (((mask >> h.dim) & 1) != 0 || topo.is_wraparound(r, h.dim, h.dir))) {
+        vc = cr.base + 1;
+      }
+      cands.push_back({port, vc, true});
+    }
+  };
+
+  // Per-destination exhaustive walk of the packet state space
+  // (router × dateline mask).
+  const std::size_t num_states =
+      static_cast<std::size_t>(num_routers) * static_cast<std::size_t>(num_masks);
+  std::vector<std::vector<int>> arrivals(num_states);   // row codes into r
+  std::vector<std::vector<int>> esc_arrivals(num_states);  // compact esc ids
+  std::vector<char> reached(num_states);
+  std::vector<int> queue;
+  std::vector<int> order;  // reached states, most-distant-from-d first
+  std::vector<std::uint64_t> reach_words;
+  std::vector<DimHop> hops;
+
+  for (RouterId d = 0; d < num_routers; ++d) {
+    for (auto& a : arrivals) a.clear();
+    for (auto& a : esc_arrivals) a.clear();
+    std::fill(reached.begin(), reached.end(), 0);
+
+    // Phase 1: reachability from every injection state (r, mask = 0),
+    // accumulating the arrival channels of each state.
+    queue.clear();
+    for (RouterId r = 0; r < num_routers; ++r) {
+      queue.push_back(r * num_masks);
+      reached[static_cast<std::size_t>(r * num_masks)] = 1;
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const int sid = queue[head];
+      const RouterId r = sid / num_masks;
+      const int mask = sid % num_masks;
+      candidates_at(r, d, mask, hops);
+      for (const Cand& c : cands) {
+        if (c.port >= net_ports) continue;  // ejection: no downstream state
+        const int dim = c.port / 2;
+        const int dir = c.port % 2;
+        const bool wraps = topo.is_wraparound(r, dim, dir);
+        const RouterId nr = topo.neighbor(r, dim, dir);
+        const int nmask = dateline && wraps ? (mask | (1 << dim)) : mask;
+        const int nsid = nr * num_masks + nmask;
+        arrivals[static_cast<std::size_t>(nsid)].push_back(c.port * vcs + c.vc);
+        if (c.escape) {
+          esc_arrivals[static_cast<std::size_t>(nsid)].push_back(
+              esc_id(r, c.port, c.vc));
+        }
+        if (!reached[static_cast<std::size_t>(nsid)]) {
+          reached[static_cast<std::size_t>(nsid)] = 1;
+          queue.push_back(nsid);
+        }
+      }
+    }
+
+    // Phase 2: direct dependencies (arrival × candidate products) and the
+    // injection candidate sets.
+    for (const int sid : queue) {
+      const RouterId r = sid / num_masks;
+      const int mask = sid % num_masks;
+      candidates_at(r, d, mask, hops);
+      auto& arr = arrivals[static_cast<std::size_t>(sid)];
+      std::sort(arr.begin(), arr.end());
+      arr.erase(std::unique(arr.begin(), arr.end()), arr.end());
+      const std::size_t row_base =
+          static_cast<std::size_t>(r) * rows_per_router;
+      for (const int a : arr) {
+        for (const Cand& c : cands) {
+          full_bits.set(row_base + static_cast<std::size_t>(a),
+                        static_cast<std::size_t>(c.port * vcs + c.vc));
+        }
+      }
+      if (mask == 0) {
+        auto& inj = out.inject_full[static_cast<std::size_t>(r)];
+        auto& inj_esc = out.inject_escape[static_cast<std::size_t>(r)];
+        for (const Cand& c : cands) {
+          const int ch = space_.channel(r, c.port, c.vc);
+          inj.push_back(ch);
+          if (c.escape) inj_esc.push_back(ch);
+        }
+      }
+    }
+
+    // Phase 3: the extended escape CDG.  reach[s] = escape channels some
+    // packet can hold while standing in state s after zero or more adaptive
+    // hops; every escape request made from s then depends on all of them
+    // (direct when zero hops, indirect otherwise).  Minimal adaptive hops
+    // strictly decrease distance to d, so processing states most-distant
+    // first completes each reach set before it is consumed.
+    if (cr.escape == 0) continue;
+    order.assign(queue.begin(), queue.end());
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const int da = topo.distance(a / num_masks, d);
+      const int db = topo.distance(b / num_masks, d);
+      return da != db ? da > db : a < b;
+    });
+    const std::size_t esc_words = (static_cast<std::size_t>(num_esc) + 63) / 64;
+    reach_words.assign(num_states * esc_words, 0);
+    for (const int sid : order) {
+      const auto sidx = static_cast<std::size_t>(sid);
+      for (const int e : esc_arrivals[sidx]) {
+        reach_words[sidx * esc_words + static_cast<std::size_t>(e) / 64] |=
+            std::uint64_t{1} << (e % 64);
+      }
+      bool empty = true;
+      for (std::size_t w = 0; w < esc_words && empty; ++w) {
+        empty = reach_words[sidx * esc_words + w] == 0;
+      }
+      if (empty) continue;
+      const RouterId r = sid / num_masks;
+      const int mask = sid % num_masks;
+      candidates_at(r, d, mask, hops);
+      // Escape request(s) of this state: every held escape channel depends
+      // on them.  At the destination the request is the escape eject lane.
+      for (const Cand& c : cands) {
+        if (!c.escape) continue;
+        const int target = c.port >= net_ports
+                               ? num_esc + r * bristling + (c.port - net_ports)
+                               : esc_id(r, c.port, c.vc);
+        for (std::size_t w = 0; w < esc_words; ++w) {
+          std::uint64_t word = reach_words[sidx * esc_words + w];
+          while (word != 0) {
+            const int e = static_cast<int>(w * 64) + std::countr_zero(word);
+            esc_bits.set(static_cast<std::size_t>(e),
+                         static_cast<std::size_t>(target));
+            word &= word - 1;
+          }
+        }
+      }
+      // Adaptive hops carry the held escape channels forward.
+      for (const Cand& c : cands) {
+        if (c.escape || c.port >= net_ports) continue;
+        const int dim = c.port / 2;
+        const int dir = c.port % 2;
+        const RouterId nr = topo.neighbor(r, dim, dir);
+        const int nmask = dateline && topo.is_wraparound(r, dim, dir)
+                              ? (mask | (1 << dim))
+                              : mask;
+        const auto nsidx = static_cast<std::size_t>(nr * num_masks + nmask);
+        for (std::size_t w = 0; w < esc_words; ++w) {
+          reach_words[nsidx * esc_words + w] |=
+              reach_words[sidx * esc_words + w];
+        }
+      }
+    }
+  }
+
+  // Fold the bitsets into sorted EdgeSets of global channel ids.
+  for (RouterId r = 0; r < num_routers; ++r) {
+    for (int j = 0; j < net_ports; ++j) {
+      const int dim = j / 2;
+      const int dir = j % 2;
+      const RouterId up = topo.neighbor(r, dim, 1 - dir);
+      for (int v = 0; v < vcs; ++v) {
+        const std::size_t row = static_cast<std::size_t>(r) * rows_per_router +
+                                static_cast<std::size_t>(j * vcs + v);
+        if (full_bits.row_empty(row)) continue;
+        MDD_CHECK(up != kInvalidRouter);
+        const int from = space_.channel(up, j, v);
+        full_bits.for_each(row, [&](int col) {
+          out.full.add(from, space_.channel(r, col / vcs, col % vcs));
+        });
+      }
+    }
+  }
+  if (cr.escape > 0) {
+    for (int e = 0; e < num_esc; ++e) {
+      if (esc_bits.row_empty(static_cast<std::size_t>(e))) continue;
+      const int from = space_.channel(e / (net_ports * cr.escape),
+                                      (e / cr.escape) % net_ports,
+                                      cr.base + e % cr.escape);
+      esc_bits.for_each(static_cast<std::size_t>(e), [&](int t) {
+        const int to = t < num_esc
+                           ? space_.channel(t / (net_ports * cr.escape),
+                                            (t / cr.escape) % net_ports,
+                                            cr.base + t % cr.escape)
+                           : space_.channel((t - num_esc) / bristling,
+                                            net_ports + (t - num_esc) % bristling,
+                                            cr.base);
+        out.escape.add(from, to);
+      });
+    }
+  }
+  for (auto& inj : out.inject_full) {
+    std::sort(inj.begin(), inj.end());
+    inj.erase(std::unique(inj.begin(), inj.end()), inj.end());
+  }
+  for (auto& inj : out.inject_escape) {
+    std::sort(inj.begin(), inj.end());
+    inj.erase(std::unique(inj.begin(), inj.end()), inj.end());
+  }
+  return out;
+}
+
+}  // namespace mddsim::verify

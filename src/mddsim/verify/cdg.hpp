@@ -1,0 +1,93 @@
+#pragma once
+// Extended channel dependency graph (CDG) builder (Duato 1995 as applied by
+// the paper, §2.1).
+//
+// For one message class the builder enumerates every (link, VC) → (link, VC)
+// dependency a packet of that class can create, by exhausting the packet
+// state space (current router, destination router, per-dimension dateline
+// bits) under the same candidate rules as `RoutingAlgorithm` — dateline
+// escape VCs on the torus, Duato adaptive + escape split, TFAR, and the
+// shared adaptive pool of [21] included.  Unlike `RoutingAlgorithm` it does
+// not require the layout to be deadlock-free (no escape ≥ 2 precondition),
+// so deliberately broken layouts can be analyzed and refuted.
+//
+// Two graphs come out per class:
+//  * `full`   — every direct dependency over all channels (used for the
+//               TFAR/strict analysis and the MDG composition under PR/RG);
+//  * `escape` — the *extended* CDG restricted to escape channels: direct
+//               escape→escape dependencies plus indirect ones, where a
+//               packet holds an escape channel, advances over adaptive
+//               channels, and only then requests its next escape channel.
+//               Duato's theorem: the routing function is deadlock-free iff
+//               this graph is acyclic.
+
+#include <string>
+#include <vector>
+
+#include "mddsim/routing/routing.hpp"
+#include "mddsim/routing/vc_layout.hpp"
+#include "mddsim/topology/topology.hpp"
+#include "mddsim/verify/graph.hpp"
+
+namespace mddsim::verify {
+
+/// Dense naming of every physical channel the static graphs talk about.
+/// A channel is the downstream buffer fed by one (router, output port, VC):
+/// network ports dim*2+dir first, then one ejection port per bristling slot.
+class ChannelSpace {
+ public:
+  ChannelSpace(const Topology& topo, int total_vcs);
+
+  int num_channels() const { return topo_->num_routers() * ports_ * vcs_; }
+  int ports_per_router() const { return ports_; }
+  int vcs() const { return vcs_; }
+  const Topology& topo() const { return *topo_; }
+
+  int channel(RouterId r, int port, int vc) const {
+    return (r * ports_ + port) * vcs_ + vc;
+  }
+  RouterId router_of(int ch) const { return ch / (ports_ * vcs_); }
+  int port_of(int ch) const { return (ch / vcs_) % ports_; }
+  int vc_of(int ch) const { return ch % vcs_; }
+  bool is_eject(int ch) const { return port_of(ch) >= topo_->num_net_ports(); }
+
+  /// Human-readable channel name, e.g. "r12.+y.vc3" or "r12.eject0.vc1".
+  std::string label(int ch) const;
+
+ private:
+  const Topology* topo_;
+  int vcs_;
+  int ports_;
+};
+
+/// Static dependency structure of one message class.
+struct ClassCdg {
+  EdgeSet full;    ///< all direct dependencies, every channel of the class
+  EdgeSet escape;  ///< extended CDG over escape channels (+ eject sinks)
+  /// Channels that are escape channels of this class.
+  std::vector<char> is_escape;
+  /// Per router: channels a freshly injected packet may request (dedup,
+  /// sorted) — full candidate set and escape-only candidate.
+  std::vector<std::vector<int>> inject_full;
+  std::vector<std::vector<int>> inject_escape;
+};
+
+class CdgBuilder {
+ public:
+  CdgBuilder(const Topology& topo, const VcLayout& layout,
+             RoutingAlgorithm::Kind kind);
+
+  const ChannelSpace& space() const { return space_; }
+  RoutingAlgorithm::Kind kind() const { return kind_; }
+
+  /// Enumerates the dependencies of message class `cls`.
+  ClassCdg build_class(int cls) const;
+
+ private:
+  const Topology& topo_;
+  VcLayout layout_;
+  RoutingAlgorithm::Kind kind_;
+  ChannelSpace space_;
+};
+
+}  // namespace mddsim::verify

@@ -1,0 +1,167 @@
+#include "mddsim/verify/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim::verify {
+
+Digraph::Digraph(int num_vertices, EdgeSet edges) : n_(num_vertices) {
+  auto& raw = edges.edges_;
+  std::sort(raw.begin(), raw.end());
+  raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  edges_.reserve(raw.size());
+  std::size_t row = 0;
+  for (const auto& [from, to] : raw) {
+    MDD_CHECK(from >= 0 && from < n_ && to >= 0 && to < n_);
+    while (row <= static_cast<std::size_t>(from)) {
+      offsets_[row++] = static_cast<int>(edges_.size());
+    }
+    edges_.push_back(to);
+  }
+  while (row <= static_cast<std::size_t>(n_)) {
+    offsets_[row++] = static_cast<int>(edges_.size());
+  }
+}
+
+namespace {
+
+constexpr int kUnvisited = -1;
+
+struct WorkEntry {
+  int v;
+  int edge;  // index into the vertex's successor list
+};
+
+}  // namespace
+
+std::vector<int> Digraph::scc() const {
+  std::vector<int> comp(static_cast<std::size_t>(n_), kUnvisited);
+  std::vector<int> index(static_cast<std::size_t>(n_), kUnvisited);
+  std::vector<int> lowlink(static_cast<std::size_t>(n_), 0);
+  std::vector<char> on_stack(static_cast<std::size_t>(n_), 0);
+  std::vector<int> stack;
+  std::vector<WorkEntry> work;
+  int next_index = 0;
+  int next_comp = 0;
+
+  for (int root = 0; root < n_; ++root) {
+    if (index[static_cast<std::size_t>(root)] != kUnvisited) continue;
+    // Skip isolated vertices cheaply; they keep comp = -1.
+    if (begin(root) == end(root)) continue;
+
+    work.push_back({root, 0});
+    while (!work.empty()) {
+      auto& [v, edge] = work.back();
+      const auto vi = static_cast<std::size_t>(v);
+      if (edge == 0) {
+        index[vi] = lowlink[vi] = next_index++;
+        stack.push_back(v);
+        on_stack[vi] = 1;
+      }
+      const int* succ = begin(v);
+      const int degree = static_cast<int>(end(v) - succ);
+      bool descended = false;
+      while (edge < degree) {
+        const int w = succ[edge++];
+        const auto wi = static_cast<std::size_t>(w);
+        if (index[wi] == kUnvisited) {
+          work.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[wi]) lowlink[vi] = std::min(lowlink[vi], index[wi]);
+      }
+      if (descended) continue;
+      if (lowlink[vi] == index[vi]) {
+        for (;;) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = 0;
+          comp[static_cast<std::size_t>(w)] = next_comp;
+          if (w == v) break;
+        }
+        ++next_comp;
+      }
+      work.pop_back();
+      if (!work.empty()) {
+        const auto pi = static_cast<std::size_t>(work.back().v);
+        lowlink[pi] = std::min(lowlink[pi], lowlink[vi]);
+      }
+    }
+  }
+  return comp;
+}
+
+std::vector<int> Digraph::find_cycle() const {
+  const std::vector<int> comp = scc();
+
+  // A component is cyclic iff it has ≥ 2 vertices or a self-loop.  Count
+  // sizes, then find the cyclic component containing the smallest vertex.
+  std::vector<int> comp_size;
+  for (int v = 0; v < n_; ++v) {
+    const int c = comp[static_cast<std::size_t>(v)];
+    if (c < 0) continue;
+    if (c >= static_cast<int>(comp_size.size())) {
+      comp_size.resize(static_cast<std::size_t>(c) + 1, 0);
+    }
+    ++comp_size[static_cast<std::size_t>(c)];
+  }
+
+  int start = -1;
+  for (int v = 0; v < n_ && start < 0; ++v) {
+    const int c = comp[static_cast<std::size_t>(v)];
+    if (c < 0) continue;
+    if (comp_size[static_cast<std::size_t>(c)] >= 2) {
+      start = v;
+      continue;
+    }
+    for (const int* it = begin(v); it != end(v); ++it) {
+      if (*it == v) {
+        return {v};  // self-loop: the minimal counterexample
+      }
+    }
+  }
+  if (start < 0) return {};  // acyclic
+
+  // Shortest cycle through `start` inside its SCC: BFS restricted to the
+  // component; successor lists are ascending, so the first path found is
+  // also the lexicographically smallest among shortest ones.
+  const int target_comp = comp[static_cast<std::size_t>(start)];
+  std::vector<int> parent(static_cast<std::size_t>(n_),
+                          std::numeric_limits<int>::min());
+  std::vector<int> frontier{start};
+  parent[static_cast<std::size_t>(start)] = -1;
+  while (!frontier.empty()) {
+    std::vector<int> next;
+    for (const int v : frontier) {
+      for (const int* it = begin(v); it != end(v); ++it) {
+        const int w = *it;
+        if (w == start) {
+          // Cycle closed: unwind start ← … ← v.
+          std::vector<int> cycle;
+          for (int u = v; u != -1; u = parent[static_cast<std::size_t>(u)]) {
+            cycle.push_back(u);
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+        if (comp[static_cast<std::size_t>(w)] != target_comp) continue;
+        if (parent[static_cast<std::size_t>(w)] !=
+            std::numeric_limits<int>::min()) {
+          continue;
+        }
+        parent[static_cast<std::size_t>(w)] = v;
+        next.push_back(w);
+      }
+    }
+    frontier = std::move(next);
+  }
+  MDD_CHECK_MSG(false, "cyclic SCC must contain a cycle through its member");
+  return {};
+}
+
+}  // namespace mddsim::verify

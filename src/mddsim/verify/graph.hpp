@@ -1,0 +1,65 @@
+#pragma once
+// Static dependency graphs for mddsim::verify (flat-CSR digraph, Tarjan
+// SCC, deterministic shortest-cycle extraction).
+//
+// The runtime CWG detector (core/cwg.cpp) answers "is the network
+// deadlocked *now*"; the verifier asks "can any reachable configuration
+// deadlock at all", so it works on graphs quantified over every packet the
+// routing function and protocol can create.  The representation follows
+// cwg.cpp's flat-CSR style — a sorted edge list folded into offsets — so
+// SCC scans allocate nothing per query and results are independent of any
+// hash-container iteration order (bit-identical verdicts across runs and
+// threads).
+
+#include <utility>
+#include <vector>
+
+namespace mddsim::verify {
+
+/// Deduplicated, sorted edge set under construction.  add() tolerates
+/// duplicates; build() sorts, uniques and freezes into CSR form.
+class EdgeSet {
+ public:
+  void add(int from, int to) { edges_.emplace_back(from, to); }
+  bool empty() const { return edges_.empty(); }
+  std::size_t size() const { return edges_.size(); }
+  const std::vector<std::pair<int, int>>& raw() const { return edges_; }
+
+ private:
+  friend class Digraph;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+/// Immutable flat-CSR digraph over vertices [0, num_vertices).
+class Digraph {
+ public:
+  Digraph(int num_vertices, EdgeSet edges);
+
+  int num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  /// Successors of v, ascending.
+  const int* begin(int v) const {
+    return edges_.data() + offsets_[static_cast<std::size_t>(v)];
+  }
+  const int* end(int v) const {
+    return edges_.data() + offsets_[static_cast<std::size_t>(v) + 1];
+  }
+
+  /// Strongly connected components (iterative Tarjan, cwg.cpp style).
+  /// comp[v] = component id; vertices with no edges keep id -1.
+  std::vector<int> scc() const;
+
+  /// Deterministic counterexample cycle, or empty when the graph is
+  /// acyclic.  Picks the cyclic SCC containing the smallest vertex id and
+  /// returns the shortest cycle through that vertex (BFS over SCC-internal
+  /// edges, lowest-id tie-breaking), listed in traversal order without
+  /// repeating the start vertex.
+  std::vector<int> find_cycle() const;
+
+ private:
+  int n_;
+  std::vector<int> offsets_;
+  std::vector<int> edges_;
+};
+
+}  // namespace mddsim::verify

@@ -1,0 +1,134 @@
+#include "mddsim/verify/mdg.hpp"
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim::verify {
+
+Mdg::Mdg(const Topology& topo, const VcLayout& layout, const ClassMap& cmap,
+         const ClassMap& qmap, const TransactionPattern& pattern, Scheme scheme,
+         const ChannelSpace& space, const std::vector<ClassCdg>& cdgs,
+         bool escape_mode)
+    : space_(&space),
+      qmap_(qmap),
+      num_channels_(space.num_channels()),
+      num_nodes_(topo.num_nodes()),
+      num_slots_(qmap.num_classes) {
+  num_vertices_ = num_channels_ + 2 * num_nodes_ * num_slots_;
+  MDD_CHECK(static_cast<int>(cdgs.size()) == layout.num_classes());
+
+  // Which wire types exist in this configuration: the pattern's message
+  // types, plus backoff replies when deflective recovery can mint them.
+  const std::array<bool, kNumMsgTypes> used = pattern.used_types();
+  std::array<bool, kNumWireTypes> carried{};
+  for (int t = 0; t < kNumMsgTypes; ++t) carried[static_cast<std::size_t>(t)] = used[static_cast<std::size_t>(t)];
+  if (scheme == Scheme::DR) {
+    carried[static_cast<int>(MsgType::Backoff)] = true;
+  }
+
+  slot_types_.assign(static_cast<std::size_t>(num_slots_), {});
+  for (int t = 0; t < kNumWireTypes; ++t) {
+    if (!carried[static_cast<std::size_t>(t)]) continue;
+    auto& name = slot_types_[static_cast<std::size_t>(
+        qmap_.of(static_cast<MsgType>(t)))];
+    if (!name.empty()) name += '+';
+    name += msg_type_name(static_cast<MsgType>(t));
+  }
+
+  // 1. Network-internal dependencies: the per-class CDGs.
+  for (const ClassCdg& cdg : cdgs) {
+    for (const auto& [from, to] : (escape_mode ? cdg.escape : cdg.full).raw()) {
+      edges_.add(from, to);
+    }
+  }
+
+  const int net_ports = topo.num_net_ports();
+  const int bristling = topo.bristling();
+
+  // 2. Delivery: ejection channels wait on input-queue space.
+  for (int t = 0; t < kNumWireTypes; ++t) {
+    if (!carried[static_cast<std::size_t>(t)]) continue;
+    const MsgType mt = static_cast<MsgType>(t);
+    const ClassRange& cr = layout.of_class(cmap.of(mt));
+    const int slot = qmap_.of(mt);
+    for (RouterId r = 0; r < topo.num_routers(); ++r) {
+      for (int b = 0; b < bristling; ++b) {
+        const int port = net_ports + b;
+        const int inq = queue_vertex(topo.node_of(r, b), slot, false);
+        if (escape_mode) {
+          edges_.add(space.channel(r, port, cr.base), inq);
+          continue;
+        }
+        for (int v = cr.base; v < cr.base + cr.count; ++v) {
+          edges_.add(space.channel(r, port, v), inq);
+        }
+        for (int v = cr.shared_base; v < cr.shared_base + cr.shared_count;
+             ++v) {
+          edges_.add(space.channel(r, port, v), inq);
+        }
+      }
+    }
+  }
+
+  // 3. Service: consuming a message requires emitting its subordinate.
+  // Under DR a blocked non-terminating subordinate is deflected into a
+  // backoff reply instead (netif step_deflect), so the dependency lands on
+  // the backoff slot — whose drain the rest of the graph must then prove.
+  for (const auto& entry : pattern.entries()) {
+    for (std::size_t i = 0; i + 1 < entry.script.size(); ++i) {
+      const MsgType cur = entry.script[i].type;
+      MsgType next = entry.script[i + 1].type;
+      if (scheme == Scheme::DR && !is_terminating(next)) {
+        next = MsgType::Backoff;
+      }
+      const int from_slot = qmap_.of(cur);
+      const int to_slot = qmap_.of(next);
+      for (NodeId n = 0; n < num_nodes_; ++n) {
+        edges_.add(queue_vertex(n, from_slot, false),
+                   queue_vertex(n, to_slot, true));
+      }
+    }
+  }
+
+  // 4. Injection: output queues wait on first-hop channels.  Original
+  // requests (chain position 0) come from the unbounded processor source
+  // instead and hold nothing another agent can wait on.
+  std::array<bool, kNumWireTypes> sent{};
+  for (const auto& entry : pattern.entries()) {
+    for (std::size_t i = 1; i < entry.script.size(); ++i) {
+      sent[static_cast<int>(entry.script[i].type)] = true;
+    }
+  }
+  if (scheme == Scheme::DR) sent[static_cast<int>(MsgType::Backoff)] = true;
+  for (int t = 0; t < kNumWireTypes; ++t) {
+    if (!sent[static_cast<std::size_t>(t)]) continue;
+    const MsgType mt = static_cast<MsgType>(t);
+    const ClassCdg& cdg = cdgs[static_cast<std::size_t>(cmap.of(mt))];
+    const int slot = qmap_.of(mt);
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      const int outq = queue_vertex(n, slot, true);
+      const auto& inj = (escape_mode ? cdg.inject_escape
+                                     : cdg.inject_full)[static_cast<std::size_t>(
+          topo.router_of_node(n))];
+      for (const int ch : inj) edges_.add(outq, ch);
+    }
+  }
+}
+
+int Mdg::queue_vertex(NodeId node, int slot, bool output) const {
+  return num_channels_ + (output ? num_nodes_ * num_slots_ : 0) +
+         node * num_slots_ + slot;
+}
+
+std::string Mdg::label(int vertex) const {
+  if (vertex < num_channels_) return space_->label(vertex);
+  int q = vertex - num_channels_;
+  const bool output = q >= num_nodes_ * num_slots_;
+  if (output) q -= num_nodes_ * num_slots_;
+  const int node = q / num_slots_;
+  const int slot = q % num_slots_;
+  return "n" + std::to_string(node) + (output ? ".outq" : ".inq") +
+         std::to_string(slot) + "(" +
+         slot_types_[static_cast<std::size_t>(slot)] + ")";
+}
+
+}  // namespace mddsim::verify

@@ -1,0 +1,71 @@
+#pragma once
+// Message dependency graph (MDG): the per-class channel dependency graphs
+// composed with the protocol's dependency chains (m1 ≺ m2 ≺ m3 ≺ m4,
+// paper Figure 7) at the network-interface endpoints.
+//
+// Vertices are physical channels plus, per node, one input-queue and one
+// output-queue vertex per endpoint queue slot (the qmap organization of
+// Figure 11).  Edges model who waits on whom:
+//
+//   channel        → channel        the class CDGs (escape-restricted for
+//                                   SA/DR avoidance analysis, full for the
+//                                   PR/RG strict analysis)
+//   eject channel  → inQ slot       delivery needs queue space
+//   inQ slot       → outQ slot      consuming message t requires emitting
+//                                   its subordinate t' (service); under DR
+//                                   a blocked non-terminating subordinate
+//                                   deflects into a backoff reply instead,
+//                                   so the edge targets the backoff slot —
+//                                   the reply network must then prove out
+//                                   through the same graph
+//   outQ slot      → inject channel sending needs a first-hop channel
+//
+// Terminating types (m4, backoff) add no service edges: the paper's
+// consumption assumption is that they sink unconditionally at the
+// requester.  A queue slot shared by several types (Figure 11 "shared"
+// organization) unions its members' edges, which is exactly the coupling
+// that makes shared queues deadlock-prone.
+
+#include <string>
+#include <vector>
+
+#include "mddsim/protocol/message.hpp"
+#include "mddsim/protocol/pattern.hpp"
+#include "mddsim/verify/cdg.hpp"
+#include "mddsim/verify/graph.hpp"
+
+namespace mddsim::verify {
+
+class Mdg {
+ public:
+  /// @param escape_mode  true: compose the extended escape CDGs (Duato
+  ///        avoidance analysis, SA/DR); false: compose the full CDGs
+  ///        (strict / recovery-free analysis, PR/RG).
+  Mdg(const Topology& topo, const VcLayout& layout, const ClassMap& cmap,
+      const ClassMap& qmap, const TransactionPattern& pattern, Scheme scheme,
+      const ChannelSpace& space, const std::vector<ClassCdg>& cdgs,
+      bool escape_mode);
+
+  int num_vertices() const { return num_vertices_; }
+  const EdgeSet& edges() const { return edges_; }
+  Digraph graph() const { return Digraph(num_vertices_, edges_); }
+
+  /// Labels channels via ChannelSpace and queue vertices by node, side, and
+  /// member types, e.g. "n5.inq1(m4+brp)".
+  std::string label(int vertex) const;
+
+ private:
+  int queue_vertex(NodeId node, int slot, bool output) const;
+
+  const ChannelSpace* space_;
+  ClassMap qmap_;
+  int num_channels_;
+  int num_nodes_;
+  int num_slots_;
+  int num_vertices_;
+  EdgeSet edges_;
+  /// Per slot: "+"-joined names of the message types it carries.
+  std::vector<std::string> slot_types_;
+};
+
+}  // namespace mddsim::verify

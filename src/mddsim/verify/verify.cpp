@@ -1,0 +1,331 @@
+#include "mddsim/verify/verify.hpp"
+
+#include <array>
+#include <functional>
+#include <sstream>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/common/json.hpp"
+#include "mddsim/obs/dot.hpp"
+#include "mddsim/sim/config.hpp"
+#include "mddsim/verify/cdg.hpp"
+#include "mddsim/verify/graph.hpp"
+#include "mddsim/verify/mdg.hpp"
+
+namespace mddsim::verify {
+
+VerifyInputs VerifyInputs::from_config(const SimConfig& cfg) {
+  VerifyInputs in;
+  in.topo = cfg.make_topology();
+  in.scheme = cfg.scheme;
+  in.queue_org = cfg.queue_org;
+  in.pattern = TransactionPattern::by_name(cfg.pattern);
+  const std::array<bool, kNumMsgTypes> used =
+      cfg.use_all_types ? std::array<bool, kNumMsgTypes>{true, true, true, true}
+                        : in.pattern.used_types();
+  // Mirror the Network constructor exactly — the verdict must describe the
+  // network the simulator would actually build.
+  in.cmap = ClassMap::make(cfg.scheme, used);
+  in.layout = VcLayout::make(cfg.scheme, in.cmap.num_classes, cfg.vcs_per_link,
+                             cfg.escape_per_class(), cfg.shared_adaptive);
+  in.qmap = cfg.queue_org == QueueOrg::PerType
+                ? ClassMap::make(Scheme::SA, used)
+                : in.cmap;
+  in.kind = RoutingAlgorithm::kind_for(cfg.scheme, in.layout);
+  in.recovery = RecoveryShape{cfg.num_tokens, 1, 1};
+
+  std::ostringstream name;
+  name << scheme_name(cfg.scheme) << '/' << cfg.pattern << ' ';
+  if (cfg.dims.empty()) {
+    name << cfg.k << 'x' << cfg.n << "D";
+  } else {
+    for (std::size_t i = 0; i < cfg.dims.size(); ++i) {
+      name << (i ? "x" : "") << cfg.dims[i];
+    }
+  }
+  name << (cfg.torus ? " torus" : " mesh") << " vcs=" << cfg.vcs_per_link;
+  if (cfg.shared_adaptive) name << " shared";
+  if (cfg.queue_org == QueueOrg::PerType) name << " per-type";
+  in.name = name.str();
+  return in;
+}
+
+namespace {
+
+struct Counterexample {
+  std::string kind;
+  std::vector<std::string> labels;
+  std::string dot;
+  bool found = false;
+};
+
+/// Renders a found cycle as labeled chain + DOT.  Deterministic: the cycle
+/// itself is (Digraph::find_cycle), and labels derive from vertex ids.
+Counterexample render_cycle(const std::string& kind,
+                            const std::vector<int>& cycle,
+                            const std::function<std::string(int)>& label) {
+  Counterexample ce;
+  ce.kind = kind;
+  ce.found = true;
+  obs::DotDigraph dot("counterexample");
+  for (const int v : cycle) {
+    ce.labels.push_back(label(v));
+    dot.node(v, ce.labels.back(), /*hot=*/true);
+  }
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    dot.edge(cycle[i], cycle[(i + 1) % cycle.size()], /*hot=*/true);
+  }
+  ce.dot = dot.str();
+  return ce;
+}
+
+std::string plural(std::size_t n, const char* noun) {
+  std::string s = std::to_string(n) + " " + noun;
+  if (n != 1) {
+    if (s.back() == 'y') {
+      s.back() = 'i';
+      s += "es";
+    } else {
+      s += 's';
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Verdict run_verify(const VerifyInputs& in) {
+  Verdict v;
+  v.name = in.name;
+  v.scheme = in.scheme;
+  const bool tfar = in.kind == RoutingAlgorithm::Kind::TFAR;
+
+  const auto add = [&](std::string name, bool pass, bool operative,
+                       std::string detail) {
+    v.checks.push_back(
+        CheckResult{std::move(name), pass, operative, std::move(detail)});
+  };
+
+  // --- Structural checks. --------------------------------------------------
+  bool chains_ok = !in.pattern.entries().empty();
+  for (const auto& entry : in.pattern.entries()) {
+    if (entry.script.empty() || !is_terminating(entry.script.back().type)) {
+      chains_ok = false;
+    }
+  }
+  add("chains-terminate", chains_ok, true,
+      chains_ok ? "every chain script ends in a terminating type"
+                : "a chain script does not end in m4/brp: nothing sinks "
+                  "unconditionally");
+
+  MDD_CHECK_MSG(in.layout.num_classes() == in.cmap.num_classes,
+                "class map and VC layout disagree on class count");
+
+  if (!tfar) {
+    const int need = in.topo.wrap() ? 2 : 1;
+    bool cap_ok = true;
+    for (const ClassRange& cr : in.layout.classes) {
+      if (cr.escape < need) cap_ok = false;
+    }
+    std::ostringstream detail;
+    if (cap_ok) {
+      detail << "every class has >= " << need << " escape VC"
+             << (need == 1 ? "" : "s (dateline)");
+    } else {
+      detail << "a class has fewer than " << need
+             << " escape VCs; torus DOR cannot switch VCs at the dateline";
+    }
+    add("escape-capacity", cap_ok, true, detail.str());
+  }
+
+  // --- Dependency graphs. --------------------------------------------------
+  CdgBuilder builder(in.topo, in.layout, in.kind);
+  const ChannelSpace& space = builder.space();
+  std::vector<ClassCdg> cdgs;
+  cdgs.reserve(static_cast<std::size_t>(in.layout.num_classes()));
+  for (int c = 0; c < in.layout.num_classes(); ++c) {
+    cdgs.push_back(builder.build_class(c));
+  }
+  const auto channel_label = [&space](int ch) { return space.label(ch); };
+
+  Counterexample operative_ce;
+  Counterexample strict_ce;
+
+  if (!tfar) {
+    // Duato's theorem, per logical network: the extended escape CDG
+    // (direct + adaptive-indirect dependencies) must be acyclic.
+    for (int c = 0; c < in.layout.num_classes(); ++c) {
+      const Digraph g(space.num_channels(), cdgs[static_cast<std::size_t>(c)].escape);
+      const std::vector<int> cycle = g.find_cycle();
+      const std::string name = "cdg-escape-c" + std::to_string(c);
+      add(name, cycle.empty(), true,
+          cycle.empty()
+              ? plural(g.num_edges(), "escape dependency").append(", acyclic")
+              : "dependency cycle through " + plural(cycle.size(), "channel"));
+      if (!cycle.empty() && !operative_ce.found) {
+        operative_ce = render_cycle(name, cycle, channel_label);
+      }
+    }
+    // Endpoint composition: escape networks + protocol chains + queues.
+    const Mdg mdg(in.topo, in.layout, in.cmap, in.qmap, in.pattern, in.scheme,
+                  space, cdgs, /*escape_mode=*/true);
+    const Digraph g = mdg.graph();
+    const std::vector<int> cycle = g.find_cycle();
+    add("mdg-endpoint", cycle.empty(), true,
+        cycle.empty()
+            ? plural(g.num_edges(), "dependency").append(
+                  ", acyclic with the scheme's consumption assumptions")
+            : "message-dependent cycle through " +
+                  plural(cycle.size(), "resource"));
+    if (!cycle.empty() && !operative_ce.found) {
+      operative_ce = render_cycle("mdg-endpoint", cycle,
+                                  [&mdg](int w) { return mdg.label(w); });
+    }
+  } else {
+    // PR/RG: no escape network exists; the full message dependency graph is
+    // expected to be cyclic, and recovery carries the burden of progress.
+    const Mdg mdg(in.topo, in.layout, in.cmap, in.qmap, in.pattern, in.scheme,
+                  space, cdgs, /*escape_mode=*/false);
+    const Digraph g = mdg.graph();
+    const std::vector<int> cycle = g.find_cycle();
+    add("mdg-strict", cycle.empty(), false,
+        cycle.empty() ? plural(g.num_edges(), "dependency")
+                            .append(", acyclic even without recovery")
+                      : "recovery-free graph has a cycle through " +
+                            plural(cycle.size(), "resource") +
+                            " (expected for TFAR; recovery must break it)");
+    if (!cycle.empty()) {
+      strict_ce = render_cycle("mdg-strict", cycle,
+                               [&mdg](int w) { return mdg.label(w); });
+    }
+
+    if (in.scheme == Scheme::PR) {
+      add("recovery-tokens", in.recovery.tokens >= 1, true,
+          in.recovery.tokens >= 1
+              ? plural(static_cast<std::size_t>(in.recovery.tokens),
+                       "circulating recovery token")
+              : "no circulating token: deadlocks are detected but never "
+                "recovered");
+      const bool buffers_ok =
+          in.recovery.db_slots >= 1 && in.recovery.dmb_slots >= 1;
+      add("recovery-buffers", buffers_ok, true,
+          buffers_ok ? "DB and DMB lanes provisioned"
+                     : "missing DB/DMB slots: the recovery lane cannot hold "
+                       "a rescued packet");
+      // The DB lane forwards along the Hamiltonian ring; recovery is only
+      // deadlock-free if that ring actually visits every router and closes.
+      const int num_routers = in.topo.num_routers();
+      std::vector<char> seen(static_cast<std::size_t>(num_routers), 0);
+      RouterId r = 0;
+      int visited = 0;
+      for (int i = 0; i < num_routers; ++i) {
+        if (!seen[static_cast<std::size_t>(r)]) ++visited;
+        seen[static_cast<std::size_t>(r)] = 1;
+        r = in.topo.ring_next(r);
+      }
+      const bool ring_ok = (r == 0) && visited == num_routers;
+      add("recovery-ring", ring_ok, true,
+          ring_ok ? "Hamiltonian recovery ring covers all " +
+                        plural(static_cast<std::size_t>(num_routers), "router") +
+                        " and closes"
+                  : "recovery ring does not cover/close over the routers");
+    }
+  }
+
+  v.pass = true;
+  v.strict_pass = true;
+  for (const CheckResult& c : v.checks) {
+    if (!c.pass) {
+      v.strict_pass = false;
+      if (c.operative) v.pass = false;
+    }
+  }
+  if (!v.pass && !operative_ce.found && strict_ce.found) {
+    // PR/RG with a broken recovery structure: the operative failure is the
+    // structural check, and the cycle recovery fails to break witnesses it.
+    operative_ce = strict_ce;
+  }
+  if (!v.pass && operative_ce.found) {
+    v.cycle_kind = operative_ce.kind;
+    v.cycle = operative_ce.labels;
+    v.dot = operative_ce.dot;
+  }
+  if (strict_ce.found) {
+    v.strict_cycle_kind = strict_ce.kind;
+    v.strict_cycle = strict_ce.labels;
+    v.strict_dot = strict_ce.dot;
+  }
+  return v;
+}
+
+std::string Verdict::summary() const {
+  std::string s = "VERIFY " + name + ": " + (pass ? "PASS" : "FAIL");
+  if (strict_pass != pass) {
+    s += strict_pass ? " (strict PASS)" : " (strict FAIL)";
+  }
+  return s;
+}
+
+std::string Verdict::text() const {
+  std::ostringstream os;
+  os << summary() << '\n';
+  for (const CheckResult& c : checks) {
+    os << "  [" << (c.pass ? " ok " : "FAIL") << "] " << c.name;
+    if (!c.operative) os << " (strict)";
+    os << ": " << c.detail << '\n';
+  }
+  const auto chain = [&os](const std::string& kind,
+                           const std::vector<std::string>& labels) {
+    os << "  counterexample (" << kind << "):\n";
+    for (const std::string& l : labels) os << "    " << l << " ->\n";
+    os << "    (back to " << labels.front() << ")\n";
+  };
+  if (!cycle.empty()) {
+    chain(cycle_kind, cycle);
+  } else if (!strict_cycle.empty()) {
+    chain(strict_cycle_kind, strict_cycle);
+  }
+  return os.str();
+}
+
+std::string Verdict::json() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("scheme", scheme_name(scheme));
+  w.kv("pass", pass);
+  w.kv("strict_pass", strict_pass);
+  w.key("checks").begin_array();
+  for (const CheckResult& c : checks) {
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("pass", c.pass);
+    w.kv("operative", c.operative);
+    w.kv("detail", c.detail);
+    w.end_object();
+  }
+  w.end_array();
+  const auto ce = [&w](const char* key, const std::string& kind,
+                       const std::vector<std::string>& labels,
+                       const std::string& dot_src) {
+    w.key(key);
+    if (labels.empty()) {
+      w.raw("null");
+      return;
+    }
+    w.begin_object();
+    w.kv("kind", kind);
+    w.key("cycle").begin_array();
+    for (const std::string& l : labels) w.value(l);
+    w.end_array();
+    w.kv("dot", dot_src);
+    w.end_object();
+  };
+  ce("counterexample", cycle_kind, cycle, dot);
+  ce("strict_counterexample", strict_cycle_kind, strict_cycle, strict_dot);
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace mddsim::verify

@@ -1,0 +1,108 @@
+#pragma once
+// mddsim::verify — static deadlock-freedom analysis (the paper's structural
+// claims as a checkable artifact).
+//
+// Given a configuration's topology, VC layout, routing discipline, protocol
+// pattern, and endpoint queue organization, the verifier builds the
+// extended per-class channel dependency graphs and the composed message
+// dependency graph (cdg.hpp / mdg.hpp), runs SCC analysis, and renders a
+// verdict *before a single cycle is simulated*:
+//
+//   SA / DR  — the escape CDG of every logical network and the composed
+//              escape MDG must be acyclic (Duato's theorem + per-class /
+//              deflection consumption assumptions).  `pass == strict_pass`.
+//   PR / RG  — the adaptive network is knowingly cyclic (TFAR); `pass`
+//              instead requires a sound recovery structure (token count,
+//              Hamiltonian recovery ring, DB/DMB lanes).  `strict_pass`
+//              additionally demands the recovery-free graph be acyclic,
+//              which fails by design and documents *why* recovery is load-
+//              bearing, with the counterexample cycle attached.
+//
+// FAIL verdicts carry a minimal counterexample: the cycle as a readable
+// chain, Graphviz DOT (obs house style), and JSON via common/json.hpp.
+
+#include <string>
+#include <vector>
+
+#include "mddsim/protocol/message.hpp"
+#include "mddsim/protocol/pattern.hpp"
+#include "mddsim/routing/routing.hpp"
+#include "mddsim/routing/vc_layout.hpp"
+#include "mddsim/topology/topology.hpp"
+
+namespace mddsim {
+struct SimConfig;
+}
+
+namespace mddsim::verify {
+
+/// Recovery-path resources of the PR/RG schemes.  The simulator always
+/// provisions one deadlock-buffer and one delivery-buffer slot per lane
+/// (core/recovery.hpp); the explicit shape exists so the verifier can
+/// refute configurations without them.
+struct RecoveryShape {
+  int tokens = 1;
+  int db_slots = 1;   ///< deadlock-buffer slots per recovery lane
+  int dmb_slots = 1;  ///< delivery (DMB) slots at the interfaces
+};
+
+/// Everything the static analysis needs.  `from_config` derives the exact
+/// class map / layout / routing kind the Network constructor would build;
+/// tests may also hand-assemble deliberately broken inputs that
+/// SimConfig::validate() or RoutingAlgorithm would reject outright.
+struct VerifyInputs {
+  Topology topo{2, 1};
+  Scheme scheme = Scheme::SA;
+  QueueOrg queue_org = QueueOrg::Shared;
+  TransactionPattern pattern = TransactionPattern::PAT100();
+  VcLayout layout;
+  ClassMap cmap;
+  ClassMap qmap;
+  RoutingAlgorithm::Kind kind = RoutingAlgorithm::Kind::DOR;
+  RecoveryShape recovery;
+  std::string name;  ///< provenance string for reports
+
+  static VerifyInputs from_config(const SimConfig& cfg);
+};
+
+struct CheckResult {
+  std::string name;
+  bool pass = false;
+  bool operative = true;  ///< counts toward `pass` (informational checks,
+                          ///< e.g. mdg-strict under PR, only gate strict)
+  std::string detail;
+};
+
+struct Verdict {
+  std::string name;
+  Scheme scheme = Scheme::SA;
+  bool pass = false;         ///< scheme-appropriate criterion
+  bool strict_pass = false;  ///< every check, incl. recovery-free analysis
+  std::vector<CheckResult> checks;
+
+  /// Operative counterexample — set exactly when !pass and a dependency
+  /// cycle witnesses the failure.
+  std::string cycle_kind;
+  std::vector<std::string> cycle;
+  std::string dot;
+
+  /// Informational counterexample for the strict criterion (PR/RG: the
+  /// adaptive-network cycle recovery exists to break).
+  std::string strict_cycle_kind;
+  std::vector<std::string> strict_cycle;
+  std::string strict_dot;
+
+  bool passes(bool strict) const { return strict ? strict_pass : pass; }
+  /// One-line result, e.g. "VERIFY PR/PAT271 8x8 torus: PASS (strict FAIL)".
+  std::string summary() const;
+  /// Full human-readable report (checks + counterexample chain).
+  std::string text() const;
+  /// Machine-readable verdict via common/json.hpp.
+  std::string json() const;
+};
+
+/// Runs the full analysis.  Deterministic: identical inputs produce
+/// bit-identical verdicts (no hashing, no iteration-order dependence).
+Verdict run_verify(const VerifyInputs& in);
+
+}  // namespace mddsim::verify

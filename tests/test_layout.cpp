@@ -95,6 +95,14 @@ TEST(VcLayout, InfeasibleConfigsThrow) {
   EXPECT_THROW(VcLayout::make(Scheme::SA, 4, 4, 2), ConfigError);
   // DR with 2 VCs: 1 per class < 2.
   EXPECT_THROW(VcLayout::make(Scheme::DR, 2, 2, 2), ConfigError);
+  // Degenerate shapes are ConfigError (a user mistake), not a crash.
+  EXPECT_THROW(VcLayout::make(Scheme::SA, 2, 0, 1), ConfigError);
+  EXPECT_THROW(VcLayout::make(Scheme::SA, 0, 8, 1), ConfigError);
+  // Zero escape channels would strand SA/DR classes without an escape
+  // network; PR/RG (pure recovery, no escape) still accepts it.
+  EXPECT_THROW(VcLayout::make(Scheme::SA, 2, 8, 0), ConfigError);
+  EXPECT_THROW(VcLayout::make(Scheme::DR, 2, 8, 0), ConfigError);
+  EXPECT_NO_THROW(VcLayout::make(Scheme::PR, 1, 8, 0));
 }
 
 TEST(VcLayout, UnevenSplitFavorsReplyClasses) {
@@ -121,10 +129,23 @@ TEST(VcLayout, SharedAdaptivePool) {
     // Availability 1 + (C − E_m) = 5 channels per message (escape counts 1).
     EXPECT_EQ(l.of_class(c).adaptive(), 4);
   }
-  // Shared VCs belong to no single class.
+  // Shared VCs belong to no single class — always the kSharedPool sentinel.
   EXPECT_EQ(l.class_of_vc(1), 0);
   EXPECT_EQ(l.class_of_vc(7), 3);
-  EXPECT_EQ(l.class_of_vc(9), -1);
+  EXPECT_EQ(l.class_of_vc(9), VcLayout::kSharedPool);
+  EXPECT_FALSE(l.in_shared_pool(7));
+  EXPECT_TRUE(l.in_shared_pool(9));
+  EXPECT_TRUE(l.in_shared_pool(11));
+}
+
+TEST(VcLayout, ClassOfVcRefusesToGuessOnMalformedLayouts) {
+  // A hand-mangled layout with a coverage gap: VC 3 is in no range.  The
+  // deterministic contract is an InvariantError, never a guessed class id.
+  VcLayout l = VcLayout::make(Scheme::SA, 2, 4, 2);
+  l.classes[1].base = 3;
+  l.classes[1].count = 1;
+  EXPECT_THROW(l.class_of_vc(2), InvariantError);
+  EXPECT_EQ(l.class_of_vc(3), 1);
 }
 
 TEST(VcLayout, SharedAdaptiveInfeasibleBelowEm) {

@@ -69,7 +69,7 @@ TEST(RoutingDor, DatelineSwitchesToHighVc) {
   dor.candidates(7, p, cands);
   EXPECT_EQ(cands[0].vc, 1);  // crossing the wrap link: arrive on high VC
   dor.on_head_departure(7, p, cands[0].port);
-  EXPECT_TRUE(p.crossed_dateline);
+  EXPECT_TRUE(p.crossed_dateline(0));
   dor.candidates(0, p, cands);
   EXPECT_EQ(cands[0].vc, 1);  // stays on high VC after crossing
 }

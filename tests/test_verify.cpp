@@ -1,0 +1,364 @@
+// mddsim::verify — static deadlock-freedom analyzer.
+//
+// Known-good configurations (the shipped bench matrix) must PASS; seeded
+// broken configurations must FAIL with the expected counterexample cycle;
+// and verdicts must be bit-identical across repeated runs and across
+// threads (the CI verify-smoke step diffs the JSON artifacts).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/par/thread_pool.hpp"
+#include "mddsim/sim/config.hpp"
+#include "mddsim/sim/simulator.hpp"
+#include "mddsim/verify/graph.hpp"
+#include "mddsim/verify/verify.hpp"
+
+using namespace mddsim;
+
+namespace {
+
+SimConfig base_config(Scheme scheme, const std::string& pattern, int vcs) {
+  SimConfig cfg;
+  cfg.scheme = scheme;
+  cfg.pattern = pattern;
+  cfg.vcs_per_link = vcs;
+  return cfg;
+}
+
+const verify::CheckResult* find_check(const verify::Verdict& v,
+                                      const std::string& name) {
+  for (const auto& c : v.checks) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+bool label_in_cycle(const std::vector<std::string>& cycle,
+                    const std::string& needle) {
+  for (const auto& l : cycle) {
+    if (l.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Digraph primitives.
+
+TEST(VerifyGraph, FindsShortestCycleDeterministically) {
+  verify::EdgeSet e;
+  // Two cycles: 0->1->2->0 (length 3) and 1->3->1 (length 2), plus an
+  // acyclic tail 4->0.  The whole mess is one SCC {0,1,2,3}; the smallest
+  // vertex is 0 and the shortest cycle through 0 has length 3.
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.add(1, 3);
+  e.add(3, 1);
+  e.add(4, 0);
+  const verify::Digraph g(5, e);
+  const std::vector<int> c = g.find_cycle();
+  EXPECT_EQ(c, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(VerifyGraph, AcyclicGraphHasNoCycle) {
+  verify::EdgeSet e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(0, 2);
+  const verify::Digraph g(3, e);
+  EXPECT_TRUE(g.find_cycle().empty());
+}
+
+TEST(VerifyGraph, SelfLoopIsACycle) {
+  verify::EdgeSet e;
+  e.add(2, 2);
+  const verify::Digraph g(3, e);
+  EXPECT_EQ(g.find_cycle(), (std::vector<int>{2}));
+}
+
+// ---------------------------------------------------------------------------
+// Known-good configurations PASS.
+
+TEST(Verify, GoodSaConfigsPass) {
+  // SA across the VC ladder: PAT100 (2 classes) fits 4 VCs on the torus,
+  // PAT271 (4 classes) needs 8+.
+  struct Case { std::string pattern; int vcs; };
+  const std::vector<Case> cases = {
+      {"PAT100", 4}, {"PAT271", 8}, {"PAT271", 16}, {"PAT271", 64}};
+  for (const auto& c : cases) {
+    const auto in = verify::VerifyInputs::from_config(
+        base_config(Scheme::SA, c.pattern, c.vcs));
+    const verify::Verdict v = verify::run_verify(in);
+    EXPECT_TRUE(v.pass) << v.text();
+    // SA's guarantee is unconditional: no recovery mechanism is assumed.
+    EXPECT_TRUE(v.strict_pass) << v.text();
+    EXPECT_TRUE(v.cycle.empty());
+  }
+}
+
+TEST(Verify, GoodSharedAdaptivePasses) {
+  SimConfig cfg = base_config(Scheme::SA, "PAT271", 16);
+  cfg.shared_adaptive = true;  // [21]: E_m escape + one shared pool
+  const verify::Verdict v =
+      verify::run_verify(verify::VerifyInputs::from_config(cfg));
+  EXPECT_TRUE(v.pass) << v.text();
+  EXPECT_TRUE(v.strict_pass) << v.text();
+}
+
+TEST(Verify, GoodDrConfigsPass) {
+  for (const auto& [pattern, vcs] :
+       std::vector<std::pair<std::string, int>>{{"PAT721", 4}, {"PAT271", 8}}) {
+    const auto in = verify::VerifyInputs::from_config(
+        base_config(Scheme::DR, pattern, vcs));
+    const verify::Verdict v = verify::run_verify(in);
+    EXPECT_TRUE(v.pass) << v.text();
+    EXPECT_TRUE(v.strict_pass) << v.text();
+  }
+}
+
+TEST(Verify, GoodPrConfigsPassWithStrictFail) {
+  for (const bool torus : {true, false}) {
+    SimConfig cfg = base_config(Scheme::PR, "PAT271", 4);
+    cfg.torus = torus;
+    const verify::Verdict v =
+        verify::run_verify(verify::VerifyInputs::from_config(cfg));
+    EXPECT_TRUE(v.pass) << v.text();
+    // TFAR is knowingly cyclic without recovery: strict documents that.
+    EXPECT_FALSE(v.strict_pass) << v.text();
+    EXPECT_TRUE(v.cycle.empty());        // no *operative* counterexample
+    EXPECT_FALSE(v.strict_cycle.empty());  // the cycle recovery must break
+    EXPECT_EQ(v.strict_cycle_kind, "mdg-strict");
+  }
+}
+
+TEST(Verify, GoodMeshConfigsPass) {
+  SimConfig cfg = base_config(Scheme::SA, "PAT271", 8);
+  cfg.torus = false;
+  const verify::Verdict v =
+      verify::run_verify(verify::VerifyInputs::from_config(cfg));
+  EXPECT_TRUE(v.pass) << v.text();
+  const auto* cap = find_check(v, "escape-capacity");
+  ASSERT_NE(cap, nullptr);
+  EXPECT_TRUE(cap->pass);  // mesh: E_r = 1 suffices, no dateline
+}
+
+// ---------------------------------------------------------------------------
+// Seeded broken configurations FAIL with the expected cycle.
+
+namespace {
+
+// Torus with a single escape VC per class: DOR cannot switch VCs at the
+// dateline, so the escape CDG contains the wraparound ring cycle.
+// SimConfig::validate() would never produce this (escape_per_class() is 2
+// on a torus); the inputs are assembled by hand on purpose.
+verify::VerifyInputs broken_torus_single_escape(int vcs_per_class) {
+  verify::VerifyInputs in;
+  in.topo = Topology(8, 2, /*torus=*/true, 1);
+  in.scheme = Scheme::SA;
+  in.pattern = TransactionPattern::PAT100();
+  in.cmap = ClassMap::make(Scheme::SA, in.pattern.used_types());
+  in.layout = VcLayout::make(Scheme::SA, in.cmap.num_classes,
+                             in.cmap.num_classes * vcs_per_class,
+                             /*escape_per_class=*/1, false);
+  in.qmap = in.cmap;
+  in.kind = RoutingAlgorithm::kind_for(in.scheme, in.layout);
+  in.name = "broken SA torus escape=1 (" +
+            std::to_string(vcs_per_class) + " VC/class)";
+  return in;
+}
+
+}  // namespace
+
+TEST(Verify, BrokenTorusSingleEscapeFailsWithRingCycle) {
+  // vcs_per_class=1 exercises pure DOR, 2 the Duato adaptive+escape split;
+  // both must surface the wraparound cycle on the escape network.
+  for (const int vcs_per_class : {1, 2}) {
+    const verify::Verdict v =
+        verify::run_verify(broken_torus_single_escape(vcs_per_class));
+    EXPECT_FALSE(v.pass) << v.text();
+    const auto* cap = find_check(v, "escape-capacity");
+    ASSERT_NE(cap, nullptr);
+    EXPECT_FALSE(cap->pass);
+    const auto* cdg = find_check(v, "cdg-escape-c0");
+    ASSERT_NE(cdg, nullptr);
+    EXPECT_FALSE(cdg->pass);
+    ASSERT_FALSE(v.cycle.empty());
+    EXPECT_EQ(v.cycle_kind, "cdg-escape-c0");
+    // The witness lives on class 0's escape VC (vc0) and wraps a ring.
+    EXPECT_TRUE(label_in_cycle(v.cycle, ".vc0")) << v.text();
+    // Pure DOR has only direct single-hop dependencies, so the minimal
+    // cycle is the whole k=8 ring; with adaptive channels the extended
+    // CDG's indirect dependencies can span hops and shorten the witness.
+    EXPECT_GE(v.cycle.size(), vcs_per_class == 1 ? 8u : 3u) << v.text();
+    EXPECT_FALSE(v.dot.empty());
+  }
+}
+
+TEST(Verify, BrokenSaMissingReplyClassFailsAtEndpoints) {
+  // SA with the terminating reply merged into the request class: each
+  // per-class CDG is still fine, but the composed MDG closes the classic
+  // request-reply cycle through the endpoint queues (paper Figure 7).
+  verify::VerifyInputs in;
+  in.topo = Topology(8, 2, /*torus=*/true, 1);
+  in.scheme = Scheme::SA;
+  in.pattern = TransactionPattern::PAT100();
+  in.cmap.cls = {0, 0, 0, 0, 0};  // m1 and m4 share one logical network
+  in.cmap.num_classes = 1;
+  in.layout = VcLayout::make(Scheme::SA, 1, 4, /*escape_per_class=*/2, false);
+  in.qmap = in.cmap;
+  in.kind = RoutingAlgorithm::kind_for(in.scheme, in.layout);
+  in.name = "broken SA: m4 shares the m1 network";
+
+  const verify::Verdict v = verify::run_verify(in);
+  EXPECT_FALSE(v.pass) << v.text();
+  // Every per-class CDG alone is acyclic — the failure is message-dependent.
+  const auto* cdg = find_check(v, "cdg-escape-c0");
+  ASSERT_NE(cdg, nullptr);
+  EXPECT_TRUE(cdg->pass);
+  const auto* mdg = find_check(v, "mdg-endpoint");
+  ASSERT_NE(mdg, nullptr);
+  EXPECT_FALSE(mdg->pass);
+  ASSERT_FALSE(v.cycle.empty());
+  EXPECT_EQ(v.cycle_kind, "mdg-endpoint");
+  // The witness must pass through endpoint queues, not just channels.
+  EXPECT_TRUE(label_in_cycle(v.cycle, ".inq") ||
+              label_in_cycle(v.cycle, ".outq"))
+      << v.text();
+}
+
+TEST(Verify, BrokenPrRecoveryShapesFail) {
+  // PR leans entirely on recovery; rip out one structural piece at a time.
+  {
+    auto in = verify::VerifyInputs::from_config(
+        base_config(Scheme::PR, "PAT271", 4));
+    in.recovery.db_slots = 0;
+    const verify::Verdict v = verify::run_verify(in);
+    EXPECT_FALSE(v.pass) << v.text();
+    const auto* buf = find_check(v, "recovery-buffers");
+    ASSERT_NE(buf, nullptr);
+    EXPECT_FALSE(buf->pass);
+    // The operative counterexample is the TFAR cycle recovery now cannot
+    // break.
+    ASSERT_FALSE(v.cycle.empty());
+    EXPECT_EQ(v.cycle_kind, "mdg-strict");
+  }
+  {
+    auto in = verify::VerifyInputs::from_config(
+        base_config(Scheme::PR, "PAT271", 4));
+    in.recovery.tokens = 0;
+    const verify::Verdict v = verify::run_verify(in);
+    EXPECT_FALSE(v.pass) << v.text();
+    const auto* tok = find_check(v, "recovery-tokens");
+    ASSERT_NE(tok, nullptr);
+    EXPECT_FALSE(tok->pass);
+    ASSERT_FALSE(v.cycle.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: bit-identical verdicts across runs and across threads.
+
+namespace {
+
+std::vector<verify::VerifyInputs> determinism_corpus() {
+  std::vector<verify::VerifyInputs> corpus;
+  corpus.push_back(
+      verify::VerifyInputs::from_config(base_config(Scheme::SA, "PAT271", 8)));
+  corpus.push_back(
+      verify::VerifyInputs::from_config(base_config(Scheme::DR, "PAT271", 8)));
+  corpus.push_back(
+      verify::VerifyInputs::from_config(base_config(Scheme::PR, "PAT271", 4)));
+  corpus.push_back(broken_torus_single_escape(2));
+  return corpus;
+}
+
+}  // namespace
+
+TEST(Verify, VerdictsAreBitIdenticalAcrossRuns) {
+  for (const auto& in : determinism_corpus()) {
+    const std::string a = verify::run_verify(in).json();
+    const std::string b = verify::run_verify(in).json();
+    EXPECT_EQ(a, b) << in.name;
+  }
+}
+
+TEST(Verify, VerdictsAreBitIdenticalAcrossThreads) {
+  const auto corpus = determinism_corpus();
+  std::vector<std::string> reference;
+  reference.reserve(corpus.size());
+  for (const auto& in : corpus) reference.push_back(verify::run_verify(in).json());
+
+  // Same corpus, 4 workers, several rounds each — mirroring the CI
+  // verify-smoke step running under `--jobs 4`.
+  constexpr int kRounds = 3;
+  std::vector<std::string> out(corpus.size() * kRounds);
+  par::ThreadPool pool(4);
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = verify::run_verify(corpus[i % corpus.size()]).json();
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], reference[i % corpus.size()]) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Report formats.
+
+TEST(Verify, CounterexampleDotIsWellFormed) {
+  const verify::Verdict v =
+      verify::run_verify(broken_torus_single_escape(1));
+  ASSERT_FALSE(v.dot.empty());
+  EXPECT_EQ(v.dot.rfind("digraph counterexample {", 0), 0u);
+  EXPECT_NE(v.dot.find(" -> "), std::string::npos);
+  EXPECT_NE(v.dot.find(".vc0"), std::string::npos);
+  EXPECT_EQ(v.dot.back(), '\n');
+}
+
+TEST(Verify, JsonCarriesChecksAndCounterexamples) {
+  const verify::Verdict good = verify::run_verify(
+      verify::VerifyInputs::from_config(base_config(Scheme::SA, "PAT271", 8)));
+  EXPECT_NE(good.json().find("\"pass\":true"), std::string::npos);
+  EXPECT_NE(good.json().find("\"counterexample\":null"), std::string::npos);
+
+  const verify::Verdict bad =
+      verify::run_verify(broken_torus_single_escape(1));
+  EXPECT_NE(bad.json().find("\"pass\":false"), std::string::npos);
+  EXPECT_NE(bad.json().find("\"counterexample\":{"), std::string::npos);
+  EXPECT_NE(bad.json().find("\"cycle\":["), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator wiring: preflight + runtime CWG cross-check.
+
+TEST(Verify, PreflightAcceptsShippedConfigAndCrossChecksCwg) {
+  SimConfig cfg = base_config(Scheme::SA, "PAT100", 4);
+  cfg.k = 4;
+  cfg.verify_preflight = true;
+  cfg.cwg_enabled = true;  // arm the runtime cross-check
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 400;
+  cfg.injection_rate = 0.02;
+  Simulator sim(cfg);
+  // A strict static PASS promises the CWG detector finds nothing; run()
+  // throws InvariantError if the models ever disagree.
+  const RunResult r = sim.run();
+  EXPECT_EQ(r.counters.cwg_deadlocks, 0u);
+}
+
+TEST(Verify, PreflightRunsForPrWithoutStrictGuarantee) {
+  SimConfig cfg = base_config(Scheme::PR, "PAT100", 4);
+  cfg.k = 4;
+  cfg.verify_preflight = true;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 200;
+  EXPECT_NO_THROW({
+    Simulator sim(cfg);
+    sim.run();
+  });
+}
