@@ -1,0 +1,206 @@
+// Fault-injection hook cost and non-perturbation gates (bench_fi):
+//
+//   1. hook overhead — the first config rerun with an *armed but idle*
+//      injector (one event far beyond the run, invariants off), A/B against
+//      the plain run.  Every hook site pays its injector check each cycle
+//      while injecting nothing, so this measures the pure cost of having
+//      the subsystem compiled in and attached.  Target <= 2%; the gate only
+//      hard-fails above 5% so machine noise cannot flake CI.
+//   2. bit-identity — the armed-idle run, and a third run with the runtime
+//      invariant layer on, must both reproduce the plain run's RunResult
+//      bit for bit: observation and (idle) injection never perturb traffic.
+//   3. faulted sweep determinism — sweep points with active fault plans run
+//      serially (jobs=1) and in parallel; results must be bit-identical,
+//      because injector substreams are keyed by config hash, not worker.
+//
+// An active-freeze scenario is also timed for scale (informational only).
+// Results go to stdout (markdown) and BENCH_fi.json.  With MDDSIM_FI=OFF
+// the injection legs are skipped and only the plain timing is reported.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mddsim/fi/injector.hpp"
+#include "mddsim/par/thread_pool.hpp"
+
+using namespace mddsim;
+using namespace mddsim::bench;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool identical(const RunResult& a, const RunResult& b) {
+  return bits_equal(a.offered_load, b.offered_load) &&
+         bits_equal(a.throughput, b.throughput) &&
+         bits_equal(a.avg_packet_latency, b.avg_packet_latency) &&
+         bits_equal(a.p50_packet_latency, b.p50_packet_latency) &&
+         bits_equal(a.p95_packet_latency, b.p95_packet_latency) &&
+         bits_equal(a.p99_packet_latency, b.p99_packet_latency) &&
+         bits_equal(a.avg_txn_latency, b.avg_txn_latency) &&
+         bits_equal(a.avg_txn_messages, b.avg_txn_messages) &&
+         a.packets_delivered == b.packets_delivered &&
+         a.txns_completed == b.txns_completed &&
+         a.counters.detections == b.counters.detections &&
+         a.counters.deflections == b.counters.deflections &&
+         a.counters.rescues == b.counters.rescues &&
+         a.counters.rescued_msgs == b.counters.rescued_msgs &&
+         a.counters.retries == b.counters.retries &&
+         a.counters.cwg_deadlocks == b.counters.cwg_deadlocks &&
+         bits_equal(a.normalized_deadlocks, b.normalized_deadlocks) &&
+         a.drained == b.drained && a.cycles_run == b.cycles_run;
+}
+
+/// Best-of-3 wall time for one config (one untimed warmup first); the
+/// RunResult of the last timed run is returned through `out`.
+double time_config(const SimConfig& cfg, RunResult& out) {
+  { Simulator warm(cfg); warm.run(false); }
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Simulator sim(cfg);
+    out = sim.run(false);
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  init(argc, argv);
+  const int jobs = par::default_jobs(jobs_setting());
+
+  std::printf("# Fault-injection hook overhead (bench_fi)\n\n");
+  std::printf("hooks compiled in: %s\n\n", fi::compiled_in() ? "yes" : "no");
+
+  SimConfig base;
+  base.scheme = Scheme::PR;
+  base.pattern = "PAT271";
+  base.injection_rate = saturation_rate("PAT271");
+  base.warmup_cycles = warmup_cycles();
+  base.measure_cycles = measure_cycles();
+  note_configs({base});
+
+  // --- 1+2. Plain vs armed-idle vs invariants-on. ---------------------------
+  RunResult plain_r;
+  const double plain_secs = time_config(base, plain_r);
+  const double mcps = static_cast<double>(plain_r.cycles_run) / plain_secs / 1e6;
+
+  std::printf("| mode | wall (s) | Mcycles/s | overhead |\n|---|---|---|---|\n");
+  std::printf("| plain | %.3f | %.3f | - |\n", plain_secs, mcps);
+
+  double idle_overhead = 0.0, inv_overhead = 0.0;
+  bool idle_identical = true, inv_identical = true;
+  if (fi::compiled_in()) {
+    // One event far beyond the run: every hook consults the injector each
+    // cycle, nothing ever fires.  Invariants off isolates pure hook cost.
+    SimConfig idle_cfg = base;
+    idle_cfg.fault_spec = "freeze@500000000+10:node=0";
+    idle_cfg.fi_invariants = 0;
+    note_configs({idle_cfg});
+    RunResult idle_r;
+    const double idle_secs = time_config(idle_cfg, idle_r);
+    idle_overhead = idle_secs / plain_secs - 1.0;
+    idle_identical = identical(plain_r, idle_r);
+    std::printf("| armed-idle injector | %.3f | %.3f | %+.2f%% |\n", idle_secs,
+                static_cast<double>(idle_r.cycles_run) / idle_secs / 1e6,
+                100.0 * idle_overhead);
+
+    SimConfig inv_cfg = idle_cfg;
+    inv_cfg.fi_invariants = 1;  // periodic structural checks every 64 cycles
+    note_configs({inv_cfg});
+    RunResult inv_r;
+    const double inv_secs = time_config(inv_cfg, inv_r);
+    inv_overhead = inv_secs / plain_secs - 1.0;
+    inv_identical = identical(plain_r, inv_r);
+    std::printf("| + invariant checker | %.3f | %.3f | %+.2f%% |\n", inv_secs,
+                static_cast<double>(inv_r.cycles_run) / inv_secs / 1e6,
+                100.0 * inv_overhead);
+
+    std::printf("\nhook overhead: %+.2f%% (target <= 2%%, gate at 5%%); "
+                "bit-identical: idle=%s invariants=%s\n",
+                100.0 * idle_overhead, idle_identical ? "yes" : "NO",
+                inv_identical ? "yes" : "NO");
+
+    // --- Informational: an active freeze scenario. --------------------------
+    SimConfig freeze_cfg = base;
+    freeze_cfg.fault_spec = "freeze@2500+1000:node=all";
+    note_configs({freeze_cfg});
+    RunResult freeze_r;
+    const double freeze_secs = time_config(freeze_cfg, freeze_r);
+    std::printf("\nactive freeze scenario: %.3f s (%.3f Mcycles/s), "
+                "rescues=%llu\n", freeze_secs,
+                static_cast<double>(freeze_r.cycles_run) / freeze_secs / 1e6,
+                static_cast<unsigned long long>(freeze_r.counters.rescues));
+  } else {
+    std::printf("\n(MDDSIM_FI=OFF: injection legs skipped)\n");
+  }
+
+  // --- 3. Faulted sweep: serial vs parallel bit-identity. -------------------
+  bool sweep_identical = true;
+  std::size_t sweep_points_n = 0;
+  if (fi::compiled_in()) {
+    const char* plans[] = {
+        "freeze@2500+1000:node=all",
+        "freeze@2400+800:node=rand;token_loss@3000:engine=0",
+        "mshr_cap@2200+1500:node=rand,limit=0",
+        "link_stall@2300+900:router=rand,port=1",
+    };
+    std::vector<SimConfig> points;
+    double frac = 0.5;
+    for (const char* plan : plans) {
+      SimConfig cfg = base;
+      cfg.injection_rate = frac * saturation_rate("PAT271");
+      cfg.fault_spec = plan;
+      points.push_back(cfg);
+      frac += 0.15;
+    }
+    note_configs(points);
+    sweep_points_n = points.size();
+    const auto ts = std::chrono::steady_clock::now();
+    const std::vector<RunResult> serial = par::SweepRunner(1).run(points);
+    const double serial_secs = seconds_since(ts);
+    const auto tp = std::chrono::steady_clock::now();
+    const std::vector<RunResult> parallel = par::SweepRunner(jobs).run(points);
+    const double parallel_secs = seconds_since(tp);
+    sweep_identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; sweep_identical && i < serial.size(); ++i) {
+      sweep_identical = identical(serial[i], parallel[i]);
+    }
+    std::printf("\n## Faulted sweep determinism (%zu points)\n\n",
+                points.size());
+    std::printf("serial %.3f s, parallel (%d jobs) %.3f s; bit-identical: %s\n",
+                serial_secs, jobs, parallel_secs,
+                sweep_identical ? "yes" : "NO");
+  }
+
+  // --- JSON artifact for CI. ------------------------------------------------
+  write_bench_json("fi", [&](JsonWriter& w) {
+    w.kv("compiled_in", fi::compiled_in());
+    w.kv("plain_seconds", plain_secs);
+    w.kv("idle_injector_overhead_frac", idle_overhead);
+    w.kv("invariants_overhead_frac", inv_overhead);
+    w.kv("idle_bit_identical", idle_identical);
+    w.kv("invariants_bit_identical", inv_identical);
+    w.kv("faulted_sweep_points", static_cast<std::uint64_t>(sweep_points_n));
+    w.kv("faulted_sweep_bit_identical", sweep_identical);
+  });
+
+  // Identity failures are hard errors; overhead gates at 5% so CI machine
+  // noise around the 2% target cannot flake the build.
+  const bool ok = idle_identical && inv_identical && sweep_identical &&
+                  idle_overhead <= 0.05;
+  return ok ? 0 : 1;
+}

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "mddsim/fi/injector.hpp"
 #include "mddsim/par/thread_pool.hpp"
 
 using namespace mddsim;
@@ -119,6 +120,23 @@ std::vector<SimConfig> sweep_points() {
       cfg.injection_rate = frac * saturation_rate("PAT271");
       cfg.warmup_cycles = warmup_cycles();
       cfg.measure_cycles = measure_cycles();
+      configs.push_back(cfg);
+    }
+  }
+  if (fi::compiled_in()) {
+    // Fault-injected points ride along in the same batch so the serial vs
+    // parallel bit-identity gate also covers the injector's config-keyed
+    // RNG substreams (a worker-keyed substream would fail here).
+    for (const char* plan :
+         {"freeze@2500+1000:node=all", "mshr_cap@2200+1500:node=rand,limit=0"}) {
+      SimConfig cfg;
+      cfg.scheme = Scheme::PR;
+      cfg.pattern = "PAT271";
+      cfg.vcs_per_link = 8;
+      cfg.injection_rate = 0.7 * saturation_rate("PAT271");
+      cfg.warmup_cycles = warmup_cycles();
+      cfg.measure_cycles = measure_cycles();
+      cfg.fault_spec = plan;
       configs.push_back(cfg);
     }
   }

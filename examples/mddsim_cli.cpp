@@ -15,6 +15,11 @@
 //     --sweep R1,R2,...  run one simulation per injection rate (parallel)
 //     --jobs N           worker threads for --sweep (default: MDDSIM_JOBS
 //                        env or hardware concurrency; 1 = serial)
+//     --fault SPEC       arm a fault-injection plan (same as fault=SPEC),
+//                        e.g. --fault freeze@2000+500:node=3; see fault key
+//     --rebaseline FILE  re-run the golden baseline cases and rewrite FILE
+//                        (tests/golden_baseline.inc) with fresh counts and
+//                        per-case config hashes, then exit
 //
 //   Observability (mddsim::obs):
 //     --trace-out FILE   record a flit-level trace, write Chrome trace-event
@@ -41,6 +46,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,6 +59,7 @@
 #include "mddsim/obs/telemetry.hpp"
 #include "mddsim/obs/trace.hpp"
 #include "mddsim/par/sweep.hpp"
+#include "mddsim/sim/baseline.hpp"
 #include "mddsim/sim/report.hpp"
 #include "mddsim/sim/simulator.hpp"
 #include "mddsim/verify/verify.hpp"
@@ -66,6 +73,7 @@ void print_help() {
               "[--csv|--json] [--print-config] [--verify[=strict]]\n"
               "                  [--sweep R1,R2,...] [--jobs N] "
               "[--progress[=human|jsonl]]\n"
+              "                  [--fault SPEC] [--rebaseline FILE]\n"
               "                  [--trace-out FILE] [--heatmap-out FILE] "
               "[--forensics-dir DIR]\n"
               "                  [--metrics-out FILE] [--profile] "
@@ -105,6 +113,7 @@ int main(int argc, char** argv) {
   bool profile_report = false;
   bool verify_mode = false, verify_strict = false;
   std::string trace_out, heatmap_out, forensics_dir, metrics_out, profile_out;
+  std::string rebaseline_out;
   obs::ProgressMode progress_mode = obs::ProgressMode::Off;
   std::vector<double> sweep_rates;
   int jobs = par::consume_jobs_flag(argc, argv);
@@ -161,6 +170,12 @@ int main(int argc, char** argv) {
         progress_mode = obs::ProgressMode::Human;
       } else if (arg == "--progress=jsonl") {
         progress_mode = obs::ProgressMode::Jsonl;
+      } else if (arg == "--fault") {
+        if (++i >= argc) throw ConfigError("--fault needs a plan argument");
+        cfg.fault_spec = argv[i];
+      } else if (arg == "--rebaseline") {
+        if (++i >= argc) throw ConfigError("--rebaseline needs a file argument");
+        rebaseline_out = argv[i];
       } else if (arg == "--config") {
         if (++i >= argc) throw ConfigError("--config needs a file argument");
         std::ifstream is(argv[i]);
@@ -195,6 +210,27 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!rebaseline_out.empty()) {
+    // Golden-baseline maintenance: replay the canonical cases and rewrite
+    // the generated table the golden tests include (DESIGN.md §10).
+    try {
+      const std::string table = baseline::render_baseline_table();
+      std::ofstream os(rebaseline_out);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     rebaseline_out.c_str());
+        return 3;
+      }
+      os << table;
+      std::fprintf(stderr, "[golden] %zu baseline cases -> %s\n",
+                   baseline::baseline_cases().size(), rebaseline_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: rebaseline failed: %s\n", e.what());
+      return 4;
+    }
+    return 0;
+  }
+
   if (verify_mode) {
     // Static analysis only: build the extended CDG/MDG, run SCC analysis,
     // report, and exit without simulating a single cycle.
@@ -222,9 +258,25 @@ int main(int argc, char** argv) {
     const par::SweepRunner runner(jobs);
     obs::SweepProgress progress(progress_mode, std::cerr);
     const auto sweep_start = std::chrono::steady_clock::now();
-    const std::vector<RunResult> results = runner.run(
-        configs, drain,
-        progress_mode == obs::ProgressMode::Off ? nullptr : &progress);
+    std::vector<RunResult> results;
+    try {
+      results = runner.run(
+          configs, drain,
+          progress_mode == obs::ProgressMode::Off ? nullptr : &progress);
+    } catch (const InvariantError& e) {
+      // A runtime invariant failed inside one of the sweep points.  The
+      // runner rethrows the first failure; the owning Simulator (and its
+      // forensics) died with its worker, so report and exit — rerun the
+      // failing rate as a single run with --forensics-dir to capture dumps.
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 5;
+    } catch (const ConfigError& e) {
+      // Construction-time rejection (e.g. a fault plan in a build with the
+      // injection hooks compiled out) surfaces once the worker builds the
+      // Simulator, not at parse time.
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
     const double sweep_wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       sweep_start)
@@ -256,9 +308,37 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  Simulator sim(cfg);
+  std::unique_ptr<Simulator> sim_ptr;
+  try {
+    sim_ptr = std::make_unique<Simulator>(cfg);
+  } catch (const ConfigError& e) {
+    // Some rejections only fire at construction — e.g. a fault plan in a
+    // build with the injection hooks compiled out (MDDSIM_FI=OFF).
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  Simulator& sim = *sim_ptr;
   const auto run_start = std::chrono::steady_clock::now();
-  RunResult r = sim.run(drain);
+  RunResult r;
+  try {
+    r = sim.run(drain);
+  } catch (const InvariantError& e) {
+    // A runtime invariant (typically the fi recovery-liveness oracle)
+    // failed.  The forensics the failure hook captured are still in the
+    // Simulator — dump them when a directory was given, then exit loudly.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    if (!forensics_dir.empty()) {
+      for (const ForensicsReport& rep : sim.forensics_reports()) {
+        if (Forensics::write_dir(rep, forensics_dir)) {
+          std::fprintf(stderr, "[obs] forensics: %s at cycle %llu -> %s\n",
+                       rep.reason.c_str(),
+                       static_cast<unsigned long long>(rep.cycle),
+                       forensics_dir.c_str());
+        }
+      }
+    }
+    return 5;
+  }
   const double run_wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     run_start)

@@ -100,6 +100,11 @@ const std::vector<ConfigKey>& known_keys() {
       {"cwg_period", "CWG scan interval (cycles)"},
       {"retry_backoff", "RG re-injection backoff (cycles)"},
       {"tokens", "PR: concurrent recovery tokens (default 1)"},
+      {"fault", "fault-injection plan, e.g. freeze@2000+500:node=3"},
+      {"fi_check_period", "runtime invariant-check interval (cycles)"},
+      {"fi_liveness", "post-freeze recovery-liveness bound (cycles)"},
+      {"fi_invariants", "runtime invariants: -1 auto, 0 off, 1 on"},
+      {"token_regen", "token-loss regeneration delay (0 = 2 revolutions)"},
       {"verify", "run the static deadlock-freedom preflight (0/1)"},
       {"trace", "attach the flit-level event tracer (0/1)"},
       {"trace_capacity", "tracer ring-buffer capacity (events)"},
@@ -158,6 +163,11 @@ void apply_config_option(SimConfig& cfg, std::string_view assignment) {
   else if (key == "cwg_period") cfg.cwg_period = parse_int(key, val);
   else if (key == "retry_backoff") cfg.retry_backoff = parse_int(key, val);
   else if (key == "tokens") cfg.num_tokens = parse_int(key, val);
+  else if (key == "fault") cfg.fault_spec = std::string(val);
+  else if (key == "fi_check_period") cfg.fi_check_period = parse_int(key, val);
+  else if (key == "fi_liveness") cfg.fi_liveness_bound = parse_int(key, val);
+  else if (key == "fi_invariants") cfg.fi_invariants = parse_int(key, val);
+  else if (key == "token_regen") cfg.token_regen = parse_int(key, val);
   else if (key == "verify") cfg.verify_preflight = parse_bool(key, val);
   else if (key == "trace") cfg.trace = parse_bool(key, val);
   else if (key == "trace_capacity") cfg.trace_capacity = parse_int(key, val);
@@ -242,6 +252,11 @@ std::string config_to_string(const SimConfig& cfg) {
      << "cwg_period=" << cfg.cwg_period << "\n"
      << "retry_backoff=" << cfg.retry_backoff << "\n"
      << "tokens=" << cfg.num_tokens << "\n"
+     << "fault=" << cfg.fault_spec << "\n"
+     << "fi_check_period=" << cfg.fi_check_period << "\n"
+     << "fi_liveness=" << cfg.fi_liveness_bound << "\n"
+     << "fi_invariants=" << cfg.fi_invariants << "\n"
+     << "token_regen=" << cfg.token_regen << "\n"
      << "verify=" << (cfg.verify_preflight ? 1 : 0) << "\n"
      << "trace=" << (cfg.trace ? 1 : 0) << "\n"
      << "trace_capacity=" << cfg.trace_capacity << "\n"

@@ -7,9 +7,16 @@
 
 namespace mddsim {
 
-RecoveryEngine::RecoveryEngine(Network& net, int start_stop) : net_(net) {
+RecoveryEngine::RecoveryEngine(Network& net, int start_stop, int index)
+    : net_(net), index_(index) {
   token_stop_ = start_stop % num_stops();
   capture_stop_ = token_stop_;
+}
+
+Cycle RecoveryEngine::regen_delay() const {
+  const int cfg_delay = net_.config().token_regen;
+  if (cfg_delay > 0) return static_cast<Cycle>(cfg_delay);
+  return static_cast<Cycle>(2 * num_stops());
 }
 
 const char* RecoveryEngine::state_name() const {
@@ -59,6 +66,33 @@ RouterId RecoveryEngine::frame_router(const Frame& f) const {
 }
 
 void RecoveryEngine::step(Cycle now) {
+  if (fi::FaultInjector* inj = net_.injector()) {
+    // Token faults act on the circulating token only: a loss or duplicate
+    // injected mid-rescue stays pending in the injector and takes effect
+    // once the token is back on the ring.
+    if (state_ == State::Circulate) {
+      if (inj->take_token_dup(index_)) {
+        // Each token carries a serial number; the engine recognizes and
+        // drops the stale duplicate on sight (no double-capture possible).
+        ++duplicates_dropped_;
+      }
+      if (!lost_ && inj->take_token_loss(index_)) {
+        lost_ = true;
+        regen_at_ = now + regen_delay();
+      }
+      if (lost_) {
+        if (now < regen_at_) return;  // token gone: the ring sees nothing
+        // Timeout-based regeneration: a fresh token (next serial number)
+        // appears at the engine's home stop and circulation resumes.
+        lost_ = false;
+        token_stop_ = capture_stop_;
+        ++regenerations_;
+      }
+      if (inj->token_stalled(index_)) return;  // frozen in place
+    } else if (state_ == State::LaneTransfer && inj->lane_disabled(index_)) {
+      return;  // DB/DMB slot disabled: the transfer resumes after the window
+    }
+  }
   switch (state_) {
     case State::Circulate:
       advance_token(now);

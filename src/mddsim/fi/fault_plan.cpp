@@ -1,0 +1,186 @@
+#include "mddsim/fi/fault_plan.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim::fi {
+namespace {
+
+[[noreturn]] void bad(std::string_view event, const std::string& why) {
+  throw ConfigError("bad fault event '" + std::string(event) + "': " + why);
+}
+
+FaultKind parse_kind(std::string_view event, std::string_view name) {
+  if (name == "freeze") return FaultKind::EndpointFreeze;
+  if (name == "mshr_cap") return FaultKind::MshrCap;
+  if (name == "link_stall" || name == "vc_stall") return FaultKind::LinkStall;
+  if (name == "token_loss") return FaultKind::TokenLoss;
+  if (name == "token_dup") return FaultKind::TokenDup;
+  if (name == "token_stall") return FaultKind::TokenStall;
+  if (name == "lane_off") return FaultKind::LaneOff;
+  bad(event, "unknown kind '" + std::string(name) +
+                 "' (expected freeze, mshr_cap, link_stall, vc_stall, "
+                 "token_loss, token_dup, token_stall or lane_off)");
+}
+
+std::int64_t parse_num(std::string_view event, std::string_view v) {
+  std::int64_t out = 0;
+  const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || p != v.data() + v.size()) {
+    bad(event, "expected a number, got '" + std::string(v) + "'");
+  }
+  return out;
+}
+
+/// Parses a target value: a number, "all", or "rand".
+int parse_target(std::string_view event, std::string_view v) {
+  if (v == "all") return kTargetAll;
+  if (v == "rand") return kTargetRand;
+  const std::int64_t n = parse_num(event, v);
+  if (n < 0) bad(event, "targets must be >= 0 (or all/rand)");
+  return static_cast<int>(n);
+}
+
+void apply_param(FaultEvent& e, std::string_view event, std::string_view key,
+                 std::string_view val) {
+  if (key == "node") e.node = parse_target(event, val);
+  else if (key == "router") e.router = parse_target(event, val);
+  else if (key == "port") e.port = static_cast<int>(parse_num(event, val));
+  else if (key == "vc") e.vc = static_cast<int>(parse_num(event, val));
+  else if (key == "engine") e.engine = static_cast<int>(parse_num(event, val));
+  else if (key == "limit") e.limit = static_cast<int>(parse_num(event, val));
+  else bad(event, "unknown parameter '" + std::string(key) + "'");
+}
+
+FaultEvent parse_event(std::string_view text) {
+  FaultEvent e;
+  const std::size_t at = text.find('@');
+  if (at == std::string_view::npos) {
+    bad(text, "expected kind@start[+duration][:params]");
+  }
+  const std::string_view kind_name = text.substr(0, at);
+  e.kind = parse_kind(text, kind_name);
+
+  std::string_view rest = text.substr(at + 1);
+  const std::size_t colon = rest.find(':');
+  std::string_view when =
+      colon == std::string_view::npos ? rest : rest.substr(0, colon);
+  const std::size_t plus = when.find('+');
+  if (plus == std::string_view::npos) {
+    e.start = static_cast<Cycle>(parse_num(text, when));
+  } else {
+    e.start = static_cast<Cycle>(parse_num(text, when.substr(0, plus)));
+    e.duration = static_cast<Cycle>(parse_num(text, when.substr(plus + 1)));
+  }
+
+  if (colon != std::string_view::npos) {
+    std::string_view params = rest.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= params.size()) {
+      const std::size_t comma = std::min(params.find(',', pos), params.size());
+      const std::string_view kv = params.substr(pos, comma - pos);
+      if (!kv.empty()) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string_view::npos) {
+          bad(text, "expected key=value, got '" + std::string(kv) + "'");
+        }
+        apply_param(e, text, kv.substr(0, eq), kv.substr(eq + 1));
+      }
+      if (comma == params.size()) break;
+      pos = comma + 1;
+    }
+  }
+
+  if (e.windowed() && e.duration < 1) {
+    bad(text, std::string(fault_kind_name(e.kind)) +
+                  " needs a window: kind@start+duration");
+  }
+  if (!e.windowed() && e.duration != 0) {
+    bad(text, std::string(fault_kind_name(e.kind)) +
+                  " is instantaneous: no +duration allowed");
+  }
+  if (kind_name == "vc_stall" && e.vc < 0) {
+    bad(text, "vc_stall needs vc=N (use link_stall to stall every VC)");
+  }
+  if (e.kind == FaultKind::LinkStall && e.router == kTargetAll && e.port < 0 &&
+      e.vc < 0) {
+    bad(text, "link_stall needs a target (router=N|rand, optional port=, vc=)");
+  }
+  if (e.engine < 0) bad(text, "engine must be >= 0");
+  if (e.limit < 0) bad(text, "limit must be >= 0");
+  return e;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::EndpointFreeze: return "freeze";
+    case FaultKind::MshrCap: return "mshr_cap";
+    case FaultKind::LinkStall: return "link_stall";
+    case FaultKind::TokenLoss: return "token_loss";
+    case FaultKind::TokenDup: return "token_dup";
+    case FaultKind::TokenStall: return "token_stall";
+    case FaultKind::LaneOff: return "lane_off";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t sep = std::min(spec.find(';', pos), spec.size());
+    std::string_view part = spec.substr(pos, sep - pos);
+    // Trim surrounding whitespace so "a; b" parses like "a;b".
+    while (!part.empty() && (part.front() == ' ' || part.front() == '\t')) {
+      part.remove_prefix(1);
+    }
+    while (!part.empty() && (part.back() == ' ' || part.back() == '\t')) {
+      part.remove_suffix(1);
+    }
+    if (!part.empty()) plan.events.push_back(parse_event(part));
+    if (sep == spec.size()) break;
+    pos = sep + 1;
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  auto target = [](int t) -> std::string {
+    if (t == kTargetAll) return "all";
+    if (t == kTargetRand) return "rand";
+    return std::to_string(t);
+  };
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (i) os << ';';
+    os << fault_kind_name(e.kind) << '@' << e.start;
+    if (e.windowed()) os << '+' << e.duration;
+    switch (e.kind) {
+      case FaultKind::EndpointFreeze:
+        os << ":node=" << target(e.node);
+        break;
+      case FaultKind::MshrCap:
+        os << ":node=" << target(e.node) << ",limit=" << e.limit;
+        break;
+      case FaultKind::LinkStall:
+        os << ":router=" << target(e.router);
+        if (e.port >= 0) os << ",port=" << e.port;
+        if (e.vc >= 0) os << ",vc=" << e.vc;
+        break;
+      case FaultKind::TokenLoss:
+      case FaultKind::TokenDup:
+      case FaultKind::TokenStall:
+      case FaultKind::LaneOff:
+        os << ":engine=" << e.engine;
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mddsim::fi

@@ -1,0 +1,88 @@
+#pragma once
+// Fault-injection scenario specification (mddsim::fi).
+//
+// A FaultPlan is an ordered list of fault events, each perturbing one
+// well-defined hook point in the simulator for a window of cycles (or
+// instantaneously, for token events).  Plans are written as a compact text
+// spec — config key `fault=` or CLI `--fault` — so scenarios travel with
+// the configuration, hash into run provenance, and reproduce exactly:
+//
+//   kind@start[+duration][:key=value[,key=value...]] [; next event ...]
+//
+//   freeze@2000+500:node=3        endpoint 3 stops consuming for 500 cycles
+//                                 (the paper's deadlock trigger, §4.2)
+//   freeze@2000+500:node=all      every endpoint freezes
+//   mshr_cap@1000+400:node=5,limit=1   MSHR starvation window at node 5
+//   link_stall@500+100:router=2,port=1 output port 1 of router 2 stalls
+//   vc_stall@500+100:router=2,port=1,vc=0  a single VC stalls
+//   token_loss@3000:engine=0      the PR token vanishes (regenerates after
+//                                 the token_regen timeout)
+//   token_dup@3000:engine=0       a duplicate token appears (dropped by the
+//                                 engine's serial-number filter)
+//   token_stall@3000+200          token frozen in place for 200 cycles
+//   lane_off@3000+200:engine=0    DB/DMB lane slot disabled for 200 cycles
+//
+// `node=rand` / `router=rand` defer target choice to the injector's forked
+// RNG substream, so randomized scenarios stay deterministic per config.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+
+namespace mddsim::fi {
+
+enum class FaultKind : std::uint8_t {
+  EndpointFreeze,  ///< NI stops ejecting + consuming (hook: netif step phases)
+  MshrCap,         ///< outstanding-transaction cap clamped (hook: step_inject)
+  LinkStall,       ///< router output port/VC stops granting (hook: SwitchAlloc)
+  TokenLoss,       ///< PR token lost on the ring (hook: RecoveryEngine::step)
+  TokenDup,        ///< duplicate PR token appears; engine drops it
+  TokenStall,      ///< PR token frozen in place for the window
+  LaneOff,         ///< DB/DMB lane slot disabled: transfers pause
+};
+
+inline constexpr int kNumFaultKinds = 7;
+
+/// Short spec name of a fault kind ("freeze", "link_stall", ...).
+const char* fault_kind_name(FaultKind k);
+
+/// Target sentinel values for FaultEvent::node / ::router.
+inline constexpr int kTargetAll = -1;
+inline constexpr int kTargetRand = -2;
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::EndpointFreeze;
+  Cycle start = 0;
+  Cycle duration = 0;   ///< 0 for instantaneous kinds (token_loss/token_dup)
+  int node = kTargetAll;    ///< EndpointFreeze / MshrCap target
+  int router = kTargetAll;  ///< LinkStall target
+  int port = -1;            ///< LinkStall output port (-1 = all ports)
+  int vc = -1;              ///< LinkStall output VC (-1 = all VCs)
+  int engine = 0;           ///< token/lane events: recovery-engine index
+  int limit = 0;            ///< MshrCap: clamped outstanding limit (0 = starve)
+
+  Cycle end() const { return start + duration; }
+  /// True for kinds that act over a window rather than instantaneously.
+  bool windowed() const {
+    return kind != FaultKind::TokenLoss && kind != FaultKind::TokenDup;
+  }
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Parses the `fault=` spec grammar above; throws ConfigError with the
+  /// offending event text on any syntax or range problem.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Canonical round-trippable spec text (parse(to_string()) == *this).
+  std::string to_string() const;
+};
+
+}  // namespace mddsim::fi

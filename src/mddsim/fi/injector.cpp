@@ -1,0 +1,183 @@
+#include "mddsim/fi/injector.hpp"
+
+#include <algorithm>
+
+#include "mddsim/common/assert.hpp"
+
+namespace mddsim::fi {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int num_nodes,
+                             int num_routers, int num_engines,
+                             std::uint64_t stream_seed)
+    : plan_(plan) {
+  MDD_CHECK(num_nodes > 0 && num_routers > 0 && num_engines >= 0);
+  const auto nodes = static_cast<std::size_t>(num_nodes);
+  const auto engines = static_cast<std::size_t>(std::max(num_engines, 1));
+  freeze_until_.assign(nodes, 0);
+  cap_until_.assign(nodes, 0);
+  cap_value_.assign(nodes, 0);
+  router_stalls_.assign(static_cast<std::size_t>(num_routers), 0);
+  token_stall_until_.assign(engines, 0);
+  lane_off_until_.assign(engines, 0);
+  pending_loss_.assign(engines, 0);
+  pending_dup_.assign(engines, 0);
+  token_stall_cycles_.assign(engines, 0);
+
+  // Resolve randomized targets from the dedicated (config-keyed) stream and
+  // validate ranges up front, so a bad plan fails at construction, not at
+  // some mid-run arm.  Draw order is the event order in the plan — stable
+  // regardless of when windows activate.
+  Rng rng(stream_seed);
+  for (FaultEvent& e : plan_.events) {
+    if (e.node == kTargetRand) {
+      e.node = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_nodes)));
+    }
+    if (e.router == kTargetRand) {
+      e.router =
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_routers)));
+    }
+    if (e.node >= num_nodes) {
+      throw ConfigError("fault event targets node " + std::to_string(e.node) +
+                        " but the topology has " + std::to_string(num_nodes) +
+                        " nodes");
+    }
+    if (e.router >= num_routers) {
+      throw ConfigError("fault event targets router " +
+                        std::to_string(e.router) + " but the topology has " +
+                        std::to_string(num_routers) + " routers");
+    }
+    if (e.engine >= static_cast<int>(engines)) {
+      throw ConfigError("fault event targets engine " +
+                        std::to_string(e.engine) + " but only " +
+                        std::to_string(engines) + " recovery engine(s) exist");
+    }
+    if (e.kind == FaultKind::EndpointFreeze) {
+      freeze_windows_.push_back({e.start, e.end(), e.node});
+    }
+  }
+  std::stable_sort(plan_.events.begin(), plan_.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.start < b.start;
+                   });
+  std::stable_sort(freeze_windows_.begin(), freeze_windows_.end(),
+                   [](const FreezeWindow& a, const FreezeWindow& b) {
+                     return a.end < b.end;
+                   });
+}
+
+void FaultInjector::begin_cycle(Cycle now) {
+  now_ = now;
+  while (next_event_ < plan_.events.size() &&
+         plan_.events[next_event_].start <= now) {
+    arm(plan_.events[next_event_], now);
+    ++next_event_;
+  }
+  if (!active_links_.empty()) {
+    for (std::size_t i = 0; i < active_links_.size();) {
+      if (now >= active_links_[i].until) {
+        --router_stalls_[static_cast<std::size_t>(active_links_[i].router)];
+        active_links_[i] = active_links_.back();
+        active_links_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (std::size_t e = 0; e < token_stall_until_.size(); ++e) {
+    if (now < token_stall_until_[e]) ++token_stall_cycles_[e];
+  }
+}
+
+void FaultInjector::arm(const FaultEvent& e, Cycle now) {
+  ++injected_[static_cast<std::size_t>(e.kind)];
+  const Cycle until = e.end();
+  switch (e.kind) {
+    case FaultKind::EndpointFreeze:
+      if (e.node == kTargetAll) {
+        for (Cycle& u : freeze_until_) u = std::max(u, until);
+      } else {
+        Cycle& u = freeze_until_[static_cast<std::size_t>(e.node)];
+        u = std::max(u, until);
+      }
+      break;
+    case FaultKind::MshrCap: {
+      auto clamp_at = [&](std::size_t n) {
+        // Overlapping caps: the tighter limit wins, the window extends.
+        if (now < cap_until_[n]) {
+          cap_value_[n] = std::min(cap_value_[n], e.limit);
+          cap_until_[n] = std::max(cap_until_[n], until);
+        } else {
+          cap_value_[n] = e.limit;
+          cap_until_[n] = until;
+        }
+      };
+      if (e.node == kTargetAll) {
+        for (std::size_t n = 0; n < cap_until_.size(); ++n) clamp_at(n);
+      } else {
+        clamp_at(static_cast<std::size_t>(e.node));
+      }
+      break;
+    }
+    case FaultKind::LinkStall:
+      if (e.router == kTargetAll) {
+        for (std::size_t r = 0; r < router_stalls_.size(); ++r) {
+          active_links_.push_back(
+              {static_cast<RouterId>(r), e.port, e.vc, until});
+          ++router_stalls_[r];
+        }
+      } else {
+        active_links_.push_back(
+            {static_cast<RouterId>(e.router), e.port, e.vc, until});
+        ++router_stalls_[static_cast<std::size_t>(e.router)];
+      }
+      break;
+    case FaultKind::TokenLoss:
+      pending_loss_[static_cast<std::size_t>(e.engine)] = 1;
+      break;
+    case FaultKind::TokenDup:
+      pending_dup_[static_cast<std::size_t>(e.engine)] = 1;
+      break;
+    case FaultKind::TokenStall: {
+      Cycle& u = token_stall_until_[static_cast<std::size_t>(e.engine)];
+      u = std::max(u, until);
+      break;
+    }
+    case FaultKind::LaneOff: {
+      Cycle& u = lane_off_until_[static_cast<std::size_t>(e.engine)];
+      u = std::max(u, until);
+      break;
+    }
+  }
+}
+
+bool FaultInjector::output_stalled(RouterId r, int port, int vc) const {
+  for (const ActiveLinkStall& s : active_links_) {
+    if (s.router != r) continue;
+    if (s.port >= 0 && s.port != port) continue;
+    if (s.vc >= 0 && s.vc != vc) continue;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::take_token_loss(int engine) {
+  char& p = pending_loss_[static_cast<std::size_t>(engine)];
+  if (!p) return false;
+  p = 0;
+  return true;
+}
+
+bool FaultInjector::take_token_dup(int engine) {
+  char& p = pending_dup_[static_cast<std::size_t>(engine)];
+  if (!p) return false;
+  p = 0;
+  return true;
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : injected_) total += v;
+  return total;
+}
+
+}  // namespace mddsim::fi

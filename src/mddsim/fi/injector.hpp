@@ -1,0 +1,137 @@
+#pragma once
+// Deterministic fault injector (mddsim::fi).
+//
+// Owns an armed FaultPlan and answers cheap per-cycle predicates from the
+// simulator's hook points: is this endpoint frozen, is this router output
+// stalled, what is this node's effective MSHR cap, is the recovery token
+// lost/stalled/duplicated, is the DB/DMB lane disabled.  `begin_cycle` is
+// called by Network::step at the top of every cycle and maintains flat
+// per-node/per-engine window arrays, so the hook-side queries are O(1)
+// array reads (plus a short scan of the active link-stall list, gated by a
+// per-router counter).
+//
+// Determinism contract: randomized targets (`node=rand`, `router=rand`) are
+// resolved at construction from a dedicated RNG stream seeded by the
+// *config hash* — never from the simulator's traffic RNG — so
+//   (a) traffic is bit-identical with and without an injector attached, and
+//   (b) a faulted sweep point produces the same result serially and on any
+//       parallel worker (substreams keyed by config, not worker id).
+//
+// Compile-time kill switch: building with -DMDDSIM_FI_ENABLED=0 (CMake
+// option MDDSIM_FI=OFF) makes Network::injector() a constant nullptr, so
+// every `if (... = net.injector())` hook folds away; `fi::compiled_in()`
+// reports which flavour was built, and Simulator refuses a fault plan
+// loudly instead of silently not injecting.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mddsim/common/rng.hpp"
+#include "mddsim/common/types.hpp"
+#include "mddsim/fi/fault_plan.hpp"
+
+#ifndef MDDSIM_FI_ENABLED
+#define MDDSIM_FI_ENABLED 1
+#endif
+
+namespace mddsim::fi {
+
+/// True when the fault-injection hooks are compiled into the library.
+constexpr bool compiled_in() { return MDDSIM_FI_ENABLED != 0; }
+
+/// One resolved consumption-freeze window (node == kTargetAll when every
+/// endpoint freezes).  Exposed to the recovery-liveness oracle.
+struct FreezeWindow {
+  Cycle start = 0;
+  Cycle end = 0;
+  int node = kTargetAll;
+};
+
+class FaultInjector {
+ public:
+  /// `stream_seed` must be derived from the configuration (hash of
+  /// config_to_string), not from the traffic RNG or any worker identity.
+  FaultInjector(const FaultPlan& plan, int num_nodes, int num_routers,
+                int num_engines, std::uint64_t stream_seed);
+
+  /// Called at the top of every Network::step: arms events whose start has
+  /// arrived and expires finished link-stall windows.
+  void begin_cycle(Cycle now);
+
+  // --- Hot-path predicates (answered against the begin_cycle snapshot). ----
+  bool endpoint_frozen(NodeId node) const {
+    return now_ < freeze_until_[static_cast<std::size_t>(node)];
+  }
+  int effective_mshr(NodeId node, int cfg_limit) const {
+    const auto n = static_cast<std::size_t>(node);
+    if (now_ >= cap_until_[n]) return cfg_limit;
+    return cap_value_[n] < cfg_limit ? cap_value_[n] : cfg_limit;
+  }
+  bool router_has_stall(RouterId r) const {
+    return router_stalls_[static_cast<std::size_t>(r)] > 0;
+  }
+  bool output_stalled(RouterId r, int port, int vc) const;
+  bool token_stalled(int engine) const {
+    return now_ < token_stall_until_[static_cast<std::size_t>(engine)];
+  }
+  bool lane_disabled(int engine) const {
+    return now_ < lane_off_until_[static_cast<std::size_t>(engine)];
+  }
+  /// Edge-triggered token events: the recovery engine polls these while
+  /// circulating; the pending flag persists until consumed, so a loss that
+  /// fires mid-rescue takes effect as soon as the token is back on the ring.
+  bool take_token_loss(int engine);
+  bool take_token_dup(int engine);
+
+  // --- Introspection for invariants, metrics and tests. --------------------
+  /// Event activations per fault kind (an `all`-target event counts once).
+  std::uint64_t injected(FaultKind k) const {
+    return injected_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t total_injected() const;
+  /// Cycles engine `e` spent inside a token_stall window so far — lets the
+  /// token-liveness invariant excuse injected stalls.
+  std::uint64_t token_stall_cycles(int engine) const {
+    return token_stall_cycles_[static_cast<std::size_t>(engine)];
+  }
+  /// All consumption-freeze windows of the plan, resolved and sorted by end
+  /// cycle; drives the recovery-liveness oracle.
+  const std::vector<FreezeWindow>& freeze_windows() const {
+    return freeze_windows_;
+  }
+  const FaultPlan& plan() const { return plan_; }
+  int num_engines() const {
+    return static_cast<int>(token_stall_until_.size());
+  }
+
+ private:
+  struct ActiveLinkStall {
+    RouterId router;
+    int port;  ///< -1 = all ports
+    int vc;    ///< -1 = all VCs
+    Cycle until;
+  };
+
+  void arm(const FaultEvent& e, Cycle now);
+
+  FaultPlan plan_;  ///< resolved copy (rand targets already drawn)
+  Cycle now_ = 0;
+  std::size_t next_event_ = 0;
+
+  std::vector<Cycle> freeze_until_;      ///< per node
+  std::vector<Cycle> cap_until_;         ///< per node
+  std::vector<int> cap_value_;           ///< per node
+  std::vector<int> router_stalls_;       ///< active stall events per router
+  std::vector<ActiveLinkStall> active_links_;
+  std::vector<Cycle> token_stall_until_; ///< per engine
+  std::vector<Cycle> lane_off_until_;    ///< per engine
+  std::vector<char> pending_loss_;       ///< per engine
+  std::vector<char> pending_dup_;        ///< per engine
+  std::vector<std::uint64_t> token_stall_cycles_;  ///< per engine
+
+  std::array<std::uint64_t, kNumFaultKinds> injected_{};
+  std::vector<FreezeWindow> freeze_windows_;
+};
+
+}  // namespace mddsim::fi

@@ -1,0 +1,214 @@
+#include "mddsim/fi/invariants.hpp"
+
+#include <string>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/core/cwg.hpp"
+#include "mddsim/core/recovery.hpp"
+#include "mddsim/sim/metrics.hpp"
+#include "mddsim/sim/network.hpp"
+
+namespace mddsim::fi {
+
+InvariantChecker::InvariantChecker(Network& net, const Metrics* metrics,
+                                   const FaultInjector* injector,
+                                   int check_period, Cycle liveness_bound)
+    : net_(net),
+      metrics_(metrics),
+      injector_(injector),
+      period_(check_period > 0 ? static_cast<Cycle>(check_period) : 1),
+      liveness_bound_(liveness_bound > 0 ? liveness_bound : 1),
+      cwg_(std::make_unique<CwgDetector>(net)) {
+  if (injector_) {
+    for (const FreezeWindow& w : injector_->freeze_windows()) {
+      PendingWindow p;
+      p.window = w;
+      p.deadline = w.end + liveness_bound_;
+      pending_.push_back(p);
+      ++report_.freeze_windows;
+    }
+  }
+}
+
+InvariantChecker::~InvariantChecker() = default;
+
+void InvariantChecker::step(Cycle now) {
+  if (now % period_ == 0) periodic_checks(now);
+  if (!pending_.empty()) oracle_tick(now);
+}
+
+void InvariantChecker::finish(Cycle now) {
+  // Judge anything already past its deadline (the run may end between the
+  // deadline and the next step), then settle windows whose deadline lies
+  // beyond the run: a drained-idle network trivially recovered.
+  for (std::size_t i = 0; i < pending_.size();) {
+    PendingWindow& w = pending_[i];
+    if (w.lifted && now >= w.deadline) {
+      judge(w, now);
+    } else if (net_.idle()) {
+      ++report_.windows_resolved;
+    } else {
+      ++i;
+      continue;
+    }
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  periodic_checks(now);
+}
+
+void InvariantChecker::periodic_checks(Cycle now) {
+  ++report_.checks;
+  net_.check_flow_invariants();
+
+  // Flit conservation per router: the incremental buffered-flit counter must
+  // agree with a full VC scan (the scan is the ground truth; the counter is
+  // what idle()/drain decisions run off).
+  const int routers = net_.topology().num_routers();
+  for (RouterId r = 0; r < routers; ++r) {
+    const Router& router = net_.router(r);
+    const int counted = router.total_buffered_flits();
+    const int scanned = router.scan_buffered_flits();
+    if (counted != scanned) {
+      fail(now, "router " + std::to_string(r) +
+                    " flit-count drift: incremental=" + std::to_string(counted) +
+                    " scan=" + std::to_string(scanned));
+    }
+  }
+
+  check_tokens(now);
+}
+
+void InvariantChecker::check_tokens(Cycle now) {
+  const auto& engines = net_.recovery_engines();
+  const SimConfig& cfg = net_.config();
+  if (cfg.scheme != Scheme::PR) {
+    if (!engines.empty()) {
+      fail(now, "recovery engines exist under a non-PR scheme");
+    }
+    return;
+  }
+
+  // Token uniqueness: exactly num_tokens engines, each owning one token
+  // (lost tokens are in a regeneration window, which the engine reports).
+  if (static_cast<int>(engines.size()) != cfg.num_tokens) {
+    fail(now, "token count " + std::to_string(engines.size()) +
+                  " != configured num_tokens " + std::to_string(cfg.num_tokens));
+  }
+
+  const int stops = net_.topology().num_routers() * (1 + cfg.bristling);
+  const std::size_t chain_bound =
+      16 * static_cast<std::size_t>(net_.num_nodes());
+  if (token_prev_.size() != engines.size()) token_prev_.resize(engines.size());
+
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    const RecoveryEngine& e = *engines[i];
+    if (e.token_stop() < 0 || e.token_stop() >= stops) {
+      fail(now, "engine " + std::to_string(i) + " token stop " +
+                    std::to_string(e.token_stop()) + " outside ring [0," +
+                    std::to_string(stops) + ")");
+    }
+    // DB/DMB occupancy bounds: a circulating (idle) engine must hold no lane
+    // packet and no rescue chain; chain depth is structurally bounded.
+    if (!e.busy() && (e.lane_packet() != 0 || e.rescue_chain_depth() != 0)) {
+      fail(now, "engine " + std::to_string(i) +
+                    " idle but holds lane packet/rescue chain (state " +
+                    e.state_name() + ")");
+    }
+    if (e.rescue_chain_depth() > chain_bound) {
+      fail(now, "engine " + std::to_string(i) + " rescue chain depth " +
+                    std::to_string(e.rescue_chain_depth()) +
+                    " exceeds structural bound " + std::to_string(chain_bound));
+    }
+
+    // Token liveness: between two consecutive checks a non-busy, non-lost
+    // token must have made some progress (moves/captures/regenerations),
+    // unless an injected token_stall window accounts for the gap.
+    TokenSnapshot cur;
+    cur.progress = e.token_moves() + e.captures() + e.regenerations() +
+                   e.duplicates_dropped();
+    cur.stall_cycles =
+        injector_ ? injector_->token_stall_cycles(static_cast<int>(i)) : 0;
+    cur.at = now;
+    cur.busy = e.busy();
+    cur.lost = e.token_lost();
+    cur.valid = true;
+
+    // Only enforce after a full period actually elapsed: finish() re-checks
+    // at run end, which can coincide with (or closely follow) the last
+    // boundary check — zero elapsed cycles is not a stall.
+    const TokenSnapshot& prev = token_prev_[i];
+    if (prev.valid && now - prev.at >= period_ && !prev.busy && !cur.busy &&
+        !prev.lost && !cur.lost && cur.progress == prev.progress &&
+        cur.stall_cycles == prev.stall_cycles) {
+      fail(now, "engine " + std::to_string(i) +
+                    " token made no progress over a full check period with no "
+                    "stall injected (stuck at stop " +
+                    std::to_string(e.token_stop()) + ")");
+    }
+    token_prev_[i] = cur;
+  }
+}
+
+void InvariantChecker::oracle_tick(Cycle now) {
+  for (std::size_t i = 0; i < pending_.size();) {
+    PendingWindow& w = pending_[i];
+    if (!w.lifted) {
+      if (now >= w.window.end) {
+        w.lifted = true;
+        w.consumed_at_lift = metrics_ ? metrics_->total_packets_consumed() : 0;
+      } else if (now >= w.window.start && !w.knot_seen &&
+                 now % period_ == 0) {
+        // During the freeze, record whether this window actually produced a
+        // CWG knot — the forensic question "did the injected freeze deadlock
+        // the network" is answered per window, not per run.
+        ++report_.cwg_scans;
+        if (!cwg_->find_knots().empty()) {
+          w.knot_seen = true;
+          ++report_.windows_with_knots;
+        }
+      }
+    }
+    if (w.lifted && now >= w.deadline) {
+      judge(w, now);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    ++i;
+  }
+}
+
+void InvariantChecker::judge(PendingWindow& w, Cycle now) {
+  // Recovery-liveness: `liveness_bound_` cycles after the freeze lifted the
+  // network must be knot-free ...
+  ++report_.cwg_scans;
+  const auto knots = cwg_->find_knots();
+  if (!knots.empty()) {
+    fail(now, std::to_string(knots.size()) +
+                  " CWG knot(s) still standing " +
+                  std::to_string(now - w.window.end) +
+                  " cycles after the freeze window [" +
+                  std::to_string(w.window.start) + "," +
+                  std::to_string(w.window.end) + ") lifted" +
+                  (w.knot_seen ? " (knot first seen during the freeze)" : ""));
+  }
+  // ... and consuming again: with traffic still in flight, at least one
+  // packet must have been consumed since the lift, else recovery stalled
+  // even though no snapshot knot is visible (e.g. a follow-on fault).
+  if (metrics_ && !net_.idle() &&
+      metrics_->total_packets_consumed() == w.consumed_at_lift) {
+    fail(now, "no packet consumed in the " + std::to_string(liveness_bound_) +
+                  " cycles after the freeze window [" +
+                  std::to_string(w.window.start) + "," +
+                  std::to_string(w.window.end) +
+                  ") lifted, with traffic in flight");
+  }
+  ++report_.windows_resolved;
+}
+
+void InvariantChecker::fail(Cycle now, const std::string& what) {
+  if (failure_hook_) failure_hook_(now, "fi_invariant");
+  throw InvariantError("fi invariant violated at cycle " +
+                       std::to_string(now) + ": " + what);
+}
+
+}  // namespace mddsim::fi

@@ -1,0 +1,115 @@
+#pragma once
+// Runtime invariant layer for fault-injected runs (mddsim::fi).
+//
+// Attached by the Simulator whenever a fault plan is armed (or explicitly
+// via fi_invariants=1), stepped once per cycle after Network::step.  Every
+// `fi_check_period` cycles it verifies:
+//
+//  * flit + credit conservation per router/link (Network::check_flow_
+//    invariants, plus the incremental flit counters against a full scan);
+//  * token uniqueness and liveness across the ring: exactly the configured
+//    number of recovery engines, token position within ring bounds, and a
+//    circulating token must make progress between checks unless an injected
+//    token_stall window or token loss excuses it;
+//  * DB/DMB occupancy bounds: an idle engine holds no lane packet and no
+//    rescue chain; chain depth stays within a generous structural bound.
+//
+// It also runs the **recovery-liveness oracle**: for every injected
+// consumption-freeze window, once the freeze lifts the network must return
+// to a knot-free, progressing state within `fi_liveness_bound` cycles —
+// any CWG knot still standing at the deadline, or a total consumption
+// stall with traffic in flight, dumps forensics (via the failure hook) and
+// throws InvariantError.  This is the dynamic complement of the §9 static
+// verifier: the static analyzer proves the *configuration* can always
+// recover; the oracle checks each *injected* deadlock actually did.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+#include "mddsim/fi/injector.hpp"
+
+namespace mddsim {
+class Network;
+class Metrics;
+class CwgDetector;
+}  // namespace mddsim
+
+namespace mddsim::fi {
+
+struct InvariantReport {
+  std::uint64_t checks = 0;             ///< periodic check sweeps run
+  std::uint64_t cwg_scans = 0;          ///< oracle knot scans performed
+  std::uint64_t freeze_windows = 0;     ///< freeze windows tracked
+  std::uint64_t windows_with_knots = 0; ///< windows that produced a knot
+  std::uint64_t windows_resolved = 0;   ///< windows judged recovered
+};
+
+class InvariantChecker {
+ public:
+  /// `metrics` may be null (post-freeze progress check is then skipped);
+  /// `injector` may be null (token-stall excuses and the oracle are then
+  /// inactive — only the periodic structural checks run).
+  InvariantChecker(Network& net, const Metrics* metrics,
+                   const FaultInjector* injector, int check_period,
+                   Cycle liveness_bound);
+  ~InvariantChecker();
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Called once per cycle (after Network::step).  Cheap off-period: one
+  /// modulo plus a scan of the (typically tiny) pending-window list.
+  void step(Cycle now);
+
+  /// End-of-run wrap-up: windows whose deadline lies beyond the run are
+  /// judged resolved when the network drained idle, otherwise left open.
+  void finish(Cycle now);
+
+  /// Invoked (with the failing cycle and a reason tag) right before an
+  /// InvariantError is thrown — the Simulator hooks forensics capture here.
+  void set_failure_hook(std::function<void(Cycle, const char*)> hook) {
+    failure_hook_ = std::move(hook);
+  }
+
+  const InvariantReport& report() const { return report_; }
+
+ private:
+  struct TokenSnapshot {
+    std::uint64_t progress = 0;      ///< moves + captures + regens + dups
+    std::uint64_t stall_cycles = 0;  ///< injected stall cycles at snapshot
+    Cycle at = 0;                    ///< cycle the snapshot was taken
+    bool busy = false;
+    bool lost = false;
+    bool valid = false;
+  };
+  struct PendingWindow {
+    FreezeWindow window;
+    Cycle deadline = 0;
+    std::uint64_t consumed_at_lift = 0;
+    bool lifted = false;
+    bool knot_seen = false;
+  };
+
+  void periodic_checks(Cycle now);
+  void check_tokens(Cycle now);
+  void oracle_tick(Cycle now);
+  void judge(PendingWindow& w, Cycle now);
+  [[noreturn]] void fail(Cycle now, const std::string& what);
+
+  Network& net_;
+  const Metrics* metrics_;
+  const FaultInjector* injector_;
+  const Cycle period_;
+  const Cycle liveness_bound_;
+  std::unique_ptr<CwgDetector> cwg_;  ///< own instance: scratch is not shared
+
+  std::vector<TokenSnapshot> token_prev_;
+  std::vector<PendingWindow> pending_;
+  InvariantReport report_;
+  std::function<void(Cycle, const char*)> failure_hook_;
+};
+
+}  // namespace mddsim::fi

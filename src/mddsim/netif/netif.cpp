@@ -92,6 +92,12 @@ bool NetworkInterface::output_has_space_for(
 // into the network (the message-dependent coupling path).
 // --------------------------------------------------------------------------
 void NetworkInterface::step_eject(Cycle now) {
+  // Injected consumption freeze (the paper's deadlock trigger): the endpoint
+  // stops draining ejection channels, so backpressure builds exactly as if
+  // the local consumer hung.
+  if (const fi::FaultInjector* inj = net_.injector();
+      inj && inj->endpoint_frozen(id_))
+    return;
   const int vcs = static_cast<int>(eject_buf_.size());
   for (int i = 0; i < vcs; ++i) {
     const int vc = (eject_rr_ + i) % vcs;
@@ -166,6 +172,11 @@ void NetworkInterface::consume_terminating_heads(Cycle now) {
 }
 
 void NetworkInterface::step_mc(Cycle now) {
+  // A frozen endpoint's memory controller makes no progress either: replies
+  // stay queued and in-flight service completion is deferred.
+  if (const fi::FaultInjector* inj = net_.injector();
+      inj && inj->endpoint_frozen(id_))
+    return;
   // Terminating replies sink into preallocated MSHRs as soon as they reach
   // the head of their queue, independent of controller occupancy.
   consume_terminating_heads(now);
@@ -243,6 +254,11 @@ void NetworkInterface::reserve_output(const std::vector<OutMsg>& msgs,
 // toward the requester (Origin2000 style).
 // --------------------------------------------------------------------------
 void NetworkInterface::step_deflect(Cycle now) {
+  // Deflection is a form of consumption (the blocked head is absorbed and
+  // answered), so a frozen endpoint cannot deflect until the freeze lifts.
+  if (const fi::FaultInjector* inj = net_.injector();
+      inj && inj->endpoint_frozen(id_))
+    return;
   // Rate-limit repeated firings of the same stuck condition to one
   // detection event per threshold period.
   if (now < last_detection_ + static_cast<Cycle>(cfg_.detection_threshold))
@@ -378,9 +394,14 @@ void NetworkInterface::step_inject(Cycle now) {
   }
 
   // Source requests: inject directly, gated by MSHR availability (reply
-  // space is preallocated per outstanding request).
+  // space is preallocated per outstanding request).  An injected mshr_cap
+  // window clamps the effective limit, modelling MSHR starvation.
   if (!src_stream_.pkt) {
-    if (source_.empty() || outstanding_ >= cfg_.mshr_limit) return;
+    int mshr_limit = cfg_.mshr_limit;
+    if (const fi::FaultInjector* inj = net_.injector()) {
+      mshr_limit = inj->effective_mshr(id_, mshr_limit);
+    }
+    if (source_.empty() || outstanding_ >= mshr_limit) return;
     const int vc = pick_injection_vc(source_.front());
     if (vc < 0) return;
     src_stream_ = InjectStream{source_.front(), 0, vc};

@@ -96,7 +96,11 @@ void Router::step(Cycle now, Network& net, obs::PhaseProfiler* prof) {
     int in_vc;
     int out_port;
   };
-  // Per input port, nominate one ready VC.
+  // Per input port, nominate one ready VC.  An injected link/VC stall makes
+  // the matching output look ungrantable for the window: flits stay put and
+  // credits are untouched, so conservation invariants hold throughout.
+  const fi::FaultInjector* fi_inj = net.injector();
+  const bool fi_stall = fi_inj && fi_inj->router_has_stall(id_);
   static thread_local std::vector<Nominee> nominees;
   nominees.clear();
   for (int p = 0; p < inputs; ++p) {
@@ -108,6 +112,8 @@ void Router::step(Cycle now, Network& net, obs::PhaseProfiler* prof) {
       const auto& ovc =
           out_[static_cast<std::size_t>(ivc.out_port)][static_cast<std::size_t>(ivc.out_vc)];
       if (ovc.credits <= 0) continue;
+      if (fi_stall && fi_inj->output_stalled(id_, ivc.out_port, ivc.out_vc))
+        continue;
       nominees.push_back({p, v, ivc.out_port});
       sa_in_rr_[static_cast<std::size_t>(p)] = (v + 1) % vcs_;
       break;

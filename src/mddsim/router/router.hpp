@@ -89,6 +89,11 @@ class Router {
   /// cycle by drain loops via Network::idle and by conservation tests.
   int total_buffered_flits() const;
 
+  /// Full-scan recount of the buffers — the pre-counter implementation,
+  /// kept as a debug-build cross-check of buffered_flits_ and as the ground
+  /// truth for the fi runtime flit-conservation invariant.
+  int scan_buffered_flits() const;
+
   /// Head-flit VC-allocation failures over the router's lifetime: each
   /// cycle a buffered head flit fails to win an output VC counts one.
   /// Exported by the metrics registry as router.<id>.vc_stall_cycles.
@@ -97,9 +102,6 @@ class Router {
  private:
   bool try_allocate_vc(Cycle now, int port, int vc, Network& net,
                        obs::PhaseProfiler* prof);
-  /// Full-scan recount of the buffers — the pre-counter implementation,
-  /// kept as a debug-build cross-check of buffered_flits_.
-  int scan_buffered_flits() const;
 
   RouterId id_;
   const Topology& topo_;

@@ -1,0 +1,92 @@
+#include "mddsim/sim/baseline.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "mddsim/common/config_parse.hpp"
+#include "mddsim/obs/provenance.hpp"
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim::baseline {
+
+SimConfig base_config() {
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 4000;
+  cfg.seed = 2026;
+  return cfg;
+}
+
+const std::vector<GoldenCase>& baseline_cases() {
+  // One case per scheme at a common load, the higher-rate PAT721 point the
+  // reproducibility test uses, and one fault-injected PR run (an endpoint
+  // freeze the token must rescue) so behavioural drift in the injector or
+  // the recovery path moves a pinned count.
+  static const std::vector<GoldenCase> cases = {
+      {"pr_pat271", "scheme=PR pattern=PAT271 vcs=4 rate=0.01"},
+      {"dr_pat271", "scheme=DR pattern=PAT271 vcs=4 rate=0.01"},
+      {"sa_pat271", "scheme=SA pattern=PAT271 vcs=8 rate=0.01"},
+      {"rg_pat271", "scheme=RG pattern=PAT271 vcs=4 rate=0.01"},
+      {"pr_pat721", "scheme=PR pattern=PAT721 vcs=4 rate=0.012"},
+      {"pr_pat721_freeze",
+       "scheme=PR pattern=PAT721 vcs=4 rate=0.012 "
+       "fault=freeze@1500+1500:node=all"},
+  };
+  return cases;
+}
+
+SimConfig config_for(const GoldenCase& c) {
+  SimConfig cfg = base_config();
+  std::istringstream opts(c.options);
+  std::string opt;
+  while (opts >> opt) apply_config_option(cfg, opt);
+  return cfg;
+}
+
+GoldenCounts run_case(const GoldenCase& c) {
+  Simulator sim(config_for(c));
+  const RunResult r = sim.run(true);
+  GoldenCounts out;
+  out.packets_delivered = r.packets_delivered;
+  out.txns_completed = r.txns_completed;
+  out.rescues = r.counters.rescues;
+  out.deflections = r.counters.deflections;
+  out.retries = r.counters.retries;
+  out.cycles_run = r.cycles_run;
+  return out;
+}
+
+std::string render_baseline_table() {
+  std::ostringstream os;
+  os << "// Golden baseline counts - generated, do not edit by hand.\n"
+     << "// Regenerate with: mddsim_cli --rebaseline tests/golden_baseline.inc\n"
+     << "// (requires a build with MDDSIM_FI=ON so fault cases replay).\n"
+     << "//\n"
+     << "// Base config: 4x4 torus, warmup=1000, measure=4000, seed=2026,\n"
+     << "// drained.  Each row is annotated with the fnv1a64 hash of its full\n"
+     << "// config string (the same hash obs::make_provenance stamps into run\n"
+     << "// artifacts), so a mismatching row is attributable to the exact\n"
+     << "// configuration that produced it.\n"
+     << "//\n"
+     << "// GOLDEN_CASE(name, options,\n"
+     << "//             packets_delivered, txns_completed,\n"
+     << "//             rescues, deflections, retries, cycles_run)\n";
+  for (const GoldenCase& c : baseline_cases()) {
+    const SimConfig cfg = config_for(c);
+    const GoldenCounts counts = run_case(c);
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(
+                      obs::fnv1a64(config_to_string(cfg))));
+    os << "\n// " << c.name << ": config fnv1a64=" << hash << "\n"
+       << "GOLDEN_CASE(" << c.name << ", \"" << c.options << "\",\n"
+       << "            " << counts.packets_delivered << "ull, "
+       << counts.txns_completed << "ull,\n"
+       << "            " << counts.rescues << "ull, " << counts.deflections
+       << "ull, " << counts.retries << "ull, " << counts.cycles_run << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace mddsim::baseline

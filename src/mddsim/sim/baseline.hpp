@@ -1,0 +1,62 @@
+#pragma once
+// Golden-baseline maintenance (the exact-count regression suite).
+//
+// The simulator is bit-deterministic for a given configuration, so
+// tests/test_golden.cpp pins exact packet/transaction/recovery counts for a
+// small set of canonical runs.  This module is the single source of truth
+// for those runs: the test includes the generated table
+// (tests/golden_baseline.inc) and replays `baseline_cases()`, while
+// `mddsim_cli --rebaseline FILE` re-runs the same cases and re-emits the
+// table — with a provenance hash per case — after a deliberate model
+// change.  DESIGN.md §10 documents the workflow.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+#include "mddsim/sim/config.hpp"
+
+namespace mddsim::baseline {
+
+/// One golden case: a name plus space-separated config options applied on
+/// top of `base_config()` (same key=value grammar as the CLI/config files).
+struct GoldenCase {
+  std::string name;
+  std::string options;
+
+  /// True when the case arms a fault plan (needs MDDSIM_FI=ON to replay).
+  bool uses_faults() const { return options.find("fault=") != std::string::npos; }
+};
+
+/// Exact counts a golden case pins.
+struct GoldenCounts {
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t txns_completed = 0;
+  std::uint64_t rescues = 0;
+  std::uint64_t deflections = 0;
+  std::uint64_t retries = 0;
+  Cycle cycles_run = 0;
+};
+
+/// Shared base: 4x4 torus, 1000 warmup + 4000 measurement cycles, seed 2026,
+/// drained to completion.
+SimConfig base_config();
+
+/// The canonical golden cases, in table order.
+const std::vector<GoldenCase>& baseline_cases();
+
+/// Resolves a case to its full configuration (base + options).
+SimConfig config_for(const GoldenCase& c);
+
+/// Runs one golden case to completion and returns its counts.
+GoldenCounts run_case(const GoldenCase& c);
+
+/// Runs every golden case and renders tests/golden_baseline.inc: one
+/// GOLDEN_CASE(...) row per case, each annotated with the fnv1a64 hash of
+/// its full config string so a stale row is attributable to the exact
+/// configuration that produced it.  Throws ConfigError when a fault case
+/// cannot be replayed because the library was built with MDDSIM_FI=OFF.
+std::string render_baseline_table();
+
+}  // namespace mddsim::baseline

@@ -1,6 +1,7 @@
 #include "mddsim/sim/config.hpp"
 
 #include "mddsim/common/assert.hpp"
+#include "mddsim/fi/fault_plan.hpp"
 #include "mddsim/protocol/pattern.hpp"
 #include "mddsim/routing/vc_layout.hpp"
 
@@ -36,6 +37,15 @@ void SimConfig::validate() const {
   if (trace_capacity < 1) throw ConfigError("trace_capacity must be >= 1");
   if (telemetry_epoch < 0) throw ConfigError("telemetry_epoch must be >= 0");
   if (watchdog_cycles < 0) throw ConfigError("watchdog_cycles must be >= 0");
+  if (fi_check_period < 1) throw ConfigError("fi_check_period must be >= 1");
+  if (fi_liveness_bound < 1) throw ConfigError("fi_liveness must be >= 1");
+  if (fi_invariants < -1 || fi_invariants > 1) {
+    throw ConfigError("fi_invariants must be -1 (auto), 0 or 1");
+  }
+  if (token_regen < 0) throw ConfigError("token_regen must be >= 0");
+  // Surface fault-plan syntax errors at validation time, with the offending
+  // event text (the Simulator re-parses the validated spec when it arms).
+  if (!fault_spec.empty()) (void)fi::FaultPlan::parse(fault_spec);
 
   const TransactionPattern pat = TransactionPattern::by_name(pattern);
   if (scheme == Scheme::DR && pat.chain_len() <= 2) {

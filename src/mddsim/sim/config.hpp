@@ -90,6 +90,21 @@ struct SimConfig {
   bool profile = false;          ///< attach the obs::PhaseProfiler (no-op
                                  ///< when built with MDDSIM_PROF=OFF)
 
+  // --- Fault injection (mddsim::fi) ------------------------------------------
+  std::string fault_spec;        ///< fault plan (config key `fault`, grammar in
+                                 ///< fi/fault_plan.hpp); empty = no injection
+  int fi_check_period = 64;      ///< cycles between runtime invariant sweeps
+  int fi_liveness_bound = 20000; ///< cycles after a consumption-freeze lifts
+                                 ///< within which PR/DR must have resolved any
+                                 ///< knot and resumed consumption (key
+                                 ///< `fi_liveness`)
+  int fi_invariants = -1;        ///< runtime invariant checker: -1 = auto
+                                 ///< (attached iff a fault plan is armed),
+                                 ///< 0 = off, 1 = always on
+  int token_regen = 0;           ///< cycles from an injected token loss to its
+                                 ///< timeout regeneration (0 = two full ring
+                                 ///< revolutions)
+
   // --- Static verification (mddsim::verify) ---------------------------------
   bool verify_preflight = false;  ///< run the static deadlock-freedom
                                   ///< analyzer before simulating; a FAIL

@@ -50,8 +50,8 @@ Network::Network(const SimConfig& cfg, EndpointProtocol& protocol)
     // One engine per token; start positions staggered around the ring.
     const int stops = topo_.num_routers() * (1 + topo_.bristling());
     for (int t = 0; t < cfg.num_tokens; ++t) {
-      recovery_.push_back(
-          std::make_unique<RecoveryEngine>(*this, t * stops / cfg.num_tokens));
+      recovery_.push_back(std::make_unique<RecoveryEngine>(
+          *this, t * stops / cfg.num_tokens, t));
     }
   }
   if (cfg.scheme == Scheme::RG) regress_ = std::make_unique<RegressiveEngine>(*this);
@@ -91,6 +91,10 @@ void Network::step() {
   // clock reads from inflating the RouterStep measurement.
   obs::PhaseProfiler* sub =
       prof && prof->sub_sampled(now) ? prof : nullptr;
+
+  // Fault injection: advance the injector's windows before any phase reads
+  // its predicates, so a fault scheduled for cycle C takes effect in C.
+  if (fi::FaultInjector* inj = injector()) inj->begin_cycle(now);
 
   {
     obs::ProfScope scope(sampled, obs::Phase::ProtocolStep);

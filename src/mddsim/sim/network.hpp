@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "mddsim/common/types.hpp"
+#include "mddsim/fi/injector.hpp"
 #include "mddsim/flow/packet.hpp"
 #include "mddsim/flow/packet_pool.hpp"
 #include "mddsim/netif/netif.hpp"
@@ -104,6 +105,18 @@ class Network {
 #endif
   }
 
+  /// Attaches (or detaches with nullptr) the deterministic fault injector.
+  /// Mirrors the tracer/profiler: with MDDSIM_FI=OFF the getter is a
+  /// constant nullptr, so every injection hook folds away at compile time.
+  void set_injector(fi::FaultInjector* inj) { injector_ = inj; }
+  fi::FaultInjector* injector() const {
+#if MDDSIM_FI_ENABLED
+    return injector_;
+#else
+    return nullptr;
+#endif
+  }
+
   DeadlockCounters& counters() { return counters_; }
   const DeadlockCounters& counters() const { return counters_; }
 
@@ -185,6 +198,7 @@ class Network {
   EndpointObserver* observer_ = nullptr;
   Tracer* tracer_ = nullptr;
   obs::PhaseProfiler* profiler_ = nullptr;
+  fi::FaultInjector* injector_ = nullptr;
   DeadlockCounters counters_;
 };
 

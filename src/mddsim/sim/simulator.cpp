@@ -4,7 +4,9 @@
 #include <string>
 
 #include "mddsim/common/assert.hpp"
+#include "mddsim/common/config_parse.hpp"
 #include "mddsim/core/recovery.hpp"
+#include "mddsim/obs/provenance.hpp"
 #include "mddsim/verify/verify.hpp"
 
 namespace mddsim {
@@ -49,6 +51,32 @@ Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
     profiler_ = std::make_unique<obs::PhaseProfiler>();
     net_->set_profiler(profiler_.get());
   }
+  if (!cfg_.fault_spec.empty()) {
+    if (!fi::compiled_in()) {
+      throw ConfigError(
+          "a fault plan is set (fault=" + cfg_.fault_spec +
+          ") but the fault-injection hooks were compiled out "
+          "(MDDSIM_FI=OFF); rebuild with MDDSIM_FI=ON to inject faults");
+    }
+    // The injector's randomness forks from a config-keyed substream, never
+    // from the traffic RNG: traffic is bit-identical with and without a plan
+    // armed, and a faulted sweep point resolves its `rand` targets the same
+    // way serially and on any parallel worker.
+    const std::uint64_t fi_seed =
+        obs::fnv1a64(config_to_string(cfg_)) ^ 0x66695f73616c7421ULL;
+    fi_inj_ = std::make_unique<fi::FaultInjector>(
+        fi::FaultPlan::parse(cfg_.fault_spec), net_->num_nodes(),
+        net_->topology().num_routers(),
+        static_cast<int>(net_->recovery_engines().size()), fi_seed);
+    net_->set_injector(fi_inj_.get());
+  }
+  if (cfg_.fi_invariants == 1 || (cfg_.fi_invariants != 0 && fi_inj_)) {
+    fi_check_ = std::make_unique<fi::InvariantChecker>(
+        *net_, metrics_.get(), fi_inj_.get(), cfg_.fi_check_period,
+        static_cast<Cycle>(cfg_.fi_liveness_bound));
+    fi_check_->set_failure_hook(
+        [this](Cycle now, const char* reason) { capture_forensics(now, reason); });
+  }
   node_rng_.reserve(static_cast<std::size_t>(net_->num_nodes()));
   for (int i = 0; i < net_->num_nodes(); ++i) node_rng_.push_back(rng_.split());
 }
@@ -60,6 +88,7 @@ void Simulator::capture_forensics(Cycle now, const char* reason) {
 
 void Simulator::step_obs() {
   const Cycle now = net_->now();
+  if (fi_check_) fi_check_->step(now);
   if (telemetry_) telemetry_->step(now);
   if (registry_ && cfg_.metrics_epoch > 0 && now != 0 &&
       now % static_cast<Cycle>(cfg_.metrics_epoch) == 0) {
@@ -140,6 +169,7 @@ RunResult Simulator::run(bool drain) {
     }
     r.drained = net_->idle() && protocol_->live_transactions() == 0;
   }
+  if (fi_check_) fi_check_->finish(net_->now());
   if (telemetry_) telemetry_->sample(net_->now());  // final partial epoch
   if (registry_) {
     obs::ProfScope scope(net_->profiler(), obs::Phase::MetricsCollect);
@@ -230,15 +260,52 @@ void Simulator::collect_metrics(obs::Registry& reg) const {
       .set(c.rescued_msgs);
   std::uint64_t acquisitions = 0;
   std::uint64_t token_moves = 0;
+  std::uint64_t regenerations = 0;
+  std::uint64_t duplicates = 0;
   for (const auto& engine : net_->recovery_engines()) {
     acquisitions += engine->captures();
     token_moves += engine->token_moves();
+    regenerations += engine->regenerations();
+    duplicates += engine->duplicates_dropped();
   }
   reg.counter("recovery.token.acquisitions",
               "token captures across all recovery engines")
       .set(acquisitions);
   reg.counter("recovery.token.moves", "token ring hops across all engines")
       .set(token_moves);
+  reg.counter("recovery.token.regenerations",
+              "tokens regenerated after an injected loss")
+      .set(regenerations);
+  reg.counter("recovery.token.duplicates_dropped",
+              "injected duplicate tokens dropped by the serial filter")
+      .set(duplicates);
+
+  // --- Fault injection (present only when a plan is armed). -----------------
+  if (fi_inj_) {
+    for (int k = 0; k < fi::kNumFaultKinds; ++k) {
+      const auto kind = static_cast<fi::FaultKind>(k);
+      reg.counter(std::string("fi.injected.") + fi::fault_kind_name(kind),
+                  "fault events of this kind armed so far")
+          .set(fi_inj_->injected(kind));
+    }
+    reg.counter("fi.injected.total", "fault events armed so far")
+        .set(fi_inj_->total_injected());
+    reg.gauge("fi.freeze_windows", "consumption-freeze windows in the plan")
+        .set(static_cast<double>(fi_inj_->freeze_windows().size()));
+  }
+  if (fi_check_) {
+    const fi::InvariantReport& rep = fi_check_->report();
+    reg.counter("fi.invariants.checks", "runtime invariant sweeps run")
+        .set(rep.checks);
+    reg.counter("fi.invariants.cwg_scans", "liveness-oracle knot scans")
+        .set(rep.cwg_scans);
+    reg.counter("fi.invariants.windows_with_knots",
+                "freeze windows that produced a CWG knot")
+        .set(rep.windows_with_knots);
+    reg.counter("fi.invariants.windows_resolved",
+                "freeze windows judged recovered within the bound")
+        .set(rep.windows_resolved);
+  }
 
   // --- Fabric state. --------------------------------------------------------
   reg.gauge("network.flits_in_flight",

@@ -16,6 +16,8 @@
 
 #include "mddsim/common/rng.hpp"
 #include "mddsim/core/cwg.hpp"
+#include "mddsim/fi/injector.hpp"
+#include "mddsim/fi/invariants.hpp"
 #include "mddsim/obs/forensics.hpp"
 #include "mddsim/obs/profile.hpp"
 #include "mddsim/obs/registry.hpp"
@@ -75,6 +77,13 @@ class Simulator {
   /// Phase profiler (cfg.profile), or nullptr.  Records nothing when the
   /// library is built with MDDSIM_PROF=OFF.
   obs::PhaseProfiler* profiler() { return profiler_.get(); }
+  /// Deterministic fault injector (cfg.fault_spec non-empty), or nullptr.
+  /// Constructing a Simulator with a fault plan throws ConfigError when the
+  /// library was built with MDDSIM_FI=OFF — never silently not injecting.
+  fi::FaultInjector* fault_injector() { return fi_inj_.get(); }
+  /// Runtime invariant checker + recovery-liveness oracle (attached when a
+  /// fault plan is armed, or forced via cfg.fi_invariants), or nullptr.
+  fi::InvariantChecker* invariant_checker() { return fi_check_.get(); }
 
   /// Pull-model collection: copies the simulator's incremental counters
   /// (metrics, deadlock counters, per-router and per-NI state) into `reg`.
@@ -100,6 +109,8 @@ class Simulator {
   std::unique_ptr<TelemetrySampler> telemetry_;
   std::unique_ptr<obs::Registry> registry_;
   std::unique_ptr<obs::PhaseProfiler> profiler_;
+  std::unique_ptr<fi::FaultInjector> fi_inj_;
+  std::unique_ptr<fi::InvariantChecker> fi_check_;
   std::vector<ForensicsReport> forensics_;
   std::uint64_t watch_consumed_ = 0;  ///< consumption count at last progress
   Cycle watch_since_ = 0;             ///< cycle of last observed progress

@@ -1,9 +1,26 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "mddsim/core/recovery.hpp"
+#include "mddsim/fi/injector.hpp"
+#include "mddsim/obs/forensics.hpp"
 #include "mddsim/sim/simulator.hpp"
 
 namespace mddsim {
 namespace {
+
+// Iteration count for the property suites below.  PR CI runs the default;
+// the nightly job sets MDDSIM_FUZZ_ITERS to a 10x value for a deeper soak.
+std::uint64_t fuzz_iters(std::uint64_t dflt) {
+  if (const char* s = std::getenv("MDDSIM_FUZZ_ITERS")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return dflt;
+}
 
 // Randomized-configuration robustness: draw structured-random simulator
 // configurations, run a short traffic burst plus drain, and require the
@@ -54,7 +71,128 @@ TEST_P(ConfigFuzz, ShortRunDrainsWithInvariantsIntact) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Draws, ConfigFuzz,
-                         ::testing::Range<std::uint64_t>(1, 33));
+                         ::testing::Range<std::uint64_t>(1, 1 + fuzz_iters(32)));
+
+// ---------------------------------------------------------------------------
+// Fault-matrix property suite: random configurations x random fault plans.
+//
+// Every drawn scenario must (a) drain once the faults lift, (b) retire every
+// transaction, (c) keep the flow invariants intact, and (d) never trip the
+// runtime invariant layer — which is armed automatically because a plan is
+// set, so every iteration also exercises the recovery-liveness oracle on
+// whatever freeze windows the draw produced.  PR draws containing a token
+// loss must additionally show the token survived it (regenerated, or the
+// engine is demonstrably still handling it at run end).
+// ---------------------------------------------------------------------------
+
+std::string random_fault_plan(Rng& rng) {
+  const int events = 1 + static_cast<int>(rng.next_below(3));
+  std::ostringstream os;
+  for (int i = 0; i < events; ++i) {
+    if (i) os << ';';
+    // Keep windows inside warmup+measure so drains judge every freeze.
+    const Cycle start = 300 + static_cast<Cycle>(rng.next_below(1200));
+    const Cycle dur = 50 + static_cast<Cycle>(rng.next_below(500));
+    switch (rng.next_below(7)) {
+      case 0:
+        os << "freeze@" << start << '+' << dur
+           << ":node=" << (rng.next_bool(0.5) ? "all" : "rand");
+        break;
+      case 1:
+        os << "mshr_cap@" << start << '+' << dur
+           << ":node=rand,limit=" << rng.next_below(2);
+        break;
+      case 2:
+        os << "link_stall@" << start << '+' << dur
+           << ":router=rand,port=" << rng.next_below(4);
+        break;
+      case 3:
+        os << "token_loss@" << start << ":engine=0";
+        break;
+      case 4:
+        os << "token_dup@" << start << ":engine=0";
+        break;
+      case 5:
+        os << "token_stall@" << start << '+' << dur << ":engine=0";
+        break;
+      case 6:
+        os << "lane_off@" << start << '+' << dur << ":engine=0";
+        break;
+    }
+  }
+  return os.str();
+}
+
+class FaultMatrixFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultMatrixFuzz, FaultedRunDrainsWithInvariantsIntact) {
+  if (!fi::compiled_in()) {
+    GTEST_SKIP() << "fault-injection hooks compiled out (MDDSIM_FI=OFF)";
+  }
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ull + 17);
+  SimConfig cfg;
+
+  const Scheme schemes[] = {Scheme::SA, Scheme::DR, Scheme::PR, Scheme::RG};
+  const char* patterns[] = {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"};
+  cfg.scheme = schemes[rng.next_below(4)];
+  cfg.pattern = patterns[rng.next_below(5)];
+  cfg.k = static_cast<int>(rng.next_range(2, 4));
+  cfg.torus = rng.next_bool(0.8);
+  cfg.vcs_per_link = static_cast<int>(rng.next_range(2, 8));
+  cfg.flit_buffer_depth = static_cast<int>(rng.next_range(1, 4));
+  cfg.msg_queue_size = static_cast<int>(rng.next_range(2, 16));
+  cfg.mshr_limit = static_cast<int>(rng.next_range(1, 8));
+  cfg.num_tokens = 1;
+  cfg.injection_rate = 0.002 + rng.next_double() * 0.015;
+  cfg.detection_threshold = static_cast<int>(rng.next_range(5, 50));
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 1500;
+  cfg.seed = GetParam() * 6271;
+  cfg.fault_spec = random_fault_plan(rng);
+
+  try {
+    cfg.validate();
+  } catch (const ConfigError&) {
+    GTEST_SKIP() << "infeasible random combination (expected)";
+  }
+
+  const std::string label = std::string(scheme_name(cfg.scheme)) + "/" +
+                            cfg.pattern + " fault=" + cfg.fault_spec;
+  Simulator sim(cfg);
+  RunResult r;
+  try {
+    r = sim.run(/*drain=*/true);
+  } catch (const InvariantError& e) {
+    // The oracle already captured forensics via the failure hook; persist
+    // them when the environment asks (the nightly job uploads this dir).
+    if (const char* dir = std::getenv("MDDSIM_FORENSICS_DIR")) {
+      for (const ForensicsReport& rep : sim.forensics_reports()) {
+        Forensics::write_dir(rep, dir);
+      }
+    }
+    FAIL() << label << ": " << e.what();
+  }
+  EXPECT_TRUE(r.drained) << label;
+  EXPECT_EQ(sim.protocol().live_transactions(), 0u) << label;
+  sim.network().check_flow_invariants();
+
+  ASSERT_NE(sim.fault_injector(), nullptr);
+  ASSERT_NE(sim.invariant_checker(), nullptr);
+  EXPECT_GT(sim.invariant_checker()->report().checks, 0u) << label;
+  if (cfg.scheme == Scheme::PR &&
+      sim.fault_injector()->injected(fi::FaultKind::TokenLoss) > 0) {
+    const auto& eng = sim.network().recovery_engines();
+    ASSERT_FALSE(eng.empty());
+    // The token either regenerated, is mid-regeneration, or the loss hit
+    // while the engine was busy rescuing — never silently vanished.
+    EXPECT_TRUE(eng[0]->regenerations() >= 1 || eng[0]->token_lost() ||
+                eng[0]->busy())
+        << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, FaultMatrixFuzz,
+                         ::testing::Range<std::uint64_t>(1, 1 + fuzz_iters(24)));
 
 }  // namespace
 }  // namespace mddsim

@@ -1,0 +1,101 @@
+// Long-running soak tests (ctest label `slow`): excluded from the PR-gating
+// tier-1 suite, run by the nightly CI job.  These push the simulator well
+// past the short windows the unit suite uses — bigger meshes, 10x longer
+// measurement phases, and sustained fault pressure — looking for slow state
+// corruption that short runs cannot surface.
+#include <gtest/gtest.h>
+
+#include "mddsim/core/recovery.hpp"
+#include "mddsim/fi/injector.hpp"
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+namespace {
+
+class LongRunStability : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(LongRunStability, BigMeshLongWindowDrainsClean) {
+  SimConfig cfg;
+  cfg.scheme = GetParam();
+  cfg.pattern = "PAT271";
+  cfg.k = 8;  // 8x8 torus: 4x the routers of the tier-1 runs
+  cfg.vcs_per_link = GetParam() == Scheme::SA ? 8 : 4;
+  cfg.injection_rate = 0.006;
+  cfg.warmup_cycles = 2000;
+  cfg.measure_cycles = 20000;
+  cfg.seed = 424242;
+  Simulator sim(cfg);
+  const RunResult r = sim.run(/*drain=*/true);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(sim.protocol().live_transactions(), 0u);
+  EXPECT_GT(r.txns_completed, 1000u);
+  sim.network().check_flow_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, LongRunStability,
+                         ::testing::Values(Scheme::SA, Scheme::DR, Scheme::PR,
+                                           Scheme::RG),
+                         [](const auto& info) {
+                           return std::string(scheme_name(info.param));
+                         });
+
+TEST(LongFaultSoak, RepeatedFreezeWavesAllRecover) {
+  if (!fi::compiled_in()) {
+    GTEST_SKIP() << "fault-injection hooks compiled out (MDDSIM_FI=OFF)";
+  }
+  // Five successive all-node consumption freezes over a 30k-cycle run; the
+  // liveness oracle judges each window independently, so one unrecovered
+  // wave anywhere in the soak throws.
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT721";
+  cfg.k = 4;
+  cfg.vcs_per_link = 4;
+  cfg.injection_rate = 0.012;
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 30000;
+  cfg.seed = 2026;
+  cfg.fault_spec =
+      "freeze@2000+1500:node=all;freeze@8000+1500:node=all;"
+      "freeze@14000+1500:node=all;freeze@20000+1500:node=all;"
+      "freeze@26000+1500:node=all";
+  Simulator sim(cfg);
+  const RunResult r = sim.run(/*drain=*/true);
+  EXPECT_TRUE(r.drained);
+  EXPECT_GE(r.counters.rescues, 5u);
+  ASSERT_NE(sim.invariant_checker(), nullptr);
+  const fi::InvariantReport& rep = sim.invariant_checker()->report();
+  EXPECT_EQ(rep.freeze_windows, 5u);
+  EXPECT_EQ(rep.windows_resolved, 5u);
+}
+
+TEST(LongFaultSoak, SustainedTokenAttritionIsSurvivable) {
+  if (!fi::compiled_in()) {
+    GTEST_SKIP() << "fault-injection hooks compiled out (MDDSIM_FI=OFF)";
+  }
+  // A token loss every ~4k cycles for the whole run: every loss must
+  // regenerate (the ring is never permanently tokenless).
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.vcs_per_link = 4;
+  cfg.injection_rate = 0.008;
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 20000;
+  cfg.seed = 77;
+  cfg.fault_spec =
+      "token_loss@3000:engine=0;token_loss@7000:engine=0;"
+      "token_loss@11000:engine=0;token_loss@15000:engine=0;"
+      "token_loss@19000:engine=0";
+  Simulator sim(cfg);
+  const RunResult r = sim.run(/*drain=*/true);
+  EXPECT_TRUE(r.drained);
+  const auto& eng = sim.network().recovery_engines();
+  ASSERT_FALSE(eng.empty());
+  EXPECT_EQ(eng[0]->regenerations(), 5u);
+  EXPECT_FALSE(eng[0]->token_lost());
+}
+
+}  // namespace
+}  // namespace mddsim
