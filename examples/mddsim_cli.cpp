@@ -33,6 +33,12 @@
 //     --profile          attach the phase profiler, print the per-phase
 //                        breakdown to stderr after the run
 //     --profile-out FILE like --profile but write the JSON profile to FILE
+//     --spans-out FILE   record causal chain spans, write a Chrome
+//                        trace-event JSON to FILE (one process per
+//                        transaction, one lane per chain position) plus a
+//                        JSONL span log next to it (.jsonl suffix)
+//     --span-stats       record spans, print the per-chain-stage latency /
+//                        blocked-time summary to stderr after the run
 //     --progress[=MODE]  live sweep progress on stderr (MODE: human, jsonl)
 //
 //   mddsim_cli scheme=PR pattern=PAT271 vcs=4 rate=0.012
@@ -77,7 +83,9 @@ void print_help() {
               "                  [--trace-out FILE] [--heatmap-out FILE] "
               "[--forensics-dir DIR]\n"
               "                  [--metrics-out FILE] [--profile] "
-              "[--profile-out FILE] [key=value ...]\n\n"
+              "[--profile-out FILE]\n"
+              "                  [--spans-out FILE] [--span-stats] "
+              "[key=value ...]\n\n"
               "configuration keys:\n");
   for (const auto& k : known_keys()) {
     std::printf("  %-16s %s\n", std::string(k.key).c_str(),
@@ -113,7 +121,8 @@ int main(int argc, char** argv) {
   bool profile_report = false;
   bool verify_mode = false, verify_strict = false;
   std::string trace_out, heatmap_out, forensics_dir, metrics_out, profile_out;
-  std::string rebaseline_out;
+  std::string spans_out, rebaseline_out;
+  bool span_stats = false;
   obs::ProgressMode progress_mode = obs::ProgressMode::Off;
   std::vector<double> sweep_rates;
   int jobs = par::consume_jobs_flag(argc, argv);
@@ -166,6 +175,13 @@ int main(int argc, char** argv) {
           throw ConfigError("--profile-out needs a file argument");
         profile_out = argv[i];
         cfg.profile = true;
+      } else if (arg == "--spans-out") {
+        if (++i >= argc) throw ConfigError("--spans-out needs a file argument");
+        spans_out = argv[i];
+        cfg.spans = true;
+      } else if (arg == "--span-stats") {
+        span_stats = true;
+        cfg.spans = true;
       } else if (arg == "--progress" || arg == "--progress=human") {
         progress_mode = obs::ProgressMode::Human;
       } else if (arg == "--progress=jsonl") {
@@ -188,11 +204,11 @@ int main(int argc, char** argv) {
     cfg.validate();
     if (!sweep_rates.empty() &&
         (!trace_out.empty() || !heatmap_out.empty() || !forensics_dir.empty() ||
-         !metrics_out.empty() || cfg.profile)) {
+         !metrics_out.empty() || cfg.profile || cfg.spans)) {
       throw ConfigError(
           "--sweep cannot be combined with --trace-out / --heatmap-out / "
-          "--forensics-dir / --metrics-out / --profile (observability "
-          "artifacts are per-run)");
+          "--forensics-dir / --metrics-out / --profile / --spans-out / "
+          "--span-stats (observability artifacts are per-run)");
     }
     if (progress_mode != obs::ProgressMode::Off && sweep_rates.empty()) {
       std::fprintf(stderr,
@@ -398,6 +414,44 @@ int main(int argc, char** argv) {
                  sim.registry()->num_metrics(),
                  prom_text ? "prometheus" : "json", metrics_out.c_str());
   }
+  if (cfg.spans) {
+    if (!obs::SpanRecorder::compiled_in()) {
+      std::fprintf(stderr,
+                   "warning: built with MDDSIM_SPANS=OFF; spans are empty\n");
+    }
+    obs::SpanRecorder* spans = sim.spans();
+    if (!spans_out.empty()) {
+      std::ofstream os(spans_out);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n", spans_out.c_str());
+        return 3;
+      }
+      spans->export_chrome_json(os);
+      // The JSONL span log rides along next to the Chrome trace.
+      std::string jsonl_out = spans_out;
+      const std::size_t dot = jsonl_out.rfind(".json");
+      if (dot != std::string::npos && dot == jsonl_out.size() - 5) {
+        jsonl_out.replace(dot, 5, ".jsonl");
+      } else {
+        jsonl_out += ".jsonl";
+      }
+      std::ofstream jos(jsonl_out);
+      if (!jos) {
+        std::fprintf(stderr, "error: cannot write %s\n", jsonl_out.c_str());
+        return 3;
+      }
+      spans->export_jsonl(jos);
+      std::fprintf(stderr,
+                   "[obs] %llu spans (%llu complete chains) -> %s "
+                   "(load in ui.perfetto.dev), log -> %s\n",
+                   static_cast<unsigned long long>(spans->opened()),
+                   static_cast<unsigned long long>(spans->complete_chains()),
+                   spans_out.c_str(), jsonl_out.c_str());
+    }
+    if (span_stats) {
+      spans->write_summary(std::cerr);
+    }
+  }
   if (cfg.profile) {
     if (!obs::PhaseProfiler::compiled_in()) {
       std::fprintf(stderr,
@@ -438,7 +492,7 @@ int main(int argc, char** argv) {
     write_csv_header(std::cout);
     write_csv_row(std::cout, label, r);
   } else if (json) {
-    write_json(std::cout, label, r, prov);
+    write_json(std::cout, label, r, prov, sim.spans());
   } else {
     std::printf("%s  vcs=%d  load=%.5f\n", label.c_str(), cfg.vcs_per_link,
                 r.offered_load);

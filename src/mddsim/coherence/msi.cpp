@@ -499,7 +499,7 @@ SinkResult MsiProtocol::sink(NodeId node, const Packet& msg) {
 void MsiProtocol::complete(Txn& t, TxnId id, Cycle now) {
   if (on_complete_) {
     on_complete_(TxnCompletion{id, t.requester, t.start_cycle, t.messages,
-                               false, false});
+                               false, false, t.messages});
   }
   (void)now;
   txns_.erase(id);

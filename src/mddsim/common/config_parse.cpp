@@ -114,6 +114,9 @@ const std::vector<ConfigKey>& known_keys() {
       {"metrics", "attach the metrics registry (0/1)"},
       {"metrics_epoch", "registry time-series period (cycles, 0 = final only)"},
       {"profile", "attach the phase profiler (0/1)"},
+      {"spans", "attach the causal span recorder (0/1)"},
+      {"span_warn_age", "blocked cycles before the early warning (0 = off)"},
+      {"span_capacity", "span-table cap (packets)"},
       {"seed", "random seed"},
       {"warmup", "warmup cycles"},
       {"measure", "measurement cycles"},
@@ -178,6 +181,9 @@ void apply_config_option(SimConfig& cfg, std::string_view assignment) {
   else if (key == "metrics") cfg.metrics = parse_bool(key, val);
   else if (key == "metrics_epoch") cfg.metrics_epoch = parse_int(key, val);
   else if (key == "profile") cfg.profile = parse_bool(key, val);
+  else if (key == "spans") cfg.spans = parse_bool(key, val);
+  else if (key == "span_warn_age") cfg.span_warn_age = parse_int(key, val);
+  else if (key == "span_capacity") cfg.span_capacity = parse_int(key, val);
   else if (key == "seed")
     cfg.seed = static_cast<std::uint64_t>(parse_double(key, val));
   else if (key == "warmup")
@@ -266,6 +272,9 @@ std::string config_to_string(const SimConfig& cfg) {
      << "metrics=" << (cfg.metrics ? 1 : 0) << "\n"
      << "metrics_epoch=" << cfg.metrics_epoch << "\n"
      << "profile=" << (cfg.profile ? 1 : 0) << "\n"
+     << "spans=" << (cfg.spans ? 1 : 0) << "\n"
+     << "span_warn_age=" << cfg.span_warn_age << "\n"
+     << "span_capacity=" << cfg.span_capacity << "\n"
      << "seed=" << cfg.seed << "\n"
      << "warmup=" << cfg.warmup_cycles << "\n"
      << "measure=" << cfg.measure_cycles << "\n"

@@ -54,6 +54,7 @@ class QuantileSampler {
   double median() const { return quantile(0.5); }
   double p95() const { return quantile(0.95); }
   double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
 
  private:
   std::size_t cap_;

@@ -90,8 +90,19 @@ void RecoveryEngine::step(Cycle now) {
       }
       if (inj->token_stalled(index_)) return;  // frozen in place
     } else if (state_ == State::LaneTransfer && inj->lane_disabled(index_)) {
+      if (work_pkt_) {
+        if (obs::SpanRecorder* sp = net_.spans())
+          sp->blocked(work_pkt_->span_idx, now, obs::BlockCause::FaultFrozen);
+      }
       return;  // DB/DMB slot disabled: the transfer resumes after the window
     }
+  }
+  // Any cycle a rescued message spends inside a recovery episode (lane
+  // transfer, waiting for or holding a preempted controller) is attributed
+  // to the recovery-lane bucket of its span.
+  if (work_pkt_ && state_ != State::Circulate) {
+    if (obs::SpanRecorder* sp = net_.spans())
+      sp->blocked(work_pkt_->span_idx, now, obs::BlockCause::RecoveryLane);
   }
   switch (state_) {
     case State::Circulate:

@@ -44,6 +44,11 @@ struct Packet {
   Cycle eject_cycle = 0;    ///< tail flit reached the destination interface
   Cycle consume_cycle = 0;  ///< processed/sunk by the memory controller
 
+  // Causal span handle: index into the attached obs::SpanRecorder's span
+  // table (-1 = unobserved).  Stamped by Network::make_packet; pure
+  // observability — never read by simulation logic.
+  std::int32_t span_idx = -1;
+
   // Bookkeeping flags.
   bool measured = false;   ///< generated during the measurement window
   bool rescued = false;    ///< was routed over the deadlock-recovery lane

@@ -96,8 +96,18 @@ void NetworkInterface::step_eject(Cycle now) {
   // stops draining ejection channels, so backpressure builds exactly as if
   // the local consumer hung.
   if (const fi::FaultInjector* inj = net_.injector();
-      inj && inj->endpoint_frozen(id_))
+      inj && inj->endpoint_frozen(id_)) {
+    if (obs::SpanRecorder* sp = net_.spans()) {
+      // The freeze window shows up as fault-frozen blocked time on every
+      // message parked in this interface's ejection channels.
+      for (const auto& buf : eject_buf_) {
+        if (!buf.empty())
+          sp->blocked(buf.front().pkt->span_idx, now,
+                      obs::BlockCause::FaultFrozen);
+      }
+    }
     return;
+  }
   const int vcs = static_cast<int>(eject_buf_.size());
   for (int i = 0; i < vcs; ++i) {
     const int vc = (eject_rr_ + i) % vcs;
@@ -114,7 +124,11 @@ void NetworkInterface::step_eject(Cycle now) {
         reasm = Reassembly{f.pkt, 0, -1};
       } else {
         const int slot = qmap_.of(f.pkt->type);
-        if (!input_has_free_slot(slot)) continue;  // blocked: no queue space
+        if (!input_has_free_slot(slot)) {  // blocked: no queue space
+          if (obs::SpanRecorder* sp = net_.spans())
+            sp->blocked(f.pkt->span_idx, now, obs::BlockCause::EjectAdmit);
+          continue;
+        }
         ++input_reserved_[static_cast<std::size_t>(slot)];
         reasm = Reassembly{f.pkt, 0, slot};
       }
@@ -151,6 +165,7 @@ void NetworkInterface::step_eject(Cycle now) {
 // --------------------------------------------------------------------------
 void NetworkInterface::sink_packet(const PacketPtr& pkt, Cycle now) {
   pkt->consume_cycle = now;
+  if (obs::SpanRecorder* sp = net_.spans()) sp->close(pkt->span_idx, *pkt);
   SinkResult r = protocol_.sink(id_, *pkt);
   if (r.txn_completed) {
     MDD_CHECK_MSG(outstanding_ > 0, "completion without outstanding MSHR");
@@ -175,8 +190,19 @@ void NetworkInterface::step_mc(Cycle now) {
   // A frozen endpoint's memory controller makes no progress either: replies
   // stay queued and in-flight service completion is deferred.
   if (const fi::FaultInjector* inj = net_.injector();
-      inj && inj->endpoint_frozen(id_))
+      inj && inj->endpoint_frozen(id_)) {
+    if (obs::SpanRecorder* sp = net_.spans()) {
+      // A frozen controller holds both the in-flight service and every
+      // queued head; attribute the stall so the fault window is visible.
+      if (mc_pkt_)
+        sp->blocked(mc_pkt_->span_idx, now, obs::BlockCause::FaultFrozen);
+      for (const auto& q : input_q_) {
+        if (!q.empty())
+          sp->blocked(q.front()->span_idx, now, obs::BlockCause::FaultFrozen);
+      }
+    }
     return;
+  }
   // Terminating replies sink into preallocated MSHRs as soon as they reach
   // the head of their queue, independent of controller occupancy.
   consume_terminating_heads(now);
@@ -184,6 +210,8 @@ void NetworkInterface::step_mc(Cycle now) {
   // Complete an in-flight service.
   if (mc_pkt_ && now >= mc_done_) {
     mc_pkt_->consume_cycle = now;
+    if (obs::SpanRecorder* sp = net_.spans())
+      sp->close(mc_pkt_->span_idx, *mc_pkt_);
     std::vector<OutMsg> outs = protocol_.commit_service(id_, *mc_pkt_);
     // Release exactly what was reserved at service start.  The committed
     // set can differ from the peeked one when local protocol state changed
@@ -282,6 +310,7 @@ void NetworkInterface::step_deflect(Cycle now) {
   input_q_[static_cast<std::size_t>(slot)].pop_front();
   head->deflected = true;
   head->consume_cycle = now;
+  if (obs::SpanRecorder* sp = net_.spans()) sp->close(head->span_idx, *head);
   if (net_.observer()) {
     net_.observer()->on_packet_consumed(*head, now);
     net_.observer()->on_deflection(id_, now);
@@ -377,11 +406,19 @@ void NetworkInterface::step_inject(Cycle now) {
       auto& q = output_q_[static_cast<std::size_t>(s)];
       if (q.empty()) continue;
       const int vc = pick_injection_vc(q.front());
-      if (vc < 0) continue;
+      if (vc < 0) {
+        if (obs::SpanRecorder* sp = net_.spans())
+          sp->blocked(q.front()->span_idx, now, obs::BlockCause::InjectQueue);
+        continue;
+      }
       stream = InjectStream{q.front(), 0, vc};
       inj_busy_[static_cast<std::size_t>(vc)] = true;
     }
-    if (!try_stream_flit(stream, now)) continue;
+    if (!try_stream_flit(stream, now)) {
+      if (obs::SpanRecorder* sp = net_.spans())
+        sp->blocked(stream.pkt->span_idx, now, obs::BlockCause::InjectQueue);
+      continue;
+    }
     if (stream.next_seq == stream.pkt->len_flits) {
       auto& q = output_q_[static_cast<std::size_t>(s)];
       MDD_CHECK(!q.empty() && q.front()->id == stream.pkt->id);
@@ -401,14 +438,31 @@ void NetworkInterface::step_inject(Cycle now) {
     if (const fi::FaultInjector* inj = net_.injector()) {
       mshr_limit = inj->effective_mshr(id_, mshr_limit);
     }
-    if (source_.empty() || outstanding_ >= mshr_limit) return;
+    if (source_.empty() || outstanding_ >= mshr_limit) {
+      if (!source_.empty()) {
+        if (obs::SpanRecorder* sp = net_.spans())
+          sp->blocked(source_.front()->span_idx, now,
+                      obs::BlockCause::InjectQueue);
+      }
+      return;
+    }
     const int vc = pick_injection_vc(source_.front());
-    if (vc < 0) return;
+    if (vc < 0) {
+      if (obs::SpanRecorder* sp = net_.spans())
+        sp->blocked(source_.front()->span_idx, now,
+                    obs::BlockCause::InjectQueue);
+      return;
+    }
     src_stream_ = InjectStream{source_.front(), 0, vc};
     inj_busy_[static_cast<std::size_t>(vc)] = true;
     ++outstanding_;
   }
-  if (!try_stream_flit(src_stream_, now)) return;
+  if (!try_stream_flit(src_stream_, now)) {
+    if (obs::SpanRecorder* sp = net_.spans())
+      sp->blocked(src_stream_.pkt->span_idx, now,
+                  obs::BlockCause::InjectQueue);
+    return;
+  }
   if (src_stream_.next_seq == src_stream_.pkt->len_flits) {
     MDD_CHECK(!source_.empty() && source_.front()->id == src_stream_.pkt->id);
     source_.pop_front();
@@ -495,6 +549,12 @@ void NetworkInterface::update_detection(Cycle now) {
       std::vector<OutMsg> subs = protocol_.subordinates(id_, *head);
       if (!subs.empty() && !output_has_space_for(subs)) blocked = true;
     }
+    if (blocked) {
+      // Piggyback span attribution on the detector's per-cycle blocked
+      // computation: the head cannot be serviced for want of output space.
+      if (obs::SpanRecorder* sp = net_.spans())
+        sp->blocked(head->span_idx, now, obs::BlockCause::McWait);
+    }
     if (!blocked) {
       since = 0;
       full_since = 0;
@@ -568,6 +628,7 @@ void NetworkInterface::sink_now(const PacketPtr& pkt, Cycle now) {
 std::vector<OutMsg> NetworkInterface::service_now(const PacketPtr& pkt,
                                                   Cycle now) {
   pkt->consume_cycle = now;
+  if (obs::SpanRecorder* sp = net_.spans()) sp->close(pkt->span_idx, *pkt);
   std::vector<OutMsg> outs = protocol_.commit_service(id_, *pkt);
   if (net_.observer()) net_.observer()->on_packet_consumed(*pkt, now);
   last_progress_ = now;

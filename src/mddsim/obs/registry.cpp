@@ -185,7 +185,10 @@ void Registry::write_prometheus(std::ostream& os) const {
         const struct {
           const char* label;
           double q;
-        } qs[] = {{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+        } qs[] = {{"0.5", 0.5},
+                  {"0.95", 0.95},
+                  {"0.99", 0.99},
+                  {"0.999", 0.999}};
         for (const auto& q : qs) {
           os << pn.family
              << with_label(pn.labels,
@@ -233,6 +236,7 @@ void Registry::write_json(std::ostream& os, const RunProvenance* prov) const {
     w.kv("p50", s.quantiles().median());
     w.kv("p95", s.quantiles().p95());
     w.kv("p99", s.quantiles().p99());
+    w.kv("p999", s.quantiles().p999());
     w.end_object();
   }
   w.end_object();

@@ -1,0 +1,404 @@
+#include "mddsim/obs/span.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <unordered_set>
+
+#include "mddsim/common/json.hpp"
+
+namespace mddsim::obs {
+
+const char* block_cause_name(BlockCause c) {
+  switch (c) {
+    case BlockCause::InjectQueue: return "inject_queue";
+    case BlockCause::VcAlloc: return "vc_alloc";
+    case BlockCause::CreditStall: return "credit_stall";
+    case BlockCause::EjectAdmit: return "eject_admit";
+    case BlockCause::McWait: return "mc_wait";
+    case BlockCause::RecoveryLane: return "recovery_lane";
+    case BlockCause::FaultFrozen: return "fault_frozen";
+  }
+  return "unknown";
+}
+
+SpanRecorder::SpanRecorder(std::size_t capacity, Cycle warn_age)
+    : cap_(capacity), warn_age_(warn_age) {
+#if MDDSIM_SPANS_ENABLED
+  spans_.reserve(std::min<std::size_t>(cap_, 1u << 12));
+#endif
+}
+
+std::int32_t SpanRecorder::open(const Packet& p) {
+#if MDDSIM_SPANS_ENABLED
+  if (spans_.size() >= cap_) {
+    ++dropped_;
+    return -1;
+  }
+  Span s;
+  s.pkt = p.id;
+  s.txn = p.txn;
+  s.chain_pos = static_cast<std::int16_t>(p.chain_pos);
+  s.type = p.type;
+  s.src = p.src;
+  s.dst = p.dst;
+  s.gen_cycle = p.gen_cycle;
+  s.measured = p.measured;
+  spans_.push_back(s);
+  ++opened_;
+  TxnAgg& t = txns_[p.txn];
+  if (t.spans_opened == 0 || p.gen_cycle < t.first_gen)
+    t.first_gen = p.gen_cycle;
+  ++t.spans_opened;
+  return static_cast<std::int32_t>(spans_.size() - 1);
+#else
+  (void)p;
+  return -1;
+#endif
+}
+
+void SpanRecorder::close(std::int32_t idx, const Packet& p) {
+#if MDDSIM_SPANS_ENABLED
+  if (idx < 0) return;
+  Span& s = spans_[static_cast<std::size_t>(idx)];
+  if (s.closed) return;
+  s.gen_cycle = p.gen_cycle;
+  s.inject_cycle = p.inject_cycle;
+  s.eject_cycle = p.eject_cycle;
+  s.consume_cycle = p.consume_cycle;
+  s.measured = p.measured;
+  s.rescued = p.rescued;
+  s.deflected = p.deflected;
+  s.closed = true;
+  ++closed_;
+  auto it = txns_.find(s.txn);
+  if (it != txns_.end()) {
+    ++it->second.spans_closed;
+    if (p.consume_cycle > it->second.last_close)
+      it->second.last_close = p.consume_cycle;
+  }
+  fold(s, /*with_latency=*/true);
+#else
+  (void)idx;
+  (void)p;
+#endif
+}
+
+void SpanRecorder::txn_complete(TxnId txn, Cycle now, int chain_len) {
+#if MDDSIM_SPANS_ENABLED
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;  // all of the txn's spans were dropped
+  it->second.end_cycle = now;
+  it->second.chain_len = chain_len;
+#else
+  (void)txn;
+  (void)now;
+  (void)chain_len;
+#endif
+}
+
+void SpanRecorder::annotate_window(Cycle start, Cycle end,
+                                   const std::string& label) {
+#if MDDSIM_SPANS_ENABLED
+  annots_.push_back({start, end, label});
+#else
+  (void)start;
+  (void)end;
+  (void)label;
+#endif
+}
+
+void SpanRecorder::fold(Span& s, bool with_latency) {
+  const int stage = std::min<int>(s.chain_pos, kMaxChainStages - 1);
+  StageAgg& a = stages_[stage];
+  ++a.count;
+  for (int c = 0; c < kNumBlockCauses; ++c) a.blocked[c] += s.blocked[c];
+  if (with_latency && s.consume_cycle >= s.gen_cycle) {
+    const double lat = static_cast<double>(s.consume_cycle - s.gen_cycle);
+    a.latency.add(lat);
+    a.latency_stat.add(lat);
+  }
+}
+
+void SpanRecorder::finish(Cycle now) {
+#if MDDSIM_SPANS_ENABLED
+  if (finished_) return;
+  finished_ = true;
+  (void)now;
+  for (Span& s : spans_) {
+    if (!s.closed) fold(s, /*with_latency=*/false);
+  }
+#else
+  (void)now;
+#endif
+}
+
+std::uint64_t SpanRecorder::blocked_cycles(BlockCause c) const {
+  std::uint64_t total = 0;
+  const int ci = static_cast<int>(c);
+  for (const StageAgg& a : stages_) total += a.blocked[ci];
+  if (!finished_) {
+    // Aggregates only hold closed spans until finish(); include live ones.
+    for (const Span& s : spans_) {
+      if (!s.closed) total += s.blocked[ci];
+    }
+  }
+  return total;
+}
+
+std::uint64_t SpanRecorder::complete_chains() const {
+  std::uint64_t n = 0;
+  for (const auto& [txn, t] : txns_) {
+    if (t.chain_len >= 0 &&
+        t.spans_closed >= static_cast<std::uint32_t>(t.chain_len)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+void write_blocked_args(JsonWriter& w,
+                        const std::uint32_t (&blocked)[kNumBlockCauses]) {
+  for (int c = 0; c < kNumBlockCauses; ++c) {
+    if (blocked[c] == 0) continue;
+    w.kv(block_cause_name(static_cast<BlockCause>(c)),
+         static_cast<std::uint64_t>(blocked[c]));
+  }
+}
+
+/// One Chrome complete ("X") event; duration is clamped to >= 1 so
+/// zero-length phases stay visible/selectable in the viewer.
+void chrome_x(JsonWriter& w, std::uint64_t pid, std::uint64_t tid,
+              std::string_view name, Cycle ts, Cycle end) {
+  w.begin_object();
+  w.kv("ph", "X");
+  w.kv("pid", pid);
+  w.kv("tid", tid);
+  w.kv("name", name);
+  w.kv("ts", ts);
+  w.kv("dur", end > ts ? end - ts : static_cast<Cycle>(1));
+}
+
+void chrome_meta(JsonWriter& w, std::uint64_t pid, std::uint64_t tid,
+                 bool thread, const std::string& name) {
+  w.begin_object();
+  w.kv("ph", "M");
+  w.kv("pid", pid);
+  if (thread) w.kv("tid", tid);
+  w.kv("name", thread ? "thread_name" : "process_name");
+  w.key("args").begin_object();
+  w.kv("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void SpanRecorder::export_chrome_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ns");  // 1 cycle == 1 "us" of trace time
+  w.key("traceEvents").begin_array();
+
+  // Fault windows on a dedicated annotation lane (pid 0).
+  if (!annots_.empty()) {
+    chrome_meta(w, 0, 0, false, "faults");
+    for (const SpanAnnotation& a : annots_) {
+      chrome_x(w, 0, 0, a.label, a.start, a.end);
+      w.end_object();
+    }
+  }
+
+  std::unordered_set<std::uint64_t> named_txns;
+  std::unordered_set<std::uint64_t> named_lanes;
+  for (const Span& s : spans_) {
+    const std::uint64_t pid = s.txn;
+    const std::uint64_t tid = static_cast<std::uint64_t>(s.chain_pos) + 1;
+    if (named_txns.insert(pid).second) {
+      chrome_meta(w, pid, 0, false, "txn " + std::to_string(s.txn));
+      chrome_meta(w, pid, 0, true, "txn");
+      // Parent transaction span stitching the whole chain.
+      auto it = txns_.find(s.txn);
+      if (it != txns_.end()) {
+        const TxnAgg& t = it->second;
+        const Cycle end = std::max(t.end_cycle, t.last_close);
+        chrome_x(w, pid, 0, "txn " + std::to_string(s.txn), t.first_gen, end);
+        w.key("args").begin_object();
+        w.kv("spans", static_cast<std::uint64_t>(t.spans_opened));
+        w.kv("complete", t.chain_len >= 0 &&
+                             t.spans_closed >=
+                                 static_cast<std::uint32_t>(t.chain_len));
+        w.end_object();
+        w.end_object();
+      }
+    }
+    if (named_lanes.insert((pid << 8) | tid).second) {
+      chrome_meta(w, pid, tid, true,
+                  std::string(msg_type_name(s.type)) + " pos " +
+                      std::to_string(s.chain_pos));
+    }
+
+    const Cycle end = s.closed ? s.consume_cycle : s.streak_last;
+    // Message span with blocked-time attribution in args.
+    chrome_x(w, pid, tid,
+             std::string(msg_type_name(s.type)) + " #" + std::to_string(s.pkt),
+             s.gen_cycle, end);
+    w.key("args").begin_object();
+    w.kv("pkt", s.pkt);
+    w.kv("src", s.src);
+    w.kv("dst", s.dst);
+    w.kv("measured", s.measured);
+    if (s.rescued) w.kv("rescued", true);
+    if (s.deflected) w.kv("deflected", true);
+    if (!s.closed) w.kv("open", true);
+    write_blocked_args(w, s.blocked);
+    w.end_object();
+    w.end_object();
+    // Child phases, nested on the same lane by containment.
+    if (s.closed) {
+      if (s.inject_cycle > s.gen_cycle) {
+        chrome_x(w, pid, tid, "inject_wait", s.gen_cycle, s.inject_cycle);
+        w.end_object();
+      }
+      if (s.eject_cycle > s.inject_cycle) {
+        chrome_x(w, pid, tid, "network", s.inject_cycle, s.eject_cycle);
+        w.end_object();
+      }
+      if (s.consume_cycle > s.eject_cycle) {
+        chrome_x(w, pid, tid, "consume_wait", s.eject_cycle, s.consume_cycle);
+        w.end_object();
+      }
+    }
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+void SpanRecorder::export_jsonl(std::ostream& os) const {
+  {
+    // Header line: run-level aggregates + fault annotations.
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema", "mddsim-spans-v1");
+    w.kv("opened", opened_);
+    w.kv("closed", closed_);
+    w.kv("dropped", dropped_);
+    w.kv("complete_chains", complete_chains());
+    w.kv("first_warning_cycle", first_warning_cycle_);
+    w.key("annotations").begin_array();
+    for (const SpanAnnotation& a : annots_) {
+      w.begin_object();
+      w.kv("label", a.label);
+      w.kv("start", a.start);
+      w.kv("end", a.end);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << "\n";
+  }
+  for (const Span& s : spans_) {
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("txn", s.txn);
+    w.kv("pos", static_cast<int>(s.chain_pos));
+    w.kv("type", msg_type_name(s.type));
+    w.kv("pkt", s.pkt);
+    w.kv("src", s.src);
+    w.kv("dst", s.dst);
+    w.kv("gen", s.gen_cycle);
+    w.kv("inject", s.inject_cycle);
+    w.kv("eject", s.eject_cycle);
+    w.kv("consume", s.consume_cycle);
+    w.kv("closed", s.closed);
+    w.kv("measured", s.measured);
+    w.kv("rescued", s.rescued);
+    w.kv("deflected", s.deflected);
+    w.key("blocked").begin_object();
+    write_blocked_args(w, s.blocked);
+    w.end_object();
+    w.end_object();
+    os << "\n";
+  }
+}
+
+void SpanRecorder::write_report_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("opened", opened_);
+  w.kv("closed", closed_);
+  w.kv("dropped", dropped_);
+  w.kv("complete_chains", complete_chains());
+  w.kv("first_warning_cycle", first_warning_cycle_);
+  w.key("watermarks").begin_object();
+  for (int c = 0; c < kNumBlockCauses; ++c) {
+    w.kv(block_cause_name(static_cast<BlockCause>(c)), watermark_[c]);
+  }
+  w.end_object();
+  w.key("blocked_total").begin_object();
+  for (int c = 0; c < kNumBlockCauses; ++c) {
+    w.kv(block_cause_name(static_cast<BlockCause>(c)),
+         blocked_cycles(static_cast<BlockCause>(c)));
+  }
+  w.end_object();
+  w.key("stages").begin_array();
+  for (int i = 0; i < kMaxChainStages; ++i) {
+    const StageAgg& a = stages_[i];
+    if (a.count == 0) continue;
+    w.begin_object();
+    w.kv("pos", i);
+    w.kv("count", a.count);
+    w.key("blocked").begin_object();
+    for (int c = 0; c < kNumBlockCauses; ++c) {
+      if (a.blocked[c] == 0) continue;
+      w.kv(block_cause_name(static_cast<BlockCause>(c)), a.blocked[c]);
+    }
+    w.end_object();
+    w.kv("p50", a.latency.quantile(0.5));
+    w.kv("p95", a.latency.quantile(0.95));
+    w.kv("p99", a.latency.quantile(0.99));
+    w.kv("p999", a.latency.quantile(0.999));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void SpanRecorder::write_summary(std::ostream& os) const {
+  os << "spans: opened " << opened_ << ", closed " << closed_ << ", dropped "
+     << dropped_ << ", complete chains " << complete_chains() << "\n";
+  os << "stage  count      p50      p95      p99     p999  top blocked cause\n";
+  for (int i = 0; i < kMaxChainStages; ++i) {
+    const StageAgg& a = stages_[i];
+    if (a.count == 0) continue;
+    int top = 0;
+    for (int c = 1; c < kNumBlockCauses; ++c) {
+      if (a.blocked[c] > a.blocked[top]) top = c;
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  m%-3d %6llu %8.0f %8.0f %8.0f %8.0f  %s (%llu cyc)\n",
+                  i + 1, static_cast<unsigned long long>(a.count),
+                  a.latency.quantile(0.5), a.latency.quantile(0.95),
+                  a.latency.quantile(0.99), a.latency.quantile(0.999),
+                  a.blocked[top] == 0
+                      ? "-"
+                      : block_cause_name(static_cast<BlockCause>(top)),
+                  static_cast<unsigned long long>(a.blocked[top]));
+    os << line;
+  }
+  os << "blocked-age watermarks:";
+  for (int c = 0; c < kNumBlockCauses; ++c) {
+    if (watermark_[c] == 0) continue;
+    os << " " << block_cause_name(static_cast<BlockCause>(c)) << "="
+       << watermark_[c];
+  }
+  os << "\n";
+  if (first_warning_cycle_ != 0) {
+    os << "early warning latched at cycle " << first_warning_cycle_ << "\n";
+  }
+}
+
+}  // namespace mddsim::obs

@@ -1,0 +1,270 @@
+#pragma once
+// Transaction-level causal spans with blocked-time attribution
+// (mddsim::obs v3).
+//
+// Every protocol message gets a span keyed by (txn id, chain position,
+// message type).  Hook sites in netif/, router/ and core/recovery attribute
+// each cycle a message spends blocked to a cause bucket (inject-queue wait,
+// VC allocation, credit stall, ejection admission, memory-controller wait,
+// recovery lane, fault-frozen), and the per-message spans are stitched into
+// parent transaction spans so a whole m1→m2→…→m4 dependency chain renders
+// as one nested trace.
+//
+// Exports:
+//   - Chrome trace-event JSON (chrome://tracing / ui.perfetto.dev): one
+//     process per transaction, one thread lane per chain position, child
+//     phase slices (inject wait / network / consume wait) nested inside
+//     each message span, fault windows on a dedicated lane.
+//   - JSONL span log (one JSON object per span per line) for scripting.
+//   - Per-chain-stage aggregates: blocked-cycle cause buckets and latency
+//     quantiles (p50/p95/p99/p999), pulled into obs::Registry and stamped
+//     into report JSON next to provenance.
+//
+// Early warning: per-span consecutive-blocked streaks maintain a max
+// head-of-line blocked-age watermark per cause.  When a streak crosses
+// `warn_age` cycles the recorder latches `first_warning_cycle` and raises a
+// pending flag the simulator's zero-progress watchdog polls, so forensics
+// fire *before* full knot formation (checked against CWG scans in the
+// fault soak suite).
+//
+// Compile-time kill switch: building with -DMDDSIM_SPANS_ENABLED=0 (CMake
+// option MDDSIM_SPANS=OFF) turns the hot-path record calls into empty
+// inline functions and makes Network::spans() a constant nullptr, so every
+// hook compiles away.  Spans are pure observers either way: attaching a
+// recorder never perturbs simulation results (bit-identity is gated in
+// bench_perf alongside the fi/ and metrics gates).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mddsim/common/stats.hpp"
+#include "mddsim/common/types.hpp"
+#include "mddsim/flow/packet.hpp"
+#include "mddsim/protocol/message.hpp"
+
+#ifndef MDDSIM_SPANS_ENABLED
+#define MDDSIM_SPANS_ENABLED 1
+#endif
+
+namespace mddsim {
+class JsonWriter;
+}
+
+namespace mddsim::obs {
+
+/// Why a message was not making progress during an attributed cycle.
+enum class BlockCause : std::uint8_t {
+  InjectQueue = 0,  ///< waiting in an NI injection/pending queue (no VC/credit)
+  VcAlloc = 1,      ///< head flit denied an output VC at a router
+  CreditStall = 2,  ///< holds a VC but the downstream buffer has no credits
+  EjectAdmit = 3,   ///< reassembled but endpoint input queue has no free slot
+  McWait = 4,       ///< at the MC but subordinate output space is unavailable
+  RecoveryLane = 5, ///< in flight on the DB/DMB recovery lane
+  FaultFrozen = 6,  ///< the owning interface is frozen by fault injection
+};
+
+inline constexpr int kNumBlockCauses = 7;
+
+const char* block_cause_name(BlockCause c);
+
+/// Highest chain position tracked as its own aggregation stage; deeper
+/// positions (deflection-regrown chains) fold into the last stage.
+inline constexpr int kMaxChainStages = 8;
+
+/// One message span.  Timestamps are copied from the Packet at close time —
+/// the packet already carries its lifecycle cycles, so spans need no extra
+/// lifecycle hooks beyond open / per-cycle attribution / close.
+struct Span {
+  PacketId pkt = 0;
+  TxnId txn = 0;
+  std::int16_t chain_pos = 0;
+  MsgType type = MsgType::M1;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Cycle gen_cycle = 0;
+  Cycle inject_cycle = 0;
+  Cycle eject_cycle = 0;
+  Cycle consume_cycle = 0;
+  std::uint32_t blocked[kNumBlockCauses] = {};
+  bool closed = false;
+  bool measured = false;
+  bool rescued = false;
+  bool deflected = false;
+  // Consecutive-blocked streak (head-of-line blocked-age) bookkeeping.
+  Cycle streak_start = 0;
+  Cycle streak_last = 0;
+  std::uint8_t streak_cause = 0;
+  bool streak_live = false;
+};
+
+/// A fault-injection window rendered as an annotation lane in the Chrome
+/// export (and listed in the JSONL log header line).
+struct SpanAnnotation {
+  Cycle start = 0;
+  Cycle end = 0;
+  std::string label;
+};
+
+class SpanRecorder {
+ public:
+  /// True when the span hooks were compiled in (MDDSIM_SPANS=ON).
+  static constexpr bool compiled_in() { return MDDSIM_SPANS_ENABLED != 0; }
+
+  /// @param capacity  span-table cap; packets created beyond it run
+  ///                  unobserved and are counted as dropped.
+  /// @param warn_age  consecutive blocked cycles after which the early
+  ///                  warning latches (0 disables the warning).
+  explicit SpanRecorder(std::size_t capacity = 1u << 20, Cycle warn_age = 0);
+
+  // --- Hot path --------------------------------------------------------------
+
+  /// Opens a span for a freshly made packet; returns the span index to
+  /// stamp into Packet::span_idx (-1 when disabled or at capacity).
+  std::int32_t open(const Packet& p);
+
+  /// Attributes one cycle of blocked time on span `idx` to `cause`.
+  /// Safe to call with idx < 0 (packet has no span); repeated calls for
+  /// the same (span, cause, cycle) attribute only once.
+  void blocked(std::int32_t idx, Cycle now, BlockCause cause) {
+#if MDDSIM_SPANS_ENABLED
+    if (idx < 0) return;
+    Span& s = spans_[static_cast<std::size_t>(idx)];
+    const int ci = static_cast<int>(cause);
+    if (s.streak_live && s.streak_last == now &&
+        s.streak_cause == static_cast<std::uint8_t>(ci)) {
+      return;  // already attributed this cycle
+    }
+    ++s.blocked[ci];
+    if (s.streak_live && s.streak_cause == static_cast<std::uint8_t>(ci) &&
+        now == s.streak_last + 1) {
+      s.streak_last = now;  // streak continues
+    } else {
+      s.streak_cause = static_cast<std::uint8_t>(ci);
+      s.streak_start = now;
+      s.streak_last = now;
+      s.streak_live = true;
+    }
+    const Cycle age = now - s.streak_start + 1;
+    if (age > watermark_[ci]) watermark_[ci] = age;
+    if (warn_age_ != 0 && age >= warn_age_ && first_warning_cycle_ == 0) {
+      first_warning_cycle_ = now;
+      warning_pending_ = true;
+    }
+#else
+    (void)idx;
+    (void)now;
+    (void)cause;
+#endif
+  }
+
+  /// Closes the span when the packet is consumed, copying its lifecycle
+  /// timestamps and flags, and folds it into the stage aggregates.
+  void close(std::int32_t idx, const Packet& p);
+
+  /// Protocol-level stitch: the dependency chain of `txn` completed with
+  /// `chain_len` bound steps at `now`.  Drives parent transaction spans
+  /// and complete-chain accounting.
+  void txn_complete(TxnId txn, Cycle now, int chain_len);
+
+  /// Records a fault window (from fi/) as a span annotation.
+  void annotate_window(Cycle start, Cycle end, const std::string& label);
+
+  /// End of run: folds still-open spans (the interesting ones in a
+  /// deadlocked run) into the aggregates without latency samples.
+  /// Idempotent.
+  void finish(Cycle now);
+
+  // --- Introspection & aggregates -------------------------------------------
+
+  std::size_t size() const { return spans_.size(); }
+  std::uint64_t opened() const { return opened_; }
+  std::uint64_t closed() const { return closed_; }
+  std::uint64_t dropped() const { return dropped_; }
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<SpanAnnotation>& annotations() const { return annots_; }
+
+  /// Total attributed blocked cycles per cause, across all spans.
+  std::uint64_t blocked_cycles(BlockCause c) const;
+
+  /// Max head-of-line blocked-age watermark per cause (cycles).
+  Cycle watermark(BlockCause c) const {
+    return watermark_[static_cast<int>(c)];
+  }
+
+  /// Cycle the early warning first latched (0 = never).
+  Cycle first_warning_cycle() const { return first_warning_cycle_; }
+
+  /// One-shot poll for the watchdog: true exactly once, when the early
+  /// warning has latched since the last poll.
+  bool take_warning() {
+    const bool w = warning_pending_;
+    warning_pending_ = false;
+    return w;
+  }
+
+  /// Transactions whose chain completed with every message span closed —
+  /// i.e. fully reconstructed m1→…→m4 chains.
+  std::uint64_t complete_chains() const;
+
+  /// Transactions with at least one span.
+  std::uint64_t txns_seen() const { return txns_.size(); }
+
+  /// Per-chain-stage aggregate (stage = min(chain_pos, kMaxChainStages-1)).
+  struct StageAgg {
+    std::uint64_t count = 0;  ///< spans folded into this stage
+    std::uint64_t blocked[kNumBlockCauses] = {};
+    QuantileSampler latency{1u << 16};  ///< gen→consume cycles (closed spans)
+    RunningStat latency_stat;  ///< moments companion (feeds obs::StatMetric)
+  };
+  const StageAgg& stage(int i) const {
+    return stages_[static_cast<std::size_t>(i)];
+  }
+
+  // --- Export ----------------------------------------------------------------
+
+  /// Chrome trace-event JSON: pid = txn, tid 0 = parent transaction span,
+  /// tid chain_pos+1 = message lanes with nested phase slices.
+  void export_chrome_json(std::ostream& os) const;
+
+  /// One JSON object per span per line (header line carries run-level
+  /// aggregates and fault annotations).
+  void export_jsonl(std::ostream& os) const;
+
+  /// Report-JSON fragment: per-stage blocked buckets + latency quantiles,
+  /// watermarks, early-warning cycle.  Emits one complete JSON object.
+  void write_report_json(JsonWriter& w) const;
+
+  /// Human-readable summary table (--span-stats).
+  void write_summary(std::ostream& os) const;
+
+ private:
+  struct TxnAgg {
+    Cycle first_gen = 0;
+    Cycle last_close = 0;
+    Cycle end_cycle = 0;
+    std::uint32_t spans_opened = 0;
+    std::uint32_t spans_closed = 0;
+    std::int32_t chain_len = -1;  ///< -1 until txn_complete
+  };
+
+  void fold(Span& s, bool with_latency);
+
+  std::size_t cap_;
+  Cycle warn_age_;
+  std::vector<Span> spans_;
+  std::unordered_map<TxnId, TxnAgg> txns_;
+  std::vector<SpanAnnotation> annots_;
+  StageAgg stages_[kMaxChainStages];
+  std::uint64_t opened_ = 0;
+  std::uint64_t closed_ = 0;
+  std::uint64_t dropped_ = 0;
+  Cycle watermark_[kNumBlockCauses] = {};
+  Cycle first_warning_cycle_ = 0;
+  bool warning_pending_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace mddsim::obs

@@ -126,7 +126,8 @@ SinkResult GenericProtocol::sink(NodeId node, const Packet& msg) {
   r.txn_completed = true;
   if (on_complete_) {
     on_complete_(TxnCompletion{msg.txn, t.requester, t.start_cycle,
-                               t.messages_sent, t.deflected, t.rescued});
+                               t.messages_sent, t.deflected, t.rescued,
+                               static_cast<int>(t.steps.size())});
   }
   txns_.erase(it);
   return r;

@@ -22,6 +22,10 @@ struct TxnCompletion {
   int messages;
   bool deflected;
   bool rescued;
+  /// Final length of the bound chain script (steps the chain actually
+  /// carried; deflection regrowth included).  Lets the causal-span recorder
+  /// tell a fully reconstructed m1→…→m4 chain from a partial one.
+  int chain_len = 0;
 };
 
 class GenericProtocol : public EndpointProtocol {

@@ -83,7 +83,13 @@ void Router::step(Cycle now, Network& net, obs::PhaseProfiler* prof) {
       for (int v = 0; v < vcs_; ++v) {
         auto& ivc = in_[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
         if (ivc.buffer.empty() || ivc.route_valid) continue;
-        if (!try_allocate_vc(now, p, v, net, rc_prof)) ++vc_stalls_;
+        if (!try_allocate_vc(now, p, v, net, rc_prof)) {
+          ++vc_stalls_;
+          if (obs::SpanRecorder* sp = net.spans()) {
+            sp->blocked(ivc.buffer.front().pkt->span_idx, now,
+                        obs::BlockCause::VcAlloc);
+          }
+        }
       }
     }
   }
@@ -111,7 +117,14 @@ void Router::step(Cycle now, Network& net, obs::PhaseProfiler* prof) {
       if (ivc.buffer.empty() || !ivc.route_valid) continue;
       const auto& ovc =
           out_[static_cast<std::size_t>(ivc.out_port)][static_cast<std::size_t>(ivc.out_vc)];
-      if (ovc.credits <= 0) continue;
+      if (ovc.credits <= 0) {
+        // Holds an output VC but the downstream buffer is out of credits.
+        if (obs::SpanRecorder* sp = net.spans()) {
+          sp->blocked(ivc.buffer.front().pkt->span_idx, now,
+                      obs::BlockCause::CreditStall);
+        }
+        continue;
+      }
       if (fi_stall && fi_inj->output_stalled(id_, ivc.out_port, ivc.out_vc))
         continue;
       nominees.push_back({p, v, ivc.out_port});

@@ -89,6 +89,14 @@ struct SimConfig {
                                  ///< metrics)
   bool profile = false;          ///< attach the obs::PhaseProfiler (no-op
                                  ///< when built with MDDSIM_PROF=OFF)
+  bool spans = false;            ///< attach the obs::SpanRecorder (causal
+                                 ///< chain spans + blocked-time attribution;
+                                 ///< no-op when built with MDDSIM_SPANS=OFF)
+  int span_warn_age = 2000;      ///< consecutive blocked cycles on one span
+                                 ///< before the deadlock early warning
+                                 ///< latches (0 = warning off)
+  int span_capacity = 1 << 20;   ///< span-table cap (packets beyond it run
+                                 ///< unobserved, counted as dropped)
 
   // --- Fault injection (mddsim::fi) ------------------------------------------
   std::string fault_spec;        ///< fault plan (config key `fault`, grammar in

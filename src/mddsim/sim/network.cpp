@@ -77,6 +77,7 @@ PacketPtr Network::make_packet(const OutMsg& m, Cycle now) {
   pkt->vc_class = cmap_.of(m.type);
   pkt->gen_cycle = now;
   pkt->measured = in_measurement(now);
+  if (obs::SpanRecorder* sp = spans()) pkt->span_idx = sp->open(*pkt);
   return pkt;
 }
 

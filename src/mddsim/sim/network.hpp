@@ -13,6 +13,7 @@
 #include "mddsim/flow/packet_pool.hpp"
 #include "mddsim/netif/netif.hpp"
 #include "mddsim/obs/profile.hpp"
+#include "mddsim/obs/span.hpp"
 #include "mddsim/obs/trace.hpp"
 #include "mddsim/protocol/endpoint.hpp"
 #include "mddsim/router/router.hpp"
@@ -100,6 +101,19 @@ class Network {
   obs::PhaseProfiler* profiler() const {
 #if MDDSIM_PROF_ENABLED
     return profiler_;
+#else
+    return nullptr;
+#endif
+  }
+
+  /// Attaches (or detaches with nullptr) the causal span recorder.  Mirrors
+  /// the tracer: with MDDSIM_SPANS=OFF the getter is a constant nullptr, so
+  /// every span hook (open in make_packet, per-cycle blocked attribution in
+  /// netif/router/recovery, close at consumption) folds away.
+  void set_spans(obs::SpanRecorder* s) { spans_ = s; }
+  obs::SpanRecorder* spans() const {
+#if MDDSIM_SPANS_ENABLED
+    return spans_;
 #else
     return nullptr;
 #endif
@@ -198,6 +212,7 @@ class Network {
   EndpointObserver* observer_ = nullptr;
   Tracer* tracer_ = nullptr;
   obs::PhaseProfiler* profiler_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
   fi::FaultInjector* injector_ = nullptr;
   DeadlockCounters counters_;
 };

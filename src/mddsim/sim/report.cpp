@@ -80,11 +80,21 @@ void write_json(std::ostream& os, const std::string& label,
 
 void write_json(std::ostream& os, const std::string& label, const RunResult& r,
                 const obs::RunProvenance& prov) {
+  write_json(os, label, r, prov, nullptr);
+}
+
+void write_json(std::ostream& os, const std::string& label, const RunResult& r,
+                const obs::RunProvenance& prov,
+                const obs::SpanRecorder* spans) {
   JsonWriter w(os);
   w.begin_object();
   write_run_members(w, label, r);
   w.key("provenance");
   obs::write_provenance(w, prov);
+  if (spans) {
+    w.key("spans");
+    spans->write_report_json(w);
+  }
   w.end_object();
   os << "\n";
 }

@@ -42,4 +42,11 @@ void write_json(std::ostream& os, const std::string& label,
 void write_json(std::ostream& os, const std::string& label, const RunResult& r,
                 const obs::RunProvenance& prov);
 
+/// As above, plus the causal-span aggregates (per-chain-stage blocked-time
+/// buckets and latency quantiles) under "spans", next to provenance.
+/// `spans` may be nullptr, in which case the key is omitted.
+void write_json(std::ostream& os, const std::string& label, const RunResult& r,
+                const obs::RunProvenance& prov,
+                const obs::SpanRecorder* spans);
+
 }  // namespace mddsim

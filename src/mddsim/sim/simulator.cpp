@@ -30,6 +30,7 @@ Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
   net_->set_observer(metrics_.get());
   protocol_->set_completion_callback([this](const TxnCompletion& c) {
     metrics_->on_txn_complete(c, net_->now());
+    if (spans_) spans_->txn_complete(c.txn, net_->now(), c.chain_len);
   });
   // Forensics wants the ground-truth detector running so knot persistence
   // can trigger a capture even when the user did not ask for CWG counting.
@@ -50,6 +51,12 @@ Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
   if (cfg_.profile) {
     profiler_ = std::make_unique<obs::PhaseProfiler>();
     net_->set_profiler(profiler_.get());
+  }
+  if (cfg_.spans) {
+    spans_ = std::make_unique<obs::SpanRecorder>(
+        static_cast<std::size_t>(cfg_.span_capacity),
+        static_cast<Cycle>(cfg_.span_warn_age));
+    net_->set_spans(spans_.get());
   }
   if (!cfg_.fault_spec.empty()) {
     if (!fi::compiled_in()) {
@@ -77,6 +84,16 @@ Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
     fi_check_->set_failure_hook(
         [this](Cycle now, const char* reason) { capture_forensics(now, reason); });
   }
+  if (spans_ && fi_inj_) {
+    // Fault windows render as annotation lanes in the span exports so a
+    // trace reader can line up blocked time with the injected freeze.
+    for (const fi::FreezeWindow& w : fi_inj_->freeze_windows()) {
+      spans_->annotate_window(
+          w.start, w.end,
+          w.node == fi::kTargetAll ? std::string("freeze node=all")
+                                   : "freeze node=" + std::to_string(w.node));
+    }
+  }
   node_rng_.reserve(static_cast<std::size_t>(net_->num_nodes()));
   for (int i = 0; i < net_->num_nodes(); ++i) node_rng_.push_back(rng_.split());
 }
@@ -97,6 +114,12 @@ void Simulator::step_obs() {
     obs::ProfScope scope(net_->profiler(), obs::Phase::MetricsCollect);
     collect_metrics(*registry_);
     registry_->record_epoch(now);
+  }
+  // Deadlock early warning: a span's head-of-line blocked-age crossed the
+  // configured threshold.  Capture forensics *now* — before the knot fully
+  // forms and the CWG scan or watchdog would notice.
+  if (spans_ && spans_->take_warning() && cfg_.forensics) {
+    capture_forensics(now, "span_warning");
   }
   if (!cfg_.forensics || cfg_.watchdog_cycles == 0) return;
   const std::uint64_t consumed = metrics_->total_packets_consumed();
@@ -170,6 +193,7 @@ RunResult Simulator::run(bool drain) {
     r.drained = net_->idle() && protocol_->live_transactions() == 0;
   }
   if (fi_check_) fi_check_->finish(net_->now());
+  if (spans_) spans_->finish(net_->now());
   if (telemetry_) telemetry_->sample(net_->now());  // final partial epoch
   if (registry_) {
     obs::ProfScope scope(net_->profiler(), obs::Phase::MetricsCollect);
@@ -279,6 +303,43 @@ void Simulator::collect_metrics(obs::Registry& reg) const {
   reg.counter("recovery.token.duplicates_dropped",
               "injected duplicate tokens dropped by the serial filter")
       .set(duplicates);
+
+  // --- Causal spans (present only when cfg.spans is on). --------------------
+  if (spans_) {
+    reg.counter("obs.spans.opened", "message spans opened").set(
+        spans_->opened());
+    reg.counter("obs.spans.closed", "message spans closed at consumption")
+        .set(spans_->closed());
+    reg.counter("obs.spans.dropped",
+                "packets left unobserved (span table at capacity)")
+        .set(spans_->dropped());
+    reg.counter("obs.spans.complete_chains",
+                "transactions with every chain message span closed")
+        .set(spans_->complete_chains());
+    reg.gauge("obs.spans.first_warning_cycle",
+              "cycle the deadlock early warning latched (0 = never)")
+        .set(static_cast<double>(spans_->first_warning_cycle()));
+    for (int c = 0; c < obs::kNumBlockCauses; ++c) {
+      const auto cause = static_cast<obs::BlockCause>(c);
+      const std::string name = obs::block_cause_name(cause);
+      reg.counter("obs.spans.blocked." + name,
+                  "blocked cycles attributed to this cause")
+          .set(spans_->blocked_cycles(cause));
+      reg.gauge("obs.spans.watermark." + name,
+                "max head-of-line blocked-age for this cause (cycles)")
+          .set(static_cast<double>(spans_->watermark(cause)));
+    }
+    for (int i = 0; i < obs::kMaxChainStages; ++i) {
+      const obs::SpanRecorder::StageAgg& a = spans_->stage(i);
+      if (a.count == 0) continue;
+      const std::string prefix = "obs.spans.stage." + std::to_string(i) + ".";
+      reg.counter(prefix + "count", "spans folded into this chain stage")
+          .set(a.count);
+      reg.stat(prefix + "latency",
+               "gen-to-consume latency at this chain stage (cycles)")
+          .set(a.latency_stat, a.latency);
+    }
+  }
 
   // --- Fault injection (present only when a plan is armed). -----------------
   if (fi_inj_) {

@@ -21,6 +21,7 @@
 #include "mddsim/obs/forensics.hpp"
 #include "mddsim/obs/profile.hpp"
 #include "mddsim/obs/registry.hpp"
+#include "mddsim/obs/span.hpp"
 #include "mddsim/obs/telemetry.hpp"
 #include "mddsim/obs/trace.hpp"
 #include "mddsim/protocol/generic_protocol.hpp"
@@ -77,6 +78,11 @@ class Simulator {
   /// Phase profiler (cfg.profile), or nullptr.  Records nothing when the
   /// library is built with MDDSIM_PROF=OFF.
   obs::PhaseProfiler* profiler() { return profiler_.get(); }
+  /// Causal span recorder (cfg.spans), or nullptr.  Records nothing when
+  /// the library is built with MDDSIM_SPANS=OFF (the network hooks see a
+  /// constant nullptr and fold away).
+  obs::SpanRecorder* spans() { return spans_.get(); }
+  const obs::SpanRecorder* spans() const { return spans_.get(); }
   /// Deterministic fault injector (cfg.fault_spec non-empty), or nullptr.
   /// Constructing a Simulator with a fault plan throws ConfigError when the
   /// library was built with MDDSIM_FI=OFF — never silently not injecting.
@@ -109,6 +115,7 @@ class Simulator {
   std::unique_ptr<TelemetrySampler> telemetry_;
   std::unique_ptr<obs::Registry> registry_;
   std::unique_ptr<obs::PhaseProfiler> profiler_;
+  std::unique_ptr<obs::SpanRecorder> spans_;
   std::unique_ptr<fi::FaultInjector> fi_inj_;
   std::unique_ptr<fi::InvariantChecker> fi_check_;
   std::vector<ForensicsReport> forensics_;

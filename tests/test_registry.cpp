@@ -118,6 +118,34 @@ TEST(Registry, PrometheusExportManglesNamesAndLiftsIds) {
   EXPECT_EQ(out.find("mddsim_router.3"), std::string::npos);
 }
 
+TEST(Registry, PrometheusSummaryPinsFullQuantileSet) {
+  // Pin the exact text exposition for a summary: the full quantile set
+  // (p50/p95/p99/p999) plus _sum and _count.  1..1000 keeps the sampler
+  // under its cap, so every quantile is exact and the output deterministic.
+  obs::Registry reg;
+  obs::StatMetric& s = reg.stat("sim.packet_latency", "per-packet latency");
+  for (int i = 1; i <= 1000; ++i) s.observe(static_cast<double>(i));
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string expected =
+      "# HELP mddsim_sim_packet_latency per-packet latency\n"
+      "# TYPE mddsim_sim_packet_latency summary\n"
+      "mddsim_sim_packet_latency{quantile=\"0.5\"} 501\n"
+      "mddsim_sim_packet_latency{quantile=\"0.95\"} 950\n"
+      "mddsim_sim_packet_latency{quantile=\"0.99\"} 990\n"
+      "mddsim_sim_packet_latency{quantile=\"0.999\"} 999\n"
+      "mddsim_sim_packet_latency_sum 500500\n"
+      "mddsim_sim_packet_latency_count 1000\n";
+  EXPECT_EQ(os.str(), expected);
+
+  // The JSON export carries the same tail quantile.
+  std::ostringstream js;
+  reg.write_json(js);
+  EXPECT_TRUE(json_well_formed(js.str()));
+  EXPECT_NE(js.str().find("\"p999\""), std::string::npos);
+}
+
 TEST(Registry, JsonExportWellFormedWithEpochSeries) {
   obs::Registry reg;
   obs::Counter& c = reg.counter("sim.flits_injected");

@@ -1,0 +1,315 @@
+// Causal-span tests (mddsim::obs v3): recorder semantics (open / per-cycle
+// blocked attribution / close, streak dedup, watermarks, one-shot early
+// warning), end-to-end chain reconstruction through a real Simulator run,
+// export well-formedness (Chrome trace-event JSON, JSONL, report JSON),
+// bit-identity of observed vs plain runs, and the fault-injection
+// interactions: a consumption freeze must surface as fault-frozen blocked
+// time on the affected spans, and the early-warning watermark must latch
+// before the CWG scan confirms the knot in a seeded deadlock run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "mddsim/common/json.hpp"
+#include "mddsim/fi/injector.hpp"
+#include "mddsim/obs/forensics.hpp"
+#include "mddsim/obs/span.hpp"
+#include "mddsim/sim/report.hpp"
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+namespace {
+
+// Minimal structural JSON check (same as test_obs.cpp): braces/brackets
+// balance outside string literals, strings terminate, no raw control
+// characters leak through.
+bool json_well_formed(const std::string& s) {
+  int depth = 0;
+  bool in_str = false, esc = false;
+  for (const char c : s) {
+    if (in_str) {
+      if (esc) esc = false;
+      else if (c == '\\') esc = true;
+      else if (c == '"') in_str = false;
+      else if (static_cast<unsigned char>(c) < 0x20) return false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_str = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']': if (--depth < 0) return false; break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_str;
+}
+
+SimConfig small_cfg() {
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 4;
+  cfg.injection_rate = 0.01;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 1500;
+  cfg.seed = 7;
+  return cfg;
+}
+
+Packet fake_packet(PacketId id, TxnId txn, int pos, Cycle gen) {
+  Packet p;
+  p.id = id;
+  p.txn = txn;
+  p.chain_pos = pos;
+  p.type = MsgType::M1;
+  p.src = 0;
+  p.dst = 1;
+  p.gen_cycle = gen;
+  return p;
+}
+
+TEST(SpanRecorder, AttributionStreaksAndWatermarks) {
+  if (!obs::SpanRecorder::compiled_in()) {
+    GTEST_SKIP() << "built with MDDSIM_SPANS=OFF";
+  }
+  obs::SpanRecorder rec(16, /*warn_age=*/3);
+  Packet p = fake_packet(1, 10, 0, 5);
+  const std::int32_t idx = rec.open(p);
+  ASSERT_GE(idx, 0);
+  EXPECT_EQ(rec.opened(), 1u);
+
+  // Same (span, cause, cycle) attributes once; a second cause on the same
+  // cycle restarts the streak rather than double-counting the first.
+  rec.blocked(idx, 10, obs::BlockCause::VcAlloc);
+  rec.blocked(idx, 10, obs::BlockCause::VcAlloc);
+  EXPECT_EQ(rec.blocked_cycles(obs::BlockCause::VcAlloc), 1u);
+
+  // Consecutive cycles grow the streak and the watermark tracks its age.
+  rec.blocked(idx, 11, obs::BlockCause::VcAlloc);
+  EXPECT_EQ(rec.watermark(obs::BlockCause::VcAlloc), 2u);
+  EXPECT_FALSE(rec.take_warning());  // age 2 < warn_age 3
+
+  rec.blocked(idx, 12, obs::BlockCause::VcAlloc);
+  EXPECT_EQ(rec.watermark(obs::BlockCause::VcAlloc), 3u);
+  EXPECT_EQ(rec.first_warning_cycle(), 12u);
+  EXPECT_TRUE(rec.take_warning());   // latched exactly once...
+  EXPECT_FALSE(rec.take_warning());  // ...and the poll is one-shot
+
+  // A gap breaks the streak: the watermark keeps its maximum.
+  rec.blocked(idx, 20, obs::BlockCause::VcAlloc);
+  EXPECT_EQ(rec.watermark(obs::BlockCause::VcAlloc), 3u);
+  EXPECT_EQ(rec.blocked_cycles(obs::BlockCause::VcAlloc), 4u);
+
+  // Negative index (unobserved packet) is always safe.
+  rec.blocked(-1, 21, obs::BlockCause::CreditStall);
+  EXPECT_EQ(rec.blocked_cycles(obs::BlockCause::CreditStall), 0u);
+
+  p.consume_cycle = 30;
+  rec.close(idx, p);
+  EXPECT_EQ(rec.closed(), 1u);
+  rec.txn_complete(10, 30, 1);
+  EXPECT_EQ(rec.complete_chains(), 1u);
+}
+
+TEST(SpanRecorder, CapacityDropsBeyondCap) {
+  if (!obs::SpanRecorder::compiled_in()) {
+    GTEST_SKIP() << "built with MDDSIM_SPANS=OFF";
+  }
+  obs::SpanRecorder rec(2);
+  EXPECT_GE(rec.open(fake_packet(1, 1, 0, 0)), 0);
+  EXPECT_GE(rec.open(fake_packet(2, 1, 1, 0)), 0);
+  EXPECT_EQ(rec.open(fake_packet(3, 2, 0, 0)), -1);
+  EXPECT_EQ(rec.opened(), 2u);
+  EXPECT_EQ(rec.dropped(), 1u);
+}
+
+TEST(SpanRecorder, DisabledBuildRecordsNothing) {
+  if (obs::SpanRecorder::compiled_in()) {
+    GTEST_SKIP() << "built with MDDSIM_SPANS=ON";
+  }
+  obs::SpanRecorder rec;
+  EXPECT_EQ(rec.open(fake_packet(1, 1, 0, 0)), -1);
+  rec.blocked(0, 5, obs::BlockCause::VcAlloc);
+  EXPECT_EQ(rec.opened(), 0u);
+  EXPECT_EQ(rec.blocked_cycles(obs::BlockCause::VcAlloc), 0u);
+  EXPECT_FALSE(rec.take_warning());
+}
+
+TEST(Spans, SimulatorReconstructsCompleteChains) {
+  if (!obs::SpanRecorder::compiled_in()) {
+    GTEST_SKIP() << "built with MDDSIM_SPANS=OFF";
+  }
+  SimConfig cfg = small_cfg();
+  cfg.spans = true;
+  Simulator sim(cfg);
+  const RunResult r = sim.run(true);
+  ASSERT_NE(sim.spans(), nullptr);
+  const obs::SpanRecorder& rec = *sim.spans();
+
+  EXPECT_GT(rec.opened(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  // A drained run closes every span and reconstructs at least one full
+  // m1→…→m4 chain (PAT271 is chain-4-heavy).
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(rec.opened(), rec.closed());
+  EXPECT_GT(rec.complete_chains(), 0u);
+  EXPECT_GE(rec.txns_seen(), rec.complete_chains());
+
+  // Stage aggregates cover the chain depth with latency samples.
+  EXPECT_GT(rec.stage(0).count, 0u);
+  EXPECT_GT(rec.stage(1).count, 0u);
+  EXPECT_GT(rec.stage(0).latency.count(), 0u);
+
+  // Chrome + JSONL + report JSON exports are structurally valid.
+  std::ostringstream chrome;
+  rec.export_chrome_json(chrome);
+  EXPECT_TRUE(json_well_formed(chrome.str()));
+  EXPECT_NE(chrome.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.str().find("\"ph\":\"X\""), std::string::npos);
+
+  std::ostringstream jsonl;
+  rec.export_jsonl(jsonl);
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(json_well_formed(line)) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, rec.opened() + 1);  // header + one line per span
+
+  std::ostringstream report;
+  write_json(report, "unit", r, obs::make_provenance(cfg, 1, 0.0), &rec);
+  EXPECT_TRUE(json_well_formed(report.str())) << report.str();
+  EXPECT_NE(report.str().find("\"spans\""), std::string::npos);
+  EXPECT_NE(report.str().find("\"p999\""), std::string::npos);
+  EXPECT_NE(report.str().find("\"blocked_total\""), std::string::npos);
+}
+
+TEST(Spans, ObservationDoesNotPerturbResults) {
+  const SimConfig plain = small_cfg();
+  SimConfig observed = small_cfg();
+  observed.spans = true;
+  RunResult a, b;
+  { Simulator sim(plain); a = sim.run(false); }
+  { Simulator sim(observed); b = sim.run(false); }
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.txns_completed, b.txns_completed);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  EXPECT_DOUBLE_EQ(a.avg_packet_latency, b.avg_packet_latency);
+  EXPECT_EQ(a.counters.rescues, b.counters.rescues);
+  EXPECT_EQ(a.counters.deflections, b.counters.deflections);
+}
+
+TEST(Spans, MetricsRegistryExportsSpanAggregates) {
+  if (!obs::SpanRecorder::compiled_in()) {
+    GTEST_SKIP() << "built with MDDSIM_SPANS=OFF";
+  }
+  SimConfig cfg = small_cfg();
+  cfg.spans = true;
+  cfg.metrics = true;
+  Simulator sim(cfg);
+  sim.run(false);
+  ASSERT_NE(sim.registry(), nullptr);
+  const obs::Registry& reg = *sim.registry();
+  const obs::Counter* opened = reg.find_counter("obs.spans.opened");
+  ASSERT_NE(opened, nullptr);
+  EXPECT_EQ(opened->value(), sim.spans()->opened());
+  EXPECT_NE(reg.find_counter("obs.spans.blocked.credit_stall"), nullptr);
+  EXPECT_NE(reg.find_gauge("obs.spans.watermark.inject_queue"), nullptr);
+  EXPECT_NE(reg.find_counter("obs.spans.complete_chains"), nullptr);
+  EXPECT_NE(reg.find_stat("obs.spans.stage.0.latency"), nullptr);
+}
+
+TEST(SpansFi, FreezeWindowSurfacesAsFaultFrozenBlockedTime) {
+  if (!obs::SpanRecorder::compiled_in()) {
+    GTEST_SKIP() << "built with MDDSIM_SPANS=OFF";
+  }
+  if (!fi::compiled_in()) {
+    GTEST_SKIP() << "built with MDDSIM_FI=OFF";
+  }
+  SimConfig cfg = small_cfg();
+  cfg.spans = true;
+  cfg.injection_rate = 0.015;
+  cfg.measure_cycles = 3000;
+  cfg.fault_spec = "freeze@500+400:node=all";
+  Simulator sim(cfg);
+  sim.run(true);
+  ASSERT_NE(sim.spans(), nullptr);
+  const obs::SpanRecorder& rec = *sim.spans();
+
+  // The freeze window shows up as fault-frozen blocked time...
+  EXPECT_GT(rec.blocked_cycles(obs::BlockCause::FaultFrozen), 0u);
+  // ...attributed to concrete affected spans, with a head-of-line blocked
+  // age on the order of the window length.
+  bool some_span_frozen = false;
+  for (const obs::Span& s : rec.spans()) {
+    if (s.blocked[static_cast<int>(obs::BlockCause::FaultFrozen)] > 0) {
+      some_span_frozen = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(some_span_frozen);
+  EXPECT_GT(rec.watermark(obs::BlockCause::FaultFrozen), 100u);
+
+  // The fi plan's freeze window is carried as a span annotation, so the
+  // Chrome export renders it as a lane the blocked time lines up under.
+  ASSERT_EQ(rec.annotations().size(), 1u);
+  EXPECT_EQ(rec.annotations()[0].start, 500u);
+  EXPECT_EQ(rec.annotations()[0].end, 900u);
+  std::ostringstream chrome;
+  rec.export_chrome_json(chrome);
+  EXPECT_NE(chrome.str().find("freeze node=all"), std::string::npos);
+}
+
+TEST(SpansFi, EarlyWarningPrecedesKnotDetection) {
+  if (!obs::SpanRecorder::compiled_in()) {
+    GTEST_SKIP() << "built with MDDSIM_SPANS=OFF";
+  }
+  // The seeded message-dependent deadlock of test_obs.cpp's forensics test:
+  // scarce endpoint queues, detection and router suspicion off, so the knot
+  // forms and persists until the CWG scan / watchdog sees it.
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT271";
+  cfg.k = 8;
+  cfg.msg_queue_size = 4;
+  cfg.mshr_limit = 4;
+  cfg.detection_threshold = 1000000;  // local detection off
+  cfg.router_timeout = 1000000;       // router suspicion off
+  cfg.injection_rate = 0.0132;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 5000;
+  cfg.seed = 5;
+  cfg.forensics = true;
+  cfg.watchdog_cycles = 1000;
+  cfg.spans = true;
+  cfg.span_warn_age = 300;
+  Simulator sim(cfg);
+  sim.run(false);
+  ASSERT_NE(sim.spans(), nullptr);
+
+  // The warning latched...
+  const Cycle warn = sim.spans()->first_warning_cycle();
+  ASSERT_GT(warn, 0u) << "early warning never latched in a deadlocked run";
+
+  // ...fired a forensics capture of its own...
+  const ForensicsReport* warning = nullptr;
+  const ForensicsReport* knot = nullptr;
+  for (const ForensicsReport& rep : sim.forensics_reports()) {
+    if (!warning && rep.reason == "span_warning") warning = &rep;
+    if (!knot && rep.reason == "cwg_knot") knot = &rep;
+  }
+  ASSERT_NE(warning, nullptr) << "no span_warning forensics report";
+  ASSERT_NE(knot, nullptr) << "CWG never confirmed the knot";
+
+  // ...and did so strictly before the CWG scan confirmed the knot.
+  EXPECT_LT(warning->cycle, knot->cycle);
+  EXPECT_LE(warn, warning->cycle);
+}
+
+}  // namespace
+}  // namespace mddsim

@@ -1,0 +1,199 @@
+// bench_check: guard against simulator performance regressions.
+//
+// Diffs a fresh BENCH_*.json artifact (bench_perf's output) against a
+// committed baseline trajectory file and exits non-zero when any tracked
+// config's cycles/sec dropped by more than the threshold.
+//
+//   bench_check [--threshold PCT] [--update] BASELINE BENCH_perf.json...
+//
+//     BASELINE        committed trajectory file (bench/baseline_perf.txt):
+//                     `name cycles_per_sec` lines, '#' comments
+//     --threshold PCT max tolerated regression, percent (default 20; bench
+//                     machines are noisy, so the committed gate is loose —
+//                     CI runs this warn-only on shared runners anyway)
+//     --update        rewrite BASELINE from the fresh artifacts and exit 0
+//
+// Exit codes: 0 = ok (or updated), 1 = regression past threshold,
+//             2 = usage / IO / parse error.
+//
+// The JSON scan is deliberately minimal: it pairs each `"config": "NAME"`
+// with the next `"cycles_per_sec": VALUE` in the same artifact, which is
+// exactly the shape bench_util's write_bench_json emits.  No general JSON
+// parser is needed (or wanted) for a CI guard.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Extracts (config name, cycles_per_sec) pairs from a bench JSON artifact.
+std::map<std::string, double> scan_bench_json(const std::string& text) {
+  std::map<std::string, double> out;
+  std::string pending;  // config name awaiting its cycles_per_sec
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t cfg = text.find("\"config\"", pos);
+    const std::size_t cps = text.find("\"cycles_per_sec\"", pos);
+    if (cfg == std::string::npos && cps == std::string::npos) break;
+    if (cfg < cps) {
+      // "config": "name" — the first quote after the key (and its colon) is
+      // the value's opening quote.
+      const std::size_t q1 = text.find('"', cfg + 8);
+      const std::size_t q2 =
+          q1 == std::string::npos ? q1 : text.find('"', q1 + 1);
+      if (q2 == std::string::npos) break;
+      pending = text.substr(q1 + 1, q2 - q1 - 1);
+      pos = q2 + 1;
+    } else {
+      const std::size_t colon = text.find(':', cps);
+      if (colon == std::string::npos) break;
+      const double v = std::strtod(text.c_str() + colon + 1, nullptr);
+      if (!pending.empty() && v > 0.0) out[pending] = v;
+      pending.clear();
+      pos = colon + 1;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, double> read_baseline(const std::string& path,
+                                            bool* ok) {
+  std::map<std::string, double> out;
+  std::ifstream is(path);
+  *ok = static_cast<bool>(is);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string name;
+    double v = 0.0;
+    if (ls >> name >> v && v > 0.0) out[name] = v;
+  }
+  return out;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold_pct = 20.0;
+  bool update = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0) {
+      if (++i >= argc) {
+        std::fprintf(stderr, "bench_check: --threshold needs a percentage\n");
+        return 2;
+      }
+      threshold_pct = std::strtod(argv[i], nullptr);
+      if (threshold_pct <= 0.0) {
+        std::fprintf(stderr, "bench_check: bad threshold '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--update") == 0) {
+      update = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: bench_check [--threshold PCT] [--update] BASELINE "
+          "BENCH_*.json...\n");
+      return 0;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: bench_check [--threshold PCT] [--update] BASELINE "
+                 "BENCH_*.json...\n");
+    return 2;
+  }
+  const std::string baseline_path = paths.front();
+
+  std::map<std::string, double> fresh;
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    std::string text;
+    if (!read_file(paths[i], &text)) {
+      std::fprintf(stderr, "bench_check: cannot read %s\n", paths[i].c_str());
+      return 2;
+    }
+    for (const auto& [name, v] : scan_bench_json(text)) fresh[name] = v;
+  }
+  if (fresh.empty()) {
+    std::fprintf(stderr,
+                 "bench_check: no (config, cycles_per_sec) pairs found\n");
+    return 2;
+  }
+
+  if (update) {
+    std::ofstream os(baseline_path);
+    if (!os) {
+      std::fprintf(stderr, "bench_check: cannot write %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    os << "# bench_check baseline: simulated cycles per wall-clock second\n"
+       << "# per bench_perf config.  Regenerate on a quiet machine with:\n"
+       << "#   tools/bench_check --update <this file> BENCH_perf.json\n";
+    char buf[160];
+    for (const auto& [name, v] : fresh) {
+      std::snprintf(buf, sizeof(buf), "%s %.1f\n", name.c_str(), v);
+      os << buf;
+    }
+    std::fprintf(stderr, "bench_check: wrote %zu entries to %s\n",
+                 fresh.size(), baseline_path.c_str());
+    return 0;
+  }
+
+  bool base_ok = false;
+  const std::map<std::string, double> base =
+      read_baseline(baseline_path, &base_ok);
+  if (!base_ok) {
+    std::fprintf(stderr, "bench_check: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  int regressions = 0;
+  std::printf("| config | baseline c/s | fresh c/s | delta |\n");
+  std::printf("|---|---|---|---|\n");
+  for (const auto& [name, ref] : base) {
+    const auto it = fresh.find(name);
+    if (it == fresh.end()) {
+      std::printf("| %s | %.0f | (missing) | - |\n", name.c_str(), ref);
+      ++regressions;  // a vanished config is a failure, not a pass
+      continue;
+    }
+    const double delta_pct = 100.0 * (it->second / ref - 1.0);
+    const bool bad = delta_pct < -threshold_pct;
+    std::printf("| %s | %.0f | %.0f | %+.1f%%%s |\n", name.c_str(), ref,
+                it->second, delta_pct, bad ? " REGRESSION" : "");
+    if (bad) ++regressions;
+  }
+  for (const auto& [name, v] : fresh) {
+    if (base.find(name) == base.end()) {
+      std::printf("| %s | (new) | %.0f | - |\n", name.c_str(), v);
+    }
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_check: %d config(s) regressed past %.0f%% (or went "
+                 "missing)\n", regressions, threshold_pct);
+    return 1;
+  }
+  std::printf("\nbench_check: ok (threshold %.0f%%)\n", threshold_pct);
+  return 0;
+}
