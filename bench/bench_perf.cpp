@@ -194,6 +194,82 @@ int main(int argc, char** argv) {
                 static_cast<double>(r.cycles_run) / secs / 1e6);
   }
 
+  // --- 1b. Within-run threads scaling (set_intra_jobs). ---------------------
+  // The same single run re-executed with the router/NI phases sharded over
+  // 1/2/4/8 pool threads.  Every jobs count must reproduce the serial
+  // RunResult bit-for-bit; wall time shows how the within-run engine scales
+  // on this machine (on fewer hardware threads than jobs, oversubscription
+  // makes the extra shards pure overhead — reported, not hidden).
+  struct ScaleOut {
+    int jobs;
+    double seconds;
+    bool identical;
+  };
+  std::vector<ScaleOut> scaling;
+  {
+    const SimConfig& cfg = cases.front().cfg;
+    std::printf("\n## Within-run threads scaling (%s, hardware threads: %d)\n\n",
+                cases.front().name, par::hardware_threads());
+    std::printf("| jobs | wall (s) | Mcycles/s | bit-identical |\n");
+    std::printf("|---|---|---|---|\n");
+    RunResult ref;
+    for (int j : {1, 2, 4, 8}) {
+      {  // untimed warmup at this jobs count (pool spin-up, allocator)
+        Simulator warm(cfg);
+        warm.set_intra_jobs(j);
+        warm.run(false);
+      }
+      double best = 1e300;
+      RunResult r;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        Simulator sim(cfg);
+        sim.set_intra_jobs(j);
+        r = sim.run(false);
+        best = std::min(best, seconds_since(t0));
+      }
+      if (j == 1) ref = r;
+      const bool same = identical(ref, r);
+      scaling.push_back({j, best, same});
+      std::printf("| %d | %.3f | %.3f | %s |\n", j, best,
+                  static_cast<double>(r.cycles_run) / best / 1e6,
+                  same ? "yes" : "NO");
+    }
+  }
+
+  // --- 1c. Within-run bit-identity gate, all three schemes. -----------------
+  // Short near-saturation runs per scheme, serial vs jobs=4: the sharded
+  // cycle engine must be invisible in every result field for SA, DR and PR
+  // alike (PR exercises the recovery-token path, DR the deflection path).
+  bool intra_identical = true;
+  {
+    std::printf("\n## Within-run bit-identity (serial vs jobs=4)\n\n");
+    std::printf("| scheme | bit-identical |\n|---|---|\n");
+    for (Scheme s : {Scheme::SA, Scheme::DR, Scheme::PR}) {
+      SimConfig cfg;
+      cfg.scheme = s;
+      cfg.pattern = "PAT271";
+      cfg.vcs_per_link = 8;  // SA needs 4 classes x 2 escape VCs
+      cfg.injection_rate = saturation_rate("PAT271");
+      cfg.warmup_cycles = 500;
+      cfg.measure_cycles = 2500;
+      RunResult a, b;
+      {
+        Simulator sim(cfg);
+        a = sim.run(false);
+      }
+      {
+        Simulator sim(cfg);
+        sim.set_intra_jobs(4);
+        b = sim.run(false);
+      }
+      const bool same = identical(a, b);
+      intra_identical = intra_identical && same;
+      std::printf("| %s | %s |\n", std::string(scheme_name(s)).c_str(),
+                  same ? "yes" : "NO");
+    }
+  }
+
   // --- 2. Observability overhead (registry + profiler attached). -----------
   // Re-time the first config plain, then with metrics + profiling on, back
   // to back so both runs see the same machine state.
@@ -315,6 +391,26 @@ int main(int argc, char** argv) {
       w.end_object();
     }
     w.end_array();
+    w.key("intra_scaling").begin_object();
+    w.kv("config", cases.front().name);
+    w.kv("hardware_threads", par::hardware_threads());
+    w.key("results").begin_array();
+    for (const ScaleOut& s : scaling) {
+      w.begin_object();
+      w.kv("jobs", static_cast<std::uint64_t>(s.jobs));
+      w.kv("seconds", s.seconds);
+      w.kv("cycles_per_sec",
+           static_cast<double>(singles.front().cycles) / s.seconds);
+      w.kv("bit_identical", s.identical);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.key("intra_identity").begin_object();
+    w.kv("schemes", "SA,DR,PR");
+    w.kv("jobs", 4);
+    w.kv("bit_identical", intra_identical);
+    w.end_object();
     w.key("obs_overhead").begin_object();
     w.kv("config", cases.front().name);
     w.kv("plain_seconds", plain_secs);

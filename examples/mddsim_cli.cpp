@@ -13,8 +13,11 @@
 //                        4 on FAIL.  =strict also demands the recovery-free
 //                        graph be acyclic (informational for PR/RG).
 //     --sweep R1,R2,...  run one simulation per injection rate (parallel)
-//     --jobs N           worker threads for --sweep (default: MDDSIM_JOBS
-//                        env or hardware concurrency; 1 = serial)
+//     --jobs N           worker threads (default: MDDSIM_JOBS env or
+//                        hardware concurrency; 1 = serial).  With --sweep:
+//                        one whole run per worker.  Without --sweep: the
+//                        within-run engine shards router/NI work across N
+//                        threads, bit-identical to serial (DESIGN.md §15)
 //     --fault SPEC       arm a fault-injection plan (same as fault=SPEC),
 //                        e.g. --fault freeze@2000+500:node=3; see fault key
 //     --rebaseline FILE  re-run the golden baseline cases and rewrite FILE
@@ -334,6 +337,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   Simulator& sim = *sim_ptr;
+  // Single runs spend --jobs on the within-run engine (sweeps spend it on
+  // run-level parallelism instead; one run per worker beats sharding).
+  sim.set_intra_jobs(jobs);
   const auto run_start = std::chrono::steady_clock::now();
   RunResult r;
   try {
@@ -359,7 +365,7 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     run_start)
           .count();
-  const obs::RunProvenance prov = obs::make_provenance(cfg, 1, run_wall);
+  const obs::RunProvenance prov = obs::make_provenance(cfg, jobs, run_wall);
   const std::string label = std::string(scheme_name(cfg.scheme)) + "/" +
                             cfg.pattern;
 

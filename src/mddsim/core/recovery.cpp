@@ -155,6 +155,15 @@ void RecoveryEngine::step(Cycle now) {
   }
 }
 
+void RecoveryEngine::fast_forward(Cycle k) {
+  MDD_CHECK_MSG(state_ == State::Circulate && !lost_,
+                "fast_forward requires a circulating, present token");
+  token_stop_ = static_cast<int>(
+      (static_cast<Cycle>(token_stop_) + k) %
+      static_cast<Cycle>(num_stops()));
+  token_moves_ += static_cast<std::uint64_t>(k);
+}
+
 void RecoveryEngine::advance_token(Cycle now) {
   token_stop_ = (token_stop_ + 1) % num_stops();
   ++token_moves_;

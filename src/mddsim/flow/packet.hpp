@@ -67,9 +67,12 @@ using PacketPtr = std::shared_ptr<Packet>;
 struct Flit {
   PacketPtr pkt;
   int seq = 0;
+  /// Copy of pkt->len_flits (immutable after injection): tail detection on
+  /// the per-hop traversal path must not chase the Packet pointer.
+  int len = 1;
 
   bool is_head() const { return seq == 0; }
-  bool is_tail() const { return seq == pkt->len_flits - 1; }
+  bool is_tail() const { return seq == len - 1; }
 };
 
 }  // namespace mddsim

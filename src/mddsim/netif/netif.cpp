@@ -32,6 +32,24 @@ NetworkInterface::NetworkInterface(NodeId id, const SimConfig& cfg,
   cond_since_.assign(static_cast<std::size_t>(slots), 0);
   full_since_.assign(static_cast<std::size_t>(slots), 0);
   forced_until_.assign(static_cast<std::size_t>(slots), 0);
+  admit_.resize(static_cast<std::size_t>(slots));
+}
+
+const NetworkInterface::AdmitCache& NetworkInterface::admit_state(
+    int slot, const PacketPtr& head) {
+  AdmitCache& c = admit_[static_cast<std::size_t>(slot)];
+  // Backoff subordinates read the transaction's mutable resume_pos, so they
+  // are never cached; everything else is fixed at transaction creation.
+  if (c.head_id != head->id || head->type == MsgType::Backoff) {
+    protocol_.subordinates_into(id_, *head, c.subs);
+    c.head_id = head->id;
+    c.epoch = 0;  // force a space re-evaluation below
+  }
+  if (c.epoch != out_epoch_) {
+    c.fits = c.subs.empty() || output_has_space_for(c.subs);
+    c.epoch = out_epoch_;
+  }
+  return c;
 }
 
 PacketPtr NetworkInterface::make_packet(const OutMsg& m, Cycle now) {
@@ -73,8 +91,12 @@ int NetworkInterface::total_ejection_flits() const {
 
 bool NetworkInterface::output_has_space_for(
     const std::vector<OutMsg>& msgs) const {
-  std::vector<int> needed(output_q_.size(), 0);
-  for (const auto& m : msgs) ++needed[static_cast<std::size_t>(qmap_.of(m.type))];
+  // Per-slot demand fits on the stack: qmap_ classes are the protocol's
+  // message classes (a handful), never more than the fixed bound below.
+  constexpr int kMaxSlots = 16;
+  MDD_CHECK(static_cast<int>(output_q_.size()) <= kMaxSlots);
+  int needed[kMaxSlots] = {0};
+  for (const auto& m : msgs) ++needed[qmap_.of(m.type)];
   for (std::size_t s = 0; s < output_q_.size(); ++s) {
     if (needed[s] == 0) continue;
     if (static_cast<int>(output_q_[s].size()) + output_reserved_[s] +
@@ -85,6 +107,13 @@ bool NetworkInterface::output_has_space_for(
   return true;
 }
 
+Cycle NetworkInterface::earliest_retry_ready() const {
+  MDD_CHECK(!retries_.empty());
+  Cycle earliest = retries_.front().ready;
+  for (const auto& r : retries_) earliest = std::min(earliest, r.ready);
+  return earliest;
+}
+
 // --------------------------------------------------------------------------
 // Ejection: one flit per cycle drained from the ejection channels into the
 // input message queues.  A head flit is admitted only when a queue slot can
@@ -92,6 +121,9 @@ bool NetworkInterface::output_has_space_for(
 // into the network (the message-dependent coupling path).
 // --------------------------------------------------------------------------
 void NetworkInterface::step_eject(Cycle now) {
+  // Nothing buffered in any ejection channel: nothing to drain, attribute,
+  // or freeze.  Most endpoints hit this at light-to-moderate load.
+  if (eject_flits_ == 0) return;
   // Injected consumption freeze (the paper's deadlock trigger): the endpoint
   // stops draining ejection channels, so backpressure builds exactly as if
   // the local consumer hung.
@@ -187,6 +219,18 @@ void NetworkInterface::consume_terminating_heads(Cycle now) {
 }
 
 void NetworkInterface::step_mc(Cycle now) {
+  // No in-flight service and no queued messages: the controller has nothing
+  // to complete, consume, or admit (a handful of empty() checks).
+  if (!mc_pkt_) {
+    bool any_input = false;
+    for (const auto& q : input_q_) {
+      if (!q.empty()) {
+        any_input = true;
+        break;
+      }
+    }
+    if (!any_input) return;
+  }
   // A frozen endpoint's memory controller makes no progress either: replies
   // stay queued and in-flight service completion is deferred.
   if (const fi::FaultInjector* inj = net_.injector();
@@ -241,10 +285,10 @@ void NetworkInterface::step_mc(Cycle now) {
     if (q.empty()) continue;
     const PacketPtr& head = q.front();
     if (is_terminating(head->type)) continue;  // sinks via the consumer path
-    std::vector<OutMsg> subs = protocol_.subordinates(id_, *head);
-    if (!output_has_space_for(subs)) continue;
-    reserve_output(subs, +1);
-    mc_reserved_ = std::move(subs);
+    const AdmitCache& c = admit_state(s, head);
+    if (!c.fits) continue;
+    reserve_output(c.subs, +1);
+    mc_reserved_ = c.subs;
     mc_pkt_ = head;
     q.pop_front();
     mc_done_ = now + static_cast<Cycle>(cfg_.msg_service_time);
@@ -267,6 +311,7 @@ void NetworkInterface::push_output(const PacketPtr& pkt, Cycle now) {
                     cfg_.msg_queue_size,
                 "output queue overflow");
   output_q_[static_cast<std::size_t>(slot)].push_back(pkt);
+  ++out_epoch_;
   (void)now;
 }
 
@@ -274,6 +319,7 @@ void NetworkInterface::reserve_output(const std::vector<OutMsg>& msgs,
                                       int sign) {
   for (const auto& m : msgs)
     output_reserved_[static_cast<std::size_t>(qmap_.of(m.type))] += sign;
+  ++out_epoch_;
 }
 
 // --------------------------------------------------------------------------
@@ -329,6 +375,7 @@ void NetworkInterface::step_deflect(Cycle now) {
 // RG retries move into the output queues as space appears.
 // --------------------------------------------------------------------------
 void NetworkInterface::step_pending(Cycle now) {
+  if (retries_.empty() && pending_.empty()) return;
   // RG retries whose backoff elapsed.
   for (auto it = retries_.begin(); it != retries_.end();) {
     if (now < it->ready) {
@@ -366,11 +413,11 @@ void NetworkInterface::offer_new_transaction(const OutMsg& m, Cycle now) {
 // --------------------------------------------------------------------------
 bool NetworkInterface::try_stream_flit(InjectStream& stream, Cycle now) {
   if (inj_credits_[static_cast<std::size_t>(stream.vc)] <= 0) return false;
-  Flit f{stream.pkt, stream.next_seq};
+  Flit f{stream.pkt, stream.next_seq, stream.pkt->len_flits};
   if (f.is_head()) stream.pkt->inject_cycle = now;
   --inj_credits_[static_cast<std::size_t>(stream.vc)];
   net_.stage_injection_flit(id_, stream.vc, std::move(f));
-  if (net_.observer()) net_.observer()->on_flit_injected(id_, now);
+  net_.notify_flit_injected(id_, now);
   if (Tracer* t = net_.tracer()) {
     t->flit_inject(now, stream.pkt->id, id_, stream.vc, stream.next_seq);
   }
@@ -407,22 +454,23 @@ void NetworkInterface::step_inject(Cycle now) {
       if (q.empty()) continue;
       const int vc = pick_injection_vc(q.front());
       if (vc < 0) {
-        if (obs::SpanRecorder* sp = net_.spans())
-          sp->blocked(q.front()->span_idx, now, obs::BlockCause::InjectQueue);
+        net_.span_blocked(q.front()->span_idx, now,
+                          obs::BlockCause::InjectQueue);
         continue;
       }
       stream = InjectStream{q.front(), 0, vc};
       inj_busy_[static_cast<std::size_t>(vc)] = true;
     }
     if (!try_stream_flit(stream, now)) {
-      if (obs::SpanRecorder* sp = net_.spans())
-        sp->blocked(stream.pkt->span_idx, now, obs::BlockCause::InjectQueue);
+      net_.span_blocked(stream.pkt->span_idx, now,
+                        obs::BlockCause::InjectQueue);
       continue;
     }
     if (stream.next_seq == stream.pkt->len_flits) {
       auto& q = output_q_[static_cast<std::size_t>(s)];
       MDD_CHECK(!q.empty() && q.front()->id == stream.pkt->id);
       q.pop_front();
+      ++out_epoch_;
       inj_busy_[static_cast<std::size_t>(stream.vc)] = false;
       stream = InjectStream{};
     }
@@ -440,17 +488,15 @@ void NetworkInterface::step_inject(Cycle now) {
     }
     if (source_.empty() || outstanding_ >= mshr_limit) {
       if (!source_.empty()) {
-        if (obs::SpanRecorder* sp = net_.spans())
-          sp->blocked(source_.front()->span_idx, now,
-                      obs::BlockCause::InjectQueue);
+        net_.span_blocked(source_.front()->span_idx, now,
+                          obs::BlockCause::InjectQueue);
       }
       return;
     }
     const int vc = pick_injection_vc(source_.front());
     if (vc < 0) {
-      if (obs::SpanRecorder* sp = net_.spans())
-        sp->blocked(source_.front()->span_idx, now,
-                    obs::BlockCause::InjectQueue);
+      net_.span_blocked(source_.front()->span_idx, now,
+                        obs::BlockCause::InjectQueue);
       return;
     }
     src_stream_ = InjectStream{source_.front(), 0, vc};
@@ -458,9 +504,8 @@ void NetworkInterface::step_inject(Cycle now) {
     ++outstanding_;
   }
   if (!try_stream_flit(src_stream_, now)) {
-    if (obs::SpanRecorder* sp = net_.spans())
-      sp->blocked(src_stream_.pkt->span_idx, now,
-                  obs::BlockCause::InjectQueue);
+    net_.span_blocked(src_stream_.pkt->span_idx, now,
+                      obs::BlockCause::InjectQueue);
     return;
   }
   if (src_stream_.next_seq == src_stream_.pkt->len_flits) {
@@ -469,21 +514,6 @@ void NetworkInterface::step_inject(Cycle now) {
     inj_busy_[static_cast<std::size_t>(src_stream_.vc)] = false;
     src_stream_ = InjectStream{};
   }
-}
-
-void NetworkInterface::deliver_ejected_flit(Flit f, int vc, Cycle now) {
-  (void)now;
-  auto& buf = eject_buf_[static_cast<std::size_t>(vc)];
-  MDD_CHECK_MSG(static_cast<int>(buf.size()) < cfg_.flit_buffer_depth,
-                "ejection buffer overflow: credit protocol violated");
-  buf.push_back(std::move(f));
-  ++eject_flits_;
-}
-
-void NetworkInterface::deliver_injection_credit(int vc) {
-  ++inj_credits_[static_cast<std::size_t>(vc)];
-  MDD_CHECK_MSG(inj_credits_[static_cast<std::size_t>(vc)] <= cfg_.flit_buffer_depth,
-                "injection credit overflow");
 }
 
 // --------------------------------------------------------------------------
@@ -503,9 +533,10 @@ bool NetworkInterface::input_head_blocked(int slot,
   out_slots.clear();
   const PacketPtr head = input_head(slot);
   if (!head || is_terminating(head->type)) return false;
-  std::vector<OutMsg> subs = protocol_.subordinates(id_, *head);
-  if (subs.empty() || output_has_space_for(subs)) return false;
-  for (const auto& m : subs) out_slots.push_back(qmap_.of(m.type));
+  protocol_.subordinates_into(id_, *head, subs_scratch_);
+  if (subs_scratch_.empty() || output_has_space_for(subs_scratch_))
+    return false;
+  for (const auto& m : subs_scratch_) out_slots.push_back(qmap_.of(m.type));
   return true;
 }
 
@@ -544,16 +575,16 @@ void NetworkInterface::update_detection(Cycle now) {
     // more output slots than the queue has in total — is still eventually
     // rescued via the long backstop in detect().
     bool blocked = false;
-    const PacketPtr head = input_head(s);
-    if (head && !is_terminating(head->type)) {
-      std::vector<OutMsg> subs = protocol_.subordinates(id_, *head);
-      if (!subs.empty() && !output_has_space_for(subs)) blocked = true;
+    const auto& q = input_q_[static_cast<std::size_t>(s)];
+    if (!q.empty() && !is_terminating(q.front()->type)) {
+      const AdmitCache& c = admit_state(s, q.front());
+      blocked = !c.subs.empty() && !c.fits;
     }
     if (blocked) {
       // Piggyback span attribution on the detector's per-cycle blocked
       // computation: the head cannot be serviced for want of output space.
       if (obs::SpanRecorder* sp = net_.spans())
-        sp->blocked(head->span_idx, now, obs::BlockCause::McWait);
+        sp->blocked(q.front()->span_idx, now, obs::BlockCause::McWait);
     }
     if (!blocked) {
       since = 0;
@@ -658,6 +689,12 @@ int NetworkInterface::abort_injection(const PacketPtr& pkt) {
     for (auto it = q.begin(); it != q.end(); ++it) {
       if ((*it)->id == pkt->id) {
         q.erase(it);
+        // Occupancy changed outside the push/pop/reserve paths: without
+        // this bump a cached AdmitCache::fits verdict stays stale until the
+        // next organic queue mutation, which on a quiet endpoint can be
+        // thousands of cycles — long enough to re-trip detection on heads
+        // that actually fit (seen as rescue thrash under fi freeze plans).
+        ++out_epoch_;
         return sent;
       }
     }

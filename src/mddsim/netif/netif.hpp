@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "mddsim/common/assert.hpp"
 #include "mddsim/common/types.hpp"
 #include "mddsim/flow/packet.hpp"
 #include "mddsim/protocol/endpoint.hpp"
@@ -53,8 +54,22 @@ class NetworkInterface {
   void step_inject(Cycle now);   ///< output queues → router injection VCs
 
   // --- Link-side deliveries (committed by Network at cycle end). ----------
-  void deliver_ejected_flit(Flit f, int vc, Cycle now);
-  void deliver_injection_credit(int vc);
+  // Inline: commit() executes one call per staged event, so call overhead
+  // dominates these short bodies.
+  void deliver_ejected_flit(Flit f, int vc, Cycle now) {
+    (void)now;
+    auto& buf = eject_buf_[static_cast<std::size_t>(vc)];
+    MDD_CHECK_MSG(static_cast<int>(buf.size()) < cfg_.flit_buffer_depth,
+                  "ejection buffer overflow: credit protocol violated");
+    buf.push_back(std::move(f));
+    ++eject_flits_;
+  }
+  void deliver_injection_credit(int vc) {
+    ++inj_credits_[static_cast<std::size_t>(vc)];
+    MDD_CHECK_MSG(
+        inj_credits_[static_cast<std::size_t>(vc)] <= cfg_.flit_buffer_depth,
+        "injection credit overflow");
+  }
 
   // --- Traffic sources. -----------------------------------------------------
   /// Queues a freshly started transaction's first message.  The request
@@ -71,6 +86,15 @@ class NetworkInterface {
   std::size_t pending_backlog() const {
     return pending_.size() + source_.size();
   }
+
+  // --- Quiescence-skip support (Simulator event-driven core). --------------
+  /// RG backoff retries are not part of pending_backlog (the network is
+  /// genuinely idle while they wait), so the skip logic needs their wake-up
+  /// deadline explicitly.
+  bool has_retries() const { return !retries_.empty(); }
+  /// Earliest ready cycle among scheduled retries; only valid when
+  /// has_retries().
+  Cycle earliest_retry_ready() const;
 
   // --- Local deadlock detection (paper §2.2 conditions). -------------------
   /// Re-evaluates the per-queue blocked conditions; must run every cycle.
@@ -213,6 +237,30 @@ class NetworkInterface {
   std::deque<OutMsg> pending_;   ///< resume/recovery messages awaiting space
   std::deque<Retry> retries_;    ///< RG: killed packets awaiting re-injection
   int outstanding_ = 0;
+
+  /// Scratch for protocol_.subordinates_into in the per-cycle hot paths
+  /// (update_detection, step_mc admission, input_head_blocked) — avoids one
+  /// vector allocation per call.  Safe: all callers run in serial phases.
+  mutable std::vector<OutMsg> subs_scratch_;
+
+  /// Cached admission state for one input slot's head: the subordinate set
+  /// (immutable for a non-Backoff packet's lifetime — txn step chains are
+  /// bound at transaction creation) and whether it currently fits in the
+  /// output queues (valid while `epoch` matches out_epoch_).  A blocked
+  /// head retried every cycle at saturation costs two cached loads instead
+  /// of a transaction-table lookup plus a queue-space scan.
+  struct AdmitCache {
+    PacketId head_id = 0;     ///< packet `subs` was computed for (0 = none)
+    std::uint32_t epoch = 0;  ///< out_epoch_ when `fits` was evaluated
+    bool fits = false;        ///< subs empty or output space available
+    std::vector<OutMsg> subs;
+  };
+  /// Returns the up-to-date admission state for `head` at `slot`.
+  const AdmitCache& admit_state(int slot, const PacketPtr& head);
+  std::vector<AdmitCache> admit_;
+  /// Bumped whenever output queue occupancy or reservations change; a
+  /// cached `fits` verdict from the current epoch is still exact.
+  std::uint32_t out_epoch_ = 1;
 
   Cycle last_progress_ = 0;
   Cycle last_detection_ = 0;

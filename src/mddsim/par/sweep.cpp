@@ -69,7 +69,14 @@ std::vector<RunResult> SweepRunner::run(const std::vector<SimConfig>& configs,
       std::min<std::size_t>(static_cast<std::size_t>(jobs_), n));
   if (!progress) {
     ThreadPool pool(workers);
-    pool.parallel_for(n, run_point);
+    // Grain 1 through the chunked dispatcher: sweep points vary wildly in
+    // cost (saturated points dominate), so claim them one at a time.
+    pool.parallel_for_chunks(n, 1,
+                             [&](std::size_t /*chunk*/, std::size_t begin,
+                                 std::size_t end) {
+                               for (std::size_t i = begin; i < end; ++i)
+                                 run_point(i);
+                             });
     return results;
   }
 

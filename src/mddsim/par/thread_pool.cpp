@@ -24,6 +24,7 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
+  stop_hint_.store(true, std::memory_order_release);
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
@@ -50,12 +51,34 @@ void ThreadPool::drain_job() {
 void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
+    // Spin-then-sleep: a fresh job is announced through generation_hint_
+    // before the cv notify, so a short spin usually catches per-cycle
+    // dispatch without a futex round-trip.  Yield periodically so the spin
+    // cannot starve the dispatching thread on oversubscribed hardware.
+    bool hinted = false;
+    for (int spin = 0; spin < 4096; ++spin) {
+      if (stop_hint_.load(std::memory_order_acquire) ||
+          generation_hint_.load(std::memory_order_acquire) != seen) {
+        hinted = true;
+        break;
+      }
+      if ((spin & 255) == 255) std::this_thread::yield();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || (generation_ != seen && next_ < total_);
-      });
+      if (!hinted) {
+        work_cv_.wait(lock, [&] {
+          return stop_ || (generation_ != seen && next_ < total_);
+        });
+      }
       if (stop_) return;
+      if (generation_ == seen) continue;  // spurious wake, no new job yet
+      if (next_ >= total_) {
+        // The job this hint announced is already exhausted; acknowledge it
+        // so the spin does not re-trigger on the same generation.
+        seen = generation_;
+        continue;
+      }
       seen = generation_;
     }
     drain_job();
@@ -73,6 +96,7 @@ void ThreadPool::parallel_for(std::size_t n,
     live_ = 0;
     error_ = nullptr;
     ++generation_;
+    generation_hint_.store(generation_, std::memory_order_release);
   }
   work_cv_.notify_all();
   drain_job();  // the caller works too
@@ -85,6 +109,19 @@ void ThreadPool::parallel_for(std::size_t n,
     err = error_;
   }
   if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  const std::size_t chunks = (n + g - 1) / g;
+  // One std::function dispatch per chunk; the chunk body runs the tight
+  // index loop directly.
+  parallel_for(chunks, [&](std::size_t k) {
+    fn(k, k * g, std::min(n, (k + 1) * g));
+  });
 }
 
 }  // namespace mddsim::par

@@ -1,13 +1,25 @@
 #pragma once
-// Small fixed-size thread pool with a parallel_for primitive.
+// Small fixed-size thread pool with parallel_for primitives.
 //
-// The pool is built for coarse-grained, embarrassingly-parallel work —
-// whole simulation runs, application traces — not fine-grained loop
-// tiling: tasks are dispatched through a shared index counter, so each
-// task should amortize one atomic fetch and (rarely) one mutex wake-up.
-// Exceptions thrown by a task are captured and the first one is rethrown
-// to the caller of parallel_for after every worker has drained.
+// The pool serves two shapes of work:
+//   - coarse-grained, embarrassingly-parallel tasks (whole simulation runs,
+//     application traces) through parallel_for(n, fn): one dispatch per
+//     index, claimed from a shared counter;
+//   - tight per-element loops (the within-run cycle engine's router/NI
+//     shards) through parallel_for_chunks(n, grain, fn): one dispatch per
+//     *chunk* of `grain` indices, so a hot loop does not pay one
+//     std::function indirection per element.  Chunk boundaries depend only
+//     on (n, grain) — chunk k always covers [k*grain, min(n, (k+1)*grain))
+//     regardless of which thread claims it — which is what lets the cycle
+//     engine use the chunk index as a deterministic shard id.
+//
+// Workers spin briefly on an atomic generation counter before falling back
+// to a condition-variable sleep, so per-phase dispatch from a simulation
+// cycle (two parallel regions per cycle) does not eat the speedup in
+// wake-up latency.  Exceptions thrown by a task are captured and the first
+// one is rethrown to the caller after every worker has drained.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -42,6 +54,15 @@ class ThreadPool {
   /// have returned.  Not reentrant: one parallel_for at a time per pool.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Chunked variant: runs fn(chunk, begin, end) once per chunk, where
+  /// chunk k covers indices [k*grain, min(n, (k+1)*grain)).  One function
+  /// dispatch per chunk instead of per index; chunk geometry is a pure
+  /// function of (n, grain), so callers may key deterministic per-chunk
+  /// state (staging shards) off the chunk id.  grain is clamped to >= 1.
+  void parallel_for_chunks(
+      std::size_t n, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
  private:
   void worker_loop();
   /// Claims indices from the active job until it is exhausted.  Returns
@@ -54,7 +75,8 @@ class ThreadPool {
   std::condition_variable done_cv_;  ///< parallel_for waits here for drain
 
   // Active job state (guarded by mu_; next_ is advanced under the lock so
-  // completion accounting stays exact and simple — task bodies are long).
+  // completion accounting stays exact and simple — task bodies amortize
+  // one lock acquisition each).
   const std::function<void(std::size_t)>* fn_ = nullptr;
   std::size_t total_ = 0;      ///< indices in the active job
   std::size_t next_ = 0;       ///< next unclaimed index
@@ -62,6 +84,11 @@ class ThreadPool {
   std::uint64_t generation_ = 0;  ///< bumped per job so workers re-check
   std::exception_ptr error_;   ///< first exception thrown by a task
   bool stop_ = false;
+
+  // Lock-free mirrors of generation_/stop_ that idle workers spin on
+  // before sleeping on work_cv_ (spin-then-sleep dispatch).
+  std::atomic<std::uint64_t> generation_hint_{0};
+  std::atomic<bool> stop_hint_{false};
 
   std::vector<std::thread> workers_;
 };

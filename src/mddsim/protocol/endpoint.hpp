@@ -42,6 +42,15 @@ class EndpointProtocol {
   virtual std::vector<OutMsg> subordinates(NodeId node,
                                            const Packet& msg) const = 0;
 
+  /// Allocation-free variant of subordinates(): fills `out` (cleared first)
+  /// instead of returning a fresh vector, so per-cycle callers can reuse a
+  /// scratch buffer.  Implementations with cheap subordinate computation
+  /// should override; the default delegates to subordinates().
+  virtual void subordinates_into(NodeId node, const Packet& msg,
+                                 std::vector<OutMsg>& out) const {
+    out = subordinates(node, msg);
+  }
+
   /// Commits the servicing of `msg` at `node` and returns the subordinate
   /// messages to inject.
   virtual std::vector<OutMsg> commit_service(NodeId node,

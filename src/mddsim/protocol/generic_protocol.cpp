@@ -90,6 +90,26 @@ std::vector<OutMsg> GenericProtocol::subordinates(NodeId node,
   return {make_out(t, msg.txn, next)};
 }
 
+void GenericProtocol::subordinates_into(NodeId node, const Packet& msg,
+                                        std::vector<OutMsg>& out) const {
+  // Same answer as subordinates() — at most one follow-on message — but
+  // written into the caller's scratch so the per-cycle detector/admission
+  // paths never allocate.
+  (void)node;
+  out.clear();
+  const Txn& t = txn_of(msg);
+  if (msg.type == MsgType::Backoff) {
+    MDD_CHECK(t.resume_pos >= 0);
+    OutMsg m = make_out(t, msg.txn, t.resume_pos);
+    m.src = t.requester;
+    out.push_back(m);
+    return;
+  }
+  const int next = msg.chain_pos + 1;
+  if (next >= static_cast<int>(t.steps.size())) return;
+  out.push_back(make_out(t, msg.txn, next));
+}
+
 std::vector<OutMsg> GenericProtocol::commit_service(NodeId node,
                                                     const Packet& msg) {
   MDD_CHECK_MSG(!is_terminating(msg.type),

@@ -56,6 +56,8 @@ class GenericProtocol : public EndpointProtocol {
   // --- EndpointProtocol ----------------------------------------------------
   std::vector<OutMsg> subordinates(NodeId node,
                                    const Packet& msg) const override;
+  void subordinates_into(NodeId node, const Packet& msg,
+                         std::vector<OutMsg>& out) const override;
   std::vector<OutMsg> commit_service(NodeId node, const Packet& msg) override;
   SinkResult sink(NodeId node, const Packet& msg) override;
   std::optional<OutMsg> deflect(NodeId node, const Packet& msg) override;

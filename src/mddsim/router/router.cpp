@@ -1,6 +1,7 @@
 #include "mddsim/router/router.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "mddsim/common/assert.hpp"
 #include "mddsim/sim/network.hpp"
@@ -16,44 +17,88 @@ Router::Router(RouterId id, const Topology& topo,
       vcs_(vcs),
       buf_depth_(buf_depth),
       timeout_(timeout) {
-  const int inputs = topo.num_net_ports() + topo.bristling();
-  const int outputs = topo.num_net_ports() + topo.bristling();
-  in_.resize(static_cast<std::size_t>(inputs));
-  out_.resize(static_cast<std::size_t>(outputs));
-  for (auto& port : in_) port.resize(static_cast<std::size_t>(vcs));
-  for (auto& port : out_) {
-    port.resize(static_cast<std::size_t>(vcs));
-    for (auto& ovc : port) ovc.credits = buf_depth;
+  inputs_ = topo.num_net_ports() + topo.bristling();
+  outputs_ = topo.num_net_ports() + topo.bristling();
+  MDD_CHECK_MSG(vcs_ <= 64, "per-port VC bitmasks require vcs <= 64");
+  in_.resize(static_cast<std::size_t>(inputs_ * vcs_));
+  flit_arena_.assign(in_.size() * static_cast<std::size_t>(buf_depth), Flit{});
+  for (std::size_t i = 0; i < in_.size(); ++i) {
+    in_[i].buffer.init(&flit_arena_[i * static_cast<std::size_t>(buf_depth)],
+                       buf_depth);
   }
-  sa_in_rr_.assign(static_cast<std::size_t>(inputs), 0);
-  sa_out_rr_.assign(static_cast<std::size_t>(outputs), 0);
+  MDD_CHECK_MSG(outputs_ < 256 && buf_depth <= 32767,
+                "dense allocation mirrors need ports < 256, depth < 2^15");
+  // Lay out the hot allocation state in one block: 64-bit fields first
+  // (alignment), then the 16-bit arrays.  Sizes in uint64 words.
+  const std::size_t nin = static_cast<std::size_t>(inputs_);
+  const std::size_t nout = static_cast<std::size_t>(outputs_);
+  const std::size_t novc = static_cast<std::size_t>(outputs_ * vcs_);
+  const auto w16 = [](std::size_t n) { return (n + 3) / 4; };  // i16s -> words
+  const std::size_t words = nin + nin + nout + 2 * novc       // masks + SoA
+                            + w16(in_.size()) + w16(novc)         // mirrors
+                            + w16(nin) + 3 * w16(nout);           // rr + scratch
+  hot_arena_.assign(words, 0);
+  std::uint64_t* base = hot_arena_.data();
+  occ_mask_ = base;                 base += nin;
+  routed_mask_ = base;              base += nin;
+  busy_mask_ = base;                base += nout;
+  owner_ = base;                    base += novc;
+  flits_fwd_ = base;                base += novc;
+  route_packed_ = reinterpret_cast<std::uint16_t*>(base);
+  base += w16(in_.size());
+  credits16_ = reinterpret_cast<std::int16_t*>(base);
+  base += w16(novc);
+  sa_in_rr_ = reinterpret_cast<std::int16_t*>(base);
+  base += w16(nin);
+  sa_out_rr_ = reinterpret_cast<std::int16_t*>(base);
+  base += w16(nout);
+  sa_choice_ = reinterpret_cast<std::int16_t*>(base);
+  base += w16(nout);
+  sa_best_rank_ = reinterpret_cast<std::int16_t*>(base);
+  for (std::size_t i = 0; i < novc; ++i) {
+    credits16_[i] = static_cast<std::int16_t>(buf_depth);
+  }
+  nominees_.reserve(static_cast<std::size_t>(inputs_));
 }
 
 bool Router::try_allocate_vc(Cycle now, int port, int vc, Network& net,
                              obs::PhaseProfiler* prof) {
-  auto& ivc = in_[static_cast<std::size_t>(port)][static_cast<std::size_t>(vc)];
+  auto& ivc = ivc_at(port, vc);
   const Flit& head = ivc.buffer.front();
   MDD_CHECK_MSG(head.is_head(), "unrouted VC must have a head flit at front");
-  {
+  // The candidate set is a pure function of (router, packet dst/class,
+  // dateline mask), all constant while this head sits parked at the front,
+  // so compute it once per parked head instead of once per blocked cycle.
+  // Front changes (including a TFAR misroute looping the same packet back
+  // through this router with new dateline state) bump front_epoch.
+  if (ivc.cand_epoch != ivc.front_epoch) {
     obs::ProfScope route_scope(prof, obs::Phase::RouteCompute);
-    routing_.candidates(id_, *head.pkt, cand_buf_);
+    routing_.candidates(id_, *head.pkt, ivc.cand);
+    ivc.cand_epoch = ivc.front_epoch;
   }
-  const int ncand = static_cast<int>(cand_buf_.size());
+  const auto& cands = ivc.cand;
+  const int ncand = static_cast<int>(cands.size());
   // A candidate is grabbed only when the output VC is free AND at least one
   // credit exists, so an allocated packet always advances at least one hop.
   // Adaptive candidates precede the escape candidate; rotate among the
   // adaptive ones for load balance but always fall through to escape.
   const unsigned rot = va_rr_++;
   for (int i = 0; i < ncand; ++i) {
-    const auto& c = cand_buf_[static_cast<std::size_t>(
+    const auto& c = cands[static_cast<std::size_t>(
         (i + static_cast<int>(rot % static_cast<unsigned>(ncand))) % ncand)];
-    auto& ovc = out_[static_cast<std::size_t>(c.port)][static_cast<std::size_t>(c.vc)];
-    if (ovc.busy || ovc.credits <= 0) continue;
-    ovc.busy = true;
-    ovc.owner = head.pkt->id;
+    // Availability test on the dense mirrors only — the OutputVc struct is
+    // touched just once, on the (at most one per call) successful grab.
+    if ((busy_mask_[static_cast<std::size_t>(c.port)] >> c.vc & 1) != 0 ||
+        credits16_[static_cast<std::size_t>(c.port * vcs_ + c.vc)] <= 0)
+      continue;
+    owner_[static_cast<std::size_t>(c.port * vcs_ + c.vc)] = head.pkt->id;
+    busy_mask_[static_cast<std::size_t>(c.port)] |= std::uint64_t{1} << c.vc;
     ivc.route_valid = true;
     ivc.out_port = c.port;
     ivc.out_vc = c.vc;
+    routed_mask_[static_cast<std::size_t>(port)] |= std::uint64_t{1} << vc;
+    route_packed_[static_cast<std::size_t>(port * vcs_ + vc)] =
+        static_cast<std::uint16_t>(c.port << 8 | c.vc);
     if (Tracer* t = net.tracer()) {
       t->vc_alloc(now, head.pkt->id, id_, c.port, c.vc);
     }
@@ -63,8 +108,12 @@ bool Router::try_allocate_vc(Cycle now, int port, int vc, Network& net,
 }
 
 void Router::step(Cycle now, Network& net, obs::PhaseProfiler* prof) {
-  const int inputs = num_inputs();
-  const int outputs = num_outputs();
+  // An idle router (nothing buffered) has nothing to route, allocate, or
+  // traverse; at light-to-moderate load most routers hit this every cycle.
+  if (buffered_flits_ == 0) return;
+
+  const int inputs = inputs_;
+  const int outputs = outputs_;
 
   // Exactly one sub-phase arms per sub-sampled cycle (rotation in
   // sub_armed), so an armed RouteCompute scope never runs inside an armed
@@ -76,18 +125,26 @@ void Router::step(Cycle now, Network& net, obs::PhaseProfiler* prof) {
   obs::PhaseProfiler* sa_prof =
       prof && prof->sub_armed(obs::Phase::SwitchAlloc, now) ? prof : nullptr;
 
+  // Hoisted once per step: the span hooks' argument expressions chase the
+  // Packet pointer, so on spans-off runs the guard must come first or every
+  // stalled VC pays a packet-object cache miss per cycle.
+  const bool spans_on = net.spans() != nullptr;
+
   // --- Route computation + VC allocation for blocked head flits. ---------
   {
     obs::ProfScope va_scope(va_prof, obs::Phase::VcAlloc);
     for (int p = 0; p < inputs; ++p) {
-      for (int v = 0; v < vcs_; ++v) {
-        auto& ivc = in_[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
-        if (ivc.buffer.empty() || ivc.route_valid) continue;
+      // Only VCs holding flits without an allocated route are candidates.
+      std::uint64_t pending = occ_mask_[static_cast<std::size_t>(p)] &
+                              ~routed_mask_[static_cast<std::size_t>(p)];
+      while (pending != 0) {
+        const int v = std::countr_zero(pending);
+        pending &= pending - 1;
         if (!try_allocate_vc(now, p, v, net, rc_prof)) {
           ++vc_stalls_;
-          if (obs::SpanRecorder* sp = net.spans()) {
-            sp->blocked(ivc.buffer.front().pkt->span_idx, now,
-                        obs::BlockCause::VcAlloc);
+          if (spans_on) {
+            net.span_blocked(ivc_at(p, v).buffer.front().pkt->span_idx, now,
+                             obs::BlockCause::VcAlloc);
           }
         }
       }
@@ -97,98 +154,111 @@ void Router::step(Cycle now, Network& net, obs::PhaseProfiler* prof) {
   obs::ProfScope sa_scope(sa_prof, obs::Phase::SwitchAlloc);
 
   // --- Switch allocation: input-first separable round-robin. --------------
-  struct Nominee {
-    int in_port;
-    int in_vc;
-    int out_port;
-  };
   // Per input port, nominate one ready VC.  An injected link/VC stall makes
   // the matching output look ungrantable for the window: flits stay put and
   // credits are untouched, so conservation invariants hold throughout.
   const fi::FaultInjector* fi_inj = net.injector();
   const bool fi_stall = fi_inj && fi_inj->router_has_stall(id_);
-  static thread_local std::vector<Nominee> nominees;
+  // Member scratch, not thread_local: a router is stepped by exactly one
+  // thread per cycle (sharding is by router), and a member avoids the TLS
+  // init-guard branch on every step.
+  std::vector<Nominee>& nominees = nominees_;
   nominees.clear();
   for (int p = 0; p < inputs; ++p) {
+    // Ready = buffered flits on a VC that holds an output allocation.
+    const std::uint64_t ready = occ_mask_[static_cast<std::size_t>(p)] &
+                                routed_mask_[static_cast<std::size_t>(p)];
+    if (ready == 0) continue;
+    // Visit the ready VCs in round-robin order starting at sa_in_rr_[p]:
+    // first the set bits at or above the pointer, then the wrapped-around
+    // ones below it — the same order the old dense scan produced, but each
+    // iteration lands on an actual candidate.
     const int start = sa_in_rr_[static_cast<std::size_t>(p)];
-    for (int i = 0; i < vcs_; ++i) {
-      const int v = (start + i) % vcs_;
-      auto& ivc = in_[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
-      if (ivc.buffer.empty() || !ivc.route_valid) continue;
-      const auto& ovc =
-          out_[static_cast<std::size_t>(ivc.out_port)][static_cast<std::size_t>(ivc.out_vc)];
-      if (ovc.credits <= 0) {
+    std::uint64_t hi = ready & (~std::uint64_t{0} << start);
+    std::uint64_t lo = ready ^ hi;
+    while ((hi | lo) != 0) {
+      int v;
+      if (hi != 0) {
+        v = std::countr_zero(hi);
+        hi &= hi - 1;
+      } else {
+        v = std::countr_zero(lo);
+        lo &= lo - 1;
+      }
+      // Route and credit state come from the dense mirrors: nomination
+      // never touches the InputVc/OutputVc structs on the common paths.
+      const std::uint16_t rp =
+          route_packed_[static_cast<std::size_t>(p * vcs_ + v)];
+      const int op = rp >> 8, ov = rp & 0xff;
+      if (credits16_[static_cast<std::size_t>(op * vcs_ + ov)] <= 0) {
         // Holds an output VC but the downstream buffer is out of credits.
-        if (obs::SpanRecorder* sp = net.spans()) {
-          sp->blocked(ivc.buffer.front().pkt->span_idx, now,
-                      obs::BlockCause::CreditStall);
+        if (spans_on) {
+          net.span_blocked(ivc_at(p, v).buffer.front().pkt->span_idx, now,
+                           obs::BlockCause::CreditStall);
         }
         continue;
       }
-      if (fi_stall && fi_inj->output_stalled(id_, ivc.out_port, ivc.out_vc))
-        continue;
-      nominees.push_back({p, v, ivc.out_port});
+      if (fi_stall && fi_inj->output_stalled(id_, op, ov)) continue;
+      nominees.push_back({p, v, op, ov});
       sa_in_rr_[static_cast<std::size_t>(p)] = (v + 1) % vcs_;
       break;
     }
   }
 
-  // Per output port, grant one nominee.
-  for (int o = 0; o < outputs; ++o) {
-    int chosen = -1;
-    int best_rank = inputs;  // lower is better
-    const int start = sa_out_rr_[static_cast<std::size_t>(o)];
-    for (std::size_t idx = 0; idx < nominees.size(); ++idx) {
-      if (nominees[idx].out_port != o) continue;
-      const int rank = (nominees[idx].in_port - start + inputs) % inputs;
-      if (rank < best_rank) {
-        best_rank = rank;
-        chosen = static_cast<int>(idx);
-      }
+  // Per output port, grant the nominee with the best (lowest) round-robin
+  // rank.  Each input port nominates at most once, so ranks within an
+  // output are distinct and the winner is scan-order independent: one pass
+  // over the nominees replaces the per-output rescan.  Grants still execute
+  // in ascending output-port order, matching the reference event order.
+  if (nominees.empty()) return;
+  for (int o = 0; o < outputs; ++o) sa_choice_[static_cast<std::size_t>(o)] = -1;
+  for (std::size_t idx = 0; idx < nominees.size(); ++idx) {
+    const Nominee& n = nominees[idx];
+    const std::size_t o = static_cast<std::size_t>(n.out_port);
+    const std::int16_t rank = static_cast<std::int16_t>(
+        (n.in_port - sa_out_rr_[o] + inputs) % inputs);
+    if (sa_choice_[o] < 0 || rank < sa_best_rank_[o]) {
+      sa_choice_[o] = static_cast<std::int16_t>(idx);
+      sa_best_rank_[o] = rank;
     }
+  }
+  for (int o = 0; o < outputs; ++o) {
+    const int chosen = sa_choice_[static_cast<std::size_t>(o)];
     if (chosen < 0) continue;
     const Nominee& w = nominees[static_cast<std::size_t>(chosen)];
     sa_out_rr_[static_cast<std::size_t>(o)] = (w.in_port + 1) % inputs;
 
     // --- Switch traversal. ------------------------------------------------
-    auto& ivc = in_[static_cast<std::size_t>(w.in_port)][static_cast<std::size_t>(w.in_vc)];
-    auto& ovc = out_[static_cast<std::size_t>(ivc.out_port)][static_cast<std::size_t>(ivc.out_vc)];
-    Flit f = ivc.buffer.front();
-    ivc.buffer.pop_front();
+    auto& ivc = ivc_at(w.in_port, w.in_vc);
+    const std::size_t oi = static_cast<std::size_t>(w.out_port * vcs_ + w.out_vc);
+    Flit f = ivc.buffer.pop_front();
+    ++ivc.front_epoch;
     --buffered_flits_;
-    if (f.is_head()) routing_.on_head_departure(id_, *f.pkt, ivc.out_port);
-    MDD_CHECK(ovc.credits > 0);
-    --ovc.credits;
-    ++ovc.flits_forwarded;
+    if (ivc.buffer.empty()) {
+      occ_mask_[static_cast<std::size_t>(w.in_port)] &=
+          ~(std::uint64_t{1} << w.in_vc);
+    }
+    if (f.is_head()) routing_.on_head_departure(id_, *f.pkt, w.out_port);
+    MDD_CHECK(credits16_[oi] > 0);
+    --credits16_[oi];
+    ++flits_fwd_[oi];
     const bool tail = f.is_tail();
     if (Tracer* t = net.tracer()) {
-      t->flit_hop(now, f.pkt->id, id_, ivc.out_port, ivc.out_vc);
+      t->flit_hop(now, f.pkt->id, id_, w.out_port, w.out_vc);
     }
-    net.stage_flit(id_, ivc.out_port, ivc.out_vc, std::move(f));
+    net.stage_flit(id_, w.out_port, w.out_vc, std::move(f));
     net.stage_credit_upstream(id_, w.in_port, w.in_vc);
     if (tail) {
-      ovc.busy = false;
-      ovc.owner = 0;
+      owner_[oi] = 0;
+      busy_mask_[static_cast<std::size_t>(w.out_port)] &=
+          ~(std::uint64_t{1} << w.out_vc);
       ivc.route_valid = false;
       ivc.out_port = ivc.out_vc = -1;
+      routed_mask_[static_cast<std::size_t>(w.in_port)] &=
+          ~(std::uint64_t{1} << w.in_vc);
     }
     ivc.last_progress = now;
   }
-}
-
-void Router::deliver_flit(int in_port, int in_vc, Flit f, Cycle now) {
-  auto& ivc = in_[static_cast<std::size_t>(in_port)][static_cast<std::size_t>(in_vc)];
-  MDD_CHECK_MSG(static_cast<int>(ivc.buffer.size()) < buf_depth_,
-                "flit buffer overflow: credit protocol violated");
-  if (ivc.buffer.empty()) ivc.last_progress = now;
-  ivc.buffer.push_back(std::move(f));
-  ++buffered_flits_;
-}
-
-void Router::deliver_credit(int out_port, int vc) {
-  auto& ovc = out_[static_cast<std::size_t>(out_port)][static_cast<std::size_t>(vc)];
-  ++ovc.credits;
-  MDD_CHECK_MSG(ovc.credits <= buf_depth_, "credit overflow");
 }
 
 bool Router::suspects_deadlock(Cycle now) const {
@@ -196,11 +266,15 @@ bool Router::suspects_deadlock(Cycle now) const {
 }
 
 PacketPtr Router::blocked_victim(Cycle now) const {
+  if (buffered_flits_ == 0) return nullptr;
   PacketPtr victim;
   Cycle victim_since = now;
-  for (const auto& port : in_) {
-    for (const auto& ivc : port) {
-      if (ivc.buffer.empty()) continue;
+  for (int p = 0; p < inputs_; ++p) {
+    std::uint64_t occ = occ_mask_[static_cast<std::size_t>(p)];
+    while (occ != 0) {
+      const int v = std::countr_zero(occ);
+      occ &= occ - 1;
+      const InputVc& ivc = input(p, v);
       const Flit& f = ivc.buffer.front();
       if (!f.is_head() || f.pkt->rescued) continue;
       if (now < ivc.last_progress + static_cast<Cycle>(timeout_)) continue;
@@ -215,29 +289,31 @@ PacketPtr Router::blocked_victim(Cycle now) const {
 
 int Router::remove_packet(const PacketPtr& pkt, Network& net, Cycle now) {
   int removed = 0;
-  for (int p = 0; p < num_inputs(); ++p) {
+  for (int p = 0; p < inputs_; ++p) {
     for (int v = 0; v < vcs_; ++v) {
-      auto& ivc = in_[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
+      auto& ivc = ivc_at(p, v);
       if (ivc.route_valid) {
-        auto& ovc =
-            out_[static_cast<std::size_t>(ivc.out_port)][static_cast<std::size_t>(ivc.out_vc)];
-        if (ovc.owner == pkt->id) {
-          ovc.busy = false;
-          ovc.owner = 0;
+        const std::size_t oi =
+            static_cast<std::size_t>(ivc.out_port * vcs_ + ivc.out_vc);
+        if (owner_[oi] == pkt->id) {
+          owner_[oi] = 0;
+          busy_mask_[static_cast<std::size_t>(ivc.out_port)] &=
+              ~(std::uint64_t{1} << ivc.out_vc);
           ivc.route_valid = false;
           ivc.out_port = ivc.out_vc = -1;
+          routed_mask_[static_cast<std::size_t>(p)] &=
+              ~(std::uint64_t{1} << v);
         }
       }
-      auto it = ivc.buffer.begin();
-      while (it != ivc.buffer.end()) {
-        if (it->pkt->id == pkt->id) {
-          it = ivc.buffer.erase(it);
-          --buffered_flits_;
-          ++removed;
-          net.stage_credit_upstream(id_, p, v);
-          ivc.last_progress = now;
-        } else {
-          ++it;
+      const int erased = ivc.buffer.remove_packet(pkt->id);
+      if (erased > 0) {
+        ++ivc.front_epoch;  // extraction may expose a different front
+        buffered_flits_ -= erased;
+        removed += erased;
+        for (int k = 0; k < erased; ++k) net.stage_credit_upstream(id_, p, v);
+        ivc.last_progress = now;
+        if (ivc.buffer.empty()) {
+          occ_mask_[static_cast<std::size_t>(p)] &= ~(std::uint64_t{1} << v);
         }
       }
     }
@@ -247,9 +323,7 @@ int Router::remove_packet(const PacketPtr& pkt, Network& net, Cycle now) {
 
 int Router::scan_buffered_flits() const {
   int total = 0;
-  for (const auto& port : in_) {
-    for (const auto& ivc : port) total += static_cast<int>(ivc.buffer.size());
-  }
+  for (const auto& ivc : in_) total += static_cast<int>(ivc.buffer.size());
   return total;
 }
 

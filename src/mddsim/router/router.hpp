@@ -8,14 +8,21 @@
 // returns a credit upstream.  Links have one cycle of latency; staged flits
 // and credits are committed by the Network at the end of the cycle.
 //
+// Hot-state layout: the per-VC state lives in flat arrays indexed
+// port*vcs+vc (struct-of-arrays style) with fixed-capacity flit rings
+// instead of deques, and per-port occupancy/route bitmasks so the per-cycle
+// allocation loops touch only VCs that actually hold flits.  A router with
+// zero buffered flits costs one branch per cycle.
+//
 // Port numbering: inputs  [0, 2n)            network (dim*2+dir)
 //                 inputs  [2n, 2n+B)         injection from local NIs
 //                 outputs [0, 2n)            network
 //                 outputs [2n, 2n+B)         ejection to local NIs
 
-#include <deque>
+#include <cstdint>
 #include <vector>
 
+#include "mddsim/common/assert.hpp"
 #include "mddsim/common/types.hpp"
 #include "mddsim/flow/packet.hpp"
 #include "mddsim/obs/profile.hpp"
@@ -25,16 +32,92 @@ namespace mddsim {
 
 class Network;
 
+/// Fixed-capacity in-order flit buffer (ring).  The slot storage lives in
+/// the owning router's contiguous flit arena (one allocation for every VC
+/// of every port), so walking a router's buffers in the per-cycle loops
+/// touches one dense block instead of one heap island per VC; capacity
+/// equals the link's credit depth, so push/pop never allocate.
+class FlitRing {
+ public:
+  void init(Flit* slots, int capacity) {
+    slots_ = slots;
+    cap_ = capacity;
+    head_ = count_ = 0;
+  }
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return static_cast<std::size_t>(count_); }
+  int capacity() const { return cap_; }
+  const Flit& front() const { return slots_[static_cast<std::size_t>(head_)]; }
+  Flit& front() { return slots_[static_cast<std::size_t>(head_)]; }
+  /// i-th flit from the head (0 = front).
+  const Flit& operator[](std::size_t i) const {
+    return slots_[static_cast<std::size_t>(wrap(head_ + static_cast<int>(i)))];
+  }
+  void push_back(Flit f) {
+    slots_[static_cast<std::size_t>(wrap(head_ + count_))] = std::move(f);
+    ++count_;
+  }
+  Flit pop_front() {
+    Flit f = std::move(slots_[static_cast<std::size_t>(head_)]);
+    slots_[static_cast<std::size_t>(head_)] = Flit{};
+    head_ = wrap(head_ + 1);
+    --count_;
+    return f;
+  }
+  /// Removes every flit of packet `id`, preserving the order of the rest;
+  /// returns how many were removed (recovery-engine packet extraction).
+  int remove_packet(PacketId id) {
+    int kept = 0, removed = 0;
+    for (int i = 0; i < count_; ++i) {
+      Flit f = std::move(slots_[static_cast<std::size_t>(wrap(head_ + i))]);
+      if (f.pkt->id == id) {
+        ++removed;
+      } else {
+        slots_[static_cast<std::size_t>(wrap(head_ + kept))] = std::move(f);
+        ++kept;
+      }
+    }
+    for (int i = kept; i < count_; ++i) {
+      slots_[static_cast<std::size_t>(wrap(head_ + i))] = Flit{};
+    }
+    count_ = kept;
+    return removed;
+  }
+
+ private:
+  int wrap(int i) const { return i >= cap_ ? i - cap_ : i; }
+  Flit* slots_ = nullptr;  ///< cap_ slots inside the router's flit arena
+  int cap_ = 0;
+  int head_ = 0;
+  int count_ = 0;
+};
+
 /// State of one input virtual channel.
 struct InputVc {
-  std::deque<Flit> buffer;
+  FlitRing buffer;
   bool route_valid = false;  ///< an output VC is currently allocated
   int out_port = -1;
   int out_vc = -1;
   Cycle last_progress = 0;   ///< last cycle a flit arrived or departed
+  // Route-candidate cache: real routers compute a head's route once when it
+  // reaches the buffer head, not every cycle it sits blocked.  `cand` holds
+  // routing_.candidates() for the flit that was at the front when
+  // `cand_epoch` last caught up with `front_epoch`; the epoch is bumped at
+  // every front change (delivery to an empty buffer, traversal pop, packet
+  // removal), and a packet's routing inputs (dst, class, dateline mask) are
+  // immutable while it sits parked, so an up-to-date epoch means the cached
+  // set is exact.  Bit-identical to recomputing every cycle, and the
+  // up-to-date check never touches the Packet object.
+  std::uint32_t front_epoch = 1;  ///< bumped whenever the buffer front changes
+  std::uint32_t cand_epoch = 0;   ///< front_epoch the cache was computed at
+  std::vector<RouteCandidate> cand;
 };
 
-/// State of one output virtual channel (tracks the downstream buffer).
+/// Snapshot of one output virtual channel (tracks the downstream buffer).
+/// The router stores this state struct-of-arrays (credits, busy bits,
+/// owners, and forward counters live in separate dense arrays inside the
+/// hot arena); Router::output() assembles this view on demand for external
+/// readers (CWG detector, telemetry, tests).
 struct OutputVc {
   int credits = 0;     ///< free flit slots in the downstream buffer
   bool busy = false;   ///< allocated to an in-flight packet
@@ -48,26 +131,54 @@ class Router {
          int vcs, int buf_depth, int timeout);
 
   RouterId id() const { return id_; }
-  int num_inputs() const { return static_cast<int>(in_.size()); }
-  int num_outputs() const { return static_cast<int>(out_.size()); }
+  int num_inputs() const { return inputs_; }
+  int num_outputs() const { return outputs_; }
   int vcs() const { return vcs_; }
   int buf_depth() const { return buf_depth_; }
 
   /// Runs one router cycle; sends flits/credits through `net` staging.
   /// `prof` is non-null only on cycles the network has chosen to sample
   /// (see obs::PhaseProfiler::sampled); the router then attributes its
-  /// allocation and traversal wall-time to the per-phase profile.
+  /// allocation and traversal wall-time to the per-phase profile.  Safe to
+  /// call concurrently for distinct routers: all mutation is router-local,
+  /// and shared effects (staging, span attribution) go through the
+  /// network's per-shard staging API.
   void step(Cycle now, Network& net, obs::PhaseProfiler* prof = nullptr);
 
-  /// Link delivery (called by Network at commit time).
-  void deliver_flit(int in_port, int in_vc, Flit f, Cycle now);
-  void deliver_credit(int out_port, int vc);
+  /// Link delivery (called by Network at commit time).  Inline: commit
+  /// executes one call per staged event, so call overhead is the dominant
+  /// cost of these two-line bodies.
+  void deliver_flit(int in_port, int in_vc, Flit f, Cycle now) {
+    auto& ivc = ivc_at(in_port, in_vc);
+    MDD_CHECK_MSG(static_cast<int>(ivc.buffer.size()) < buf_depth_,
+                  "flit buffer overflow: credit protocol violated");
+    if (ivc.buffer.empty()) {
+      ivc.last_progress = now;
+      ++ivc.front_epoch;  // the arriving flit becomes the new front
+    }
+    ivc.buffer.push_back(std::move(f));
+    occ_mask_[static_cast<std::size_t>(in_port)] |= std::uint64_t{1} << in_vc;
+    ++buffered_flits_;
+  }
+  void deliver_credit(int out_port, int vc) {
+    const std::size_t i = static_cast<std::size_t>(out_port * vcs_ + vc);
+    ++credits16_[i];
+    MDD_CHECK_MSG(credits16_[i] <= buf_depth_, "credit overflow");
+  }
 
   const InputVc& input(int port, int vc) const {
-    return in_[static_cast<std::size_t>(port)][static_cast<std::size_t>(vc)];
+    return in_[static_cast<std::size_t>(port * vcs_ + vc)];
   }
-  const OutputVc& output(int port, int vc) const {
-    return out_[static_cast<std::size_t>(port)][static_cast<std::size_t>(vc)];
+  /// Assembled from the SoA arrays; cold-path readers only — the router's
+  /// own step never materializes this snapshot.
+  OutputVc output(int port, int vc) const {
+    const std::size_t i = static_cast<std::size_t>(port * vcs_ + vc);
+    OutputVc o;
+    o.credits = credits16_[i];
+    o.busy = (busy_mask_[static_cast<std::size_t>(port)] >> vc & 1) != 0;
+    o.owner = owner_[i];
+    o.flits_forwarded = flits_fwd_[i];
+    return o;
   }
 
   /// True when some packet header has been blocked at an input VC for more
@@ -100,6 +211,17 @@ class Router {
   std::uint64_t vc_stall_cycles() const { return vc_stalls_; }
 
  private:
+  /// One switch-allocation nominee: input (port, vc) and its held route.
+  struct Nominee {
+    int in_port;
+    int in_vc;
+    int out_port;
+    int out_vc;
+  };
+
+  InputVc& ivc_at(int port, int vc) {
+    return in_[static_cast<std::size_t>(port * vcs_ + vc)];
+  }
   bool try_allocate_vc(Cycle now, int port, int vc, Network& net,
                        obs::PhaseProfiler* prof);
 
@@ -109,12 +231,39 @@ class Router {
   int vcs_;
   int buf_depth_;
   int timeout_;
-  std::vector<std::vector<InputVc>> in_;    // [port][vc]
-  std::vector<std::vector<OutputVc>> out_;  // [port][vc]
-  std::vector<int> sa_in_rr_;   // per-input-port VC round-robin pointer
-  std::vector<int> sa_out_rr_;  // per-output-port input round-robin pointer
+  int inputs_ = 0;
+  int outputs_ = 0;
+  std::vector<Flit> flit_arena_;  // backing slots for every input VC ring
+  std::vector<InputVc> in_;  // flat [port*vcs + vc]
+  // Hot per-cycle allocation state, packed into one contiguous block
+  // (hot_arena_) so a router step touches a handful of consecutive cache
+  // lines instead of one heap island per array.  All pointers below alias
+  // into hot_arena_; layout is fixed at construction.
+  //
+  // occ/routed: per-input-port bitmasks over VCs — occupied (buffer
+  // non-empty) and routed (route_valid).  occ & ~routed = candidates for
+  // VC allocation; occ & routed = candidates for switch-allocation
+  // nomination.  busy: per-output-port OutputVc::busy bitmask.
+  std::uint64_t* occ_mask_ = nullptr;     // [inputs]
+  std::uint64_t* routed_mask_ = nullptr;  // [inputs]
+  std::uint64_t* busy_mask_ = nullptr;    // [outputs]
+  // Dense struct-of-arrays output-VC state (authoritative — there is no
+  // AoS OutputVc storage; output() assembles snapshots for external
+  // readers).  route_packed_ mirrors InputVc::{out_port,out_vc} so the
+  // switch-allocation loop never strides over the InputVc structs.
+  std::uint16_t* route_packed_ = nullptr;  // in [p*vcs+v]: out_port<<8|out_vc
+  std::int16_t* credits16_ = nullptr;      // out [p*vcs+v]: downstream slots
+  PacketId* owner_ = nullptr;              // out [p*vcs+v]: holder when busy
+  std::uint64_t* flits_fwd_ = nullptr;     // out [p*vcs+v]: lifetime counter
+  std::int16_t* sa_in_rr_ = nullptr;   // [inputs] VC round-robin pointer
+  std::int16_t* sa_out_rr_ = nullptr;  // [outputs] input round-robin pointer
+  // Per-output scratch for single-pass grant selection (valid within one
+  // step call only): winning nominee index and its round-robin rank.
+  std::int16_t* sa_choice_ = nullptr;     // [outputs]
+  std::int16_t* sa_best_rank_ = nullptr;  // [outputs]
+  std::vector<std::uint64_t> hot_arena_;  // backing store for the above
+  std::vector<Nominee> nominees_;  // per-step switch-allocation scratch
   unsigned va_rr_ = 0;          // VC-allocation rotation counter
-  std::vector<RouteCandidate> cand_buf_;
   int buffered_flits_ = 0;      // flits across all input VC buffers
   std::uint64_t vc_stalls_ = 0; // head-flit VC-allocation failures
 };

@@ -48,7 +48,7 @@ RouteCandidate RoutingAlgorithm::escape_candidate(RouterId r,
   if (r == dst_router) {
     return {eject_port(pkt.dst), cr.base};
   }
-  std::vector<DimHop>& hops = hops_scratch_;
+  static thread_local std::vector<DimHop> hops;
   topo_.min_hops(r, dst_router, hops);
   MDD_CHECK(!hops.empty());
   // Deterministic DOR choice: lowest dimension; on an equidistant tie take
@@ -77,7 +77,7 @@ void RoutingAlgorithm::candidates(RouterId r, const Packet& pkt,
   }
   const ClassRange& cr = layout_.of_class(pkt.vc_class);
   if (kind_ != Kind::DOR) {
-    std::vector<DimHop>& hops = hops_scratch_;
+    static thread_local std::vector<DimHop> hops;
     topo_.min_hops(r, dst_router, hops);
     const int first_adaptive =
         kind_ == Kind::TFAR ? cr.base : cr.base + cr.escape;

@@ -67,11 +67,10 @@ class RoutingAlgorithm {
   Kind kind_;
   const Topology& topo_;
   VcLayout layout_;
-  /// Reusable min_hops scratch: candidates() runs for every blocked head
-  /// every cycle, so per-call vector allocation is measurable.  Makes the
-  /// algorithm non-reentrant; each Network owns its own instance and a
-  /// simulation is single-threaded, so this is safe.
-  mutable std::vector<DimHop> hops_scratch_;
+  // min_hops scratch is a function-local thread_local in routing.cpp:
+  // candidates() runs for every blocked head every cycle (per-call vector
+  // allocation is measurable) and must stay safe under the within-run
+  // sharded router phase, where multiple threads route concurrently.
 };
 
 }  // namespace mddsim

@@ -1,12 +1,17 @@
 #include "mddsim/sim/network.hpp"
 
+#include <algorithm>
+
 #include "mddsim/common/assert.hpp"
 #include "mddsim/core/cwg.hpp"
 #include "mddsim/core/recovery.hpp"
 #include "mddsim/core/regressive.hpp"
+#include "mddsim/par/thread_pool.hpp"
 #include "mddsim/protocol/pattern.hpp"
 
 namespace mddsim {
+
+thread_local int Network::t_shard_ = 0;
 
 namespace {
 
@@ -46,6 +51,31 @@ Network::Network(const SimConfig& cfg, EndpointProtocol& protocol)
         n, cfg_, cmap_, qmap_, layout_, protocol, *this));
   }
 
+  // Link table: for each (router, network port) the neighboring router and
+  // the matching port on its side.  stage_flit / stage_credit_upstream are
+  // the hottest per-cycle network calls; this turns their per-event
+  // coordinate math (div/mod + Topology::neighbor) into one indexed load.
+  {
+    const int net_ports = topo_.num_net_ports();
+    link_to_.assign(
+        static_cast<std::size_t>(topo_.num_routers()) *
+            static_cast<std::size_t>(net_ports),
+        LinkEnd{kInvalidRouter, -1});
+    for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+      for (int p = 0; p < net_ports; ++p) {
+        const int dim = p / 2, dir = p % 2;
+        const RouterId nr = topo_.neighbor(r, dim, dir);
+        if (nr == kInvalidRouter) continue;
+        link_to_[static_cast<std::size_t>(r) * net_ports + p] = {
+            nr, dim * 2 + (1 - dir)};
+      }
+    }
+  }
+
+  // Serial staging lives in shard 0; set_intra_jobs grows the shard set.
+  shards_.resize(1);
+  reserve_shard(shards_[0]);
+
   if (cfg.scheme == Scheme::PR) {
     // One engine per token; start positions staggered around the ring.
     const int stops = topo_.num_routers() * (1 + topo_.bristling());
@@ -61,6 +91,47 @@ Network::Network(const SimConfig& cfg, EndpointProtocol& protocol)
 }
 
 Network::~Network() = default;
+
+void Network::reserve_shard(StageShard& s) const {
+  // Upper bounds on one cycle's staging traffic: every router can emit at
+  // most one flit (+credit) per output port, every NI at most two injection
+  // flits (output stream + source stream) and one ejection credit.  Sized
+  // for the whole network rather than one shard so reallocation never
+  // occurs regardless of how routers distribute over shards.
+  const std::size_t routers = static_cast<std::size_t>(topo_.num_routers());
+  const std::size_t ports =
+      static_cast<std::size_t>(topo_.num_net_ports() + topo_.bristling());
+  const std::size_t nodes = static_cast<std::size_t>(topo_.num_nodes());
+  s.router_flits.reserve(routers * ports + 2 * nodes);
+  s.ni_flits.reserve(routers * static_cast<std::size_t>(topo_.bristling()));
+  s.router_credits.reserve(routers * ports + nodes);
+  s.ni_credits.reserve(2 * nodes);
+  s.span_events.reserve(4 * nodes);
+  s.injected.reserve(2 * nodes);
+}
+
+void Network::set_intra_jobs(int jobs) {
+  const int j = std::max(1, jobs);
+  if (j == intra_jobs_) return;
+  intra_jobs_ = j;
+  engine_pool_.reset();
+  if (j > 1) engine_pool_ = std::make_unique<par::ThreadPool>(j);
+  shards_.resize(static_cast<std::size_t>(j));
+  for (auto& s : shards_) reserve_shard(s);
+}
+
+bool Network::parallel_active() const {
+  // The tracer's event ring is shared and strictly ordered, so an attached
+  // tracer forces the serial path (results are identical either way).
+  return engine_pool_ != nullptr && tracer() == nullptr;
+}
+
+void Network::advance_idle(Cycle k) {
+  if (k == 0) return;
+  MDD_CHECK_MSG(idle(), "advance_idle requires a fully drained network");
+  for (auto& engine : recovery_) engine->fast_forward(k);
+  cycle_ += k;
+}
 
 void Network::set_observer(EndpointObserver* obs) { observer_ = obs; }
 
@@ -81,6 +152,58 @@ PacketPtr Network::make_packet(const OutMsg& m, Cycle now) {
   return pkt;
 }
 
+void Network::parallel_router_step(Cycle now) {
+  const std::size_t n = routers_.size();
+  const std::size_t jobs = static_cast<std::size_t>(engine_pool_->size());
+  const std::size_t grain = (n + jobs - 1) / jobs;
+  in_parallel_ = true;
+  engine_pool_->parallel_for_chunks(
+      n, grain, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        t_shard_ = static_cast<int>(chunk);
+        // Sub-phase profilers are main-thread-only; workers skip them (the
+        // RouterStep phase itself is timed around this region).
+        for (std::size_t i = begin; i < end; ++i) {
+          routers_[i]->step(now, *this, nullptr);
+        }
+        t_shard_ = 0;
+      });
+  in_parallel_ = false;
+  flush_deferred(now);
+}
+
+void Network::parallel_ni_inject(Cycle now) {
+  const std::size_t n = nis_.size();
+  const std::size_t jobs = static_cast<std::size_t>(engine_pool_->size());
+  const std::size_t grain = (n + jobs - 1) / jobs;
+  in_parallel_ = true;
+  engine_pool_->parallel_for_chunks(
+      n, grain, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        t_shard_ = static_cast<int>(chunk);
+        for (std::size_t i = begin; i < end; ++i) nis_[i]->step_inject(now);
+        t_shard_ = 0;
+      });
+  in_parallel_ = false;
+  flush_deferred(now);
+}
+
+void Network::flush_deferred(Cycle now) {
+  // Shard-major replay: chunk k held component indices [k*grain, (k+1)*grain),
+  // and each component appended its events in program order, so the
+  // concatenation is exactly the order serial execution produces.
+  for (auto& shard : shards_) {
+    if (observer_ != nullptr) {
+      for (NodeId node : shard.injected) observer_->on_flit_injected(node, now);
+    }
+    shard.injected.clear();
+    if (obs::SpanRecorder* sp = spans()) {
+      for (const SpanEvent& e : shard.span_events) {
+        sp->blocked(e.idx, now, e.cause);
+      }
+    }
+    shard.span_events.clear();
+  }
+}
+
 void Network::step() {
   const Cycle now = cycle_;
   // Wall-clock scopes are armed only on sampled cycles (see obs/profile.hpp);
@@ -92,6 +215,8 @@ void Network::step() {
   // clock reads from inflating the RouterStep measurement.
   obs::PhaseProfiler* sub =
       prof && prof->sub_sampled(now) ? prof : nullptr;
+
+  const bool par = parallel_active();
 
   // Fault injection: advance the injector's windows before any phase reads
   // its predicates, so a fault scheduled for cycle C takes effect in C.
@@ -124,15 +249,27 @@ void Network::step() {
     if (regress_) regress_->step(now);
   }
   {
+    // step_pending can create packets (sequential ids) and call into the
+    // protocol, so it always runs serially; step_inject touches only
+    // NI-local state + staging and may shard.  The pending/inject loop
+    // split is itself bit-identical to the historic interleaved form:
+    // the phases of distinct NIs are independent, and all make_packet
+    // calls happen in step_pending, in unchanged NI order.
     obs::ProfScope scope(sampled, obs::Phase::NiInject);
-    for (auto& ni : nis_) {
-      ni->step_pending(now);
-      ni->step_inject(now);
+    for (auto& ni : nis_) ni->step_pending(now);
+    if (par) {
+      parallel_ni_inject(now);
+    } else {
+      for (auto& ni : nis_) ni->step_inject(now);
     }
   }
   {
     obs::ProfScope scope(sampled, obs::Phase::RouterStep);
-    for (auto& r : routers_) r->step(now, *this, sub);
+    if (par) {
+      parallel_router_step(now);
+    } else {
+      for (auto& r : routers_) r->step(now, *this, sub);
+    }
   }
   {
     obs::ProfScope scope(sampled, obs::Phase::LinkTraversal);
@@ -151,65 +288,37 @@ void Network::step() {
   ++cycle_;
 }
 
-void Network::stage_flit(RouterId from, int out_port, int out_vc, Flit f) {
-  const int net_ports = topo_.num_net_ports();
-  if (out_port < net_ports) {
-    const int dim = out_port / 2, dir = out_port % 2;
-    const RouterId nr = topo_.neighbor(from, dim, dir);
-    MDD_CHECK(nr != kInvalidRouter);
-    staged_router_flits_.push_back(
-        {nr, dim * 2 + (1 - dir), out_vc, std::move(f)});
-  } else {
-    const NodeId node = topo_.node_of(from, out_port - net_ports);
-    staged_ni_flits_.push_back({node, out_vc, std::move(f)});
-  }
-}
-
-void Network::stage_credit_upstream(RouterId at, int in_port, int in_vc) {
-  const int net_ports = topo_.num_net_ports();
-  if (in_port < net_ports) {
-    const int dim = in_port / 2, dir = in_port % 2;
-    const RouterId up = topo_.neighbor(at, dim, dir);
-    MDD_CHECK(up != kInvalidRouter);
-    staged_router_credits_.push_back({up, dim * 2 + (1 - dir), in_vc});
-  } else {
-    const NodeId node = topo_.node_of(at, in_port - net_ports);
-    staged_ni_credits_.push_back({node, in_vc});
-  }
-}
-
-void Network::stage_injection_flit(NodeId node, int vc, Flit f) {
-  const RouterId r = topo_.router_of_node(node);
-  const int port = topo_.num_net_ports() + topo_.slot_of_node(node);
-  staged_router_flits_.push_back({r, port, vc, std::move(f)});
-}
-
-void Network::stage_ejection_credit(NodeId node, int vc) {
-  const RouterId r = topo_.router_of_node(node);
-  const int port = topo_.num_net_ports() + topo_.slot_of_node(node);
-  staged_router_credits_.push_back({r, port, vc});
-}
-
 void Network::commit() {
   const Cycle now = cycle_;
-  for (auto& e : staged_router_flits_) {
-    routers_[static_cast<std::size_t>(e.r)]->deliver_flit(e.port, e.vc,
-                                                          std::move(e.f), now);
+  // Fixed shard-major merge.  Each (router, port, vc) / (node, vc) target
+  // receives at most one flit per cycle and credits are increments, so the
+  // merged delivery is independent of how entries distributed over shards.
+  for (auto& shard : shards_) {
+    for (auto& e : shard.router_flits) {
+      routers_[static_cast<std::size_t>(e.r)]->deliver_flit(
+          e.port, e.vc, std::move(e.f), now);
+    }
+    shard.router_flits.clear();
   }
-  staged_router_flits_.clear();
-  for (auto& e : staged_ni_flits_) {
-    nis_[static_cast<std::size_t>(e.node)]->deliver_ejected_flit(std::move(e.f),
-                                                                 e.vc, now);
+  for (auto& shard : shards_) {
+    for (auto& e : shard.ni_flits) {
+      nis_[static_cast<std::size_t>(e.node)]->deliver_ejected_flit(
+          std::move(e.f), e.vc, now);
+    }
+    shard.ni_flits.clear();
   }
-  staged_ni_flits_.clear();
-  for (const auto& e : staged_router_credits_) {
-    routers_[static_cast<std::size_t>(e.r)]->deliver_credit(e.port, e.vc);
+  for (auto& shard : shards_) {
+    for (const auto& e : shard.router_credits) {
+      routers_[static_cast<std::size_t>(e.r)]->deliver_credit(e.port, e.vc);
+    }
+    shard.router_credits.clear();
   }
-  staged_router_credits_.clear();
-  for (const auto& e : staged_ni_credits_) {
-    nis_[static_cast<std::size_t>(e.node)]->deliver_injection_credit(e.vc);
+  for (auto& shard : shards_) {
+    for (const auto& e : shard.ni_credits) {
+      nis_[static_cast<std::size_t>(e.node)]->deliver_injection_credit(e.vc);
+    }
+    shard.ni_credits.clear();
   }
-  staged_ni_credits_.clear();
 }
 
 std::vector<double> Network::vc_utilization() const {
@@ -235,15 +344,19 @@ int Network::flits_in_network() const {
   int total = 0;
   for (const auto& r : routers_) total += r->total_buffered_flits();
   for (const auto& ni : nis_) total += ni->total_ejection_flits();
-  total += static_cast<int>(staged_router_flits_.size());
-  total += static_cast<int>(staged_ni_flits_.size());
+  for (const auto& shard : shards_) {
+    total += static_cast<int>(shard.router_flits.size());
+    total += static_cast<int>(shard.ni_flits.size());
+  }
   return total;
 }
 
 void Network::check_flow_invariants() const {
-  MDD_CHECK_MSG(staged_router_flits_.empty() && staged_ni_flits_.empty() &&
-                    staged_router_credits_.empty() && staged_ni_credits_.empty(),
-                "invariant check must run between cycles");
+  for (const auto& shard : shards_) {
+    MDD_CHECK_MSG(shard.router_flits.empty() && shard.ni_flits.empty() &&
+                      shard.router_credits.empty() && shard.ni_credits.empty(),
+                  "invariant check must run between cycles");
+  }
   const int net_ports = topo_.num_net_ports();
   for (RouterId r = 0; r < topo_.num_routers(); ++r) {
     const Router& router = *routers_[static_cast<std::size_t>(r)];

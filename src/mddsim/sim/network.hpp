@@ -3,7 +3,15 @@
 // owns the per-cycle schedule, and mediates all flit/credit movement with
 // one cycle of link latency (events staged during a cycle are committed at
 // its end).
+//
+// Within-run parallelism (DESIGN.md §15): with set_intra_jobs(J>1) the two
+// phases whose work touches only component-local state — RouterStep and the
+// NI injection sub-phase — run sharded across a par::ThreadPool.  Staging
+// and the deferred observability effects go into per-shard buffers keyed by
+// a deterministic chunk id, and are merged/replayed in fixed shard-major
+// order, so results are bit-identical to serial execution at any J.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -22,6 +30,10 @@
 #include "mddsim/topology/topology.hpp"
 
 namespace mddsim {
+
+namespace par {
+class ThreadPool;
+}
 
 class RecoveryEngine;
 class RegressiveEngine;
@@ -48,6 +60,24 @@ class Network {
   /// Runs one cycle of the whole system.
   void step();
 
+  /// Within-run parallelism degree: J > 1 shards RouterStep and NI
+  /// injection across a thread pool (bit-identical to serial); J <= 1
+  /// drops back to pure serial execution.  An execution parameter, not a
+  /// SimConfig key: it never appears in config_to_string, so provenance
+  /// hashes and fi seeds are unaffected.  The value is taken literally —
+  /// J beyond par::hardware_threads() oversubscribes (the pool's
+  /// spin-then-sleep workers degrade gracefully but add overhead), which
+  /// the identity tests exploit to exercise the sharded path on any
+  /// machine; pickers that want speed should pass min(J, hardware).
+  void set_intra_jobs(int jobs);
+  int intra_jobs() const { return intra_jobs_; }
+
+  /// Quiescence skip (Simulator event-driven core): advances the clock by
+  /// `k` cycles without stepping, exactly as `k` step() calls on an idle
+  /// network would — circulating recovery tokens are fast-forwarded so
+  /// their positions and move counters match.  Caller must hold idle().
+  void advance_idle(Cycle k);
+
   Cycle now() const { return cycle_; }
   const SimConfig& config() const { return cfg_; }
   const Topology& topology() const { return topo_; }
@@ -63,10 +93,43 @@ class Network {
   const NetworkInterface& ni(NodeId n) const { return *nis_[static_cast<std::size_t>(n)]; }
 
   // --- Staging API (used by routers and NIs during a cycle). ---------------
+  // Inside a parallel region each call lands in the calling shard's staging
+  // buffers; commit() merges shards in fixed order, and since every
+  // (component, port, vc) target receives at most one flit per cycle and
+  // credits are commutative increments, delivery is order-independent and
+  // bit-identical to serial.
+  // Defined inline below the class body: routers call these once per
+  // traversed flit, so call overhead matters.
   void stage_flit(RouterId from, int out_port, int out_vc, Flit f);
   void stage_credit_upstream(RouterId at, int in_port, int in_vc);
   void stage_injection_flit(NodeId node, int vc, Flit f);
   void stage_ejection_credit(NodeId node, int vc);
+
+  // --- Parallel-safe observability hooks. ----------------------------------
+  /// Span blocked-time attribution from router/NI hot paths.  Serial: calls
+  /// straight through to the recorder.  Inside a parallel region: defers
+  /// into the shard's event log, replayed in shard-major order after the
+  /// region — which is exactly the component-index order serial execution
+  /// would have produced.
+  void span_blocked(std::int32_t span_idx, Cycle now, obs::BlockCause cause) {
+    if (obs::SpanRecorder* sp = spans()) {
+      if (in_parallel_) {
+        shards_[static_cast<std::size_t>(t_shard_)].span_events.push_back(
+            {span_idx, cause});
+      } else {
+        sp->blocked(span_idx, now, cause);
+      }
+    }
+  }
+  /// EndpointObserver::on_flit_injected with the same deferral contract.
+  void notify_flit_injected(NodeId node, Cycle now) {
+    if (observer_ == nullptr) return;
+    if (in_parallel_) {
+      shards_[static_cast<std::size_t>(t_shard_)].injected.push_back(node);
+    } else {
+      observer_->on_flit_injected(node, now);
+    }
+  }
 
   // --- Packet factory / measurement window. --------------------------------
   /// Builds a packet for `m`, recycling storage through the free-list pool
@@ -85,6 +148,8 @@ class Network {
   /// Attaches (or detaches with nullptr) the flit-level event tracer.  When
   /// tracing is compiled out (MDDSIM_TRACE=OFF) the getter is a constant
   /// nullptr, so every `if (Tracer* t = net.tracer())` hook folds away.
+  /// An attached tracer forces serial execution (its event buffer is
+  /// order-sensitive and shared).
   void set_tracer(Tracer* t) { tracer_ = t; }
   Tracer* tracer() const {
 #if MDDSIM_TRACE_ENABLED
@@ -184,8 +249,30 @@ class Network {
     NodeId node;
     int vc;
   };
+  struct SpanEvent {
+    std::int32_t idx;
+    obs::BlockCause cause;
+  };
+  /// Per-shard staging + deferred-effect buffers.  Serial phases use shard
+  /// 0; a parallel region's chunk k writes shard k.
+  struct StageShard {
+    std::vector<FlitToRouter> router_flits;
+    std::vector<FlitToNi> ni_flits;
+    std::vector<CreditToRouter> router_credits;
+    std::vector<CreditToNi> ni_credits;
+    std::vector<SpanEvent> span_events;
+    std::vector<NodeId> injected;
+  };
 
   void commit();
+  /// True when this cycle's shardable phases should run on the pool.
+  bool parallel_active() const;
+  void parallel_router_step(Cycle now);
+  void parallel_ni_inject(Cycle now);
+  /// Replays a parallel region's deferred span/observer events in
+  /// shard-major order (= serial component order) and clears the logs.
+  void flush_deferred(Cycle now);
+  void reserve_shard(StageShard& s) const;
 
   SimConfig cfg_;
   Topology topo_;
@@ -199,10 +286,23 @@ class Network {
   std::unique_ptr<RegressiveEngine> regress_;
   std::unique_ptr<CwgDetector> oracle_;
 
-  std::vector<FlitToRouter> staged_router_flits_;
-  std::vector<FlitToNi> staged_ni_flits_;
-  std::vector<CreditToRouter> staged_router_credits_;
-  std::vector<CreditToNi> staged_ni_credits_;
+  /// Precomputed link endpoints: for router r's network output port p,
+  /// link_to_[r * net_ports + p] is the downstream router and its input
+  /// port (kInvalidRouter at a mesh edge).  Replaces per-staged-flit
+  /// topology coordinate math on the hot stage_flit/stage_credit paths.
+  struct LinkEnd {
+    RouterId r;
+    std::int32_t port;
+  };
+  std::vector<LinkEnd> link_to_;
+
+  std::vector<StageShard> shards_;
+  int intra_jobs_ = 1;
+  std::unique_ptr<par::ThreadPool> engine_pool_;
+  bool in_parallel_ = false;
+  /// Shard the current thread stages into: the parallel chunk id inside a
+  /// region, 0 everywhere else.
+  static thread_local int t_shard_;
 
   Cycle cycle_ = 0;
   PacketPool pool_;
@@ -216,5 +316,51 @@ class Network {
   fi::FaultInjector* injector_ = nullptr;
   DeadlockCounters counters_;
 };
+
+// --- Inline staging bodies (one call per traversed flit/credit). -----------
+
+inline void Network::stage_flit(RouterId from, int out_port, int out_vc,
+                                Flit f) {
+  StageShard& shard = shards_[static_cast<std::size_t>(t_shard_)];
+  const int net_ports = topo_.num_net_ports();
+  if (out_port < net_ports) {
+    const LinkEnd& to =
+        link_to_[static_cast<std::size_t>(from) * net_ports + out_port];
+    MDD_CHECK(to.r != kInvalidRouter);
+    shard.router_flits.push_back({to.r, to.port, out_vc, std::move(f)});
+  } else {
+    const NodeId node = topo_.node_of(from, out_port - net_ports);
+    shard.ni_flits.push_back({node, out_vc, std::move(f)});
+  }
+}
+
+inline void Network::stage_credit_upstream(RouterId at, int in_port,
+                                           int in_vc) {
+  StageShard& shard = shards_[static_cast<std::size_t>(t_shard_)];
+  const int net_ports = topo_.num_net_ports();
+  if (in_port < net_ports) {
+    const LinkEnd& up =
+        link_to_[static_cast<std::size_t>(at) * net_ports + in_port];
+    MDD_CHECK(up.r != kInvalidRouter);
+    shard.router_credits.push_back({up.r, up.port, in_vc});
+  } else {
+    const NodeId node = topo_.node_of(at, in_port - net_ports);
+    shard.ni_credits.push_back({node, in_vc});
+  }
+}
+
+inline void Network::stage_injection_flit(NodeId node, int vc, Flit f) {
+  StageShard& shard = shards_[static_cast<std::size_t>(t_shard_)];
+  const RouterId r = topo_.router_of_node(node);
+  const int port = topo_.num_net_ports() + topo_.slot_of_node(node);
+  shard.router_flits.push_back({r, port, vc, std::move(f)});
+}
+
+inline void Network::stage_ejection_credit(NodeId node, int vc) {
+  StageShard& shard = shards_[static_cast<std::size_t>(t_shard_)];
+  const RouterId r = topo_.router_of_node(node);
+  const int port = topo_.num_net_ports() + topo_.slot_of_node(node);
+  shard.router_credits.push_back({r, port, vc});
+}
 
 }  // namespace mddsim

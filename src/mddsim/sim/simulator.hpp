@@ -62,6 +62,22 @@ class Simulator {
   Metrics& metrics() { return *metrics_; }
   const SimConfig& config() const { return cfg_; }
 
+  /// Within-run parallelism: shards the network's RouterStep and NI
+  /// injection phases across `jobs` threads, bit-identical to serial (see
+  /// DESIGN.md §15).  An execution parameter, not part of SimConfig, so
+  /// provenance hashes and fault-injection seeds are unaffected.
+  void set_intra_jobs(int jobs) { net_->set_intra_jobs(jobs); }
+
+  /// Event-driven quiescence skipping (default on): whenever the fabric is
+  /// fully idle and no periodic event (CWG scan, telemetry epoch, metrics
+  /// epoch) fires before cycle T, the clock jumps straight to T.  Results
+  /// are identical to stepping cycle-by-cycle; runs that attach per-cycle
+  /// observers (tracer, profiler, fault injection, forensics watchdog)
+  /// disable skipping automatically.
+  void set_quiescence_skip(bool on) { quiesce_ = on; }
+  /// Cycles the event-driven core jumped over instead of stepping.
+  Cycle skipped_cycles() const { return skipped_; }
+
   // --- Observability (present only when the matching SimConfig knob is on).
   /// Flit-level event tracer (cfg.trace), or nullptr.
   Tracer* tracer() { return tracer_.get(); }
@@ -102,6 +118,14 @@ class Simulator {
   /// zero-progress watchdog.  Called after every Network::step.
   void step_obs();
   void capture_forensics(Cycle now, const char* reason);
+  /// True when no attached observer records per-cycle (skipping would be
+  /// visible in its output).
+  bool skip_allowed() const;
+  /// When the network is quiescent, jumps the clock to the next event
+  /// deadline before `limit` (loop bound, CWG scan, telemetry or metrics
+  /// epoch); deadline cycles themselves execute normally so every periodic
+  /// counter matches an unskipped run.
+  void try_skip(Cycle limit);
 
   SimConfig cfg_;
   Rng rng_;
@@ -121,6 +145,8 @@ class Simulator {
   std::vector<ForensicsReport> forensics_;
   std::uint64_t watch_consumed_ = 0;  ///< consumption count at last progress
   Cycle watch_since_ = 0;             ///< cycle of last observed progress
+  bool quiesce_ = true;               ///< event-driven quiescence skipping
+  Cycle skipped_ = 0;                 ///< cycles jumped over while idle
 
   /// Static-verification preflight outcome (cfg.verify_preflight): when the
   /// strict criterion held — the whole dependency graph is acyclic, not just

@@ -193,6 +193,32 @@ TEST(FaultInjection, EndpointFreezeKnownAnswer) {
   EXPECT_GT(rep.checks, 0u);
 }
 
+TEST(FaultInjection, RecoveryStaysEffectiveAfterAnAllNodeFreeze) {
+  REQUIRE_FI();
+  // Regression guard for admission-state staleness: when the PR token
+  // rescues a packet it removes it from an endpoint's output queue outside
+  // the normal push/pop paths.  If that removal does not invalidate the
+  // cached "head fits" verdict, a quiet endpoint keeps reporting its input
+  // head as blocked for thousands of cycles after space opened up, the
+  // timeout detector re-trips, and recovery thrashes (observed: 300
+  // detections / 476 rescues where 9 / 47 suffice) until the liveness
+  // oracle kills the run.  Pin the exact configuration that exposed it:
+  // an 8x8 torus (the SimConfig defaults) under a full endpoint freeze.
+  SimConfig cfg;
+  cfg.scheme = Scheme::PR;
+  cfg.pattern = "PAT721";
+  cfg.injection_rate = 0.012;
+  cfg.measure_cycles = 4000;
+  cfg.fault_spec = "freeze@1500+1500:node=all";
+  Simulator sim(cfg);
+  RunResult r;
+  ASSERT_NO_THROW(r = sim.run(true));  // liveness oracle armed by default
+  EXPECT_TRUE(r.drained);
+  EXPECT_GE(r.counters.rescues, 1u);
+  EXPECT_LE(r.counters.detections, 30u);
+  EXPECT_LE(r.counters.rescues, 150u);
+}
+
 TEST(FaultInjection, MshrStarvationThrottlesTheSource) {
   REQUIRE_FI();
   Simulator plain(fi_config());
