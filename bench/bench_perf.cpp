@@ -14,9 +14,10 @@
 //      must be bit-identical to the plain run's: observation never perturbs
 //      simulation.
 //
-// Results go to stdout (markdown) and to BENCH_perf.json in the working
-// directory so CI can archive them; the obs run also writes its registry
-// (BENCH_perf_metrics.json) and phase profile (BENCH_perf_profile.json).
+// Results go to stdout (markdown) and to bench/BENCH_perf.json (see
+// bench_out_dir) so CI can archive them; the obs run also writes its
+// registry (BENCH_perf_metrics.json) and phase profile
+// (BENCH_perf_profile.json) into the same directory.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -299,17 +300,18 @@ int main(int argc, char** argv) {
   std::printf("\noverhead: %+.2f%% (target < 2%%); results bit-identical: %s\n",
               100.0 * obs_overhead, obs_identical ? "yes" : "NO");
   {
-    std::ofstream os("BENCH_perf_metrics.json");
+    std::ofstream os(bench::bench_artifact_path("BENCH_perf_metrics.json"));
     const obs::RunProvenance prov = obs::make_provenance(obs_cfg, 1, obs_secs);
     obs_sim.registry()->write_json(os, &prov);
     os << "\n";
   }
   {
-    std::ofstream os("BENCH_perf_profile.json");
+    std::ofstream os(bench::bench_artifact_path("BENCH_perf_profile.json"));
     obs_sim.profiler()->write_json(os);
   }
-  std::fprintf(stderr,
-               "[perf] wrote BENCH_perf_metrics.json, BENCH_perf_profile.json\n");
+  std::fprintf(stderr, "[perf] wrote %s, %s\n",
+               bench::bench_artifact_path("BENCH_perf_metrics.json").c_str(),
+               bench::bench_artifact_path("BENCH_perf_profile.json").c_str());
 
   // --- 2b. Causal-span overhead (spans armed, recording to memory). ---------
   // Same A/B discipline as bench_fi's armed-idle gate: best-of-3 each, back
@@ -343,13 +345,17 @@ int main(int argc, char** argv) {
     Simulator span_sim(span_cfg);
     span_sim.run(false);
     if (obs::SpanRecorder* sp = span_sim.spans()) {
-      std::ofstream os("BENCH_perf_spans.json");
+      const std::string chrome =
+          bench::bench_artifact_path("BENCH_perf_spans.json");
+      const std::string jsonl =
+          bench::bench_artifact_path("BENCH_perf_spans.jsonl");
+      std::ofstream os(chrome);
       sp->export_chrome_json(os);
-      std::ofstream jos("BENCH_perf_spans.jsonl");
+      std::ofstream jos(jsonl);
       sp->export_jsonl(jos);
       std::fprintf(stderr,
-                   "[perf] wrote BENCH_perf_spans.json, BENCH_perf_spans.jsonl "
-                   "(%llu spans, %llu complete chains)\n",
+                   "[perf] wrote %s, %s (%llu spans, %llu complete chains)\n",
+                   chrome.c_str(), jsonl.c_str(),
                    static_cast<unsigned long long>(sp->opened()),
                    static_cast<unsigned long long>(sp->complete_chains()));
     }

@@ -15,14 +15,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "mddsim/common/assert.hpp"
 #include "mddsim/common/json.hpp"
+#include "mddsim/common/json_read.hpp"
+#include "mddsim/obs/ledger.hpp"
 #include "mddsim/obs/progress.hpp"
 #include "mddsim/obs/provenance.hpp"
 #include "mddsim/par/sweep.hpp"
@@ -65,6 +69,38 @@ inline double bench_elapsed_seconds() {
       .count();
 }
 
+/// Single output directory for every bench artifact (BENCH_*.json and the
+/// side files the perf bench emits).  MDDSIM_BENCH_DIR overrides; the
+/// default keeps everything under bench/ next to the committed baselines
+/// instead of scattering files into the CWD.
+inline const std::string& bench_out_dir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("MDDSIM_BENCH_DIR");
+    std::string d = env && env[0] != '\0' ? env : "bench";
+    std::error_code ec;
+    std::filesystem::create_directories(d, ec);
+    if (ec) {
+      std::fprintf(stderr, "[bench] warning: cannot create %s (%s); "
+                   "writing artifacts to CWD\n",
+                   d.c_str(), ec.message().c_str());
+      d = ".";
+    }
+    return d;
+  }();
+  return dir;
+}
+
+inline std::string bench_artifact_path(const std::string& filename) {
+  return bench_out_dir() + "/" + filename;
+}
+
+/// Run-ledger file every bench appends its records to (set by init() from
+/// `--ledger FILE`; empty = ledger disabled).
+inline std::string& ledger_setting() {
+  static std::string path;
+  return path;
+}
+
 /// Every SimConfig this process ran, in submission order — the provenance
 /// batch hash in BENCH_*.json commits to all of them.
 inline std::vector<SimConfig>& provenance_configs() {
@@ -77,29 +113,38 @@ inline void note_configs(const std::vector<SimConfig>& configs) {
                               configs.end());
 }
 
-/// Common bench argv handling: consumes `--jobs N` and
-/// `--progress[=human|jsonl]`, rejects anything else so a typo'd flag
-/// cannot silently run the wrong experiment.
+/// Common bench argv handling: consumes `--jobs N`,
+/// `--progress[=human|jsonl]` and `--ledger FILE`, rejects anything else
+/// so a typo'd flag cannot silently run the wrong experiment.
 inline void init(int& argc, char** argv) {
   bench_start();
   jobs_setting() = par::consume_jobs_flag(argc, argv);
   for (int i = 1; i < argc;) {
+    int consumed = 0;
     if (std::strcmp(argv[i], "--progress") == 0 ||
         std::strcmp(argv[i], "--progress=human") == 0) {
       progress_setting() = obs::ProgressMode::Human;
+      consumed = 1;
     } else if (std::strcmp(argv[i], "--progress=jsonl") == 0) {
       progress_setting() = obs::ProgressMode::Jsonl;
+      consumed = 1;
+    } else if (std::strcmp(argv[i], "--ledger") == 0 && i + 1 < argc) {
+      ledger_setting() = argv[i + 1];
+      consumed = 2;
+    } else if (std::strncmp(argv[i], "--ledger=", 9) == 0) {
+      ledger_setting() = argv[i] + 9;
+      consumed = 1;
     } else {
       ++i;
       continue;
     }
-    for (int k = i; k + 1 < argc; ++k) argv[k] = argv[k + 1];
-    --argc;
+    for (int k = i; k + consumed < argc; ++k) argv[k] = argv[k + consumed];
+    argc -= consumed;
   }
   if (argc > 1) {
     std::fprintf(stderr,
                  "unknown argument: %s (supported: --jobs N, "
-                 "--progress[=human|jsonl])\n",
+                 "--progress[=human|jsonl], --ledger FILE)\n",
                  argv[1]);
     std::exit(2);
   }
@@ -185,11 +230,24 @@ inline std::vector<SweepSeries> run_series_batch(
   }
   note_configs(points);
   obs::SweepProgress progress(progress_setting(), std::cerr);
-  const std::vector<RunResult> results =
-      par::SweepRunner(jobs_setting())
-          .run(points, false,
-               progress_setting() == obs::ProgressMode::Off ? nullptr
-                                                            : &progress);
+  obs::SweepProgress* prog =
+      progress_setting() == obs::ProgressMode::Off ? nullptr : &progress;
+  const par::SweepRunner runner(jobs_setting());
+  std::vector<RunResult> results;
+  if (ledger_setting().empty()) {
+    results = runner.run(points, false, prog);
+  } else {
+    // Campaign resume: points already in the ledger are answered from it
+    // (bit-identical); only the rest run, and those are appended.
+    const obs::Ledger led = obs::Ledger::load(ledger_setting());
+    std::size_t resumed = 0;
+    results = runner.run(points, false, prog, &led, ledger_setting(),
+                         &resumed);
+    if (resumed > 0) {
+      std::fprintf(stderr, "[bench] ledger %s: %zu/%zu points resumed\n",
+                   ledger_setting().c_str(), resumed, points.size());
+    }
+  }
   for (std::size_t p = 0; p < results.size(); ++p) {
     series[owner[p]].points.push_back(results[p]);
   }
@@ -267,31 +325,63 @@ inline void print_panel(const std::string& title,
   }
 }
 
-/// Writes `BENCH_<name>.json`: schema version, the batch provenance
-/// manifest covering every config this process ran, then whatever members
-/// `payload` emits into the open top-level object.
+/// Parses the artifact at `path` and appends one ledger record per
+/// (config, cycles_per_sec) pair to the bench ledger.  No-op without
+/// --ledger.  This is the same ingestion `mdd_diff --ingest` performs, so
+/// a bench run grows the trajectory the CI gate judges against.
+inline void ledger_ingest_artifact(const std::string& path) {
+  if (ledger_setting().empty()) return;
+  std::ifstream is(path);
+  if (!is) return;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  JsonValue root;
+  std::string err;
+  if (!json_parse(ss.str(), &root, &err)) {
+    std::fprintf(stderr, "[bench] warning: cannot ingest %s: %s\n",
+                 path.c_str(), err.c_str());
+    return;
+  }
+  const std::vector<obs::RunRecord> recs =
+      obs::ingest_bench_json(root, "bench:" + path);
+  for (const obs::RunRecord& rec : recs) {
+    obs::Ledger::append(ledger_setting(), rec);
+  }
+  if (!recs.empty()) {
+    std::fprintf(stderr, "[bench] %zu records -> %s\n", recs.size(),
+                 ledger_setting().c_str());
+  }
+}
+
+/// Writes `bench/BENCH_<name>.json` (see bench_out_dir): schema version,
+/// the batch provenance manifest covering every config this process ran,
+/// then whatever members `payload` emits into the open top-level object.
+/// With --ledger, the artifact's records are also appended to the ledger.
 template <typename PayloadFn,
           typename = std::enable_if_t<std::is_invocable_v<PayloadFn&, JsonWriter&>>>
 inline void write_bench_json(const std::string& name, PayloadFn&& payload) {
-  const std::string path = "BENCH_" + name + ".json";
-  std::ofstream os(path);
-  if (!os) {
-    std::fprintf(stderr, "[bench] error: cannot write %s\n", path.c_str());
-    return;
+  const std::string path = bench_artifact_path("BENCH_" + name + ".json");
+  {
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "[bench] error: cannot write %s\n", path.c_str());
+      return;
+    }
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema_version", 1);
+    w.kv("bench", name);
+    w.key("provenance");
+    obs::write_provenance(
+        w, obs::make_batch_provenance(provenance_configs(),
+                                      par::default_jobs(jobs_setting()),
+                                      bench_elapsed_seconds()));
+    payload(w);
+    w.end_object();
+    os << "\n";
   }
-  JsonWriter w(os);
-  w.begin_object();
-  w.kv("schema_version", 1);
-  w.kv("bench", name);
-  w.key("provenance");
-  obs::write_provenance(
-      w, obs::make_batch_provenance(provenance_configs(),
-                                    par::default_jobs(jobs_setting()),
-                                    bench_elapsed_seconds()));
-  payload(w);
-  w.end_object();
-  os << "\n";
   std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  ledger_ingest_artifact(path);
 }
 
 /// Series-shaped payload: the common case for the figure benches.

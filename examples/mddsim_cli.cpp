@@ -43,6 +43,12 @@
 //     --span-stats       record spans, print the per-chain-stage latency /
 //                        blocked-time summary to stderr after the run
 //     --progress[=MODE]  live sweep progress on stderr (MODE: human, jsonl)
+//     --ledger FILE      append a run record (provenance, headline metrics,
+//                        verdict, wall-clock throughput) to the JSONL run
+//                        ledger at FILE; with --sweep, points already in
+//                        the ledger are answered from it without running
+//                        (campaign resume, bit-identical).  Compare / gate
+//                        ledgers with tools/mdd_diff (DESIGN.md §16)
 //
 //   mddsim_cli scheme=PR pattern=PAT271 vcs=4 rate=0.012
 //   mddsim_cli --csv scheme=DR pattern=PAT721 rate=0.008 seed=7
@@ -61,6 +67,7 @@
 
 #include "mddsim/common/config_parse.hpp"
 #include "mddsim/obs/forensics.hpp"
+#include "mddsim/obs/ledger.hpp"
 #include "mddsim/obs/profile.hpp"
 #include "mddsim/obs/progress.hpp"
 #include "mddsim/obs/provenance.hpp"
@@ -88,7 +95,7 @@ void print_help() {
               "                  [--metrics-out FILE] [--profile] "
               "[--profile-out FILE]\n"
               "                  [--spans-out FILE] [--span-stats] "
-              "[key=value ...]\n\n"
+              "[--ledger FILE] [key=value ...]\n\n"
               "configuration keys:\n");
   for (const auto& k : known_keys()) {
     std::printf("  %-16s %s\n", std::string(k.key).c_str(),
@@ -124,7 +131,7 @@ int main(int argc, char** argv) {
   bool profile_report = false;
   bool verify_mode = false, verify_strict = false;
   std::string trace_out, heatmap_out, forensics_dir, metrics_out, profile_out;
-  std::string spans_out, rebaseline_out;
+  std::string spans_out, rebaseline_out, ledger_path;
   bool span_stats = false;
   obs::ProgressMode progress_mode = obs::ProgressMode::Off;
   std::vector<double> sweep_rates;
@@ -189,6 +196,9 @@ int main(int argc, char** argv) {
         progress_mode = obs::ProgressMode::Human;
       } else if (arg == "--progress=jsonl") {
         progress_mode = obs::ProgressMode::Jsonl;
+      } else if (arg == "--ledger") {
+        if (++i >= argc) throw ConfigError("--ledger needs a file argument");
+        ledger_path = argv[i];
       } else if (arg == "--fault") {
         if (++i >= argc) throw ConfigError("--fault needs a plan argument");
         cfg.fault_spec = argv[i];
@@ -278,10 +288,19 @@ int main(int argc, char** argv) {
     obs::SweepProgress progress(progress_mode, std::cerr);
     const auto sweep_start = std::chrono::steady_clock::now();
     std::vector<RunResult> results;
+    std::size_t resumed = 0;
     try {
-      results = runner.run(
-          configs, drain,
-          progress_mode == obs::ProgressMode::Off ? nullptr : &progress);
+      obs::SweepProgress* prog =
+          progress_mode == obs::ProgressMode::Off ? nullptr : &progress;
+      if (ledger_path.empty()) {
+        results = runner.run(configs, drain, prog);
+      } else {
+        // Campaign resume: recorded points come back from the ledger
+        // bit-identically; only fresh points run, and they are appended.
+        const obs::Ledger led = obs::Ledger::load(ledger_path);
+        results = runner.run(configs, drain, prog, &led, ledger_path,
+                             &resumed);
+      }
     } catch (const InvariantError& e) {
       // A runtime invariant failed inside one of the sweep points.  The
       // runner rethrows the first failure; the owning Simulator (and its
@@ -302,6 +321,13 @@ int main(int argc, char** argv) {
             .count();
     const std::string label = std::string(scheme_name(cfg.scheme)) + "/" +
                               cfg.pattern;
+    if (!ledger_path.empty()) {
+      std::fprintf(stderr,
+                   "[obs] ledger %s: %zu/%zu points resumed, %zu run in "
+                   "%.2fs\n",
+                   ledger_path.c_str(), resumed, results.size(),
+                   results.size() - resumed, sweep_wall);
+    }
     if (csv) {
       write_csv_header(std::cout);
       for (const RunResult& r : results) write_csv_row(std::cout, label, r);
@@ -368,6 +394,23 @@ int main(int argc, char** argv) {
   const obs::RunProvenance prov = obs::make_provenance(cfg, jobs, run_wall);
   const std::string label = std::string(scheme_name(cfg.scheme)) + "/" +
                             cfg.pattern;
+
+  if (!ledger_path.empty()) {
+    // Full run record: headline result, registry scalars and span
+    // aggregates when those observers were attached, and the preflight
+    // verdict when one was computed.
+    const std::string verdict =
+        cfg.verify_preflight
+            ? (sim.verify_strict_passed() ? "strict_pass" : "pass")
+            : "";
+    if (!append_run_ledger(ledger_path, label, "cli", cfg, r, jobs, run_wall,
+                           drain, sim.registry(), sim.spans(), verdict)) {
+      std::fprintf(stderr, "error: cannot append to ledger %s\n",
+                   ledger_path.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "[obs] run record -> %s\n", ledger_path.c_str());
+  }
 
   // --- Observability artifacts (written before the headline report). -------
   if (!trace_out.empty()) {

@@ -1,0 +1,252 @@
+#include "mddsim/common/json_read.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+namespace mddsim {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string* error;
+
+  bool fail(const std::string& what) {
+    if (error) {
+      *error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text.compare(pos, word.size(), word) != 0) {
+      return fail("bad literal");
+    }
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_hex4(unsigned* out) {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos >= text.size()) return fail("truncated \\u escape");
+      const char c = text[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape");
+      }
+    }
+    *out = v;
+    return true;
+  }
+
+  void append_utf8(std::string* s, unsigned cp) {
+    if (cp < 0x80) {
+      *s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *s += static_cast<char>(0xC0 | (cp >> 6));
+      *s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *s += static_cast<char>(0xE0 | (cp >> 12));
+      *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *s += static_cast<char>(0xF0 | (cp >> 18));
+      *s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return fail("truncated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            unsigned cp = 0;
+            if (!parse_hex4(&cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF && pos + 1 < text.size() &&
+                text[pos] == '\\' && text[pos + 1] == 'u') {
+              pos += 2;
+              unsigned lo = 0;
+              if (!parse_hex4(&lo)) return false;
+              if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              } else {
+                return fail("unpaired surrogate");
+              }
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        continue;
+      }
+      *out += c;
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const char* begin = text.data() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return fail("bad number");
+    pos += static_cast<std::size_t>(end - begin);
+    out->type = JsonValue::Type::Number;
+    out->number = v;
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    switch (c) {
+      case 'n':
+        out->type = JsonValue::Type::Null;
+        return literal("null");
+      case 't':
+        out->type = JsonValue::Type::Bool;
+        out->boolean = true;
+        return literal("true");
+      case 'f':
+        out->type = JsonValue::Type::Bool;
+        out->boolean = false;
+        return literal("false");
+      case '"':
+        out->type = JsonValue::Type::String;
+        return parse_string(&out->string);
+      case '[': {
+        ++pos;
+        out->type = JsonValue::Type::Array;
+        skip_ws();
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        for (;;) {
+          out->items.emplace_back();
+          if (!parse_value(&out->items.back(), depth + 1)) return false;
+          skip_ws();
+          if (pos >= text.size()) return fail("unterminated array");
+          if (text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (text[pos] == ']') {
+            ++pos;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++pos;
+        out->type = JsonValue::Type::Object;
+        skip_ws();
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (pos >= text.size() || text[pos] != ':') {
+            return fail("expected ':'");
+          }
+          ++pos;
+          out->members.emplace_back(std::move(key), JsonValue{});
+          if (!parse_value(&out->members.back().second, depth + 1)) {
+            return false;
+          }
+          skip_ws();
+          if (pos >= text.size()) return fail("unterminated object");
+          if (text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (text[pos] == '}') {
+            ++pos;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+        return fail("unexpected character");
+    }
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::Object) return nullptr;
+  for (const Member& m : members) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+std::uint64_t JsonValue::u64_or(std::uint64_t fallback) const {
+  if (type != Type::Number || number < 0.0 || !std::isfinite(number)) {
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(number);
+}
+
+bool json_parse(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue{};
+  Parser p{text, 0, error};
+  if (!p.parse_value(out, 0)) return false;
+  p.skip_ws();
+  if (p.pos != text.size()) return p.fail("trailing garbage");
+  return true;
+}
+
+}  // namespace mddsim

@@ -1,0 +1,64 @@
+#pragma once
+// Minimal JSON reader (mddsim::common) — the read-side twin of JsonWriter.
+//
+// Three consumers need to *parse* JSON the repo itself emitted: the run
+// ledger (JSONL run records), the bench-artifact ingester (BENCH_*.json),
+// and tools/bench_check (which previously carried its own ad-hoc scanner).
+// One recursive-descent parser into a small ordered DOM serves all three;
+// it is not a general-purpose validator, but it accepts everything
+// JsonWriter produces and round-trips doubles exactly (strtod of a %.17g
+// rendering reproduces the original bits, which the sweep-resume
+// bit-identity guarantee depends on).
+//
+//   JsonValue v;
+//   std::string err;
+//   if (!json_parse(text, &v, &err)) ...;
+//   const JsonValue* hash = v.find("provenance")->find("config_hash");
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mddsim {
+
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+  using Member = std::pair<std::string, JsonValue>;
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;      ///< valid when type == Number
+  std::string string;       ///< valid when type == String
+  std::vector<JsonValue> items;  ///< valid when type == Array
+  std::vector<Member> members;   ///< valid when type == Object (document order)
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object, so lookups chain without null checks at every level.
+  const JsonValue* find(std::string_view key) const;
+
+  double num_or(double fallback) const {
+    return type == Type::Number ? number : fallback;
+  }
+  std::uint64_t u64_or(std::uint64_t fallback) const;
+  const std::string& str_or(const std::string& fallback) const {
+    return type == Type::String ? string : fallback;
+  }
+  bool bool_or(bool fallback) const {
+    return type == Type::Bool ? boolean : fallback;
+  }
+};
+
+/// Parses one JSON document (surrounding whitespace allowed; trailing
+/// garbage is an error).  Returns false with a position-stamped message in
+/// `error` on malformed input.  Nesting is capped so hostile input cannot
+/// overflow the stack.
+bool json_parse(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace mddsim

@@ -1,0 +1,321 @@
+#include "mddsim/obs/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "mddsim/common/json.hpp"
+#include "mddsim/common/stats.hpp"
+
+namespace mddsim::obs {
+
+namespace {
+
+/// Flattens a record into the comparable metric set: the RunResult fields
+/// under "result.", wall-clock throughput under "run." (only when timed),
+/// and the record's own metrics map (registry scalars, span aggregates,
+/// bench cycles/sec) as-is.
+std::map<std::string, double> flatten(const RunRecord& rec) {
+  std::map<std::string, double> flat;
+  if (rec.has_result) {
+    const RunResult& r = rec.result;
+    flat["result.offered_load"] = r.offered_load;
+    flat["result.throughput"] = r.throughput;
+    flat["result.avg_packet_latency"] = r.avg_packet_latency;
+    flat["result.p50_packet_latency"] = r.p50_packet_latency;
+    flat["result.p95_packet_latency"] = r.p95_packet_latency;
+    flat["result.p99_packet_latency"] = r.p99_packet_latency;
+    flat["result.avg_txn_latency"] = r.avg_txn_latency;
+    flat["result.avg_txn_messages"] = r.avg_txn_messages;
+    flat["result.packets_delivered"] = static_cast<double>(r.packets_delivered);
+    flat["result.txns_completed"] = static_cast<double>(r.txns_completed);
+    flat["result.detections"] = static_cast<double>(r.counters.detections);
+    flat["result.deflections"] = static_cast<double>(r.counters.deflections);
+    flat["result.rescues"] = static_cast<double>(r.counters.rescues);
+    flat["result.rescued_msgs"] = static_cast<double>(r.counters.rescued_msgs);
+    flat["result.retries"] = static_cast<double>(r.counters.retries);
+    flat["result.cwg_deadlocks"] =
+        static_cast<double>(r.counters.cwg_deadlocks);
+    flat["result.normalized_deadlocks"] = r.normalized_deadlocks;
+    flat["result.drained"] = r.drained ? 1.0 : 0.0;
+    flat["result.cycles"] = static_cast<double>(r.cycles_run);
+  }
+  if (rec.wall_seconds > 0.0) {
+    flat["run.wall_seconds"] = rec.wall_seconds;
+    flat["run.cycles_per_sec"] = rec.cycles_per_sec;
+  }
+  for (const auto& [name, value] : rec.metrics) flat[name] = value;
+  return flat;
+}
+
+int verdict_rank(const std::string& v) {
+  if (v == "fail") return 0;
+  if (v == "pass") return 1;
+  if (v == "strict_pass") return 2;
+  return -1;  // absent / unknown: excluded from the flip check
+}
+
+bool contains(std::string_view name, std::string_view needle) {
+  return name.find(needle) != std::string_view::npos;
+}
+
+std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", v);
+  return buf;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* delta_class_name(DeltaClass c) {
+  switch (c) {
+    case DeltaClass::Unchanged: return "unchanged";
+    case DeltaClass::Improved: return "improved";
+    case DeltaClass::Regressed: return "regressed";
+    case DeltaClass::New: return "new";
+  }
+  return "?";
+}
+
+Polarity metric_polarity(std::string_view name) {
+  if (contains(name, "cycles_per_sec") || contains(name, "throughput")) {
+    return Polarity::HigherBetter;
+  }
+  if (contains(name, "latency") || contains(name, "wall_seconds") ||
+      contains(name, "blocked") || contains(name, "watermark")) {
+    return Polarity::LowerBetter;
+  }
+  // Everything else the simulator emits is a deterministic count: with an
+  // unchanged config hash it should reproduce exactly, so significant
+  // drift in either direction is a regression.
+  return Polarity::Exact;
+}
+
+RecordDiff diff_record(const RunRecord& fresh,
+                       const std::vector<const RunRecord*>& history,
+                       const DiffOptions& opts) {
+  RecordDiff out;
+  out.key = fresh.key();
+  out.label = fresh.label;
+  out.fresh_verdict = fresh.verdict;
+
+  // Baseline verdict: the newest recorded one.
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    if (verdict_rank((*it)->verdict) >= 0) {
+      out.baseline_verdict = (*it)->verdict;
+      break;
+    }
+  }
+  const int base_rank = verdict_rank(out.baseline_verdict);
+  const int fresh_rank = verdict_rank(out.fresh_verdict);
+  out.verdict_flip = base_rank >= 0 && fresh_rank >= 0 &&
+                     fresh_rank < base_rank;
+
+  const std::map<std::string, double> fresh_flat = flatten(fresh);
+  if (history.empty()) {
+    out.baseline_missing = true;
+    for (const auto& [name, value] : fresh_flat) {
+      MetricDelta d;
+      d.name = name;
+      d.fresh = value;
+      d.cls = DeltaClass::New;
+      out.deltas.push_back(std::move(d));
+    }
+    return out;
+  }
+
+  // Per-metric history across the trajectory.  A metric only counts
+  // toward the noise model in records that actually carry it.
+  std::map<std::string, RunningStat> base;
+  for (const RunRecord* rec : history) {
+    for (const auto& [name, value] : flatten(*rec)) {
+      if (std::isfinite(value)) base[name].add(value);
+    }
+  }
+
+  for (const auto& [name, value] : fresh_flat) {
+    MetricDelta d;
+    d.name = name;
+    d.fresh = value;
+    const auto it = base.find(name);
+    if (it == base.end() || it->second.count() == 0) {
+      d.cls = DeltaClass::New;
+      out.deltas.push_back(std::move(d));
+      continue;
+    }
+    const RunningStat& stat = it->second;
+    d.history = stat.count();
+    d.baseline = stat.mean();
+    const double delta = d.fresh - d.baseline;
+    d.delta_pct = d.baseline != 0.0 ? delta / std::fabs(d.baseline) * 100.0
+                                    : (delta == 0.0 ? 0.0 : HUGE_VAL);
+    if (d.history >= opts.min_history) {
+      d.sigma = stat.stddev();
+      // Tiny absolute floor: exact doubles round-trip, so a genuinely
+      // constant metric has sigma 0 and must still tolerate itself.
+      d.tolerance = std::max(opts.noise_mult * d.sigma,
+                             1e-12 + 1e-9 * std::fabs(d.baseline));
+    } else {
+      d.tolerance = std::max(opts.threshold_pct / 100.0 *
+                                 std::fabs(d.baseline),
+                             1e-12);
+    }
+    if (std::fabs(delta) <= d.tolerance) {
+      d.cls = DeltaClass::Unchanged;
+    } else {
+      switch (metric_polarity(name)) {
+        case Polarity::HigherBetter:
+          d.cls = delta > 0 ? DeltaClass::Improved : DeltaClass::Regressed;
+          break;
+        case Polarity::LowerBetter:
+          d.cls = delta < 0 ? DeltaClass::Improved : DeltaClass::Regressed;
+          break;
+        case Polarity::Exact:
+          d.cls = DeltaClass::Regressed;
+          break;
+      }
+    }
+    out.deltas.push_back(std::move(d));
+  }
+
+  for (const MetricDelta& d : out.deltas) {
+    if (d.cls == DeltaClass::Improved) ++out.improved;
+    if (d.cls == DeltaClass::Regressed) ++out.regressed;
+    if (d.cls == DeltaClass::Unchanged) ++out.unchanged;
+  }
+  return out;
+}
+
+std::vector<RecordDiff> diff_trajectory(const Ledger& led,
+                                        const DiffOptions& opts) {
+  std::vector<RecordDiff> out;
+  for (const std::string& key : led.keys()) {
+    std::vector<const RunRecord*> hist = led.history(key);
+    const RunRecord* fresh = hist.back();
+    hist.pop_back();
+    out.push_back(diff_record(*fresh, hist, opts));
+  }
+  return out;
+}
+
+std::vector<RecordDiff> diff_against(const Ledger& baseline,
+                                     const Ledger& fresh,
+                                     const DiffOptions& opts) {
+  std::vector<RecordDiff> out;
+  for (const std::string& key : fresh.keys()) {
+    const std::vector<const RunRecord*> cand = fresh.history(key);
+    out.push_back(diff_record(*cand.back(), baseline.history(key), opts));
+  }
+  return out;
+}
+
+void write_diff_table(std::ostream& os, const std::vector<RecordDiff>& diffs,
+                      bool verbose) {
+  for (const RecordDiff& rd : diffs) {
+    os << "== " << (rd.label.empty() ? rd.key : rd.label) << "  ["
+       << rd.key << "]\n";
+    if (rd.baseline_missing) {
+      os << "   no baseline in ledger (" << rd.deltas.size()
+         << " metrics recorded as new)\n";
+      continue;
+    }
+    if (!rd.baseline_verdict.empty() || !rd.fresh_verdict.empty()) {
+      os << "   verdict: "
+         << (rd.baseline_verdict.empty() ? "-" : rd.baseline_verdict)
+         << " -> " << (rd.fresh_verdict.empty() ? "-" : rd.fresh_verdict)
+         << (rd.verdict_flip ? "   REGRESSED" : "") << "\n";
+    }
+    // Significant movement first; unchanged/new lines only when verbose.
+    for (const DeltaClass want :
+         {DeltaClass::Regressed, DeltaClass::Improved, DeltaClass::Unchanged,
+          DeltaClass::New}) {
+      if (!verbose && want != DeltaClass::Regressed &&
+          want != DeltaClass::Improved) {
+        continue;
+      }
+      for (const MetricDelta& d : rd.deltas) {
+        if (d.cls != want) continue;
+        os << "   " << delta_class_name(d.cls);
+        for (std::size_t i = std::string(delta_class_name(d.cls)).size();
+             i < 10; ++i) {
+          os << ' ';
+        }
+        os << d.name << "  ";
+        if (d.cls == DeltaClass::New) {
+          os << "= " << num(d.fresh) << "\n";
+          continue;
+        }
+        os << num(d.baseline) << " -> " << num(d.fresh) << "  ("
+           << pct(d.delta_pct) << ", tol " << num(d.tolerance);
+        if (d.sigma > 0.0) os << ", sigma " << num(d.sigma);
+        os << ", n=" << d.history << ")\n";
+      }
+    }
+    os << "   " << rd.regressed << " regressed, " << rd.improved
+       << " improved, " << rd.unchanged << " unchanged, "
+       << rd.deltas.size() - rd.regressed - rd.improved - rd.unchanged
+       << " new\n";
+  }
+  std::size_t total_reg = 0;
+  for (const RecordDiff& rd : diffs) total_reg += rd.regression() ? 1 : 0;
+  os << (diffs.empty() ? "no comparable records\n" : "")
+     << "records: " << diffs.size() << ", with regressions: " << total_reg
+     << "\n";
+}
+
+void write_diff_json(std::ostream& os, const std::vector<RecordDiff>& diffs,
+                     const DiffOptions& opts) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "mddsim-diff-v1");
+  w.key("options").begin_object();
+  w.kv("threshold_pct", opts.threshold_pct);
+  w.kv("noise_mult", opts.noise_mult);
+  w.kv("min_history", static_cast<std::uint64_t>(opts.min_history));
+  w.end_object();
+  w.kv("regression", any_regression(diffs));
+  w.key("records").begin_array();
+  for (const RecordDiff& rd : diffs) {
+    w.begin_object();
+    w.kv("key", rd.key);
+    w.kv("label", rd.label);
+    w.kv("baseline_verdict", rd.baseline_verdict);
+    w.kv("fresh_verdict", rd.fresh_verdict);
+    w.kv("verdict_flip", rd.verdict_flip);
+    w.kv("baseline_missing", rd.baseline_missing);
+    w.kv("regression", rd.regression());
+    w.key("deltas").begin_array();
+    for (const MetricDelta& d : rd.deltas) {
+      w.begin_object();
+      w.kv("name", d.name);
+      w.kv("class", delta_class_name(d.cls));
+      w.kv("baseline", d.baseline);
+      w.kv("fresh", d.fresh);
+      w.kv("delta_pct", d.delta_pct);
+      w.kv("tolerance", d.tolerance);
+      w.kv("sigma", d.sigma);
+      w.kv("history", static_cast<std::uint64_t>(d.history));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+bool any_regression(const std::vector<RecordDiff>& diffs) {
+  return std::any_of(diffs.begin(), diffs.end(),
+                     [](const RecordDiff& rd) { return rd.regression(); });
+}
+
+}  // namespace mddsim::obs

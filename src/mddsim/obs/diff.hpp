@@ -1,0 +1,111 @@
+#pragma once
+// Differential run comparison (mddsim::obs, DESIGN.md §16): judges a fresh
+// run against the ledger's recorded trajectory for the same key, and
+// classifies every metric delta as improved / regressed / unchanged.
+//
+// What "significant" means is learned per key: with >= min_history records
+// the tolerance is noise_mult standard deviations of the key's own history
+// (the ledger is the noise model), and with fewer records it falls back to
+// a flat percentage threshold — the bench_check discipline, kept as the
+// bootstrap rule.  Metric polarity is inferred from the name: throughput-
+// like metrics should not drop, latency/blocked-like metrics should not
+// grow, and everything else in a deterministic simulator should simply not
+// drift, so any significant movement of an Exact metric is a regression.
+//
+// A verify-verdict downgrade (strict_pass -> pass, or anything -> fail) is
+// always a regression, regardless of noise.  tools/mdd_diff wraps this
+// engine in a CLI; its --gate mode is CI's hard regression sentinel.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mddsim/obs/ledger.hpp"
+
+namespace mddsim::obs {
+
+enum class DeltaClass : std::uint8_t {
+  Unchanged,  ///< within tolerance
+  Improved,   ///< significant move in the good direction
+  Regressed,  ///< significant move in the bad direction
+  New,        ///< no baseline value to compare against
+};
+
+const char* delta_class_name(DeltaClass c);
+
+/// Which direction is "good" for a metric, inferred from its name.
+enum class Polarity : std::uint8_t {
+  HigherBetter,  ///< cycles_per_sec, throughput
+  LowerBetter,   ///< latency, wall_seconds, blocked, watermark
+  Exact,         ///< deterministic counters: any significant drift is bad
+};
+
+Polarity metric_polarity(std::string_view name);
+
+struct MetricDelta {
+  std::string name;
+  double baseline = 0.0;   ///< trajectory mean (or sole baseline value)
+  double fresh = 0.0;
+  double delta_pct = 0.0;  ///< (fresh - baseline) / |baseline| * 100
+  double tolerance = 0.0;  ///< absolute band the delta was judged against
+  double sigma = 0.0;      ///< history stddev (0 under threshold fallback)
+  std::size_t history = 0; ///< records behind the noise estimate
+  DeltaClass cls = DeltaClass::Unchanged;
+};
+
+/// Comparison of one fresh record against its baseline/trajectory.
+struct RecordDiff {
+  std::string key;
+  std::string label;
+  std::string baseline_verdict;
+  std::string fresh_verdict;
+  bool verdict_flip = false;  ///< verdict downgraded — always a regression
+  bool baseline_missing = false;  ///< nothing to compare against (all New)
+  std::vector<MetricDelta> deltas;
+  std::size_t improved = 0;
+  std::size_t regressed = 0;
+  std::size_t unchanged = 0;
+
+  bool regression() const { return verdict_flip || regressed > 0; }
+};
+
+struct DiffOptions {
+  double threshold_pct = 25.0;  ///< fallback band when history < min_history
+  double noise_mult = 3.0;      ///< tolerance = noise_mult * sigma
+  std::size_t min_history = 3;  ///< records needed to trust the noise model
+};
+
+/// Compares `fresh` against `history` (its trajectory in append order,
+/// excluding `fresh` itself; may be empty).  Deterministic: same inputs,
+/// same classification.
+RecordDiff diff_record(const RunRecord& fresh,
+                       const std::vector<const RunRecord*>& history,
+                       const DiffOptions& opts);
+
+/// Trajectory mode: for every key in `led`, diffs the newest record
+/// against the records before it.  Keys with a single record come back
+/// with baseline_missing set (all deltas New) — never a regression.
+std::vector<RecordDiff> diff_trajectory(const Ledger& led,
+                                        const DiffOptions& opts);
+
+/// Candidate mode: diffs every record of `fresh` against the matching
+/// key's trajectory in `baseline`.  Fresh keys unknown to the baseline
+/// come back baseline_missing.
+std::vector<RecordDiff> diff_against(const Ledger& baseline,
+                                     const Ledger& fresh,
+                                     const DiffOptions& opts);
+
+/// Human-readable table (one block per record, significant deltas first).
+/// `verbose` also lists unchanged metrics.
+void write_diff_table(std::ostream& os, const std::vector<RecordDiff>& diffs,
+                      bool verbose);
+
+/// Structured JSON mirror of the table.
+void write_diff_json(std::ostream& os, const std::vector<RecordDiff>& diffs,
+                     const DiffOptions& opts);
+
+/// Gate verdict: true when any record regressed.
+bool any_regression(const std::vector<RecordDiff>& diffs);
+
+}  // namespace mddsim::obs

@@ -1,0 +1,402 @@
+#include "mddsim/obs/ledger.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "mddsim/common/json.hpp"
+#include "mddsim/common/json_read.hpp"
+#include "mddsim/obs/provenance.hpp"
+#include "mddsim/obs/registry.hpp"
+#include "mddsim/obs/span.hpp"
+#include "mddsim/sim/config.hpp"
+
+namespace mddsim::obs {
+
+namespace {
+
+/// %.17g: the shortest-safe rendering that strtod round-trips to the same
+/// bits — the sweep-resume bit-identity guarantee lives here.
+std::string exact(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void kv_exact(JsonWriter& w, std::string_view k, double v) {
+  w.key(k).raw(exact(v));
+}
+
+double num_field(const JsonValue& obj, std::string_view key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  if (!v) return fallback;
+  if (v->type == JsonValue::Type::Null) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return v->num_or(fallback);
+}
+
+std::uint64_t u64_field(const JsonValue& obj, std::string_view key,
+                        std::uint64_t fallback) {
+  const JsonValue* v = obj.find(key);
+  return v ? v->u64_or(fallback) : fallback;
+}
+
+}  // namespace
+
+std::string RunRecord::key() const {
+  std::string k;
+  k.reserve(config_hash.size() + label.size() + build.size() + 8);
+  k += config_hash;
+  k += ':';
+  k += label;
+  k += '|';
+  k += build;
+  k += drain ? "|drain" : "|nodrain";
+  return k;
+}
+
+RunRecord make_run_record(const std::string& label, const std::string& source,
+                          const SimConfig& cfg, const RunResult& r, int jobs,
+                          double wall_seconds, bool drain, const Registry* reg,
+                          const SpanRecorder* spans,
+                          const std::string& verdict) {
+  RunRecord rec;
+  rec.label = label;
+  rec.source = source;
+  const RunProvenance prov = make_provenance(cfg, jobs, wall_seconds);
+  rec.config_hash = prov.config_hash;
+  rec.seed = prov.seed;
+  rec.scheme = prov.scheme;
+  rec.pattern = prov.pattern;
+  rec.build = prov.build;
+  rec.compiler = prov.compiler;
+  rec.jobs = jobs;
+  rec.drain = drain;
+  rec.wall_seconds = wall_seconds;
+  rec.cycles = static_cast<std::uint64_t>(r.cycles_run);
+  rec.cycles_per_sec =
+      wall_seconds > 0.0 ? static_cast<double>(rec.cycles) / wall_seconds : 0.0;
+  rec.verdict = verdict;
+  rec.has_result = true;
+  rec.result = r;
+
+  // Flat scalar metrics: registry headline values (the per-router / per-NI
+  // series stay in the registry exports — a ledger line is a trajectory
+  // point, not a topology dump), then the span aggregates.  A map dedupes
+  // and sorts, so record content never depends on collection order.
+  std::map<std::string, double> flat;
+  if (reg) {
+    reg->visit_scalars([&flat](const std::string& name, double value) {
+      if (name.rfind("router.", 0) == 0 || name.rfind("ni.", 0) == 0) return;
+      flat[name] = value;
+    });
+  }
+  if (spans) {
+    for (int c = 0; c < kNumBlockCauses; ++c) {
+      const auto cause = static_cast<BlockCause>(c);
+      const std::string name = block_cause_name(cause);
+      flat["obs.spans.blocked." + name] =
+          static_cast<double>(spans->blocked_cycles(cause));
+      flat["obs.spans.watermark." + name] =
+          static_cast<double>(spans->watermark(cause));
+    }
+    for (int i = 0; i < kMaxChainStages; ++i) {
+      const SpanRecorder::StageAgg& a = spans->stage(i);
+      if (a.count == 0) continue;
+      const std::string prefix = "obs.spans.stage." + std::to_string(i) + ".";
+      flat[prefix + "count"] = static_cast<double>(a.count);
+      flat[prefix + "latency_mean"] = a.latency_stat.mean();
+      flat[prefix + "latency_p50"] = a.latency.median();
+      flat[prefix + "latency_p95"] = a.latency.p95();
+      flat[prefix + "latency_p99"] = a.latency.p99();
+    }
+  }
+  rec.metrics.assign(flat.begin(), flat.end());
+  return rec;
+}
+
+std::string sweep_label(const SimConfig& cfg) {
+  const RunProvenance prov = make_provenance(cfg, 1, 0.0);
+  return prov.scheme + "/" + prov.pattern;
+}
+
+std::string sweep_key(const SimConfig& cfg, bool drain) {
+  RunRecord stub;
+  const RunProvenance prov = make_provenance(cfg, 1, 0.0);
+  stub.config_hash = prov.config_hash;
+  stub.label = prov.scheme + "/" + prov.pattern;
+  stub.build = prov.build;
+  stub.drain = drain;
+  return stub.key();
+}
+
+void write_record(JsonWriter& w, const RunRecord& rec) {
+  w.begin_object();
+  w.kv("schema", rec.schema);
+  w.kv("label", rec.label);
+  w.kv("source", rec.source);
+  w.kv("config_hash", rec.config_hash);
+  w.kv("seed", rec.seed);
+  w.kv("scheme", rec.scheme);
+  w.kv("pattern", rec.pattern);
+  w.kv("build", rec.build);
+  w.kv("compiler", rec.compiler);
+  w.kv("jobs", rec.jobs);
+  w.kv("drain", rec.drain);
+  kv_exact(w, "wall_seconds", rec.wall_seconds);
+  w.kv("cycles", rec.cycles);
+  kv_exact(w, "cycles_per_sec", rec.cycles_per_sec);
+  w.kv("verdict", rec.verdict);
+  if (rec.has_result) {
+    const RunResult& r = rec.result;
+    w.key("result").begin_object();
+    kv_exact(w, "offered_load", r.offered_load);
+    kv_exact(w, "throughput", r.throughput);
+    kv_exact(w, "avg_packet_latency", r.avg_packet_latency);
+    kv_exact(w, "p50_packet_latency", r.p50_packet_latency);
+    kv_exact(w, "p95_packet_latency", r.p95_packet_latency);
+    kv_exact(w, "p99_packet_latency", r.p99_packet_latency);
+    kv_exact(w, "avg_txn_latency", r.avg_txn_latency);
+    kv_exact(w, "avg_txn_messages", r.avg_txn_messages);
+    w.kv("packets_delivered", r.packets_delivered);
+    w.kv("txns_completed", r.txns_completed);
+    w.kv("detections", r.counters.detections);
+    w.kv("deflections", r.counters.deflections);
+    w.kv("rescues", r.counters.rescues);
+    w.kv("rescued_msgs", r.counters.rescued_msgs);
+    w.kv("retries", r.counters.retries);
+    w.kv("cwg_deadlocks", r.counters.cwg_deadlocks);
+    kv_exact(w, "normalized_deadlocks", r.normalized_deadlocks);
+    w.kv("drained", r.drained);
+    w.kv("cycles", static_cast<std::uint64_t>(r.cycles_run));
+    w.end_object();
+  }
+  w.key("metrics").begin_object();
+  for (const auto& [name, value] : rec.metrics) kv_exact(w, name, value);
+  w.end_object();
+  w.end_object();
+}
+
+bool parse_record(const JsonValue& v, RunRecord* out) {
+  *out = RunRecord{};
+  if (!v.is_object()) return false;
+  const JsonValue* schema = v.find("schema");
+  if (!schema || schema->str_or("") != kLedgerSchema) return false;
+  out->label = v.find("label") ? v.find("label")->str_or("") : "";
+  out->source = v.find("source") ? v.find("source")->str_or("") : "";
+  const JsonValue* hash = v.find("config_hash");
+  if (!hash || !hash->is_string() || hash->string.empty()) return false;
+  out->config_hash = hash->string;
+  out->seed = u64_field(v, "seed", 0);
+  out->scheme = v.find("scheme") ? v.find("scheme")->str_or("") : "";
+  out->pattern = v.find("pattern") ? v.find("pattern")->str_or("") : "";
+  out->build = v.find("build") ? v.find("build")->str_or("") : "";
+  out->compiler = v.find("compiler") ? v.find("compiler")->str_or("") : "";
+  out->jobs = static_cast<int>(u64_field(v, "jobs", 1));
+  out->drain = v.find("drain") ? v.find("drain")->bool_or(false) : false;
+  out->wall_seconds = num_field(v, "wall_seconds", 0.0);
+  out->cycles = u64_field(v, "cycles", 0);
+  out->cycles_per_sec = num_field(v, "cycles_per_sec", 0.0);
+  out->verdict = v.find("verdict") ? v.find("verdict")->str_or("") : "";
+  if (const JsonValue* res = v.find("result"); res && res->is_object()) {
+    out->has_result = true;
+    RunResult& r = out->result;
+    r.offered_load = num_field(*res, "offered_load", 0.0);
+    r.throughput = num_field(*res, "throughput", 0.0);
+    r.avg_packet_latency = num_field(*res, "avg_packet_latency", 0.0);
+    r.p50_packet_latency = num_field(*res, "p50_packet_latency", 0.0);
+    r.p95_packet_latency = num_field(*res, "p95_packet_latency", 0.0);
+    r.p99_packet_latency = num_field(*res, "p99_packet_latency", 0.0);
+    r.avg_txn_latency = num_field(*res, "avg_txn_latency", 0.0);
+    r.avg_txn_messages = num_field(*res, "avg_txn_messages", 0.0);
+    r.packets_delivered = u64_field(*res, "packets_delivered", 0);
+    r.txns_completed = u64_field(*res, "txns_completed", 0);
+    r.counters.detections = u64_field(*res, "detections", 0);
+    r.counters.deflections = u64_field(*res, "deflections", 0);
+    r.counters.rescues = u64_field(*res, "rescues", 0);
+    r.counters.rescued_msgs = u64_field(*res, "rescued_msgs", 0);
+    r.counters.retries = u64_field(*res, "retries", 0);
+    r.counters.cwg_deadlocks = u64_field(*res, "cwg_deadlocks", 0);
+    r.normalized_deadlocks = num_field(*res, "normalized_deadlocks", 0.0);
+    r.drained = res->find("drained") ? res->find("drained")->bool_or(false)
+                                     : false;
+    r.cycles_run = static_cast<Cycle>(u64_field(*res, "cycles", 0));
+  }
+  if (const JsonValue* m = v.find("metrics"); m && m->is_object()) {
+    out->metrics.reserve(m->members.size());
+    for (const auto& [name, value] : m->members) {
+      if (value.is_number()) out->metrics.emplace_back(name, value.number);
+    }
+  }
+  return true;
+}
+
+Ledger Ledger::load(const std::string& path) {
+  Ledger led;
+  std::ifstream is(path);
+  if (!is) return led;  // a fresh campaign: no ledger yet
+  std::string file;
+  {
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    file = ss.str();
+  }
+  std::size_t pos = 0;
+  while (pos < file.size()) {
+    const std::size_t nl = file.find('\n', pos);
+    const bool complete = nl != std::string::npos;
+    const std::string_view line(file.data() + pos,
+                                (complete ? nl : file.size()) - pos);
+    pos = complete ? nl + 1 : file.size();
+    if (line.empty()) continue;
+    JsonValue v;
+    RunRecord rec;
+    if (!complete) {
+      // No trailing newline: an append died mid-line.  The record is only
+      // trusted if it still parses as a whole object.
+      if (json_parse(line, &v, nullptr) && parse_record(v, &rec)) {
+        led.add(std::move(rec));
+      } else {
+        ++led.truncated_tail_;
+      }
+      break;
+    }
+    if (json_parse(line, &v, nullptr) && parse_record(v, &rec)) {
+      led.add(std::move(rec));
+    } else {
+      ++led.malformed_;
+    }
+  }
+  return led;
+}
+
+bool Ledger::append(const std::string& path, const RunRecord& rec) {
+  std::ostringstream ss;
+  {
+    JsonWriter w(ss);
+    write_record(w, rec);
+  }
+  ss << '\n';
+  const std::string line = ss.str();
+  // One O_APPEND write of one complete line: concurrent appenders (sweep
+  // workers, overlapping campaign processes) never interleave records.
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return false;
+  const ssize_t n = ::write(fd, line.data(), line.size());
+  ::close(fd);
+  return n == static_cast<ssize_t>(line.size());
+}
+
+void Ledger::add(RunRecord rec) {
+  const std::string key = rec.key();
+  auto [it, fresh] = index_.try_emplace(key);
+  if (fresh) key_order_.push_back(key);
+  it->second.push_back(records_.size());
+  records_.push_back(std::move(rec));
+}
+
+std::vector<const RunRecord*> Ledger::history(const std::string& key) const {
+  std::vector<const RunRecord*> out;
+  const auto it = index_.find(key);
+  if (it == index_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t i : it->second) out.push_back(&records_[i]);
+  return out;
+}
+
+const RunRecord* Ledger::latest(const std::string& key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end() || it->second.empty()) return nullptr;
+  return &records_[it->second.back()];
+}
+
+const RunRecord* Ledger::latest_with_result(const std::string& key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  for (auto ri = it->second.rbegin(); ri != it->second.rend(); ++ri) {
+    if (records_[*ri].has_result) return &records_[*ri];
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Ledger::keys() const { return key_order_; }
+
+namespace {
+
+void scan_cycles_walk(const JsonValue& v, std::string* pending,
+                      std::vector<std::pair<std::string, double>>* out) {
+  if (v.is_object()) {
+    for (const auto& [name, value] : v.members) {
+      if (name == "config" && value.is_string()) {
+        *pending = value.string;
+      } else if (name == "cycles_per_sec" && value.is_number()) {
+        if (!pending->empty() && value.number > 0.0) {
+          out->emplace_back(*pending, value.number);
+        }
+        pending->clear();
+      } else {
+        scan_cycles_walk(value, pending, out);
+      }
+    }
+  } else if (v.is_array()) {
+    for (const JsonValue& item : v.items) scan_cycles_walk(item, pending, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> scan_bench_cycles(
+    const JsonValue& root) {
+  std::vector<std::pair<std::string, double>> out;
+  std::string pending;
+  scan_cycles_walk(root, &pending, &out);
+  return out;
+}
+
+std::vector<RunRecord> ingest_bench_json(const JsonValue& root,
+                                         const std::string& source) {
+  std::vector<RunRecord> out;
+  RunRecord base;
+  base.source = source;
+  if (const JsonValue* prov = root.find("provenance"); prov) {
+    base.config_hash =
+        prov->find("config_hash") ? prov->find("config_hash")->str_or("") : "";
+    base.seed = u64_field(*prov, "seed", 0);
+    base.scheme = prov->find("scheme") ? prov->find("scheme")->str_or("") : "";
+    base.pattern =
+        prov->find("pattern") ? prov->find("pattern")->str_or("") : "";
+    base.build = prov->find("build") ? prov->find("build")->str_or("") : "";
+    base.compiler =
+        prov->find("compiler") ? prov->find("compiler")->str_or("") : "";
+    base.jobs = static_cast<int>(u64_field(*prov, "jobs", 1));
+    base.wall_seconds = num_field(*prov, "wall_seconds", 0.0);
+  }
+  if (base.config_hash.empty()) return out;  // unkeyed artifact: no records
+  // Deduplicate by config name, keeping the *first* pairing: in
+  // BENCH_perf.json the single-thread table precedes the intra-scaling
+  // re-timings of the same config, and the headline number is the one the
+  // trajectory should track.
+  std::map<std::string, double> seen;
+  for (const auto& [name, value] : scan_bench_cycles(root)) {
+    seen.emplace(name, value);
+  }
+  for (const auto& [name, value] : seen) {
+    RunRecord rec = base;
+    rec.label = name;
+    rec.cycles_per_sec = value;
+    rec.metrics.emplace_back("cycles_per_sec", value);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace mddsim::obs

@@ -1,0 +1,161 @@
+#pragma once
+// Run ledger (mddsim::obs): a persistent, provenance-keyed record of every
+// completed run (obs v4, DESIGN.md §16).
+//
+// One append-only JSONL file holds one record per run: the provenance
+// manifest (config hash, seed, scheme/pattern, build flags), the headline
+// RunResult (exact doubles, so a recorded point can stand in for a re-run
+// bit-for-bit), scalar metrics lifted from the registry and the span
+// aggregates when those observers were attached, the static-verify verdict
+// when one was computed, and wall-clock throughput.  Everything the process
+// used to forget at exit, remembered.
+//
+// Appends are atomic (one O_APPEND write of one complete line), so
+// concurrent sweep workers and overlapping campaign processes can share a
+// ledger file without interleaving records.  Loading tolerates a truncated
+// trailing record — the expected crash artifact of an append-only store —
+// and skips malformed interior lines rather than refusing the whole file.
+//
+// The in-memory index keys records by (config_hash, build_flags) — plus
+// the in-artifact label for bench-ingested records, whose provenance hash
+// covers a whole batch — so consumers ask "what has this exact
+// configuration done before?" and get the full trajectory in append order.
+// tools/mdd_diff judges fresh runs against that trajectory; SweepRunner
+// uses it to skip already-computed sweep points (campaign resume).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+class JsonValue;
+class JsonWriter;
+}  // namespace mddsim
+
+namespace mddsim::obs {
+
+class Registry;
+class SpanRecorder;
+
+inline constexpr std::string_view kLedgerSchema = "mddsim-ledger-v1";
+
+/// One completed run, as remembered by the ledger.
+struct RunRecord {
+  std::string schema = std::string(kLedgerSchema);
+  std::string label;   ///< "PR/PAT271", or the bench config name
+  std::string source;  ///< "cli", "sweep", "bench:<name>", ...
+
+  // Provenance (mirrors obs::RunProvenance).
+  std::string config_hash;
+  std::uint64_t seed = 0;
+  std::string scheme;
+  std::string pattern;
+  std::string build;
+  std::string compiler;
+  int jobs = 1;
+
+  bool drain = false;          ///< run(drain) flag — part of the result key
+  double wall_seconds = 0.0;   ///< 0 when the run was not timed
+  std::uint64_t cycles = 0;
+  double cycles_per_sec = 0.0;
+  std::string verdict;  ///< "", "pass", "strict_pass" or "fail"
+
+  bool has_result = false;  ///< full RunResult recorded (sim runs; bench
+                            ///< ingests carry only `metrics`)
+  RunResult result;
+
+  /// Flat scalar metrics (registry headline counters, span cause totals and
+  /// stage quantiles, bench cycles/sec), sorted by name for determinism.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Index/diff key: config_hash + label + build + drain.  Two records with
+  /// equal keys came from bit-identical configurations of the same build
+  /// flavour and are comparable point-for-point.
+  std::string key() const;
+};
+
+/// Builds the record for one simulation run.  `reg` contributes its
+/// headline scalar metrics (per-router/per-NI series are left out — the
+/// ledger records trajectories, not topology dumps), `spans` its per-cause
+/// blocked totals and per-stage latency quantiles; either may be null.
+RunRecord make_run_record(const std::string& label, const std::string& source,
+                          const SimConfig& cfg, const RunResult& r, int jobs,
+                          double wall_seconds, bool drain, const Registry* reg,
+                          const SpanRecorder* spans,
+                          const std::string& verdict);
+
+/// Canonical label for sweep-produced records: "<scheme>/<pattern>".
+std::string sweep_label(const SimConfig& cfg);
+
+/// The key a sweep point's record will carry, computed without running it.
+/// What SweepRunner's campaign resume looks up.
+std::string sweep_key(const SimConfig& cfg, bool drain);
+
+/// Serializes one record as a single-line JSON object at the writer's
+/// current position.  Doubles are written with %.17g so a load reproduces
+/// them bit-for-bit.
+void write_record(JsonWriter& w, const RunRecord& rec);
+
+/// Parses one record object; false when it is not a ledger record.
+bool parse_record(const JsonValue& v, RunRecord* out);
+
+class Ledger {
+ public:
+  /// Loads a ledger file.  A missing file yields an empty ledger (a fresh
+  /// campaign); a truncated trailing line or malformed interior lines are
+  /// skipped and counted, never fatal.
+  static Ledger load(const std::string& path);
+
+  /// Appends one record to `path` as a single atomic write of one complete
+  /// line (the file is created when missing).  Returns false on IO error.
+  static bool append(const std::string& path, const RunRecord& rec);
+
+  /// Adds a record to the in-memory index only.
+  void add(RunRecord rec);
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const std::vector<RunRecord>& records() const { return records_; }
+
+  /// Records sharing `key`, in append (trajectory) order.
+  std::vector<const RunRecord*> history(const std::string& key) const;
+  /// Newest record for `key`, or nullptr.
+  const RunRecord* latest(const std::string& key) const;
+  /// Newest record for `key` that carries a full RunResult (what sweep
+  /// resume needs), or nullptr.
+  const RunRecord* latest_with_result(const std::string& key) const;
+
+  /// Every distinct key, in first-appearance order.
+  std::vector<std::string> keys() const;
+
+  /// Lines dropped on load: an incomplete trailing record (interrupted
+  /// append) and malformed interior lines, respectively.
+  std::size_t truncated_tail() const { return truncated_tail_; }
+  std::size_t malformed_lines() const { return malformed_; }
+
+ private:
+  std::vector<RunRecord> records_;
+  std::unordered_map<std::string, std::vector<std::size_t>> index_;
+  std::vector<std::string> key_order_;
+  std::size_t truncated_tail_ = 0;
+  std::size_t malformed_ = 0;
+};
+
+/// Shared bench-artifact scanner: every ("config": NAME, "cycles_per_sec":
+/// VALUE) pairing in document order — the shape bench_util's
+/// write_bench_json emits.  Used by tools/bench_check (replacing its ad-hoc
+/// string scan, same pairing semantics) and by bench ingestion below.
+std::vector<std::pair<std::string, double>> scan_bench_cycles(
+    const JsonValue& root);
+
+/// Converts a parsed BENCH_*.json artifact into ledger records: one per
+/// (config, cycles_per_sec) pair, keyed by the artifact's batch provenance
+/// plus the config name.  `source` names the artifact (e.g. "bench:perf").
+std::vector<RunRecord> ingest_bench_json(const JsonValue& root,
+                                         const std::string& source);
+
+}  // namespace mddsim::obs

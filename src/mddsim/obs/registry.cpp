@@ -86,6 +86,14 @@ double Registry::scalar_value(const Entry& e) const {
   return 0.0;
 }
 
+void Registry::visit_scalars(
+    const std::function<void(const std::string&, double)>& fn) const {
+  for (const Entry& e : order_) {
+    if (e.kind == Kind::Stat) continue;
+    fn(e.name, scalar_value(e));
+  }
+}
+
 void Registry::record_epoch(Cycle cycle) {
   if (!epoch_cycles_.empty() && epoch_cycles_.back() == cycle) return;
   std::vector<double> row;

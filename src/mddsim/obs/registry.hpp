@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -97,6 +98,13 @@ class Registry {
   const StatMetric* find_stat(std::string_view name) const;
 
   std::size_t num_metrics() const { return order_.size(); }
+
+  /// Visits every scalar metric (counters + gauges) in registration order
+  /// with its current value.  Stats are skipped — consumers wanting
+  /// quantiles use find_stat.  This is how the run ledger lifts headline
+  /// values out of the registry without knowing metric names up front.
+  void visit_scalars(
+      const std::function<void(const std::string&, double)>& fn) const;
 
   /// Snapshots every scalar metric (counters + gauges) as one time-series
   /// row stamped with `cycle`.  A repeat call for the cycle already at the

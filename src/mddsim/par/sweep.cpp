@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 
+#include "mddsim/obs/ledger.hpp"
 #include "mddsim/par/thread_pool.hpp"
 
 namespace mddsim::par {
@@ -111,6 +112,69 @@ std::vector<RunResult> SweepRunner::run(const std::vector<SimConfig>& configs,
   for (auto& t : threads) t.join();
   progress->finish();
   if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<RunResult> SweepRunner::run(const std::vector<SimConfig>& configs,
+                                        bool drain,
+                                        obs::SweepProgress* progress,
+                                        const obs::Ledger* ledger,
+                                        const std::string& ledger_path,
+                                        std::size_t* skipped) const {
+  if (skipped) *skipped = 0;
+  if (!ledger) {
+    std::vector<RunResult> results = run(configs, drain, progress);
+    if (!ledger_path.empty()) {
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        obs::Ledger::append(
+            ledger_path,
+            obs::make_run_record(obs::sweep_label(configs[i]), "sweep",
+                                 configs[i], results[i], jobs_, 0.0, drain,
+                                 nullptr, nullptr, ""));
+      }
+    }
+    return results;
+  }
+
+  const std::size_t n = configs.size();
+  std::vector<RunResult> results(n);
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < n; ++i) {
+    const obs::RunRecord* rec =
+        ledger->latest_with_result(obs::sweep_key(configs[i], drain));
+    if (rec) {
+      results[i] = rec->result;  // exact doubles: identical to a re-run
+      if (skipped) ++*skipped;
+    } else {
+      pending.push_back(i);
+    }
+  }
+  if (pending.empty()) {
+    if (progress) {
+      progress->begin(0);
+      progress->finish();
+    }
+    return results;
+  }
+
+  std::vector<SimConfig> todo;
+  todo.reserve(pending.size());
+  for (const std::size_t i : pending) todo.push_back(configs[i]);
+  const std::vector<RunResult> fresh = run(todo, drain, progress);
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    results[pending[j]] = fresh[j];
+  }
+  // Append after the parallel phase, in input order: the ledger file's
+  // content is deterministic regardless of worker scheduling.
+  if (!ledger_path.empty()) {
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      obs::Ledger::append(
+          ledger_path,
+          obs::make_run_record(obs::sweep_label(todo[j]), "sweep", todo[j],
+                               fresh[j], jobs_, 0.0, drain, nullptr, nullptr,
+                               ""));
+    }
+  }
   return results;
 }
 

@@ -6,10 +6,16 @@
 // Results are bit-identical to the jobs=1 serial path by construction —
 // nothing about a run depends on which thread executes it or when.
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "mddsim/obs/progress.hpp"
 #include "mddsim/sim/simulator.hpp"
+
+namespace mddsim::obs {
+class Ledger;
+}
 
 namespace mddsim::par {
 
@@ -43,6 +49,19 @@ class SweepRunner {
   std::vector<RunResult> run(const std::vector<SimConfig>& configs,
                              bool drain = false,
                              obs::SweepProgress* progress = nullptr) const;
+
+  /// Campaign resume: as above, but points whose key (config hash + build
+  /// + drain) already has a full RunResult in `ledger` are answered from
+  /// the recorded result without running — bit-identical, since ledger
+  /// doubles round-trip exactly.  Only the remaining points execute (same
+  /// serial/pool machinery), and when `ledger_path` is non-empty each
+  /// freshly computed point is appended to it in input order.  `skipped`
+  /// (optional) receives the number of points answered from the ledger.
+  std::vector<RunResult> run(const std::vector<SimConfig>& configs, bool drain,
+                             obs::SweepProgress* progress,
+                             const obs::Ledger* ledger,
+                             const std::string& ledger_path,
+                             std::size_t* skipped = nullptr) const;
 
  private:
   int jobs_;

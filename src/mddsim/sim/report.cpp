@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "mddsim/obs/ledger.hpp"
+
 namespace mddsim {
 
 std::string csv_field(std::string_view s) {
@@ -97,6 +99,17 @@ void write_json(std::ostream& os, const std::string& label, const RunResult& r,
   }
   w.end_object();
   os << "\n";
+}
+
+bool append_run_ledger(const std::string& path, const std::string& label,
+                       const std::string& source, const SimConfig& cfg,
+                       const RunResult& r, int jobs, double wall_seconds,
+                       bool drain, const obs::Registry* reg,
+                       const obs::SpanRecorder* spans,
+                       const std::string& verdict) {
+  return obs::Ledger::append(
+      path, obs::make_run_record(label, source, cfg, r, jobs, wall_seconds,
+                                 drain, reg, spans, verdict));
 }
 
 }  // namespace mddsim

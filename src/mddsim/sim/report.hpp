@@ -49,4 +49,16 @@ void write_json(std::ostream& os, const std::string& label, const RunResult& r,
                 const obs::RunProvenance& prov,
                 const obs::SpanRecorder* spans);
 
+/// Ledger emission companion to write_json: builds the full run record
+/// (result, registry headline scalars, span aggregates, verify verdict)
+/// and appends it atomically to the JSONL ledger at `path`.  `reg` and
+/// `spans` may be nullptr; `verdict` is "" when no verification ran.
+/// Returns false on IO error.
+bool append_run_ledger(const std::string& path, const std::string& label,
+                       const std::string& source, const SimConfig& cfg,
+                       const RunResult& r, int jobs, double wall_seconds,
+                       bool drain, const obs::Registry* reg,
+                       const obs::SpanRecorder* spans,
+                       const std::string& verdict);
+
 }  // namespace mddsim

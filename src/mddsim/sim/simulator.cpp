@@ -244,17 +244,28 @@ RunResult Simulator::run(bool drain) {
   if (fi_check_) fi_check_->finish(net_->now());
   if (spans_) spans_->finish(net_->now());
   if (telemetry_) telemetry_->sample(net_->now());  // final partial epoch
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  last_wall_seconds_ = wall_seconds;
   if (registry_) {
     obs::ProfScope scope(net_->profiler(), obs::Phase::MetricsCollect);
     collect_metrics(*registry_);
+    // End-of-run throughput gauges, so wall-clock speed shows up in the
+    // Prometheus/JSON exports and ledger records, not only in bench
+    // harness output.  Registered before the final epoch row so the
+    // time-series closes complete.
+    registry_->gauge("obs.run.wall_seconds", "wall-clock duration of run()")
+        .set(wall_seconds);
+    registry_
+        ->gauge("obs.run.cycles_per_sec", "simulated cycles per wall second")
+        .set(wall_seconds > 0.0
+                 ? static_cast<double>(net_->now()) / wall_seconds
+                 : 0.0);
     if (cfg_.metrics_epoch > 0) registry_->record_epoch(net_->now());
   }
-  if (profiler_) {
-    profiler_->set_total_wall_seconds(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count());
-  }
+  if (profiler_) profiler_->set_total_wall_seconds(wall_seconds);
 
   r.offered_load = cfg_.injection_rate;
   r.throughput = metrics_->throughput();

@@ -107,6 +107,15 @@ class Simulator {
   /// fault plan is armed, or forced via cfg.fi_invariants), or nullptr.
   fi::InvariantChecker* invariant_checker() { return fi_check_.get(); }
 
+  /// Wall-clock duration of the most recent run() (0 before the first run).
+  /// What the obs.run.* gauges and ledger records are stamped with.
+  double last_wall_seconds() const { return last_wall_seconds_; }
+
+  /// Static-verification preflight outcome: true when cfg.verify_preflight
+  /// proved the strict criterion (whole dependency graph acyclic).  Feeds
+  /// the ledger verdict ("strict_pass" vs "pass").
+  bool verify_strict_passed() const { return verify_strict_pass_; }
+
   /// Pull-model collection: copies the simulator's incremental counters
   /// (metrics, deadlock counters, per-router and per-NI state) into `reg`.
   /// Idempotent — repeated calls overwrite, they do not accumulate.
@@ -147,6 +156,7 @@ class Simulator {
   Cycle watch_since_ = 0;             ///< cycle of last observed progress
   bool quiesce_ = true;               ///< event-driven quiescence skipping
   Cycle skipped_ = 0;                 ///< cycles jumped over while idle
+  double last_wall_seconds_ = 0.0;    ///< wall-clock time of the last run()
 
   /// Static-verification preflight outcome (cfg.verify_preflight): when the
   /// strict criterion held — the whole dependency graph is acyclic, not just

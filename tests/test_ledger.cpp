@@ -1,0 +1,448 @@
+// mddsim::obs run ledger + differential comparison (obs v4, DESIGN.md §16):
+// append/load round-trips records bit-for-bit, loading tolerates crash
+// artifacts, the noise-based diff classifies deterministically, and
+// SweepRunner's campaign resume answers recorded points bit-identically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mddsim/common/json.hpp"
+#include "mddsim/common/json_read.hpp"
+#include "mddsim/obs/diff.hpp"
+#include "mddsim/obs/ledger.hpp"
+#include "mddsim/par/sweep.hpp"
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim {
+namespace {
+
+using obs::DeltaClass;
+using obs::DiffOptions;
+using obs::Ledger;
+using obs::RunRecord;
+
+/// Bit-exact double comparison (also equates NaN with NaN, which == can't).
+bool bit_eq(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "ledger_" + name;
+}
+
+RunRecord gnarly_record() {
+  RunRecord rec;
+  rec.label = "PR/PAT271";
+  rec.source = "test";
+  rec.config_hash = "0123456789abcdef";
+  rec.seed = 42;
+  rec.scheme = "PR";
+  rec.pattern = "PAT271";
+  rec.build = "trace=on";
+  rec.compiler = "testc";
+  rec.jobs = 4;
+  rec.drain = true;
+  rec.wall_seconds = 1.0 / 3.0;  // not representable in decimal
+  rec.cycles = 123456789;
+  rec.cycles_per_sec = 123456789.0 / (1.0 / 3.0);
+  rec.verdict = "strict_pass";
+  rec.has_result = true;
+  rec.result.offered_load = 0.1;  // classic round-trip trap
+  rec.result.throughput = 0.30000000000000004;
+  rec.result.avg_packet_latency = 1e-300;  // subnormal-adjacent
+  rec.result.p50_packet_latency = 6.02214076e23;
+  rec.result.p95_packet_latency = std::nextafter(100.0, 101.0);
+  rec.result.p99_packet_latency = std::numeric_limits<double>::quiet_NaN();
+  rec.result.avg_txn_latency = 512.25;
+  rec.result.avg_txn_messages = 4.0;
+  rec.result.packets_delivered = 99;
+  rec.result.txns_completed = 33;
+  rec.result.counters.detections = 1;
+  rec.result.counters.deflections = 2;
+  rec.result.counters.rescues = 3;
+  rec.result.counters.rescued_msgs = 4;
+  rec.result.counters.retries = 5;
+  rec.result.counters.cwg_deadlocks = 6;
+  rec.result.normalized_deadlocks = 7.0 / 99.0;
+  rec.result.drained = true;
+  rec.result.cycles_run = 7500;
+  rec.metrics = {{"obs.spans.blocked.vc_alloc", 17.0},
+                 {"sim.throughput", 0.2999999999999999889}};
+  return rec;
+}
+
+// --- append/load round-trip -------------------------------------------------
+
+TEST(Ledger, AppendLoadRoundTripsBitForBit) {
+  const std::string path = temp_path("roundtrip.jsonl");
+  std::remove(path.c_str());
+  const RunRecord rec = gnarly_record();
+  ASSERT_TRUE(Ledger::append(path, rec));
+  ASSERT_TRUE(Ledger::append(path, rec));  // trajectory of two
+
+  const Ledger led = Ledger::load(path);
+  ASSERT_EQ(led.size(), 2u);
+  EXPECT_EQ(led.truncated_tail(), 0u);
+  EXPECT_EQ(led.malformed_lines(), 0u);
+
+  const RunRecord& back = led.records()[0];
+  EXPECT_EQ(back.schema, rec.schema);
+  EXPECT_EQ(back.key(), rec.key());
+  EXPECT_EQ(back.label, rec.label);
+  EXPECT_EQ(back.source, rec.source);
+  EXPECT_EQ(back.seed, rec.seed);
+  EXPECT_EQ(back.compiler, rec.compiler);
+  EXPECT_EQ(back.jobs, rec.jobs);
+  EXPECT_EQ(back.drain, rec.drain);
+  EXPECT_EQ(back.cycles, rec.cycles);
+  EXPECT_EQ(back.verdict, rec.verdict);
+  EXPECT_TRUE(bit_eq(back.wall_seconds, rec.wall_seconds));
+  EXPECT_TRUE(bit_eq(back.cycles_per_sec, rec.cycles_per_sec));
+
+  ASSERT_TRUE(back.has_result);
+  const RunResult& a = back.result;
+  const RunResult& b = rec.result;
+  EXPECT_TRUE(bit_eq(a.offered_load, b.offered_load));
+  EXPECT_TRUE(bit_eq(a.throughput, b.throughput));
+  EXPECT_TRUE(bit_eq(a.avg_packet_latency, b.avg_packet_latency));
+  EXPECT_TRUE(bit_eq(a.p50_packet_latency, b.p50_packet_latency));
+  EXPECT_TRUE(bit_eq(a.p95_packet_latency, b.p95_packet_latency));
+  EXPECT_TRUE(std::isnan(a.p99_packet_latency));  // null <-> NaN mapping
+  EXPECT_TRUE(bit_eq(a.avg_txn_latency, b.avg_txn_latency));
+  EXPECT_TRUE(bit_eq(a.normalized_deadlocks, b.normalized_deadlocks));
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.txns_completed, b.txns_completed);
+  EXPECT_EQ(a.counters.detections, b.counters.detections);
+  EXPECT_EQ(a.counters.cwg_deadlocks, b.counters.cwg_deadlocks);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+
+  ASSERT_EQ(back.metrics.size(), rec.metrics.size());
+  for (std::size_t i = 0; i < rec.metrics.size(); ++i) {
+    EXPECT_EQ(back.metrics[i].first, rec.metrics[i].first);
+    EXPECT_TRUE(bit_eq(back.metrics[i].second, rec.metrics[i].second));
+  }
+
+  // Index: both records share one key, history in append order.
+  EXPECT_EQ(led.keys().size(), 1u);
+  EXPECT_EQ(led.history(rec.key()).size(), 2u);
+  EXPECT_EQ(led.latest(rec.key()), &led.records()[1]);
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, MissingFileLoadsEmpty) {
+  const Ledger led = Ledger::load(temp_path("never_written.jsonl"));
+  EXPECT_TRUE(led.empty());
+  EXPECT_EQ(led.truncated_tail(), 0u);
+  EXPECT_EQ(led.malformed_lines(), 0u);
+}
+
+TEST(Ledger, ToleratesTruncatedTrailingRecord) {
+  const std::string path = temp_path("truncated.jsonl");
+  std::remove(path.c_str());
+  ASSERT_TRUE(Ledger::append(path, gnarly_record()));
+  // Simulate an append that died mid-line: valid prefix, no newline.
+  {
+    std::ofstream os(path, std::ios::app);
+    os << R"({"schema":"mddsim-ledger-v1","label":"half","config_has)";
+  }
+  const Ledger led = Ledger::load(path);
+  EXPECT_EQ(led.size(), 1u);
+  EXPECT_EQ(led.truncated_tail(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, SkipsMalformedInteriorLines) {
+  const std::string path = temp_path("malformed.jsonl");
+  std::remove(path.c_str());
+  ASSERT_TRUE(Ledger::append(path, gnarly_record()));
+  {
+    std::ofstream os(path, std::ios::app);
+    os << "not json at all\n";
+    os << R"({"schema":"some-other-schema","config_hash":"ff"})" << "\n";
+  }
+  ASSERT_TRUE(Ledger::append(path, gnarly_record()));
+  const Ledger led = Ledger::load(path);
+  EXPECT_EQ(led.size(), 2u);  // the two real records survive
+  EXPECT_EQ(led.malformed_lines(), 2u);
+  EXPECT_EQ(led.truncated_tail(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, CompleteTrailingLineWithoutNewlineStillParses) {
+  const std::string path = temp_path("no_trailing_newline.jsonl");
+  std::remove(path.c_str());
+  std::ostringstream line;
+  {
+    JsonWriter w(line);
+    obs::write_record(w, gnarly_record());
+  }
+  {
+    std::ofstream os(path);
+    os << line.str();  // whole record, but the '\n' never made it to disk
+  }
+  const Ledger led = Ledger::load(path);
+  EXPECT_EQ(led.size(), 1u);
+  EXPECT_EQ(led.truncated_tail(), 0u);
+  std::remove(path.c_str());
+}
+
+// --- differential classification --------------------------------------------
+
+RunRecord perf_record(double cps, const std::string& verdict = "") {
+  RunRecord rec;
+  rec.label = "case";
+  rec.config_hash = "feedfacefeedface";
+  rec.build = "test";
+  rec.wall_seconds = 1.0;
+  rec.cycles = static_cast<std::uint64_t>(cps);
+  rec.cycles_per_sec = cps;
+  rec.verdict = verdict;
+  return rec;
+}
+
+TEST(Diff, ThresholdFallbackClassifiesByPolarity) {
+  const DiffOptions opts;  // threshold 25%, min_history 3
+  const RunRecord base = perf_record(100000.0);
+  const std::vector<const RunRecord*> hist = {&base};
+
+  // cycles_per_sec is HigherBetter: -30% regresses, +30% improves, -10%
+  // sits inside the 25% fallback band.
+  EXPECT_TRUE(obs::diff_record(perf_record(70000.0), hist, opts).regression());
+  const obs::RecordDiff up =
+      obs::diff_record(perf_record(130000.0), hist, opts);
+  EXPECT_FALSE(up.regression());
+  EXPECT_EQ(up.improved, 1u);
+  const obs::RecordDiff small =
+      obs::diff_record(perf_record(90000.0), hist, opts);
+  EXPECT_FALSE(small.regression());
+  EXPECT_EQ(small.unchanged + small.improved, small.deltas.size());
+}
+
+TEST(Diff, ExactMetricsRegressOnAnysignificantDrift) {
+  const DiffOptions opts;
+  RunRecord base = perf_record(100000.0);
+  base.metrics.emplace_back("sim.packets_delivered", 1000.0);
+  RunRecord fresh = perf_record(100000.0);
+  fresh.metrics.emplace_back("sim.packets_delivered", 1500.0);  // +50% "more"
+  // Exact polarity: a deterministic counter moving either way is a
+  // regression — the simulation stopped reproducing itself.
+  EXPECT_TRUE(obs::diff_record(fresh, {&base}, opts).regression());
+}
+
+TEST(Diff, VerdictDowngradeAlwaysGates) {
+  const DiffOptions opts;
+  const RunRecord base = perf_record(100000.0, "strict_pass");
+  const RunRecord same_perf_fail = perf_record(100000.0, "fail");
+  const obs::RecordDiff rd =
+      obs::diff_record(same_perf_fail, {&base}, opts);
+  EXPECT_TRUE(rd.verdict_flip);
+  EXPECT_TRUE(rd.regression());
+  // Upgrade (pass -> strict_pass) is not a flip.
+  const RunRecord upgraded = perf_record(100000.0, "strict_pass");
+  const RunRecord base_pass = perf_record(100000.0, "pass");
+  EXPECT_FALSE(obs::diff_record(upgraded, {&base_pass}, opts).verdict_flip);
+}
+
+TEST(Diff, NoiseModelKicksInWithEnoughHistory) {
+  const DiffOptions opts;  // noise_mult 3
+  const RunRecord h1 = perf_record(100000.0);
+  const RunRecord h2 = perf_record(102000.0);
+  const RunRecord h3 = perf_record(98000.0);
+  const std::vector<const RunRecord*> hist = {&h1, &h2, &h3};
+  // sigma = 2000, so the band is ±6000 around the mean 100000: a 5k dip
+  // is noise, a 30k dip is a regression.
+  EXPECT_FALSE(obs::diff_record(perf_record(95000.0), hist, opts).regression());
+  EXPECT_TRUE(obs::diff_record(perf_record(70000.0), hist, opts).regression());
+  const obs::RecordDiff rd = obs::diff_record(perf_record(70000.0), hist, opts);
+  for (const obs::MetricDelta& d : rd.deltas) {
+    if (d.name == "run.cycles_per_sec") {
+      EXPECT_EQ(d.history, 3u);
+      EXPECT_GT(d.sigma, 0.0);
+    }
+  }
+}
+
+TEST(Diff, DeterministicOutput) {
+  const DiffOptions opts;
+  const RunRecord h1 = perf_record(100000.0);
+  const RunRecord h2 = perf_record(101000.0);
+  const RunRecord h3 = perf_record(99500.0);
+  const RunRecord fresh = perf_record(64000.0, "pass");
+  std::ostringstream a, b;
+  obs::write_diff_json(a, {obs::diff_record(fresh, {&h1, &h2, &h3}, opts)},
+                       opts);
+  obs::write_diff_json(b, {obs::diff_record(fresh, {&h1, &h2, &h3}, opts)},
+                       opts);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_FALSE(a.str().empty());
+}
+
+TEST(Diff, SelfTrajectoryPasses) {
+  // Re-appending the same run and diffing the trajectory must never gate.
+  Ledger led;
+  led.add(perf_record(100000.0, "strict_pass"));
+  led.add(perf_record(100000.0, "strict_pass"));
+  const std::vector<obs::RecordDiff> diffs =
+      obs::diff_trajectory(led, DiffOptions{});
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_FALSE(obs::any_regression(diffs));
+}
+
+TEST(Diff, SingleRecordKeysAreNewNotRegressed) {
+  Ledger led;
+  led.add(perf_record(100000.0));
+  const std::vector<obs::RecordDiff> diffs =
+      obs::diff_trajectory(led, DiffOptions{});
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_TRUE(diffs[0].baseline_missing);
+  EXPECT_FALSE(obs::any_regression(diffs));
+}
+
+// --- bench artifact ingestion -----------------------------------------------
+
+TEST(Ledger, ScanBenchCyclesPairsInDocumentOrder) {
+  const char* artifact = R"({
+    "provenance": {"config_hash": "abc123", "scheme": "PR", "build": "b"},
+    "single_thread": [
+      {"config": "a", "cycles_per_sec": 100.0},
+      {"config": "b", "other": 1, "cycles_per_sec": 200.0}
+    ],
+    "intra_scaling": [{"config": "a", "cycles_per_sec": 150.0}]
+  })";
+  JsonValue root;
+  std::string err;
+  ASSERT_TRUE(json_parse(artifact, &root, &err)) << err;
+  const auto pairs = obs::scan_bench_cycles(root);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].first, "a");
+  EXPECT_EQ(pairs[0].second, 100.0);
+  EXPECT_EQ(pairs[2].second, 150.0);
+
+  // Ingestion keeps the headline (first) pairing per config and keys every
+  // record by the artifact's batch hash.
+  const std::vector<RunRecord> recs = obs::ingest_bench_json(root, "bench:t");
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].config_hash, "abc123");
+  EXPECT_EQ(recs[0].label, "a");
+  EXPECT_EQ(recs[0].cycles_per_sec, 100.0);
+  EXPECT_EQ(recs[1].label, "b");
+}
+
+TEST(Ledger, UnkeyedBenchArtifactIngestsNothing) {
+  JsonValue root;
+  std::string err;
+  ASSERT_TRUE(json_parse(R"({"single_thread": [{"config": "a",
+                          "cycles_per_sec": 5.0}]})", &root, &err));
+  EXPECT_TRUE(obs::ingest_bench_json(root, "bench:t").empty());
+}
+
+// --- sweep campaign resume --------------------------------------------------
+
+std::vector<SimConfig> resume_configs(int n) {
+  std::vector<SimConfig> configs;
+  double rate = 0.004;
+  for (int i = 0; i < n; ++i) {
+    SimConfig cfg;
+    cfg.scheme = Scheme::PR;
+    cfg.pattern = "PAT271";
+    cfg.k = 4;
+    cfg.vcs_per_link = 4;
+    cfg.injection_rate = rate;
+    cfg.warmup_cycles = 200;
+    cfg.measure_cycles = 800;
+    configs.push_back(cfg);
+    rate += 0.003;
+  }
+  return configs;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_TRUE(bit_eq(a.throughput, b.throughput));
+  EXPECT_TRUE(bit_eq(a.avg_packet_latency, b.avg_packet_latency));
+  EXPECT_TRUE(bit_eq(a.p99_packet_latency, b.p99_packet_latency));
+  EXPECT_TRUE(bit_eq(a.avg_txn_latency, b.avg_txn_latency));
+  EXPECT_TRUE(bit_eq(a.normalized_deadlocks, b.normalized_deadlocks));
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.txns_completed, b.txns_completed);
+  EXPECT_EQ(a.counters.detections, b.counters.detections);
+  EXPECT_EQ(a.counters.deflections, b.counters.deflections);
+  EXPECT_EQ(a.counters.rescues, b.counters.rescues);
+  EXPECT_EQ(a.counters.retries, b.counters.retries);
+  EXPECT_EQ(a.counters.cwg_deadlocks, b.counters.cwg_deadlocks);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+}
+
+TEST(SweepResume, SkipsRecordedPointsBitIdentically) {
+  const std::string path = temp_path("resume.jsonl");
+  std::remove(path.c_str());
+  const std::vector<SimConfig> configs = resume_configs(3);
+  const par::SweepRunner runner(1);
+
+  // First campaign: empty ledger, everything runs and is appended.
+  const Ledger empty = Ledger::load(path);
+  std::size_t skipped = ~std::size_t{0};
+  const std::vector<RunResult> first =
+      runner.run(configs, false, nullptr, &empty, path, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(Ledger::load(path).size(), 3u);
+
+  // Re-run against the populated ledger: all points answered from it.
+  const Ledger full = Ledger::load(path);
+  const std::vector<RunResult> second =
+      runner.run(configs, false, nullptr, &full, path, &skipped);
+  EXPECT_EQ(skipped, 3u);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i));
+    expect_identical(first[i], second[i]);
+  }
+  // No re-run, no new records.
+  EXPECT_EQ(Ledger::load(path).size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepResume, PartialResumeRunsOnlyFreshPoints) {
+  const std::string path = temp_path("partial.jsonl");
+  std::remove(path.c_str());
+  const std::vector<SimConfig> three = resume_configs(3);
+  const std::vector<SimConfig> four = resume_configs(4);
+  const par::SweepRunner runner(1);
+
+  const Ledger empty = Ledger::load(path);
+  const std::vector<RunResult> first =
+      runner.run(three, false, nullptr, &empty, path, nullptr);
+
+  std::size_t skipped = 0;
+  const Ledger populated = Ledger::load(path);
+  const std::vector<RunResult> grown =
+      runner.run(four, false, nullptr, &populated, path, &skipped);
+  EXPECT_EQ(skipped, 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    SCOPED_TRACE("recorded point " + std::to_string(i));
+    expect_identical(first[i], grown[i]);
+  }
+  // The fresh 4th point matches a from-scratch run of that config alone.
+  Simulator solo(four[3]);
+  expect_identical(solo.run(false), grown[3]);
+  // And it got recorded, so the campaign file now covers all four.
+  EXPECT_EQ(Ledger::load(path).size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepResume, DrainFlagSeparatesKeys) {
+  // The same config run with and without drain must not resume from each
+  // other's records: drain changes the result.
+  const std::vector<SimConfig> one = resume_configs(1);
+  EXPECT_NE(obs::sweep_key(one[0], true), obs::sweep_key(one[0], false));
+}
+
+}  // namespace
+}  // namespace mddsim

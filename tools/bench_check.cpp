@@ -16,10 +16,11 @@
 // Exit codes: 0 = ok (or updated), 1 = regression past threshold,
 //             2 = usage / IO / parse error.
 //
-// The JSON scan is deliberately minimal: it pairs each `"config": "NAME"`
-// with the next `"cycles_per_sec": VALUE` in the same artifact, which is
-// exactly the shape bench_util's write_bench_json emits.  No general JSON
-// parser is needed (or wanted) for a CI guard.
+// The artifact scan pairs each `"config": "NAME"` with the next
+// `"cycles_per_sec": VALUE` in document order — exactly the shape
+// bench_util's write_bench_json emits — via the shared ledger reader
+// (obs::scan_bench_cycles over the common JSON parser), the same code
+// path mdd_diff ingests bench artifacts through.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,37 +30,10 @@
 #include <string>
 #include <vector>
 
-namespace {
+#include "mddsim/common/json_read.hpp"
+#include "mddsim/obs/ledger.hpp"
 
-/// Extracts (config name, cycles_per_sec) pairs from a bench JSON artifact.
-std::map<std::string, double> scan_bench_json(const std::string& text) {
-  std::map<std::string, double> out;
-  std::string pending;  // config name awaiting its cycles_per_sec
-  std::size_t pos = 0;
-  while (pos < text.size()) {
-    const std::size_t cfg = text.find("\"config\"", pos);
-    const std::size_t cps = text.find("\"cycles_per_sec\"", pos);
-    if (cfg == std::string::npos && cps == std::string::npos) break;
-    if (cfg < cps) {
-      // "config": "name" — the first quote after the key (and its colon) is
-      // the value's opening quote.
-      const std::size_t q1 = text.find('"', cfg + 8);
-      const std::size_t q2 =
-          q1 == std::string::npos ? q1 : text.find('"', q1 + 1);
-      if (q2 == std::string::npos) break;
-      pending = text.substr(q1 + 1, q2 - q1 - 1);
-      pos = q2 + 1;
-    } else {
-      const std::size_t colon = text.find(':', cps);
-      if (colon == std::string::npos) break;
-      const double v = std::strtod(text.c_str() + colon + 1, nullptr);
-      if (!pending.empty() && v > 0.0) out[pending] = v;
-      pending.clear();
-      pos = colon + 1;
-    }
-  }
-  return out;
-}
+namespace {
 
 std::map<std::string, double> read_baseline(const std::string& path,
                                             bool* ok) {
@@ -130,7 +104,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bench_check: cannot read %s\n", paths[i].c_str());
       return 2;
     }
-    for (const auto& [name, v] : scan_bench_json(text)) fresh[name] = v;
+    mddsim::JsonValue root;
+    std::string err;
+    if (!mddsim::json_parse(text, &root, &err)) {
+      std::fprintf(stderr, "bench_check: %s: %s\n", paths[i].c_str(),
+                   err.c_str());
+      return 2;
+    }
+    // Document order with later-wins, matching the original string scan.
+    for (const auto& [name, v] : mddsim::obs::scan_bench_cycles(root)) {
+      fresh[name] = v;
+    }
   }
   if (fresh.empty()) {
     std::fprintf(stderr,
@@ -147,7 +131,7 @@ int main(int argc, char** argv) {
     }
     os << "# bench_check baseline: simulated cycles per wall-clock second\n"
        << "# per bench_perf config.  Regenerate on a quiet machine with:\n"
-       << "#   tools/bench_check --update <this file> BENCH_perf.json\n";
+       << "#   tools/bench_check --update <this file> bench/BENCH_perf.json\n";
     char buf[160];
     for (const auto& [name, v] : fresh) {
       std::snprintf(buf, sizeof(buf), "%s %.1f\n", name.c_str(), v);

@@ -1,0 +1,309 @@
+// mdd_diff: differential run comparison over the mddsim run ledger
+// (DESIGN.md §16).  CI's hard regression sentinel.
+//
+// Modes
+//   mdd_diff [opts] LEDGER.jsonl
+//       Trajectory mode: for every key, diff the newest record against the
+//       records before it (the key's own history is the noise model).
+//   mdd_diff [opts] BASELINE FRESH
+//       Candidate mode: diff every record of FRESH against the matching
+//       key's trajectory in BASELINE.  Either argument may be a ledger
+//       (.jsonl) or a bench artifact (BENCH_*.json, ingested via the shared
+//       reader).
+//   mdd_diff --ingest LEDGER.jsonl BENCH.json...
+//       Appends every (config, cycles_per_sec) record of the artifacts to
+//       the ledger, then exits.  CI grows its seed-ledger copy this way
+//       before gating.
+//   mdd_diff --selftest
+//       In-memory check of the gate semantics (used by the ctest smoke
+//       test): a seeded -30% cycles/sec regression and a flipped verify
+//       verdict must gate, an identical re-run must not.
+//
+// Options
+//   --gate             exit 1 when any record regressed (default: report only)
+//   --json             emit structured JSON instead of the human table
+//   --verbose          table lists unchanged/new metrics too
+//   --threshold PCT    fallback band when history < min-history (default 25)
+//   --noise-mult X     tolerance = X * sigma with enough history (default 3)
+//   --min-history N    records needed to trust the noise model (default 3)
+//
+// Exit codes: 0 ok / no gated regression, 1 regression (--gate or selftest
+// failure), 2 usage or IO error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mddsim/common/json.hpp"
+#include "mddsim/common/json_read.hpp"
+#include "mddsim/obs/diff.hpp"
+#include "mddsim/obs/ledger.hpp"
+
+namespace {
+
+using mddsim::JsonValue;
+using mddsim::json_parse;
+using namespace mddsim::obs;
+
+int usage() {
+  std::cerr
+      << "usage: mdd_diff [opts] LEDGER.jsonl            trajectory mode\n"
+         "       mdd_diff [opts] BASELINE FRESH          candidate mode\n"
+         "       mdd_diff --ingest LEDGER BENCH.json...  append bench "
+         "records\n"
+         "       mdd_diff --selftest\n"
+         "opts: --gate --json --verbose --threshold PCT --noise-mult X "
+         "--min-history N\n";
+  return 2;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Loads either a ledger (.jsonl) or a bench artifact (.json) as a Ledger.
+bool load_any(const std::string& path, Ledger* out) {
+  if (!ends_with(path, ".json")) {
+    *out = Ledger::load(path);
+    if (out->empty() && out->truncated_tail() == 0 &&
+        out->malformed_lines() == 0) {
+      std::ifstream probe(path);
+      if (!probe) {
+        std::cerr << "mdd_diff: cannot read " << path << "\n";
+        return false;
+      }
+    }
+    return true;
+  }
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::cerr << "mdd_diff: cannot read " << path << "\n";
+    return false;
+  }
+  JsonValue root;
+  std::string err;
+  if (!json_parse(text, &root, &err)) {
+    std::cerr << "mdd_diff: " << path << ": " << err << "\n";
+    return false;
+  }
+  *out = Ledger();
+  for (RunRecord& rec : ingest_bench_json(root, "bench:" + path)) {
+    out->add(std::move(rec));
+  }
+  if (out->empty()) {
+    std::cerr << "mdd_diff: " << path
+              << ": no keyed (config, cycles_per_sec) records found\n";
+    return false;
+  }
+  return true;
+}
+
+int run_ingest(const std::vector<std::string>& paths) {
+  if (paths.size() < 2) return usage();
+  const std::string& ledger_path = paths[0];
+  std::size_t appended = 0;
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    std::string text;
+    if (!read_file(paths[i], &text)) {
+      std::cerr << "mdd_diff: cannot read " << paths[i] << "\n";
+      return 2;
+    }
+    JsonValue root;
+    std::string err;
+    if (!json_parse(text, &root, &err)) {
+      std::cerr << "mdd_diff: " << paths[i] << ": " << err << "\n";
+      return 2;
+    }
+    const std::vector<RunRecord> recs =
+        ingest_bench_json(root, "bench:" + paths[i]);
+    if (recs.empty()) {
+      std::cerr << "mdd_diff: " << paths[i]
+                << ": no keyed (config, cycles_per_sec) records found\n";
+      return 2;
+    }
+    for (const RunRecord& rec : recs) {
+      if (!Ledger::append(ledger_path, rec)) {
+        std::cerr << "mdd_diff: append to " << ledger_path << " failed\n";
+        return 2;
+      }
+      ++appended;
+    }
+  }
+  std::cout << "mdd_diff: appended " << appended << " records to "
+            << ledger_path << "\n";
+  return 0;
+}
+
+RunRecord synthetic_record(double cycles_per_sec, const std::string& verdict) {
+  RunRecord rec;
+  rec.label = "selftest";
+  rec.source = "selftest";
+  rec.config_hash = "deadbeefdeadbeef";
+  rec.scheme = "PR";
+  rec.pattern = "PAT271";
+  rec.build = "selftest";
+  rec.wall_seconds = 1.0;
+  rec.cycles = static_cast<std::uint64_t>(cycles_per_sec);
+  rec.cycles_per_sec = cycles_per_sec;
+  rec.verdict = verdict;
+  rec.metrics.emplace_back("sim.packets_delivered", 1234.0);
+  return rec;
+}
+
+int selftest() {
+  int failures = 0;
+  const auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::cerr << "selftest FAIL: " << what << "\n";
+      ++failures;
+    }
+  };
+  const DiffOptions opts;  // defaults: 25% fallback, 3 sigma, history >= 3
+  const RunRecord base = synthetic_record(100000.0, "strict_pass");
+  const std::vector<const RunRecord*> hist = {&base};
+
+  // A -30% cycles/sec drop must gate under the 25% fallback band.
+  const RunRecord slow = synthetic_record(70000.0, "strict_pass");
+  expect(diff_record(slow, hist, opts).regression(),
+         "-30% cycles/sec must regress");
+
+  // A verdict downgrade must gate even with identical numbers.
+  const RunRecord flipped = synthetic_record(100000.0, "fail");
+  expect(diff_record(flipped, hist, opts).regression(),
+         "strict_pass -> fail must regress");
+
+  // Re-appending the same run and re-diffing against its own trajectory
+  // must pass: identical numbers sit inside any tolerance band.
+  const RunRecord same = synthetic_record(100000.0, "strict_pass");
+  expect(!diff_record(same, hist, opts).regression(),
+         "identical re-run must not regress");
+
+  // A -30% drop within a *noisy* trajectory (sigma-based band) must still
+  // gate, and a within-noise wiggle must not.
+  const RunRecord h1 = synthetic_record(100000.0, "strict_pass");
+  const RunRecord h2 = synthetic_record(101000.0, "strict_pass");
+  const RunRecord h3 = synthetic_record(99000.0, "strict_pass");
+  const std::vector<const RunRecord*> noisy = {&h1, &h2, &h3};
+  expect(diff_record(slow, noisy, opts).regression(),
+         "-30% must regress against 3-record noise model");
+  const RunRecord wiggle = synthetic_record(100500.0, "strict_pass");
+  expect(!diff_record(wiggle, noisy, opts).regression(),
+         "within-noise wiggle must not regress");
+
+  // Determinism: the same comparison twice yields identical JSON.
+  std::ostringstream a, b;
+  write_diff_json(a, {diff_record(slow, noisy, opts)}, opts);
+  write_diff_json(b, {diff_record(slow, noisy, opts)}, opts);
+  expect(a.str() == b.str(), "diff output must be deterministic");
+
+  // Serialization round-trip preserves the record bit-for-bit.
+  std::ostringstream line;
+  {
+    mddsim::JsonWriter w(line);
+    write_record(w, base);
+  }
+  JsonValue v;
+  std::string err;
+  RunRecord back;
+  expect(json_parse(line.str(), &v, &err) && parse_record(v, &back),
+         "record round-trip must parse");
+  expect(back.key() == base.key() &&
+             back.cycles_per_sec == base.cycles_per_sec &&
+             back.wall_seconds == base.wall_seconds,
+         "record round-trip must be exact");
+
+  if (failures == 0) {
+    std::cout << "mdd_diff selftest: all checks passed\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gate = false;
+  bool json = false;
+  bool verbose = false;
+  bool ingest = false;
+  DiffOptions opts;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--gate") {
+      gate = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--ingest") {
+      ingest = true;
+    } else if (arg == "--selftest") {
+      return selftest();
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (!v) return usage();
+      opts.threshold_pct = std::atof(v);
+    } else if (arg == "--noise-mult") {
+      const char* v = next();
+      if (!v) return usage();
+      opts.noise_mult = std::atof(v);
+    } else if (arg == "--min-history") {
+      const char* v = next();
+      if (!v) return usage();
+      opts.min_history = static_cast<std::size_t>(std::atol(v));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mdd_diff: unknown option " << arg << "\n";
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (ingest) return run_ingest(paths);
+
+  std::vector<RecordDiff> diffs;
+  if (paths.size() == 1) {
+    Ledger led;
+    if (!load_any(paths[0], &led)) return 2;
+    diffs = diff_trajectory(led, opts);
+  } else if (paths.size() == 2) {
+    Ledger baseline, fresh;
+    if (!load_any(paths[0], &baseline) || !load_any(paths[1], &fresh)) {
+      return 2;
+    }
+    diffs = diff_against(baseline, fresh, opts);
+  } else {
+    return usage();
+  }
+
+  if (json) {
+    write_diff_json(std::cout, diffs, opts);
+  } else {
+    write_diff_table(std::cout, diffs, verbose);
+  }
+  if (gate && any_regression(diffs)) {
+    std::cerr << "mdd_diff: REGRESSION gate failed\n";
+    return 1;
+  }
+  return 0;
+}
