@@ -12,6 +12,8 @@
 //                        counterexample DOT included) and exits 0 on PASS,
 //                        4 on FAIL.  =strict also demands the recovery-free
 //                        graph be acyclic (informational for PR/RG).
+//     --verify-out FILE  with --verify: also write the verdict JSON to FILE
+//                        (implies --verify; stdout format is unchanged)
 //     --sweep R1,R2,...  run one simulation per injection rate (parallel)
 //     --jobs N           worker threads (default: MDDSIM_JOBS env or
 //                        hardware concurrency; 1 = serial).  With --sweep:
@@ -87,6 +89,7 @@ namespace {
 void print_help() {
   std::printf("usage: mddsim_cli [--help] [--config FILE] [--drain] "
               "[--csv|--json] [--print-config] [--verify[=strict]]\n"
+              "                  [--verify-out FILE]\n"
               "                  [--sweep R1,R2,...] [--jobs N] "
               "[--progress[=human|jsonl]]\n"
               "                  [--fault SPEC] [--rebaseline FILE]\n"
@@ -131,7 +134,7 @@ int main(int argc, char** argv) {
   bool profile_report = false;
   bool verify_mode = false, verify_strict = false;
   std::string trace_out, heatmap_out, forensics_dir, metrics_out, profile_out;
-  std::string spans_out, rebaseline_out, ledger_path;
+  std::string spans_out, rebaseline_out, ledger_path, verify_out;
   bool span_stats = false;
   obs::ProgressMode progress_mode = obs::ProgressMode::Off;
   std::vector<double> sweep_rates;
@@ -158,6 +161,11 @@ int main(int argc, char** argv) {
         verify_mode = true;
       } else if (arg == "--verify=strict") {
         verify_mode = verify_strict = true;
+      } else if (arg == "--verify-out") {
+        if (++i >= argc)
+          throw ConfigError("--verify-out needs a file argument");
+        verify_out = argv[i];
+        verify_mode = true;
       } else if (arg == "--trace-out") {
         if (++i >= argc) throw ConfigError("--trace-out needs a file argument");
         trace_out = argv[i];
@@ -265,6 +273,15 @@ int main(int argc, char** argv) {
     // report, and exit without simulating a single cycle.
     const verify::Verdict v =
         verify::run_verify(verify::VerifyInputs::from_config(cfg));
+    if (!verify_out.empty()) {
+      std::ofstream os(verify_out);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n", verify_out.c_str());
+        return 3;
+      }
+      os << v.json() << '\n';
+      std::fprintf(stderr, "[obs] verdict json -> %s\n", verify_out.c_str());
+    }
     if (json) {
       std::fputs(v.json().c_str(), stdout);
       std::fputc('\n', stdout);

@@ -81,6 +81,10 @@ const std::vector<ConfigKey>& known_keys() {
       {"dims", "mixed-radix override, e.g. 2x4 (overrides k/n)"},
       {"torus", "torus (1) or mesh (0)"},
       {"bristling", "processors per router"},
+      {"topology",
+       "verify-only digraph topology: file:PATH, dragonfly:a,h[,b], "
+       "fattree:l,s[,b] or cmesh:x,y,c"},
+      {"routing", "routing: kary (default) or table (mesh, synthesized)"},
       {"vcs", "virtual channels per physical link"},
       {"buffers", "flit buffers per virtual channel"},
       {"shared_adaptive",
@@ -142,6 +146,12 @@ void apply_config_option(SimConfig& cfg, std::string_view assignment) {
   else if (key == "dims") cfg.dims = parse_dims(key, val);
   else if (key == "torus") cfg.torus = parse_bool(key, val);
   else if (key == "bristling") cfg.bristling = parse_int(key, val);
+  else if (key == "topology") cfg.topology_spec = std::string(val);
+  else if (key == "routing") {
+    if (val == "kary") cfg.table_routing = false;
+    else if (val == "table") cfg.table_routing = true;
+    else bad_value(key, val);
+  }
   else if (key == "vcs") cfg.vcs_per_link = parse_int(key, val);
   else if (key == "buffers") cfg.flit_buffer_depth = parse_int(key, val);
   else if (key == "shared_adaptive") cfg.shared_adaptive = parse_bool(key, val);
@@ -235,8 +245,15 @@ std::string config_to_string(const SimConfig& cfg) {
     os << "\n";
   }
   os << "torus=" << (cfg.torus ? 1 : 0) << "\n"
-     << "bristling=" << cfg.bristling << "\n"
-     << "vcs=" << cfg.vcs_per_link << "\n"
+     << "bristling=" << cfg.bristling << "\n";
+  // Emitted only when non-default: the canonical form (and so every config
+  // hash feeding golden baselines, provenance and the perf gate) is stable
+  // for configurations that predate these keys.
+  if (!cfg.topology_spec.empty()) {
+    os << "topology=" << cfg.topology_spec << "\n";
+  }
+  if (cfg.table_routing) os << "routing=table\n";
+  os << "vcs=" << cfg.vcs_per_link << "\n"
      << "buffers=" << cfg.flit_buffer_depth << "\n"
      << "shared_adaptive=" << (cfg.shared_adaptive ? 1 : 0) << "\n"
      << "queue_size=" << cfg.msg_queue_size << "\n"

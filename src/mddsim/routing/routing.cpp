@@ -26,10 +26,33 @@ RoutingAlgorithm::RoutingAlgorithm(Kind kind, const Topology& topo,
                     "escape channels insufficient for deadlock-free DOR");
     }
   }
+  MDD_CHECK_MSG(kind != Kind::Table,
+                "Kind::Table requires the digraph+table constructor");
 }
 
-void RoutingAlgorithm::eject_candidates(const Packet& pkt,
-                                        std::vector<RouteCandidate>& out) const {
+RoutingAlgorithm::RoutingAlgorithm(
+    const Topology& topo, const VcLayout& layout,
+    std::shared_ptr<const DigraphTopology> digraph,
+    std::shared_ptr<const RoutingTable> table)
+    : kind_(Kind::Table),
+      topo_(topo),
+      layout_(layout),
+      digraph_(std::move(digraph)),
+      table_(std::move(table)) {
+  MDD_CHECK_MSG(!topo.wrap(),
+                "table routing carries no dateline state (mesh only)");
+  MDD_CHECK_MSG(digraph_->num_nodes() == topo.num_routers() &&
+                    digraph_->num_dests() == topo.num_routers(),
+                "table routing needs the identity from_kary digraph");
+  for (const auto& c : layout_.classes) {
+    MDD_CHECK_MSG(c.escape > table_->max_escape_lane(),
+                  "routing table names an escape lane the layout lacks");
+    MDD_CHECK_MSG(c.escape >= 1, "table routing needs an escape VC per class");
+  }
+}
+
+void RoutingAlgorithm::eject_candidates(
+    const Packet& pkt, std::vector<RouteCandidate>& out) const {
   const ClassRange& cr = layout_.of_class(pkt.vc_class);
   const int port = eject_port(pkt.dst);
   if (kind_ == Kind::DOR) {
@@ -47,6 +70,15 @@ RouteCandidate RoutingAlgorithm::escape_candidate(RouterId r,
   const RouterId dst_router = topo_.router_of_node(pkt.dst);
   if (r == dst_router) {
     return {eject_port(pkt.dst), cr.base};
+  }
+  if (kind_ == Kind::Table) {
+    for (const RoutingTable::Hop* h = table_->begin(r, dst_router);
+         h != table_->end(r, dst_router); ++h) {
+      if (h->escape()) {
+        return {digraph_->kary_port(h->edge), cr.base + h->lane};
+      }
+    }
+    MDD_CHECK_MSG(false, "routing table has no escape hop");
   }
   static thread_local std::vector<DimHop> hops;
   topo_.min_hops(r, dst_router, hops);
@@ -76,6 +108,28 @@ void RoutingAlgorithm::candidates(RouterId r, const Packet& pkt,
     return;
   }
   const ClassRange& cr = layout_.of_class(pkt.vc_class);
+  if (kind_ == Kind::Table) {
+    // Adaptive hops first, the (single) escape hop last, mirroring the
+    // DOR/Duato candidate order so allocation prefers adaptive channels.
+    RouteCandidate escape{-1, -1};
+    for (const RoutingTable::Hop* h = table_->begin(r, dst_router);
+         h != table_->end(r, dst_router); ++h) {
+      const int port = digraph_->kary_port(h->edge);
+      if (h->escape()) {
+        escape = {port, cr.base + h->lane};
+        continue;
+      }
+      for (int v = cr.base + cr.escape; v < cr.base + cr.count; ++v) {
+        out.push_back({port, v});
+      }
+      for (int v = cr.shared_base; v < cr.shared_base + cr.shared_count; ++v) {
+        out.push_back({port, v});
+      }
+    }
+    MDD_CHECK_MSG(escape.port >= 0, "routing table has no escape hop");
+    out.push_back(escape);
+    return;
+  }
   if (kind_ != Kind::DOR) {
     static thread_local std::vector<DimHop> hops;
     topo_.min_hops(r, dst_router, hops);

@@ -1,13 +1,18 @@
 #pragma once
 // Routing algorithms: dimension-order (DOR) with dateline escape channels,
-// Duato's protocol (minimal adaptive + escape), and True Fully Adaptive
-// Routing (TFAR).  Candidates name the *downstream* VC the packet would
-// arrive on; allocation of that VC happens in the router.
+// Duato's protocol (minimal adaptive + escape), True Fully Adaptive
+// Routing (TFAR), and table-driven routing over a digraph view of the
+// topology.  Candidates name the *downstream* VC the packet would arrive
+// on; allocation of that VC happens in the router.
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mddsim/flow/packet.hpp"
+#include "mddsim/routing/table.hpp"
 #include "mddsim/routing/vc_layout.hpp"
+#include "mddsim/topology/digraph.hpp"
 #include "mddsim/topology/topology.hpp"
 
 namespace mddsim {
@@ -21,13 +26,21 @@ struct RouteCandidate {
 
 class RoutingAlgorithm {
  public:
-  enum class Kind {
+  enum class Kind : std::uint8_t {
     DOR,    ///< deterministic dimension-order on escape VCs only
     Duato,  ///< minimal fully adaptive on adaptive VCs + DOR escape
     TFAR,   ///< minimal fully adaptive on every VC of the class
+    Table,  ///< table-driven hops over a digraph view (k-ary meshes only)
   };
 
   RoutingAlgorithm(Kind kind, const Topology& topo, const VcLayout& layout);
+
+  /// Table-driven construction (`routing=table`): `digraph` must be the
+  /// identity from_kary view of `topo` (a mesh — table lookups carry no
+  /// dateline state) and `table` a complete table over it.
+  RoutingAlgorithm(const Topology& topo, const VcLayout& layout,
+                   std::shared_ptr<const DigraphTopology> digraph,
+                   std::shared_ptr<const RoutingTable> table);
 
   /// Routing discipline a scheme runs on a given layout (paper §4.3.1):
   /// PR/RG use TFAR; SA/DR use Duato's protocol when the layout leaves
@@ -67,6 +80,8 @@ class RoutingAlgorithm {
   Kind kind_;
   const Topology& topo_;
   VcLayout layout_;
+  std::shared_ptr<const DigraphTopology> digraph_;  // Kind::Table only
+  std::shared_ptr<const RoutingTable> table_;       // Kind::Table only
   // min_hops scratch is a function-local thread_local in routing.cpp:
   // candidates() runs for every blocked head every cycle (per-call vector
   // allocation is measurable) and must stay safe under the within-run

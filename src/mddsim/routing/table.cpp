@@ -1,0 +1,239 @@
+#include "mddsim/routing/table.hpp"
+
+#include <algorithm>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/topology/topology.hpp"
+
+namespace mddsim {
+
+RoutingTable::RoutingTable(int num_nodes, int num_dests)
+    : num_nodes_(num_nodes), num_dests_(num_dests) {}
+
+void RoutingTable::freeze(std::vector<std::vector<Hop>>& dense) {
+  offsets_.assign(dense.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    auto& cell = dense[i];
+    std::sort(cell.begin(), cell.end(), [](const Hop& a, const Hop& b) {
+      return a.edge != b.edge ? a.edge < b.edge : a.lane < b.lane;
+    });
+    offsets_[i] = static_cast<int>(total);
+    total += cell.size();
+  }
+  offsets_[dense.size()] = static_cast<int>(total);
+  hops_.reserve(total);
+  for (auto& cell : dense) {
+    for (const Hop& h : cell) {
+      hops_.push_back(h);
+      max_escape_lane_ = std::max(max_escape_lane_, h.lane);
+    }
+  }
+}
+
+RoutingTable::RoutingTable(const DigraphTopology& g,
+                           const std::vector<RouteSpec>& routes,
+                           const std::string& origin)
+    : RoutingTable(g.num_nodes(), g.num_dests()) {
+  std::vector<std::vector<Hop>> dense(static_cast<std::size_t>(num_nodes_) *
+                                      static_cast<std::size_t>(num_dests_));
+  for (const RouteSpec& spec : routes) {
+    auto& cell = dense[slot(spec.node, g.dest_of(spec.dest))];
+    for (const RouteChoice& c : spec.choices) {
+      if (g.edge(c.edge).src != spec.node) {
+        throw ConfigError(origin + ":" + std::to_string(spec.line) +
+                          ": hop edge does not leave node " +
+                          std::to_string(spec.node));
+      }
+      cell.push_back({c.edge, c.lane});
+    }
+  }
+  freeze(dense);
+}
+
+RoutingTable RoutingTable::synthesize(const DigraphTopology& g) {
+  // Synthesis targets plain digraphs (identity projection); compiled k-ary
+  // tables come from compile_kary instead.
+  MDD_CHECK_MSG(g.num_dests() == g.num_nodes(),
+                "synthesize requires an unexpanded digraph");
+  const int n = g.num_nodes();
+  RoutingTable t(n, n);
+  std::vector<std::vector<Hop>> dense(static_cast<std::size_t>(n) *
+                                      static_cast<std::size_t>(n));
+
+  // Lowest-edge-id lookup u -> w (out-edge spans are already ascending).
+  const auto edge_between = [&](RouterId u, RouterId w) {
+    for (const int* e = g.out_begin(u); e != g.out_end(u); ++e) {
+      if (g.edge(*e).dst == w) return *e;
+    }
+    return -1;
+  };
+
+  // BFS spanning tree from vertex 0 for the up*/down* escape structure.
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  std::vector<int> depth(static_cast<std::size_t>(n), -1);
+  std::vector<RouterId> queue;
+  queue.push_back(0);
+  depth[0] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const RouterId u = queue[head];
+    for (const int* e = g.out_begin(u); e != g.out_end(u); ++e) {
+      const RouterId w = g.edge(*e).dst;
+      if (depth[static_cast<std::size_t>(w)] >= 0) continue;
+      depth[static_cast<std::size_t>(w)] =
+          depth[static_cast<std::size_t>(u)] + 1;
+      parent[static_cast<std::size_t>(w)] = u;
+      queue.push_back(w);
+    }
+  }
+  bool updown = static_cast<int>(queue.size()) == n;
+  for (RouterId v = 1; v < n && updown; ++v) {
+    // The up hop v -> parent(v) must exist as a directed edge.
+    if (edge_between(v, parent[static_cast<std::size_t>(v)]) < 0) {
+      updown = false;
+    }
+  }
+
+  const auto ancestor_chain = [&](RouterId v, std::vector<RouterId>& chain) {
+    chain.clear();
+    for (RouterId c = v; c >= 0; c = parent[static_cast<std::size_t>(c)]) {
+      chain.push_back(c);
+      if (c == 0) break;
+    }
+  };
+
+  // Per-destination BFS distances (over reversed edges) for the adaptive
+  // candidates and the shortest-path escape fallback.
+  std::vector<std::vector<int>> rin(static_cast<std::size_t>(n));
+  for (int e = 0; e < g.num_edges(); ++e) {
+    rin[static_cast<std::size_t>(g.edge(e).dst)].push_back(e);
+  }
+  std::vector<int> dist(static_cast<std::size_t>(n));
+  std::vector<RouterId> chain_d;
+  for (RouterId d = 0; d < n; ++d) {
+    std::fill(dist.begin(), dist.end(), -1);
+    queue.clear();
+    queue.push_back(d);
+    dist[static_cast<std::size_t>(d)] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const RouterId w = queue[head];
+      for (const int e : rin[static_cast<std::size_t>(w)]) {
+        const RouterId u = g.edge(e).src;
+        if (dist[static_cast<std::size_t>(u)] >= 0) continue;
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(w)] + 1;
+        queue.push_back(u);
+      }
+    }
+    if (updown) ancestor_chain(d, chain_d);
+    for (RouterId u = 0; u < n; ++u) {
+      if (u == d || dist[static_cast<std::size_t>(u)] < 0) continue;
+      auto& cell = dense[static_cast<std::size_t>(u) * n + d];
+      // Adaptive: every minimal next hop.
+      for (const int* e = g.out_begin(u); e != g.out_end(u); ++e) {
+        const RouterId w = g.edge(*e).dst;
+        if (dist[static_cast<std::size_t>(w)] ==
+            dist[static_cast<std::size_t>(u)] - 1) {
+          cell.push_back({*e, kAdaptiveLane});
+        }
+      }
+      // Escape: up toward the BFS root until an ancestor of d, then down
+      // the tree — acyclic by the up*/down* ordering, one lane suffices.
+      RouterId next = -1;
+      if (updown) {
+        for (std::size_t i = 0; i < chain_d.size(); ++i) {
+          if (chain_d[i] == u) {
+            next = i == 0 ? d : chain_d[i - 1];
+            break;
+          }
+        }
+        if (next < 0) next = parent[static_cast<std::size_t>(u)];
+        if (next == u) next = -1;  // d's chain misses u and u is the root
+      }
+      if (next < 0) {
+        // Fallback: deterministic lowest-edge-id minimal hop.  On an
+        // asymmetric digraph this may be refutable; the verifier judges.
+        for (const int* e = g.out_begin(u); e != g.out_end(u); ++e) {
+          if (dist[static_cast<std::size_t>(g.edge(*e).dst)] ==
+              dist[static_cast<std::size_t>(u)] - 1) {
+            next = g.edge(*e).dst;
+            break;
+          }
+        }
+      }
+      const int esc = edge_between(u, next);
+      MDD_CHECK(esc >= 0);
+      cell.push_back({esc, 0});
+    }
+  }
+  t.freeze(dense);
+  return t;
+}
+
+RoutingTable RoutingTable::compile_kary(const Topology& topo,
+                                        const DigraphTopology& g, bool adaptive,
+                                        bool escape) {
+  const int num_routers = topo.num_routers();
+  const int masks = g.num_nodes() / num_routers;
+  RoutingTable t(g.num_nodes(), num_routers);
+  std::vector<std::vector<Hop>> dense(static_cast<std::size_t>(g.num_nodes()) *
+                                      static_cast<std::size_t>(num_routers));
+  std::vector<DimHop> hops;
+  for (RouterId r = 0; r < num_routers; ++r) {
+    for (int m = 0; m < masks; ++m) {
+      const RouterId v = r * masks + m;
+      for (RouterId d = 0; d < num_routers; ++d) {
+        if (d == r) continue;
+        topo.min_hops(r, d, hops);
+        auto& cell = dense[static_cast<std::size_t>(v) * num_routers + d];
+        if (adaptive) {
+          for (const DimHop& h : hops) {
+            cell.push_back(
+                {g.kary_edge_at(v, h.dim * 2 + h.dir), kAdaptiveLane});
+          }
+        }
+        if (escape) {
+          const DimHop& h = hops.front();
+          // Dateline promotion exists only in the expanded digraph; the
+          // plain view mirrors CdgBuilder's dateline-less rule.
+          const bool high =
+              masks > 1 && (((m >> h.dim) & 1) != 0 ||
+                            topo.is_wraparound(r, h.dim, h.dir));
+          cell.push_back({g.kary_edge_at(v, h.dim * 2 + h.dir), high ? 1 : 0});
+        }
+      }
+    }
+  }
+  t.freeze(dense);
+  return t;
+}
+
+std::string RoutingTable::coverage_error(const DigraphTopology& g,
+                                         bool need_escape) const {
+  for (RouterId v = 0; v < num_nodes_; ++v) {
+    for (int d = 0; d < num_dests_; ++d) {
+      if (g.dest_of(v) == d) continue;
+      const Hop* b = begin(v, d);
+      const Hop* e = end(v, d);
+      if (b == e) {
+        return "no route from vertex " + std::to_string(v) +
+               " to destination " + std::to_string(d) +
+               " (unreachable or missing route line)";
+      }
+      if (need_escape &&
+          std::none_of(b, e, [](const Hop& h) { return h.escape(); })) {
+        return "no escape hop from vertex " + std::to_string(v) +
+               " to destination " + std::to_string(d);
+      }
+    }
+  }
+  return {};
+}
+
+void RoutingTable::check_complete(const DigraphTopology& g, bool need_escape,
+                                  const std::string& origin) const {
+  const std::string err = coverage_error(g, need_escape);
+  if (!err.empty()) throw ConfigError(origin + ": " + err);
+}
+
+}  // namespace mddsim

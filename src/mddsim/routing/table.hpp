@@ -1,0 +1,98 @@
+#pragma once
+// Table-driven routing over a DigraphTopology: per-(vertex, destination)
+// candidate hop sets, either parsed from a topology file's `route` lines,
+// synthesized (up*/down* escape over a BFS spanning tree plus minimal
+// adaptive candidates), or compiled from a k-ary Topology's routing rules
+// (including the dateline automaton, via the expanded from_kary digraph).
+//
+// Hops are class-relative so one table serves every logical network: an
+// escape hop names an escape lane index (VC = class base + lane) and an
+// adaptive hop stands for every adaptive VC of the class plus the shared
+// pool.  The simulator consumes tables through RoutingAlgorithm
+// (Kind::Table, k-ary meshes only); the static verifier consumes them
+// directly (verify/arbitrary.hpp) for any digraph.
+
+#include <string>
+#include <vector>
+
+#include "mddsim/topology/digraph.hpp"
+
+namespace mddsim {
+
+class Topology;
+
+class RoutingTable {
+ public:
+  /// One admissible hop: a digraph edge and a class-relative lane
+  /// (kAdaptiveLane = every adaptive VC of the class + shared pool).
+  struct Hop {
+    int edge;
+    int lane;
+    bool escape() const { return lane >= 0; }
+  };
+
+  /// Builds from parsed `route` lines; every (node, dest) pair must have
+  /// been declared at most once (the parser enforces it).  `origin`
+  /// prefixes error messages.
+  RoutingTable(const DigraphTopology& g, const std::vector<RouteSpec>& routes,
+               const std::string& origin);
+
+  /// Deterministic synthesis: escape hops route up*/down* over a BFS
+  /// spanning tree rooted at vertex 0 when every tree link has a reverse
+  /// edge, else along lowest-edge-id shortest paths (the verifier judges
+  /// whether that is deadlock-free); adaptive hops are every minimal next
+  /// hop.  Unreachable (node, dest) pairs are left empty for
+  /// check_complete to report.
+  static RoutingTable synthesize(const DigraphTopology& g);
+
+  /// Compiles the k-ary routing rules onto a from_kary digraph: adaptive
+  /// hops are every minimal productive direction (when `adaptive`), the
+  /// escape hop is the deterministic DOR choice (when `escape`), promoted
+  /// to escape lane 1 across datelines when the digraph is
+  /// dateline-expanded.  Mirrors RoutingAlgorithm / CdgBuilder exactly.
+  static RoutingTable compile_kary(const Topology& topo,
+                                   const DigraphTopology& g, bool adaptive,
+                                   bool escape);
+
+  /// Hops for a packet at vertex `node` addressed to destination class
+  /// `dest` (dest_of(node) != dest), ascending by (edge, lane).
+  const Hop* begin(RouterId node, int dest) const {
+    return hops_.data() + offsets_[slot(node, dest)];
+  }
+  const Hop* end(RouterId node, int dest) const {
+    return hops_.data() + offsets_[slot(node, dest) + 1];
+  }
+  bool empty(RouterId node, int dest) const {
+    return begin(node, dest) == end(node, dest);
+  }
+
+  /// Highest escape lane any hop names (-1 when none): the layout must
+  /// provide at least max_escape_lane()+1 escape VCs per class.
+  int max_escape_lane() const { return max_escape_lane_; }
+
+  /// Returns "" when every (node, dest != dest_of(node)) pair has at least
+  /// one hop — and, when `need_escape`, at least one escape hop — else a
+  /// message naming the first offending pair.
+  std::string coverage_error(const DigraphTopology& g, bool need_escape) const;
+  /// Throws ConfigError("origin: ...") on a coverage failure.
+  void check_complete(const DigraphTopology& g, bool need_escape,
+                      const std::string& origin) const;
+
+ private:
+  RoutingTable(int num_nodes, int num_dests);
+  void freeze(std::vector<std::vector<Hop>>& dense);
+
+  std::size_t slot(RouterId node, int dest) const {
+    const auto base = static_cast<std::size_t>(node);
+    return base * static_cast<std::size_t>(num_dests_) +
+           static_cast<std::size_t>(dest);
+  }
+
+  int num_nodes_;
+  int num_dests_;
+  int max_escape_lane_ = -1;
+  std::vector<int> offsets_;
+  std::vector<Hop> hops_;
+};
+
+}  // namespace mddsim

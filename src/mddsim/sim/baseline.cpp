@@ -20,9 +20,10 @@ SimConfig base_config() {
 
 const std::vector<GoldenCase>& baseline_cases() {
   // One case per scheme at a common load, the higher-rate PAT721 point the
-  // reproducibility test uses, and one fault-injected PR run (an endpoint
+  // reproducibility test uses, one fault-injected PR run (an endpoint
   // freeze the token must rescue) so behavioural drift in the injector or
-  // the recovery path moves a pinned count.
+  // the recovery path moves a pinned count, and one table-routed mesh so
+  // the synthesized routing-table path stays bit-stable too.
   static const std::vector<GoldenCase> cases = {
       {"pr_pat271", "scheme=PR pattern=PAT271 vcs=4 rate=0.01"},
       {"dr_pat271", "scheme=DR pattern=PAT271 vcs=4 rate=0.01"},
@@ -32,6 +33,8 @@ const std::vector<GoldenCase>& baseline_cases() {
       {"pr_pat721_freeze",
        "scheme=PR pattern=PAT721 vcs=4 rate=0.012 "
        "fault=freeze@1500+1500:node=all"},
+      {"sa_table_mesh",
+       "scheme=SA pattern=PAT271 vcs=8 rate=0.01 torus=0 routing=table"},
   };
   return cases;
 }

@@ -4,6 +4,7 @@
 #include "mddsim/fi/fault_plan.hpp"
 #include "mddsim/protocol/pattern.hpp"
 #include "mddsim/routing/vc_layout.hpp"
+#include "mddsim/topology/digraph.hpp"
 
 namespace mddsim {
 
@@ -43,6 +44,27 @@ void SimConfig::validate() const {
     throw ConfigError("fi_invariants must be -1 (auto), 0 or 1");
   }
   if (token_regen < 0) throw ConfigError("token_regen must be >= 0");
+  if (table_routing) {
+    if (torus) {
+      throw ConfigError(
+          "routing=table carries no dateline state: it requires a mesh "
+          "(torus=0)");
+    }
+    if (scheme == Scheme::PR || scheme == Scheme::RG) {
+      throw ConfigError(
+          "routing=table is incompatible with recovery schemes (PR/RG use "
+          "TFAR); use SA or DR");
+    }
+  }
+  if (!topology_spec.empty()) {
+    if (scheme == Scheme::PR || scheme == Scheme::RG) {
+      throw ConfigError(
+          "PR/RG need the k-ary Hamiltonian recovery ring, which a digraph "
+          "topology does not define; use SA or DR with topology=");
+    }
+    // Surface spec syntax / file errors at validation time.
+    (void)make_digraph(topology_spec);
+  }
   // Surface fault-plan syntax errors at validation time, with the offending
   // event text (the Simulator re-parses the validated spec when it arms).
   if (!fault_spec.empty()) (void)fi::FaultPlan::parse(fault_spec);
@@ -55,8 +77,12 @@ void SimConfig::validate() const {
   }
   const ClassMap cmap = ClassMap::make(scheme, pat.used_types());
   // Throws when the partitioning is infeasible (e.g. SA, chain 4, 4 VCs).
-  (void)VcLayout::make(scheme, cmap.num_classes, vcs_per_link,
-                       escape_per_class(), shared_adaptive);
+  // Digraph topologies may override vcs/escape from the file's hints, so
+  // their layout is checked when the verifier resolves them instead.
+  if (topology_spec.empty()) {
+    (void)VcLayout::make(scheme, cmap.num_classes, vcs_per_link,
+                         escape_per_class(), shared_adaptive);
+  }
 }
 
 }  // namespace mddsim

@@ -20,6 +20,13 @@ struct SimConfig {
   std::vector<int> dims;   ///< mixed-radix override (e.g. {2,4}); empty → k,n
   bool torus = true;       ///< torus (wraparound) vs mesh
   int bristling = 1;       ///< processors per router (paper §4.2.2 varies this)
+  /// Arbitrary digraph topology for the static verifier: "file:PATH",
+  /// "dragonfly:a,h[,b]", "fattree:l,s[,b]" or "cmesh:x,y,c" (empty = the
+  /// k-ary topology above).  Verify-only: the simulator rejects it.
+  std::string topology_spec;
+  /// Table-driven routing over the k-ary mesh (config `routing=table`):
+  /// the table is synthesized from the digraph view of the mesh.
+  bool table_routing = false;
 
   // --- Link / router resources -------------------------------------------
   int vcs_per_link = 4;        ///< virtual channels per physical link

@@ -28,8 +28,25 @@ Network::Network(const SimConfig& cfg, EndpointProtocol& protocol)
       cmap_(ClassMap::make(cfg.scheme, used_types_for(cfg))),
       layout_(VcLayout::make(cfg.scheme, cmap_.num_classes, cfg.vcs_per_link,
                              cfg.escape_per_class(), cfg.shared_adaptive)) {
-  routing_ = std::make_unique<RoutingAlgorithm>(
-      RoutingAlgorithm::kind_for(cfg.scheme, layout_), topo_, layout_);
+  if (!cfg.topology_spec.empty()) {
+    throw ConfigError(
+        "topology= digraphs are verify-only (use --verify); the simulator "
+        "runs k-ary topologies");
+  }
+  if (cfg.table_routing) {
+    // Same digraph view and synthesized table the verifier analyzes.
+    auto digraph = std::make_shared<const DigraphTopology>(
+        DigraphTopology::from_kary(topo_, /*expand_datelines=*/false));
+    auto table = std::make_shared<RoutingTable>(
+        RoutingTable::synthesize(*digraph));
+    table->check_complete(*digraph, /*need_escape=*/true, "routing=table");
+    routing_ = std::make_unique<RoutingAlgorithm>(topo_, layout_,
+                                                  std::move(digraph),
+                                                  std::move(table));
+  } else {
+    routing_ = std::make_unique<RoutingAlgorithm>(
+        RoutingAlgorithm::kind_for(cfg.scheme, layout_), topo_, layout_);
+  }
 
   // Endpoint queue organization: per logical network by default (SA: one
   // queue set per message type; DR: request + reply; PR: shared), or fully

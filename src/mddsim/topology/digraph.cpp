@@ -1,0 +1,425 @@
+#include "mddsim/topology/digraph.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/topology/topology.hpp"
+
+namespace mddsim {
+
+DigraphTopology::DigraphTopology(std::string name, int num_nodes,
+                                 int bristling)
+    : name_(std::move(name)), num_nodes_(num_nodes), bristling_(bristling) {}
+
+int DigraphTopology::add_edge(RouterId src, RouterId dst) {
+  edges_.push_back({src, dst});
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+void DigraphTopology::seal() {
+  // CSR out-edge index, edge ids ascending within each vertex.
+  out_offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const DigraphEdge& e : edges_) {
+    ++out_offsets_[static_cast<std::size_t>(e.src) + 1];
+  }
+  for (std::size_t v = 0; v < static_cast<std::size_t>(num_nodes_); ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+  }
+  out_edges_.resize(edges_.size());
+  std::vector<int> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+  for (int e = 0; e < num_edges(); ++e) {
+    out_edges_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(edges_[static_cast<std::size_t>(e)]
+                                            .src)]++)] = e;
+  }
+  if (!dest_of_.empty()) return;  // virtual mapping installed by from_kary
+  num_dests_ = num_nodes_;
+  dest_of_.resize(static_cast<std::size_t>(num_nodes_));
+  inject_node_.resize(static_cast<std::size_t>(num_nodes_));
+  for (RouterId v = 0; v < num_nodes_; ++v) {
+    dest_of_[static_cast<std::size_t>(v)] = v;
+    inject_node_[static_cast<std::size_t>(v)] = v;
+  }
+  num_phys_edges_ = num_edges();
+  phys_edge_.resize(edges_.size());
+  phys_src_.resize(edges_.size());
+  phys_dst_.resize(edges_.size());
+  for (int e = 0; e < num_edges(); ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    phys_edge_[i] = e;
+    phys_src_[i] = edges_[i].src;
+    phys_dst_[i] = edges_[i].dst;
+  }
+}
+
+int DigraphTopology::kary_edge_at(RouterId v, int port) const {
+  if (kary_edge_at_.empty()) return -1;
+  return kary_edge_at_[static_cast<std::size_t>(v) * kary_net_ports_ +
+                       static_cast<std::size_t>(port)];
+}
+
+DigraphTopology DigraphTopology::dragonfly(int a, int h, int bristling) {
+  if (a < 2 || h < 1 || bristling < 1) {
+    throw ConfigError("dragonfly needs a >= 2, h >= 1, bristling >= 1");
+  }
+  const int groups = a * h + 1;
+  std::ostringstream name;
+  name << "dragonfly-a" << a << "h" << h;
+  DigraphTopology g(name.str(), groups * a, bristling);
+  for (int grp = 0; grp < groups; ++grp) {
+    // Complete local graph within the group.
+    for (int i = 0; i < a; ++i) {
+      for (int j = 0; j < a; ++j) {
+        if (i != j) g.add_edge(grp * a + i, grp * a + j);
+      }
+    }
+    // One global link to every other group; target group grp+idx+1 hangs
+    // off local router idx/h, so each router carries exactly h globals.
+    for (int idx = 0; idx < a * h; ++idx) {
+      const int dst_grp = (grp + idx + 1) % groups;
+      const int back = (grp - dst_grp - 1 + groups) % groups;
+      g.add_edge(grp * a + idx / h, dst_grp * a + back / h);
+    }
+  }
+  g.seal();
+  return g;
+}
+
+DigraphTopology DigraphTopology::fat_tree(int leaves, int spines,
+                                          int bristling) {
+  if (leaves < 2 || spines < 1 || bristling < 1) {
+    throw ConfigError("fat tree needs >= 2 leaves, >= 1 spine, bristling >= 1");
+  }
+  std::ostringstream name;
+  name << "fattree-l" << leaves << "s" << spines;
+  DigraphTopology g(name.str(), leaves + spines, bristling);
+  for (int l = 0; l < leaves; ++l) {
+    for (int s = 0; s < spines; ++s) {
+      g.add_edge(l, leaves + s);
+      g.add_edge(leaves + s, l);
+    }
+  }
+  g.seal();
+  return g;
+}
+
+DigraphTopology DigraphTopology::cmesh(int x, int y, int conc) {
+  if (x < 2 || y < 1 || conc < 1) {
+    throw ConfigError("cmesh needs x >= 2, y >= 1, concentration >= 1");
+  }
+  std::ostringstream name;
+  name << "cmesh-" << x << "x" << y << "c" << conc;
+  DigraphTopology g(name.str(), x * y, conc);
+  const auto at = [&](int cx, int cy) { return cy * x + cx; };
+  for (int cy = 0; cy < y; ++cy) {
+    for (int cx = 0; cx < x; ++cx) {
+      if (cx + 1 < x) {
+        g.add_edge(at(cx, cy), at(cx + 1, cy));
+        g.add_edge(at(cx + 1, cy), at(cx, cy));
+      }
+      if (cy + 1 < y) {
+        g.add_edge(at(cx, cy), at(cx, cy + 1));
+        g.add_edge(at(cx, cy + 1), at(cx, cy));
+      }
+    }
+  }
+  g.seal();
+  return g;
+}
+
+DigraphTopology DigraphTopology::from_kary(const Topology& topo,
+                                           bool expand_datelines) {
+  const int num_routers = topo.num_routers();
+  const int net_ports = topo.num_net_ports();
+  const int masks = expand_datelines && topo.wrap() ? 1 << topo.n() : 1;
+  std::ostringstream name;
+  name << "kary-" << (topo.wrap() ? "torus" : "mesh");
+  DigraphTopology g(name.str(), num_routers * masks, topo.bristling());
+
+  // Virtual projection: vertex (r, mask) = r*masks + mask addresses
+  // physical router r; injection happens with a clean dateline mask.
+  g.num_dests_ = num_routers;
+  g.dest_of_.resize(static_cast<std::size_t>(g.num_nodes_));
+  g.inject_node_.resize(static_cast<std::size_t>(num_routers));
+  for (RouterId r = 0; r < num_routers; ++r) {
+    g.inject_node_[static_cast<std::size_t>(r)] = r * masks;
+    for (int m = 0; m < masks; ++m) {
+      g.dest_of_[static_cast<std::size_t>(r * masks + m)] = r;
+    }
+  }
+
+  // Edges in (vertex, port) order; all masks of one (r, port) link share a
+  // physical edge id (one buffer), assigned on first appearance.
+  std::vector<int> phys_id(static_cast<std::size_t>(num_routers) *
+                               static_cast<std::size_t>(net_ports),
+                           -1);
+  g.kary_net_ports_ = net_ports;
+  g.kary_edge_at_.assign(static_cast<std::size_t>(g.num_nodes_) *
+                             static_cast<std::size_t>(net_ports),
+                         -1);
+  for (RouterId r = 0; r < num_routers; ++r) {
+    for (int m = 0; m < masks; ++m) {
+      for (int p = 0; p < net_ports; ++p) {
+        const int dim = p / 2;
+        const int dir = p % 2;
+        const RouterId nr = topo.neighbor(r, dim, dir);
+        if (nr == kInvalidRouter) continue;
+        const int nm =
+            masks > 1 && topo.is_wraparound(r, dim, dir) ? (m | (1 << dim)) : m;
+        const int e = g.add_edge(r * masks + m, nr * masks + nm);
+        auto& pid = phys_id[static_cast<std::size_t>(r) * net_ports + p];
+        if (pid < 0) {
+          pid = g.num_phys_edges_++;
+          g.phys_src_.push_back(r);
+          g.phys_dst_.push_back(nr);
+        }
+        g.phys_edge_.push_back(pid);
+        g.kary_port_.push_back(p);
+        g.kary_edge_at_[static_cast<std::size_t>(r * masks + m) * net_ports +
+                        static_cast<std::size_t>(p)] = e;
+      }
+    }
+  }
+  g.seal();
+  return g;
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& origin, int line,
+                             const std::string& msg) {
+  throw ConfigError(origin + ":" + std::to_string(line) + ": " + msg);
+}
+
+int parse_num(const std::string& origin, int line, const std::string& tok,
+              const char* what) {
+  int out = 0;
+  const auto [p, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  if (ec != std::errc{} || p != tok.data() + tok.size()) {
+    parse_fail(origin, line, std::string("bad ") + what + " '" + tok + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+DigraphFile parse_topology_text(std::istream& is, const std::string& origin) {
+  DigraphFile out;
+  std::string name = "digraph";
+  int num_nodes = -1;
+  int bristling = 1;
+  std::vector<DigraphEdge> edges;
+  std::vector<RouteSpec> routes;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream toks(line);
+    std::string word;
+    if (!(toks >> word)) continue;
+
+    const auto need = [&](const char* what) {
+      std::string tok;
+      if (!(toks >> tok)) {
+        parse_fail(origin, lineno, std::string("expected ") + what);
+      }
+      return tok;
+    };
+    const auto need_node = [&](const char* what) {
+      const int v = parse_num(origin, lineno, need(what), what);
+      if (num_nodes < 0) {
+        parse_fail(origin, lineno, "'nodes N' must come first");
+      }
+      if (v < 0 || v >= num_nodes) {
+        parse_fail(origin, lineno,
+                   std::string(what) + " " + std::to_string(v) +
+                       " out of range [0, " + std::to_string(num_nodes) + ")");
+      }
+      return v;
+    };
+
+    if (word == "digraph") {
+      name = need("name");
+    } else if (word == "nodes") {
+      if (num_nodes >= 0) parse_fail(origin, lineno, "duplicate 'nodes' line");
+      num_nodes = parse_num(origin, lineno, need("node count"), "node count");
+      if (num_nodes < 2) parse_fail(origin, lineno, "need at least 2 nodes");
+      std::string opt;
+      if (toks >> opt) {
+        if (opt != "bristling") {
+          parse_fail(origin, lineno, "expected 'bristling'");
+        }
+        bristling = parse_num(origin, lineno, need("bristling"), "bristling");
+        if (bristling < 1) parse_fail(origin, lineno, "bristling must be >= 1");
+      }
+    } else if (word == "vcs") {
+      out.vcs = parse_num(origin, lineno, need("vc count"), "vc count");
+      if (out.vcs < 1) parse_fail(origin, lineno, "vcs must be >= 1");
+      std::string opt;
+      if (toks >> opt) {
+        if (opt != "escape") parse_fail(origin, lineno, "expected 'escape'");
+        out.escape =
+            parse_num(origin, lineno, need("escape count"), "escape count");
+        if (out.escape < 1) parse_fail(origin, lineno, "escape must be >= 1");
+      }
+    } else if (word == "edge") {
+      const RouterId src = need_node("edge source");
+      const RouterId dst = need_node("edge target");
+      if (src == dst) parse_fail(origin, lineno, "self-loop edge");
+      for (const DigraphEdge& e : edges) {
+        if (e.src == src && e.dst == dst) {
+          parse_fail(origin, lineno,
+                     "duplicate edge " + std::to_string(src) + " -> " +
+                         std::to_string(dst));
+        }
+      }
+      edges.push_back({src, dst});
+    } else if (word == "route") {
+      RouteSpec spec;
+      spec.line = lineno;
+      spec.node = need_node("route node");
+      spec.dest = need_node("route destination");
+      if (spec.node == spec.dest) {
+        parse_fail(origin, lineno,
+                   "route from a node to itself (ejection is implicit)");
+      }
+      if (need("'->'") != "->") parse_fail(origin, lineno, "expected '->'");
+      std::string hop;
+      while (toks >> hop) {
+        const std::size_t colon = hop.find(':');
+        if (colon == std::string::npos) {
+          parse_fail(origin, lineno,
+                     "hop '" + hop + "' is not NEXT:e<k> or NEXT:a");
+        }
+        const int next =
+            parse_num(origin, lineno, hop.substr(0, colon), "hop target");
+        if (next < 0 || next >= num_nodes) {
+          parse_fail(origin, lineno,
+                     "hop target " + std::to_string(next) +
+                         " out of range [0, " + std::to_string(num_nodes) +
+                         ")");
+        }
+        const std::string lane = hop.substr(colon + 1);
+        RouteChoice choice;
+        if (lane == "a") {
+          choice.lane = kAdaptiveLane;
+        } else if (lane.size() >= 2 && lane[0] == 'e') {
+          choice.lane =
+              parse_num(origin, lineno, lane.substr(1), "escape lane");
+          if (choice.lane < 0) {
+            parse_fail(origin, lineno, "escape lane must be >= 0");
+          }
+        } else {
+          parse_fail(origin, lineno,
+                     "bad lane '" + lane + "' (expected e<k> or a)");
+        }
+        for (std::size_t e = 0; e < edges.size(); ++e) {
+          if (edges[e].src == spec.node && edges[e].dst == next) {
+            choice.edge = static_cast<int>(e);
+            break;
+          }
+        }
+        if (choice.edge < 0) {
+          parse_fail(origin, lineno,
+                     "no edge " + std::to_string(spec.node) + " -> " +
+                         std::to_string(next) + " declared before this route");
+        }
+        spec.choices.push_back(choice);
+      }
+      if (spec.choices.empty()) {
+        parse_fail(origin, lineno, "route with no hops");
+      }
+      for (const RouteSpec& prev : routes) {
+        if (prev.node == spec.node && prev.dest == spec.dest) {
+          parse_fail(origin, lineno,
+                     "duplicate route for node " + std::to_string(spec.node) +
+                         " dest " + std::to_string(spec.dest) +
+                         " (first at line " + std::to_string(prev.line) + ")");
+        }
+      }
+      routes.push_back(std::move(spec));
+    } else {
+      parse_fail(origin, lineno, "unknown directive '" + word + "'");
+    }
+  }
+  if (num_nodes < 0) {
+    throw ConfigError(origin + ": missing 'nodes N' line");
+  }
+  if (edges.empty()) {
+    throw ConfigError(origin + ": topology has no edges");
+  }
+
+  out.digraph = DigraphTopology(name, num_nodes, bristling);
+  for (const DigraphEdge& e : edges) out.digraph.add_edge(e.src, e.dst);
+  out.digraph.seal();
+  out.routes = std::move(routes);
+  return out;
+}
+
+DigraphFile parse_topology_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw ConfigError("cannot open topology file: " + path);
+  return parse_topology_text(is, path);
+}
+
+DigraphFile make_digraph(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string args =
+      colon == std::string::npos ? std::string() : spec.substr(colon + 1);
+  if (kind == "file") {
+    if (args.empty()) throw ConfigError("topology=file: needs a path");
+    return parse_topology_file(args);
+  }
+
+  std::vector<int> nums;
+  std::size_t start = 0;
+  while (start <= args.size() && !args.empty()) {
+    const std::size_t comma = args.find(',', start);
+    const std::string part = args.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    int v = 0;
+    const auto [p, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), v);
+    if (ec != std::errc{} || p != part.data() + part.size()) {
+      throw ConfigError("bad topology parameter '" + part + "' in '" + spec +
+                        "'");
+    }
+    nums.push_back(v);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+
+  const auto arity = [&](std::size_t lo, std::size_t hi, const char* usage) {
+    if (nums.size() < lo || nums.size() > hi) {
+      throw ConfigError("topology=" + kind + " expects " + usage);
+    }
+  };
+  DigraphFile out;
+  if (kind == "dragonfly") {
+    arity(2, 3, "a,h[,bristling]");
+    out.digraph = DigraphTopology::dragonfly(nums[0], nums[1],
+                                             nums.size() > 2 ? nums[2] : 1);
+  } else if (kind == "fattree") {
+    arity(2, 3, "leaves,spines[,bristling]");
+    out.digraph = DigraphTopology::fat_tree(nums[0], nums[1],
+                                            nums.size() > 2 ? nums[2] : 1);
+  } else if (kind == "cmesh") {
+    arity(3, 3, "x,y,concentration");
+    out.digraph = DigraphTopology::cmesh(nums[0], nums[1], nums[2]);
+  } else {
+    throw ConfigError("unknown topology spec '" + spec +
+                      "' (expected file:PATH, dragonfly:a,h, fattree:l,s or "
+                      "cmesh:x,y,c)");
+  }
+  return out;
+}
+
+}  // namespace mddsim

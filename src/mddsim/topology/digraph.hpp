@@ -1,0 +1,182 @@
+#pragma once
+// Arbitrary directed-graph topology for the static verifier (and, on k-ary
+// meshes, for table-driven routing in the simulator).
+//
+// A DigraphTopology is a set of router vertices and directed channel edges.
+// Unlike the k-ary `Topology` it has no coordinate structure: routing over
+// it is table-driven (routing/table.hpp) and verification builds the
+// buffer-dependency graph straight from the table (verify/arbitrary.hpp),
+// with no dateline-state enumeration.
+//
+// Vertices may be *virtual*: `from_kary` with dateline expansion compiles
+// the torus escape-VC automaton into the graph by splitting each physical
+// router into one vertex per dateline mask.  Every vertex then carries a
+// `dest` class (the physical router it projects to) and every edge a
+// `phys_edge` id (the physical link buffer it occupies), so dependency
+// analysis folds back onto physical channels exactly.  For topologies read
+// from a file or built by a generator the mapping is the identity.
+//
+// File format (config `topology=file:PATH`, '#' comments):
+//
+//   digraph NAME
+//   nodes N [bristling B]
+//   vcs V escape E            # optional layout hint for --verify
+//   edge SRC DST              # one directed channel
+//   route NODE DEST -> HOP... # optional; HOP = NEXT:e<k> | NEXT:a
+//
+// Every parse error is a ConfigError prefixed "PATH:LINE:".  When no
+// `route` lines are present the table is synthesized (routing/table.hpp).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+
+namespace mddsim {
+
+class Topology;
+
+/// One directed channel of the digraph.
+struct DigraphEdge {
+  RouterId src;
+  RouterId dst;
+};
+
+/// One hop choice of a parsed `route` line: the digraph edge to take and
+/// the VC lane to request on it (class-relative escape lane, or any
+/// adaptive lane of the class).
+struct RouteChoice {
+  int edge = -1;
+  int lane = -1;  ///< >= 0: escape lane index; kAdaptiveLane: adaptive
+};
+
+inline constexpr int kAdaptiveLane = -1;
+
+/// One parsed `route NODE DEST -> ...` line.
+struct RouteSpec {
+  int line = 0;  ///< source line for error messages
+  RouterId node = 0;
+  RouterId dest = 0;
+  std::vector<RouteChoice> choices;
+};
+
+class DigraphTopology {
+ public:
+  DigraphTopology(std::string name, int num_nodes, int bristling);
+
+  /// Appends a directed edge and returns its id.  Endpoints are validated
+  /// by the caller (parser / generator); seal() freezes the structure.
+  int add_edge(RouterId src, RouterId dst);
+  /// Builds the CSR out-edge index and, unless a virtual mapping was
+  /// installed, the identity dest / physical-edge projections.
+  void seal();
+
+  const std::string& name() const { return name_; }
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const DigraphEdge& edge(int e) const {
+    return edges_[static_cast<std::size_t>(e)];
+  }
+  int bristling() const { return bristling_; }
+
+  /// Out-edges of vertex v: contiguous span of edge ids, ascending.
+  const int* out_begin(RouterId v) const {
+    return out_edges_.data() + out_offsets_[static_cast<std::size_t>(v)];
+  }
+  const int* out_end(RouterId v) const {
+    return out_edges_.data() + out_offsets_[static_cast<std::size_t>(v) + 1];
+  }
+
+  // --- Physical projection (identity unless built by from_kary). ----------
+  /// Destination classes: the physical routers packets address.
+  int num_dests() const { return num_dests_; }
+  int dest_of(RouterId v) const {
+    return dest_of_[static_cast<std::size_t>(v)];
+  }
+  /// Vertex where traffic of physical router `dest` injects (mask 0).
+  RouterId inject_node(int dest) const {
+    return inject_node_[static_cast<std::size_t>(dest)];
+  }
+  /// Physical link buffer an edge occupies; distinct virtual edges of one
+  /// physical link share the id.
+  int num_phys_edges() const { return num_phys_edges_; }
+  int phys_edge(int e) const { return phys_edge_[static_cast<std::size_t>(e)]; }
+  /// Representative physical endpoints of a physical edge (for labels).
+  RouterId phys_src(int pe) const {
+    return phys_src_[static_cast<std::size_t>(pe)];
+  }
+  RouterId phys_dst(int pe) const {
+    return phys_dst_[static_cast<std::size_t>(pe)];
+  }
+
+  /// Network-interface nodes hang off destination classes, `bristling` per
+  /// physical router — ids `dest * bristling + slot` as in Topology.
+  int num_ni_nodes() const { return num_dests_ * bristling_; }
+  NodeId ni_node(int dest, int slot) const { return dest * bristling_ + slot; }
+
+  /// k-ary adapter only: the router output port an edge projects to, for
+  /// feeding table-driven candidates back into the simulator's port space.
+  int kary_port(int e) const { return kary_port_[static_cast<std::size_t>(e)]; }
+  /// k-ary adapter only: edge leaving vertex v through port p, or -1.
+  int kary_edge_at(RouterId v, int port) const;
+
+  // --- Built-in generators (identity projection). --------------------------
+  /// Dragonfly(a, h): groups of `a` routers, complete local graph, `h`
+  /// global links per router, one global link per group pair (g = a*h + 1
+  /// groups).  All links bidirectional (one edge per direction).
+  static DigraphTopology dragonfly(int a, int h, int bristling = 1);
+  /// Two-level fat tree: `leaves` leaf routers each linked to all `spines`
+  /// spine routers.  NIs attach to every router; spine NIs see no traffic
+  /// in practice but keep the node space uniform.
+  static DigraphTopology fat_tree(int leaves, int spines, int bristling = 1);
+  /// Concentrated mesh: x*y mesh routers with `conc` NIs each.
+  static DigraphTopology cmesh(int x, int y, int conc);
+
+  /// View of a k-ary Topology as a digraph.  With `expand_datelines` each
+  /// router splits into 2^n vertices keyed by the packet's dateline mask,
+  /// compiling the torus escape automaton into the graph; edges project to
+  /// their physical (router, port) link.  Without it the mapping is the
+  /// identity (exact for meshes, which carry no dateline state).
+  static DigraphTopology from_kary(const Topology& topo, bool expand_datelines);
+
+ private:
+  std::string name_;
+  int num_nodes_;
+  int bristling_;
+  std::vector<DigraphEdge> edges_;
+  std::vector<int> out_offsets_;
+  std::vector<int> out_edges_;
+  int num_dests_ = 0;
+  std::vector<int> dest_of_;
+  std::vector<RouterId> inject_node_;
+  int num_phys_edges_ = 0;
+  std::vector<int> phys_edge_;
+  std::vector<RouterId> phys_src_;
+  std::vector<RouterId> phys_dst_;
+  std::vector<int> kary_port_;
+  int kary_net_ports_ = 0;
+  std::vector<int> kary_edge_at_;
+};
+
+/// A parsed topology file: the digraph plus optional route lines and
+/// layout hints (0 = not specified, fall back to the SimConfig values).
+struct DigraphFile {
+  DigraphTopology digraph{"", 0, 1};
+  std::vector<RouteSpec> routes;
+  int vcs = 0;
+  int escape = 0;
+};
+
+/// Parses the edge-list format from a stream; `origin` (usually the file
+/// path) prefixes every error as "origin:LINE: ...".
+DigraphFile parse_topology_text(std::istream& is, const std::string& origin);
+/// Opens and parses `path`; ConfigError when unreadable.
+DigraphFile parse_topology_file(const std::string& path);
+
+/// Resolves a config `topology=` spec: "file:PATH" loads a file,
+/// "dragonfly:a,h[,b]", "fattree:l,s[,b]" and "cmesh:x,y,c" run the
+/// generators.  Throws ConfigError on syntax errors.
+DigraphFile make_digraph(const std::string& spec);
+
+}  // namespace mddsim

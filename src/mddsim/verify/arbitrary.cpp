@@ -1,0 +1,412 @@
+#include "mddsim/verify/arbitrary.hpp"
+
+#include <algorithm>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/verify/bits.hpp"
+
+namespace mddsim::verify {
+
+EdgeChannelSpace::EdgeChannelSpace(const DigraphTopology& g, int total_vcs)
+    : g_(&g), vcs_(total_vcs) {}
+
+std::string EdgeChannelSpace::label(int ch) const {
+  const int pe = ch / vcs_;
+  const std::string vc = ".vc" + std::to_string(ch % vcs_);
+  if (pe >= g_->num_phys_edges()) {
+    const NodeId ni = pe - g_->num_phys_edges();
+    return "r" + std::to_string(ni / g_->bristling()) + ".eject" +
+           std::to_string(ni % g_->bristling()) + vc;
+  }
+  return "r" + std::to_string(g_->phys_src(pe)) + ">r" +
+         std::to_string(g_->phys_dst(pe)) + vc;
+}
+
+ArbitraryCdgBuilder::ArbitraryCdgBuilder(const DigraphTopology& g,
+                                         const VcLayout& layout,
+                                         const RoutingTable& table,
+                                         RoutingAlgorithm::Kind kind)
+    : g_(g),
+      layout_(layout),
+      table_(table),
+      kind_(kind),
+      space_(g, layout.total_vcs) {}
+
+namespace {
+
+/// One admissible next channel at a packet state (vertex, dest), straight
+/// from the routing table — the digraph analogue of cdg.cpp's Cand.
+struct Cand {
+  int ch;        ///< global channel id in the EdgeChannelSpace
+  bool escape;   ///< escape-lane hop or the escape eject channel
+  RouterId next; ///< downstream vertex, or -1 for ejection
+};
+
+struct CandEnum {
+  const DigraphTopology& g;
+  const RoutingTable& table;
+  const EdgeChannelSpace& space;
+  const ClassRange& cr;
+  RoutingAlgorithm::Kind kind;
+
+  void at(RouterId v, int d, std::vector<Cand>& cands) const {
+    cands.clear();
+    if (g.dest_of(v) == d) {
+      for (int b = 0; b < g.bristling(); ++b) {
+        const NodeId ni = g.ni_node(d, b);
+        if (kind == RoutingAlgorithm::Kind::DOR) {
+          cands.push_back({space.eject_channel(ni, cr.base), true, -1});
+          continue;
+        }
+        for (int vc = cr.base; vc < cr.base + cr.count; ++vc) {
+          cands.push_back({space.eject_channel(ni, vc), vc == cr.base, -1});
+        }
+        for (int vc = cr.shared_base; vc < cr.shared_base + cr.shared_count;
+             ++vc) {
+          cands.push_back({space.eject_channel(ni, vc), false, -1});
+        }
+      }
+      return;
+    }
+    const int first_adaptive = kind == RoutingAlgorithm::Kind::TFAR
+                                   ? cr.base
+                                   : cr.base + cr.escape;
+    for (const RoutingTable::Hop* h = table.begin(v, d); h != table.end(v, d);
+         ++h) {
+      const int pe = g.phys_edge(h->edge);
+      const RouterId next = g.edge(h->edge).dst;
+      if (h->escape()) {
+        cands.push_back({space.channel(pe, cr.base + h->lane), true, next});
+        continue;
+      }
+      for (int vc = first_adaptive; vc < cr.base + cr.count; ++vc) {
+        cands.push_back({space.channel(pe, vc), false, next});
+      }
+      for (int vc = cr.shared_base; vc < cr.shared_base + cr.shared_count;
+           ++vc) {
+        cands.push_back({space.channel(pe, vc), false, next});
+      }
+    }
+  }
+};
+
+void dedup(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+ClassCdg ArbitraryCdgBuilder::build_class(int cls) const {
+  const ClassRange& cr = layout_.of_class(cls);
+  const DigraphTopology& g = g_;
+  const int vcs = space_.vcs();
+  const int num_phys = g.num_phys_edges();
+  const int num_vertices = g.num_nodes();
+  const int num_dests = g.num_dests();
+  const int num_ni = g.num_ni_nodes();
+  const int bristling = g.bristling();
+  // Lanes beyond cr.escape are a refutable config (the caller's lane check
+  // reports them); lanes beyond the class range would corrupt channel ids.
+  MDD_CHECK_MSG(table_.max_escape_lane() < cr.count,
+                "escape lane outside the class VC range");
+  const CandEnum ce{g, table_, space_, cr, kind_};
+
+  ClassCdg out;
+  out.is_escape.assign(static_cast<std::size_t>(space_.num_channels()), 0);
+  for (int pe = 0; pe < num_phys; ++pe) {
+    for (int vc = cr.base; vc < cr.base + cr.escape; ++vc) {
+      out.is_escape[static_cast<std::size_t>(space_.channel(pe, vc))] = 1;
+    }
+  }
+  out.inject_full.resize(static_cast<std::size_t>(num_ni));
+  out.inject_escape.resize(static_cast<std::size_t>(num_ni));
+  out.eject_full.resize(static_cast<std::size_t>(num_ni));
+  out.eject_escape.resize(static_cast<std::size_t>(num_ni));
+  for (int d = 0; d < num_dests; ++d) {
+    for (int b = 0; b < bristling; ++b) {
+      const auto node = static_cast<std::size_t>(g.ni_node(d, b));
+      out.eject_escape[node].push_back(
+          space_.eject_channel(g.ni_node(d, b), cr.base));
+      for (int vc = cr.base; vc < cr.base + cr.count; ++vc) {
+        out.eject_full[node].push_back(
+            space_.eject_channel(g.ni_node(d, b), vc));
+      }
+      for (int vc = cr.shared_base; vc < cr.shared_base + cr.shared_count;
+           ++vc) {
+        out.eject_full[node].push_back(
+            space_.eject_channel(g.ni_node(d, b), vc));
+      }
+    }
+  }
+
+  // Direct dependencies deduplicate in one global channel × channel bitset:
+  // virtual vertices of one physical link fold onto the same row here.
+  Bitset2d dep_bits;
+  dep_bits.init(static_cast<std::size_t>(space_.num_channels()),
+                static_cast<std::size_t>(space_.num_channels()));
+
+  // Escape channels get compact ids (phys edge × escape tier) for the
+  // reach sets of the extended escape CDG; targets add one per NI node.
+  const int num_esc = num_phys * cr.escape;
+  const int num_esc_targets = num_esc + num_ni;
+  Bitset2d esc_bits;
+  if (cr.escape > 0) {
+    esc_bits.init(static_cast<std::size_t>(num_esc),
+                  static_cast<std::size_t>(num_esc_targets));
+  }
+  const auto esc_id_of = [&](int ch) {
+    return (ch / vcs) * cr.escape + (ch % vcs - cr.base);
+  };
+
+  std::vector<std::vector<int>> arrivals(
+      static_cast<std::size_t>(num_vertices));
+  std::vector<std::vector<int>> esc_arrivals(
+      static_cast<std::size_t>(num_vertices));
+  std::vector<char> reached(static_cast<std::size_t>(num_vertices));
+  std::vector<RouterId> queue;
+  std::vector<Cand> cands;
+
+  for (int d = 0; d < num_dests; ++d) {
+    for (auto& a : arrivals) a.clear();
+    for (auto& a : esc_arrivals) a.clear();
+    std::fill(reached.begin(), reached.end(), 0);
+
+    // Phase 1: reachability from every injection vertex, accumulating the
+    // arrival channels of each vertex.
+    queue.clear();
+    for (int p = 0; p < num_dests; ++p) {
+      const RouterId v = g.inject_node(p);
+      if (!reached[static_cast<std::size_t>(v)]) {
+        reached[static_cast<std::size_t>(v)] = 1;
+        queue.push_back(v);
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const RouterId v = queue[head];
+      ce.at(v, d, cands);
+      for (const Cand& c : cands) {
+        if (c.next < 0) continue;
+        arrivals[static_cast<std::size_t>(c.next)].push_back(c.ch);
+        if (c.escape) {
+          esc_arrivals[static_cast<std::size_t>(c.next)].push_back(
+              esc_id_of(c.ch));
+        }
+        if (!reached[static_cast<std::size_t>(c.next)]) {
+          reached[static_cast<std::size_t>(c.next)] = 1;
+          queue.push_back(c.next);
+        }
+      }
+    }
+
+    // Phase 2: direct dependencies (arrival × candidate) and the injection
+    // candidate sets, replicated across the router's bristled NI nodes.
+    for (const RouterId v : queue) {
+      ce.at(v, d, cands);
+      auto& arr = arrivals[static_cast<std::size_t>(v)];
+      dedup(arr);
+      for (const int a : arr) {
+        for (const Cand& c : cands) {
+          dep_bits.set(static_cast<std::size_t>(a),
+                       static_cast<std::size_t>(c.ch));
+        }
+      }
+      const int p = g.dest_of(v);
+      if (v == g.inject_node(p)) {
+        for (int b = 0; b < bristling; ++b) {
+          const auto node = static_cast<std::size_t>(g.ni_node(p, b));
+          for (const Cand& c : cands) {
+            out.inject_full[node].push_back(c.ch);
+            if (c.escape) out.inject_escape[node].push_back(c.ch);
+          }
+        }
+      }
+    }
+
+    // Phase 3: the escape sub-CDG, direct dependencies only (escape
+    // arrival -> escape/eject candidate at the same vertex).  The k-ary
+    // builder (cdg.cpp) also closes escape reach over adaptive detours —
+    // Duato's extended condition for the wait-on-escape model, which its
+    // coherent dateline-DOR escape satisfies.  Memoryless table escapes
+    // (up*/down* recomputed per vertex) do not, and need not: under the
+    // simulator's wait-on-any retry semantics the kernel() condition is
+    // the authoritative channel-level criterion, and its proof rests on
+    // exactly this direct escape ordering being acyclic.
+    if (cr.escape == 0) continue;
+    for (const RouterId v : queue) {
+      auto& earr = esc_arrivals[static_cast<std::size_t>(v)];
+      if (earr.empty()) continue;
+      dedup(earr);
+      ce.at(v, d, cands);
+      for (const Cand& c : cands) {
+        if (!c.escape) continue;
+        const int target = c.next < 0 ? num_esc + (c.ch / vcs - num_phys)
+                                      : esc_id_of(c.ch);
+        for (const int e : earr) {
+          esc_bits.set(static_cast<std::size_t>(e),
+                       static_cast<std::size_t>(target));
+        }
+      }
+    }
+  }
+
+  // Fold the bitsets into sorted EdgeSets of global channel ids.
+  for (int ch = 0; ch < space_.num_channels(); ++ch) {
+    const auto row = static_cast<std::size_t>(ch);
+    if (dep_bits.row_empty(row)) continue;
+    dep_bits.for_each(row, [&](int col) { out.full.add(ch, col); });
+  }
+  if (cr.escape > 0) {
+    for (int e = 0; e < num_esc; ++e) {
+      if (esc_bits.row_empty(static_cast<std::size_t>(e))) continue;
+      const int from = space_.channel(e / cr.escape, cr.base + e % cr.escape);
+      esc_bits.for_each(static_cast<std::size_t>(e), [&](int t) {
+        const int to = t < num_esc
+                           ? space_.channel(t / cr.escape,
+                                            cr.base + t % cr.escape)
+                           : space_.eject_channel(t - num_esc, cr.base);
+        out.escape.add(from, to);
+      });
+    }
+  }
+  for (auto& inj : out.inject_full) dedup(inj);
+  for (auto& inj : out.inject_escape) dedup(inj);
+  return out;
+}
+
+ArbitraryCdgBuilder::Kernel ArbitraryCdgBuilder::kernel(int cls) const {
+  const ClassRange& cr = layout_.of_class(cls);
+  const DigraphTopology& g = g_;
+  const int num_vertices = g.num_nodes();
+  const int num_dests = g.num_dests();
+  const int num_channels = space_.num_channels();
+  const CandEnum ce{g, table_, space_, cr, kind_};
+
+  // Witness enumeration: a reachable state (vertex, dest) is one witness
+  // shared by every channel a packet can arrive into the vertex on; its
+  // candidate set is the state's full wait-for-any choice set.
+  struct Witness {
+    std::vector<int> holders;  ///< arrival channels the witness covers
+    std::vector<int> cands;    ///< candidate channels, dedup ascending
+  };
+  std::vector<Witness> witnesses;
+
+  std::vector<std::vector<int>> arrivals(
+      static_cast<std::size_t>(num_vertices));
+  std::vector<char> reached(static_cast<std::size_t>(num_vertices));
+  std::vector<RouterId> queue;
+  std::vector<Cand> cands;
+  for (int d = 0; d < num_dests; ++d) {
+    for (auto& a : arrivals) a.clear();
+    std::fill(reached.begin(), reached.end(), 0);
+    queue.clear();
+    for (int p = 0; p < num_dests; ++p) {
+      const RouterId v = g.inject_node(p);
+      if (!reached[static_cast<std::size_t>(v)]) {
+        reached[static_cast<std::size_t>(v)] = 1;
+        queue.push_back(v);
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const RouterId v = queue[head];
+      ce.at(v, d, cands);
+      for (const Cand& c : cands) {
+        if (c.next < 0) continue;
+        arrivals[static_cast<std::size_t>(c.next)].push_back(c.ch);
+        if (!reached[static_cast<std::size_t>(c.next)]) {
+          reached[static_cast<std::size_t>(c.next)] = 1;
+          queue.push_back(c.next);
+        }
+      }
+    }
+    for (const RouterId v : queue) {
+      auto& arr = arrivals[static_cast<std::size_t>(v)];
+      dedup(arr);
+      if (arr.empty()) continue;  // injection-only state: nothing held
+      ce.at(v, d, cands);
+      Witness w;
+      w.holders = arr;
+      for (const Cand& c : cands) w.cands.push_back(c.ch);
+      dedup(w.cands);
+      witnesses.push_back(std::move(w));
+    }
+  }
+
+  // Greatest fixpoint: S starts as every network channel and loses any
+  // channel none of whose witnesses keeps all candidates inside S.
+  // Ejection channels drain by assumption and are outside S from the
+  // start, so a witness standing at its destination never qualifies.
+  std::vector<char> in_s(static_cast<std::size_t>(num_channels), 0);
+  for (int ch = 0; ch < num_channels; ++ch) {
+    in_s[static_cast<std::size_t>(ch)] = space_.is_eject(ch) ? 0 : 1;
+  }
+  std::vector<int> missing(witnesses.size(), 0);
+  std::vector<int> valid_count(static_cast<std::size_t>(num_channels), 0);
+  std::vector<std::vector<int>> cand_witnesses(
+      static_cast<std::size_t>(num_channels));
+  for (std::size_t w = 0; w < witnesses.size(); ++w) {
+    for (const int c : witnesses[w].cands) {
+      if (!in_s[static_cast<std::size_t>(c)]) ++missing[w];
+      cand_witnesses[static_cast<std::size_t>(c)].push_back(
+          static_cast<int>(w));
+    }
+    if (missing[w] == 0) {
+      for (const int h : witnesses[w].holders) {
+        ++valid_count[static_cast<std::size_t>(h)];
+      }
+    }
+  }
+  std::vector<int> worklist;
+  for (int ch = 0; ch < num_channels; ++ch) {
+    if (in_s[static_cast<std::size_t>(ch)] &&
+        valid_count[static_cast<std::size_t>(ch)] == 0) {
+      in_s[static_cast<std::size_t>(ch)] = 0;
+      worklist.push_back(ch);
+    }
+  }
+  for (std::size_t head = 0; head < worklist.size(); ++head) {
+    const int ch = worklist[head];
+    for (const int w : cand_witnesses[static_cast<std::size_t>(ch)]) {
+      if (missing[static_cast<std::size_t>(w)]++ != 0) continue;
+      // The witness just became invalid: its holders each lose one.
+      for (const int h : witnesses[static_cast<std::size_t>(w)].holders) {
+        if (--valid_count[static_cast<std::size_t>(h)] == 0 &&
+            in_s[static_cast<std::size_t>(h)]) {
+          in_s[static_cast<std::size_t>(h)] = 0;
+          worklist.push_back(h);
+        }
+      }
+    }
+  }
+
+  Kernel out;
+  for (int ch = 0; ch < num_channels; ++ch) {
+    if (in_s[static_cast<std::size_t>(ch)]) out.channels.push_back(ch);
+  }
+  if (out.channels.empty()) return out;
+
+  // Witness cycle: each kernel channel points at the candidates of its
+  // first surviving witness (all inside the kernel by construction); any
+  // cycle of that graph is a concrete circular wait.
+  std::vector<int> first_witness(static_cast<std::size_t>(num_channels), -1);
+  for (std::size_t w = 0; w < witnesses.size(); ++w) {
+    if (missing[w] != 0) continue;
+    for (const int h : witnesses[w].holders) {
+      if (first_witness[static_cast<std::size_t>(h)] < 0) {
+        first_witness[static_cast<std::size_t>(h)] = static_cast<int>(w);
+      }
+    }
+  }
+  EdgeSet edges;
+  for (const int ch : out.channels) {
+    const int w = first_witness[static_cast<std::size_t>(ch)];
+    if (w < 0) continue;  // kernel channel held only by stranded packets
+    for (const int c : witnesses[static_cast<std::size_t>(w)].cands) {
+      edges.add(ch, c);
+    }
+  }
+  out.cycle = Digraph(num_channels, edges).find_cycle();
+  return out;
+}
+
+}  // namespace mddsim::verify

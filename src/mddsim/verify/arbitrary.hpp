@@ -1,0 +1,97 @@
+#pragma once
+// Arbitrary-topology dependency analysis: builds the buffer-dependency
+// structures of one message class directly from a DigraphTopology and its
+// RoutingTable — no coordinate system, no dateline-state enumeration (the
+// dateline automaton, when present, is already compiled into the digraph
+// by DigraphTopology::from_kary).
+//
+// Channels here are (physical edge, VC) pairs plus one ejection channel
+// per (NI node, VC): a packet state is (vertex, destination), candidate
+// channels come straight from the routing table, and dependencies fold
+// onto physical channels through the digraph's phys_edge projection — so
+// virtual dateline vertices never produce spurious distinct channels.
+//
+// Two analyses come out:
+//  * build_class — a ClassCdg (full + extended escape CDG, per-node
+//    inject/eject lists) shape-compatible with CdgBuilder's, so the same
+//    Mdg composition and checks run unchanged;
+//  * kernel — the Mendlovic–Matias necessary-and-sufficient condition:
+//    the largest channel set S in which every channel has a reachable
+//    witness state whose candidate set lies entirely inside S.  Ejection
+//    channels drain by assumption and are never in S; the routing
+//    function is deadlock-free under wait-for-any semantics iff S is
+//    empty.  A non-empty kernel carries a witness cycle when one exists.
+
+#include <string>
+#include <vector>
+
+#include "mddsim/routing/routing.hpp"
+#include "mddsim/routing/table.hpp"
+#include "mddsim/routing/vc_layout.hpp"
+#include "mddsim/topology/digraph.hpp"
+#include "mddsim/verify/cdg.hpp"
+#include "mddsim/verify/graph.hpp"
+
+namespace mddsim::verify {
+
+/// Dense channel naming for digraph analyses: the buffer fed by one
+/// (physical edge, VC), with ejection channels per NI node appended.
+class EdgeChannelSpace {
+ public:
+  EdgeChannelSpace(const DigraphTopology& g, int total_vcs);
+
+  int num_channels() const {
+    return (g_->num_phys_edges() + g_->num_ni_nodes()) * vcs_;
+  }
+  int vcs() const { return vcs_; }
+  const DigraphTopology& digraph() const { return *g_; }
+
+  int channel(int phys_edge, int vc) const { return phys_edge * vcs_ + vc; }
+  int eject_channel(NodeId ni, int vc) const {
+    return (g_->num_phys_edges() + ni) * vcs_ + vc;
+  }
+  int vc_of(int ch) const { return ch % vcs_; }
+  bool is_eject(int ch) const { return ch / vcs_ >= g_->num_phys_edges(); }
+
+  /// Human-readable channel name, e.g. "r2>r5.vc1" or "r4.eject0.vc1".
+  std::string label(int ch) const;
+
+ private:
+  const DigraphTopology* g_;
+  int vcs_;
+};
+
+class ArbitraryCdgBuilder {
+ public:
+  /// `kind` plays the same role as in CdgBuilder: it widens the ejection
+  /// candidate set beyond the escape lane (non-DOR) and makes every class
+  /// VC adaptive (TFAR).  The caller must have checked that every escape
+  /// lane the table names fits inside the class escape ranges.
+  ArbitraryCdgBuilder(const DigraphTopology& g, const VcLayout& layout,
+                      const RoutingTable& table, RoutingAlgorithm::Kind kind);
+
+  const EdgeChannelSpace& space() const { return space_; }
+
+  /// Dependencies of message class `cls`, shape-compatible with
+  /// CdgBuilder::build_class (per-node lists sized num_ni_nodes()).
+  ClassCdg build_class(int cls) const;
+
+  /// The Mendlovic–Matias deadlock kernel of class `cls`.
+  struct Kernel {
+    std::vector<int> channels;  ///< the kernel, ascending (empty = free)
+    /// A dependency cycle inside the kernel along first-witness edges;
+    /// may be empty when the kernel is sustained by stranded packets
+    /// (states with no candidates at all).
+    std::vector<int> cycle;
+  };
+  Kernel kernel(int cls) const;
+
+ private:
+  const DigraphTopology& g_;
+  VcLayout layout_;
+  const RoutingTable& table_;
+  RoutingAlgorithm::Kind kind_;
+  EdgeChannelSpace space_;
+};
+
+}  // namespace mddsim::verify

@@ -1,0 +1,63 @@
+#pragma once
+// Flat 2-D bitset shared by the CDG builders (cdg.cpp, arbitrary.cpp):
+// rows of dependency sources, columns of dependency targets, used to
+// deduplicate edges before folding them into EdgeSets, and as reach sets
+// in the indirect-dependency fixpoints.
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace mddsim::verify {
+
+struct Bitset2d {
+  std::vector<std::uint64_t> bits;
+  std::size_t words_per_row = 0;
+
+  void init(std::size_t rows, std::size_t cols) {
+    words_per_row = (cols + 63) / 64;
+    bits.assign(rows * words_per_row, 0);
+  }
+  void set(std::size_t row, std::size_t col) {
+    bits[row * words_per_row + col / 64] |= std::uint64_t{1} << (col % 64);
+  }
+  void or_row(std::size_t dst, std::size_t src) {
+    for (std::size_t w = 0; w < words_per_row; ++w) {
+      bits[dst * words_per_row + w] |= bits[src * words_per_row + w];
+    }
+  }
+  /// or_row that reports whether `dst` gained any bit — drives the
+  /// worklist fixpoint over tables that are not distance-decreasing.
+  bool or_row_changed(std::size_t dst, std::size_t src) {
+    bool changed = false;
+    for (std::size_t w = 0; w < words_per_row; ++w) {
+      const std::uint64_t before = bits[dst * words_per_row + w];
+      const std::uint64_t after = before | bits[src * words_per_row + w];
+      if (after != before) {
+        bits[dst * words_per_row + w] = after;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+  bool row_empty(std::size_t row) const {
+    for (std::size_t w = 0; w < words_per_row; ++w) {
+      if (bits[row * words_per_row + w] != 0) return false;
+    }
+    return true;
+  }
+  /// Calls f(col) for every set column of `row`, ascending.
+  template <typename F>
+  void for_each(std::size_t row, F&& f) const {
+    for (std::size_t w = 0; w < words_per_row; ++w) {
+      std::uint64_t word = bits[row * words_per_row + w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        f(static_cast<int>(w * 64 + static_cast<std::size_t>(bit)));
+        word &= word - 1;
+      }
+    }
+  }
+};
+
+}  // namespace mddsim::verify

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "mddsim/common/assert.hpp"
+#include "mddsim/verify/bits.hpp"
 
 namespace mddsim::verify {
 
@@ -47,42 +48,6 @@ struct Cand {
   bool escape;  ///< the DOR escape candidate (or the escape eject channel)
 };
 
-struct Bitset2d {
-  std::vector<std::uint64_t> bits;
-  std::size_t words_per_row = 0;
-
-  void init(std::size_t rows, std::size_t cols) {
-    words_per_row = (cols + 63) / 64;
-    bits.assign(rows * words_per_row, 0);
-  }
-  void set(std::size_t row, std::size_t col) {
-    bits[row * words_per_row + col / 64] |= std::uint64_t{1} << (col % 64);
-  }
-  void or_row(std::size_t dst, std::size_t src) {
-    for (std::size_t w = 0; w < words_per_row; ++w) {
-      bits[dst * words_per_row + w] |= bits[src * words_per_row + w];
-    }
-  }
-  bool row_empty(std::size_t row) const {
-    for (std::size_t w = 0; w < words_per_row; ++w) {
-      if (bits[row * words_per_row + w] != 0) return false;
-    }
-    return true;
-  }
-  /// Calls f(col) for every set column of `row`, ascending.
-  template <typename F>
-  void for_each(std::size_t row, F&& f) const {
-    for (std::size_t w = 0; w < words_per_row; ++w) {
-      std::uint64_t word = bits[row * words_per_row + w];
-      while (word != 0) {
-        const int bit = std::countr_zero(word);
-        f(static_cast<int>(w * 64 + static_cast<std::size_t>(bit)));
-        word &= word - 1;
-      }
-    }
-  }
-};
-
 }  // namespace
 
 ClassCdg CdgBuilder::build_class(int cls) const {
@@ -111,8 +76,25 @@ ClassCdg CdgBuilder::build_class(int cls) const {
       }
     }
   }
-  out.inject_full.resize(static_cast<std::size_t>(num_routers));
-  out.inject_escape.resize(static_cast<std::size_t>(num_routers));
+  const std::size_t num_nodes = static_cast<std::size_t>(num_routers) *
+                                static_cast<std::size_t>(bristling);
+  out.inject_full.resize(num_nodes);
+  out.inject_escape.resize(num_nodes);
+  out.eject_full.resize(num_nodes);
+  out.eject_escape.resize(num_nodes);
+  for (RouterId r = 0; r < num_routers; ++r) {
+    for (int b = 0; b < bristling; ++b) {
+      const auto node = static_cast<std::size_t>(topo.node_of(r, b));
+      const int port = net_ports + b;
+      out.eject_escape[node].push_back(space_.channel(r, port, cr.base));
+      for (int v = cr.base; v < cr.base + cr.count; ++v) {
+        out.eject_full[node].push_back(space_.channel(r, port, v));
+      }
+      for (int v = cr.shared_base; v < cr.shared_base + cr.shared_count; ++v) {
+        out.eject_full[node].push_back(space_.channel(r, port, v));
+      }
+    }
+  }
 
   // Direct dependencies, deduplicated per router: row = arrival channel into
   // r encoded as (travel-direction port j) * vcs + vc, column = outgoing
@@ -247,12 +229,15 @@ ClassCdg CdgBuilder::build_class(int cls) const {
         }
       }
       if (mask == 0) {
-        auto& inj = out.inject_full[static_cast<std::size_t>(r)];
-        auto& inj_esc = out.inject_escape[static_cast<std::size_t>(r)];
-        for (const Cand& c : cands) {
-          const int ch = space_.channel(r, c.port, c.vc);
-          inj.push_back(ch);
-          if (c.escape) inj_esc.push_back(ch);
+        // Injection candidates depend on the router, not the NI slot:
+        // replicate across the router's bristled nodes.
+        for (int b = 0; b < bristling; ++b) {
+          const auto node = static_cast<std::size_t>(topo.node_of(r, b));
+          for (const Cand& c : cands) {
+            const int ch = space_.channel(r, c.port, c.vc);
+            out.inject_full[node].push_back(ch);
+            if (c.escape) out.inject_escape[node].push_back(ch);
+          }
         }
       }
     }

@@ -60,16 +60,23 @@ class ChannelSpace {
   int ports_;
 };
 
-/// Static dependency structure of one message class.
+/// Static dependency structure of one message class.  The per-node lists
+/// are everything the MDG composition needs to know about the network, so
+/// `Mdg` works unchanged over k-ary ChannelSpace channels and the
+/// edge-based channels of the arbitrary-topology backend.
 struct ClassCdg {
   EdgeSet full;    ///< all direct dependencies, every channel of the class
   EdgeSet escape;  ///< extended CDG over escape channels (+ eject sinks)
   /// Channels that are escape channels of this class.
   std::vector<char> is_escape;
-  /// Per router: channels a freshly injected packet may request (dedup,
+  /// Per NI node: channels a freshly injected packet may request (dedup,
   /// sorted) — full candidate set and escape-only candidate.
   std::vector<std::vector<int>> inject_full;
   std::vector<std::vector<int>> inject_escape;
+  /// Per NI node: ejection channels a packet of this class can be delivered
+  /// on — every class VC plus the shared pool, and the escape lane alone.
+  std::vector<std::vector<int>> eject_full;
+  std::vector<std::vector<int>> eject_escape;
 };
 
 class CdgBuilder {

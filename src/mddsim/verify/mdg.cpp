@@ -4,17 +4,21 @@
 
 namespace mddsim::verify {
 
-Mdg::Mdg(const Topology& topo, const VcLayout& layout, const ClassMap& cmap,
+Mdg::Mdg(int num_channels, int num_nodes, const ClassMap& cmap,
          const ClassMap& qmap, const TransactionPattern& pattern, Scheme scheme,
-         const ChannelSpace& space, const std::vector<ClassCdg>& cdgs,
-         bool escape_mode)
-    : space_(&space),
+         std::function<std::string(int)> channel_label,
+         const std::vector<ClassCdg>& cdgs, bool escape_mode)
+    : channel_label_(std::move(channel_label)),
       qmap_(qmap),
-      num_channels_(space.num_channels()),
-      num_nodes_(topo.num_nodes()),
+      num_channels_(num_channels),
+      num_nodes_(num_nodes),
       num_slots_(qmap.num_classes) {
   num_vertices_ = num_channels_ + 2 * num_nodes_ * num_slots_;
-  MDD_CHECK(static_cast<int>(cdgs.size()) == layout.num_classes());
+  MDD_CHECK(!cdgs.empty());
+  for (const ClassCdg& cdg : cdgs) {
+    MDD_CHECK(static_cast<int>(cdg.inject_full.size()) == num_nodes_ &&
+              static_cast<int>(cdg.eject_full.size()) == num_nodes_);
+  }
 
   // Which wire types exist in this configuration: the pattern's message
   // types, plus backoff replies when deflective recovery can mint them.
@@ -41,31 +45,17 @@ Mdg::Mdg(const Topology& topo, const VcLayout& layout, const ClassMap& cmap,
     }
   }
 
-  const int net_ports = topo.num_net_ports();
-  const int bristling = topo.bristling();
-
   // 2. Delivery: ejection channels wait on input-queue space.
   for (int t = 0; t < kNumWireTypes; ++t) {
     if (!carried[static_cast<std::size_t>(t)]) continue;
     const MsgType mt = static_cast<MsgType>(t);
-    const ClassRange& cr = layout.of_class(cmap.of(mt));
+    const ClassCdg& cdg = cdgs[static_cast<std::size_t>(cmap.of(mt))];
     const int slot = qmap_.of(mt);
-    for (RouterId r = 0; r < topo.num_routers(); ++r) {
-      for (int b = 0; b < bristling; ++b) {
-        const int port = net_ports + b;
-        const int inq = queue_vertex(topo.node_of(r, b), slot, false);
-        if (escape_mode) {
-          edges_.add(space.channel(r, port, cr.base), inq);
-          continue;
-        }
-        for (int v = cr.base; v < cr.base + cr.count; ++v) {
-          edges_.add(space.channel(r, port, v), inq);
-        }
-        for (int v = cr.shared_base; v < cr.shared_base + cr.shared_count;
-             ++v) {
-          edges_.add(space.channel(r, port, v), inq);
-        }
-      }
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      const int inq = queue_vertex(n, slot, false);
+      const auto& ej = (escape_mode ? cdg.eject_escape : cdg.eject_full)
+          [static_cast<std::size_t>(n)];
+      for (const int ch : ej) edges_.add(ch, inq);
     }
   }
 
@@ -106,9 +96,8 @@ Mdg::Mdg(const Topology& topo, const VcLayout& layout, const ClassMap& cmap,
     const int slot = qmap_.of(mt);
     for (NodeId n = 0; n < num_nodes_; ++n) {
       const int outq = queue_vertex(n, slot, true);
-      const auto& inj = (escape_mode ? cdg.inject_escape
-                                     : cdg.inject_full)[static_cast<std::size_t>(
-          topo.router_of_node(n))];
+      const auto& inj = (escape_mode ? cdg.inject_escape : cdg.inject_full)
+          [static_cast<std::size_t>(n)];
       for (const int ch : inj) edges_.add(outq, ch);
     }
   }
@@ -120,7 +109,7 @@ int Mdg::queue_vertex(NodeId node, int slot, bool output) const {
 }
 
 std::string Mdg::label(int vertex) const {
-  if (vertex < num_channels_) return space_->label(vertex);
+  if (vertex < num_channels_) return channel_label_(vertex);
   int q = vertex - num_channels_;
   const bool output = q >= num_nodes_ * num_slots_;
   if (output) q -= num_nodes_ * num_slots_;

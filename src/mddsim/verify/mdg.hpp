@@ -26,6 +26,7 @@
 // organization) unions its members' edges, which is exactly the coupling
 // that makes shared queues deadlock-prone.
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -38,13 +39,21 @@ namespace mddsim::verify {
 
 class Mdg {
  public:
-  /// @param escape_mode  true: compose the extended escape CDGs (Duato
+  /// The composition is topology-agnostic: everything network-shaped comes
+  /// in through the ClassCdg per-node inject/eject lists, so the same code
+  /// serves the k-ary CdgBuilder and the arbitrary-digraph backend.
+  ///
+  /// @param num_channels  size of the channel id space the CDGs index
+  /// @param num_nodes     NI endpoints; the ClassCdg per-node lists must
+  ///        have exactly this many entries
+  /// @param channel_label names a channel id for verdict rendering
+  /// @param escape_mode   true: compose the extended escape CDGs (Duato
   ///        avoidance analysis, SA/DR); false: compose the full CDGs
   ///        (strict / recovery-free analysis, PR/RG).
-  Mdg(const Topology& topo, const VcLayout& layout, const ClassMap& cmap,
+  Mdg(int num_channels, int num_nodes, const ClassMap& cmap,
       const ClassMap& qmap, const TransactionPattern& pattern, Scheme scheme,
-      const ChannelSpace& space, const std::vector<ClassCdg>& cdgs,
-      bool escape_mode);
+      std::function<std::string(int)> channel_label,
+      const std::vector<ClassCdg>& cdgs, bool escape_mode);
 
   int num_vertices() const { return num_vertices_; }
   const EdgeSet& edges() const { return edges_; }
@@ -57,7 +66,7 @@ class Mdg {
  private:
   int queue_vertex(NodeId node, int slot, bool output) const;
 
-  const ChannelSpace* space_;
+  std::function<std::string(int)> channel_label_;
   ClassMap qmap_;
   int num_channels_;
   int num_nodes_;

@@ -1,5 +1,6 @@
 #include "mddsim/verify/verify.hpp"
 
+#include <algorithm>
 #include <array>
 #include <functional>
 #include <sstream>
@@ -8,6 +9,7 @@
 #include "mddsim/common/json.hpp"
 #include "mddsim/obs/dot.hpp"
 #include "mddsim/sim/config.hpp"
+#include "mddsim/verify/arbitrary.hpp"
 #include "mddsim/verify/cdg.hpp"
 #include "mddsim/verify/graph.hpp"
 #include "mddsim/verify/mdg.hpp"
@@ -16,7 +18,6 @@ namespace mddsim::verify {
 
 VerifyInputs VerifyInputs::from_config(const SimConfig& cfg) {
   VerifyInputs in;
-  in.topo = cfg.make_topology();
   in.scheme = cfg.scheme;
   in.queue_org = cfg.queue_org;
   in.pattern = TransactionPattern::by_name(cfg.pattern);
@@ -26,13 +27,60 @@ VerifyInputs VerifyInputs::from_config(const SimConfig& cfg) {
   // Mirror the Network constructor exactly — the verdict must describe the
   // network the simulator would actually build.
   in.cmap = ClassMap::make(cfg.scheme, used);
+  in.recovery = RecoveryShape{cfg.num_tokens, 1, 1};
+
+  if (!cfg.topology_spec.empty()) {
+    // Arbitrary digraph topology (verify-only): the file's vcs/escape
+    // hints override the k-ary defaults; escape defaults to a single lane
+    // (a digraph has no dateline concept — promotions are explicit lanes).
+    DigraphFile df = make_digraph(cfg.topology_spec);
+    const int vcs = df.vcs > 0 ? df.vcs : cfg.vcs_per_link;
+    const int escape = df.escape > 0 ? df.escape : 1;
+    in.layout = VcLayout::make(cfg.scheme, in.cmap.num_classes, vcs, escape,
+                               cfg.shared_adaptive);
+    in.qmap = cfg.queue_org == QueueOrg::PerType
+                  ? ClassMap::make(Scheme::SA, used)
+                  : in.cmap;
+    in.kind = RoutingAlgorithm::kind_for(cfg.scheme, in.layout);
+    auto g = std::make_shared<DigraphTopology>(std::move(df.digraph));
+    const std::string origin = cfg.topology_spec.starts_with("file:")
+                                   ? cfg.topology_spec.substr(5)
+                                   : cfg.topology_spec;
+    auto t = df.routes.empty()
+                 ? std::make_shared<RoutingTable>(RoutingTable::synthesize(*g))
+                 : std::make_shared<RoutingTable>(
+                       RoutingTable(*g, df.routes, origin));
+    t->check_complete(*g, /*need_escape=*/true, origin);
+    in.digraph = std::move(g);
+    in.table = std::move(t);
+
+    std::ostringstream name;
+    name << scheme_name(cfg.scheme) << '/' << cfg.pattern << ' '
+         << in.digraph->name() << " digraph vcs=" << vcs;
+    if (cfg.shared_adaptive) name << " shared";
+    if (cfg.queue_org == QueueOrg::PerType) name << " per-type";
+    in.name = name.str();
+    return in;
+  }
+
+  in.topo = cfg.make_topology();
   in.layout = VcLayout::make(cfg.scheme, in.cmap.num_classes, cfg.vcs_per_link,
                              cfg.escape_per_class(), cfg.shared_adaptive);
   in.qmap = cfg.queue_org == QueueOrg::PerType
                 ? ClassMap::make(Scheme::SA, used)
                 : in.cmap;
   in.kind = RoutingAlgorithm::kind_for(cfg.scheme, in.layout);
-  in.recovery = RecoveryShape{cfg.num_tokens, 1, 1};
+  if (cfg.table_routing) {
+    // Table-driven mesh: verify through the digraph backend over the same
+    // synthesized table Network hands to RoutingAlgorithm.
+    in.kind = RoutingAlgorithm::Kind::Table;
+    auto g = std::make_shared<DigraphTopology>(
+        DigraphTopology::from_kary(in.topo, /*expand_datelines=*/false));
+    auto t = std::make_shared<RoutingTable>(RoutingTable::synthesize(*g));
+    t->check_complete(*g, /*need_escape=*/true, "routing=table");
+    in.digraph = std::move(g);
+    in.table = std::move(t);
+  }
 
   std::ostringstream name;
   name << scheme_name(cfg.scheme) << '/' << cfg.pattern << ' ';
@@ -44,9 +92,28 @@ VerifyInputs VerifyInputs::from_config(const SimConfig& cfg) {
     }
   }
   name << (cfg.torus ? " torus" : " mesh") << " vcs=" << cfg.vcs_per_link;
+  if (cfg.table_routing) name << " table";
   if (cfg.shared_adaptive) name << " shared";
   if (cfg.queue_org == QueueOrg::PerType) name << " per-type";
   in.name = name.str();
+  return in;
+}
+
+VerifyInputs VerifyInputs::from_config_arbitrary(const SimConfig& cfg) {
+  VerifyInputs in = from_config(cfg);
+  if (in.digraph) return in;
+  // Dateline expansion compiles the escape-VC automaton into the digraph;
+  // without dateline capacity the k-ary builder runs dateline-less too.
+  const bool expand =
+      in.topo.wrap() && in.layout.classes.front().escape >= 2;
+  auto g = std::make_shared<DigraphTopology>(
+      DigraphTopology::from_kary(in.topo, expand));
+  in.table = std::make_shared<RoutingTable>(RoutingTable::compile_kary(
+      in.topo, *g, /*adaptive=*/in.kind != RoutingAlgorithm::Kind::DOR,
+      /*escape=*/in.kind != RoutingAlgorithm::Kind::TFAR));
+  in.digraph = std::move(g);
+  in.kary_recovery = true;
+  in.name += " (digraph)";
   return in;
 }
 
@@ -92,9 +159,215 @@ std::string plural(std::size_t n, const char* noun) {
   return s;
 }
 
+/// Arbitrary-topology analysis path: dependency structures come from the
+/// digraph + routing table (verify/arbitrary.hpp), including the
+/// Mendlovic–Matias necessary-and-sufficient kernel; the MDG composition
+/// and verdict rendering are shared with the k-ary path.
+Verdict run_verify_arbitrary(const VerifyInputs& in) {
+  Verdict v;
+  v.name = in.name;
+  v.scheme = in.scheme;
+  const bool tfar = in.kind == RoutingAlgorithm::Kind::TFAR;
+  const DigraphTopology& g = *in.digraph;
+  const RoutingTable& table = *in.table;
+
+  const auto add = [&](std::string name, bool pass, bool operative,
+                       std::string detail) {
+    v.checks.push_back(
+        CheckResult{std::move(name), pass, operative, std::move(detail)});
+  };
+
+  bool chains_ok = !in.pattern.entries().empty();
+  for (const auto& entry : in.pattern.entries()) {
+    if (entry.script.empty() || !is_terminating(entry.script.back().type)) {
+      chains_ok = false;
+    }
+  }
+  add("chains-terminate", chains_ok, true,
+      chains_ok ? "every chain script ends in a terminating type"
+                : "a chain script does not end in m4/brp: nothing sinks "
+                  "unconditionally");
+
+  MDD_CHECK_MSG(in.layout.num_classes() == in.cmap.num_classes,
+                "class map and VC layout disagree on class count");
+
+  // Table coverage: every (vertex, destination) pair needs a hop — and an
+  // escape-laned one under avoidance — and every named lane must fit the
+  // class escape range (the digraph analogue of escape-capacity).
+  int min_escape = in.layout.classes.front().escape;
+  for (const ClassRange& cr : in.layout.classes) {
+    min_escape = std::min(min_escape, cr.escape);
+  }
+  const std::string cov = table.coverage_error(g, /*need_escape=*/!tfar);
+  const bool lanes_ok = table.max_escape_lane() < min_escape;
+  std::string cov_detail;
+  if (!cov.empty()) {
+    cov_detail = cov;
+  } else if (!lanes_ok) {
+    cov_detail = "table names escape lane " +
+                 std::to_string(table.max_escape_lane()) +
+                 " but classes provision only " +
+                 plural(static_cast<std::size_t>(min_escape), "escape VC");
+  } else {
+    cov_detail = "complete over " + std::to_string(g.num_nodes()) +
+                 " vertices and " +
+                 plural(static_cast<std::size_t>(g.num_dests()), "destination");
+  }
+  add("table-coverage", cov.empty() && lanes_ok, true, cov_detail);
+
+  Counterexample operative_ce;
+  Counterexample strict_ce;
+  // Out-of-range escape lanes would corrupt channel ids, so the graph
+  // analyses only run when the lane check holds.
+  if (lanes_ok) {
+    ArbitraryCdgBuilder builder(g, in.layout, table, in.kind);
+    const EdgeChannelSpace& space = builder.space();
+    std::vector<ClassCdg> cdgs;
+    cdgs.reserve(static_cast<std::size_t>(in.layout.num_classes()));
+    for (int c = 0; c < in.layout.num_classes(); ++c) {
+      cdgs.push_back(builder.build_class(c));
+    }
+    const auto channel_label = [&space](int ch) { return space.label(ch); };
+
+    // The Mendlovic–Matias condition, per logical network: deadlock-free
+    // under wait-for-any semantics iff the kernel is empty.  For TFAR the
+    // kernel is expected non-empty (recovery must break it): strict-only.
+    for (int c = 0; c < in.layout.num_classes(); ++c) {
+      const ArbitraryCdgBuilder::Kernel kern = builder.kernel(c);
+      const std::string name = "mm-kernel-c" + std::to_string(c);
+      std::string detail;
+      if (kern.channels.empty()) {
+        detail = "deadlock kernel empty (necessary and sufficient)";
+      } else {
+        detail = "deadlock kernel of " +
+                 plural(kern.channels.size(), "channel");
+        if (kern.cycle.empty()) {
+          detail += " sustained by stranded packets (empty candidate sets)";
+        }
+        if (tfar) detail += " (expected for TFAR; recovery must break it)";
+      }
+      add(name, kern.channels.empty(), !tfar, detail);
+      if (!tfar && !kern.cycle.empty() && !operative_ce.found) {
+        operative_ce = render_cycle(name, kern.cycle, channel_label);
+      }
+    }
+
+    if (!tfar) {
+      // Duato's theorem as corroborating diagnosis: the extended escape
+      // CDG of every logical network must be acyclic.
+      for (int c = 0; c < in.layout.num_classes(); ++c) {
+        const Digraph dg(space.num_channels(),
+                         cdgs[static_cast<std::size_t>(c)].escape);
+        const std::vector<int> cycle = dg.find_cycle();
+        const std::string name = "cdg-escape-c" + std::to_string(c);
+        add(name, cycle.empty(), true,
+            cycle.empty() ? plural(dg.num_edges(), "escape dependency")
+                                .append(", acyclic")
+                          : "dependency cycle through " +
+                                plural(cycle.size(), "channel"));
+        if (!cycle.empty() && !operative_ce.found) {
+          operative_ce = render_cycle(name, cycle, channel_label);
+        }
+      }
+      const Mdg mdg(space.num_channels(), g.num_ni_nodes(), in.cmap, in.qmap,
+                    in.pattern, in.scheme, channel_label, cdgs,
+                    /*escape_mode=*/true);
+      const Digraph dg = mdg.graph();
+      const std::vector<int> cycle = dg.find_cycle();
+      add("mdg-endpoint", cycle.empty(), true,
+          cycle.empty()
+              ? plural(dg.num_edges(), "dependency")
+                    .append(", acyclic with the scheme's consumption "
+                            "assumptions")
+              : "message-dependent cycle through " +
+                    plural(cycle.size(), "resource"));
+      if (!cycle.empty() && !operative_ce.found) {
+        operative_ce = render_cycle("mdg-endpoint", cycle,
+                                    [&mdg](int w) { return mdg.label(w); });
+      }
+    } else {
+      const Mdg mdg(space.num_channels(), g.num_ni_nodes(), in.cmap, in.qmap,
+                    in.pattern, in.scheme, channel_label, cdgs,
+                    /*escape_mode=*/false);
+      const Digraph dg = mdg.graph();
+      const std::vector<int> cycle = dg.find_cycle();
+      add("mdg-strict", cycle.empty(), false,
+          cycle.empty() ? plural(dg.num_edges(), "dependency")
+                              .append(", acyclic even without recovery")
+                        : "recovery-free graph has a cycle through " +
+                              plural(cycle.size(), "resource") +
+                              " (expected for TFAR; recovery must break it)");
+      if (!cycle.empty()) {
+        strict_ce = render_cycle("mdg-strict", cycle,
+                                 [&mdg](int w) { return mdg.label(w); });
+      }
+    }
+  }
+
+  if (tfar && in.scheme == Scheme::PR) {
+    add("recovery-tokens", in.recovery.tokens >= 1, true,
+        in.recovery.tokens >= 1
+            ? plural(static_cast<std::size_t>(in.recovery.tokens),
+                     "circulating recovery token")
+            : "no circulating token: deadlocks are detected but never "
+              "recovered");
+    const bool buffers_ok =
+        in.recovery.db_slots >= 1 && in.recovery.dmb_slots >= 1;
+    add("recovery-buffers", buffers_ok, true,
+        buffers_ok ? "DB and DMB lanes provisioned"
+                   : "missing DB/DMB slots: the recovery lane cannot hold "
+                     "a rescued packet");
+    if (in.kary_recovery) {
+      const int num_routers = in.topo.num_routers();
+      std::vector<char> seen(static_cast<std::size_t>(num_routers), 0);
+      RouterId r = 0;
+      int visited = 0;
+      for (int i = 0; i < num_routers; ++i) {
+        if (!seen[static_cast<std::size_t>(r)]) ++visited;
+        seen[static_cast<std::size_t>(r)] = 1;
+        r = in.topo.ring_next(r);
+      }
+      const bool ring_ok = (r == 0) && visited == num_routers;
+      add("recovery-ring", ring_ok, true,
+          ring_ok ? "Hamiltonian recovery ring covers all " +
+                        plural(static_cast<std::size_t>(num_routers),
+                               "router") +
+                        " and closes"
+                  : "recovery ring does not cover/close over the routers");
+    }
+  }
+
+  v.pass = true;
+  v.strict_pass = true;
+  for (const CheckResult& c : v.checks) {
+    if (!c.pass) {
+      v.strict_pass = false;
+      if (c.operative) v.pass = false;
+    }
+  }
+  if (!v.pass && !operative_ce.found && strict_ce.found) {
+    operative_ce = strict_ce;
+  }
+  if (!v.pass && operative_ce.found) {
+    v.cycle_kind = operative_ce.kind;
+    v.cycle = operative_ce.labels;
+    v.dot = operative_ce.dot;
+  }
+  if (strict_ce.found) {
+    v.strict_cycle_kind = strict_ce.kind;
+    v.strict_cycle = strict_ce.labels;
+    v.strict_dot = strict_ce.dot;
+  }
+  return v;
+}
+
 }  // namespace
 
 Verdict run_verify(const VerifyInputs& in) {
+  if (in.digraph) {
+    MDD_CHECK_MSG(in.table != nullptr, "digraph inputs need a routing table");
+    return run_verify_arbitrary(in);
+  }
   Verdict v;
   v.name = in.name;
   v.scheme = in.scheme;
@@ -167,8 +440,9 @@ Verdict run_verify(const VerifyInputs& in) {
       }
     }
     // Endpoint composition: escape networks + protocol chains + queues.
-    const Mdg mdg(in.topo, in.layout, in.cmap, in.qmap, in.pattern, in.scheme,
-                  space, cdgs, /*escape_mode=*/true);
+    const Mdg mdg(space.num_channels(), in.topo.num_nodes(), in.cmap, in.qmap,
+                  in.pattern, in.scheme, channel_label, cdgs,
+                  /*escape_mode=*/true);
     const Digraph g = mdg.graph();
     const std::vector<int> cycle = g.find_cycle();
     add("mdg-endpoint", cycle.empty(), true,
@@ -184,8 +458,9 @@ Verdict run_verify(const VerifyInputs& in) {
   } else {
     // PR/RG: no escape network exists; the full message dependency graph is
     // expected to be cyclic, and recovery carries the burden of progress.
-    const Mdg mdg(in.topo, in.layout, in.cmap, in.qmap, in.pattern, in.scheme,
-                  space, cdgs, /*escape_mode=*/false);
+    const Mdg mdg(space.num_channels(), in.topo.num_nodes(), in.cmap, in.qmap,
+                  in.pattern, in.scheme, channel_label, cdgs,
+                  /*escape_mode=*/false);
     const Digraph g = mdg.graph();
     const std::vector<int> cycle = g.find_cycle();
     add("mdg-strict", cycle.empty(), false,

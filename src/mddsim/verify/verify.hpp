@@ -21,13 +21,16 @@
 // FAIL verdicts carry a minimal counterexample: the cycle as a readable
 // chain, Graphviz DOT (obs house style), and JSON via common/json.hpp.
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mddsim/protocol/message.hpp"
 #include "mddsim/protocol/pattern.hpp"
 #include "mddsim/routing/routing.hpp"
+#include "mddsim/routing/table.hpp"
 #include "mddsim/routing/vc_layout.hpp"
+#include "mddsim/topology/digraph.hpp"
 #include "mddsim/topology/topology.hpp"
 
 namespace mddsim {
@@ -62,7 +65,21 @@ struct VerifyInputs {
   RecoveryShape recovery;
   std::string name;  ///< provenance string for reports
 
+  /// Arbitrary-topology mode: when `digraph` is set (with its routing
+  /// table), run_verify builds the dependency structures from the digraph
+  /// and table (verify/arbitrary.hpp) — including the Mendlovic–Matias
+  /// kernel — instead of enumerating the k-ary packet state space.
+  std::shared_ptr<const DigraphTopology> digraph;
+  std::shared_ptr<const RoutingTable> table;
+  /// The digraph mirrors a k-ary config whose recovery ring exists (cross-
+  /// check path): PR's recovery-ring check then still applies via `topo`.
+  bool kary_recovery = false;
+
   static VerifyInputs from_config(const SimConfig& cfg);
+  /// The same k-ary config expressed through the digraph/table backend
+  /// (dateline-expanded from_kary view + compiled table).  Exists so tests
+  /// can cross-check the two analyses on identical configurations.
+  static VerifyInputs from_config_arbitrary(const SimConfig& cfg);
 };
 
 struct CheckResult {

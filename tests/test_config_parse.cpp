@@ -74,6 +74,37 @@ TEST(ConfigParse, Errors) {
   EXPECT_THROW(apply_config_option(cfg, "dims=2xx4"), ConfigError);
 }
 
+TEST(ConfigParse, TopologyAndRoutingKeys) {
+  SimConfig cfg;
+  apply_config_option(cfg, "topology=file:nets/df.topo");
+  EXPECT_EQ(cfg.topology_spec, "file:nets/df.topo");
+  apply_config_option(cfg, "routing=table");
+  EXPECT_TRUE(cfg.table_routing);
+  apply_config_option(cfg, "routing=kary");
+  EXPECT_FALSE(cfg.table_routing);
+  EXPECT_THROW(apply_config_option(cfg, "routing=hashed"), ConfigError);
+}
+
+TEST(ConfigParse, TopologyAndRoutingOnlySerializedWhenSet) {
+  // The serialized form feeds config hashes (golden baselines, ledger
+  // provenance): defaults must not perturb existing hashes.
+  SimConfig cfg;
+  EXPECT_EQ(config_to_string(cfg).find("topology="), std::string::npos);
+  EXPECT_EQ(config_to_string(cfg).find("routing="), std::string::npos);
+
+  cfg.topology_spec = "dragonfly:4,2";
+  cfg.table_routing = true;
+  const std::string text = config_to_string(cfg);
+  EXPECT_NE(text.find("topology=dragonfly:4,2"), std::string::npos);
+  EXPECT_NE(text.find("routing=table"), std::string::npos);
+
+  std::istringstream is(text);
+  SimConfig back;
+  apply_config_file(back, is);
+  EXPECT_EQ(back.topology_spec, cfg.topology_spec);
+  EXPECT_TRUE(back.table_routing);
+}
+
 TEST(ConfigParse, ConfigFile) {
   std::istringstream is(
       "# an experiment\n"
@@ -133,6 +164,8 @@ TEST(ConfigParse, KnownKeysCoverEveryAcceptedKey) {
     if (k.key == "scheme") v = "SA";
     else if (k.key == "pattern") v = "PAT100";
     else if (k.key == "queue_org") v = "shared";
+    else if (k.key == "topology") v = "dragonfly:4,2";
+    else if (k.key == "routing") v = "table";
     else if (k.key == "dims") v = "2x2";
     else if (k.key == "rate") v = "0.01";
     else if (k.key == "detect_mode") v = "oracle";

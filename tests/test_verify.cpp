@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "mddsim/par/thread_pool.hpp"
 #include "mddsim/sim/config.hpp"
 #include "mddsim/sim/simulator.hpp"
+#include "mddsim/topology/digraph.hpp"
 #include "mddsim/verify/graph.hpp"
 #include "mddsim/verify/verify.hpp"
 
@@ -43,6 +46,18 @@ bool label_in_cycle(const std::vector<std::string>& cycle,
     if (l.find(needle) != std::string::npos) return true;
   }
   return false;
+}
+
+std::string corpus_path(const std::string& file) {
+  return std::string(MDDSIM_SOURCE_DIR) + "/verify/corpus/" + file;
+}
+
+SimConfig corpus_config(const std::string& file) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::SA;
+  cfg.pattern = "PAT100";
+  cfg.topology_spec = "file:" + corpus_path(file);
+  return cfg;
 }
 
 }  // namespace
@@ -262,6 +277,219 @@ TEST(Verify, BrokenPrRecoveryShapesFail) {
 }
 
 // ---------------------------------------------------------------------------
+// Arbitrary-topology backend: the digraph/table analysis must agree with
+// the k-ary state-space analysis on every shipped bench configuration.
+
+namespace {
+
+std::vector<SimConfig> bench_matrix() {
+  std::vector<SimConfig> out;
+  out.push_back(base_config(Scheme::SA, "PAT100", 4));
+  out.push_back(base_config(Scheme::SA, "PAT271", 8));
+  out.push_back(base_config(Scheme::SA, "PAT271", 16));
+  out.push_back(base_config(Scheme::SA, "PAT271", 16));
+  out.back().shared_adaptive = true;
+  out.push_back(base_config(Scheme::DR, "PAT721", 4));
+  out.push_back(base_config(Scheme::DR, "PAT271", 8));
+  out.push_back(base_config(Scheme::PR, "PAT271", 4));
+  out.push_back(base_config(Scheme::PR, "PAT271", 16));
+  out.back().queue_org = QueueOrg::PerType;
+  return out;
+}
+
+}  // namespace
+
+TEST(VerifyArbitrary, AgreesWithKaryAnalysisOnBenchMatrix) {
+  for (const SimConfig& cfg : bench_matrix()) {
+    const verify::Verdict kary =
+        verify::run_verify(verify::VerifyInputs::from_config(cfg));
+    const auto in = verify::VerifyInputs::from_config_arbitrary(cfg);
+    ASSERT_NE(in.digraph, nullptr);
+    const verify::Verdict arb = verify::run_verify(in);
+    EXPECT_EQ(arb.pass, kary.pass) << kary.text() << arb.text();
+    EXPECT_EQ(arb.strict_pass, kary.strict_pass) << kary.text() << arb.text();
+    // The digraph path must actually have run the kernel analysis.
+    EXPECT_NE(find_check(arb, "mm-kernel-c0"), nullptr) << arb.text();
+  }
+}
+
+TEST(VerifyArbitrary, TableRoutedMeshPasses) {
+  SimConfig cfg = base_config(Scheme::SA, "PAT271", 8);
+  cfg.torus = false;
+  cfg.table_routing = true;
+  const auto in = verify::VerifyInputs::from_config(cfg);
+  ASSERT_NE(in.digraph, nullptr);
+  ASSERT_NE(in.table, nullptr);
+  const verify::Verdict v = verify::run_verify(in);
+  EXPECT_TRUE(v.pass) << v.text();
+  EXPECT_TRUE(v.strict_pass) << v.text();
+  const auto* cov = find_check(v, "table-coverage");
+  ASSERT_NE(cov, nullptr);
+  EXPECT_TRUE(cov->pass);
+}
+
+// ---------------------------------------------------------------------------
+// Committed corpus: good and seeded-broken digraph topologies.
+
+TEST(VerifyCorpus, DatelineRingPasses) {
+  const verify::Verdict v = verify::run_verify(
+      verify::VerifyInputs::from_config(corpus_config("ring8_dateline.topo")));
+  EXPECT_TRUE(v.pass) << v.text();
+  EXPECT_TRUE(v.strict_pass) << v.text();
+}
+
+TEST(VerifyCorpus, UpDownDiamondPasses) {
+  const verify::Verdict v = verify::run_verify(
+      verify::VerifyInputs::from_config(corpus_config("diamond_updown.topo")));
+  EXPECT_TRUE(v.pass) << v.text();
+  EXPECT_TRUE(v.strict_pass) << v.text();
+}
+
+TEST(VerifyCorpus, SingleLaneRingFailsWithFullRingKernel) {
+  const verify::Verdict v = verify::run_verify(
+      verify::VerifyInputs::from_config(corpus_config("ring8_single.topo")));
+  EXPECT_FALSE(v.pass) << v.text();
+  const auto* kern = find_check(v, "mm-kernel-c0");
+  ASSERT_NE(kern, nullptr);
+  EXPECT_FALSE(kern->pass);
+  EXPECT_EQ(v.cycle_kind, "mm-kernel-c0");
+  // The kernel is the whole single-lane ring: the minimal circular wait
+  // walks all eight channels.
+  ASSERT_EQ(v.cycle.size(), 8u) << v.text();
+  EXPECT_TRUE(label_in_cycle(v.cycle, "r0>r1.vc0")) << v.text();
+  EXPECT_TRUE(label_in_cycle(v.cycle, "r7>r0.vc0")) << v.text();
+  EXPECT_FALSE(v.dot.empty());
+}
+
+TEST(VerifyCorpus, ClockwiseSquareFailsWithTurnCycle) {
+  const auto in =
+      verify::VerifyInputs::from_config(corpus_config("square_turncycle.topo"));
+  const verify::Verdict v = verify::run_verify(in);
+  EXPECT_FALSE(v.pass) << v.text();
+  EXPECT_EQ(v.cycle_kind, "mm-kernel-c0");
+  // The routes only turn clockwise: 0 -> 1 -> 3 -> 2 -> 0.
+  ASSERT_EQ(v.cycle.size(), 4u) << v.text();
+  EXPECT_TRUE(label_in_cycle(v.cycle, "r0>r1.vc0")) << v.text();
+  EXPECT_TRUE(label_in_cycle(v.cycle, "r2>r0.vc0")) << v.text();
+}
+
+// ---------------------------------------------------------------------------
+// Topology-file error paths: every malformed input is a ConfigError whose
+// message carries the origin and line.
+
+namespace {
+
+ConfigError parse_error(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    (void)parse_topology_text(is, "test.topo");
+  } catch (const ConfigError& e) {
+    return e;
+  }
+  return ConfigError("<no error raised>");
+}
+
+}  // namespace
+
+TEST(VerifyTopologyFile, EdgeEndpointOutOfRange) {
+  const ConfigError e = parse_error("nodes 4\nedge 0 7\n");
+  EXPECT_NE(std::string(e.what()).find("test.topo:2"), std::string::npos)
+      << e.what();
+  EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+      << e.what();
+}
+
+TEST(VerifyTopologyFile, EdgeBeforeNodesLine) {
+  const ConfigError e = parse_error("edge 0 1\nnodes 4\n");
+  EXPECT_NE(std::string(e.what()).find("test.topo:1"), std::string::npos)
+      << e.what();
+}
+
+TEST(VerifyTopologyFile, RouteOverUndeclaredEdge) {
+  const ConfigError e = parse_error("nodes 4\nedge 0 1\nroute 0 2 -> 3:e0\n");
+  EXPECT_NE(std::string(e.what()).find("test.topo:3"), std::string::npos)
+      << e.what();
+  EXPECT_NE(std::string(e.what()).find("no edge 0 -> 3"), std::string::npos)
+      << e.what();
+}
+
+TEST(VerifyTopologyFile, DuplicateEdgeAndSelfLoop) {
+  EXPECT_NE(std::string(parse_error("nodes 4\nedge 0 1\nedge 0 1\n").what())
+                .find("test.topo:3"),
+            std::string::npos);
+  EXPECT_NE(std::string(parse_error("nodes 4\nedge 2 2\n").what())
+                .find("self-loop"),
+            std::string::npos);
+}
+
+TEST(VerifyTopologyFile, MissingNodesLine) {
+  const ConfigError e = parse_error("edge 0 1\n");
+  EXPECT_NE(std::string(e.what()).find("test.topo"), std::string::npos);
+}
+
+TEST(VerifyTopologyFile, UnreachableDestinationRejectedAtResolve) {
+  // Node 2 exists but no edge reaches it: synthesis leaves the pairs
+  // empty and table completion must name the stranded pair and the file.
+  const std::string path =
+      ::testing::TempDir() + "mddsim_unreachable.topo";
+  {
+    std::ofstream os(path);
+    os << "nodes 3\nedge 0 1\nedge 1 0\n";
+  }
+  SimConfig cfg;
+  cfg.scheme = Scheme::SA;
+  cfg.pattern = "PAT100";
+  cfg.topology_spec = "file:" + path;
+  try {
+    (void)verify::VerifyInputs::from_config(cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("no route"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(VerifyTopologyFile, ConfigValidateSurfacesSpecErrors) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::SA;
+  cfg.pattern = "PAT100";
+  cfg.topology_spec = "file:/nonexistent/net.topo";
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.topology_spec = "dragonfly:1,1";
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.topology_spec = "moebius:4";
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(VerifyTopologyFile, ScopeRulesRejectUnsupportedCombinations) {
+  {
+    // Recovery schemes need the k-ary Hamiltonian ring.
+    SimConfig cfg;
+    cfg.scheme = Scheme::PR;
+    cfg.topology_spec = "dragonfly:4,2";
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    // Table routing carries no dateline state: mesh only.
+    SimConfig cfg;
+    cfg.scheme = Scheme::SA;
+    cfg.pattern = "PAT100";
+    cfg.table_routing = true;
+    cfg.torus = true;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    // Digraph topologies are verify-only: the simulator refuses them.
+    SimConfig cfg;
+    cfg.scheme = Scheme::SA;
+    cfg.pattern = "PAT100";
+    cfg.topology_spec = "dragonfly:4,2";
+    EXPECT_THROW(Simulator sim(cfg), ConfigError);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Determinism: bit-identical verdicts across runs and across threads.
 
 namespace {
@@ -275,6 +503,14 @@ std::vector<verify::VerifyInputs> determinism_corpus() {
   corpus.push_back(
       verify::VerifyInputs::from_config(base_config(Scheme::PR, "PAT271", 4)));
   corpus.push_back(broken_torus_single_escape(2));
+  // Digraph-backend inputs ride along: the corpus verdict JSONs CI pins
+  // must be bit-identical under --jobs 1 and --jobs 4 too.
+  corpus.push_back(
+      verify::VerifyInputs::from_config(corpus_config("ring8_dateline.topo")));
+  corpus.push_back(
+      verify::VerifyInputs::from_config(corpus_config("ring8_single.topo")));
+  corpus.push_back(verify::VerifyInputs::from_config_arbitrary(
+      base_config(Scheme::SA, "PAT271", 8)));
   return corpus;
 }
 
