@@ -26,6 +26,36 @@
 //                        (tests/golden_baseline.inc) with fresh counts and
 //                        per-case config hashes, then exit
 //
+//   Checkpoint / restore (mddsim::snap, DESIGN.md §18):
+//     --checkpoint-at N  arm a one-shot checkpoint at cycle N (needs
+//                        --checkpoint-out)
+//     --checkpoint-out F write the versioned snapshot byte stream to F when
+//                        the checkpoint fires; the run then continues
+//     --resume FILE      reconstruct the simulator from a snapshot file and
+//                        continue the run from there (bit-identical to the
+//                        uninterrupted run; config keys on the command line
+//                        are ignored — the snapshot embeds its config)
+//
+//   State-space exploration (mddsim::mc, DESIGN.md §18):
+//     --mc               exhaustively explore every schedule reachable by
+//                        branching the simulation's decision points (VC-tie
+//                        arbitration, rescue-slot election, fault targets)
+//                        instead of running once.  Exit 0 when every path
+//                        drains deadlock-free, 4 when a knot or invariant
+//                        violation was found, 6 when the state cap stopped
+//                        the search (inconclusive)
+//     --mc-out FILE      write the minimal counterexample schedule (JSON,
+//                        replayable) to FILE when --mc finds a violation
+//     --mc-replay FILE   replay a schedule JSON recorded by --mc-out; exit
+//                        0 when the violation reproduces (same cycle, same
+//                        knot signature), 4 otherwise
+//     --mc-max-cycles N  per-path simulation horizon for --mc (default 5000)
+//     --mc-persistence N consecutive scans a knot must survive before it
+//                        counts as a violation (default 2; raise it for
+//                        recovery schemes, whose knots legally form and
+//                        dissolve)
+//     --mc-max-states N  distinct-state cap for --mc (default 1M)
+//
 //   Observability (mddsim::obs):
 //     --trace-out FILE   record a flit-level trace, write Chrome trace-event
 //                        JSON to FILE (open in chrome://tracing / Perfetto)
@@ -62,12 +92,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "mddsim/common/config_parse.hpp"
+#include "mddsim/mc/explorer.hpp"
 #include "mddsim/obs/forensics.hpp"
 #include "mddsim/obs/ledger.hpp"
 #include "mddsim/obs/profile.hpp"
@@ -80,6 +112,7 @@
 #include "mddsim/sim/baseline.hpp"
 #include "mddsim/sim/report.hpp"
 #include "mddsim/sim/simulator.hpp"
+#include "mddsim/snap/snapshot.hpp"
 #include "mddsim/verify/verify.hpp"
 
 using namespace mddsim;
@@ -98,12 +131,27 @@ void print_help() {
               "                  [--metrics-out FILE] [--profile] "
               "[--profile-out FILE]\n"
               "                  [--spans-out FILE] [--span-stats] "
-              "[--ledger FILE] [key=value ...]\n\n"
+              "[--ledger FILE]\n"
+              "                  [--checkpoint-at N --checkpoint-out FILE] "
+              "[--resume FILE]\n"
+              "                  [--mc] [--mc-out FILE] [--mc-replay FILE] "
+              "[--mc-max-cycles N]\n"
+              "                  [--mc-persistence N] [--mc-max-states N] "
+              "[key=value ...]\n\n"
               "configuration keys:\n");
   for (const auto& k : known_keys()) {
     std::printf("  %-16s %s\n", std::string(k.key).c_str(),
                 std::string(k.description).c_str());
   }
+}
+
+std::uint64_t parse_u64_flag(const char* flag, const std::string& tok) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0') {
+    throw ConfigError(std::string(flag) + ": bad number '" + tok + "'");
+  }
+  return v;
 }
 
 std::vector<double> parse_rate_list(const std::string& list) {
@@ -135,6 +183,10 @@ int main(int argc, char** argv) {
   bool verify_mode = false, verify_strict = false;
   std::string trace_out, heatmap_out, forensics_dir, metrics_out, profile_out;
   std::string spans_out, rebaseline_out, ledger_path, verify_out;
+  std::string checkpoint_out, resume_path, mc_out, mc_replay_path;
+  Cycle checkpoint_at = 0;
+  bool mc_mode = false;
+  mc::ExploreOptions mc_opts;
   bool span_stats = false;
   obs::ProgressMode progress_mode = obs::ProgressMode::Off;
   std::vector<double> sweep_rates;
@@ -207,6 +259,43 @@ int main(int argc, char** argv) {
       } else if (arg == "--ledger") {
         if (++i >= argc) throw ConfigError("--ledger needs a file argument");
         ledger_path = argv[i];
+      } else if (arg == "--checkpoint-at") {
+        if (++i >= argc)
+          throw ConfigError("--checkpoint-at needs a cycle argument");
+        checkpoint_at = parse_u64_flag("--checkpoint-at", argv[i]);
+        if (checkpoint_at == 0)
+          throw ConfigError("--checkpoint-at must be >= 1");
+      } else if (arg == "--checkpoint-out") {
+        if (++i >= argc)
+          throw ConfigError("--checkpoint-out needs a file argument");
+        checkpoint_out = argv[i];
+      } else if (arg == "--resume") {
+        if (++i >= argc) throw ConfigError("--resume needs a file argument");
+        resume_path = argv[i];
+      } else if (arg == "--mc") {
+        mc_mode = true;
+      } else if (arg == "--mc-out") {
+        if (++i >= argc) throw ConfigError("--mc-out needs a file argument");
+        mc_out = argv[i];
+        mc_mode = true;
+      } else if (arg == "--mc-replay") {
+        if (++i >= argc)
+          throw ConfigError("--mc-replay needs a file argument");
+        mc_replay_path = argv[i];
+      } else if (arg == "--mc-max-cycles") {
+        if (++i >= argc)
+          throw ConfigError("--mc-max-cycles needs a cycle argument");
+        mc_opts.max_cycles = parse_u64_flag("--mc-max-cycles", argv[i]);
+      } else if (arg == "--mc-persistence") {
+        if (++i >= argc)
+          throw ConfigError("--mc-persistence needs a scan count");
+        mc_opts.knot_persistence = static_cast<int>(
+            parse_u64_flag("--mc-persistence", argv[i]));
+      } else if (arg == "--mc-max-states") {
+        if (++i >= argc)
+          throw ConfigError("--mc-max-states needs a state count");
+        mc_opts.max_states = static_cast<std::size_t>(
+            parse_u64_flag("--mc-max-states", argv[i]));
       } else if (arg == "--fault") {
         if (++i >= argc) throw ConfigError("--fault needs a plan argument");
         cfg.fault_spec = argv[i];
@@ -231,6 +320,17 @@ int main(int argc, char** argv) {
           "--forensics-dir / --metrics-out / --profile / --spans-out / "
           "--span-stats (observability artifacts are per-run)");
     }
+    if (checkpoint_out.empty() != (checkpoint_at == 0)) {
+      throw ConfigError(
+          "--checkpoint-at and --checkpoint-out must be given together");
+    }
+    if (!sweep_rates.empty() &&
+        (mc_mode || !checkpoint_out.empty() || !resume_path.empty() ||
+         !mc_replay_path.empty())) {
+      throw ConfigError(
+          "--sweep cannot be combined with --mc / --mc-replay / "
+          "--checkpoint-out / --resume (they are single-run modes)");
+    }
     if (progress_mode != obs::ProgressMode::Off && sweep_rates.empty()) {
       std::fprintf(stderr,
                    "warning: --progress is only meaningful with --sweep\n");
@@ -244,6 +344,96 @@ int main(int argc, char** argv) {
 
   if (print_cfg) {
     std::fputs(config_to_string(cfg).c_str(), stdout);
+    return 0;
+  }
+
+  if (!mc_replay_path.empty()) {
+    // Counterexample replay: the schedule embeds its own config, so any
+    // key=value arguments are ignored.  Reproduction means the recorded
+    // violation recurs at the recorded cycle with the same knot signature.
+    std::ifstream is(mc_replay_path);
+    if (!is) {
+      std::fprintf(stderr, "error: cannot open %s\n", mc_replay_path.c_str());
+      return 2;
+    }
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    mc::Schedule sched;
+    std::string err;
+    if (!mc::Schedule::from_json(text, &sched, &err)) {
+      std::fprintf(stderr, "error: %s: %s\n", mc_replay_path.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    mc::ReplayResult rr;
+    try {
+      rr = mc::replay(sched);
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("[mc] replay %s: %s at cycle %llu", mc_replay_path.c_str(),
+                std::string(mc::verdict_name(rr.verdict)).c_str(),
+                static_cast<unsigned long long>(rr.cycle));
+    if (rr.knot_signature != 0) {
+      std::printf(" signature 0x%016llx",
+                  static_cast<unsigned long long>(rr.knot_signature));
+    }
+    std::printf(" -> %s\n", rr.reproduced ? "REPRODUCED"
+                            : rr.diverged  ? "DIVERGED (schedule exhausted "
+                                             "off-script)"
+                                           : "NOT REPRODUCED");
+    return rr.reproduced ? 0 : 4;
+  }
+
+  if (mc_mode) {
+    // Exhaustive exploration instead of a single run: branch every decision
+    // point, dedup revisited states, and report the first violation found
+    // (with its minimal replayable schedule) or the proof size.
+    mc::ExploreResult res;
+    try {
+      res = mc::explore(cfg, mc_opts);
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("[mc] %s: %zu states, %zu paths, %zu choice points, "
+                "%zu dedup hits\n",
+                std::string(mc::verdict_name(res.verdict)).c_str(),
+                res.states_visited, res.paths, res.choice_points,
+                res.dedup_hits);
+    if (res.verdict == mc::Verdict::Knot ||
+        res.verdict == mc::Verdict::Invariant) {
+      std::printf("[mc] violation at cycle %llu",
+                  static_cast<unsigned long long>(res.schedule.cycle));
+      if (res.schedule.knot_signature != 0) {
+        std::printf(" knot signature 0x%016llx",
+                    static_cast<unsigned long long>(
+                        res.schedule.knot_signature));
+      }
+      std::printf(" after %zu scripted choices\n",
+                  res.schedule.choices.size());
+      if (!res.schedule.what.empty()) {
+        std::printf("[mc] %s\n", res.schedule.what.c_str());
+      }
+      if (!mc_out.empty()) {
+        std::ofstream os(mc_out);
+        if (!os) {
+          std::fprintf(stderr, "error: cannot write %s\n", mc_out.c_str());
+          return 3;
+        }
+        os << res.schedule.to_json();
+        std::fprintf(stderr, "[mc] counterexample schedule -> %s\n",
+                     mc_out.c_str());
+      }
+      return 4;
+    }
+    if (res.verdict == mc::Verdict::StateCap) {
+      std::fprintf(stderr,
+                   "warning: state cap hit; raise --mc-max-states for a "
+                   "conclusive verdict\n");
+      return 6;
+    }
     return 0;
   }
 
@@ -372,21 +562,46 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<Simulator> sim_ptr;
   try {
-    sim_ptr = std::make_unique<Simulator>(cfg);
+    if (!resume_path.empty()) {
+      // The snapshot embeds the config it was taken under; the restored
+      // run continues bit-identically to the uninterrupted one.
+      sim_ptr = Simulator::restore(snap::read_file(resume_path));
+      cfg = sim_ptr->config();
+      std::fprintf(stderr, "[snap] resumed %s at cycle %llu\n",
+                   resume_path.c_str(),
+                   static_cast<unsigned long long>(sim_ptr->network().now()));
+    } else {
+      sim_ptr = std::make_unique<Simulator>(cfg);
+    }
   } catch (const ConfigError& e) {
     // Some rejections only fire at construction — e.g. a fault plan in a
     // build with the injection hooks compiled out (MDDSIM_FI=OFF).
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const snap::SnapshotError& e) {
+    std::fprintf(stderr, "error: %s: %s\n", resume_path.c_str(), e.what());
     return 2;
   }
   Simulator& sim = *sim_ptr;
   // Single runs spend --jobs on the within-run engine (sweeps spend it on
   // run-level parallelism instead; one run per worker beats sharding).
   sim.set_intra_jobs(jobs);
+  if (!checkpoint_out.empty()) {
+    sim.set_checkpoint(checkpoint_at, [&checkpoint_out](Simulator& s) {
+      snap::write_file(checkpoint_out, s.snapshot());
+      std::fprintf(stderr, "[snap] checkpoint at cycle %llu -> %s\n",
+                   static_cast<unsigned long long>(s.network().now()),
+                   checkpoint_out.c_str());
+    });
+  }
   const auto run_start = std::chrono::steady_clock::now();
   RunResult r;
   try {
     r = sim.run(drain);
+  } catch (const snap::SnapshotError& e) {
+    // The checkpoint callback could not write its file.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
   } catch (const InvariantError& e) {
     // A runtime invariant (typically the fi recovery-liveness oracle)
     // failed.  The forensics the failure hook captured are still in the

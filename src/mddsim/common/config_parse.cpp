@@ -89,6 +89,9 @@ const std::vector<ConfigKey>& known_keys() {
       {"buffers", "flit buffers per virtual channel"},
       {"shared_adaptive",
        "SA/DR: share channels beyond E_m across types ([21])"},
+      {"escape_override",
+       "escape channels per class (0 = derive; 1 on a torus seeds a broken "
+       "config for the explorer)"},
       {"queue_size", "endpoint message-queue capacity (messages)"},
       {"service_time", "memory-controller service latency (cycles)"},
       {"mshr", "outstanding-transaction limit per node"},
@@ -155,6 +158,7 @@ void apply_config_option(SimConfig& cfg, std::string_view assignment) {
   else if (key == "vcs") cfg.vcs_per_link = parse_int(key, val);
   else if (key == "buffers") cfg.flit_buffer_depth = parse_int(key, val);
   else if (key == "shared_adaptive") cfg.shared_adaptive = parse_bool(key, val);
+  else if (key == "escape_override") cfg.escape_override = parse_int(key, val);
   else if (key == "queue_size") cfg.msg_queue_size = parse_int(key, val);
   else if (key == "service_time") cfg.msg_service_time = parse_int(key, val);
   else if (key == "mshr") cfg.mshr_limit = parse_int(key, val);
@@ -253,6 +257,9 @@ std::string config_to_string(const SimConfig& cfg) {
     os << "topology=" << cfg.topology_spec << "\n";
   }
   if (cfg.table_routing) os << "routing=table\n";
+  if (cfg.escape_override > 0) {
+    os << "escape_override=" << cfg.escape_override << "\n";
+  }
   os << "vcs=" << cfg.vcs_per_link << "\n"
      << "buffers=" << cfg.flit_buffer_depth << "\n"
      << "shared_adaptive=" << (cfg.shared_adaptive ? 1 : 0) << "\n"

@@ -6,6 +6,7 @@
 // standard-library implementations, and because the generator is small and
 // fast enough to embed one per traffic source.
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -46,6 +47,15 @@ class Rng {
   /// Derives an independent child generator; used to give each node its own
   /// stream so per-node behaviour is invariant to node iteration order.
   Rng split();
+
+  /// Raw 256-bit generator state — the stream *position*, not the seed.
+  /// Snapshot/restore (mddsim::snap) must carry this, not the seed: a
+  /// reseeded generator restarts its stream from the beginning, silently
+  /// replaying every draw made before the checkpoint.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[static_cast<std::size_t>(i)];
+  }
 
  private:
   std::uint64_t s_[4];

@@ -10,6 +10,10 @@
 
 namespace mddsim {
 
+namespace snap {
+class StateIO;  ///< central snapshot serializer (friend of stateful classes)
+}
+
 /// Accumulates count / mean / min / max / variance of a stream of samples
 /// in one pass (Welford's algorithm).
 class RunningStat {
@@ -29,6 +33,7 @@ class RunningStat {
   void merge(const RunningStat& other);
 
  private:
+  friend class snap::StateIO;
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
@@ -57,6 +62,7 @@ class QuantileSampler {
   double p999() const { return quantile(0.999); }
 
  private:
+  friend class snap::StateIO;
   std::size_t cap_;
   std::uint64_t n_ = 0;
   std::uint64_t state_;  // splitmix for reservoir decisions
@@ -87,6 +93,7 @@ class Histogram {
   std::string to_string() const;
 
  private:
+  friend class snap::StateIO;
   double lo_, hi_, width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
@@ -116,6 +123,7 @@ class LoadHistogram {
   double max_load() const { return load_stat_.max(); }
 
  private:
+  friend class snap::StateIO;
   void close_epochs_until(Cycle now);
 
   Cycle epoch_cycles_;

@@ -31,6 +31,9 @@
 namespace mddsim {
 
 class Network;
+namespace snap {
+class StateIO;
+}
 
 /// One detected knot: the participating resource vertices.
 struct Knot {
@@ -105,6 +108,7 @@ class CwgDetector {
   int vertex_output_q(NodeId node, int slot) const;
 
  private:
+  friend class snap::StateIO;
   /// Rebuilds csr_offsets_/csr_edges_ from the current network state.
   void build_csr() const;
   /// Tarjan SCC from `root` over the CSR, using the tj_* scratch.

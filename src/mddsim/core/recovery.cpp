@@ -187,6 +187,21 @@ void RecoveryEngine::try_capture(Cycle now) {
     return;
   }
   const NodeId n = node_at_stop(token_stop_);
+  if (mc::ChoiceSource* cs = net_.chooser()) {
+    // Decision hook: when several slots are past their detection bound the
+    // unhooked capture always rescues the lowest — pick 0 here — but any of
+    // them is a legal arbitration outcome worth exploring.
+    net_.ni(n).detect_all(now, slots_scratch_);
+    if (slots_scratch_.empty()) return;
+    std::size_t pick = 0;
+    if (slots_scratch_.size() > 1) {
+      pick = static_cast<std::size_t>(
+          cs->choose(mc::ChoiceKind::RescueSlot, now,
+                     static_cast<int>(slots_scratch_.size())));
+    }
+    begin_ni_capture(now, n, slots_scratch_[pick]);
+    return;
+  }
   const int slot = net_.ni(n).detect(now);
   if (slot >= 0) begin_ni_capture(now, n, slot);
 }

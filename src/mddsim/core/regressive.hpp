@@ -11,6 +11,9 @@
 namespace mddsim {
 
 class Network;
+namespace snap {
+class StateIO;
+}
 
 class RegressiveEngine {
  public:
@@ -22,6 +25,7 @@ class RegressiveEngine {
   std::uint64_t kills() const { return kills_; }
 
  private:
+  friend class snap::StateIO;
   Network& net_;
   RouterId scan_rr_ = 0;
   std::uint64_t kills_ = 0;

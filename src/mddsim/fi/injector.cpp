@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "mddsim/common/assert.hpp"
+#include "mddsim/mc/choice.hpp"
 
 namespace mddsim::fi {
 
 FaultInjector::FaultInjector(const FaultPlan& plan, int num_nodes,
                              int num_routers, int num_engines,
-                             std::uint64_t stream_seed)
+                             std::uint64_t stream_seed,
+                             mc::ChoiceSource* chooser)
     : plan_(plan) {
   MDD_CHECK(num_nodes > 0 && num_routers > 0 && num_engines >= 0);
   const auto nodes = static_cast<std::size_t>(num_nodes);
@@ -30,11 +32,17 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int num_nodes,
   Rng rng(stream_seed);
   for (FaultEvent& e : plan_.events) {
     if (e.node == kTargetRand) {
-      e.node = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_nodes)));
+      e.node = chooser != nullptr
+                   ? chooser->choose(mc::ChoiceKind::FaultTarget, 0, num_nodes)
+                   : static_cast<int>(rng.next_below(
+                         static_cast<std::uint64_t>(num_nodes)));
     }
     if (e.router == kTargetRand) {
       e.router =
-          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_routers)));
+          chooser != nullptr
+              ? chooser->choose(mc::ChoiceKind::FaultTarget, 0, num_routers)
+              : static_cast<int>(rng.next_below(
+                    static_cast<std::uint64_t>(num_routers)));
     }
     if (e.node >= num_nodes) {
       throw ConfigError("fault event targets node " + std::to_string(e.node) +

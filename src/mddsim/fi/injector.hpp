@@ -35,6 +35,13 @@
 #define MDDSIM_FI_ENABLED 1
 #endif
 
+namespace mddsim::snap {
+class StateIO;
+}
+namespace mddsim::mc {
+class ChoiceSource;
+}
+
 namespace mddsim::fi {
 
 /// True when the fault-injection hooks are compiled into the library.
@@ -52,8 +59,14 @@ class FaultInjector {
  public:
   /// `stream_seed` must be derived from the configuration (hash of
   /// config_to_string), not from the traffic RNG or any worker identity.
+  /// `chooser`, when non-null, resolves `node=rand` / `router=rand` targets
+  /// through an mc::ChoiceSource FaultTarget decision point instead of the
+  /// RNG substream — the explorer branches over fault placement.  Snapshot
+  /// restore overwrites the resolved plan, so a restored injector never
+  /// consults either.
   FaultInjector(const FaultPlan& plan, int num_nodes, int num_routers,
-                int num_engines, std::uint64_t stream_seed);
+                int num_engines, std::uint64_t stream_seed,
+                mc::ChoiceSource* chooser = nullptr);
 
   /// Called at the top of every Network::step: arms events whose start has
   /// arrived and expires finished link-stall windows.
@@ -106,6 +119,7 @@ class FaultInjector {
   }
 
  private:
+  friend class mddsim::snap::StateIO;
   struct ActiveLinkStall {
     RouterId router;
     int port;  ///< -1 = all ports

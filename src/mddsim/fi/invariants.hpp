@@ -36,6 +36,9 @@ class Network;
 class Metrics;
 class CwgDetector;
 }  // namespace mddsim
+namespace mddsim::snap {
+class StateIO;
+}
 
 namespace mddsim::fi {
 
@@ -77,6 +80,7 @@ class InvariantChecker {
   const InvariantReport& report() const { return report_; }
 
  private:
+  friend class mddsim::snap::StateIO;
   struct TokenSnapshot {
     std::uint64_t progress = 0;      ///< moves + captures + regens + dups
     std::uint64_t stall_cycles = 0;  ///< injected stall cycles at snapshot

@@ -1,0 +1,41 @@
+#include "mddsim/mc/choice.hpp"
+
+namespace mddsim::mc {
+
+std::string_view choice_kind_name(ChoiceKind k) {
+  switch (k) {
+    case ChoiceKind::VcTie: return "vc_tie";
+    case ChoiceKind::RescueSlot: return "rescue_slot";
+    case ChoiceKind::FaultTarget: return "fault_target";
+  }
+  return "?";
+}
+
+bool choice_kind_from_name(std::string_view name, ChoiceKind* out) {
+  if (name == "vc_tie") {
+    *out = ChoiceKind::VcTie;
+  } else if (name == "rescue_slot") {
+    *out = ChoiceKind::RescueSlot;
+  } else if (name == "fault_target") {
+    *out = ChoiceKind::FaultTarget;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int ScriptChooser::choose(ChoiceKind kind, Cycle now, int arity) {
+  int pick = 0;
+  if (trace_.size() < script_.size()) {
+    const ChoiceRec& s = script_[trace_.size()];
+    if (s.kind != kind || s.arity != arity || s.pick >= arity || s.pick < 0) {
+      diverged_ = true;
+    } else {
+      pick = s.pick;
+    }
+  }
+  trace_.push_back({kind, now, arity, pick});
+  return pick;
+}
+
+}  // namespace mddsim::mc

@@ -1,0 +1,98 @@
+#pragma once
+// Choice-point hooks for the exhaustive state-space explorer (mddsim::mc).
+//
+// The simulator is deterministic, but three of its arbitration rules are
+// *arbitrary*: VC allocation grabs the first admissible candidate in
+// rotated order, token capture rescues the first eligible queue slot, and
+// fault plans may defer target selection to an RNG (`node=rand`).  A
+// ChoiceSource attached to the Network turns each such point into an
+// explicit decision: the hook enumerates every admissible alternative and
+// asks the source which to take.  Pick 0 always reproduces the unhooked
+// behavior bit-for-bit, so attaching a source that answers 0 everywhere is
+// an identity operation — the explorer's rollback/replay correctness rests
+// on that invariant.
+//
+// An attached source forces serial execution (Network::parallel_active),
+// mirroring the tracer: decision order must equal serial component order
+// for schedules to be comparable across --jobs values.
+//
+// Compile-time kill switch: -DMDDSIM_MC_ENABLED=0 (CMake MDDSIM_MC=OFF)
+// makes Network::chooser() a constant nullptr so every hook folds away;
+// mc::compiled_in() reports the flavour and the explorer refuses to run
+// loudly instead of silently exploring nothing.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+
+#ifndef MDDSIM_MC_ENABLED
+#define MDDSIM_MC_ENABLED 1
+#endif
+
+namespace mddsim::mc {
+
+/// True when the choice-point hooks are compiled into the library.
+constexpr bool compiled_in() { return MDDSIM_MC_ENABLED != 0; }
+
+enum class ChoiceKind : std::uint8_t {
+  VcTie = 0,       ///< router VC allocation: >1 admissible (port,vc) target
+  RescueSlot = 1,  ///< token capture: >1 queue slot past its detection bound
+  FaultTarget = 2, ///< fault plan `node=rand` / `router=rand` resolution
+};
+
+std::string_view choice_kind_name(ChoiceKind k);
+/// Inverse of choice_kind_name; returns false on an unknown name.
+bool choice_kind_from_name(std::string_view name, ChoiceKind* out);
+
+/// One recorded decision: where it occurred, how many alternatives were
+/// admissible, and which was taken.
+struct ChoiceRec {
+  ChoiceKind kind = ChoiceKind::VcTie;
+  Cycle cycle = 0;
+  int arity = 0;
+  int pick = 0;
+
+  bool operator==(const ChoiceRec&) const = default;
+};
+
+class ChoiceSource {
+ public:
+  virtual ~ChoiceSource() = default;
+
+  /// Returns the alternative index to take, in [0, arity).  `arity` is
+  /// always >= 2 for VcTie/RescueSlot (a single admissible alternative is
+  /// not a decision point); FaultTarget passes the full target range.
+  virtual int choose(ChoiceKind kind, Cycle now, int arity) = 0;
+};
+
+/// The one ChoiceSource implementation both explorer and replay use: plays
+/// back a scripted pick sequence, then answers 0 (the unhooked default)
+/// beyond it.  Every answer — scripted or default — is recorded in trace(),
+/// so the full decision path of a run can be branched or re-emitted.
+class ScriptChooser : public ChoiceSource {
+ public:
+  ScriptChooser() = default;
+  explicit ScriptChooser(std::vector<ChoiceRec> script)
+      : script_(std::move(script)) {}
+
+  int choose(ChoiceKind kind, Cycle now, int arity) override;
+
+  const std::vector<ChoiceRec>& trace() const { return trace_; }
+  std::size_t script_size() const { return script_.size(); }
+  /// True once every scripted pick has been consumed.
+  bool script_done() const { return trace_.size() >= script_.size(); }
+  /// A scripted entry disagreed with the decision point that consumed it
+  /// (kind or arity mismatch) — the schedule does not belong to this
+  /// configuration/state.  The pick is clamped and replay continues, but
+  /// callers must treat the run as failed.
+  bool diverged() const { return diverged_; }
+
+ private:
+  std::vector<ChoiceRec> script_;
+  std::vector<ChoiceRec> trace_;
+  bool diverged_ = false;
+};
+
+}  // namespace mddsim::mc

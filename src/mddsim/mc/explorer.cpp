@@ -1,0 +1,364 @@
+#include "mddsim/mc/explorer.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mddsim/common/assert.hpp"
+#include "mddsim/common/config_parse.hpp"
+#include "mddsim/common/json.hpp"
+#include "mddsim/common/json_read.hpp"
+#include "mddsim/core/cwg.hpp"
+#include "mddsim/sim/simulator.hpp"
+#include "mddsim/snap/state_io.hpp"
+
+namespace mddsim::mc {
+
+namespace {
+
+using SnapBytes = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// One pending DFS node: restore `snap` (or construct fresh when null),
+/// replay `script`, branch on the decisions beyond it.  `history` is the
+/// decision prefix from the root to the snapshot base, kept so a violation
+/// deep in the tree can emit the complete root-to-violation schedule.
+struct Branch {
+  SnapBytes snap;
+  std::vector<ChoiceRec> history;
+  std::vector<ChoiceRec> script;
+};
+
+/// Cycle-boundary snapshot cut while running one path: `mark` decisions had
+/// been taken when it was cut, so a sibling branching on decision i >= mark
+/// restores here and replays only trace[mark..i].
+struct Segment {
+  SnapBytes snap;
+  std::size_t mark;
+};
+
+enum class PathEnd : std::uint8_t { Pass, Dedup, Knot, Invariant, StateCap };
+
+/// Knot persistence across consecutive scans, per signature — the same
+/// transient filter CwgDetector::scan applies, but local to one path.
+struct KnotWatch {
+  std::unordered_map<std::uint64_t, int> streak;
+
+  /// Folds in one scan's knots; returns the smallest signature whose streak
+  /// reached `need`, or 0.  Smallest (not first-encountered) keeps the
+  /// reported signature deterministic when several knots mature at once.
+  std::uint64_t observe(const std::vector<Knot>& knots, int need) {
+    std::unordered_map<std::uint64_t, int> next;
+    std::uint64_t hit = 0;
+    for (const Knot& k : knots) {
+      const std::uint64_t sig = knot_signature(k.vertices);
+      const auto it = streak.find(sig);
+      const int n = (it == streak.end() ? 0 : it->second) + 1;
+      next[sig] = n;
+      if (n >= need && (hit == 0 || sig < hit)) hit = sig;
+    }
+    streak = std::move(next);
+    return hit;
+  }
+};
+
+void require_compiled_in(const char* who) {
+  if (compiled_in()) return;
+  throw ConfigError(std::string(who) +
+                    " needs the model-checking hooks, which were compiled "
+                    "out (MDDSIM_MC=OFF); rebuild with MDDSIM_MC=ON");
+}
+
+}  // namespace
+
+std::string_view verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Pass: return "pass";
+    case Verdict::Knot: return "knot";
+    case Verdict::Invariant: return "invariant";
+    case Verdict::StateCap: return "state_cap";
+  }
+  return "?";
+}
+
+ExploreResult explore(const SimConfig& cfg, const ExploreOptions& opts) {
+  require_compiled_in("explore()");
+  const Cycle gen_end = cfg.warmup_cycles + cfg.measure_cycles;
+
+  ExploreResult res;
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<Branch> stack;
+  stack.push_back(Branch{});
+
+  while (!stack.empty()) {
+    Branch b = std::move(stack.back());
+    stack.pop_back();
+
+    ScriptChooser chooser(b.script);
+    std::unique_ptr<Simulator> sim =
+        b.snap != nullptr ? Simulator::restore(*b.snap, &chooser)
+                          : std::make_unique<Simulator>(cfg, &chooser);
+    CwgDetector det(sim->network());
+    KnotWatch watch;
+    std::vector<Segment> segs{{b.snap, 0}};
+    ++res.paths;
+
+    PathEnd end = PathEnd::Pass;
+    std::uint64_t knot_sig = 0;
+    std::string what;
+
+    for (;;) {
+      const Cycle now = sim->network().now();
+      if (chooser.script_done()) {
+        // Cycle-boundary bookkeeping — but only past the scripted prefix:
+        // every state along the replay was recorded by the ancestor that
+        // scripted it, and deduping against those would kill the branch on
+        // arrival at its own divergence point.
+        const std::uint64_t h = snap::StateIO::state_hash(*sim);
+        if (!visited.insert(h).second) {
+          end = PathEnd::Dedup;
+          break;
+        }
+        if (visited.size() > opts.max_states) {
+          end = PathEnd::StateCap;
+          break;
+        }
+        if (chooser.trace().size() > segs.back().mark) {
+          segs.push_back({std::make_shared<const std::vector<std::uint8_t>>(
+                              sim->snapshot()),
+                          chooser.trace().size()});
+        }
+      }
+      if (now >= gen_end && sim->network().idle() &&
+          sim->protocol().live_transactions() == 0) {
+        break;  // drained: every transaction on this path completed
+      }
+      if (now >= opts.max_cycles) break;  // bounded-horizon pass
+      try {
+        if (now < gen_end) {
+          sim->mc_tick();
+        } else {
+          sim->network().step();
+        }
+      } catch (const InvariantError& e) {
+        end = PathEnd::Invariant;
+        what = e.what();
+        break;
+      }
+      if (sim->network().now() % static_cast<Cycle>(opts.scan_period) == 0) {
+        knot_sig = watch.observe(det.find_knots(), opts.knot_persistence);
+        if (knot_sig != 0) {
+          end = PathEnd::Knot;
+          break;
+        }
+      }
+    }
+
+    const std::vector<ChoiceRec>& trace = chooser.trace();
+    if (end == PathEnd::Knot || end == PathEnd::Invariant) {
+      res.verdict = end == PathEnd::Knot ? Verdict::Knot : Verdict::Invariant;
+      res.schedule.config = config_to_string(cfg);
+      res.schedule.choices = b.history;
+      res.schedule.choices.insert(res.schedule.choices.end(), trace.begin(),
+                                  trace.end());
+      res.schedule.cycle = sim->network().now();
+      res.schedule.knot_signature = knot_sig;
+      res.schedule.what = end == PathEnd::Knot ? "knot" : what;
+      res.schedule.knot_persistence = opts.knot_persistence;
+      res.schedule.scan_period = opts.scan_period;
+      res.states_visited = visited.size();
+      return res;
+    }
+    if (end == PathEnd::StateCap) {
+      res.verdict = Verdict::StateCap;
+      res.states_visited = visited.size();
+      return res;
+    }
+    res.choice_points += trace.size() - chooser.script_size();
+    if (end == PathEnd::Dedup) ++res.dedup_hits;
+
+    // Enqueue the untaken alternatives of every decision beyond the
+    // scripted prefix (scripted decisions were branched by an ancestor).
+    // Pushed in reverse so the DFS pops them in (decision, pick) order.
+    for (std::size_t i = trace.size(); i-- > chooser.script_size();) {
+      const ChoiceRec& rec = trace[i];
+      const Segment* base = &segs.front();
+      for (const Segment& s : segs) {
+        if (s.mark > i) break;
+        base = &s;
+      }
+      const auto mark = static_cast<std::ptrdiff_t>(base->mark);
+      for (int alt = rec.arity - 1; alt >= 1; --alt) {
+        Branch nb;
+        nb.snap = base->snap;
+        nb.history = b.history;
+        nb.history.insert(nb.history.end(), trace.begin(),
+                          trace.begin() + mark);
+        nb.script.assign(trace.begin() + mark,
+                         trace.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        nb.script.back().pick = alt;
+        stack.push_back(std::move(nb));
+      }
+    }
+  }
+
+  res.verdict = Verdict::Pass;
+  res.states_visited = visited.size();
+  return res;
+}
+
+ReplayResult replay(const Schedule& sched) {
+  require_compiled_in("replay()");
+  SimConfig cfg;
+  std::istringstream cfg_text(sched.config);
+  apply_config_file(cfg, cfg_text);
+  const Cycle gen_end = cfg.warmup_cycles + cfg.measure_cycles;
+
+  ScriptChooser chooser(sched.choices);
+  Simulator sim(cfg, &chooser);
+  CwgDetector det(sim.network());
+  KnotWatch watch;
+
+  ReplayResult r;
+  for (;;) {
+    const Cycle now = sim.network().now();
+    if (now >= gen_end && sim.network().idle() &&
+        sim.protocol().live_transactions() == 0) {
+      break;  // drained without violating: not reproduced
+    }
+    // The run is deterministic, so the violation appears at exactly the
+    // recorded cycle or not at all — no grace period past it.
+    if (now > sched.cycle) break;
+    try {
+      if (now < gen_end) {
+        sim.mc_tick();
+      } else {
+        sim.network().step();
+      }
+    } catch (const InvariantError& e) {
+      r.verdict = Verdict::Invariant;
+      r.cycle = sim.network().now();
+      r.what = e.what();
+      break;
+    }
+    if (sim.network().now() % static_cast<Cycle>(sched.scan_period) == 0) {
+      const std::uint64_t sig =
+          watch.observe(det.find_knots(), sched.knot_persistence);
+      if (sig != 0) {
+        r.verdict = Verdict::Knot;
+        r.cycle = sim.network().now();
+        r.knot_signature = sig;
+        r.what = "knot";
+        break;
+      }
+    }
+  }
+  r.diverged = chooser.diverged();
+  const Verdict expect =
+      sched.knot_signature != 0 ? Verdict::Knot : Verdict::Invariant;
+  r.reproduced = !r.diverged && r.verdict == expect &&
+                 r.cycle == sched.cycle &&
+                 (expect != Verdict::Knot ||
+                  r.knot_signature == sched.knot_signature);
+  return r;
+}
+
+std::string Schedule::to_json() const {
+  // The knot signature travels as a hex string: the repo's JSON reader
+  // routes numbers through double, which is exact only up to 2^53.
+  char hex[19];
+  std::snprintf(hex, sizeof hex, "0x%016llx",
+                static_cast<unsigned long long>(knot_signature));
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("cycle", static_cast<std::uint64_t>(cycle));
+  w.kv("knot_signature", std::string_view(hex));
+  w.kv("what", what);
+  w.kv("knot_persistence", knot_persistence);
+  w.kv("scan_period", scan_period);
+  w.key("choices").begin_array();
+  for (const ChoiceRec& c : choices) {
+    w.begin_object();
+    w.kv("kind", choice_kind_name(c.kind));
+    w.kv("cycle", static_cast<std::uint64_t>(c.cycle));
+    w.kv("arity", c.arity);
+    w.kv("pick", c.pick);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("config", config);
+  w.end_object();
+  os << "\n";
+  return os.str();
+}
+
+bool Schedule::from_json(const std::string& text, Schedule* out,
+                         std::string* error) {
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  JsonValue v;
+  if (!json_parse(text, &v, error)) return false;
+  if (!v.is_object()) return fail("schedule: not a JSON object");
+
+  Schedule s;
+  const JsonValue* cfg = v.find("config");
+  if (cfg == nullptr || !cfg->is_string()) {
+    return fail("schedule: missing string member 'config'");
+  }
+  s.config = cfg->string;
+  const JsonValue* cyc = v.find("cycle");
+  if (cyc == nullptr || !cyc->is_number()) {
+    return fail("schedule: missing numeric member 'cycle'");
+  }
+  s.cycle = static_cast<Cycle>(cyc->u64_or(0));
+  if (const JsonValue* sig = v.find("knot_signature");
+      sig != nullptr && sig->is_string()) {
+    s.knot_signature = std::strtoull(sig->string.c_str(), nullptr, 16);
+  }
+  if (const JsonValue* wv = v.find("what")) s.what = wv->str_or("");
+  if (const JsonValue* kp = v.find("knot_persistence")) {
+    s.knot_persistence = static_cast<int>(kp->num_or(s.knot_persistence));
+    if (s.knot_persistence < 1) return fail("schedule: bad knot_persistence");
+  }
+  if (const JsonValue* sp = v.find("scan_period")) {
+    s.scan_period = static_cast<int>(sp->num_or(s.scan_period));
+    if (s.scan_period < 1) return fail("schedule: bad scan_period");
+  }
+  const JsonValue* ch = v.find("choices");
+  if (ch == nullptr || !ch->is_array()) {
+    return fail("schedule: missing array member 'choices'");
+  }
+  s.choices.reserve(ch->items.size());
+  for (const JsonValue& item : ch->items) {
+    if (!item.is_object()) return fail("schedule: choice is not an object");
+    ChoiceRec rec;
+    const JsonValue* kind = item.find("kind");
+    if (kind == nullptr || !kind->is_string() ||
+        !choice_kind_from_name(kind->string, &rec.kind)) {
+      return fail("schedule: choice has no valid 'kind'");
+    }
+    const JsonValue* ccyc = item.find("cycle");
+    const JsonValue* arity = item.find("arity");
+    const JsonValue* pick = item.find("pick");
+    if (ccyc == nullptr || arity == nullptr || pick == nullptr) {
+      return fail("schedule: choice needs 'cycle', 'arity' and 'pick'");
+    }
+    rec.cycle = static_cast<Cycle>(ccyc->u64_or(0));
+    rec.arity = static_cast<int>(arity->num_or(0));
+    rec.pick = static_cast<int>(pick->num_or(-1));
+    if (rec.arity <= 0 || rec.pick < 0 || rec.pick >= rec.arity) {
+      return fail("schedule: choice pick out of range");
+    }
+    s.choices.push_back(rec);
+  }
+  *out = std::move(s);
+  return true;
+}
+
+}  // namespace mddsim::mc

@@ -1,0 +1,113 @@
+#pragma once
+// Exhaustive state-space explorer (mddsim::mc) — DESIGN.md §18.
+//
+// The simulator under a ChoiceSource is a deterministic function of its
+// decision sequence, so the reachable state space is a tree: one edge per
+// admissible alternative at each choice point (VC-allocation ties,
+// rescue-slot selection, `rand` fault targets).  explore() walks that tree
+// depth-first.  Each path runs with a ScriptChooser that replays the picks
+// leading to the branch point and answers 0 (the unhooked default) beyond
+// it; snapshots taken at cycle boundaries let a sibling branch restore mid
+// tree instead of re-simulating from cycle 0, and a state hash
+// (snap::StateIO::state_hash) prunes paths that converge on an
+// already-visited state — two paths with equal hashes have identical
+// futures, because the hash covers exactly the state the simulation reads.
+//
+// A path terminates by draining (every transaction complete, fabric idle),
+// reaching the cycle horizon, converging on a visited state, or violating:
+// a CWG knot persisting across consecutive scans, or an InvariantError out
+// of the core.  A violation aborts the search and yields a Schedule — the
+// complete root-to-violation decision list — which serializes to JSON and
+// replays deterministically: replay() re-runs the schedule and checks the
+// same violation appears at the same cycle with the same knot signature.
+// PASS means the whole tree was enumerated without a violation: on a small
+// configuration this is an exhaustive proof that no arbitration order can
+// deadlock the scheme.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mddsim/common/types.hpp"
+#include "mddsim/mc/choice.hpp"
+
+namespace mddsim {
+struct SimConfig;
+}
+
+namespace mddsim::mc {
+
+struct ExploreOptions {
+  /// Per-path cycle horizon; a path that reaches it without violating is
+  /// treated as deadlock-free (bounded exhaustiveness, like any explicit
+  /// state model checker with a depth bound).
+  Cycle max_cycles = 5000;
+  /// Visited-state cap; exceeding it ends the search with Verdict::StateCap
+  /// instead of silently under-exploring.
+  std::size_t max_states = 1 << 20;
+  /// Consecutive knot-positive scans before a knot counts as a deadlock
+  /// (filters single-cycle transients, mirroring CwgDetector::scan).
+  int knot_persistence = 2;
+  /// Cycles between the explorer's CWG scans.
+  int scan_period = 1;
+};
+
+enum class Verdict : std::uint8_t {
+  Pass = 0,      ///< decision tree exhausted, no violation on any path
+  Knot = 1,      ///< a persisted CWG knot was reached
+  Invariant = 2, ///< the core threw InvariantError
+  StateCap = 3,  ///< max_states exceeded — result is inconclusive
+};
+
+std::string_view verdict_name(Verdict v);
+
+/// A replayable counterexample: the canonical config plus every decision
+/// from simulator construction to the violation.  Serializes to JSON; the
+/// knot signature travels as a hex string because the repo's JSON reader
+/// routes numbers through double (exact only up to 2^53).
+struct Schedule {
+  std::string config;               ///< canonical config_to_string text
+  std::vector<ChoiceRec> choices;   ///< root-to-violation decision list
+  Cycle cycle = 0;                  ///< cycle the violation was observed
+  std::uint64_t knot_signature = 0; ///< persisted knot (0 for Invariant)
+  std::string what;                 ///< "knot" or the InvariantError text
+  /// Detection parameters the explorer ran with, carried so the schedule
+  /// file is self-contained: replaying under a different persistence would
+  /// confirm the same knot at a different cycle and report divergence.
+  int knot_persistence = 2;
+  int scan_period = 1;
+
+  std::string to_json() const;
+  static bool from_json(const std::string& text, Schedule* out,
+                        std::string* error);
+};
+
+struct ExploreResult {
+  Verdict verdict = Verdict::Pass;
+  std::uint64_t states_visited = 0;  ///< distinct state hashes recorded
+  std::uint64_t paths = 0;           ///< root-to-terminal paths executed
+  std::uint64_t choice_points = 0;   ///< decision points discovered
+  std::uint64_t dedup_hits = 0;      ///< paths pruned at a visited state
+  Schedule schedule;  ///< populated when verdict is Knot or Invariant
+};
+
+/// Exhaustively explores `cfg` up to the options' bounds.  Throws
+/// ConfigError when the choice hooks are compiled out (MDDSIM_MC=OFF) —
+/// exploring a single path and calling it exhaustive would be a lie.
+ExploreResult explore(const SimConfig& cfg, const ExploreOptions& opts = {});
+
+struct ReplayResult {
+  bool reproduced = false;  ///< violation of the same kind, cycle, signature
+  Verdict verdict = Verdict::Pass;  ///< what the replay actually reached
+  Cycle cycle = 0;
+  std::uint64_t knot_signature = 0;
+  bool diverged = false;  ///< schedule did not fit the decision sequence
+  std::string what;
+};
+
+/// Re-runs a schedule from cycle 0 and reports whether the recorded
+/// violation reappears (same kind, same cycle, same knot signature).  The
+/// schedule carries its own detection parameters, so no options are needed.
+ReplayResult replay(const Schedule& sched);
+
+}  // namespace mddsim::mc

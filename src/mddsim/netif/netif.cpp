@@ -623,6 +623,23 @@ int NetworkInterface::detect(Cycle now) const {
   return -1;
 }
 
+void NetworkInterface::detect_all(Cycle now, std::vector<int>& out) const {
+  // Must mirror detect()'s conditions exactly: out.front() == detect(now)
+  // whenever out is non-empty, so the RescueSlot decision point's pick 0
+  // reproduces the unhooked capture bit-for-bit.
+  out.clear();
+  const Cycle t = static_cast<Cycle>(cfg_.detection_threshold);
+  for (int s = 0; s < num_queue_slots(); ++s) {
+    const Cycle since = cond_since_[static_cast<std::size_t>(s)];
+    if (since == 0) continue;
+    const Cycle fsince = full_since_[static_cast<std::size_t>(s)];
+    if ((fsince != 0 && now >= fsince + t) || now >= since + 40 * t ||
+        now <= forced_until_[static_cast<std::size_t>(s)]) {
+      out.push_back(s);
+    }
+  }
+}
+
 // --------------------------------------------------------------------------
 // Recovery-engine hooks.
 // --------------------------------------------------------------------------

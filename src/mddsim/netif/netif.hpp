@@ -26,6 +26,9 @@
 namespace mddsim {
 
 class Network;
+namespace snap {
+class StateIO;
+}
 
 /// Statistics sink for endpoint events (implemented by sim::Metrics).
 class EndpointObserver {
@@ -102,6 +105,10 @@ class NetworkInterface {
   /// Queue slot whose detection conditions have persisted beyond the
   /// threshold time-out, or -1.
   int detect(Cycle now) const;
+  /// Every slot detect() would accept, in slot order (detect() returns the
+  /// first).  The model checker's RescueSlot decision point branches over
+  /// this set; out is cleared first.
+  void detect_all(Cycle now, std::vector<int>& out) const;
   /// Oracle (CWG) detection: marks `slot` as deadlocked right now, so the
   /// next token visit captures without waiting out the local threshold.
   void force_detection(int slot, Cycle now);
@@ -172,6 +179,7 @@ class NetworkInterface {
   bool output_slot_has_space(int slot) const;
 
  private:
+  friend class snap::StateIO;
   struct InjectStream {
     PacketPtr pkt;
     int next_seq = 0;

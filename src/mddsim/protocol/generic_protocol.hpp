@@ -13,6 +13,10 @@
 
 namespace mddsim {
 
+namespace snap {
+class StateIO;
+}
+
 /// Completion notification: transaction id, requester, cycle the chain
 /// started, number of messages it took (grows under deflection).
 struct TxnCompletion {
@@ -63,6 +67,7 @@ class GenericProtocol : public EndpointProtocol {
   std::optional<OutMsg> deflect(NodeId node, const Packet& msg) override;
 
  private:
+  friend class snap::StateIO;
   struct BoundStep {
     MsgType type;
     NodeId src;

@@ -83,28 +83,55 @@ bool Router::try_allocate_vc(Cycle now, int port, int vc, Network& net,
   // Adaptive candidates precede the escape candidate; rotate among the
   // adaptive ones for load balance but always fall through to escape.
   const unsigned rot = va_rr_++;
-  for (int i = 0; i < ncand; ++i) {
-    const auto& c = cands[static_cast<std::size_t>(
-        (i + static_cast<int>(rot % static_cast<unsigned>(ncand))) % ncand)];
-    // Availability test on the dense mirrors only — the OutputVc struct is
-    // touched just once, on the (at most one per call) successful grab.
-    if ((busy_mask_[static_cast<std::size_t>(c.port)] >> c.vc & 1) != 0 ||
-        credits16_[static_cast<std::size_t>(c.port * vcs_ + c.vc)] <= 0)
-      continue;
-    owner_[static_cast<std::size_t>(c.port * vcs_ + c.vc)] = head.pkt->id;
-    busy_mask_[static_cast<std::size_t>(c.port)] |= std::uint64_t{1} << c.vc;
-    ivc.route_valid = true;
-    ivc.out_port = c.port;
-    ivc.out_vc = c.vc;
-    routed_mask_[static_cast<std::size_t>(port)] |= std::uint64_t{1} << vc;
-    route_packed_[static_cast<std::size_t>(port * vcs_ + vc)] =
-        static_cast<std::uint16_t>(c.port << 8 | c.vc);
-    if (Tracer* t = net.tracer()) {
-      t->vc_alloc(now, head.pkt->id, id_, c.port, c.vc);
+  const int base = static_cast<int>(rot % static_cast<unsigned>(ncand));
+  int take = -1;
+  if (mc::ChoiceSource* cs = net.chooser()) {
+    // Decision hook: enumerate every admissible candidate in the same
+    // rotated order the first-fit below scans, so pick 0 is exactly the
+    // unhooked grab and the chooser only widens the search.
+    mc_adm_.clear();
+    for (int i = 0; i < ncand; ++i) {
+      const int ci = (i + base) % ncand;
+      const auto& c = cands[static_cast<std::size_t>(ci)];
+      if ((busy_mask_[static_cast<std::size_t>(c.port)] >> c.vc & 1) != 0 ||
+          credits16_[static_cast<std::size_t>(c.port * vcs_ + c.vc)] <= 0)
+        continue;
+      mc_adm_.push_back(ci);
     }
-    return true;
+    if (mc_adm_.empty()) return false;
+    std::size_t pick = 0;
+    if (mc_adm_.size() > 1) {
+      pick = static_cast<std::size_t>(cs->choose(
+          mc::ChoiceKind::VcTie, now, static_cast<int>(mc_adm_.size())));
+    }
+    take = mc_adm_[pick];
+  } else {
+    for (int i = 0; i < ncand; ++i) {
+      const int ci = (i + base) % ncand;
+      const auto& c = cands[static_cast<std::size_t>(ci)];
+      // Availability test on the dense mirrors only — the OutputVc struct
+      // is touched just once, on the (at most one per call) successful grab.
+      if ((busy_mask_[static_cast<std::size_t>(c.port)] >> c.vc & 1) != 0 ||
+          credits16_[static_cast<std::size_t>(c.port * vcs_ + c.vc)] <= 0)
+        continue;
+      take = ci;
+      break;
+    }
+    if (take < 0) return false;
   }
-  return false;
+  const auto& c = cands[static_cast<std::size_t>(take)];
+  owner_[static_cast<std::size_t>(c.port * vcs_ + c.vc)] = head.pkt->id;
+  busy_mask_[static_cast<std::size_t>(c.port)] |= std::uint64_t{1} << c.vc;
+  ivc.route_valid = true;
+  ivc.out_port = c.port;
+  ivc.out_vc = c.vc;
+  routed_mask_[static_cast<std::size_t>(port)] |= std::uint64_t{1} << vc;
+  route_packed_[static_cast<std::size_t>(port * vcs_ + vc)] =
+      static_cast<std::uint16_t>(c.port << 8 | c.vc);
+  if (Tracer* t = net.tracer()) {
+    t->vc_alloc(now, head.pkt->id, id_, c.port, c.vc);
+  }
+  return true;
 }
 
 void Router::step(Cycle now, Network& net, obs::PhaseProfiler* prof) {

@@ -31,6 +31,9 @@
 namespace mddsim {
 
 class Network;
+namespace snap {
+class StateIO;
+}
 
 /// Fixed-capacity in-order flit buffer (ring).  The slot storage lives in
 /// the owning router's contiguous flit arena (one allocation for every VC
@@ -211,6 +214,7 @@ class Router {
   std::uint64_t vc_stall_cycles() const { return vc_stalls_; }
 
  private:
+  friend class snap::StateIO;
   /// One switch-allocation nominee: input (port, vc) and its held route.
   struct Nominee {
     int in_port;
@@ -263,6 +267,7 @@ class Router {
   std::int16_t* sa_best_rank_ = nullptr;  // [outputs]
   std::vector<std::uint64_t> hot_arena_;  // backing store for the above
   std::vector<Nominee> nominees_;  // per-step switch-allocation scratch
+  std::vector<int> mc_adm_;  // admissible-candidate scratch (chooser attached)
   unsigned va_rr_ = 0;          // VC-allocation rotation counter
   int buffered_flits_ = 0;      // flits across all input VC buffers
   std::uint64_t vc_stalls_ = 0; // head-flit VC-allocation failures

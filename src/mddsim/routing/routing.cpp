@@ -18,9 +18,10 @@ RoutingAlgorithm::Kind RoutingAlgorithm::kind_for(Scheme scheme,
 }
 
 RoutingAlgorithm::RoutingAlgorithm(Kind kind, const Topology& topo,
-                                   const VcLayout& layout)
+                                   const VcLayout& layout,
+                                   bool allow_underescaped)
     : kind_(kind), topo_(topo), layout_(layout) {
-  if (kind == Kind::DOR || kind == Kind::Duato) {
+  if ((kind == Kind::DOR || kind == Kind::Duato) && !allow_underescaped) {
     for (const auto& c : layout_.classes) {
       MDD_CHECK_MSG(c.escape >= (topo.wrap() ? 2 : 1),
                     "escape channels insufficient for deadlock-free DOR");
@@ -88,10 +89,12 @@ RouteCandidate RoutingAlgorithm::escape_candidate(RouterId r,
   const DimHop& h = hops.front();
   const int port = h.dim * 2 + h.dir;
   int vc = cr.base;
-  if (topo_.wrap()) {
+  if (topo_.wrap() && cr.escape >= 2) {
     // Dateline rule: a flit arriving over the wraparound link, or one that
     // already crossed this dimension's dateline, travels on the high
-    // escape VC — permanently for that dimension (see Packet).
+    // escape VC — permanently for that dimension (see Packet).  With the
+    // dateline lane overridden away (escape_override=1) everything rides
+    // cr.base, which is exactly the seeded escape-cycle breakage.
     if (pkt.crossed_dateline(h.dim) || topo_.is_wraparound(r, h.dim, h.dir)) {
       vc = cr.base + 1;
     }

@@ -33,7 +33,12 @@ class RoutingAlgorithm {
     Table,  ///< table-driven hops over a digraph view (k-ary meshes only)
   };
 
-  RoutingAlgorithm(Kind kind, const Topology& topo, const VcLayout& layout);
+  /// `allow_underescaped` waives the wrap-topology dateline check (escape
+  /// >= 2): set only when the configuration explicitly overrode the escape
+  /// count (`escape_override`) to seed a known-broken topology for the
+  /// state-space explorer to refute.
+  RoutingAlgorithm(Kind kind, const Topology& topo, const VcLayout& layout,
+                   bool allow_underescaped = false);
 
   /// Table-driven construction (`routing=table`): `digraph` must be the
   /// identity from_kary view of `topo` (a mesh — table lookups carry no

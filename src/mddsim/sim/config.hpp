@@ -135,9 +135,19 @@ struct SimConfig {
   Cycle measure_cycles = 30000;   ///< paper: 30 000 beyond steady state
   Cycle drain_limit = 200000;     ///< max extra cycles when draining
 
+  /// Escape-channel override (config key `escape_override`, 0 = derive from
+  /// the topology).  Setting 1 on a torus deliberately removes the dateline
+  /// escape lane — a seeded-broken configuration the state-space explorer
+  /// must refute with a concrete deadlock schedule; it is not a useful
+  /// simulation mode.
+  int escape_override = 0;
+
   /// Escape channels per logical network needed for deadlock-free DOR
-  /// (2 with datelines on a torus, 1 on a mesh).
-  int escape_per_class() const { return torus ? 2 : 1; }
+  /// (2 with datelines on a torus, 1 on a mesh), unless overridden.
+  int escape_per_class() const {
+    if (escape_override > 0) return escape_override;
+    return torus ? 2 : 1;
+  }
 
   /// Builds the configured topology (honors the mixed-radix override).
   Topology make_topology() const {

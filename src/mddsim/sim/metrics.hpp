@@ -80,6 +80,7 @@ class Metrics : public EndpointObserver {
   const LoadHistogram& load_histogram() const { return load_hist_; }
 
  private:
+  friend class snap::StateIO;
   int nodes_;
   Cycle win_begin_ = 0;
   Cycle win_end_ = 0;

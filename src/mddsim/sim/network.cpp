@@ -45,7 +45,8 @@ Network::Network(const SimConfig& cfg, EndpointProtocol& protocol)
                                                   std::move(table));
   } else {
     routing_ = std::make_unique<RoutingAlgorithm>(
-        RoutingAlgorithm::kind_for(cfg.scheme, layout_), topo_, layout_);
+        RoutingAlgorithm::kind_for(cfg.scheme, layout_), topo_, layout_,
+        /*allow_underescaped=*/cfg.escape_override > 0);
   }
 
   // Endpoint queue organization: per logical network by default (SA: one
@@ -139,8 +140,11 @@ void Network::set_intra_jobs(int jobs) {
 
 bool Network::parallel_active() const {
   // The tracer's event ring is shared and strictly ordered, so an attached
-  // tracer forces the serial path (results are identical either way).
-  return engine_pool_ != nullptr && tracer() == nullptr;
+  // tracer forces the serial path (results are identical either way).  An
+  // attached choice source likewise: decision order must equal serial
+  // component order for explorer schedules to compare across jobs counts.
+  return engine_pool_ != nullptr && tracer() == nullptr &&
+         chooser() == nullptr;
 }
 
 void Network::advance_idle(Cycle k) {

@@ -19,6 +19,7 @@
 #include "mddsim/fi/injector.hpp"
 #include "mddsim/flow/packet.hpp"
 #include "mddsim/flow/packet_pool.hpp"
+#include "mddsim/mc/choice.hpp"
 #include "mddsim/netif/netif.hpp"
 #include "mddsim/obs/profile.hpp"
 #include "mddsim/obs/span.hpp"
@@ -33,6 +34,9 @@ namespace mddsim {
 
 namespace par {
 class ThreadPool;
+}
+namespace snap {
+class StateIO;
 }
 
 class RecoveryEngine;
@@ -196,6 +200,20 @@ class Network {
 #endif
   }
 
+  /// Attaches (or detaches with nullptr) the model checker's choice source.
+  /// Mirrors the tracer: with MDDSIM_MC=OFF the getter is a constant
+  /// nullptr, so every `if (... = net.chooser())` decision hook folds away.
+  /// An attached source forces serial execution — decision order must equal
+  /// serial component order for schedules to compare across --jobs values.
+  void set_chooser(mc::ChoiceSource* c) { chooser_ = c; }
+  mc::ChoiceSource* chooser() const {
+#if MDDSIM_MC_ENABLED
+    return chooser_;
+#else
+    return nullptr;
+#endif
+  }
+
   DeadlockCounters& counters() { return counters_; }
   const DeadlockCounters& counters() const { return counters_; }
 
@@ -229,6 +247,8 @@ class Network {
   void check_flow_invariants() const;
 
  private:
+  friend class snap::StateIO;
+
   struct FlitToRouter {
     RouterId r;
     int port;
@@ -314,6 +334,7 @@ class Network {
   obs::PhaseProfiler* profiler_ = nullptr;
   obs::SpanRecorder* spans_ = nullptr;
   fi::FaultInjector* injector_ = nullptr;
+  mc::ChoiceSource* chooser_ = nullptr;
   DeadlockCounters counters_;
 };
 

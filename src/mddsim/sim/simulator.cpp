@@ -12,8 +12,14 @@
 
 namespace mddsim {
 
-Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+Simulator::Simulator(const SimConfig& cfg, mc::ChoiceSource* chooser)
+    : cfg_(cfg), rng_(cfg.seed) {
   cfg_.validate();
+  if (chooser != nullptr && !mc::compiled_in()) {
+    throw ConfigError(
+        "a choice source is attached but the model-checking hooks were "
+        "compiled out (MDDSIM_MC=OFF); rebuild with MDDSIM_MC=ON to explore");
+  }
   if (cfg_.verify_preflight) {
     const verify::Verdict v =
         verify::run_verify(verify::VerifyInputs::from_config(cfg_));
@@ -27,6 +33,7 @@ Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
       cfg_.make_topology().num_nodes(),
       rng_.split());
   net_ = std::make_unique<Network>(cfg_, *protocol_);
+  if (chooser != nullptr) net_->set_chooser(chooser);
   metrics_ = std::make_unique<Metrics>(net_->num_nodes());
   net_->set_observer(metrics_.get());
   protocol_->set_completion_callback([this](const TxnCompletion& c) {
@@ -75,7 +82,7 @@ Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
     fi_inj_ = std::make_unique<fi::FaultInjector>(
         fi::FaultPlan::parse(cfg_.fault_spec), net_->num_nodes(),
         net_->topology().num_routers(),
-        static_cast<int>(net_->recovery_engines().size()), fi_seed);
+        static_cast<int>(net_->recovery_engines().size()), fi_seed, chooser);
     net_->set_injector(fi_inj_.get());
   }
   if (cfg_.fi_invariants == 1 || (cfg_.fi_invariants != 0 && fi_inj_)) {
@@ -170,9 +177,20 @@ void Simulator::try_skip(Cycle limit) {
   if (telemetry_) post(static_cast<Cycle>(cfg_.telemetry_epoch));
   if (registry_ && cfg_.metrics_epoch > 0)
     post(static_cast<Cycle>(cfg_.metrics_epoch));
+  // An armed checkpoint is a deadline too: land one cycle short so the next
+  // loop top fires the callback with the clock exactly on the boundary.
+  if (checkpoint_cb_ && !checkpoint_fired_ && checkpoint_at_ > now)
+    target = std::min(target, checkpoint_at_ - 1);
   if (target <= now) return;  // this very cycle is a deadline: step it
   net_->advance_idle(target - now);
   skipped_ += target - now;
+}
+
+void Simulator::maybe_checkpoint() {
+  if (checkpoint_fired_ || checkpoint_at_ == 0 || !checkpoint_cb_) return;
+  if (net_->now() < checkpoint_at_) return;
+  checkpoint_fired_ = true;
+  checkpoint_cb_(*this);
 }
 
 void Simulator::generate_traffic(Cycle now) {
@@ -198,6 +216,7 @@ RunResult Simulator::run(bool drain) {
   const bool skip_main = skip_allowed() && cfg_.injection_rate <= 0.0;
 
   while (net_->now() < end) {
+    maybe_checkpoint();
     if (skip_main) try_skip(end);
     {
       obs::PhaseProfiler* prof = net_->profiler();
@@ -229,6 +248,7 @@ RunResult Simulator::run(bool drain) {
     const bool skip_drain = skip_allowed();
     while (net_->now() < limit &&
            !(net_->idle() && protocol_->live_transactions() == 0)) {
+      maybe_checkpoint();
       if (skip_drain) try_skip(limit);
       net_->step();
       if (cwg_ && net_->now() % static_cast<Cycle>(cfg_.cwg_period) == 0) {

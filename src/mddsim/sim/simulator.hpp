@@ -11,6 +11,8 @@
 //   RunResult r = sim.run();
 //   // r.throughput, r.avg_packet_latency, r.counters ...
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -30,6 +32,10 @@
 #include "mddsim/sim/network.hpp"
 
 namespace mddsim {
+
+namespace snap {
+class StateIO;
+}
 
 /// Aggregate results of one simulation run.
 struct RunResult {
@@ -51,11 +57,53 @@ struct RunResult {
 
 class Simulator {
  public:
-  explicit Simulator(const SimConfig& cfg);
+  /// `chooser`, when non-null, is attached to the network as the
+  /// mc::ChoiceSource resolving every nondeterminism point (VC-allocation
+  /// ties, rescue-slot selection, `rand` fault targets) — the state-space
+  /// explorer's handle.  Requires a build with MDDSIM_MC=ON; throws
+  /// ConfigError otherwise.  Attaching a chooser forces serial stepping so
+  /// decision points are enumerated in a deterministic order.
+  explicit Simulator(const SimConfig& cfg, mc::ChoiceSource* chooser = nullptr);
 
   /// Runs warmup + measurement (and a drain when cfg asks for it via
   /// run(true)); returns aggregated results.
   RunResult run(bool drain = false);
+
+  // --- Checkpoint / restore (DESIGN.md §18). -------------------------------
+  /// Serializes the complete mutable simulation state — router arenas,
+  /// VC/credit state, NI queues and MSHRs, live packets, recovery engines,
+  /// RNG stream positions, fault-injector windows, counters — into a
+  /// versioned, integrity-hashed byte stream.  Pure observability state
+  /// (tracer ring, spans, registry, forensics) is intentionally excluded;
+  /// restore re-arms those subsystems fresh, which never changes simulation
+  /// results.  Oracle: restore(snapshot at K) then run to N is bit-identical
+  /// to running straight to N.
+  std::vector<std::uint8_t> snapshot() const;
+  /// Reconstructs a Simulator from a snapshot() byte stream.  The embedded
+  /// config string rebuilds the object, then every serialized field is
+  /// overwritten in place.  Throws snap::SnapshotError on corruption or
+  /// version mismatch, ConfigError when the snapshot needs compiled-out
+  /// subsystems (e.g. a fault plan under MDDSIM_FI=OFF).
+  static std::unique_ptr<Simulator> restore(
+      const std::vector<std::uint8_t>& bytes,
+      mc::ChoiceSource* chooser = nullptr);
+  /// Arms a one-shot checkpoint callback: the first time the main or drain
+  /// loop reaches cycle `at` (quiescence skipping clamps so the boundary is
+  /// hit exactly), `cb` runs with the simulator in a snapshot-consistent
+  /// state.  Call with at=0 to disarm.
+  void set_checkpoint(Cycle at, std::function<void(Simulator&)> cb) {
+    checkpoint_at_ = at;
+    checkpoint_cb_ = std::move(cb);
+    checkpoint_fired_ = false;
+  }
+
+  /// One cycle of open-loop stepping (traffic generation + Network::step)
+  /// with none of run()'s windowing or periodic observers — the explorer's
+  /// inner loop, so it can snapshot between any two cycles.
+  void mc_tick() {
+    generate_traffic(net_->now());
+    net_->step();
+  }
 
   Network& network() { return *net_; }
   GenericProtocol& protocol() { return *protocol_; }
@@ -122,7 +170,11 @@ class Simulator {
   void collect_metrics(obs::Registry& reg) const;
 
  private:
+  friend class snap::StateIO;
   void generate_traffic(Cycle now);
+  /// Fires the armed one-shot checkpoint callback when the clock has
+  /// reached its cycle.  Called at the top of the main and drain loops.
+  void maybe_checkpoint();
   /// Per-cycle observability work: telemetry epoch sampling and the
   /// zero-progress watchdog.  Called after every Network::step.
   void step_obs();
@@ -157,6 +209,10 @@ class Simulator {
   bool quiesce_ = true;               ///< event-driven quiescence skipping
   Cycle skipped_ = 0;                 ///< cycles jumped over while idle
   double last_wall_seconds_ = 0.0;    ///< wall-clock time of the last run()
+
+  Cycle checkpoint_at_ = 0;           ///< one-shot checkpoint cycle (0 = off)
+  std::function<void(Simulator&)> checkpoint_cb_;
+  bool checkpoint_fired_ = false;
 
   /// Static-verification preflight outcome (cfg.verify_preflight): when the
   /// strict criterion held — the whole dependency graph is acyclic, not just

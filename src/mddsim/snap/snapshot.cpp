@@ -1,0 +1,148 @@
+#include "mddsim/snap/snapshot.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+namespace mddsim::snap {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+void Writer::raw(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash_ ^= p[i];
+    hash_ *= kFnvPrime;
+  }
+}
+
+void Writer::u8(std::uint8_t v) { raw(&v, 1); }
+
+void Writer::u16(std::uint16_t v) {
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                             static_cast<std::uint8_t>(v >> 8)};
+  raw(b, sizeof b);
+}
+
+void Writer::u32(std::uint32_t v) {
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  raw(b, sizeof b);
+}
+
+void Writer::u64(std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  raw(b, sizeof b);
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(const std::string& s) {
+  u64(s.size());
+  raw(s.data(), s.size());
+}
+
+std::vector<std::uint8_t> Writer::finish() {
+  const std::uint64_t h = hash_;
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(h >> (8 * i));
+  buf_.insert(buf_.end(), b, b + 8);
+  return std::move(buf_);
+}
+
+Reader::Reader(const std::vector<std::uint8_t>& bytes) : data_(bytes.data()) {
+  if (bytes.size() < 8) throw SnapshotError("stream shorter than its hash");
+  limit_ = bytes.size() - 8;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < limit_; ++i) {
+    h ^= data_[i];
+    h *= kFnvPrime;
+  }
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(data_[limit_ + i]) << (8 * i);
+  }
+  if (h != stored) throw SnapshotError("integrity hash mismatch");
+}
+
+std::uint8_t Reader::u8() {
+  if (pos_ + 1 > limit_) throw SnapshotError("truncated stream");
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  if (pos_ + 2 > limit_) throw SnapshotError("truncated stream");
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(
+        v | static_cast<std::uint16_t>(data_[pos_ + i]) << (8 * i));
+  }
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  if (pos_ + 4 > limit_) throw SnapshotError("truncated stream");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  if (pos_ + 8 > limit_) throw SnapshotError("truncated stream");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint64_t len = u64();
+  if (len > limit_ - pos_) throw SnapshotError("truncated string");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return s;
+}
+
+void Reader::tag(std::uint32_t expected) {
+  const std::uint32_t got = u32();
+  if (got != expected) {
+    throw SnapshotError("section tag mismatch: expected " +
+                        std::to_string(expected) + ", got " +
+                        std::to_string(got));
+  }
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw SnapshotError("cannot open " + path + " for writing");
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw SnapshotError("short write to " + path);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw SnapshotError("cannot open " + path);
+  const std::streamsize size = is.tellg();
+  is.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  is.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!is) throw SnapshotError("short read from " + path);
+  return bytes;
+}
+
+}  // namespace mddsim::snap

@@ -1,0 +1,103 @@
+#pragma once
+// Versioned byte-stream snapshot encoding (mddsim::snap).
+//
+// A snapshot is a flat little-endian byte stream: an 8-byte magic, a format
+// version, the canonical config text (so a restored simulator is built from
+// exactly the configuration that produced the state), the serialized
+// mutable state, and a trailing FNV-1a integrity hash over everything that
+// precedes it.  Writer computes the hash incrementally as bytes are
+// appended; Reader verifies it up front, so a truncated or bit-flipped
+// stream is rejected before any field is decoded.
+//
+// Section tags are 32-bit markers written between components.  They buy
+// nothing for a correct stream, but when save and load drift out of step a
+// tag mismatch fails loudly at the section boundary instead of decoding
+// garbage into plausible-looking integers.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mddsim::snap {
+
+/// Thrown for any malformed snapshot stream: truncated, bit-corrupted
+/// (integrity hash mismatch), wrong magic/version, or a section-tag
+/// mismatch between writer and reader.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error("snapshot: " + what) {}
+};
+
+/// Snapshot stream format version; bump on any layout change.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// 8-byte stream magic ("MDDSNAP1").
+inline constexpr char kMagic[8] = {'M', 'D', 'D', 'S', 'N', 'A', 'P', '1'};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void f64(double v);  ///< exact bit pattern, not a decimal round-trip
+  void str(const std::string& s);
+  void raw(const void* data, std::size_t len);
+  void tag(std::uint32_t t) { u32(t); }
+
+  std::size_t size() const { return buf_.size(); }
+
+  /// Appends the integrity hash and hands the stream over; the writer is
+  /// spent afterwards.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+};
+
+/// Decodes a stream produced by Writer.  The constructor verifies the
+/// trailing integrity hash; every getter bounds-checks.  The reader holds a
+/// reference to the byte vector — the caller keeps it alive.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes);
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+  double f64();
+  std::string str();
+  /// Consumes a section tag and throws SnapshotError unless it equals
+  /// `expected`.
+  void tag(std::uint32_t expected);
+
+  /// True once every payload byte (hash excluded) has been consumed.
+  bool exhausted() const { return pos_ == limit_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t pos_ = 0;
+  std::size_t limit_;  ///< payload end (start of the trailing hash)
+};
+
+/// Writes a finished snapshot stream to `path` (binary, overwrite).
+/// Throws SnapshotError on I/O failure.
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes);
+
+/// Reads a snapshot stream back; throws SnapshotError on I/O failure.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+}  // namespace mddsim::snap

@@ -1,0 +1,1079 @@
+#include "mddsim/snap/state_io.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mddsim/common/config_parse.hpp"
+#include "mddsim/core/recovery.hpp"
+#include "mddsim/core/regressive.hpp"
+#include "mddsim/sim/simulator.hpp"
+
+namespace mddsim::snap {
+
+namespace {
+
+constexpr std::uint32_t fourcc(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+constexpr std::uint32_t kTagSim = fourcc('S', 'I', 'M', '0');
+constexpr std::uint32_t kTagPkt = fourcc('P', 'K', 'T', '0');
+constexpr std::uint32_t kTagNet = fourcc('N', 'E', 'T', '0');
+constexpr std::uint32_t kTagRtr = fourcc('R', 'T', 'R', '0');
+constexpr std::uint32_t kTagNif = fourcc('N', 'I', 'F', '0');
+constexpr std::uint32_t kTagRec = fourcc('R', 'E', 'C', '0');
+constexpr std::uint32_t kTagReg = fourcc('R', 'E', 'G', '0');
+constexpr std::uint32_t kTagPrt = fourcc('P', 'R', 'T', '0');
+constexpr std::uint32_t kTagMet = fourcc('M', 'E', 'T', '0');
+constexpr std::uint32_t kTagCwg = fourcc('C', 'W', 'G', '0');
+constexpr std::uint32_t kTagFi = fourcc('F', 'I', '_', '0');
+constexpr std::uint32_t kTagFic = fourcc('F', 'I', 'C', '0');
+
+/// Loaded container sizes are fixed by the config the snapshot itself
+/// embeds, so a mismatch means writer and reader walked different layouts.
+void expect_size(std::size_t got, std::size_t want, const char* what) {
+  if (got != want) {
+    throw SnapshotError(std::string(what) + " size mismatch: stream has " +
+                        std::to_string(got) + ", object has " +
+                        std::to_string(want));
+  }
+}
+
+void save_rng(const Rng& rng, Writer& w) {
+  for (std::uint64_t v : rng.state()) w.u64(v);
+}
+
+void load_rng(Rng& rng, Reader& r) {
+  std::array<std::uint64_t, 4> s;
+  for (std::uint64_t& v : s) v = r.u64();
+  rng.set_state(s);
+}
+
+void save_out_msg(const OutMsg& m, Writer& w) {
+  w.u8(static_cast<std::uint8_t>(m.type));
+  w.i32(m.src);
+  w.i32(m.dst);
+  w.i32(m.len_flits);
+  w.u64(m.txn);
+  w.i32(m.chain_pos);
+}
+
+OutMsg load_out_msg(Reader& r) {
+  OutMsg m;
+  m.type = static_cast<MsgType>(r.u8());
+  m.src = r.i32();
+  m.dst = r.i32();
+  m.len_flits = r.i32();
+  m.txn = r.u64();
+  m.chain_pos = r.i32();
+  return m;
+}
+
+template <typename Vec>
+void save_cycles(const Vec& v, Writer& w) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (Cycle c : v) w.u64(c);
+}
+
+template <typename Vec>
+void load_cycles(Vec& v, Reader& r, const char* what) {
+  expect_size(r.u32(), v.size(), what);
+  for (Cycle& c : v) c = r.u64();
+}
+
+void save_ints(const std::vector<int>& v, Writer& w) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (int x : v) w.i32(x);
+}
+
+void load_ints(std::vector<int>& v, Reader& r, const char* what) {
+  expect_size(r.u32(), v.size(), what);
+  for (int& x : v) x = r.i32();
+}
+
+void save_u64s(const std::vector<std::uint64_t>& v, Writer& w) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (std::uint64_t x : v) w.u64(x);
+}
+
+void load_u64s(std::vector<std::uint64_t>& v, Reader& r, const char* what) {
+  expect_size(r.u32(), v.size(), what);
+  for (std::uint64_t& x : v) x = r.u64();
+}
+
+/// unordered_set<uint64_t> persistence memory, written in sorted order so
+/// two snapshots of identical logical state are byte-identical.
+void save_sig_set(const std::unordered_set<std::uint64_t>& s, Writer& w) {
+  std::vector<std::uint64_t> sorted(s.begin(), s.end());
+  std::sort(sorted.begin(), sorted.end());
+  w.u32(static_cast<std::uint32_t>(sorted.size()));
+  for (std::uint64_t v : sorted) w.u64(v);
+}
+
+void load_sig_set(std::unordered_set<std::uint64_t>& s, Reader& r) {
+  s.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) s.insert(r.u64());
+}
+
+}  // namespace
+
+// --- Packet table -----------------------------------------------------------
+
+struct StateIO::PacketTable {
+  /// Save side: every live packet, keyed (and therefore serialized) by id.
+  std::map<PacketId, const Packet*> live;
+  /// Load side: reconstructed packets for reference patching.
+  std::unordered_map<PacketId, PacketPtr> loaded;
+
+  void note(const PacketPtr& p) {
+    if (p) live.emplace(p->id, p.get());
+  }
+
+  PacketPtr get(PacketId id) const {
+    if (id == 0) return nullptr;
+    const auto it = loaded.find(id);
+    if (it == loaded.end()) {
+      throw SnapshotError("dangling packet reference: id " +
+                          std::to_string(id) + " is not in the packet table");
+    }
+    return it->second;
+  }
+
+  void save_flit(const Flit& f, Writer& w) const {
+    w.u64(f.pkt ? f.pkt->id : 0);
+    w.i32(f.seq);
+    w.i32(f.len);
+  }
+
+  Flit load_flit(Reader& r) const {
+    Flit f;
+    f.pkt = get(r.u64());
+    f.seq = r.i32();
+    f.len = r.i32();
+    return f;
+  }
+};
+
+void StateIO::save_packets(const PacketTable& t, Writer& w) {
+  w.tag(kTagPkt);
+  w.u32(static_cast<std::uint32_t>(t.live.size()));
+  for (const auto& [id, p] : t.live) {
+    w.u64(id);
+    w.u64(p->txn);
+    w.i32(p->chain_pos);
+    w.u8(static_cast<std::uint8_t>(p->type));
+    w.i32(p->src);
+    w.i32(p->dst);
+    w.i32(p->len_flits);
+    w.i32(p->vc_class);
+    w.u8(p->dateline_mask);
+    w.u64(p->gen_cycle);
+    w.u64(p->inject_cycle);
+    w.u64(p->eject_cycle);
+    w.u64(p->consume_cycle);
+    w.boolean(p->measured);
+    w.boolean(p->rescued);
+    w.boolean(p->deflected);
+    w.boolean(p->retried);
+    // span_idx is intentionally dropped: the span recorder is pure
+    // observability and restore re-opens nothing, so restored packets are
+    // unobserved (-1, the pool default).
+  }
+}
+
+void StateIO::load_packets(Simulator& sim, PacketTable& t, Reader& r) {
+  r.tag(kTagPkt);
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PacketPtr p = sim.net_->pool_.make();
+    p->id = r.u64();
+    p->txn = r.u64();
+    p->chain_pos = r.i32();
+    p->type = static_cast<MsgType>(r.u8());
+    p->src = r.i32();
+    p->dst = r.i32();
+    p->len_flits = r.i32();
+    p->vc_class = r.i32();
+    p->dateline_mask = r.u8();
+    p->gen_cycle = r.u64();
+    p->inject_cycle = r.u64();
+    p->eject_cycle = r.u64();
+    p->consume_cycle = r.u64();
+    p->measured = r.boolean();
+    p->rescued = r.boolean();
+    p->deflected = r.boolean();
+    p->retried = r.boolean();
+    if (!t.loaded.emplace(p->id, std::move(p)).second) {
+      throw SnapshotError("duplicate packet id in table");
+    }
+  }
+}
+
+// --- Router -----------------------------------------------------------------
+
+void StateIO::save_router(const Router& rt, Writer& w) {
+  PacketTable dummy;  // flit serialization needs only the id on save
+  const std::size_t in_vcs = rt.in_.size();
+  const std::size_t out_vcs =
+      static_cast<std::size_t>(rt.outputs_) * static_cast<std::size_t>(rt.vcs_);
+  for (std::size_t i = 0; i < in_vcs; ++i) {
+    const InputVc& v = rt.in_[i];
+    w.u32(static_cast<std::uint32_t>(v.buffer.size()));
+    for (std::size_t j = 0; j < v.buffer.size(); ++j) {
+      dummy.save_flit(v.buffer[j], w);
+    }
+    w.boolean(v.route_valid);
+    w.i32(v.out_port);
+    w.i32(v.out_vc);
+    w.u64(v.last_progress);
+    // The route-candidate cache (front_epoch/cand_epoch/cand) is skipped: a
+    // restored router's fresh epochs force a recompute, which is exact.
+  }
+  for (int p = 0; p < rt.inputs_; ++p) w.u64(rt.occ_mask_[p]);
+  for (int p = 0; p < rt.inputs_; ++p) w.u64(rt.routed_mask_[p]);
+  for (int p = 0; p < rt.outputs_; ++p) w.u64(rt.busy_mask_[p]);
+  for (std::size_t i = 0; i < in_vcs; ++i) w.u16(rt.route_packed_[i]);
+  for (std::size_t i = 0; i < out_vcs; ++i) w.i16(rt.credits16_[i]);
+  for (std::size_t i = 0; i < out_vcs; ++i) w.u64(rt.owner_[i]);
+  for (std::size_t i = 0; i < out_vcs; ++i) w.u64(rt.flits_fwd_[i]);
+  for (int p = 0; p < rt.inputs_; ++p) w.i16(rt.sa_in_rr_[p]);
+  for (int p = 0; p < rt.outputs_; ++p) w.i16(rt.sa_out_rr_[p]);
+  w.u32(rt.va_rr_);
+  w.i32(rt.buffered_flits_);
+  w.u64(rt.vc_stalls_);
+}
+
+void StateIO::load_router(Router& rt, const PacketTable& t, Reader& r) {
+  const std::size_t in_vcs = rt.in_.size();
+  const std::size_t out_vcs =
+      static_cast<std::size_t>(rt.outputs_) * static_cast<std::size_t>(rt.vcs_);
+  for (std::size_t i = 0; i < in_vcs; ++i) {
+    InputVc& v = rt.in_[i];
+    const std::uint32_t flits = r.u32();
+    if (static_cast<int>(flits) > rt.buf_depth_) {
+      throw SnapshotError("input VC buffer deeper than configured");
+    }
+    for (std::uint32_t j = 0; j < flits; ++j) {
+      v.buffer.push_back(t.load_flit(r));
+    }
+    v.route_valid = r.boolean();
+    v.out_port = r.i32();
+    v.out_vc = r.i32();
+    v.last_progress = r.u64();
+  }
+  for (int p = 0; p < rt.inputs_; ++p) rt.occ_mask_[p] = r.u64();
+  for (int p = 0; p < rt.inputs_; ++p) rt.routed_mask_[p] = r.u64();
+  for (int p = 0; p < rt.outputs_; ++p) rt.busy_mask_[p] = r.u64();
+  for (std::size_t i = 0; i < in_vcs; ++i) rt.route_packed_[i] = r.u16();
+  for (std::size_t i = 0; i < out_vcs; ++i) rt.credits16_[i] = r.i16();
+  for (std::size_t i = 0; i < out_vcs; ++i) rt.owner_[i] = r.u64();
+  for (std::size_t i = 0; i < out_vcs; ++i) rt.flits_fwd_[i] = r.u64();
+  for (int p = 0; p < rt.inputs_; ++p) rt.sa_in_rr_[p] = r.i16();
+  for (int p = 0; p < rt.outputs_; ++p) rt.sa_out_rr_[p] = r.i16();
+  rt.va_rr_ = r.u32();
+  rt.buffered_flits_ = r.i32();
+  rt.vc_stalls_ = r.u64();
+}
+
+// --- Network interface ------------------------------------------------------
+
+void StateIO::save_ni(const NetworkInterface& ni, Writer& w) {
+  PacketTable dummy;
+  const auto save_pkt_deque = [&](const std::deque<PacketPtr>& q) {
+    w.u32(static_cast<std::uint32_t>(q.size()));
+    for (const PacketPtr& p : q) w.u64(p ? p->id : 0);
+  };
+  w.u32(static_cast<std::uint32_t>(ni.input_q_.size()));
+  for (const auto& q : ni.input_q_) save_pkt_deque(q);
+  save_ints(ni.input_reserved_, w);
+  w.u32(static_cast<std::uint32_t>(ni.output_q_.size()));
+  for (const auto& q : ni.output_q_) save_pkt_deque(q);
+  save_ints(ni.output_reserved_, w);
+
+  w.u64(ni.mc_pkt_ ? ni.mc_pkt_->id : 0);
+  w.u32(static_cast<std::uint32_t>(ni.mc_reserved_.size()));
+  for (const OutMsg& m : ni.mc_reserved_) save_out_msg(m, w);
+  w.u64(ni.mc_done_);
+  w.u64(ni.mc_reserved_until_);
+  w.i32(ni.mc_rr_);
+
+  save_ints(ni.inj_credits_, w);
+  w.u32(static_cast<std::uint32_t>(ni.inj_busy_.size()));
+  for (bool b : ni.inj_busy_) w.boolean(b);
+  w.u32(static_cast<std::uint32_t>(ni.streams_.size()));
+  for (const auto& s : ni.streams_) {
+    w.u64(s.pkt ? s.pkt->id : 0);
+    w.i32(s.next_seq);
+    w.i32(s.vc);
+  }
+  w.i32(ni.inj_rr_);
+
+  w.u32(static_cast<std::uint32_t>(ni.eject_buf_.size()));
+  for (const auto& buf : ni.eject_buf_) {
+    w.u32(static_cast<std::uint32_t>(buf.size()));
+    for (const Flit& f : buf) dummy.save_flit(f, w);
+  }
+  w.u32(static_cast<std::uint32_t>(ni.reasm_.size()));
+  for (const auto& opt : ni.reasm_) {
+    w.boolean(opt.has_value());
+    if (opt) {
+      w.u64(opt->pkt ? opt->pkt->id : 0);
+      w.i32(opt->next_seq);
+      w.i32(opt->slot);
+    }
+  }
+  w.i32(ni.eject_rr_);
+  w.i32(ni.eject_flits_);
+
+  save_pkt_deque(ni.source_);
+  w.u64(ni.src_stream_.pkt ? ni.src_stream_.pkt->id : 0);
+  w.i32(ni.src_stream_.next_seq);
+  w.i32(ni.src_stream_.vc);
+  w.u32(static_cast<std::uint32_t>(ni.pending_.size()));
+  for (const OutMsg& m : ni.pending_) save_out_msg(m, w);
+  w.u32(static_cast<std::uint32_t>(ni.retries_.size()));
+  for (const auto& rt : ni.retries_) {
+    w.u64(rt.pkt ? rt.pkt->id : 0);
+    w.u64(rt.ready);
+  }
+  w.i32(ni.outstanding_);
+
+  w.u64(ni.last_progress_);
+  w.u64(ni.last_detection_);
+  save_cycles(ni.cond_since_, w);
+  save_cycles(ni.full_since_, w);
+  save_cycles(ni.forced_until_, w);
+  // The admission cache (admit_/out_epoch_) is skipped: a fresh cache's
+  // head_id=0 forces a recompute, and admission is a pure function of the
+  // restored queue state, so the recomputed verdicts are exact.
+}
+
+void StateIO::load_ni(NetworkInterface& ni, const PacketTable& t, Reader& r) {
+  const auto load_pkt_deque = [&](std::deque<PacketPtr>& q) {
+    q.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) q.push_back(t.get(r.u64()));
+  };
+  expect_size(r.u32(), ni.input_q_.size(), "ni input queues");
+  for (auto& q : ni.input_q_) load_pkt_deque(q);
+  load_ints(ni.input_reserved_, r, "ni input reservations");
+  expect_size(r.u32(), ni.output_q_.size(), "ni output queues");
+  for (auto& q : ni.output_q_) load_pkt_deque(q);
+  load_ints(ni.output_reserved_, r, "ni output reservations");
+
+  ni.mc_pkt_ = t.get(r.u64());
+  ni.mc_reserved_.clear();
+  const std::uint32_t mc_res = r.u32();
+  for (std::uint32_t i = 0; i < mc_res; ++i) {
+    ni.mc_reserved_.push_back(load_out_msg(r));
+  }
+  ni.mc_done_ = r.u64();
+  ni.mc_reserved_until_ = r.u64();
+  ni.mc_rr_ = r.i32();
+
+  load_ints(ni.inj_credits_, r, "ni injection credits");
+  expect_size(r.u32(), ni.inj_busy_.size(), "ni injection busy flags");
+  for (std::size_t i = 0; i < ni.inj_busy_.size(); ++i) {
+    ni.inj_busy_[i] = r.boolean();
+  }
+  expect_size(r.u32(), ni.streams_.size(), "ni injection streams");
+  for (auto& s : ni.streams_) {
+    s.pkt = t.get(r.u64());
+    s.next_seq = r.i32();
+    s.vc = r.i32();
+  }
+  ni.inj_rr_ = r.i32();
+
+  expect_size(r.u32(), ni.eject_buf_.size(), "ni ejection buffers");
+  for (auto& buf : ni.eject_buf_) {
+    buf.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) buf.push_back(t.load_flit(r));
+  }
+  expect_size(r.u32(), ni.reasm_.size(), "ni reassembly slots");
+  for (auto& opt : ni.reasm_) {
+    if (r.boolean()) {
+      opt.emplace();
+      opt->pkt = t.get(r.u64());
+      opt->next_seq = r.i32();
+      opt->slot = r.i32();
+    } else {
+      opt.reset();
+    }
+  }
+  ni.eject_rr_ = r.i32();
+  ni.eject_flits_ = r.i32();
+
+  load_pkt_deque(ni.source_);
+  ni.src_stream_.pkt = t.get(r.u64());
+  ni.src_stream_.next_seq = r.i32();
+  ni.src_stream_.vc = r.i32();
+  ni.pending_.clear();
+  const std::uint32_t pending = r.u32();
+  for (std::uint32_t i = 0; i < pending; ++i) {
+    ni.pending_.push_back(load_out_msg(r));
+  }
+  ni.retries_.clear();
+  const std::uint32_t retries = r.u32();
+  for (std::uint32_t i = 0; i < retries; ++i) {
+    NetworkInterface::Retry rt;
+    rt.pkt = t.get(r.u64());
+    rt.ready = r.u64();
+    ni.retries_.push_back(std::move(rt));
+  }
+  ni.outstanding_ = r.i32();
+
+  ni.last_progress_ = r.u64();
+  ni.last_detection_ = r.u64();
+  load_cycles(ni.cond_since_, r, "ni blocked-since");
+  load_cycles(ni.full_since_, r, "ni full-since");
+  load_cycles(ni.forced_until_, r, "ni forced-detection");
+}
+
+// --- Recovery engine --------------------------------------------------------
+
+void StateIO::save_recovery(const RecoveryEngine& eng, Writer& w) {
+  w.i32(eng.index_);
+  w.u8(static_cast<std::uint8_t>(eng.state_));
+  w.i32(eng.token_stop_);
+  w.i32(eng.capture_stop_);
+  w.boolean(eng.lost_);
+  w.u64(eng.regen_at_);
+  w.u32(static_cast<std::uint32_t>(eng.stack_.size()));
+  for (const auto& f : eng.stack_) {
+    w.i32(f.node);
+    w.i32(f.router);
+    w.u32(static_cast<std::uint32_t>(f.pending.size()));
+    for (const OutMsg& m : f.pending) save_out_msg(m, w);
+    w.boolean(f.force_lane);
+  }
+  w.u64(eng.work_pkt_ ? eng.work_pkt_->id : 0);
+  w.i32(eng.receiver_);
+  w.u64(eng.timer_);
+  w.i32(eng.wait_ni_);
+  w.u64(eng.captures_);
+  w.u64(eng.token_moves_);
+  w.u64(eng.regenerations_);
+  w.u64(eng.duplicates_dropped_);
+}
+
+void StateIO::load_recovery(RecoveryEngine& eng, const PacketTable& t,
+                            Reader& r) {
+  const int index = r.i32();
+  if (index != eng.index_) {
+    throw SnapshotError("recovery engine index mismatch");
+  }
+  eng.state_ = static_cast<RecoveryEngine::State>(r.u8());
+  eng.token_stop_ = r.i32();
+  eng.capture_stop_ = r.i32();
+  eng.lost_ = r.boolean();
+  eng.regen_at_ = r.u64();
+  eng.stack_.clear();
+  const std::uint32_t frames = r.u32();
+  for (std::uint32_t i = 0; i < frames; ++i) {
+    RecoveryEngine::Frame f;
+    f.node = r.i32();
+    f.router = r.i32();
+    const std::uint32_t pending = r.u32();
+    for (std::uint32_t j = 0; j < pending; ++j) {
+      f.pending.push_back(load_out_msg(r));
+    }
+    f.force_lane = r.boolean();
+    eng.stack_.push_back(std::move(f));
+  }
+  eng.work_pkt_ = t.get(r.u64());
+  eng.receiver_ = r.i32();
+  eng.timer_ = r.u64();
+  eng.wait_ni_ = r.i32();
+  eng.captures_ = r.u64();
+  eng.token_moves_ = r.u64();
+  eng.regenerations_ = r.u64();
+  eng.duplicates_dropped_ = r.u64();
+}
+
+// --- Protocol ---------------------------------------------------------------
+
+void StateIO::save_protocol(const GenericProtocol& p, Writer& w) {
+  save_rng(p.rng_, w);
+  w.u64(p.next_txn_);
+  w.u64(p.txns_started_);
+  std::vector<TxnId> ids;
+  ids.reserve(p.txns_.size());
+  for (const auto& [id, txn] : p.txns_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (TxnId id : ids) {
+    const auto& txn = p.txns_.at(id);
+    w.u64(id);
+    w.i32(txn.requester);
+    w.u64(txn.start_cycle);
+    w.u32(static_cast<std::uint32_t>(txn.steps.size()));
+    for (const auto& s : txn.steps) {
+      w.u8(static_cast<std::uint8_t>(s.type));
+      w.i32(s.src);
+      w.i32(s.dst);
+    }
+    w.i32(txn.messages_sent);
+    w.boolean(txn.deflected);
+    w.boolean(txn.rescued);
+    w.i32(txn.resume_pos);
+  }
+}
+
+void StateIO::load_protocol(GenericProtocol& p, Reader& r) {
+  load_rng(p.rng_, r);
+  p.next_txn_ = r.u64();
+  p.txns_started_ = r.u64();
+  p.txns_.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const TxnId id = r.u64();
+    GenericProtocol::Txn txn;
+    txn.requester = r.i32();
+    txn.start_cycle = r.u64();
+    const std::uint32_t steps = r.u32();
+    for (std::uint32_t j = 0; j < steps; ++j) {
+      GenericProtocol::BoundStep s;
+      s.type = static_cast<MsgType>(r.u8());
+      s.src = r.i32();
+      s.dst = r.i32();
+      txn.steps.push_back(s);
+    }
+    txn.messages_sent = r.i32();
+    txn.deflected = r.boolean();
+    txn.rescued = r.boolean();
+    txn.resume_pos = r.i32();
+    p.txns_.emplace(id, std::move(txn));
+  }
+}
+
+// --- Metrics + measurement primitives ---------------------------------------
+
+void StateIO::save_stat(const RunningStat& s, Writer& w) {
+  w.u64(s.n_);
+  w.f64(s.mean_);
+  w.f64(s.m2_);
+  w.f64(s.min_);
+  w.f64(s.max_);
+}
+
+void StateIO::load_stat(RunningStat& s, Reader& r) {
+  s.n_ = r.u64();
+  s.mean_ = r.f64();
+  s.m2_ = r.f64();
+  s.min_ = r.f64();
+  s.max_ = r.f64();
+}
+
+void StateIO::save_quant(const QuantileSampler& q, Writer& w) {
+  w.u64(q.n_);
+  w.u64(q.state_);
+  w.u32(static_cast<std::uint32_t>(q.samples_.size()));
+  for (double v : q.samples_) w.f64(v);
+  w.boolean(q.sorted_);
+}
+
+void StateIO::load_quant(QuantileSampler& q, Reader& r) {
+  q.n_ = r.u64();
+  q.state_ = r.u64();
+  q.samples_.clear();
+  const std::uint32_t n = r.u32();
+  q.samples_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) q.samples_.push_back(r.f64());
+  q.sorted_ = r.boolean();
+}
+
+void StateIO::save_load_hist(const LoadHistogram& h, Writer& w) {
+  w.u64(h.epoch_start_);
+  w.u64(h.epoch_flits_);
+  w.u64(h.epochs_);
+  w.u32(static_cast<std::uint32_t>(h.hist_.counts_.size()));
+  for (std::uint64_t c : h.hist_.counts_) w.u64(c);
+  w.u64(h.hist_.total_);
+  save_stat(h.load_stat_, w);
+}
+
+void StateIO::load_load_hist(LoadHistogram& h, Reader& r) {
+  h.epoch_start_ = r.u64();
+  h.epoch_flits_ = r.u64();
+  h.epochs_ = r.u64();
+  expect_size(r.u32(), h.hist_.counts_.size(), "load histogram bins");
+  for (std::uint64_t& c : h.hist_.counts_) c = r.u64();
+  h.hist_.total_ = r.u64();
+  load_stat(h.load_stat_, r);
+}
+
+void StateIO::save_metrics(const Metrics& m, Writer& w) {
+  w.u64(m.win_begin_);
+  w.u64(m.win_end_);
+  save_stat(m.pkt_latency_, w);
+  save_quant(m.lat_quant_, w);
+  for (const RunningStat& s : m.type_latency_) save_stat(s, w);
+  save_stat(m.txn_latency_, w);
+  save_stat(m.txn_messages_, w);
+  w.u64(m.packets_delivered_);
+  w.u64(m.flits_delivered_);
+  w.u64(m.txns_completed_);
+  w.u64(m.flits_injected_);
+  w.u64(m.total_packets_consumed_);
+  save_u64s(m.node_detections_, w);
+  save_u64s(m.node_deflections_, w);
+  save_u64s(m.node_consumed_, w);
+  save_u64s(m.node_flits_injected_, w);
+  save_load_hist(m.load_hist_, w);
+}
+
+void StateIO::load_metrics(Metrics& m, Reader& r) {
+  m.win_begin_ = r.u64();
+  m.win_end_ = r.u64();
+  load_stat(m.pkt_latency_, r);
+  load_quant(m.lat_quant_, r);
+  for (RunningStat& s : m.type_latency_) load_stat(s, r);
+  load_stat(m.txn_latency_, r);
+  load_stat(m.txn_messages_, r);
+  m.packets_delivered_ = r.u64();
+  m.flits_delivered_ = r.u64();
+  m.txns_completed_ = r.u64();
+  m.flits_injected_ = r.u64();
+  m.total_packets_consumed_ = r.u64();
+  load_u64s(m.node_detections_, r, "metrics node detections");
+  load_u64s(m.node_deflections_, r, "metrics node deflections");
+  load_u64s(m.node_consumed_, r, "metrics node consumed");
+  load_u64s(m.node_flits_injected_, r, "metrics node flits injected");
+  load_load_hist(m.load_hist_, r);
+}
+
+// --- CWG persistence memory -------------------------------------------------
+
+void StateIO::save_cwg(const CwgDetector& c, Writer& w) {
+  save_sig_set(c.prev_knots_, w);
+  save_sig_set(c.counted_, w);
+  w.u64(c.scans_);
+  w.u64(c.knots_found_);
+}
+
+void StateIO::load_cwg(CwgDetector& c, Reader& r) {
+  load_sig_set(c.prev_knots_, r);
+  load_sig_set(c.counted_, r);
+  c.scans_ = r.u64();
+  c.knots_found_ = r.u64();
+}
+
+// --- Fault injector + invariant checker -------------------------------------
+
+void StateIO::save_injector(const fi::FaultInjector& inj, Writer& w) {
+  // Resolved targets in post-sort event order: construction on the restore
+  // side runs the same deterministic sort, so positional overwrite lands
+  // each target on the event it was resolved for — including targets the
+  // explorer's FaultTarget decision point picked differently from the RNG.
+  w.u32(static_cast<std::uint32_t>(inj.plan_.events.size()));
+  for (const fi::FaultEvent& e : inj.plan_.events) {
+    w.i32(e.node);
+    w.i32(e.router);
+  }
+  w.u32(static_cast<std::uint32_t>(inj.freeze_windows_.size()));
+  for (const fi::FreezeWindow& fw : inj.freeze_windows_) {
+    w.u64(fw.start);
+    w.u64(fw.end);
+    w.i32(fw.node);
+  }
+  w.u64(inj.now_);
+  w.u64(inj.next_event_);
+  save_cycles(inj.freeze_until_, w);
+  save_cycles(inj.cap_until_, w);
+  save_ints(inj.cap_value_, w);
+  save_ints(inj.router_stalls_, w);
+  w.u32(static_cast<std::uint32_t>(inj.active_links_.size()));
+  for (const auto& s : inj.active_links_) {
+    w.i32(s.router);
+    w.i32(s.port);
+    w.i32(s.vc);
+    w.u64(s.until);
+  }
+  save_cycles(inj.token_stall_until_, w);
+  save_cycles(inj.lane_off_until_, w);
+  expect_size(inj.pending_loss_.size(), inj.pending_dup_.size(),
+              "injector pending flags");
+  w.u32(static_cast<std::uint32_t>(inj.pending_loss_.size()));
+  for (std::size_t i = 0; i < inj.pending_loss_.size(); ++i) {
+    w.u8(static_cast<std::uint8_t>(inj.pending_loss_[i]));
+    w.u8(static_cast<std::uint8_t>(inj.pending_dup_[i]));
+  }
+  save_u64s(inj.token_stall_cycles_, w);
+  for (std::uint64_t v : inj.injected_) w.u64(v);
+}
+
+void StateIO::load_injector(fi::FaultInjector& inj, Reader& r) {
+  expect_size(r.u32(), inj.plan_.events.size(), "injector events");
+  for (fi::FaultEvent& e : inj.plan_.events) {
+    e.node = r.i32();
+    e.router = r.i32();
+  }
+  expect_size(r.u32(), inj.freeze_windows_.size(), "injector freeze windows");
+  for (fi::FreezeWindow& fw : inj.freeze_windows_) {
+    fw.start = r.u64();
+    fw.end = r.u64();
+    fw.node = r.i32();
+  }
+  inj.now_ = r.u64();
+  inj.next_event_ = r.u64();
+  load_cycles(inj.freeze_until_, r, "injector freeze windows per node");
+  load_cycles(inj.cap_until_, r, "injector cap windows");
+  load_ints(inj.cap_value_, r, "injector cap values");
+  load_ints(inj.router_stalls_, r, "injector router stalls");
+  inj.active_links_.clear();
+  const std::uint32_t links = r.u32();
+  for (std::uint32_t i = 0; i < links; ++i) {
+    fi::FaultInjector::ActiveLinkStall s;
+    s.router = r.i32();
+    s.port = r.i32();
+    s.vc = r.i32();
+    s.until = r.u64();
+    inj.active_links_.push_back(s);
+  }
+  load_cycles(inj.token_stall_until_, r, "injector token stalls");
+  load_cycles(inj.lane_off_until_, r, "injector lane windows");
+  expect_size(r.u32(), inj.pending_loss_.size(), "injector pending flags");
+  for (std::size_t i = 0; i < inj.pending_loss_.size(); ++i) {
+    inj.pending_loss_[i] = static_cast<char>(r.u8());
+    inj.pending_dup_[i] = static_cast<char>(r.u8());
+  }
+  load_u64s(inj.token_stall_cycles_, r, "injector stall counters");
+  for (std::uint64_t& v : inj.injected_) v = r.u64();
+}
+
+void StateIO::save_checker(const fi::InvariantChecker& chk, Writer& w) {
+  w.u32(static_cast<std::uint32_t>(chk.token_prev_.size()));
+  for (const auto& t : chk.token_prev_) {
+    w.u64(t.progress);
+    w.u64(t.stall_cycles);
+    w.u64(t.at);
+    w.boolean(t.busy);
+    w.boolean(t.lost);
+    w.boolean(t.valid);
+  }
+  w.u32(static_cast<std::uint32_t>(chk.pending_.size()));
+  for (const auto& p : chk.pending_) {
+    w.u64(p.window.start);
+    w.u64(p.window.end);
+    w.i32(p.window.node);
+    w.u64(p.deadline);
+    w.u64(p.consumed_at_lift);
+    w.boolean(p.lifted);
+    w.boolean(p.knot_seen);
+  }
+  w.u64(chk.report_.checks);
+  w.u64(chk.report_.cwg_scans);
+  w.u64(chk.report_.freeze_windows);
+  w.u64(chk.report_.windows_with_knots);
+  w.u64(chk.report_.windows_resolved);
+}
+
+void StateIO::load_checker(fi::InvariantChecker& chk, Reader& r) {
+  // token_prev_ is lazily sized on the checker's first check() pass, so a
+  // freshly constructed checker is empty: the stream count is authoritative.
+  chk.token_prev_.resize(r.u32());
+  for (auto& t : chk.token_prev_) {
+    t.progress = r.u64();
+    t.stall_cycles = r.u64();
+    t.at = r.u64();
+    t.busy = r.boolean();
+    t.lost = r.boolean();
+    t.valid = r.boolean();
+  }
+  chk.pending_.clear();
+  const std::uint32_t pending = r.u32();
+  for (std::uint32_t i = 0; i < pending; ++i) {
+    fi::InvariantChecker::PendingWindow p;
+    p.window.start = r.u64();
+    p.window.end = r.u64();
+    p.window.node = r.i32();
+    p.deadline = r.u64();
+    p.consumed_at_lift = r.u64();
+    p.lifted = r.boolean();
+    p.knot_seen = r.boolean();
+    chk.pending_.push_back(p);
+  }
+  chk.report_.checks = r.u64();
+  chk.report_.cwg_scans = r.u64();
+  chk.report_.freeze_windows = r.u64();
+  chk.report_.windows_with_knots = r.u64();
+  chk.report_.windows_resolved = r.u64();
+}
+
+// --- Top-level walk ---------------------------------------------------------
+
+void StateIO::collect_packets(const Simulator& sim, PacketTable& table) {
+  const Network& net = *sim.net_;
+  for (const auto& rt : net.routers_) {
+    for (const InputVc& v : rt->in_) {
+      for (std::size_t j = 0; j < v.buffer.size(); ++j) {
+        table.note(v.buffer[j].pkt);
+      }
+    }
+  }
+  for (const auto& ni : net.nis_) {
+    for (const auto& q : ni->input_q_) {
+      for (const PacketPtr& p : q) table.note(p);
+    }
+    for (const auto& q : ni->output_q_) {
+      for (const PacketPtr& p : q) table.note(p);
+    }
+    table.note(ni->mc_pkt_);
+    for (const auto& s : ni->streams_) table.note(s.pkt);
+    table.note(ni->src_stream_.pkt);
+    for (const auto& buf : ni->eject_buf_) {
+      for (const Flit& f : buf) table.note(f.pkt);
+    }
+    for (const auto& opt : ni->reasm_) {
+      if (opt) table.note(opt->pkt);
+    }
+    for (const PacketPtr& p : ni->source_) table.note(p);
+    for (const auto& rt : ni->retries_) table.note(rt.pkt);
+  }
+  for (const auto& eng : net.recovery_) table.note(eng->work_pkt_);
+}
+
+void StateIO::save(const Simulator& sim, Writer& w) {
+  const Network& net = *sim.net_;
+
+  w.tag(kTagSim);
+  save_rng(sim.rng_, w);
+  w.u32(static_cast<std::uint32_t>(sim.node_rng_.size()));
+  for (const Rng& rng : sim.node_rng_) save_rng(rng, w);
+  w.u64(sim.watch_consumed_);
+  w.u64(sim.watch_since_);
+  w.u64(sim.skipped_);
+
+  // Every live packet, found by walking its possible holders.
+  PacketTable table;
+  collect_packets(sim, table);
+  save_packets(table, w);
+
+  w.tag(kTagNet);
+  w.u64(net.cycle_);
+  w.u64(net.next_packet_id_);
+  w.u64(net.meas_begin_);
+  w.u64(net.meas_end_);
+  w.u64(net.counters_.detections);
+  w.u64(net.counters_.deflections);
+  w.u64(net.counters_.rescues);
+  w.u64(net.counters_.rescued_msgs);
+  w.u64(net.counters_.retries);
+  w.u64(net.counters_.cwg_deadlocks);
+
+  w.tag(kTagRtr);
+  w.u32(static_cast<std::uint32_t>(net.routers_.size()));
+  for (const auto& rt : net.routers_) save_router(*rt, w);
+
+  w.tag(kTagNif);
+  w.u32(static_cast<std::uint32_t>(net.nis_.size()));
+  for (const auto& ni : net.nis_) save_ni(*ni, w);
+
+  w.tag(kTagRec);
+  w.u32(static_cast<std::uint32_t>(net.recovery_.size()));
+  for (const auto& eng : net.recovery_) save_recovery(*eng, w);
+
+  w.tag(kTagReg);
+  w.boolean(net.regress_ != nullptr);
+  if (net.regress_) {
+    w.i32(net.regress_->scan_rr_);
+    w.u64(net.regress_->kills_);
+  }
+
+  w.tag(kTagPrt);
+  save_protocol(*sim.protocol_, w);
+
+  w.tag(kTagMet);
+  save_metrics(*sim.metrics_, w);
+
+  w.tag(kTagCwg);
+  w.boolean(sim.cwg_ != nullptr);
+  if (sim.cwg_) save_cwg(*sim.cwg_, w);
+
+  w.tag(kTagFi);
+  w.boolean(sim.fi_inj_ != nullptr);
+  if (sim.fi_inj_) save_injector(*sim.fi_inj_, w);
+
+  w.tag(kTagFic);
+  w.boolean(sim.fi_check_ != nullptr);
+  if (sim.fi_check_) save_checker(*sim.fi_check_, w);
+}
+
+void StateIO::load(Simulator& sim, Reader& r) {
+  Network& net = *sim.net_;
+
+  r.tag(kTagSim);
+  load_rng(sim.rng_, r);
+  expect_size(r.u32(), sim.node_rng_.size(), "node RNG streams");
+  for (Rng& rng : sim.node_rng_) load_rng(rng, r);
+  sim.watch_consumed_ = r.u64();
+  sim.watch_since_ = r.u64();
+  sim.skipped_ = r.u64();
+
+  PacketTable table;
+  load_packets(sim, table, r);
+
+  r.tag(kTagNet);
+  net.cycle_ = r.u64();
+  net.next_packet_id_ = r.u64();
+  net.meas_begin_ = r.u64();
+  net.meas_end_ = r.u64();
+  net.counters_.detections = r.u64();
+  net.counters_.deflections = r.u64();
+  net.counters_.rescues = r.u64();
+  net.counters_.rescued_msgs = r.u64();
+  net.counters_.retries = r.u64();
+  net.counters_.cwg_deadlocks = r.u64();
+
+  r.tag(kTagRtr);
+  expect_size(r.u32(), net.routers_.size(), "routers");
+  for (auto& rt : net.routers_) load_router(*rt, table, r);
+
+  r.tag(kTagNif);
+  expect_size(r.u32(), net.nis_.size(), "network interfaces");
+  for (auto& ni : net.nis_) load_ni(*ni, table, r);
+
+  r.tag(kTagRec);
+  expect_size(r.u32(), net.recovery_.size(), "recovery engines");
+  for (auto& eng : net.recovery_) load_recovery(*eng, table, r);
+
+  r.tag(kTagReg);
+  const bool has_regress = r.boolean();
+  if (has_regress != (net.regress_ != nullptr)) {
+    throw SnapshotError("regressive engine presence mismatch");
+  }
+  if (net.regress_) {
+    net.regress_->scan_rr_ = r.i32();
+    net.regress_->kills_ = r.u64();
+  }
+
+  r.tag(kTagPrt);
+  load_protocol(*sim.protocol_, r);
+
+  r.tag(kTagMet);
+  load_metrics(*sim.metrics_, r);
+
+  r.tag(kTagCwg);
+  const bool has_cwg = r.boolean();
+  if (has_cwg != (sim.cwg_ != nullptr)) {
+    throw SnapshotError("CWG detector presence mismatch");
+  }
+  if (sim.cwg_) load_cwg(*sim.cwg_, r);
+
+  r.tag(kTagFi);
+  const bool has_fi = r.boolean();
+  if (has_fi != (sim.fi_inj_ != nullptr)) {
+    throw SnapshotError("fault injector presence mismatch");
+  }
+  if (sim.fi_inj_) load_injector(*sim.fi_inj_, r);
+
+  r.tag(kTagFic);
+  const bool has_chk = r.boolean();
+  if (has_chk != (sim.fi_check_ != nullptr)) {
+    throw SnapshotError("invariant checker presence mismatch");
+  }
+  if (sim.fi_check_) load_checker(*sim.fi_check_, r);
+}
+
+std::uint64_t StateIO::state_hash(const Simulator& sim) {
+  const Network& net = *sim.net_;
+
+  // Serialize only what the simulation will ever read back: RNG positions,
+  // the live packet set, fabric + endpoint + recovery state, protocol
+  // transactions and the injector's windows.  Metrics accumulators, CWG
+  // counting memory, the invariant checker and the watchdog fields are
+  // write-only from the core's point of view, so excluding them widens
+  // dedup without ever merging states with different futures.
+  Writer w;
+  save_rng(sim.rng_, w);
+  for (const Rng& rng : sim.node_rng_) save_rng(rng, w);
+
+  PacketTable table;
+  collect_packets(sim, table);
+  save_packets(table, w);
+
+  w.u64(net.cycle_);
+  w.u64(net.next_packet_id_);
+  for (const auto& rt : net.routers_) save_router(*rt, w);
+  for (const auto& ni : net.nis_) save_ni(*ni, w);
+  for (const auto& eng : net.recovery_) save_recovery(*eng, w);
+  if (net.regress_) {
+    w.i32(net.regress_->scan_rr_);
+    w.u64(net.regress_->kills_);
+  }
+  save_protocol(*sim.protocol_, w);
+  if (sim.fi_inj_) save_injector(*sim.fi_inj_, w);
+
+  // Writer::finish appends the incrementally computed FNV-1a hash as the
+  // trailing 8 little-endian bytes — decode it instead of rehashing.
+  const std::vector<std::uint8_t> bytes = w.finish();
+  std::uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) {
+    h |= static_cast<std::uint64_t>(bytes[bytes.size() - 8 + i]) << (8 * i);
+  }
+  return h;
+}
+
+}  // namespace mddsim::snap
+
+// --- Simulator entry points (defined here: StateIO is the serializer) -------
+
+namespace mddsim {
+
+std::vector<std::uint8_t> Simulator::snapshot() const {
+  snap::Writer w;
+  w.raw(snap::kMagic, sizeof(snap::kMagic));
+  w.u32(snap::kFormatVersion);
+  w.str(config_to_string(cfg_));
+  snap::StateIO::save(*this, w);
+  return w.finish();
+}
+
+std::unique_ptr<Simulator> Simulator::restore(
+    const std::vector<std::uint8_t>& bytes, mc::ChoiceSource* chooser) {
+  snap::Reader r(bytes);
+  for (char c : snap::kMagic) {
+    if (r.u8() != static_cast<std::uint8_t>(c)) {
+      throw snap::SnapshotError("bad magic: not a mddsim snapshot");
+    }
+  }
+  const std::uint32_t version = r.u32();
+  if (version != snap::kFormatVersion) {
+    throw snap::SnapshotError(
+        "unsupported format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(snap::kFormatVersion) +
+        ")");
+  }
+  if (chooser != nullptr && !mc::compiled_in()) {
+    throw ConfigError(
+        "a choice source is attached but the model-checking hooks were "
+        "compiled out (MDDSIM_MC=OFF); rebuild with MDDSIM_MC=ON to explore");
+  }
+  SimConfig cfg;
+  std::istringstream cfg_text(r.str());
+  apply_config_file(cfg, cfg_text);
+
+  // Construct WITHOUT the chooser: a chooser-constructed simulator records
+  // FaultTarget decisions at build time, which would desync a replay script
+  // whose choices were all made before the checkpoint.  Load overwrites the
+  // resolved fault targets anyway; the chooser attaches afterwards.
+  auto sim = std::make_unique<Simulator>(cfg);
+  snap::StateIO::load(*sim, r);
+  if (!r.exhausted()) {
+    throw snap::SnapshotError("trailing bytes after the last state section");
+  }
+  if (chooser != nullptr) sim->net_->set_chooser(chooser);
+  return sim;
+}
+
+}  // namespace mddsim

@@ -1,0 +1,101 @@
+#pragma once
+// Central snapshot serializer (mddsim::snap).
+//
+// StateIO is the one class befriended by every stateful simulation
+// component; its save/load walk the full mutable state of a Simulator —
+// router arenas, VC/credit state, NI queues and MSHR accounting, the live
+// packet set, recovery engines, RNG stream positions, fault-injector
+// windows, CWG persistence memory, metrics accumulators — in one fixed
+// order.  Pure observability state (tracer ring, span table, registry,
+// forensics captures, profiler) is deliberately excluded: restore rebuilds
+// those subsystems fresh from the embedded config, which can never change
+// simulation results (they are written, never read, by the core).
+//
+// Live packets are deduplicated through an id-keyed table: every holder
+// (router flit rings, NI queues and reassembly slots, recovery lanes)
+// serializes a PacketId reference, and load reconstructs each packet once
+// through the network's recycling pool and patches the references back.
+//
+// The correctness oracle is bit-identity: run-to-N must equal
+// snapshot-at-K + restore + run-to-N for every scheme, with faults and
+// spans on (tests/test_snap.cpp, plus the round-trip property in
+// tests/test_fuzz.cpp).
+
+#include "mddsim/snap/snapshot.hpp"
+
+namespace mddsim {
+class Simulator;
+class Network;
+class Router;
+class NetworkInterface;
+class RecoveryEngine;
+class GenericProtocol;
+class Metrics;
+class CwgDetector;
+class RunningStat;
+class QuantileSampler;
+class Histogram;
+class LoadHistogram;
+}  // namespace mddsim
+namespace mddsim::fi {
+class FaultInjector;
+class InvariantChecker;
+}  // namespace mddsim::fi
+
+namespace mddsim::snap {
+
+class StateIO {
+ public:
+  /// Serializes the simulator's complete mutable state into `w` (the
+  /// caller has already written magic, version and config text).
+  static void save(const Simulator& sim, Writer& w);
+
+  /// Restores state into a freshly constructed Simulator built from the
+  /// snapshot's own config text.  Throws SnapshotError when the stream
+  /// disagrees with the constructed object (a section tag, container size
+  /// or engine count mismatch).
+  static void load(Simulator& sim, Reader& r);
+
+  /// FNV-1a hash over the *behaviorally relevant* state only: fabric,
+  /// endpoints, recovery engines, live packets, protocol transactions, RNG
+  /// positions, fault-injector windows and the cycle counter.  Metrics
+  /// accumulators, CWG counting memory and watchdog bookkeeping are
+  /// excluded — they are written by the simulation but never read back, so
+  /// two explorer paths converging on the same hash have identical futures.
+  /// The state-space explorer's dedup key.
+  static std::uint64_t state_hash(const Simulator& sim);
+
+ private:
+  struct PacketTable;
+
+  /// Walks every packet holder (router flit rings, NI queues, reassembly
+  /// slots, recovery lanes) and registers each live packet once.
+  static void collect_packets(const Simulator& sim, PacketTable& table);
+  static void save_packets(const PacketTable& t, Writer& w);
+  static void load_packets(Simulator& sim, PacketTable& t, Reader& r);
+  static void save_router(const Router& rt, Writer& w);
+  static void load_router(Router& rt, const PacketTable& t, Reader& r);
+  static void save_ni(const NetworkInterface& ni, Writer& w);
+  static void load_ni(NetworkInterface& ni, const PacketTable& t, Reader& r);
+  static void save_recovery(const RecoveryEngine& eng, Writer& w);
+  static void load_recovery(RecoveryEngine& eng, const PacketTable& t,
+                            Reader& r);
+  static void save_protocol(const GenericProtocol& p, Writer& w);
+  static void load_protocol(GenericProtocol& p, Reader& r);
+  static void save_metrics(const Metrics& m, Writer& w);
+  static void load_metrics(Metrics& m, Reader& r);
+  static void save_cwg(const CwgDetector& c, Writer& w);
+  static void load_cwg(CwgDetector& c, Reader& r);
+  static void save_injector(const fi::FaultInjector& inj, Writer& w);
+  static void load_injector(fi::FaultInjector& inj, Reader& r);
+  static void save_checker(const fi::InvariantChecker& chk, Writer& w);
+  static void load_checker(fi::InvariantChecker& chk, Reader& r);
+  static void save_stat(const RunningStat& s, Writer& w);
+  static void load_stat(RunningStat& s, Reader& r);
+  static void save_quant(const QuantileSampler& q, Writer& w);
+  static void load_quant(QuantileSampler& q, Reader& r);
+  static void save_load_hist(const LoadHistogram& h, Writer& w);
+  static void load_load_hist(LoadHistogram& h, Reader& r);
+};
+
+}  // namespace mddsim::snap

@@ -194,5 +194,75 @@ TEST_P(FaultMatrixFuzz, FaultedRunDrainsWithInvariantsIntact) {
 INSTANTIATE_TEST_SUITE_P(Draws, FaultMatrixFuzz,
                          ::testing::Range<std::uint64_t>(1, 1 + fuzz_iters(24)));
 
+// ---------------------------------------------------------------------------
+// Snapshot round-trip property suite: random configuration x random
+// checkpoint cycle.  The oracle is bit-identity — running straight to the
+// end must equal checkpointing at K, restoring from the byte stream, and
+// continuing.  Any piece of mutable state the snapshot misses (an RNG
+// stream position, a pool free list, a warm cache epoch) shows up here as
+// a divergent byte, so this suite is the fuzzer counterpart of the pinned
+// cases in test_snap.cpp.
+// ---------------------------------------------------------------------------
+
+class SnapRoundTripFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnapRoundTripFuzz, RestoredRunIsBitIdentical) {
+  Rng rng(GetParam() * 0x2545f4914f6cdd1dull + 5);
+  SimConfig cfg;
+
+  const Scheme schemes[] = {Scheme::SA, Scheme::DR, Scheme::PR, Scheme::RG};
+  const char* patterns[] = {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"};
+  cfg.scheme = schemes[rng.next_below(4)];
+  cfg.pattern = patterns[rng.next_below(5)];
+  cfg.k = static_cast<int>(rng.next_range(2, 4));
+  cfg.n = static_cast<int>(rng.next_range(1, 2));
+  cfg.torus = rng.next_bool(0.8);
+  cfg.vcs_per_link = static_cast<int>(rng.next_range(2, 8));
+  cfg.flit_buffer_depth = static_cast<int>(rng.next_range(1, 4));
+  cfg.msg_queue_size = static_cast<int>(rng.next_range(2, 16));
+  cfg.mshr_limit = static_cast<int>(rng.next_range(1, 8));
+  cfg.queue_org = rng.next_bool(0.5) ? QueueOrg::Shared : QueueOrg::PerType;
+  cfg.injection_rate = 0.002 + rng.next_double() * 0.02;
+  cfg.detection_threshold = static_cast<int>(rng.next_range(5, 50));
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 800;
+  cfg.seed = GetParam() * 31337;
+  if (fi::compiled_in() && rng.next_bool(0.3)) {
+    // Sometimes checkpoint with a fault plan armed (possibly mid-window).
+    const Cycle start = 100 + static_cast<Cycle>(rng.next_below(500));
+    std::ostringstream os;
+    os << "freeze@" << start << '+' << (50 + rng.next_below(200))
+       << ":node=" << (rng.next_bool(0.5) ? "all" : "rand");
+    cfg.fault_spec = os.str();
+  }
+
+  try {
+    cfg.validate();
+  } catch (const ConfigError&) {
+    GTEST_SKIP() << "infeasible random combination (expected)";
+  }
+
+  const Cycle at = 1 + static_cast<Cycle>(rng.next_below(850));
+  std::vector<std::uint8_t> mid;
+  Simulator a(cfg);
+  a.set_checkpoint(at, [&mid](Simulator& s) { mid = s.snapshot(); });
+  a.run(/*drain=*/true);
+  if (mid.empty()) {
+    GTEST_SKIP() << "run ended before cycle " << at << " (expected)";
+  }
+  const std::vector<std::uint8_t> end_a = a.snapshot();
+
+  std::unique_ptr<Simulator> b = Simulator::restore(mid);
+  ASSERT_EQ(b->network().now(), at);
+  b->run(/*drain=*/true);
+  EXPECT_EQ(end_a, b->snapshot())
+      << scheme_name(cfg.scheme) << "/" << cfg.pattern << " k=" << cfg.k
+      << " n=" << cfg.n << " vcs=" << cfg.vcs_per_link << " K=" << at
+      << " fault=" << cfg.fault_spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, SnapRoundTripFuzz,
+                         ::testing::Range<std::uint64_t>(1, 1 + fuzz_iters(24)));
+
 }  // namespace
 }  // namespace mddsim

@@ -1,0 +1,303 @@
+// State-space explorer (mddsim::mc) known-answer tests.
+//
+// The explorer is deterministic, so whole-tree shapes are pinned: visited
+// state counts, path counts and choice points must not move unless the
+// simulator's semantics change (in which case the pins document exactly
+// which configurations to re-derive).  The refutation configs are seeded
+// broken on purpose — a torus whose dateline escape lane was overridden
+// away (escape_override=1) and a PR run with detection disabled — and must
+// produce counterexample schedules that replay to the same knot signature.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mddsim/common/config_parse.hpp"
+#include "mddsim/mc/choice.hpp"
+#include "mddsim/mc/explorer.hpp"
+#include "mddsim/sim/simulator.hpp"
+#include "mddsim/snap/state_io.hpp"
+
+namespace mddsim {
+namespace {
+
+// --- The pinned configurations. -------------------------------------------
+
+/// PASS: 2x2 mesh under PR with one fully adaptive VC — two productive
+/// directions at the corner routers make real VcTie branching.
+SimConfig pass_mesh_pr() {
+  SimConfig c;
+  c.k = 2; c.n = 2; c.torus = false; c.scheme = Scheme::PR;
+  c.vcs_per_link = 1; c.flit_buffer_depth = 1;
+  c.pattern = "PAT100"; c.lengths.flits = {1, 1, 1, 1};
+  c.injection_rate = 0.1;
+  c.warmup_cycles = 0; c.measure_cycles = 40;
+  c.msg_queue_size = 2; c.mshr_limit = 1; c.source_queue_size = 2;
+  c.msg_service_time = 2;
+  c.detection_threshold = 8; c.router_timeout = 32;
+  return c;
+}
+
+/// PASS: 3-node line under SA (one escape VC per class, plain DOR — a
+/// single decision-free path, exhausted trivially but still an end-to-end
+/// drain proof).
+SimConfig pass_line_sa() {
+  SimConfig c;
+  c.k = 3; c.n = 1; c.torus = false; c.scheme = Scheme::SA;
+  c.vcs_per_link = 2; c.flit_buffer_depth = 1;
+  c.pattern = "PAT100"; c.lengths.flits = {1, 1, 1, 1};
+  c.injection_rate = 0.3;
+  c.warmup_cycles = 0; c.measure_cycles = 30;
+  c.msg_queue_size = 2; c.mshr_limit = 1; c.source_queue_size = 2;
+  c.msg_service_time = 2;
+  c.detection_threshold = 8; c.router_timeout = 32;
+  return c;
+}
+
+/// PASS: DR needs the three-type PAT271 pattern and one VC per class.
+SimConfig pass_line_dr() {
+  SimConfig c = pass_line_sa();
+  c.scheme = Scheme::DR;
+  c.pattern = "PAT271";
+  c.vcs_per_link = 3;
+  return c;
+}
+
+/// PASS: saturated 4-torus under PR with detection ON — knots form and the
+/// token rescues them on every path; the explorer proves recovery liveness
+/// over every arbitration order (587 paths).
+SimConfig pass_torus_pr_recovery() {
+  SimConfig c;
+  c.k = 4; c.n = 1; c.torus = true; c.scheme = Scheme::PR;
+  c.vcs_per_link = 1; c.flit_buffer_depth = 1;
+  c.pattern = "PAT100"; c.lengths.flits = {2, 2, 2, 2};
+  c.injection_rate = 0.4;
+  c.warmup_cycles = 0; c.measure_cycles = 16;
+  c.msg_queue_size = 1; c.mshr_limit = 2; c.source_queue_size = 2;
+  c.msg_service_time = 4;
+  c.detection_threshold = 8; c.router_timeout = 32;
+  c.seed = 5;
+  return c;
+}
+
+/// REFUTE: saturated 4-torus under SA with the dateline escape lane
+/// removed (escape_override=1) — the escape ring becomes a dependency
+/// cycle and wedges solid.
+SimConfig broken_torus_sa_no_escape() {
+  SimConfig c;
+  c.k = 4; c.n = 1; c.torus = true; c.scheme = Scheme::SA;
+  c.vcs_per_link = 2; c.escape_override = 1; c.flit_buffer_depth = 1;
+  c.pattern = "PAT100"; c.lengths.flits = {4, 4, 4, 4};
+  c.injection_rate = 1.0;
+  c.warmup_cycles = 0; c.measure_cycles = 1000;
+  c.msg_queue_size = 8; c.mshr_limit = 16; c.source_queue_size = 8;
+  c.msg_service_time = 1;
+  c.detection_threshold = 100000; c.router_timeout = 100000;
+  c.seed = 5;
+  return c;
+}
+
+/// REFUTE: the same saturated torus under PR with detection disabled
+/// (detect_threshold and router_timeout pushed past the horizon) — the
+/// knot TFAR legally forms is never rescued.
+SimConfig broken_torus_pr_no_detection() {
+  SimConfig c;
+  c.k = 4; c.n = 1; c.torus = true; c.scheme = Scheme::PR;
+  c.vcs_per_link = 1; c.flit_buffer_depth = 1;
+  c.pattern = "PAT100"; c.lengths.flits = {2, 2, 2, 2};
+  c.injection_rate = 1.0;
+  c.warmup_cycles = 0; c.measure_cycles = 1000;
+  c.msg_queue_size = 1; c.mshr_limit = 8; c.source_queue_size = 8;
+  c.msg_service_time = 4;
+  c.detection_threshold = 1000000; c.router_timeout = 1000000;
+  c.seed = 5;
+  return c;
+}
+
+mc::ExploreOptions pass_opts() {
+  mc::ExploreOptions o;
+  o.max_cycles = 600;
+  o.knot_persistence = 64;
+  return o;
+}
+
+mc::ExploreOptions refute_opts() {
+  mc::ExploreOptions o;
+  o.max_cycles = 4000;
+  o.knot_persistence = 40;
+  return o;
+}
+
+#define SKIP_IF_MC_OFF()                                             \
+  if (!mc::compiled_in()) {                                          \
+    GTEST_SKIP() << "choice hooks compiled out (MDDSIM_MC=OFF)";     \
+  }
+
+// --- Exhaustive PASS proofs (pinned tree shapes). --------------------------
+
+TEST(McExplore, ExhaustivePassMeshPr) {
+  SKIP_IF_MC_OFF();
+  const mc::ExploreResult r = mc::explore(pass_mesh_pr(), pass_opts());
+  EXPECT_EQ(r.verdict, mc::Verdict::Pass);
+  EXPECT_EQ(r.states_visited, 774u);
+  EXPECT_EQ(r.paths, 56u);
+  EXPECT_EQ(r.choice_points, 55u);
+}
+
+TEST(McExplore, ExhaustivePassLineSa) {
+  SKIP_IF_MC_OFF();
+  const mc::ExploreResult r = mc::explore(pass_line_sa(), pass_opts());
+  EXPECT_EQ(r.verdict, mc::Verdict::Pass);
+  EXPECT_EQ(r.states_visited, 54u);
+  EXPECT_EQ(r.paths, 1u);
+  EXPECT_EQ(r.choice_points, 0u);  // DOR: never more than one candidate
+}
+
+TEST(McExplore, ExhaustivePassLineDr) {
+  SKIP_IF_MC_OFF();
+  const mc::ExploreResult r = mc::explore(pass_line_dr(), pass_opts());
+  EXPECT_EQ(r.verdict, mc::Verdict::Pass);
+  EXPECT_EQ(r.states_visited, 70u);
+  EXPECT_EQ(r.paths, 1u);
+}
+
+TEST(McExplore, ExhaustivePassTorusPrRecovery) {
+  SKIP_IF_MC_OFF();
+  mc::ExploreOptions o;
+  o.max_cycles = 1500;
+  o.knot_persistence = 150;  // PR knots legally form, then the token rescues
+  const mc::ExploreResult r = mc::explore(pass_torus_pr_recovery(), o);
+  EXPECT_EQ(r.verdict, mc::Verdict::Pass);
+  EXPECT_EQ(r.states_visited, 9217u);
+  EXPECT_EQ(r.paths, 587u);
+  EXPECT_EQ(r.choice_points, 586u);
+}
+
+// --- Refutations of seeded-broken configurations. --------------------------
+
+TEST(McExplore, RefutesEscapeFreeTorus) {
+  SKIP_IF_MC_OFF();
+  const mc::ExploreResult r =
+      mc::explore(broken_torus_sa_no_escape(), refute_opts());
+  ASSERT_EQ(r.verdict, mc::Verdict::Knot);
+  EXPECT_EQ(r.schedule.cycle, 41u);
+  EXPECT_EQ(r.schedule.knot_signature, 0x953d04773d5aa08dull);
+  EXPECT_TRUE(r.schedule.choices.empty());  // DOR: default path wedges
+
+  const mc::ReplayResult rr = mc::replay(r.schedule);
+  EXPECT_TRUE(rr.reproduced);
+  EXPECT_EQ(rr.cycle, r.schedule.cycle);
+  EXPECT_EQ(rr.knot_signature, r.schedule.knot_signature);
+}
+
+TEST(McExplore, RefutesDetectionFreePr) {
+  SKIP_IF_MC_OFF();
+  const mc::ExploreResult r =
+      mc::explore(broken_torus_pr_no_detection(), refute_opts());
+  ASSERT_EQ(r.verdict, mc::Verdict::Knot);
+  EXPECT_EQ(r.schedule.knot_signature, 0xbbe1de7f4ed1d3c9ull);
+  EXPECT_EQ(r.schedule.choices.size(), 4u);  // TFAR tie decisions en route
+
+  // The schedule survives a JSON round-trip and still reproduces.
+  const std::string json = r.schedule.to_json();
+  mc::Schedule parsed;
+  std::string err;
+  ASSERT_TRUE(mc::Schedule::from_json(json, &parsed, &err)) << err;
+  EXPECT_EQ(parsed.choices, r.schedule.choices);
+  EXPECT_EQ(parsed.knot_signature, r.schedule.knot_signature);
+  EXPECT_EQ(parsed.cycle, r.schedule.cycle);
+
+  const mc::ReplayResult rr = mc::replay(parsed);
+  EXPECT_TRUE(rr.reproduced);
+  EXPECT_EQ(rr.knot_signature, r.schedule.knot_signature);
+}
+
+TEST(McExplore, ReplayDetectsForeignSchedule) {
+  SKIP_IF_MC_OFF();
+  // A schedule whose recorded violation cannot recur (healthy config text)
+  // must come back not-reproduced rather than falsely confirming.
+  mc::ExploreResult broken =
+      mc::explore(broken_torus_sa_no_escape(), refute_opts());
+  ASSERT_EQ(broken.verdict, mc::Verdict::Knot);
+  mc::Schedule sched = broken.schedule;
+  sched.config = config_to_string(pass_line_sa());
+  const mc::ReplayResult rr = mc::replay(sched);
+  EXPECT_FALSE(rr.reproduced);
+}
+
+// --- Schedule JSON. ---------------------------------------------------------
+
+TEST(McSchedule, JsonRoundTripPreservesEveryField) {
+  mc::Schedule s;
+  s.config = "k=4\nn=1\nscheme=PR\n";
+  s.choices = {{mc::ChoiceKind::VcTie, 12, 3, 2},
+               {mc::ChoiceKind::RescueSlot, 40, 2, 1},
+               {mc::ChoiceKind::FaultTarget, 7, 16, 9}};
+  s.cycle = 4321;
+  s.knot_signature = 0xdeadbeefcafef00dull;  // > 2^53: needs the hex path
+  s.what = "knot";
+  s.knot_persistence = 40;
+  s.scan_period = 3;
+
+  mc::Schedule out;
+  std::string err;
+  ASSERT_TRUE(mc::Schedule::from_json(s.to_json(), &out, &err)) << err;
+  EXPECT_EQ(out.config, s.config);
+  EXPECT_EQ(out.choices, s.choices);
+  EXPECT_EQ(out.cycle, s.cycle);
+  EXPECT_EQ(out.knot_signature, s.knot_signature);
+  EXPECT_EQ(out.what, s.what);
+  EXPECT_EQ(out.knot_persistence, s.knot_persistence);
+  EXPECT_EQ(out.scan_period, s.scan_period);
+}
+
+TEST(McSchedule, FromJsonRejectsGarbage) {
+  mc::Schedule out;
+  std::string err;
+  EXPECT_FALSE(mc::Schedule::from_json("not json", &out, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(mc::Schedule::from_json("{}", &out, &err));
+  EXPECT_FALSE(mc::Schedule::from_json(
+      R"({"cycle":1,"knot_signature":"0x1","what":"knot",)"
+      R"("choices":[{"kind":"bogus","cycle":1,"arity":2,"pick":0}],)"
+      R"("config":"k=2"})",
+      &out, &err));
+}
+
+// --- Job-count invariance. --------------------------------------------------
+
+TEST(McJobs, SchedulesIdenticalAcrossJobCounts) {
+  SKIP_IF_MC_OFF();
+  // An attached ChoiceSource forces the serial engine path
+  // (Network::parallel_active), so the decision trace and final state are
+  // byte-identical whatever --jobs says.  Pin that guard.
+  const SimConfig cfg = pass_mesh_pr();
+  mc::ScriptChooser c1, c4;
+  Simulator s1(cfg, &c1);
+  Simulator s4(cfg, &c4);
+  s1.set_intra_jobs(1);
+  s4.set_intra_jobs(4);
+  for (int i = 0; i < 120; ++i) {
+    s1.mc_tick();
+    s4.mc_tick();
+  }
+  EXPECT_EQ(c1.trace(), c4.trace());
+  EXPECT_EQ(s1.snapshot(), s4.snapshot());
+  EXPECT_EQ(snap::StateIO::state_hash(s1), snap::StateIO::state_hash(s4));
+}
+
+// --- Compiled-out contract. -------------------------------------------------
+
+TEST(McCompiledOut, ExplorerRefusesLoudly) {
+  if (mc::compiled_in()) {
+    GTEST_SKIP() << "hooks compiled in; the MDDSIM_MC=OFF CI leg runs this";
+  }
+  EXPECT_THROW(mc::explore(pass_line_sa()), ConfigError);
+  mc::Schedule sched;
+  sched.config = config_to_string(pass_line_sa());
+  EXPECT_THROW(mc::replay(sched), ConfigError);
+}
+
+}  // namespace
+}  // namespace mddsim
